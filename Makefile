@@ -1,0 +1,44 @@
+# vC2M build & reproduction targets. Everything is stdlib Go; no network
+# access is required.
+
+GO ?= go
+
+.PHONY: all build vet test bench race cover paper examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Reduced-scale regeneration of every table/figure as benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Full paper-scale reproduction (minutes); writes text tables and CSVs
+# into results/.
+paper:
+	$(GO) run ./cmd/vc2m-paper -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/automotive
+	$(GO) run ./examples/isolation
+	$(GO) run ./examples/regulation
+	$(GO) run ./examples/wellregulated
+	$(GO) run ./examples/measurement
+	$(GO) run ./examples/admission
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,145 @@
+// Ablation benchmarks for the design choices in the hypervisor-level
+// allocation heuristic (Section 4.3): slowdown-similarity clustering,
+// demand-driven resource allocation (Phase 2), and load balancing
+// (Phase 3). Each benchmark reports the schedulability knee of the full
+// heuristic and of the ablated variant; the gap is what the ingredient
+// contributes.
+package vc2m_test
+
+import (
+	"testing"
+
+	"vc2m/internal/alloc"
+	"vc2m/internal/experiment"
+	"vc2m/internal/model"
+	"vc2m/internal/workload"
+)
+
+// ablationKnees runs a reduced sweep with the full heuristic and the
+// ablated variant and reports both knees.
+func ablationKnees(b *testing.B, name string, ablated alloc.HyperConfig) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunSchedulability(experiment.SchedConfig{
+			Platform:         model.PlatformA,
+			Dist:             workload.Uniform,
+			UtilMin:          0.8,
+			UtilMax:          2.0,
+			UtilStep:         0.2,
+			TasksetsPerPoint: 6,
+			Seed:             1,
+			Solutions: []alloc.Allocator{
+				&alloc.Heuristic{Mode: alloc.OverheadFree},
+				&alloc.Heuristic{Mode: alloc.OverheadFree, Hyper: ablated},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		full := res.Series[0]
+		abl := res.Series[1]
+		var fullArea, ablArea float64
+		for j := range full.Points {
+			fullArea += full.Points[j].Fraction
+			ablArea += abl.Points[j].Fraction
+		}
+		b.ReportMetric(fullArea/float64(len(full.Points)), "frac-full")
+		b.ReportMetric(ablArea/float64(len(abl.Points)), "frac-"+name)
+	}
+}
+
+// BenchmarkAblationClustering quantifies the KMeans slowdown-similarity
+// clustering: without it, VCPUs with incompatible resource sensitivities
+// share cores and the partition grants help fewer of them.
+func BenchmarkAblationClustering(b *testing.B) {
+	ablationKnees(b, "no-clustering", alloc.HyperConfig{NoClustering: true})
+}
+
+// BenchmarkAblationLoadBalance quantifies Phase 3: without migration off
+// unschedulable cores, an unlucky packing can only be fixed by a whole new
+// permutation.
+func BenchmarkAblationLoadBalance(b *testing.B) {
+	ablationKnees(b, "no-balance", alloc.HyperConfig{NoLoadBalance: true})
+}
+
+// BenchmarkAblationResourceGrowth quantifies the demand-driven Phase 2
+// against a static even partition split.
+func BenchmarkAblationResourceGrowth(b *testing.B) {
+	ablationKnees(b, "even-split", alloc.HyperConfig{NoResourceGrowth: true})
+}
+
+// BenchmarkPartitionSweep reports schedulability at 8 versus 40 cache/BW
+// partitions (4 cores, fixed load): the value of additional partitions and
+// its diminishing returns.
+func BenchmarkPartitionSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunPartitionSweep(experiment.PartitionSweepConfig{
+			Partitions:       []int{8, 40},
+			TasksetsPerPoint: 8,
+			Seed:             1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Heuristic[0], "frac-8-partitions")
+		b.ReportMetric(res.Heuristic[1], "frac-40-partitions")
+	}
+}
+
+// BenchmarkRegPeriodSweep reports the BW-refiller overhead share at 0.5 ms
+// versus 5 ms regulation periods: finer regulation costs proportionally
+// more refills (the trade-off behind the paper's 1 ms choice).
+func BenchmarkRegPeriodSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.RunRegPeriodSweep(experiment.RegPeriodSweepConfig{
+			PeriodsMs: []float64{0.5, 5},
+			HorizonMs: 500,
+			Seed:      1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(points[0].Replenishments), "refills-0.5ms")
+		b.ReportMetric(float64(points[1].Replenishments), "refills-5ms")
+	}
+}
+
+// BenchmarkOnlineAdmission reports how many of a stream of arriving VMs
+// the online admission controller places, against the offline
+// re-allocation upper bound.
+func BenchmarkOnlineAdmission(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunOnline(experiment.OnlineConfig{
+			Arrivals: 10, Trials: 5, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.OnlineAdmitted, "vms-online")
+		b.ReportMetric(res.OfflineAdmitted, "vms-offline")
+	}
+}
+
+// BenchmarkVMCountStudy reports schedulable fractions at VM counts 1 and 8
+// for the three heuristic analyses: the vC2M analyses are invariant to the
+// VM structure while the existing CSA pays per-VCPU abstraction overhead
+// that multiplies with the VM count.
+func BenchmarkVMCountStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunVMCount(experiment.VMCountConfig{
+			Platform:         model.PlatformA,
+			Util:             1.0,
+			VMCounts:         []int{1, 8},
+			TasksetsPerPoint: 10,
+			Seed:             1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		flat := res.Fractions["Heuristic (flattening)"]
+		ex := res.Fractions["Heuristic (existing CSA)"]
+		b.ReportMetric(flat[0], "frac-vc2m-1vm")
+		b.ReportMetric(flat[1], "frac-vc2m-8vm")
+		b.ReportMetric(ex[0], "frac-existing-1vm")
+		b.ReportMetric(ex[1], "frac-existing-8vm")
+	}
+}

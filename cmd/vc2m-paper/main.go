@@ -1,0 +1,155 @@
+// vc2m-paper reproduces the paper's complete evaluation in one command:
+// Figures 2(a-c) and 3(a-c), Figure 4, Tables 1 and 2, the Section 3.3
+// isolation study, and this repository's two additions (the ablation and
+// VM-count studies). Text tables and CSVs are written under -out.
+//
+// The default scale finishes in a few minutes; -tasksets 50 -step 0.05
+// matches the paper's 1950 tasksets per figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"vc2m/internal/experiment"
+	"vc2m/internal/model"
+	"vc2m/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	tasksets := flag.Int("tasksets", 50, "tasksets per utilization point (paper: 50)")
+	step := flag.Float64("step", 0.05, "utilization step (paper: 0.05)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	// Figures 2 and 3: six schedulability sweeps.
+	figures := []struct {
+		name string
+		plat model.Platform
+		dist workload.Distribution
+	}{
+		{"fig2a", model.PlatformA, workload.Uniform},
+		{"fig2b", model.PlatformB, workload.Uniform},
+		{"fig2c", model.PlatformC, workload.Uniform},
+		{"fig3a", model.PlatformA, workload.BimodalLight},
+		{"fig3b", model.PlatformA, workload.BimodalMedium},
+		{"fig3c", model.PlatformA, workload.BimodalHeavy},
+	}
+	var fig2a *experiment.SchedResult
+	for _, fig := range figures {
+		fmt.Fprintf(os.Stderr, "%s (platform %s, %s)...\n", fig.name, fig.plat.Name, fig.dist)
+		res, err := experiment.RunSchedulability(experiment.SchedConfig{
+			Platform:         fig.plat,
+			Dist:             fig.dist,
+			UtilStep:         *step,
+			TasksetsPerPoint: *tasksets,
+			Seed:             *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if fig.name == "fig2a" {
+			fig2a = res
+		}
+		writeFile(*out, fig.name+".txt", res.FractionTable()+"\n"+res.Summary())
+		writeCSV(*out, fig.name+".csv", res.WriteFractionsCSV)
+	}
+
+	// Figure 4: running times come from the fig2a sweep (same workloads).
+	fmt.Fprintln(os.Stderr, "fig4 (running times)...")
+	writeFile(*out, "fig4.txt", "# Figure 4: average running time per taskset (seconds)\n"+fig2a.RuntimeTable())
+	writeCSV(*out, "fig4.csv", fig2a.WriteRuntimesCSV)
+
+	// Tables 1 and 2.
+	fmt.Fprintln(os.Stderr, "tables 1-2 (overheads)...")
+	var tables string
+	for i, vcpus := range []int{24, 96} {
+		res, err := experiment.RunOverhead(experiment.OverheadConfig{
+			VCPUs: vcpus, HorizonMs: 5000, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if i == 0 {
+			tables += res.Table1() + "\nTable 2: Scheduler's overhead (us)\n"
+			writeCSV(*out, "table1.csv", res.WriteCSV)
+		}
+		tables += res.Table2Row()
+	}
+	writeFile(*out, "tables12.txt", tables)
+
+	// Section 3.3.
+	fmt.Fprintln(os.Stderr, "section 3.3 (isolation)...")
+	iso, err := experiment.RunIsolation(experiment.IsolationConfig{Ops: 150000, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	writeFile(*out, "sec33.txt", iso.Table())
+	writeCSV(*out, "sec33.csv", iso.WriteCSV)
+
+	// VM-count study (repository addition).
+	fmt.Fprintln(os.Stderr, "vm-count study...")
+	vmc, err := experiment.RunVMCount(experiment.VMCountConfig{
+		Platform: model.PlatformA, Util: 1.0, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	writeFile(*out, "vmcount.txt", vmc.Table())
+
+	// Partition-count and regulation-period sweeps (repository additions).
+	fmt.Fprintln(os.Stderr, "partition sweep...")
+	psweep, err := experiment.RunPartitionSweep(experiment.PartitionSweepConfig{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	writeFile(*out, "partition-sweep.txt", psweep.Table())
+
+	fmt.Fprintln(os.Stderr, "regulation-period sweep...")
+	rsweep, err := experiment.RunRegPeriodSweep(experiment.RegPeriodSweepConfig{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	writeFile(*out, "regperiod-sweep.txt", experiment.RegPeriodTable(rsweep))
+
+	fmt.Fprintln(os.Stderr, "online admission study...")
+	online, err := experiment.RunOnline(experiment.OnlineConfig{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	writeFile(*out, "online.txt", online.Table())
+
+	fmt.Fprintf(os.Stderr, "done; outputs in %s/\n", *out)
+}
+
+func writeFile(dir, name, content string) {
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func writeCSV(dir, name string, write func(w io.Writer) error) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vc2m-paper:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// vc2m-profile regenerates the Section 3.3 study "Impact of resource
+// isolation on WCET": for each synthetic PARSEC benchmark it measures the
+// execution time running alone, co-running with streaming interferers
+// without isolation, and co-running under vC2M's cache partitioning plus
+// bandwidth regulation.
+//
+// With -benchmark it additionally prints the benchmark's WCET profile
+// e(c,b) slice — the measured dependence of execution time on the
+// allocated cache and bandwidth partitions that the allocation algorithms
+// consume.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vc2m/internal/experiment"
+	"vc2m/internal/model"
+	"vc2m/internal/parsec"
+)
+
+func main() {
+	cores := flag.Int("cores", 4, "number of co-running cores")
+	ops := flag.Int("ops", 100000, "operations per task")
+	seed := flag.Int64("seed", 1, "random seed")
+	benchmark := flag.String("benchmark", "", "also print this benchmark's slowdown profile s(c,b)")
+	flag.Parse()
+
+	res, err := experiment.RunIsolation(experiment.IsolationConfig{
+		Cores: *cores, Ops: *ops, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Table())
+
+	if *benchmark != "" {
+		bm, err := parsec.ByName(*benchmark)
+		if err != nil {
+			fatal(err)
+		}
+		p := model.PlatformA
+		prof := bm.Profile(p)
+		fmt.Printf("\nslowdown profile s(c,b) for %s on platform A (rows: cache c, cols: BW b)\n", bm.Name)
+		fmt.Printf("%4s", "c\\b")
+		for b := p.Bmin; b <= p.B; b += 2 {
+			fmt.Printf(" %5d", b)
+		}
+		fmt.Println()
+		for c := p.Cmin; c <= p.C; c += 2 {
+			fmt.Printf("%4d", c)
+			for b := p.Bmin; b <= p.B; b += 2 {
+				fmt.Printf(" %5.2f", prof.At(c, b))
+			}
+			fmt.Println()
+		}
+		fmt.Printf("max slowdown s^max (cache disabled, worst BW): %.2f\n", bm.MaxSlowdown(p))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vc2m-profile:", err)
+	os.Exit(1)
+}

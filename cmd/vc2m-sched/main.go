@@ -1,0 +1,110 @@
+// vc2m-sched regenerates the schedulability experiments of the paper's
+// Figures 2 and 3: the fraction of schedulable tasksets as a function of
+// taskset reference utilization, for the five solutions, on a chosen
+// platform and task-utilization distribution.
+//
+// Figure 2: -dist uniform with -platform A, B and C.
+// Figure 3: -platform A with -dist light, medium and heavy.
+//
+// The full paper-scale run is -tasksets 50 over utilization 0.1..2.0 step
+// 0.05 (1950 tasksets); the default uses a coarser grid so the command
+// finishes in seconds. Output is a utilization-indexed table of fractions
+// plus a knee/area summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"vc2m/internal/experiment"
+	"vc2m/internal/model"
+	"vc2m/internal/plot"
+	"vc2m/internal/workload"
+)
+
+func main() {
+	platform := flag.String("platform", "A", "platform configuration: A (4 cores, 20 partitions), B (6, 20) or C (4, 12)")
+	dist := flag.String("dist", "uniform", "task utilization distribution: uniform, light, medium or heavy")
+	tasksets := flag.Int("tasksets", 10, "independent tasksets per utilization point (paper: 50)")
+	min := flag.Float64("min", 0.1, "minimum taskset reference utilization")
+	max := flag.Float64("max", 2.0, "maximum taskset reference utilization")
+	step := flag.Float64("step", 0.1, "utilization step (paper: 0.05)")
+	seed := flag.Int64("seed", 1, "random seed")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	doPlot := flag.Bool("plot", false, "render the curves as an ASCII chart (the figure itself)")
+	csvPath := flag.String("csv", "", "also write the fraction series to this CSV file")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "tasksets analyzed concurrently (results are identical at any value; use 1 when timing)")
+	flag.Parse()
+
+	plat, err := model.PlatformByName(*platform)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := workload.ParseDistribution(*dist)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := experiment.SchedConfig{
+		Platform:         plat,
+		Dist:             d,
+		UtilMin:          *min,
+		UtilMax:          *max,
+		UtilStep:         *step,
+		TasksetsPerPoint: *tasksets,
+		Seed:             *seed,
+		Parallel:         *parallel,
+	}
+	if !*quiet {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rutilization points: %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	res, err := experiment.RunSchedulability(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.FractionTable())
+	fmt.Println(res.Summary())
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteFractionsCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+
+	if *doPlot {
+		var series []plot.Series
+		for _, s := range res.FractionSeries() {
+			series = append(series, plot.Series{Name: s.Name, X: s.X, Y: s.Y})
+		}
+		chart, err := plot.Render(plot.Config{
+			Title: fmt.Sprintf("Fraction of schedulable tasksets (platform %s, %s)", plat.Name, d),
+			YMin:  0, YMax: 1,
+			XLabel: "taskset reference utilization", YLabel: "schedulable fraction",
+		}, series...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(chart)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vc2m-sched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// vc2m-sim is the end-to-end driver: it loads (or generates) a system,
+// runs a vC2M allocation strategy on it, optionally executes the result on
+// the hypervisor simulator, and reports the outcome. Systems and
+// allocations are exchanged as JSON, so allocations can be produced once
+// and inspected or replayed later.
+//
+// Examples:
+//
+//	vc2m-sim -gen-util 1.2 -gen-seed 7 -dump-system system.json
+//	vc2m-sim -in system.json -mode flattening -out alloc.json
+//	vc2m-sim -gen-util 1.0 -mode overheadfree -simulate 2200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vc2m"
+	"vc2m/internal/model"
+)
+
+func main() {
+	in := flag.String("in", "", "input system JSON file (omit to generate a workload)")
+	genUtil := flag.Float64("gen-util", 1.0, "generated workload's target reference utilization")
+	genDist := flag.String("gen-dist", "uniform", "generated workload's distribution: uniform, light, medium, heavy")
+	genSeed := flag.Int64("gen-seed", 1, "generated workload's seed")
+	platform := flag.String("platform", "A", "platform for generated workloads: A, B or C")
+	dumpSystem := flag.String("dump-system", "", "write the (generated) system JSON here and exit")
+	mode := flag.String("mode", "flattening", "analysis mode: flattening, overheadfree or existing")
+	seed := flag.Int64("seed", 0, "allocator seed")
+	out := flag.String("out", "", "write the allocation JSON here")
+	simulate := flag.Float64("simulate", 2200, "simulate the allocation for this many ms (0 to skip)")
+	gantt := flag.Float64("gantt", 0, "render an execution Gantt chart for the first N ms of the simulation")
+	flag.Parse()
+
+	sys := loadOrGenerate(*in, *platform, *genUtil, *genDist, *genSeed)
+
+	if *dumpSystem != "" {
+		data, err := model.EncodeSystem(sys)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*dumpSystem, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d VMs, %d tasks, reference utilization %.2f)\n",
+			*dumpSystem, len(sys.VMs), len(sys.Tasks()), sys.RefUtil())
+		return
+	}
+
+	var m vc2m.Mode
+	switch *mode {
+	case "flattening":
+		m = vc2m.Flattening
+	case "overheadfree", "overhead-free":
+		m = vc2m.OverheadFree
+	case "existing":
+		m = vc2m.ExistingCSA
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	a, err := vc2m.Allocate(sys, vc2m.Options{Mode: m, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(a.Report())
+
+	if *out != "" {
+		data, err := model.EncodeAllocation(a)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote allocation to %s\n", *out)
+	}
+
+	if *simulate > 0 {
+		res, err := vc2m.Simulate(a, *simulate, vc2m.SimOptions{RecordTrace: *gantt > 0})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("simulated %.0f ms: %d jobs released, %d completed, %d deadline misses\n",
+			*simulate, res.Released, res.Completed, res.Missed)
+		if *gantt > 0 {
+			fmt.Print(vc2m.RenderGantt(res, 0, *gantt, 100))
+		}
+		if res.Missed > 0 {
+			fatal(fmt.Errorf("allocation declared schedulable but missed deadlines"))
+		}
+	}
+}
+
+func loadOrGenerate(in, platform string, util float64, dist string, seed int64) *vc2m.System {
+	if in != "" {
+		data, err := os.ReadFile(in)
+		if err != nil {
+			fatal(err)
+		}
+		sys, err := model.DecodeSystem(data)
+		if err != nil {
+			fatal(err)
+		}
+		return sys
+	}
+	plat, err := model.PlatformByName(platform)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := vc2m.GenerateWorkload(vc2m.WorkloadConfig{
+		Platform:      plat,
+		TargetRefUtil: util,
+		Distribution:  dist,
+		Seed:          seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	return sys
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vc2m-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Online admission control: VMs arrive at a running system one at a time.
+// Each arrival is either admitted — placed onto the current allocation
+// without migrating any running VCPU and without shrinking any core's
+// partitions — or rejected with the running system untouched. A departing
+// VM's resources return to the spare pool for the next arrival.
+//
+// The example consolidates a stream of mixed workloads onto Platform A
+// until the platform saturates, then shows a departure opening room for a
+// previously rejected VM.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"vc2m"
+)
+
+func vmArrival(plat vc2m.Platform, id, bench string, period, ref float64) *vc2m.VM {
+	w, err := vc2m.BenchmarkWCET(plat, bench, ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &vc2m.VM{ID: id, Tasks: []*vc2m.Task{
+		vc2m.NewTask(id+"/main", id, period, w),
+	}}
+}
+
+func main() {
+	plat := vc2m.PlatformA
+
+	// Boot the system with one resident VM.
+	resident := vmArrival(plat, "resident", "x264", 100, 30)
+	sys := &vc2m.System{Platform: plat, VMs: []*vc2m.VM{resident}}
+	current, err := vc2m.Allocate(sys, vc2m.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("booted with %q on %d core(s)\n\n", resident.ID, len(current.Cores))
+
+	arrivals := []*vc2m.VM{
+		vmArrival(plat, "guest-1", "swaptions", 100, 40),
+		vmArrival(plat, "guest-2", "streamcluster", 200, 70),
+		vmArrival(plat, "guest-3", "dedup", 100, 35),
+		vmArrival(plat, "guest-4", "canneal", 400, 150),
+		vmArrival(plat, "guest-5", "ferret", 100, 38),
+		vmArrival(plat, "guest-6", "vips", 200, 80),
+	}
+	var rejected []*vc2m.VM
+	for _, vm := range arrivals {
+		next, err := vc2m.Admit(current, vm, vc2m.Options{})
+		if errors.Is(err, vc2m.ErrNotSchedulable) {
+			fmt.Printf("  %-10s REJECTED (system unchanged)\n", vm.ID)
+			rejected = append(rejected, vm)
+			continue
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		current = next
+		fmt.Printf("  %-10s admitted: %d cores, %d/%d cache, %d/%d BW partitions in use\n",
+			vm.ID, len(current.Cores),
+			current.UsedCache(), plat.C, current.UsedBW(), plat.B)
+	}
+
+	if len(rejected) > 0 {
+		leaving := "guest-2"
+		fmt.Printf("\n%q departs; retrying %q\n", leaving, rejected[0].ID)
+		smaller, err := vc2m.Release(current, leaving)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if next, err := vc2m.Admit(smaller, rejected[0], vc2m.Options{}); err == nil {
+			current = next
+			fmt.Printf("  %-10s admitted after the departure\n", rejected[0].ID)
+		} else {
+			fmt.Printf("  %-10s still does not fit\n", rejected[0].ID)
+			current = smaller
+		}
+	}
+
+	res, err := vc2m.Simulate(current, 2000, vc2m.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal system simulated 2 s: %d jobs, %d deadline misses\n",
+		res.Released, res.Missed)
+}

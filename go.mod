@@ -1,0 +1,3 @@
+module vc2m
+
+go 1.22

@@ -1,0 +1,105 @@
+package vc2m_test
+
+import (
+	"errors"
+	"testing"
+
+	"vc2m"
+)
+
+// TestCrossPlatformPipeline runs the full user pipeline — generate,
+// allocate, validate, simulate — across every platform, distribution and
+// analysis mode at a moderate load, asserting the end-to-end guarantee
+// (schedulable implies zero misses) in each combination.
+func TestCrossPlatformPipeline(t *testing.T) {
+	platforms := []vc2m.Platform{vc2m.PlatformA, vc2m.PlatformB, vc2m.PlatformC}
+	dists := []string{"uniform", "light", "medium", "heavy"}
+	modes := []vc2m.Mode{vc2m.Flattening, vc2m.OverheadFree, vc2m.Auto}
+
+	checked := 0
+	for pi, plat := range platforms {
+		for di, dist := range dists {
+			sys, err := vc2m.GenerateWorkload(vc2m.WorkloadConfig{
+				Platform:      plat,
+				TargetRefUtil: 0.9,
+				Distribution:  dist,
+				Seed:          int64(100*pi + di),
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", plat.Name, dist, err)
+			}
+			for _, mode := range modes {
+				a, err := vc2m.Allocate(sys, vc2m.Options{Mode: mode, Seed: 7})
+				if errors.Is(err, vc2m.ErrNotSchedulable) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s/%s/%v: %v", plat.Name, dist, mode, err)
+				}
+				if err := a.Validate(sys.Tasks()); err != nil {
+					t.Errorf("%s/%s/%v: invalid allocation: %v", plat.Name, dist, mode, err)
+					continue
+				}
+				res, err := vc2m.Simulate(a, 2300, vc2m.SimOptions{})
+				if err != nil {
+					t.Fatalf("%s/%s/%v: %v", plat.Name, dist, mode, err)
+				}
+				if res.Missed != 0 {
+					t.Errorf("%s/%s/%v: %d deadline misses on a schedulable allocation",
+						plat.Name, dist, mode, res.Missed)
+				}
+				checked++
+			}
+		}
+	}
+	if checked < 12 {
+		t.Fatalf("only %d pipeline combinations were schedulable; expected most of %d",
+			checked, len(platforms)*len(dists)*len(modes))
+	}
+}
+
+// TestPipelineWithRegulationAndOverheads exercises the optional simulator
+// features together on one allocation: bandwidth regulation, context-switch
+// cost with matching analysis-side inflation, and response collection.
+func TestPipelineWithRegulationAndOverheads(t *testing.T) {
+	sys, err := vc2m.GenerateWorkload(vc2m.WorkloadConfig{
+		Platform:      vc2m.PlatformA,
+		TargetRefUtil: 0.7,
+		Seed:          11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := vc2m.Allocate(sys, vc2m.Options{
+		Mode:      vc2m.Flattening,
+		Overheads: vc2m.Overheads{VCPUPreemption: 0.5},
+	})
+	if errors.Is(err, vc2m.ErrNotSchedulable) {
+		t.Skip("unschedulable with inflation at this seed")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	memRate := map[string]float64{}
+	budgets := make([]int64, len(a.Cores))
+	for i := range budgets {
+		budgets[i] = 100000 // generous: regulation armed but not binding
+	}
+	for _, task := range sys.Tasks() {
+		memRate[task.ID] = 200
+	}
+	res, err := vc2m.Simulate(a, 2300, vc2m.SimOptions{
+		RegulationPeriodMs: 1,
+		BWBudgets:          budgets,
+		MemRate:            memRate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed != 0 {
+		t.Errorf("%d misses with generous budgets and inflated analysis", res.Missed)
+	}
+	if res.BWReplenishments < 2200 {
+		t.Errorf("regulator ticked %d times, want ~2300", res.BWReplenishments)
+	}
+}

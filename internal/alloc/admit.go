@@ -1,0 +1,230 @@
+package alloc
+
+import (
+	"fmt"
+
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+)
+
+// Admit performs online admission control: it tries to place a newly
+// arriving VM's tasks onto an existing schedulable allocation without
+// disturbing anything already placed — no existing VCPU migrates and no
+// partition is taken away from a core. New VCPUs are computed with the
+// given mode (flattening by default), placed on the core whose
+// post-placement utilization is smallest; when no core can take a VCPU
+// under its current partitions, spare (still unallocated) cache/BW
+// partitions are granted greedily to the core where they reduce
+// utilization most, mirroring Phase 2 of the offline algorithm.
+//
+// On success a new Allocation is returned (the input is not modified); on
+// failure ErrNotSchedulable is returned and the running system is
+// untouched — exactly the contract an online admission controller needs.
+func Admit(existing *model.Allocation, vm *model.VM, mode CSAMode, rng *rngutil.RNG) (*model.Allocation, error) {
+	if existing == nil || !existing.Schedulable {
+		return nil, fmt.Errorf("alloc: Admit requires an existing schedulable allocation")
+	}
+	if rng == nil {
+		rng = rngutil.New(0)
+	}
+	plat := existing.Platform
+
+	firstIndex := 0
+	for _, v := range existing.VCPUs() {
+		if v.Index >= firstIndex {
+			firstIndex = v.Index + 1
+		}
+	}
+	newVCPUs, err := VMLevel(vm, plat, VMLevelConfig{Mode: mode}, firstIndex, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Working copy: share VCPU pointers of existing cores (they are not
+	// modified), copy the per-core slices and partition counts.
+	cores := make([]*coreState, len(existing.Cores))
+	coreIDs := make([]int, len(existing.Cores))
+	for i, ca := range existing.Cores {
+		cores[i] = &coreState{
+			vcpus: append([]*model.VCPU(nil), ca.VCPUs...),
+			cache: ca.Cache,
+			bw:    ca.BW,
+		}
+		coreIDs[i] = ca.Core
+	}
+	spareCache := plat.C - existing.UsedCache()
+	spareBW := plat.B - existing.UsedBW()
+
+	// Bring unused physical cores into play (with the minimum partitions)
+	// if the platform has them and spares allow.
+	used := map[int]bool{}
+	for _, id := range coreIDs {
+		used[id] = true
+	}
+	for id := 0; id < plat.M; id++ {
+		if used[id] {
+			continue
+		}
+		if spareCache >= plat.Cmin && spareBW >= plat.Bmin {
+			cores = append(cores, &coreState{cache: plat.Cmin, bw: plat.Bmin})
+			coreIDs = append(coreIDs, id)
+			spareCache -= plat.Cmin
+			spareBW -= plat.Bmin
+		}
+	}
+
+	for _, v := range newVCPUs {
+		if placeBest(cores, v) {
+			continue
+		}
+		// No core fits under current partitions: pick the host that would
+		// be best after receiving every remaining spare partition, then
+		// grant spares to it one by one until the VCPU fits. Committing
+		// to one host avoids scattering grants across cores, none of
+		// which would then become feasible.
+		host := chooseGrowableHost(cores, plat, v, spareCache, spareBW)
+		if host < 0 {
+			return nil, model.ErrNotSchedulable
+		}
+		for !fitsOn(cores[host], v) {
+			if !grantTo(cores[host], plat, v, &spareCache, &spareBW) {
+				return nil, model.ErrNotSchedulable
+			}
+		}
+		cores[host].vcpus = append(cores[host].vcpus, v)
+	}
+
+	out := &model.Allocation{
+		Platform:    plat,
+		Schedulable: true,
+		Solution:    existing.Solution + " + admitted " + vm.ID,
+	}
+	for i, cs := range cores {
+		if len(cs.vcpus) == 0 {
+			continue
+		}
+		out.Cores = append(out.Cores, &model.CoreAlloc{
+			Core:  coreIDs[i],
+			Cache: cs.cache,
+			BW:    cs.bw,
+			VCPUs: cs.vcpus,
+		})
+	}
+	return out, nil
+}
+
+// Release removes a VM's VCPUs from an allocation — the online departure
+// path complementing Admit. Cores keep their partition grants (returning
+// partitions to the spare pool is free capacity for the next Admit);
+// cores left without VCPUs are dropped, releasing their partitions
+// entirely. The input is not modified. Removing an unknown VM is an
+// error, so callers notice double-releases.
+func Release(existing *model.Allocation, vmID string) (*model.Allocation, error) {
+	if existing == nil {
+		return nil, fmt.Errorf("alloc: Release on nil allocation")
+	}
+	found := false
+	out := &model.Allocation{
+		Platform:    existing.Platform,
+		Schedulable: existing.Schedulable,
+		Solution:    existing.Solution + " - released " + vmID,
+	}
+	for _, ca := range existing.Cores {
+		kept := make([]*model.VCPU, 0, len(ca.VCPUs))
+		for _, v := range ca.VCPUs {
+			if v.VM == vmID {
+				found = true
+				continue
+			}
+			kept = append(kept, v)
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		out.Cores = append(out.Cores, &model.CoreAlloc{
+			Core: ca.Core, Cache: ca.Cache, BW: ca.BW, VCPUs: kept,
+		})
+	}
+	if !found {
+		return nil, fmt.Errorf("alloc: VM %q not present in allocation", vmID)
+	}
+	return out, nil
+}
+
+// placeBest puts v on the feasible core with the smallest resulting
+// utilization; reports success.
+func placeBest(cores []*coreState, v *model.VCPU) bool {
+	best := -1
+	bestUtil := 0.0
+	for i, cs := range cores {
+		after := cs.util() + v.Bandwidth(cs.cache, cs.bw)
+		if !schedulable(after) {
+			continue
+		}
+		if best == -1 || after < bestUtil {
+			best, bestUtil = i, after
+		}
+	}
+	if best == -1 {
+		return false
+	}
+	cores[best].vcpus = append(cores[best].vcpus, v)
+	return true
+}
+
+// fitsOn reports whether v fits on the core under its current partitions.
+func fitsOn(cs *coreState, v *model.VCPU) bool {
+	return schedulable(cs.util() + v.Bandwidth(cs.cache, cs.bw))
+}
+
+// chooseGrowableHost returns the index of the core with the smallest total
+// utilization (including v) under the maximal partitions it could reach
+// with the available spares, provided that utilization is schedulable; -1
+// if no core can ever host v.
+func chooseGrowableHost(cores []*coreState, plat model.Platform, v *model.VCPU, spareCache, spareBW int) int {
+	best := -1
+	bestUtil := 0.0
+	for i, cs := range cores {
+		maxC := cs.cache + spareCache
+		if maxC > plat.C {
+			maxC = plat.C
+		}
+		maxB := cs.bw + spareBW
+		if maxB > plat.B {
+			maxB = plat.B
+		}
+		after := cs.utilAt(maxC, maxB) + v.Bandwidth(maxC, maxB)
+		if !schedulable(after) {
+			continue
+		}
+		if best == -1 || after < bestUtil {
+			best, bestUtil = i, after
+		}
+	}
+	return best
+}
+
+// grantTo gives the host one spare partition, cache or BW, whichever
+// reduces the host's prospective utilization (including v) more; reports
+// whether a grant with positive effect happened.
+func grantTo(cs *coreState, plat model.Platform, v *model.VCPU, spareCache, spareBW *int) bool {
+	cur := cs.util() + v.Bandwidth(cs.cache, cs.bw)
+	gainCache, gainBW := 0.0, 0.0
+	if *spareCache > 0 && cs.cache < plat.C {
+		gainCache = gain(cur, cs.utilAt(cs.cache+1, cs.bw)+v.Bandwidth(cs.cache+1, cs.bw))
+	}
+	if *spareBW > 0 && cs.bw < plat.B {
+		gainBW = gain(cur, cs.utilAt(cs.cache, cs.bw+1)+v.Bandwidth(cs.cache, cs.bw+1))
+	}
+	switch {
+	case gainCache <= schedEps && gainBW <= schedEps:
+		return false
+	case gainCache >= gainBW:
+		cs.cache++
+		*spareCache--
+	default:
+		cs.bw++
+		*spareBW--
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package alloc
+
+import (
+	"testing"
+
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+)
+
+func TestAutoModeFlattensWhenAllowed(t *testing.T) {
+	p := model.PlatformA
+	vm := mkVM("vm1",
+		model.SimpleTask("t1", p, 100, 10),
+		model.SimpleTask("t2", p, 200, 30),
+	)
+	vcpus, err := VMLevel(vm, p, VMLevelConfig{Mode: Auto}, 0, rngutil.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vcpus) != 2 {
+		t.Fatalf("Auto without a VCPU limit produced %d VCPUs, want 2 (flattening)", len(vcpus))
+	}
+	for _, v := range vcpus {
+		if !v.SyncedRelease {
+			t.Errorf("VCPU %s not flattened", v.ID)
+		}
+	}
+}
+
+func TestAutoModeFallsBackToWellRegulated(t *testing.T) {
+	p := model.PlatformA
+	vm := mkVM("vm1",
+		model.SimpleTask("t1", p, 100, 5),
+		model.SimpleTask("t2", p, 200, 10),
+		model.SimpleTask("t3", p, 400, 20),
+	)
+	vm.MaxVCPUs = 2 // fewer VCPUs than tasks: flattening impossible
+	vcpus, err := VMLevel(vm, p, VMLevelConfig{Mode: Auto}, 0, rngutil.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vcpus) > 2 {
+		t.Fatalf("Auto produced %d VCPUs, VM limit is 2", len(vcpus))
+	}
+	for _, v := range vcpus {
+		if !v.WellRegulated {
+			t.Errorf("VCPU %s should be well-regulated in the fallback path", v.ID)
+		}
+	}
+}
+
+func TestAutoModeMixedVMs(t *testing.T) {
+	// One unconstrained VM (flattened) and one constrained VM
+	// (well-regulated) in the same system, end to end.
+	p := model.PlatformA
+	vmA := mkVM("vmA",
+		model.SimpleTask("a1", p, 100, 10),
+		model.SimpleTask("a2", p, 200, 20),
+	)
+	vmB := mkVM("vmB",
+		model.SimpleTask("b1", p, 100, 5),
+		model.SimpleTask("b2", p, 200, 10),
+		model.SimpleTask("b3", p, 400, 20),
+	)
+	vmB.MaxVCPUs = 1
+	sys := &model.System{Platform: p, VMs: []*model.VM{vmA, vmB}}
+	h := &Heuristic{Mode: Auto}
+	a, err := h.Allocate(sys, rngutil.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(sys.Tasks()); err != nil {
+		t.Fatal(err)
+	}
+	flattened, regulated := 0, 0
+	for _, v := range a.VCPUs() {
+		switch {
+		case v.SyncedRelease:
+			flattened++
+		case v.WellRegulated:
+			regulated++
+		}
+	}
+	if flattened != 2 {
+		t.Errorf("flattened VCPUs = %d, want 2 (vmA)", flattened)
+	}
+	if regulated != 1 {
+		t.Errorf("well-regulated VCPUs = %d, want 1 (vmB, limit 1)", regulated)
+	}
+	if h.Name() != "Heuristic (auto)" {
+		t.Errorf("name = %q", h.Name())
+	}
+}

@@ -1,0 +1,285 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vc2m/internal/csa"
+	"vc2m/internal/model"
+	"vc2m/internal/parsec"
+)
+
+// baselineWCET returns a task's worst-case WCET as the baseline solution
+// assumes it: the execution time with no cache allocated and worst-case
+// memory bandwidth. When the task records its generating benchmark the
+// exact e^max = e* x s^max is reconstructed; otherwise the worst
+// allocatable configuration (Cmin, Bmin) is the closest representable
+// value.
+func baselineWCET(t *model.Task, plat model.Platform) float64 {
+	if t.Benchmark != "" {
+		if bm, err := parsec.ByName(t.Benchmark); err == nil {
+			return t.RefWCET() * bm.MaxSlowdown(plat)
+		}
+	}
+	return t.WCET.At(plat.Cmin, plat.Bmin)
+}
+
+// packExistingVCPUs packs one VM's tasks onto VCPUs using best-fit
+// decreasing under the existing CSA with scalar worst-case WCETs: tasks
+// are considered in decreasing worst-case utilization; each is added to
+// the feasible VCPU whose resulting bandwidth is highest (tightest fit),
+// where feasibility means the recomputed minimum periodic-resource budget
+// still fits within the VCPU period. A new VCPU is opened when no
+// existing one can take the task. It returns nil when some task is
+// infeasible even on a dedicated VCPU.
+func packExistingVCPUs(vm *model.VM, plat model.Platform, firstIndex int) []*model.VCPU {
+	type bin struct {
+		tasks  []*model.Task
+		theta  float64 // current minimum budget
+		period float64 // min task period
+	}
+
+	order := append([]*model.Task(nil), vm.Tasks...)
+	sort.SliceStable(order, func(a, b int) bool {
+		ua := baselineWCET(order[a], plat) / order[a].Period
+		ub := baselineWCET(order[b], plat) / order[b].Period
+		if ua != ub {
+			return ua > ub
+		}
+		return order[a].ID < order[b].ID
+	})
+
+	// tryPack computes the minimum budget for a candidate task group.
+	tryPack := func(tasks []*model.Task) (theta, period float64, ok bool) {
+		periods := make([]float64, len(tasks))
+		wcets := make([]float64, len(tasks))
+		period = math.Inf(1)
+		for i, t := range tasks {
+			periods[i] = t.Period
+			wcets[i] = baselineWCET(t, plat)
+			if t.Period < period {
+				period = t.Period
+			}
+		}
+		demand, err := csa.NewDemand(periods)
+		if err != nil {
+			return 0, 0, false
+		}
+		theta, ok = csa.MinBudgetForDemand(period, demand.Checkpoints(), demand.DBF(wcets))
+		return theta, period, ok
+	}
+
+	var bins []*bin
+	for _, t := range order {
+		bestBin := -1
+		bestBW := -1.0
+		var bestTheta, bestPeriod float64
+		for i, bn := range bins {
+			theta, period, ok := tryPack(append(append([]*model.Task(nil), bn.tasks...), t))
+			if !ok {
+				continue
+			}
+			if bw := theta / period; bw > bestBW {
+				bestBin, bestBW, bestTheta, bestPeriod = i, bw, theta, period
+			}
+		}
+		if bestBin >= 0 {
+			bins[bestBin].tasks = append(bins[bestBin].tasks, t)
+			bins[bestBin].theta, bins[bestBin].period = bestTheta, bestPeriod
+			continue
+		}
+		theta, period, ok := tryPack([]*model.Task{t})
+		if !ok {
+			return nil // task infeasible even alone
+		}
+		bins = append(bins, &bin{tasks: []*model.Task{t}, theta: theta, period: period})
+	}
+
+	out := make([]*model.VCPU, len(bins))
+	for i, bn := range bins {
+		out[i] = &model.VCPU{
+			ID:     fmt.Sprintf("%s/base-%d", vm.ID, firstIndex+i),
+			VM:     vm.ID,
+			Index:  firstIndex + i,
+			Period: bn.period,
+			Budget: model.ConstTable(plat, bn.theta),
+			Tasks:  append([]*model.Task(nil), bn.tasks...),
+		}
+	}
+	return out
+}
+
+// packVCPUsToCores places VCPUs onto at most m cores with best-fit
+// decreasing on bandwidth under the (cache, bw) allocation every core will
+// receive. It returns the per-core VCPU lists, or nil if some VCPU fits on
+// no core.
+func packVCPUsToCores(vcpus []*model.VCPU, m, cache, bw int) [][]*model.VCPU {
+	order := append([]*model.VCPU(nil), vcpus...)
+	sort.SliceStable(order, func(a, b int) bool {
+		ba, bb := order[a].Bandwidth(cache, bw), order[b].Bandwidth(cache, bw)
+		if ba != bb {
+			return ba > bb
+		}
+		return order[a].Index < order[b].Index
+	})
+	cores := make([][]*model.VCPU, m)
+	loads := make([]float64, m)
+	for _, v := range order {
+		need := v.Bandwidth(cache, bw)
+		best := -1
+		for c := 0; c < m; c++ {
+			if loads[c]+need > 1+schedEps {
+				continue
+			}
+			if best == -1 || loads[c] > loads[best] {
+				best = c // best-fit: highest current load that still fits
+			}
+		}
+		if best == -1 {
+			return nil
+		}
+		cores[best] = append(cores[best], v)
+		loads[best] += need
+	}
+	return cores
+}
+
+// evenSplit returns the per-core partition count when dividing total
+// partitions evenly among m cores, respecting the per-core maximum.
+func evenSplit(total, m, max int) int {
+	per := total / m
+	if per > max {
+		per = max
+	}
+	return per
+}
+
+// BaselineAllocate implements "Baseline (existing CSA)": VCPU parameters
+// from the existing compositional analysis with worst-case WCETs (no
+// cache, worst-case BW), best-fit bin packing of tasks onto VCPUs and of
+// VCPUs onto cores, and an even partition split for hardware validity
+// (the baseline analysis itself is resource-oblivious).
+func BaselineAllocate(sys *model.System, plat model.Platform) (*model.Allocation, error) {
+	var vcpus []*model.VCPU
+	for _, vm := range sys.VMs {
+		packed := packExistingVCPUs(vm, plat, len(vcpus))
+		if packed == nil {
+			return nil, model.ErrNotSchedulable
+		}
+		vcpus = append(vcpus, packed...)
+	}
+	for m := 1; m <= plat.M; m++ {
+		cache := evenSplit(plat.C, m, plat.C)
+		bw := evenSplit(plat.B, m, plat.B)
+		if cache < plat.Cmin || bw < plat.Bmin {
+			break
+		}
+		cores := packVCPUsToCores(vcpus, m, cache, bw)
+		if cores == nil {
+			continue
+		}
+		return coresToAllocation(cores, plat, cache, bw), nil
+	}
+	return nil, model.ErrNotSchedulable
+}
+
+// EvenlyPartitionAllocate implements "Evenly-partition (overhead-free
+// CSA)": the overhead-free analysis on well-regulated VCPUs, but with
+// cache and BW divided evenly among cores and plain best-fit bin packing
+// of tasks onto VCPUs and VCPUs onto cores (no slowdown clustering, no
+// incremental resource allocation, no load balancing).
+func EvenlyPartitionAllocate(sys *model.System, plat model.Platform) (*model.Allocation, error) {
+	for m := 1; m <= plat.M; m++ {
+		cache := evenSplit(plat.C, m, plat.C)
+		bw := evenSplit(plat.B, m, plat.B)
+		if cache < plat.Cmin || bw < plat.Bmin {
+			break
+		}
+		var vcpus []*model.VCPU
+		feasible := true
+		for _, vm := range sys.VMs {
+			packed, err := packOverheadFreeVCPUs(vm, plat, cache, bw, len(vcpus))
+			if err != nil {
+				return nil, err
+			}
+			if packed == nil {
+				feasible = false
+				break
+			}
+			vcpus = append(vcpus, packed...)
+		}
+		if !feasible {
+			continue
+		}
+		cores := packVCPUsToCores(vcpus, m, cache, bw)
+		if cores == nil {
+			continue
+		}
+		return coresToAllocation(cores, plat, cache, bw), nil
+	}
+	return nil, model.ErrNotSchedulable
+}
+
+// packOverheadFreeVCPUs packs one VM's tasks onto well-regulated VCPUs
+// with best-fit decreasing on the tasks' utilization under the (cache, bw)
+// allocation, opening a new VCPU whenever a task fits nowhere (a VCPU is
+// feasible while its taskset utilization is at most 1, by Theorem 2). It
+// returns nil when some task alone exceeds a full VCPU, and an error for
+// non-harmonic tasksets.
+func packOverheadFreeVCPUs(vm *model.VM, plat model.Platform, cache, bw, firstIndex int) ([]*model.VCPU, error) {
+	order := append([]*model.Task(nil), vm.Tasks...)
+	sort.SliceStable(order, func(a, b int) bool {
+		ua, ub := order[a].Util(cache, bw), order[b].Util(cache, bw)
+		if ua != ub {
+			return ua > ub
+		}
+		return order[a].ID < order[b].ID
+	})
+	var bins [][]*model.Task
+	var loads []float64
+	for _, t := range order {
+		u := t.Util(cache, bw)
+		if u > 1+schedEps {
+			return nil, nil
+		}
+		best := -1
+		for i, load := range loads {
+			if load+u > 1+schedEps {
+				continue
+			}
+			if best == -1 || loads[i] > loads[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			bins = append(bins, nil)
+			loads = append(loads, 0)
+			best = len(bins) - 1
+		}
+		bins[best] = append(bins[best], t)
+		loads[best] += u
+	}
+	out := make([]*model.VCPU, len(bins))
+	for i, group := range bins {
+		v, err := csa.WellRegulatedVCPU(group, firstIndex+i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// coresToAllocation freezes per-core VCPU lists with a uniform partition
+// split into a model.Allocation.
+func coresToAllocation(cores [][]*model.VCPU, plat model.Platform, cache, bw int) *model.Allocation {
+	out := &model.Allocation{Platform: plat, Schedulable: true}
+	for i, vs := range cores {
+		out.Cores = append(out.Cores, &model.CoreAlloc{
+			Core: i, Cache: cache, BW: bw,
+			VCPUs: append([]*model.VCPU(nil), vs...),
+		})
+	}
+	return out
+}

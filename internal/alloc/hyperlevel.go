@@ -1,0 +1,381 @@
+package alloc
+
+import (
+	"math"
+	"sort"
+
+	"vc2m/internal/csa"
+	"vc2m/internal/kmeans"
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+)
+
+// HyperConfig parameterizes the hypervisor-level allocation of Section 4.3.
+type HyperConfig struct {
+	// MaxIters is the number of random cluster permutations tried per core
+	// count (the user-defined iteration bound of the paper); 0 defaults
+	// to 10.
+	MaxIters int
+	// Clusters is the KMeans cluster count for grouping VCPUs by slowdown
+	// similarity; 0 defaults to min(3, #VCPUs).
+	Clusters int
+	// MaxBalanceRounds bounds the Phase 3 <-> Phase 2 loop per packing;
+	// 0 defaults to 16.
+	MaxBalanceRounds int
+	// Overheads inflates VCPU budgets for intra-core preemption and
+	// completion overhead before allocation ([17]); zero disables.
+	Overheads csa.Overheads
+
+	// Ablation switches, used by the design-choice benchmarks to quantify
+	// what each ingredient of the heuristic contributes.
+
+	// NoClustering places all VCPUs in a single cluster, removing the
+	// slowdown-similarity grouping.
+	NoClustering bool
+	// NoLoadBalance skips Phase 3 (the migration of VCPUs away from
+	// unschedulable cores), retrying Phase 1 with a new permutation
+	// instead.
+	NoLoadBalance bool
+	// NoResourceGrowth replaces Phase 2's demand-driven partition grants
+	// with an even split of all partitions across the cores.
+	NoResourceGrowth bool
+}
+
+func (cfg HyperConfig) withDefaults(n int) HyperConfig {
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 10
+	}
+	if cfg.Clusters <= 0 {
+		cfg.Clusters = 3
+	}
+	if cfg.Clusters > n && n > 0 {
+		cfg.Clusters = n
+	}
+	if cfg.MaxBalanceRounds <= 0 {
+		cfg.MaxBalanceRounds = 16
+	}
+	return cfg
+}
+
+// coreState is a core's working assignment during the search.
+type coreState struct {
+	vcpus []*model.VCPU
+	cache int
+	bw    int
+}
+
+// util returns the core's total VCPU bandwidth under its current partition
+// allocation; +Inf entries (existing-CSA infeasible allocations) propagate.
+func (cs *coreState) util() float64 {
+	var u float64
+	for _, v := range cs.vcpus {
+		u += v.Bandwidth(cs.cache, cs.bw)
+	}
+	return u
+}
+
+// utilAt evaluates the core's bandwidth under a hypothetical allocation.
+func (cs *coreState) utilAt(cache, bw int) float64 {
+	var u float64
+	for _, v := range cs.vcpus {
+		u += v.Bandwidth(cache, bw)
+	}
+	return u
+}
+
+const schedEps = 1e-9
+
+func schedulable(u float64) bool { return u <= 1+schedEps }
+
+// HyperLevel maps VCPUs onto cores and allocates cache/BW partitions per
+// the heuristic of Section 4.3: it tries m = 1..M cores; for each m it
+// clusters VCPUs by slowdown similarity and repeats (Phase 1) packing under
+// a random cluster permutation, (Phase 2) incremental resource allocation,
+// and (Phase 3) load balancing, until the system is schedulable or the
+// iteration budget is exhausted. It returns model.ErrNotSchedulable when no
+// feasible allocation is found.
+func HyperLevel(vcpus []*model.VCPU, plat model.Platform, cfg HyperConfig, rng *rngutil.RNG) (*model.Allocation, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	if len(vcpus) == 0 {
+		return &model.Allocation{Platform: plat, Schedulable: true}, nil
+	}
+	cfg = cfg.withDefaults(len(vcpus))
+
+	inflated := make([]*model.VCPU, len(vcpus))
+	for i, v := range vcpus {
+		inflated[i] = cfg.Overheads.InflateVCPU(v)
+	}
+
+	// Quick infeasibility screen: a VCPU whose bandwidth exceeds 1 even
+	// under the full allocation can never be scheduled.
+	for _, v := range inflated {
+		if !schedulable(v.RefBandwidth()) {
+			return nil, model.ErrNotSchedulable
+		}
+	}
+
+	var groups [][]*model.VCPU
+	if cfg.NoClustering {
+		groups = [][]*model.VCPU{append([]*model.VCPU(nil), inflated...)}
+	} else {
+		points := make([][]float64, len(inflated))
+		for i, v := range inflated {
+			points[i] = clampVector(v.Budget.Slowdown())
+		}
+		clustering := kmeans.Cluster(points, cfg.Clusters, rng)
+		groups = make([][]*model.VCPU, clustering.K)
+		for i, c := range clustering.Assign {
+			groups[c] = append(groups[c], inflated[i])
+		}
+	}
+	// Within each cluster, sort by decreasing reference utilization once.
+	for _, g := range groups {
+		sort.SliceStable(g, func(a, b int) bool {
+			ua, ub := g[a].RefBandwidth(), g[b].RefBandwidth()
+			if ua != ub {
+				return ua > ub
+			}
+			return g[a].Index < g[b].Index
+		})
+	}
+
+	for m := 1; m <= plat.M; m++ {
+		if plat.Cmin*m > plat.C || plat.Bmin*m > plat.B {
+			break // not enough partitions to give every core its minimum
+		}
+		for iter := 0; iter < cfg.MaxIters; iter++ {
+			perm := rng.Perm(len(groups))
+			cores := packPhase1(groups, perm, m)
+			if ok := allocateAndBalance(cores, plat, cfg); ok {
+				return buildAllocation(cores, plat), nil
+			}
+		}
+	}
+	return nil, model.ErrNotSchedulable
+}
+
+// packPhase1 packs VCPUs onto m cores: clusters are visited in permutation
+// order, VCPUs within a cluster in decreasing reference utilization, each
+// placed on the core with the smallest total reference utilization so that
+// all cores end up with similar loads.
+func packPhase1(groups [][]*model.VCPU, perm []int, m int) []*coreState {
+	cores := make([]*coreState, m)
+	for i := range cores {
+		cores[i] = &coreState{}
+	}
+	refLoad := make([]float64, m)
+	for _, g := range perm {
+		for _, v := range groups[g] {
+			best := 0
+			for c := 1; c < m; c++ {
+				if refLoad[c] < refLoad[best] {
+					best = c
+				}
+			}
+			cores[best].vcpus = append(cores[best].vcpus, v)
+			refLoad[best] += v.RefBandwidth()
+		}
+	}
+	return cores
+}
+
+// allocateAndBalance runs Phase 2 (resource allocation) and Phase 3 (load
+// balancing) alternately until the system is schedulable, balancing stops
+// helping, or the round budget is exhausted. It reports success; on
+// success the cores hold their final VCPU and partition assignments.
+func allocateAndBalance(cores []*coreState, plat model.Platform, cfg HyperConfig) bool {
+	phase2 := allocatePhase2
+	if cfg.NoResourceGrowth {
+		phase2 = allocateEven
+	}
+	if phase2(cores, plat) {
+		return true
+	}
+	if cfg.NoLoadBalance {
+		return false
+	}
+	prevOverload := totalOverload(cores)
+	for round := 0; round < cfg.MaxBalanceRounds; round++ {
+		if !balancePhase3(cores) {
+			return false // no migration possible: no benefit in balancing
+		}
+		if phase2(cores, plat) {
+			return true
+		}
+		over := totalOverload(cores)
+		if over >= prevOverload-schedEps {
+			return false // balancing no longer helps
+		}
+		prevOverload = over
+	}
+	return false
+}
+
+// allocateEven is the NoResourceGrowth ablation: every core receives an
+// equal share of the partitions regardless of demand.
+func allocateEven(cores []*coreState, plat model.Platform) bool {
+	cache := plat.C / len(cores)
+	bw := plat.B / len(cores)
+	if cache < plat.Cmin || bw < plat.Bmin {
+		return false
+	}
+	ok := true
+	for _, cs := range cores {
+		cs.cache, cs.bw = cache, bw
+		if !schedulable(cs.util()) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// allocatePhase2 distributes cache and BW partitions: every core starts at
+// (Cmin, Bmin); while some core is unschedulable and spare partitions
+// remain, the unschedulable core with the highest utilization reduction
+// from one extra partition (cache or BW, whichever helps it more) receives
+// that partition. It reports whether all cores became schedulable.
+func allocatePhase2(cores []*coreState, plat model.Platform) bool {
+	for _, cs := range cores {
+		cs.cache, cs.bw = plat.Cmin, plat.Bmin
+	}
+	spareCache := plat.C - plat.Cmin*len(cores)
+	spareBW := plat.B - plat.Bmin*len(cores)
+	if spareCache < 0 || spareBW < 0 {
+		return false
+	}
+
+	for {
+		allOK := true
+		bestCore, bestIsCache := -1, false
+		bestGain := 0.0
+		for i, cs := range cores {
+			u := cs.util()
+			if schedulable(u) {
+				continue
+			}
+			allOK = false
+			if spareCache > 0 && cs.cache < plat.C {
+				if g := gain(u, cs.utilAt(cs.cache+1, cs.bw)); g > bestGain {
+					bestGain, bestCore, bestIsCache = g, i, true
+				}
+			}
+			if spareBW > 0 && cs.bw < plat.B {
+				if g := gain(u, cs.utilAt(cs.cache, cs.bw+1)); g > bestGain {
+					bestGain, bestCore, bestIsCache = g, i, false
+				}
+			}
+		}
+		if allOK {
+			return true
+		}
+		if bestCore < 0 || bestGain <= schedEps {
+			return false // no partition helps any unschedulable core
+		}
+		if bestIsCache {
+			cores[bestCore].cache++
+			spareCache--
+		} else {
+			cores[bestCore].bw++
+			spareBW--
+		}
+	}
+}
+
+// gain returns the utilization reduction achieved by an extra partition,
+// treating a transition from an infeasible (+Inf) to a finite utilization
+// as a very large gain so that such cores are prioritized.
+func gain(old, new_ float64) float64 {
+	if math.IsInf(old, 1) {
+		if math.IsInf(new_, 1) {
+			return 0
+		}
+		return 1e18 - new_
+	}
+	return old - new_
+}
+
+// balancePhase3 migrates one VCPU from each unschedulable core to the
+// schedulable core that will have the smallest utilization after the
+// migration. It reports whether at least one migration happened.
+func balancePhase3(cores []*coreState) bool {
+	moved := false
+	for _, src := range cores {
+		for !schedulable(src.util()) {
+			vi, dst := pickMigration(cores, src)
+			if vi < 0 {
+				break // nowhere to move anything
+			}
+			v := src.vcpus[vi]
+			src.vcpus = append(src.vcpus[:vi], src.vcpus[vi+1:]...)
+			dst.vcpus = append(dst.vcpus, v)
+			moved = true
+		}
+	}
+	return moved
+}
+
+// pickMigration chooses which VCPU of src to migrate and its destination:
+// the largest-bandwidth VCPU on src, placed onto the schedulable core
+// whose post-migration utilization is smallest. It returns (-1, nil) when
+// no schedulable destination can accept any VCPU while staying
+// schedulable.
+func pickMigration(cores []*coreState, src *coreState) (int, *coreState) {
+	order := make([]int, len(src.vcpus))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return src.vcpus[order[a]].RefBandwidth() > src.vcpus[order[b]].RefBandwidth()
+	})
+	for _, vi := range order {
+		v := src.vcpus[vi]
+		var best *coreState
+		bestUtil := math.Inf(1)
+		for _, dst := range cores {
+			if dst == src || !schedulable(dst.util()) {
+				continue
+			}
+			after := dst.util() + v.Bandwidth(dst.cache, dst.bw)
+			if schedulable(after) && after < bestUtil {
+				best, bestUtil = dst, after
+			}
+		}
+		if best != nil {
+			return vi, best
+		}
+	}
+	return -1, nil
+}
+
+// totalOverload sums each core's utilization excess over 1, the progress
+// metric for the balancing loop. Infinite utilizations are clamped so the
+// metric stays comparable.
+func totalOverload(cores []*coreState) float64 {
+	var over float64
+	for _, cs := range cores {
+		u := cs.util()
+		if math.IsInf(u, 1) {
+			u = 1e18
+		}
+		if u > 1 {
+			over += u - 1
+		}
+	}
+	return over
+}
+
+// buildAllocation freezes the search state into a model.Allocation.
+func buildAllocation(cores []*coreState, plat model.Platform) *model.Allocation {
+	out := &model.Allocation{Platform: plat, Schedulable: true}
+	for i, cs := range cores {
+		out.Cores = append(out.Cores, &model.CoreAlloc{
+			Core:  i,
+			Cache: cs.cache,
+			BW:    cs.bw,
+			VCPUs: append([]*model.VCPU(nil), cs.vcpus...),
+		})
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package alloc
+
+import (
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+)
+
+// Allocator is a complete allocation strategy: given a system, it computes
+// the tasks-to-VCPUs mapping, the VCPUs-to-cores mapping and the per-core
+// cache/BW partition counts, or reports the system unschedulable.
+type Allocator interface {
+	// Name returns the legend label used in the paper's figures.
+	Name() string
+	// Allocate computes an allocation. It returns model.ErrNotSchedulable
+	// when the strategy finds no feasible allocation; any other error
+	// indicates a precondition violation (e.g. non-harmonic periods for
+	// the overhead-free analysis).
+	Allocate(sys *model.System, rng *rngutil.RNG) (*model.Allocation, error)
+}
+
+// Heuristic is vC2M's allocator: the VM-level clustering/packing algorithm
+// combined with the hypervisor-level three-phase heuristic, parameterized
+// by the analysis used for VCPU budgets.
+type Heuristic struct {
+	// Mode selects the VM-level analysis.
+	Mode CSAMode
+	// VMLevel configures task clustering; the Mode field inside is
+	// overridden by Mode.
+	VMLevel VMLevelConfig
+	// Hyper configures the hypervisor-level search.
+	Hyper HyperConfig
+}
+
+// Name implements Allocator.
+func (h *Heuristic) Name() string { return "Heuristic (" + h.Mode.String() + ")" }
+
+// Allocate implements Allocator. A nil RNG falls back to a fixed seed, so
+// the call is deterministic either way.
+func (h *Heuristic) Allocate(sys *model.System, rng *rngutil.RNG) (*model.Allocation, error) {
+	if rng == nil {
+		rng = rngutil.New(0)
+	}
+	vmCfg := h.VMLevel
+	vmCfg.Mode = h.Mode
+	var vcpus []*model.VCPU
+	for _, vm := range sys.VMs {
+		vs, err := VMLevel(vm, sys.Platform, vmCfg, len(vcpus), rng)
+		if err != nil {
+			return nil, err
+		}
+		vcpus = append(vcpus, vs...)
+	}
+	a, err := HyperLevel(vcpus, sys.Platform, h.Hyper, rng)
+	if err != nil {
+		return nil, err
+	}
+	a.Solution = h.Name()
+	return a, nil
+}
+
+// EvenlyPartition is the "Evenly-partition (overhead-free CSA)" solution.
+type EvenlyPartition struct{}
+
+// Name implements Allocator.
+func (EvenlyPartition) Name() string { return "Evenly-partition (overhead-free CSA)" }
+
+// Allocate implements Allocator.
+func (EvenlyPartition) Allocate(sys *model.System, _ *rngutil.RNG) (*model.Allocation, error) {
+	a, err := EvenlyPartitionAllocate(sys, sys.Platform)
+	if err != nil {
+		return nil, err
+	}
+	a.Solution = EvenlyPartition{}.Name()
+	return a, nil
+}
+
+// Baseline is the "Baseline (existing CSA)" solution.
+type Baseline struct{}
+
+// Name implements Allocator.
+func (Baseline) Name() string { return "Baseline (existing CSA)" }
+
+// Allocate implements Allocator.
+func (Baseline) Allocate(sys *model.System, _ *rngutil.RNG) (*model.Allocation, error) {
+	a, err := BaselineAllocate(sys, sys.Platform)
+	if err != nil {
+		return nil, err
+	}
+	a.Solution = Baseline{}.Name()
+	return a, nil
+}
+
+// PaperSolutions returns the five solutions evaluated in Section 5, in the
+// legend order of Figures 2-4: Baseline (existing CSA), Evenly-partition
+// (overhead-free CSA), Heuristic (existing CSA), Heuristic (overhead-free
+// CSA), Heuristic (flattening).
+func PaperSolutions() []Allocator {
+	return []Allocator{
+		Baseline{},
+		EvenlyPartition{},
+		&Heuristic{Mode: ExistingCSA},
+		&Heuristic{Mode: OverheadFree},
+		&Heuristic{Mode: Flattening},
+	}
+}

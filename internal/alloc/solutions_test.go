@@ -1,0 +1,180 @@
+package alloc
+
+import (
+	"errors"
+	"testing"
+
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+	"vc2m/internal/workload"
+)
+
+func genSystem(t *testing.T, target float64, seed int64) *model.System {
+	t.Helper()
+	sys, err := workload.Generate(workload.Config{
+		Platform:      model.PlatformA,
+		TargetRefUtil: target,
+		Dist:          workload.Uniform,
+	}, rngutil.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestPaperSolutionsNamesAndOrder(t *testing.T) {
+	want := []string{
+		"Baseline (existing CSA)",
+		"Evenly-partition (overhead-free CSA)",
+		"Heuristic (existing CSA)",
+		"Heuristic (overhead-free CSA)",
+		"Heuristic (flattening)",
+	}
+	sols := PaperSolutions()
+	if len(sols) != len(want) {
+		t.Fatalf("PaperSolutions returned %d solutions, want %d", len(sols), len(want))
+	}
+	for i, s := range sols {
+		if s.Name() != want[i] {
+			t.Errorf("solution %d = %q, want %q", i, s.Name(), want[i])
+		}
+	}
+}
+
+func TestAllSolutionsScheduleLightWorkload(t *testing.T) {
+	// A very light taskset must be schedulable under every solution.
+	sys := genSystem(t, 0.2, 1)
+	for _, sol := range PaperSolutions() {
+		a, err := sol.Allocate(sys, rngutil.New(10))
+		if err != nil {
+			t.Errorf("%s: light workload unschedulable: %v", sol.Name(), err)
+			continue
+		}
+		if !a.Schedulable {
+			t.Errorf("%s: allocation not marked schedulable", sol.Name())
+		}
+		if a.Solution != sol.Name() {
+			t.Errorf("%s: allocation labeled %q", sol.Name(), a.Solution)
+		}
+		if err := a.Validate(sys.Tasks()); err != nil {
+			t.Errorf("%s: allocation invalid: %v", sol.Name(), err)
+		}
+	}
+}
+
+func TestAllSolutionsRejectImpossibleWorkload(t *testing.T) {
+	// Reference utilization far above the platform's 4 cores.
+	sys := genSystem(t, 6.0, 2)
+	for _, sol := range PaperSolutions() {
+		_, err := sol.Allocate(sys, rngutil.New(11))
+		if !errors.Is(err, model.ErrNotSchedulable) {
+			t.Errorf("%s: expected ErrNotSchedulable for utilization 6.0 on 4 cores, got %v",
+				sol.Name(), err)
+		}
+	}
+}
+
+func TestVC2MBeatsBaseline(t *testing.T) {
+	// The headline result: at moderate utilizations vC2M schedules
+	// tasksets the baseline cannot. Checked across seeds; flattening must
+	// win strictly more often than baseline and never lose to it.
+	flat := &Heuristic{Mode: Flattening}
+	base := Baseline{}
+	flatWins, baseWins := 0, 0
+	for seed := int64(0); seed < 12; seed++ {
+		sys := genSystem(t, 1.0, 100+seed)
+		_, errF := flat.Allocate(sys, rngutil.New(7))
+		_, errB := base.Allocate(sys, rngutil.New(7))
+		if errF == nil && errB != nil {
+			flatWins++
+		}
+		if errB == nil && errF != nil {
+			baseWins++
+		}
+	}
+	if flatWins == 0 {
+		t.Error("flattening never scheduled a taskset the baseline missed at utilization 1.0")
+	}
+	if baseWins > 0 {
+		t.Errorf("baseline scheduled %d tasksets that flattening missed", baseWins)
+	}
+}
+
+func TestOverheadFreeTracksFlattening(t *testing.T) {
+	// Section 5.2: the overhead-free analysis performs close to
+	// flattening. At light-to-moderate load they should agree.
+	flat := &Heuristic{Mode: Flattening}
+	of := &Heuristic{Mode: OverheadFree}
+	agree, total := 0, 0
+	for seed := int64(0); seed < 10; seed++ {
+		sys := genSystem(t, 0.8, 200+seed)
+		_, errF := flat.Allocate(sys, rngutil.New(7))
+		_, errO := of.Allocate(sys, rngutil.New(7))
+		total++
+		if (errF == nil) == (errO == nil) {
+			agree++
+		}
+	}
+	if agree < total*7/10 {
+		t.Errorf("flattening and overhead-free agree on only %d/%d tasksets", agree, total)
+	}
+}
+
+func TestHeuristicAllocationsValidate(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		sys := genSystem(t, 1.2, 300+seed)
+		for _, sol := range PaperSolutions() {
+			a, err := sol.Allocate(sys, rngutil.New(seed))
+			if err != nil {
+				continue
+			}
+			if err := a.Validate(sys.Tasks()); err != nil {
+				t.Errorf("seed %d %s: %v", seed, sol.Name(), err)
+			}
+		}
+	}
+}
+
+func TestBaselineUnaffectedByRNG(t *testing.T) {
+	sys := genSystem(t, 0.5, 5)
+	a1, err1 := Baseline{}.Allocate(sys, rngutil.New(1))
+	a2, err2 := Baseline{}.Allocate(sys, rngutil.New(999))
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatal("baseline result depends on RNG")
+	}
+	if err1 == nil && len(a1.Cores) != len(a2.Cores) {
+		t.Error("baseline core count depends on RNG")
+	}
+}
+
+func TestEvenlyPartitionUsesEvenSplit(t *testing.T) {
+	sys := genSystem(t, 0.8, 6)
+	a, err := EvenlyPartition{}.Allocate(sys, rngutil.New(1))
+	if err != nil {
+		t.Skipf("unschedulable: %v", err)
+	}
+	if len(a.Cores) == 0 {
+		t.Fatal("no cores used")
+	}
+	c0, b0 := a.Cores[0].Cache, a.Cores[0].BW
+	for _, core := range a.Cores {
+		if core.Cache != c0 || core.BW != b0 {
+			t.Errorf("evenly-partition produced uneven split: core %d has (%d,%d), core 0 has (%d,%d)",
+				core.Core, core.Cache, core.BW, c0, b0)
+		}
+	}
+}
+
+func TestEvenSplit(t *testing.T) {
+	cases := []struct{ total, m, max, want int }{
+		{20, 4, 20, 5},
+		{20, 3, 20, 6},
+		{12, 4, 12, 3},
+		{20, 1, 20, 20},
+	}
+	for _, c := range cases {
+		if got := evenSplit(c.total, c.m, c.max); got != c.want {
+			t.Errorf("evenSplit(%d,%d,%d) = %d, want %d", c.total, c.m, c.max, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package alloc
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"vc2m/internal/model"
+	"vc2m/internal/parsec"
+	"vc2m/internal/rngutil"
+)
+
+func mkVM(id string, tasks ...*model.Task) *model.VM {
+	for _, t := range tasks {
+		t.VM = id
+	}
+	return &model.VM{ID: id, Tasks: tasks}
+}
+
+func TestCSAModeString(t *testing.T) {
+	cases := map[CSAMode]string{
+		Flattening:   "flattening",
+		OverheadFree: "overhead-free CSA",
+		ExistingCSA:  "existing CSA",
+		CSAMode(99):  "unknown",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestVMLevelFlattening(t *testing.T) {
+	p := model.PlatformA
+	vm := mkVM("vm1",
+		model.SimpleTask("t1", p, 100, 10),
+		model.SimpleTask("t2", p, 200, 30),
+	)
+	vcpus, err := VMLevel(vm, p, VMLevelConfig{Mode: Flattening}, 5, rngutil.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vcpus) != 2 {
+		t.Fatalf("flattening produced %d VCPUs, want 2 (one per task)", len(vcpus))
+	}
+	for i, v := range vcpus {
+		if !v.SyncedRelease {
+			t.Errorf("VCPU %d lacks SyncedRelease", i)
+		}
+		if v.Index != 5+i {
+			t.Errorf("VCPU %d index = %d, want %d", i, v.Index, 5+i)
+		}
+		if v.Period != vm.Tasks[i].Period {
+			t.Errorf("VCPU %d period = %v, want task period %v", i, v.Period, vm.Tasks[i].Period)
+		}
+	}
+}
+
+func TestVMLevelFlatteningRespectsVCPULimit(t *testing.T) {
+	p := model.PlatformA
+	vm := mkVM("vm1",
+		model.SimpleTask("t1", p, 100, 10),
+		model.SimpleTask("t2", p, 200, 30),
+	)
+	vm.MaxVCPUs = 1
+	_, err := VMLevel(vm, p, VMLevelConfig{Mode: Flattening}, 0, rngutil.New(1))
+	if !errors.Is(err, ErrTooManyTasks) {
+		t.Errorf("expected ErrTooManyTasks, got %v", err)
+	}
+}
+
+func TestVMLevelEmptyVM(t *testing.T) {
+	if _, err := VMLevel(&model.VM{ID: "e"}, model.PlatformA,
+		VMLevelConfig{Mode: Flattening}, 0, rngutil.New(1)); err == nil {
+		t.Error("empty VM accepted")
+	}
+}
+
+func TestVMLevelUnknownMode(t *testing.T) {
+	p := model.PlatformA
+	vm := mkVM("vm1", model.SimpleTask("t1", p, 100, 10))
+	if _, err := VMLevel(vm, p, VMLevelConfig{Mode: CSAMode(42)}, 0, rngutil.New(1)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestVMLevelOverheadFreeCoversAllTasksOnce(t *testing.T) {
+	p := model.PlatformA
+	bmNames := []string{"streamcluster", "swaptions", "canneal", "blackscholes", "ferret", "dedup"}
+	var tasks []*model.Task
+	for i, name := range bmNames {
+		bm, _ := parsec.ByName(name)
+		period := 100.0 * float64(int(1)<<uint(i%3))
+		tasks = append(tasks, &model.Task{
+			ID: name, Period: period,
+			WCET:      bm.WCETTable(p, period*0.15),
+			Benchmark: name,
+		})
+	}
+	vm := mkVM("vm1", tasks...)
+	vcpus, err := VMLevel(vm, p, VMLevelConfig{Mode: OverheadFree}, 0, rngutil.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vcpus) == 0 || len(vcpus) > p.M {
+		t.Fatalf("produced %d VCPUs, want between 1 and %d (min(#tasks, M))", len(vcpus), p.M)
+	}
+	seen := map[string]int{}
+	for _, v := range vcpus {
+		if !v.WellRegulated {
+			t.Errorf("VCPU %s not marked well-regulated", v.ID)
+		}
+		var util float64
+		for _, task := range v.Tasks {
+			seen[task.ID]++
+			util += task.RefUtil()
+		}
+		// Theorem 2: zero abstraction overhead.
+		if math.Abs(v.RefBandwidth()-util) > 1e-9 {
+			t.Errorf("VCPU %s bandwidth %v != taskset utilization %v", v.ID, v.RefBandwidth(), util)
+		}
+	}
+	for _, task := range tasks {
+		if seen[task.ID] != 1 {
+			t.Errorf("task %s mapped %d times, want 1", task.ID, seen[task.ID])
+		}
+	}
+}
+
+func TestVMLevelExistingCSAProducesBudgets(t *testing.T) {
+	p := model.PlatformA
+	vm := mkVM("vm1",
+		model.SimpleTask("t1", p, 100, 10),
+		model.SimpleTask("t2", p, 200, 20),
+	)
+	vcpus, err := VMLevel(vm, p, VMLevelConfig{Mode: ExistingCSA}, 0, rngutil.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var taskUtil, vcpuBW float64
+	for _, v := range vcpus {
+		vcpuBW += v.RefBandwidth()
+	}
+	for _, task := range vm.Tasks {
+		taskUtil += task.RefUtil()
+	}
+	// The existing CSA carries abstraction overhead: strictly more
+	// bandwidth than the taskset utilization.
+	if vcpuBW <= taskUtil {
+		t.Errorf("existing CSA bandwidth %v should exceed utilization %v", vcpuBW, taskUtil)
+	}
+}
+
+func TestVMLevelOverheadFreeRejectsNonHarmonic(t *testing.T) {
+	p := model.PlatformA
+	vm := mkVM("vm1",
+		model.SimpleTask("t1", p, 100, 10),
+		model.SimpleTask("t2", p, 150, 10),
+	)
+	// With one VCPU forced (M=1 means m=1), both tasks land together and
+	// Theorem 2's harmonicity requirement fails.
+	small := model.Platform{Name: "one", M: 1, C: 20, B: 20, Cmin: 2, Bmin: 1}
+	if _, err := VMLevel(vm, small, VMLevelConfig{Mode: OverheadFree}, 0, rngutil.New(1)); err == nil {
+		t.Error("non-harmonic taskset accepted by overhead-free analysis")
+	}
+}
+
+func TestVMLevelExistingCSAHandlesNonHarmonic(t *testing.T) {
+	// The existing analysis does not require harmonic periods (its demand
+	// machinery quantizes to ticks and takes the LCM).
+	p := model.PlatformA
+	vm := mkVM("vm1",
+		model.SimpleTask("t1", p, 100, 10),
+		model.SimpleTask("t2", p, 150, 15),
+	)
+	small := model.Platform{Name: "one", M: 1, C: 20, B: 20, Cmin: 2, Bmin: 1}
+	vcpus, err := VMLevel(vm, small, VMLevelConfig{Mode: ExistingCSA}, 0, rngutil.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vcpus) != 1 {
+		t.Fatalf("got %d VCPUs, want 1 on a single-core platform", len(vcpus))
+	}
+	// Bandwidth strictly above the 0.2 utilization (abstraction overhead).
+	if bw := vcpus[0].RefBandwidth(); bw <= 0.2 {
+		t.Errorf("bandwidth %v should exceed the taskset utilization 0.2", bw)
+	}
+}
+
+func TestVMLevelSingleTask(t *testing.T) {
+	p := model.PlatformA
+	vm := mkVM("vm1", model.SimpleTask("t1", p, 100, 10))
+	for _, mode := range []CSAMode{Flattening, OverheadFree, ExistingCSA} {
+		vcpus, err := VMLevel(vm, p, VMLevelConfig{Mode: mode}, 0, rngutil.New(1))
+		if err != nil {
+			t.Errorf("mode %v: %v", mode, err)
+			continue
+		}
+		if len(vcpus) != 1 {
+			t.Errorf("mode %v: %d VCPUs, want 1", mode, len(vcpus))
+		}
+	}
+}
+
+func TestVMLevelRespectsMaxVCPUs(t *testing.T) {
+	p := model.PlatformA
+	vm := mkVM("vm1",
+		model.SimpleTask("t1", p, 100, 5),
+		model.SimpleTask("t2", p, 100, 5),
+		model.SimpleTask("t3", p, 100, 5),
+	)
+	vm.MaxVCPUs = 2
+	vcpus, err := VMLevel(vm, p, VMLevelConfig{Mode: OverheadFree}, 0, rngutil.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vcpus) > 2 {
+		t.Errorf("produced %d VCPUs, limit is 2", len(vcpus))
+	}
+}
+
+func TestApportion(t *testing.T) {
+	groups := [][]int{{0, 1, 2}, {3, 4}, {5}}
+	counts := apportion([]float64{0.6, 0.3, 0.1}, groups, 4)
+	total := 0
+	for c, n := range counts {
+		if n < 1 {
+			t.Errorf("cluster %d got %d VCPUs, want at least 1", c, n)
+		}
+		if n > len(groups[c]) {
+			t.Errorf("cluster %d got %d VCPUs for %d tasks", c, n, len(groups[c]))
+		}
+		total += n
+	}
+	if total != 4 {
+		t.Errorf("apportioned %d VCPUs, want 4", total)
+	}
+	// The heaviest cluster receives the extra VCPU.
+	if counts[0] != 2 {
+		t.Errorf("heaviest cluster got %d, want 2: %v", counts[0], counts)
+	}
+}
+
+func TestApportionSaturation(t *testing.T) {
+	// More VCPUs than tasks: every cluster saturates at its task count.
+	groups := [][]int{{0}, {1}}
+	counts := apportion([]float64{0.5, 0.5}, groups, 10)
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Errorf("saturated apportion = %v, want [1 1]", counts)
+	}
+}
+
+func TestApportionZeroUtil(t *testing.T) {
+	groups := [][]int{{0, 1}, {2}}
+	counts := apportion([]float64{0, 0}, groups, 3)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 3 {
+		t.Errorf("zero-util apportion total = %d, want 3 (%v)", total, counts)
+	}
+}
+
+func TestClampVector(t *testing.T) {
+	v := clampVector([]float64{1, math.Inf(1), math.NaN(), 200})
+	for i, x := range v {
+		if x > slowdownCap || math.IsNaN(x) {
+			t.Errorf("entry %d = %v not clamped", i, x)
+		}
+	}
+	if v[0] != 1 {
+		t.Error("finite small entries must pass through")
+	}
+}

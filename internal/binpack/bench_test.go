@@ -1,0 +1,35 @@
+package binpack
+
+import "testing"
+
+func benchSizes(n int) []float64 {
+	sizes := make([]float64, n)
+	for i := range sizes {
+		sizes[i] = 0.05 + float64((i*37)%60)/100
+	}
+	return sizes
+}
+
+func BenchmarkPackBestFit(b *testing.B) {
+	sizes := benchSizes(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pack(sizes, 40, 1.0, BestFit)
+	}
+}
+
+func BenchmarkPackDecreasing(b *testing.B) {
+	sizes := benchSizes(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PackDecreasing(sizes, 40, 1.0, BestFit)
+	}
+}
+
+func BenchmarkMinBins(b *testing.B) {
+	sizes := benchSizes(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinBins(sizes, 1.0, BestFit)
+	}
+}

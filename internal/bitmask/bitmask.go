@@ -1,0 +1,41 @@
+// Package bitmask provides the capacity-bitmask helpers shared by the
+// cache simulator and the virtual CAT layer: CAT capacity bitmasks (CBMs)
+// are sets of ways encoded as bits, required by hardware to be non-empty
+// and contiguous.
+package bitmask
+
+import "math/bits"
+
+// Full returns a mask with the n lowest bits set. n must be in [0, 64].
+func Full(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// Contiguous reports whether the set bits of m form one contiguous run.
+// The empty mask is not contiguous (CAT rejects empty CBMs).
+func Contiguous(m uint64) bool {
+	if m == 0 {
+		return false
+	}
+	shifted := m >> uint(bits.TrailingZeros64(m))
+	return shifted&(shifted+1) == 0
+}
+
+// Count returns the number of set bits.
+func Count(m uint64) int { return bits.OnesCount64(m) }
+
+// Range returns a contiguous mask of count bits starting at bit base.
+func Range(base, count int) uint64 {
+	return Full(count) << uint(base)
+}
+
+// Within reports whether every set bit of m lies below bit n.
+func Within(m uint64, n int) bool {
+	return m&^Full(n) == 0
+}

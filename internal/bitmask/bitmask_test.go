@@ -1,0 +1,78 @@
+package bitmask
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFull(t *testing.T) {
+	cases := map[int]uint64{
+		0:  0,
+		1:  0b1,
+		4:  0b1111,
+		64: ^uint64(0),
+		-3: 0,
+		70: ^uint64(0),
+	}
+	for n, want := range cases {
+		if got := Full(n); got != want {
+			t.Errorf("Full(%d) = %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+func TestContiguous(t *testing.T) {
+	cases := map[uint64]bool{
+		0:             false,
+		0b1:           true,
+		0b110:         true,
+		0b101:         false,
+		0b111100:      true,
+		1 << 63:       true,
+		(1 << 63) | 1: false,
+	}
+	for m, want := range cases {
+		if got := Contiguous(m); got != want {
+			t.Errorf("Contiguous(%#x) = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	if got := Range(3, 2); got != 0b11000 {
+		t.Errorf("Range(3,2) = %#b, want 0b11000", got)
+	}
+	if got := Range(0, 0); got != 0 {
+		t.Errorf("Range(0,0) = %#x, want 0", got)
+	}
+}
+
+func TestRangeAlwaysContiguousProperty(t *testing.T) {
+	f := func(baseRaw, countRaw uint8) bool {
+		base := int(baseRaw % 60)
+		count := int(countRaw%4) + 1
+		m := Range(base, count)
+		return Contiguous(m) && Count(m) == count || base+count > 64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCount(t *testing.T) {
+	if Count(0b1011) != 3 {
+		t.Errorf("Count(0b1011) = %d, want 3", Count(0b1011))
+	}
+}
+
+func TestWithin(t *testing.T) {
+	if !Within(0b111, 3) {
+		t.Error("0b111 should be within 3 bits")
+	}
+	if Within(0b1000, 3) {
+		t.Error("0b1000 should not be within 3 bits")
+	}
+	if !Within(0, 0) {
+		t.Error("empty mask is within any width")
+	}
+}

@@ -1,0 +1,42 @@
+package cache
+
+import "testing"
+
+func BenchmarkAccessHit(b *testing.B) {
+	c, err := New(DefaultConfig, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Access(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0, 0)
+	}
+}
+
+func BenchmarkAccessStreamingMiss(b *testing.B) {
+	c, err := New(DefaultConfig, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	line := uint64(DefaultConfig.LineSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0, uint64(i)*line*997) // stride defeats the cache
+	}
+}
+
+func BenchmarkAccessPartitioned(b *testing.B) {
+	c, err := New(DefaultConfig, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.PartitionDisjoint([]int{5, 5, 5, 5}); err != nil {
+		b.Fatal(err)
+	}
+	line := uint64(DefaultConfig.LineSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(i%4, uint64(i)*line)
+	}
+}

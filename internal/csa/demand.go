@@ -1,0 +1,188 @@
+package csa
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"vc2m/internal/model"
+	"vc2m/internal/timeunit"
+)
+
+// maxCheckpoints bounds the number of demand checkpoints the analysis will
+// enumerate for one VCPU. Harmonic tasksets stay far below it; it exists to
+// reject pathological non-harmonic period combinations whose hyperperiod
+// explodes.
+const maxCheckpoints = 100000
+
+// ErrHyperperiodTooLarge is returned when a (non-harmonic) taskset's
+// hyperperiod produces more demand checkpoints than the analysis is willing
+// to enumerate.
+var ErrHyperperiodTooLarge = errors.New("csa: hyperperiod too large for exact analysis")
+
+// Demand precomputes the structure of a periodic taskset's EDF demand-bound
+// function so that the demand under different WCET vectors (different (c,b)
+// allocations) can be evaluated cheaply: dbf(t_k) = sum_i counts[k][i] *
+// e_i, where counts[k][i] = floor(t_k / p_i).
+type Demand struct {
+	periods     []float64
+	checkpoints []float64
+	counts      [][]float64
+}
+
+// NewDemand builds the demand structure for implicit-deadline periodic
+// tasks with the given periods. Checkpoints are the multiples of each
+// period up to the hyperperiod, which for harmonic periods is simply the
+// maximum period. Non-harmonic periods are handled exactly by quantizing to
+// microsecond ticks and taking the LCM; ErrHyperperiodTooLarge is returned
+// if that produces more than maxCheckpoints checkpoints.
+func NewDemand(periods []float64) (*Demand, error) {
+	if len(periods) == 0 {
+		return nil, errors.New("csa: NewDemand with no tasks")
+	}
+	for _, p := range periods {
+		if p <= 0 {
+			return nil, fmt.Errorf("csa: non-positive period %v", p)
+		}
+	}
+
+	hyper, err := hyperperiod(periods)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect distinct checkpoints: every multiple of every period up to
+	// the hyperperiod.
+	set := map[float64]bool{}
+	total := 0
+	for _, p := range periods {
+		n := int(math.Floor(hyper/p + 1e-9))
+		total += n
+		if total > maxCheckpoints {
+			return nil, ErrHyperperiodTooLarge
+		}
+		for k := 1; k <= n; k++ {
+			set[float64(k)*p] = true
+		}
+	}
+	cps := make([]float64, 0, len(set))
+	for t := range set {
+		cps = append(cps, t)
+	}
+	sort.Float64s(cps)
+
+	counts := make([][]float64, len(cps))
+	for k, t := range cps {
+		row := make([]float64, len(periods))
+		for i, p := range periods {
+			row[i] = math.Floor(t/p + 1e-9)
+		}
+		counts[k] = row
+	}
+	return &Demand{periods: periods, checkpoints: cps, counts: counts}, nil
+}
+
+// hyperperiod returns the LCM of the periods. Harmonic periods (each pair
+// divides) short-circuit to the maximum; otherwise periods are quantized to
+// microsecond ticks.
+func hyperperiod(periods []float64) (float64, error) {
+	if HarmonicPeriods(periods) {
+		m := periods[0]
+		for _, p := range periods[1:] {
+			if p > m {
+				m = p
+			}
+		}
+		return m, nil
+	}
+	ticks := make([]int64, len(periods))
+	for i, p := range periods {
+		ticks[i] = int64(timeunit.FromMillis(p))
+		if ticks[i] <= 0 {
+			return 0, fmt.Errorf("csa: period %v below tick resolution", p)
+		}
+	}
+	l, ok := timeunit.LCMAllChecked(ticks)
+	if !ok {
+		return 0, ErrHyperperiodTooLarge
+	}
+	return timeunit.Ticks(l).Millis(), nil
+}
+
+// Checkpoints returns the demand checkpoints in increasing order. The
+// returned slice is shared; callers must not modify it.
+func (d *Demand) Checkpoints() []float64 { return d.checkpoints }
+
+// DBF returns the EDF demand bound at every checkpoint for the given WCET
+// vector (wcets[i] corresponds to periods[i]). The returned slice is
+// freshly allocated. It panics if len(wcets) != number of tasks.
+func (d *Demand) DBF(wcets []float64) []float64 {
+	if len(wcets) != len(d.periods) {
+		panic("csa: DBF with wrong WCET vector length")
+	}
+	out := make([]float64, len(d.checkpoints))
+	for k, row := range d.counts {
+		var s float64
+		for i, n := range row {
+			s += n * wcets[i]
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// DBFAt returns the EDF demand bound dbf(t) = sum_i floor(t/p_i) * e_i for
+// an arbitrary time t.
+func (d *Demand) DBFAt(wcets []float64, t float64) float64 {
+	if len(wcets) != len(d.periods) {
+		panic("csa: DBFAt with wrong WCET vector length")
+	}
+	var s float64
+	for i, p := range d.periods {
+		s += math.Floor(t/p+1e-9) * wcets[i]
+	}
+	return s
+}
+
+// HarmonicPeriods reports whether the (positive) periods are pairwise
+// harmonic: for every pair, one divides the other. Periods generated as
+// base * 2^k satisfy this exactly in float64 arithmetic; a relative
+// tolerance of 1e-9 absorbs any representation noise from other sources.
+func HarmonicPeriods(periods []float64) bool {
+	for i := range periods {
+		if periods[i] <= 0 {
+			return false
+		}
+		for j := i + 1; j < len(periods); j++ {
+			a, b := periods[i], periods[j]
+			if a < b {
+				a, b = b, a
+			}
+			ratio := a / b
+			if math.Abs(ratio-math.Round(ratio)) > 1e-9*ratio {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TaskPeriods extracts the period vector of a taskset.
+func TaskPeriods(tasks []*model.Task) []float64 {
+	out := make([]float64, len(tasks))
+	for i, t := range tasks {
+		out[i] = t.Period
+	}
+	return out
+}
+
+// TaskWCETs extracts the WCET vector e_i(c,b) of a taskset under the given
+// allocation.
+func TaskWCETs(tasks []*model.Task, c, b int) []float64 {
+	out := make([]float64, len(tasks))
+	for i, t := range tasks {
+		out[i] = t.WCET.At(c, b)
+	}
+	return out
+}

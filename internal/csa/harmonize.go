@@ -1,0 +1,163 @@
+package csa
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vc2m/internal/model"
+)
+
+// This file extends Theorem 2 to non-harmonic tasksets via period
+// harmonization, in the spirit of Han & Tyan's Sr algorithm: each period
+// is shrunk to the nearest value of the form base * 2^k that does not
+// exceed it. Scheduling a task at the shrunk period is strictly more
+// demanding (jobs arrive at least as often, deadlines only tighten), so
+// any schedule feasible for the harmonized taskset is feasible for the
+// original — at the price of inflating each task's utilization by
+// p_i / p'_i < 2. The base is chosen to minimize the total inflated
+// utilization. vC2M's paper restricts the overhead-free analysis to
+// harmonic tasksets; this is the standard trick that buys generality for
+// a bounded premium.
+
+// Harmonization describes a harmonized period assignment.
+type Harmonization struct {
+	// Periods are the shrunk periods, pairwise harmonic, Periods[i] <=
+	// original[i].
+	Periods []float64
+	// Inflation is the total utilization multiplier implied for a
+	// uniform-utilization taskset: sum(p_i/p'_i)/n. Per-task inflation is
+	// original period divided by the shrunk period (< 2 always).
+	Inflation float64
+}
+
+// HarmonizePeriods returns a pairwise-harmonic assignment p'_i <= p_i of
+// the form base * 2^k, choosing among candidate bases (derived from each
+// input period) the one minimizing the utilization inflation weighted by
+// the given utilizations (nil weights = uniform).
+func HarmonizePeriods(periods []float64, utils []float64) (*Harmonization, error) {
+	n := len(periods)
+	if n == 0 {
+		return nil, errors.New("csa: HarmonizePeriods with no periods")
+	}
+	if utils != nil && len(utils) != n {
+		return nil, fmt.Errorf("csa: %d utilizations for %d periods", len(utils), n)
+	}
+	minP := math.Inf(1)
+	for _, p := range periods {
+		if p <= 0 {
+			return nil, fmt.Errorf("csa: non-positive period %v", p)
+		}
+		if p < minP {
+			minP = p
+		}
+	}
+	weight := func(i int) float64 {
+		if utils == nil {
+			return 1
+		}
+		return utils[i]
+	}
+
+	// Candidate bases: each period folded into (minP/2, minP]. The
+	// optimal Sr base for this family lies among them.
+	bases := make([]float64, 0, n)
+	for _, p := range periods {
+		b := p
+		for b > minP {
+			b /= 2
+		}
+		bases = append(bases, b)
+	}
+
+	best := math.Inf(1)
+	var bestPeriods []float64
+	for _, base := range bases {
+		assigned := make([]float64, n)
+		cost := 0.0
+		feasible := true
+		for i, p := range periods {
+			// Largest base*2^k <= p.
+			k := math.Floor(math.Log2(p / base))
+			if k < 0 {
+				feasible = false
+				break
+			}
+			assigned[i] = base * math.Pow(2, k)
+			// Guard against float edge: ensure assigned <= p.
+			for assigned[i] > p+1e-9 {
+				assigned[i] /= 2
+			}
+			cost += weight(i) * (p / assigned[i])
+		}
+		if !feasible {
+			continue
+		}
+		if cost < best {
+			best = cost
+			bestPeriods = assigned
+		}
+	}
+	if bestPeriods == nil {
+		return nil, errors.New("csa: no feasible harmonization")
+	}
+	var totalW float64
+	for i := range periods {
+		totalW += weight(i)
+	}
+	return &Harmonization{
+		Periods:   bestPeriods,
+		Inflation: best / totalW,
+	}, nil
+}
+
+// WellRegulatedVCPUHarmonized builds a well-regulated VCPU for a taskset
+// whose periods need not be harmonic: periods are first harmonized
+// (shrunk, inflating utilization by < 2x per task) and Theorem 2 is
+// applied to the harmonized taskset. Since every harmonized period divides
+// evenly into the original (jobs can only arrive at least as often, with
+// deadlines at least as tight), the original demand-bound function is
+// dominated by the harmonized one, so the conservative budget schedules
+// the original tasks on any fixed supply.
+//
+// Caveat: the well-regulated supply itself additionally requires the VCPU
+// periods on a core to be pairwise harmonic (Section 3.2 mechanism (ii)).
+// Harmonizing VMs independently can produce VCPU periods that are not
+// harmonic with one another; when co-scheduling several harmonized VCPUs,
+// harmonize across them (e.g. by sharing a base) or verify the resulting
+// VCPU period set with timeunit.Harmonic before relying on Theorem 2.
+func WellRegulatedVCPUHarmonized(tasks []*model.Task, index int) (*model.VCPU, error) {
+	if len(tasks) == 0 {
+		return nil, errors.New("csa: WellRegulatedVCPUHarmonized with no tasks")
+	}
+	periods := TaskPeriods(tasks)
+	if HarmonicPeriods(periods) {
+		return WellRegulatedVCPU(tasks, index)
+	}
+	utils := make([]float64, len(tasks))
+	for i, t := range tasks {
+		utils[i] = t.RefUtil()
+	}
+	h, err := HarmonizePeriods(periods, utils)
+	if err != nil {
+		return nil, err
+	}
+	// Build shadow tasks with the shrunk periods; their WCET tables are
+	// shared (the demand per job is unchanged, jobs just come earlier).
+	shadows := make([]*model.Task, len(tasks))
+	for i, t := range tasks {
+		shadows[i] = &model.Task{
+			ID: t.ID, VM: t.VM, Period: h.Periods[i],
+			WCET: t.WCET, Benchmark: t.Benchmark,
+		}
+	}
+	v, err := WellRegulatedVCPU(shadows, index)
+	if err != nil {
+		return nil, err
+	}
+	// Present the original tasks on the VCPU; the budget (computed from
+	// the shrunk periods) is conservative for them.
+	v.Tasks = append([]*model.Task(nil), tasks...)
+	v.ID = fmt.Sprintf("%s/wrh-%d", tasks[0].VM, index)
+	return v, nil
+}

@@ -1,0 +1,117 @@
+// Package csa implements the compositional scheduling analysis used by
+// vC2M (Section 4 of the paper):
+//
+//   - the classical periodic resource model of Shin & Lee [13] — the
+//     "existing CSA" used by the baseline solutions — with its supply-bound
+//     function and minimum-budget computation for EDF;
+//   - Theorem 1 ("flattening"): a task mapped alone onto a VCPU with a
+//     synchronized release is schedulable with Pi = p and Theta(c,b) =
+//     e(c,b), removing the abstraction overhead entirely;
+//   - Theorem 2 ("overhead-free" analysis): a harmonic taskset is
+//     EDF-schedulable on a well-regulated VCPU with Pi = min p_i and
+//     Theta(c,b) = Pi * sum e_i(c,b)/p_i, i.e. a VCPU bandwidth equal to the
+//     taskset's utilization;
+//   - WCET/budget inflation hooks for intra-core preemption overhead [17].
+//
+// All times are in milliseconds, matching package model.
+package csa
+
+import (
+	"math"
+)
+
+// SBF returns the supply-bound function of the periodic resource model
+// Gamma = (pi, theta): the minimum CPU time a periodic server with period pi
+// and budget theta is guaranteed to supply in any interval of length t
+// (Shin & Lee [13]). It is 0 for t <= pi-theta (the worst-case startup
+// blackout spans up to 2(pi-theta)).
+func SBF(pi, theta, t float64) float64 {
+	if theta <= 0 || t <= 0 {
+		return 0
+	}
+	if theta > pi {
+		theta = pi
+	}
+	blackout := pi - theta
+	if t <= blackout {
+		return 0
+	}
+	k := math.Floor((t - blackout) / pi)
+	supply := k*theta + math.Max(0, t-2*blackout-k*pi)
+	if supply < 0 {
+		return 0
+	}
+	return supply
+}
+
+// LinearSBF returns the linear lower bound on SBF often used for fast
+// feasibility filtering: lsbf(t) = (theta/pi) * (t - 2(pi-theta)), clamped
+// at 0. LinearSBF(t) <= SBF(t) for all t.
+func LinearSBF(pi, theta, t float64) float64 {
+	if theta <= 0 {
+		return 0
+	}
+	if theta > pi {
+		theta = pi
+	}
+	v := theta / pi * (t - 2*(pi-theta))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// budgetEps is the absolute tolerance (in ms) for the bisection search in
+// MinBudgetForDemand. One nanosecond of budget is far below scheduler
+// resolution.
+const budgetEps = 1e-6
+
+// MinBudgetForDemand returns the minimum budget theta such that the
+// periodic resource (pi, theta) satisfies dbf(t) <= sbf(t) at every
+// checkpoint, where demands[i] is the EDF demand bound at checkpoints[i].
+// The boolean result is false when no theta <= pi suffices (the taskset
+// overloads a dedicated core). Checkpoints with zero demand are skipped.
+//
+// SBF is non-decreasing in theta for fixed t, so the minimum budget for
+// each checkpoint is found by bisection and the overall minimum is the
+// maximum over checkpoints.
+func MinBudgetForDemand(pi float64, checkpoints, demands []float64) (float64, bool) {
+	if pi <= 0 {
+		return 0, false
+	}
+	var need float64
+	for i, t := range checkpoints {
+		d := demands[i]
+		if d <= 0 {
+			continue
+		}
+		// Even a dedicated core (theta = pi) supplies at most t by time t.
+		if d > t+1e-9 {
+			return 0, false
+		}
+		lo, hi := 0.0, pi
+		for iter := 0; iter < 64 && hi-lo > budgetEps/4; iter++ {
+			mid := (lo + hi) / 2
+			if SBF(pi, mid, t) >= d {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		if SBF(pi, hi, t) < d-1e-9 {
+			return 0, false
+		}
+		if hi > need {
+			need = hi
+		}
+	}
+	// Nudge up so that the returned budget is on the feasible side of the
+	// bisection tolerance at every checkpoint.
+	need = math.Min(pi, need+budgetEps/2)
+	for i, t := range checkpoints {
+		if demands[i] > 0 && SBF(pi, need, t) < demands[i]-1e-9 {
+			return 0, false
+		}
+	}
+	return need, true
+}

@@ -1,0 +1,154 @@
+package csa
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vc2m/internal/model"
+)
+
+func TestFlattenVCPU(t *testing.T) {
+	p := model.PlatformA
+	task := &model.Task{
+		ID: "t1", VM: "vm1", Period: 10,
+		WCET: model.FuncTable(p, func(c, b int) float64 {
+			return 1 + 0.1*float64(p.C-c) + 0.05*float64(p.B-b)
+		}),
+	}
+	v := FlattenVCPU(task, 3)
+	if v.Period != 10 {
+		t.Errorf("period = %v, want 10", v.Period)
+	}
+	if !v.SyncedRelease {
+		t.Error("flattened VCPU must have SyncedRelease")
+	}
+	if v.Index != 3 {
+		t.Errorf("index = %d, want 3", v.Index)
+	}
+	if len(v.Tasks) != 1 || v.Tasks[0] != task {
+		t.Error("flattened VCPU must carry exactly its task")
+	}
+	// Theta(c,b) = e(c,b) everywhere.
+	for c := p.Cmin; c <= p.C; c += 6 {
+		for b := p.Bmin; b <= p.B; b += 7 {
+			if v.Budget.At(c, b) != task.WCET.At(c, b) {
+				t.Errorf("budget(%d,%d) = %v, want %v", c, b, v.Budget.At(c, b), task.WCET.At(c, b))
+			}
+		}
+	}
+	// Zero abstraction overhead: bandwidth equals task utilization.
+	if math.Abs(v.RefBandwidth()-task.RefUtil()) > 1e-12 {
+		t.Errorf("bandwidth %v != utilization %v", v.RefBandwidth(), task.RefUtil())
+	}
+}
+
+func TestFlattenVCPUBudgetIsACopy(t *testing.T) {
+	p := model.PlatformA
+	task := model.SimpleTask("t1", p, 10, 1)
+	v := FlattenVCPU(task, 0)
+	v.Budget.Set(p.Cmin, p.Bmin, 99)
+	if task.WCET.At(p.Cmin, p.Bmin) == 99 {
+		t.Error("FlattenVCPU must clone the WCET table")
+	}
+}
+
+func TestWellRegulatedVCPUBandwidthEqualsUtilization(t *testing.T) {
+	p := model.PlatformA
+	tasks := []*model.Task{
+		model.SimpleTask("t1", p, 10, 1),
+		model.SimpleTask("t2", p, 20, 4),
+		model.SimpleTask("t3", p, 40, 8),
+	}
+	for _, task := range tasks {
+		task.VM = "vm1"
+	}
+	v, err := WellRegulatedVCPU(tasks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Period != 10 {
+		t.Errorf("period = %v, want min task period 10", v.Period)
+	}
+	if !v.WellRegulated {
+		t.Error("VCPU must be marked well-regulated")
+	}
+	// Utilization = 0.1 + 0.2 + 0.2 = 0.5; Theta = 10 * 0.5 = 5.
+	if math.Abs(v.Budget.Reference()-5) > 1e-9 {
+		t.Errorf("budget = %v, want 5", v.Budget.Reference())
+	}
+	if math.Abs(v.RefBandwidth()-0.5) > 1e-12 {
+		t.Errorf("bandwidth = %v, want taskset utilization 0.5", v.RefBandwidth())
+	}
+}
+
+func TestWellRegulatedVCPUPerAllocation(t *testing.T) {
+	// Bandwidth equals utilization at every (c,b), not just the reference.
+	p := model.PlatformC
+	mk := func(id string, period, base float64) *model.Task {
+		return &model.Task{ID: id, VM: "vm1", Period: period,
+			WCET: model.FuncTable(p, func(c, b int) float64 {
+				return base * (1 + 0.2*float64(p.C-c) + 0.1*float64(p.B-b))
+			})}
+	}
+	tasks := []*model.Task{mk("t1", 100, 5), mk("t2", 200, 12), mk("t3", 400, 30)}
+	v, err := WellRegulatedVCPU(tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := p.Cmin; c <= p.C; c++ {
+		for b := p.Bmin; b <= p.B; b++ {
+			var util float64
+			for _, task := range tasks {
+				util += task.Util(c, b)
+			}
+			if math.Abs(v.Bandwidth(c, b)-util) > 1e-9 {
+				t.Fatalf("bandwidth(%d,%d) = %v, want %v", c, b, v.Bandwidth(c, b), util)
+			}
+		}
+	}
+}
+
+func TestWellRegulatedVCPURejectsNonHarmonic(t *testing.T) {
+	p := model.PlatformA
+	tasks := []*model.Task{
+		model.SimpleTask("t1", p, 10, 1),
+		model.SimpleTask("t2", p, 15, 1),
+	}
+	if _, err := WellRegulatedVCPU(tasks, 0); !errors.Is(err, ErrNotHarmonic) {
+		t.Errorf("expected ErrNotHarmonic, got %v", err)
+	}
+}
+
+func TestWellRegulatedVCPURejectsEmpty(t *testing.T) {
+	if _, err := WellRegulatedVCPU(nil, 0); err == nil {
+		t.Error("empty taskset accepted")
+	}
+}
+
+func TestWellRegulatedBandwidthPropertyHarmonic(t *testing.T) {
+	// For random harmonic tasksets, the overhead-free VCPU's bandwidth is
+	// exactly the taskset utilization — the abstraction overhead is zero.
+	p := model.PlatformC
+	f := func(seed uint8, n uint8, baseRaw uint16) bool {
+		base := 100 + float64(baseRaw%300)/10
+		count := int(n%5) + 1
+		tasks := make([]*model.Task, count)
+		var util float64
+		for i := range tasks {
+			period := base * float64(int(1)<<uint((int(seed)+i)%4))
+			wcet := period * (0.05 + float64((int(seed)*7+i*13)%30)/100)
+			tasks[i] = model.SimpleTask("t", p, period, wcet)
+			util += wcet / period
+		}
+		v, err := WellRegulatedVCPU(tasks, 0)
+		if err != nil {
+			return false
+		}
+		return math.Abs(v.RefBandwidth()-util) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteFractionsCSV writes the schedulable-fraction series as CSV: a
+// header row of "util" plus one column per solution, then one row per
+// utilization point — the machine-readable form of Figures 2 and 3 for
+// external plotting tools.
+func (r *SchedResult) WriteFractionsCSV(w io.Writer) error {
+	return r.writeCSV(w, func(p SchedPoint) string {
+		return strconv.FormatFloat(p.Fraction, 'f', 4, 64)
+	})
+}
+
+// WriteRuntimesCSV writes the mean analysis-time series (seconds), the
+// machine-readable form of Figure 4.
+func (r *SchedResult) WriteRuntimesCSV(w io.Writer) error {
+	return r.writeCSV(w, func(p SchedPoint) string {
+		return strconv.FormatFloat(p.AvgSeconds, 'f', 6, 64)
+	})
+}
+
+func (r *SchedResult) writeCSV(w io.Writer, cell func(SchedPoint) string) error {
+	cw := csv.NewWriter(w)
+	header := []string{"util"}
+	for _, s := range r.Series {
+		header = append(header, s.Solution)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if len(r.Series) > 0 {
+		for i := range r.Series[0].Points {
+			row := []string{strconv.FormatFloat(r.Series[0].Points[i].Util, 'f', 2, 64)}
+			for _, s := range r.Series {
+				row = append(row, cell(s.Points[i]))
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes the isolation study rows as CSV.
+func (r *IsolationResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "solo_ms", "shared_ms", "vc2m_ms",
+		"shared_slowdown", "vc2m_slowdown"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			row.Benchmark,
+			fmt.Sprintf("%.3f", row.SoloMs),
+			fmt.Sprintf("%.3f", row.SharedMs),
+			fmt.Sprintf("%.3f", row.IsolatedMs),
+			fmt.Sprintf("%.3f", row.SharedSlowdown()),
+			fmt.Sprintf("%.3f", row.IsolatedSlowdown()),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes the overhead summaries as CSV rows of
+// (handler, min, avg, max) in microseconds.
+func (r *OverheadResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"handler", "min_us", "avg_us", "max_us"}); err != nil {
+		return err
+	}
+	rows := []struct {
+		name string
+		s    interface {
+			Min() float64
+			Mean() float64
+			Max() float64
+		}
+	}{
+		{"throttle", &r.Throttle},
+		{"bw_replenish", &r.BWReplenish},
+		{"cpu_budget_replenish", &r.BudgetReplenish},
+		{"scheduling", &r.Scheduling},
+		{"context_switch", &r.ContextSwitch},
+	}
+	for _, row := range rows {
+		if err := cw.Write([]string{
+			row.name,
+			fmt.Sprintf("%.4f", row.s.Min()),
+			fmt.Sprintf("%.4f", row.s.Mean()),
+			fmt.Sprintf("%.4f", row.s.Max()),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

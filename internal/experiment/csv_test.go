@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+
+	"vc2m/internal/model"
+	"vc2m/internal/workload"
+)
+
+func TestWriteFractionsCSV(t *testing.T) {
+	res := smallSched(t, model.PlatformA, workload.Uniform)
+	var buf bytes.Buffer
+	if err := res.WriteFractionsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 4 utilization rows.
+	if len(records) != 5 {
+		t.Fatalf("got %d CSV rows, want 5", len(records))
+	}
+	if records[0][0] != "util" || len(records[0]) != 6 {
+		t.Errorf("header = %v", records[0])
+	}
+	for _, row := range records[1:] {
+		for _, cell := range row {
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				t.Errorf("non-numeric cell %q", cell)
+			}
+		}
+	}
+}
+
+func TestWriteRuntimesCSV(t *testing.T) {
+	res := smallSched(t, model.PlatformA, workload.Uniform)
+	var buf bytes.Buffer
+	if err := res.WriteRuntimesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 5 {
+		t.Fatalf("got %d rows, want 5", len(records))
+	}
+}
+
+func TestIsolationWriteCSV(t *testing.T) {
+	res, err := RunIsolation(IsolationConfig{
+		Benchmarks: []string{"swaptions"},
+		Ops:        10000,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || records[1][0] != "swaptions" {
+		t.Errorf("records = %v", records)
+	}
+}
+
+func TestOverheadWriteCSV(t *testing.T) {
+	res, err := RunOverhead(OverheadConfig{VCPUs: 8, HorizonMs: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 6 {
+		t.Fatalf("got %d rows, want 6 (header + 5 handlers)", len(records))
+	}
+	if records[1][0] != "throttle" {
+		t.Errorf("first handler = %q", records[1][0])
+	}
+}

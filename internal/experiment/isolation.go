@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"vc2m/internal/interference"
+	"vc2m/internal/parsec"
+)
+
+// IsolationConfig parameterizes the Section 3.3 WCET-isolation study.
+type IsolationConfig struct {
+	// Cores is the number of co-running cores; zero defaults to 4.
+	Cores int
+	// Benchmarks to measure; nil defaults to the full suite.
+	Benchmarks []string
+	// Ops is the per-task operation count; zero uses the workbench
+	// default.
+	Ops int
+	// Seed makes the runs reproducible.
+	Seed int64
+}
+
+// IsolationResult holds one study row per benchmark.
+type IsolationResult struct {
+	Rows []interference.StudyRow
+}
+
+// RunIsolation measures every benchmark's execution time alone, co-running
+// without isolation, and co-running under vC2M isolation.
+func RunIsolation(cfg IsolationConfig) (*IsolationResult, error) {
+	if cfg.Cores == 0 {
+		cfg.Cores = 4
+	}
+	names := cfg.Benchmarks
+	if names == nil {
+		names = parsec.Names()
+	}
+	wcfg := interference.DefaultConfig()
+	if cfg.Ops > 0 {
+		wcfg.OpsPerTask = cfg.Ops
+	}
+	res := &IsolationResult{}
+	for _, name := range names {
+		row, err := interference.Study(wcfg, name, cfg.Cores, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the study in the form the paper discusses: per-benchmark
+// execution time alone, under unregulated co-running, and under vC2M
+// isolation, with the resulting slowdown factors.
+func (r *IsolationResult) Table() string {
+	var b strings.Builder
+	b.WriteString("Section 3.3: impact of cache+BW isolation on WCET\n")
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %9s %9s\n",
+		"benchmark", "solo(ms)", "shared(ms)", "vc2m(ms)", "shared-x", "vc2m-x")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %10.2f %10.2f %10.2f %9.2f %9.2f\n",
+			row.Benchmark, row.SoloMs, row.SharedMs, row.IsolatedMs,
+			row.SharedSlowdown(), row.IsolatedSlowdown())
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"vc2m/internal/csa"
+	"vc2m/internal/hypersim"
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+	"vc2m/internal/stats"
+	"vc2m/internal/timeunit"
+)
+
+// OverheadConfig parameterizes the run-time overhead measurement of
+// Section 3.3 (Tables 1 and 2).
+type OverheadConfig struct {
+	// VCPUs is the number of flattened VCPUs (the paper measures 24 and
+	// 96).
+	VCPUs int
+	// Cores is the number of physical cores to spread them over; zero
+	// defaults to 4.
+	Cores int
+	// HorizonMs is the simulated duration; zero defaults to 2000 ms.
+	HorizonMs float64
+	// RegulationPeriodMs is the BW regulation period; zero defaults to
+	// the paper's 1 ms.
+	RegulationPeriodMs float64
+	// BWBudget is the per-core request budget per period; zero defaults
+	// to 400 (low enough that memory-heavy tasks throttle regularly, so
+	// the throttle path is exercised).
+	BWBudget int64
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+func (c OverheadConfig) withDefaults() OverheadConfig {
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.HorizonMs == 0 {
+		c.HorizonMs = 2000
+	}
+	if c.RegulationPeriodMs == 0 {
+		c.RegulationPeriodMs = 1
+	}
+	if c.BWBudget == 0 {
+		c.BWBudget = 400
+	}
+	return c
+}
+
+// OverheadResult holds the measured handler costs in microseconds of
+// wall-clock time per invocation. The absolute values measure this
+// simulator's handlers, not Xen's interrupt paths; the comparisons the
+// paper draws (throttling is far cheaper than replenishment; scheduling
+// cost grows slowly with the VCPU count) are the reproducible content.
+type OverheadResult struct {
+	Config OverheadConfig
+	// Table 1 rows.
+	Throttle    stats.Summary
+	BWReplenish stats.Summary
+	// Table 2 rows.
+	BudgetReplenish stats.Summary
+	Scheduling      stats.Summary
+	ContextSwitch   stats.Summary
+	// Activity counters for sanity checking.
+	ThrottleEvents   uint64
+	BWReplenishments uint64
+	Misses           int
+}
+
+// RunOverhead builds a synthetic system of VCPUs flattened 1:1 from
+// periodic tasks, spreads them across cores, and measures every handler
+// invocation over the horizon.
+func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.VCPUs <= 0 {
+		return nil, fmt.Errorf("experiment: VCPUs = %d, need > 0", cfg.VCPUs)
+	}
+	p := model.PlatformA
+	if cfg.Cores > p.M {
+		p.M = cfg.Cores
+	}
+	rng := rngutil.New(cfg.Seed)
+
+	// Build per-core VCPU lists: harmonic periods, utilization sized so
+	// each core lands near 80% busy.
+	perCore := make([][]*model.VCPU, cfg.Cores)
+	memRate := make(map[string]float64, cfg.VCPUs)
+	for i := 0; i < cfg.VCPUs; i++ {
+		core := i % cfg.Cores
+		period := 10.0 * float64(int(1)<<uint(rng.Intn(3))) // 10/20/40 ms
+		share := 0.8 / float64((cfg.VCPUs+cfg.Cores-1)/cfg.Cores)
+		wcet := period * share
+		task := model.SimpleTask(fmt.Sprintf("t%d", i), p, period, wcet)
+		task.VM = fmt.Sprintf("vm%d", core)
+		perCore[core] = append(perCore[core], csa.FlattenVCPU(task, i))
+		// Memory-request rate: mix of light and heavy tasks so the
+		// regulator throttles some cores in some periods.
+		memRate[task.ID] = 100 + float64(rng.Intn(900))
+	}
+
+	allocCores := make([]*model.CoreAlloc, cfg.Cores)
+	cachePer := p.C / cfg.Cores
+	if cachePer < p.Cmin {
+		cachePer = p.Cmin
+	}
+	bwPer := p.B / cfg.Cores
+	if bwPer < p.Bmin {
+		bwPer = p.Bmin
+	}
+	for c := range allocCores {
+		allocCores[c] = &model.CoreAlloc{Core: c, Cache: cachePer, BW: bwPer, VCPUs: perCore[c]}
+	}
+	a := &model.Allocation{Platform: p, Cores: allocCores, Schedulable: true}
+
+	budgets := make([]int64, cfg.Cores)
+	for i := range budgets {
+		budgets[i] = cfg.BWBudget
+	}
+	s, err := hypersim.New(a, hypersim.Config{
+		RegulationPeriod: timeunit.FromMillis(cfg.RegulationPeriodMs),
+		BWBudgets:        budgets,
+		MemRate:          memRate,
+		MeasureOverheads: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := s.Run(timeunit.FromMillis(cfg.HorizonMs))
+	return &OverheadResult{
+		Config:           cfg,
+		Throttle:         res.Overheads[hypersim.OvThrottle],
+		BWReplenish:      res.Overheads[hypersim.OvBWReplenish],
+		BudgetReplenish:  res.Overheads[hypersim.OvBudgetReplenish],
+		Scheduling:       res.Overheads[hypersim.OvSchedule],
+		ContextSwitch:    res.Overheads[hypersim.OvContextSwitch],
+		ThrottleEvents:   res.ThrottleEvents,
+		BWReplenishments: res.BWReplenishments,
+		Misses:           res.Missed,
+	}, nil
+}
+
+// Table1 renders the memory-bandwidth regulator's overhead in the layout
+// of the paper's Table 1 (min | avg | max, microseconds).
+func (r *OverheadResult) Table1() string {
+	var b strings.Builder
+	b.WriteString("Table 1: Memory bandwidth regulator's overhead (us)\n")
+	fmt.Fprintf(&b, "%-28s %s\n", "Throttle", r.Throttle.Row("%.3f"))
+	fmt.Fprintf(&b, "%-28s %s\n", "Memory BW budget replenish.", r.BWReplenish.Row("%.3f"))
+	return b.String()
+}
+
+// Table2Row renders one column group of the paper's Table 2 for this
+// VCPU count.
+func (r *OverheadResult) Table2Row() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d VCPUs (min | avg | max, us)\n", r.Config.VCPUs)
+	fmt.Fprintf(&b, "  %-24s %s\n", "CPU budget replenish.", r.BudgetReplenish.Row("%.3f"))
+	fmt.Fprintf(&b, "  %-24s %s\n", "Scheduling", r.Scheduling.Row("%.3f"))
+	fmt.Fprintf(&b, "  %-24s %s\n", "Context switching", r.ContextSwitch.Row("%.3f"))
+	return b.String()
+}

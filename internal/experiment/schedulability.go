@@ -1,0 +1,313 @@
+// Package experiment contains the harnesses that regenerate the paper's
+// evaluation artifacts: the schedulability curves of Figures 2 and 3, the
+// running-time curves of Figure 4, the overhead measurements of Tables 1
+// and 2, and the Section 3.3 WCET-isolation study. Each harness prints the
+// same rows/series the paper reports; EXPERIMENTS.md records paper-versus-
+// measured values.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vc2m/internal/alloc"
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+	"vc2m/internal/workload"
+)
+
+// SchedConfig parameterizes a schedulability experiment (Sections 5.2-5.3).
+type SchedConfig struct {
+	// Platform is the hardware configuration (A, B or C).
+	Platform model.Platform
+	// Dist is the task-utilization distribution.
+	Dist workload.Distribution
+	// UtilMin, UtilMax and UtilStep define the x-axis sweep; zero values
+	// default to the paper's 0.1..2.0 step 0.05.
+	UtilMin, UtilMax, UtilStep float64
+	// TasksetsPerPoint is the number of independent tasksets per
+	// utilization (50 in the paper); zero defaults to 50.
+	TasksetsPerPoint int
+	// Seed makes the experiment reproducible.
+	Seed int64
+	// Solutions are the allocators to compare; nil defaults to the five
+	// solutions of the paper's evaluation.
+	Solutions []alloc.Allocator
+	// Progress, if non-nil, is called after each utilization point.
+	Progress func(done, total int)
+	// Parallel runs up to this many tasksets concurrently per utilization
+	// point (0 or 1 = serial). Results are bit-identical to the serial
+	// run — every taskset's RNG streams are split off sequentially before
+	// the workers start — but the per-taskset running times (Figure 4's
+	// data) include scheduler contention, so keep Parallel at 1 when
+	// measuring running time.
+	Parallel int
+}
+
+func (c SchedConfig) withDefaults() SchedConfig {
+	if c.UtilMin == 0 {
+		c.UtilMin = 0.1
+	}
+	if c.UtilMax == 0 {
+		c.UtilMax = 2.0
+	}
+	if c.UtilStep == 0 {
+		c.UtilStep = 0.05
+	}
+	if c.TasksetsPerPoint == 0 {
+		c.TasksetsPerPoint = 50
+	}
+	if c.Solutions == nil {
+		c.Solutions = alloc.PaperSolutions()
+	}
+	return c
+}
+
+// SchedPoint is one (utilization, solution) measurement.
+type SchedPoint struct {
+	// Util is the taskset reference utilization (x-axis).
+	Util float64
+	// Fraction is the fraction of schedulable tasksets (Figures 2-3).
+	Fraction float64
+	// AvgSeconds is the mean allocator running time (Figure 4).
+	AvgSeconds float64
+}
+
+// SchedSeries is one solution's curve.
+type SchedSeries struct {
+	Solution string
+	Points   []SchedPoint
+}
+
+// SchedResult holds a full schedulability experiment.
+type SchedResult struct {
+	Platform model.Platform
+	Dist     workload.Distribution
+	Series   []SchedSeries
+	// Tasksets is the total number of tasksets analyzed.
+	Tasksets int
+}
+
+// RunSchedulability executes the experiment: for each utilization point it
+// generates TasksetsPerPoint tasksets and analyzes each with every
+// solution, recording the schedulable fraction and the mean analysis time.
+// Workload generation draws from a dedicated RNG stream per taskset, so
+// every solution sees identical tasksets.
+func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+
+	var utils []float64
+	for u := cfg.UtilMin; u <= cfg.UtilMax+1e-9; u += cfg.UtilStep {
+		utils = append(utils, math.Round(u*100)/100)
+	}
+
+	res := &SchedResult{Platform: cfg.Platform, Dist: cfg.Dist}
+	for _, sol := range cfg.Solutions {
+		res.Series = append(res.Series, SchedSeries{Solution: sol.Name()})
+	}
+
+	workers := cfg.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+
+	root := rngutil.New(cfg.Seed)
+	for ui, u := range utils {
+		// Split every taskset's RNG streams up front, in order, so the
+		// generated workloads are independent of the worker count.
+		type job struct {
+			gen   *rngutil.RNG
+			seeds []int64
+		}
+		jobs := make([]job, cfg.TasksetsPerPoint)
+		for ts := range jobs {
+			genRNG := root.Split()
+			allocRNG := root.Split()
+			seeds := make([]int64, len(cfg.Solutions))
+			for si := range seeds {
+				seeds[si] = allocRNG.Int63()
+			}
+			jobs[ts] = job{gen: genRNG, seeds: seeds}
+		}
+
+		schedulable := make([]int, len(cfg.Solutions))
+		elapsed := make([]float64, len(cfg.Solutions))
+		var mu sync.Mutex
+		var firstErr error
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for ts := range jobs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(j job) {
+				defer func() { <-sem; wg.Done() }()
+				sys, err := workload.Generate(workload.Config{
+					Platform:      cfg.Platform,
+					TargetRefUtil: u,
+					Dist:          cfg.Dist,
+				}, j.gen)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				oks := make([]bool, len(cfg.Solutions))
+				secs := make([]float64, len(cfg.Solutions))
+				for si, sol := range cfg.Solutions {
+					start := time.Now()
+					_, err := sol.Allocate(sys, rngutil.New(j.seeds[si]))
+					secs[si] = time.Since(start).Seconds()
+					oks[si] = err == nil
+				}
+				mu.Lock()
+				for si := range cfg.Solutions {
+					if oks[si] {
+						schedulable[si]++
+					}
+					elapsed[si] += secs[si]
+				}
+				mu.Unlock()
+			}(jobs[ts])
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		res.Tasksets += cfg.TasksetsPerPoint
+
+		for si := range cfg.Solutions {
+			res.Series[si].Points = append(res.Series[si].Points, SchedPoint{
+				Util:       u,
+				Fraction:   float64(schedulable[si]) / float64(cfg.TasksetsPerPoint),
+				AvgSeconds: elapsed[si] / float64(cfg.TasksetsPerPoint),
+			})
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(ui+1, len(utils))
+		}
+	}
+	return res, nil
+}
+
+// Knee returns the largest utilization at which the solution still
+// schedules every taskset (the point "after which tasksets start to become
+// unschedulable" in Section 5.2), or 0 if it never schedules everything.
+func (r *SchedResult) Knee(solution string) float64 {
+	for _, s := range r.Series {
+		if s.Solution != solution {
+			continue
+		}
+		knee := 0.0
+		for _, p := range s.Points {
+			if p.Fraction >= 1-1e-9 {
+				knee = p.Util
+			} else {
+				break
+			}
+		}
+		return knee
+	}
+	return 0
+}
+
+// FractionTable renders the schedulable-fraction series as an aligned text
+// table, one row per utilization — the data behind Figures 2 and 3.
+func (r *SchedResult) FractionTable() string {
+	return r.table(func(p SchedPoint) string { return fmt.Sprintf("%.2f", p.Fraction) })
+}
+
+// RuntimeTable renders the mean running-time series (seconds), the data
+// behind Figure 4.
+func (r *SchedResult) RuntimeTable() string {
+	return r.table(func(p SchedPoint) string { return fmt.Sprintf("%.4f", p.AvgSeconds) })
+}
+
+func (r *SchedResult) table(cell func(SchedPoint) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# platform %s, %s distribution\n", r.Platform.Name, r.Dist)
+	fmt.Fprintf(&b, "%-6s", "util")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, " | %-38s", s.Solution)
+	}
+	b.WriteByte('\n')
+	if len(r.Series) == 0 {
+		return b.String()
+	}
+	for i := range r.Series[0].Points {
+		fmt.Fprintf(&b, "%-6.2f", r.Series[0].Points[i].Util)
+		for _, s := range r.Series {
+			fmt.Fprintf(&b, " | %-38s", cell(s.Points[i]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FractionSeries converts the result into plottable (x, y) series of
+// schedulable fractions, one per solution — Figures 2 and 3's curves.
+func (r *SchedResult) FractionSeries() []struct {
+	Name string
+	X, Y []float64
+} {
+	out := make([]struct {
+		Name string
+		X, Y []float64
+	}, len(r.Series))
+	for i, s := range r.Series {
+		out[i].Name = s.Solution
+		for _, p := range s.Points {
+			out[i].X = append(out[i].X, p.Util)
+			out[i].Y = append(out[i].Y, p.Fraction)
+		}
+	}
+	return out
+}
+
+// SolutionNames returns the series names in order.
+func (r *SchedResult) SolutionNames() []string {
+	out := make([]string, len(r.Series))
+	for i, s := range r.Series {
+		out[i] = s.Solution
+	}
+	return out
+}
+
+// Summary reports, for each solution, the knee and the weighted
+// schedulability area (the fraction of all analyzed tasksets that were
+// schedulable), sorted by area descending — a compact comparison used by
+// the commands.
+func (r *SchedResult) Summary() string {
+	type row struct {
+		name string
+		knee float64
+		area float64
+	}
+	var rows []row
+	for _, s := range r.Series {
+		var area float64
+		for _, p := range s.Points {
+			area += p.Fraction
+		}
+		if len(s.Points) > 0 {
+			area /= float64(len(s.Points))
+		}
+		rows = append(rows, row{s.Solution, r.Knee(s.Solution), area})
+	}
+	sort.SliceStable(rows, func(a, b int) bool { return rows[a].area > rows[b].area })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %-8s %s\n", "solution", "knee", "mean fraction")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-40s %-8.2f %.3f\n", row.name, row.knee, row.area)
+	}
+	return b.String()
+}

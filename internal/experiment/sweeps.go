@@ -1,0 +1,202 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"vc2m/internal/alloc"
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+	"vc2m/internal/workload"
+)
+
+// PartitionSweepConfig parameterizes the partition-count sensitivity
+// study: how does schedulability change as the platform's cache/BW
+// partition count grows? The paper compares three fixed platforms
+// (Figures 2a-c); this sweep fills in the curve between them and shows
+// the diminishing returns of additional partitions.
+type PartitionSweepConfig struct {
+	// Cores is the core count (partitions sweep around it); zero
+	// defaults to 4.
+	Cores int
+	// Partitions are the C = B values to sweep; nil defaults to
+	// 8, 12, 16, 20, 28, 40.
+	Partitions []int
+	// Util is the fixed taskset reference utilization; zero defaults
+	// to 1.8 (near the vC2M knee, where partition count matters most).
+	Util float64
+	// TasksetsPerPoint defaults to 20.
+	TasksetsPerPoint int
+	// Seed makes the sweep reproducible.
+	Seed int64
+}
+
+// PartitionSweepResult holds per-partition-count schedulable fractions
+// for the vC2M heuristic and the evenly-partition baseline.
+type PartitionSweepResult struct {
+	Config     PartitionSweepConfig
+	Partitions []int
+	Heuristic  []float64
+	Evenly     []float64
+}
+
+// RunPartitionSweep executes the study. Workloads are regenerated per
+// platform size (WCET tables depend on the partition range), with the
+// same seeds, so the task population is comparable across points.
+func RunPartitionSweep(cfg PartitionSweepConfig) (*PartitionSweepResult, error) {
+	if cfg.Cores == 0 {
+		cfg.Cores = 4
+	}
+	if cfg.Partitions == nil {
+		cfg.Partitions = []int{8, 12, 16, 20, 28, 40}
+	}
+	if cfg.Util == 0 {
+		cfg.Util = 1.8
+	}
+	if cfg.TasksetsPerPoint == 0 {
+		cfg.TasksetsPerPoint = 20
+	}
+
+	res := &PartitionSweepResult{
+		Config:     cfg,
+		Partitions: cfg.Partitions,
+		Heuristic:  make([]float64, len(cfg.Partitions)),
+		Evenly:     make([]float64, len(cfg.Partitions)),
+	}
+	heur := &alloc.Heuristic{Mode: alloc.OverheadFree}
+	even := alloc.EvenlyPartition{}
+
+	for pi, parts := range cfg.Partitions {
+		plat := model.Platform{
+			Name: fmt.Sprintf("%dp", parts),
+			M:    cfg.Cores, C: parts, B: parts, Cmin: 2, Bmin: 1,
+		}
+		if err := plat.Validate(); err != nil {
+			return nil, err
+		}
+		root := rngutil.New(cfg.Seed)
+		okH, okE := 0, 0
+		for ts := 0; ts < cfg.TasksetsPerPoint; ts++ {
+			genRNG := root.Split()
+			allocRNG := root.Split()
+			sys, err := workload.Generate(workload.Config{
+				Platform:      plat,
+				TargetRefUtil: cfg.Util,
+				Dist:          workload.Uniform,
+			}, genRNG)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := heur.Allocate(sys, rngutil.New(allocRNG.Int63())); err == nil {
+				okH++
+			}
+			if _, err := even.Allocate(sys, nil); err == nil {
+				okE++
+			}
+		}
+		res.Heuristic[pi] = float64(okH) / float64(cfg.TasksetsPerPoint)
+		res.Evenly[pi] = float64(okE) / float64(cfg.TasksetsPerPoint)
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *PartitionSweepResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedulable fraction vs partition count (%d cores, utilization %.2f)\n",
+		r.Config.Cores, r.Config.Util)
+	fmt.Fprintf(&b, "%-12s", "partitions")
+	for _, p := range r.Partitions {
+		fmt.Fprintf(&b, " %6d", p)
+	}
+	fmt.Fprintf(&b, "\n%-12s", "heuristic")
+	for _, f := range r.Heuristic {
+		fmt.Fprintf(&b, " %6.2f", f)
+	}
+	fmt.Fprintf(&b, "\n%-12s", "even-split")
+	for _, f := range r.Evenly {
+		fmt.Fprintf(&b, " %6.2f", f)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RegPeriodSweepConfig parameterizes the regulation-period trade-off
+// study: a shorter regulation period bounds bandwidth interference at a
+// finer granularity but pays the BW-refiller overhead more often (the
+// paper fixes 1 ms; Table 1 quantifies the refill cost).
+type RegPeriodSweepConfig struct {
+	// PeriodsMs are the regulation periods to sweep; nil defaults to
+	// 0.25, 0.5, 1, 2, 5.
+	PeriodsMs []float64
+	// VCPUs sized as in the overhead experiment; zero defaults to 24.
+	VCPUs int
+	// HorizonMs defaults to 1000.
+	HorizonMs float64
+	// Seed makes the sweep reproducible.
+	Seed int64
+}
+
+// RegPeriodPoint is one period's measurement.
+type RegPeriodPoint struct {
+	PeriodMs float64
+	// Replenishments is the number of BW refills over the horizon.
+	Replenishments uint64
+	// ThrottleEvents counts throttles over the horizon.
+	ThrottleEvents uint64
+	// AvgReplenishUs is the mean refill handler cost.
+	AvgReplenishUs float64
+	// OverheadShare approximates the fraction of one core's time spent in
+	// the refiller: replenishments * avg cost / horizon.
+	OverheadShare float64
+}
+
+// RunRegPeriodSweep executes the study.
+func RunRegPeriodSweep(cfg RegPeriodSweepConfig) ([]RegPeriodPoint, error) {
+	if cfg.PeriodsMs == nil {
+		cfg.PeriodsMs = []float64{0.25, 0.5, 1, 2, 5}
+	}
+	if cfg.VCPUs == 0 {
+		cfg.VCPUs = 24
+	}
+	if cfg.HorizonMs == 0 {
+		cfg.HorizonMs = 1000
+	}
+	var out []RegPeriodPoint
+	for _, period := range cfg.PeriodsMs {
+		res, err := RunOverhead(OverheadConfig{
+			VCPUs:              cfg.VCPUs,
+			HorizonMs:          cfg.HorizonMs,
+			RegulationPeriodMs: period,
+			// Budget scales with the period so the bandwidth *rate* is
+			// constant across the sweep.
+			BWBudget: int64(400 * period),
+			Seed:     cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		avgUs := res.BWReplenish.Mean()
+		out = append(out, RegPeriodPoint{
+			PeriodMs:       period,
+			Replenishments: res.BWReplenishments,
+			ThrottleEvents: res.ThrottleEvents,
+			AvgReplenishUs: avgUs,
+			OverheadShare:  float64(res.BWReplenishments) * avgUs / (cfg.HorizonMs * 1000),
+		})
+	}
+	return out, nil
+}
+
+// RegPeriodTable renders the sweep.
+func RegPeriodTable(points []RegPeriodPoint) string {
+	var b strings.Builder
+	b.WriteString("regulation-period trade-off (constant bandwidth rate)\n")
+	fmt.Fprintf(&b, "%10s %12s %10s %14s %14s\n",
+		"period(ms)", "refills", "throttles", "avg-refill(us)", "ovh-share")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%10.2f %12d %10d %14.3f %14.6f\n",
+			p.PeriodMs, p.Replenishments, p.ThrottleEvents, p.AvgReplenishUs, p.OverheadShare)
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPartitionSweep(t *testing.T) {
+	res, err := RunPartitionSweep(PartitionSweepConfig{
+		Partitions:       []int{8, 20, 40},
+		Util:             1.2,
+		TasksetsPerPoint: 6,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Heuristic) != 3 || len(res.Evenly) != 3 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	// More partitions never hurt (statistically; the sweep shares seeds).
+	if res.Heuristic[2] < res.Heuristic[0]-0.2 {
+		t.Errorf("heuristic fraction dropped with 5x partitions: %v", res.Heuristic)
+	}
+	// The heuristic dominates the even split at every point.
+	for i := range res.Partitions {
+		if res.Heuristic[i] < res.Evenly[i]-1e-9 {
+			t.Errorf("partitions=%d: heuristic %v below even split %v",
+				res.Partitions[i], res.Heuristic[i], res.Evenly[i])
+		}
+	}
+	tbl := res.Table()
+	if !strings.Contains(tbl, "heuristic") || !strings.Contains(tbl, "even-split") {
+		t.Errorf("table malformed:\n%s", tbl)
+	}
+}
+
+func TestRunRegPeriodSweep(t *testing.T) {
+	points, err := RunRegPeriodSweep(RegPeriodSweepConfig{
+		PeriodsMs: []float64{0.5, 2},
+		HorizonMs: 400,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	// Shorter period => proportionally more refills.
+	if points[0].Replenishments <= points[1].Replenishments {
+		t.Errorf("0.5ms period should refill more often than 2ms: %d vs %d",
+			points[0].Replenishments, points[1].Replenishments)
+	}
+	ratio := float64(points[0].Replenishments) / float64(points[1].Replenishments)
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("refill ratio = %v, want ~4 (period ratio)", ratio)
+	}
+	tbl := RegPeriodTable(points)
+	if !strings.Contains(tbl, "period(ms)") {
+		t.Errorf("table malformed:\n%s", tbl)
+	}
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"vc2m/internal/alloc"
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+	"vc2m/internal/workload"
+)
+
+// VMCountConfig parameterizes the abstraction-overhead-versus-VM-count
+// study. This experiment is not in the paper; it isolates the paper's
+// central claim directly: under the existing compositional analysis every
+// additional VM adds VCPUs, and every VCPU pays a bandwidth premium over
+// its tasks' utilization — while the vC2M analyses are invariant to how
+// tasks are grouped into VMs, because their VCPU bandwidth equals taskset
+// utilization exactly.
+type VMCountConfig struct {
+	// Platform for the workloads.
+	Platform model.Platform
+	// Util is the taskset reference utilization (a moderate fixed load).
+	Util float64
+	// VMCounts are the VM counts to sweep; nil defaults to 1, 2, 4, 8.
+	VMCounts []int
+	// TasksetsPerPoint is the number of tasksets per VM count; zero
+	// defaults to 20.
+	TasksetsPerPoint int
+	// Seed makes the study reproducible.
+	Seed int64
+}
+
+// VMCountResult holds the per-VM-count schedulable fractions.
+type VMCountResult struct {
+	Config   VMCountConfig
+	VMCounts []int
+	// Fractions maps solution name to one fraction per VM count.
+	Fractions map[string][]float64
+	order     []string
+}
+
+// RunVMCount sweeps the VM count at a fixed utilization for the
+// flattening, overhead-free and existing-CSA heuristics.
+func RunVMCount(cfg VMCountConfig) (*VMCountResult, error) {
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Util <= 0 {
+		return nil, fmt.Errorf("experiment: utilization %v, need > 0", cfg.Util)
+	}
+	counts := cfg.VMCounts
+	if counts == nil {
+		counts = []int{1, 2, 4, 8}
+	}
+	per := cfg.TasksetsPerPoint
+	if per == 0 {
+		per = 20
+	}
+	solutions := []alloc.Allocator{
+		&alloc.Heuristic{Mode: alloc.Flattening},
+		&alloc.Heuristic{Mode: alloc.OverheadFree},
+		&alloc.Heuristic{Mode: alloc.ExistingCSA},
+	}
+
+	res := &VMCountResult{
+		Config:    cfg,
+		VMCounts:  counts,
+		Fractions: make(map[string][]float64, len(solutions)),
+	}
+	for _, sol := range solutions {
+		res.order = append(res.order, sol.Name())
+		res.Fractions[sol.Name()] = make([]float64, len(counts))
+	}
+
+	root := rngutil.New(cfg.Seed)
+	for ci, numVMs := range counts {
+		schedulable := make([]int, len(solutions))
+		for ts := 0; ts < per; ts++ {
+			genRNG := root.Split()
+			allocRNG := root.Split()
+			sys, err := workload.Generate(workload.Config{
+				Platform:      cfg.Platform,
+				TargetRefUtil: cfg.Util,
+				Dist:          workload.Uniform,
+				NumVMs:        numVMs,
+			}, genRNG)
+			if err != nil {
+				return nil, err
+			}
+			for si, sol := range solutions {
+				if _, err := sol.Allocate(sys, rngutil.New(allocRNG.Int63())); err == nil {
+					schedulable[si]++
+				}
+			}
+		}
+		for si, sol := range solutions {
+			res.Fractions[sol.Name()][ci] = float64(schedulable[si]) / float64(per)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the study: one row per solution, one column per VM count.
+func (r *VMCountResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "abstraction overhead vs VM count (platform %s, utilization %.2f)\n",
+		r.Config.Platform.Name, r.Config.Util)
+	fmt.Fprintf(&b, "%-36s", "solution \\ VMs")
+	for _, n := range r.VMCounts {
+		fmt.Fprintf(&b, " %6d", n)
+	}
+	b.WriteByte('\n')
+	for _, name := range r.order {
+		fmt.Fprintf(&b, "%-36s", name)
+		for _, f := range r.Fractions[name] {
+			fmt.Fprintf(&b, " %6.2f", f)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

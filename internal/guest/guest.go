@@ -1,0 +1,145 @@
+// Package guest models the virtual machine's side of vC2M's release
+// synchronization: the LITMUS^RT modifications of Section 3.3.
+//
+// Inside the paper's prototype, a customized system call computes the
+// delay L between a task's initialization and its first release *in the
+// kernel, in VM time*, and a customized hypercall passes L together with
+// the VCPU index to Xen's RTDS scheduler, which moves the VCPU's next
+// release to (hypercall arrival + L). Because L is relative, the fact that
+// the VM's clock and the hypervisor's clock disagree by an arbitrary
+// offset is harmless — the offset cancels.
+//
+// This package reproduces that plumbing over the hypervisor simulator: an
+// OS instance owns a guest clock, registers tasks at guest-time
+// initialization points, computes their release delays in "kernel space",
+// and issues the hypercalls. It exists so that the synchronization story
+// can be exercised end to end (guest time in, correct VCPU releases out)
+// rather than by poking the simulator's internals.
+package guest
+
+import (
+	"fmt"
+
+	"vc2m/internal/hypersim"
+	"vc2m/internal/timeunit"
+)
+
+// Hypervisor is the hypercall surface the guest needs; *hypersim.Simulator
+// implements it.
+type Hypervisor interface {
+	// SyncRelease sets the named VCPU's next release to now + delay.
+	SyncRelease(vcpuID string, delay timeunit.Ticks) error
+}
+
+// TaskScheduler is the guest-internal scheduling surface: the guest OS
+// releases its own tasks (in the simulator this sets the task's first
+// release). *hypersim.Simulator implements it too, standing in for the
+// guest kernel's release queue.
+type TaskScheduler interface {
+	SetTaskRelease(taskID string, delay timeunit.Ticks) error
+}
+
+var (
+	_ Hypervisor    = (*hypersim.Simulator)(nil)
+	_ TaskScheduler = (*hypersim.Simulator)(nil)
+)
+
+// OS is one guest operating system instance.
+type OS struct {
+	vm    string
+	clock hypersim.GuestClock
+	hv    Hypervisor
+	tasks map[string]*taskReg
+}
+
+type taskReg struct {
+	vcpuID    string
+	initAt    timeunit.Ticks // guest time of initialization
+	firstRel  timeunit.Ticks // guest time of first release
+	hypercall bool
+}
+
+// NewOS boots a guest for the VM with the given clock offset against the
+// hypervisor's wall time.
+func NewOS(vm string, offset timeunit.Ticks, hv Hypervisor) *OS {
+	return &OS{
+		vm:    vm,
+		clock: hypersim.GuestClock{Offset: offset},
+		hv:    hv,
+		tasks: make(map[string]*taskReg),
+	}
+}
+
+// VM returns the guest's VM identifier.
+func (os *OS) VM() string { return os.vm }
+
+// InitTask registers a task at the current guest time (derived from the
+// hypervisor wall time) with its first release firstIn ticks later, on the
+// given (dedicated) VCPU. This is the task-creation path in the guest
+// kernel.
+func (os *OS) InitTask(taskID, vcpuID string, wallNow, firstIn timeunit.Ticks) error {
+	if _, ok := os.tasks[taskID]; ok {
+		return fmt.Errorf("guest %s: task %s already initialized", os.vm, taskID)
+	}
+	if firstIn < 0 {
+		return fmt.Errorf("guest %s: task %s first release %v in the past", os.vm, taskID, firstIn)
+	}
+	now := os.clock.Now(wallNow)
+	os.tasks[taskID] = &taskReg{
+		vcpuID:   vcpuID,
+		initAt:   now,
+		firstRel: now + firstIn,
+	}
+	return nil
+}
+
+// ReleaseDelay is the customized system call: it computes L = (first
+// release) - (initialization) in guest time — the only quantity that can
+// safely cross the VM/hypervisor boundary.
+func (os *OS) ReleaseDelay(taskID string) (timeunit.Ticks, error) {
+	reg, ok := os.tasks[taskID]
+	if !ok {
+		return 0, fmt.Errorf("guest %s: unknown task %s", os.vm, taskID)
+	}
+	return reg.firstRel - reg.initAt, nil
+}
+
+// SyncTask is the customized hypercall path: it fetches the release delay
+// via the system call and passes it, with the VCPU identifier, to the
+// hypervisor scheduler; if the hypervisor also exposes the guest's task
+// release queue (the simulator does), the task's own first release is set
+// to the same instant, completing the synchronization. Idempotent per
+// task.
+func (os *OS) SyncTask(taskID string) error {
+	reg, ok := os.tasks[taskID]
+	if !ok {
+		return fmt.Errorf("guest %s: unknown task %s", os.vm, taskID)
+	}
+	if reg.hypercall {
+		return nil
+	}
+	delay, err := os.ReleaseDelay(taskID)
+	if err != nil {
+		return err
+	}
+	if err := os.hv.SyncRelease(reg.vcpuID, delay); err != nil {
+		return err
+	}
+	if ts, ok := os.hv.(TaskScheduler); ok {
+		if err := ts.SetTaskRelease(taskID, delay); err != nil {
+			return err
+		}
+	}
+	reg.hypercall = true
+	return nil
+}
+
+// SyncAll issues the hypercall for every registered task.
+func (os *OS) SyncAll() error {
+	for id := range os.tasks {
+		if err := os.SyncTask(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}

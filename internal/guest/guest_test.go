@@ -1,0 +1,142 @@
+package guest
+
+import (
+	"testing"
+
+	"vc2m/internal/csa"
+	"vc2m/internal/hypersim"
+	"vc2m/internal/model"
+	"vc2m/internal/timeunit"
+)
+
+// fakeHV records hypercalls.
+type fakeHV struct {
+	calls map[string]timeunit.Ticks
+	fail  bool
+}
+
+func (f *fakeHV) SyncRelease(vcpuID string, delay timeunit.Ticks) error {
+	if f.fail {
+		return errFail
+	}
+	if f.calls == nil {
+		f.calls = map[string]timeunit.Ticks{}
+	}
+	f.calls[vcpuID] = delay
+	return nil
+}
+
+var errFail = &hvError{}
+
+type hvError struct{}
+
+func (*hvError) Error() string { return "hypervisor rejected" }
+
+func TestReleaseDelayIsOffsetInvariant(t *testing.T) {
+	// Identical task timing under wildly different guest-clock offsets
+	// must yield identical delays — the protocol's entire point.
+	for _, offset := range []timeunit.Ticks{0, 98765432, -5555555} {
+		hv := &fakeHV{}
+		os := NewOS("vm0", offset, hv)
+		if err := os.InitTask("t1", "v1", 1000, timeunit.FromMillis(7)); err != nil {
+			t.Fatal(err)
+		}
+		d, err := os.ReleaseDelay("t1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != timeunit.FromMillis(7) {
+			t.Errorf("offset %v: delay = %v, want 7ms", offset, d)
+		}
+	}
+}
+
+func TestSyncTaskIssuesHypercallOnce(t *testing.T) {
+	hv := &fakeHV{}
+	os := NewOS("vm0", 42, hv)
+	if err := os.InitTask("t1", "v1", 0, timeunit.FromMillis(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.SyncTask("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := hv.calls["v1"]; got != timeunit.FromMillis(3) {
+		t.Errorf("hypercall delay = %v, want 3ms", got)
+	}
+	// Idempotent: a second sync does not re-issue.
+	hv.calls["v1"] = -1
+	if err := os.SyncTask("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if hv.calls["v1"] != -1 {
+		t.Error("SyncTask re-issued the hypercall")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	hv := &fakeHV{}
+	os := NewOS("vm0", 0, hv)
+	if err := os.InitTask("t1", "v1", 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.InitTask("t1", "v1", 0, 10); err == nil {
+		t.Error("duplicate init accepted")
+	}
+	if err := os.InitTask("t2", "v2", 0, -1); err == nil {
+		t.Error("negative first release accepted")
+	}
+	if _, err := os.ReleaseDelay("nope"); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if err := os.SyncTask("nope"); err == nil {
+		t.Error("unknown task accepted by SyncTask")
+	}
+	hv.fail = true
+	if err := os.SyncTask("t1"); err == nil {
+		t.Error("hypervisor failure not propagated")
+	}
+	if os.VM() != "vm0" {
+		t.Errorf("VM() = %q", os.VM())
+	}
+}
+
+func TestSyncAllAgainstRealSimulator(t *testing.T) {
+	// End to end: tasks declared with staggered guest-time releases; the
+	// guest OS syncs its VCPUs via real hypercalls; the simulation shows
+	// the VCPUs releasing at the right wall times (replenishment counts
+	// over the horizon reflect the delayed starts).
+	p := model.PlatformA
+	t1 := model.SimpleTask("t1", p, 10, 1)
+	t1.VM = "vm0"
+	t2 := model.SimpleTask("t2", p, 10, 1)
+	t2.VM = "vm0"
+	v1 := csa.FlattenVCPU(t1, 0)
+	v2 := csa.FlattenVCPU(t2, 1)
+	a := &model.Allocation{
+		Platform:    p,
+		Cores:       []*model.CoreAlloc{{Core: 0, Cache: 10, BW: 10, VCPUs: []*model.VCPU{v1, v2}}},
+		Schedulable: true,
+	}
+	s, err := hypersim.New(a, hypersim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	os := NewOS("vm0", 777777, s) // arbitrary clock offset
+	if err := os.InitTask("t1", v1.ID, 0, timeunit.FromMillis(50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.InitTask("t2", v2.ID, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(timeunit.FromMillis(100))
+	// v2 releases at 0 (11 replenishments in [0,100]); v1 at 50ms (~6).
+	if got := res.BudgetReplenishments; got < 15 || got > 18 {
+		t.Errorf("total replenishments = %d, want ~17 (11 + 6)", got)
+	}
+	if res.Missed != 0 {
+		t.Errorf("misses = %d", res.Missed)
+	}
+}

@@ -1,0 +1,101 @@
+package hypersim
+
+import (
+	"testing"
+
+	"vc2m/internal/csa"
+	"vc2m/internal/model"
+	"vc2m/internal/timeunit"
+)
+
+// twoTaskAlloc builds one core with two flattened tasks; inflate adds the
+// analysis-side budget inflation that should cover the injected overhead.
+func twoTaskAlloc(t *testing.T, wcet float64, inflate csa.Overheads) *model.Allocation {
+	t.Helper()
+	p := model.PlatformA
+	var vcpus []*model.VCPU
+	for i, id := range []string{"t1", "t2"} {
+		task := model.SimpleTask(id, p, 10, wcet)
+		task.VM = "vm"
+		vcpus = append(vcpus, inflate.InflateVCPU(csa.FlattenVCPU(task, i)))
+	}
+	return &model.Allocation{
+		Platform:    p,
+		Cores:       []*model.CoreAlloc{{Core: 0, Cache: 10, BW: 10, VCPUs: vcpus}},
+		Schedulable: true,
+	}
+}
+
+func TestContextSwitchCostZeroIsNoop(t *testing.T) {
+	a := twoTaskAlloc(t, 5, csa.Overheads{})
+	s, err := New(a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(timeunit.FromMillis(1000))
+	if res.Missed != 0 {
+		t.Errorf("utilization 1.0 without overhead missed %d deadlines", res.Missed)
+	}
+}
+
+func TestContextSwitchCostCausesMissesAtFullLoad(t *testing.T) {
+	// Utilization exactly 1.0 leaves no slack: any injected overhead must
+	// produce misses.
+	a := twoTaskAlloc(t, 5, csa.Overheads{})
+	s, err := New(a, Config{ContextSwitchCost: timeunit.FromMillis(0.2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(timeunit.FromMillis(1000))
+	if res.Missed == 0 {
+		t.Error("injected context-switch cost at utilization 1.0 produced no misses")
+	}
+}
+
+func TestOverheadInflationCoversInjectedCost(t *testing.T) {
+	// The paper's accounting ([17]): inflating each VCPU's budget by the
+	// per-period preemption/completion overhead makes the analysis safe
+	// against the injected cost. Budgets 4 + 0.5 each (utilization 0.9
+	// task demand + inflation headroom = 1.0 total) with a 0.2 ms switch
+	// cost: at most 2 switch pairs per 10 ms window on this core, covered
+	// by 2 x 0.5 ms of inflation.
+	a := twoTaskAlloc(t, 4, csa.Overheads{VCPUPreemption: 0.5})
+	s, err := New(a, Config{ContextSwitchCost: timeunit.FromMillis(0.2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(timeunit.FromMillis(1000))
+	if res.Missed != 0 {
+		t.Errorf("inflated budgets should absorb the injected cost; missed %d", res.Missed)
+	}
+}
+
+func TestContextSwitchCostChargedToBudgetNotTask(t *testing.T) {
+	// A single task alone on its core: the initial switch-in costs budget
+	// but the task still completes (its budget has headroom from the
+	// WCET=budget equality plus the cost being bounded by the budget).
+	p := model.PlatformA
+	task := model.SimpleTask("t1", p, 10, 5)
+	task.VM = "vm"
+	v := csa.FlattenVCPU(task, 0)
+	v.Budget = model.ConstTable(p, 6) // headroom for the switch-in
+	a := &model.Allocation{
+		Platform:    p,
+		Cores:       []*model.CoreAlloc{{Core: 0, Cache: 10, BW: 10, VCPUs: []*model.VCPU{v}}},
+		Schedulable: true,
+	}
+	s, err := New(a, Config{ContextSwitchCost: timeunit.FromMillis(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(timeunit.FromMillis(200))
+	tm := res.Tasks["t1"]
+	if tm.Missed != 0 {
+		t.Errorf("missed %d deadlines", tm.Missed)
+	}
+	// Response time includes the switch-in overhead: 5.5 ms, not 5 ms.
+	want := timeunit.FromMillis(5.5)
+	if tm.MaxResponse != want {
+		t.Errorf("max response = %v, want %v (WCET + switch-in)", tm.MaxResponse, want)
+	}
+}

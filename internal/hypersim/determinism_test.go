@@ -1,0 +1,101 @@
+package hypersim
+
+import (
+	"errors"
+	"testing"
+
+	"vc2m/internal/alloc"
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+	"vc2m/internal/timeunit"
+	"vc2m/internal/workload"
+)
+
+// TestSimulationDeterminism: identical allocations simulated twice produce
+// identical traces and metrics — the reproducibility property the
+// well-regulated analysis (and every experiment in this repository)
+// relies on.
+func TestSimulationDeterminism(t *testing.T) {
+	sys, err := workload.Generate(workload.Config{
+		Platform:      model.PlatformA,
+		TargetRefUtil: 1.0,
+		Dist:          workload.Uniform,
+	}, rngutil.New(555))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &alloc.Heuristic{Mode: alloc.Flattening}
+	a, err := h.Allocate(sys, rngutil.New(2))
+	if errors.Is(err, model.ErrNotSchedulable) {
+		t.Skip("unschedulable at this seed")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() *Result {
+		s, err := New(a, Config{RecordTrace: true, CollectResponses: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run(timeunit.FromMillis(1500))
+	}
+	r1, r2 := run(), run()
+
+	if r1.Released != r2.Released || r1.Completed != r2.Completed || r1.Missed != r2.Missed {
+		t.Fatalf("aggregate metrics differ: %d/%d/%d vs %d/%d/%d",
+			r1.Released, r1.Completed, r1.Missed, r2.Released, r2.Completed, r2.Missed)
+	}
+	if r1.ContextSwitches != r2.ContextSwitches || r1.SchedInvocations != r2.SchedInvocations {
+		t.Fatal("scheduler activity differs between identical runs")
+	}
+	if len(r1.Trace) != len(r2.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(r1.Trace), len(r2.Trace))
+	}
+	for i := range r1.Trace {
+		if r1.Trace[i] != r2.Trace[i] {
+			t.Fatalf("trace diverges at entry %d: %+v vs %+v", i, r1.Trace[i], r2.Trace[i])
+		}
+	}
+	for id, m1 := range r1.Tasks {
+		if m2 := r2.Tasks[id]; m1 != m2 {
+			t.Fatalf("task %s metrics differ: %+v vs %+v", id, m1, m2)
+		}
+	}
+}
+
+// TestResponsePercentiles exercises the CollectResponses path.
+func TestResponsePercentiles(t *testing.T) {
+	a := flatAlloc(t, model.PlatformA, 10, 10, [2]float64{10, 2}, [2]float64{20, 8})
+	s, err := New(a, Config{CollectResponses: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(timeunit.FromMillis(2000))
+	for id, tm := range res.Tasks {
+		if tm.Completed == 0 {
+			continue
+		}
+		if tm.ResponseP50Ms <= 0 {
+			t.Errorf("%s: P50 missing", id)
+		}
+		if tm.ResponseP50Ms > tm.ResponseP95Ms+1e-9 || tm.ResponseP95Ms > tm.ResponseP99Ms+1e-9 {
+			t.Errorf("%s: percentiles not ordered: %v %v %v",
+				id, tm.ResponseP50Ms, tm.ResponseP95Ms, tm.ResponseP99Ms)
+		}
+		if tm.ResponseP99Ms > tm.MaxResponse.Millis()+1e-9 {
+			t.Errorf("%s: P99 %v exceeds max %v", id, tm.ResponseP99Ms, tm.MaxResponse.Millis())
+		}
+	}
+	// Without collection the percentile fields stay zero.
+	s2, err := New(flatAlloc(t, model.PlatformA, 10, 10, [2]float64{10, 2}), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := s2.Run(timeunit.FromMillis(100))
+	for id, tm := range res2.Tasks {
+		if tm.ResponseP50Ms != 0 {
+			t.Errorf("%s: percentiles populated without CollectResponses", id)
+		}
+	}
+}

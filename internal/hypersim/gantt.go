@@ -1,0 +1,93 @@
+package hypersim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vc2m/internal/timeunit"
+)
+
+// RenderGantt converts an execution trace into per-core ASCII timelines:
+// one row per VCPU, one column per time bin, a glyph where the VCPU held
+// the core. It makes the well-regulated execution pattern of Theorem 2
+// directly visible — every period shows the same shape.
+//
+// The window [from, to) is divided into width bins; a bin is marked if the
+// VCPU ran at any point inside it ('#' while executing a task, '.' while
+// consuming budget idle). Injected context-switch overhead renders as part
+// of the incoming slice (the VCPU holds the core either way). Rows are
+// grouped by core and sorted by VCPU ID.
+func RenderGantt(trace []TraceEntry, from, to timeunit.Ticks, width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	if to <= from {
+		return "(empty window)\n"
+	}
+	span := to - from
+
+	type key struct {
+		core int
+		vcpu string
+	}
+	rows := map[key][]byte{}
+	for _, e := range trace {
+		if e.End <= from || e.Start >= to {
+			continue
+		}
+		k := key{e.Core, e.VCPU}
+		row, ok := rows[k]
+		if !ok {
+			row = []byte(strings.Repeat(" ", width))
+			rows[k] = row
+		}
+		start, end := e.Start, e.End
+		if start < from {
+			start = from
+		}
+		if end > to {
+			end = to
+		}
+		c0 := int(int64(start-from) * int64(width) / int64(span))
+		c1 := int((int64(end-from)*int64(width) + int64(span) - 1) / int64(span))
+		if c1 > width {
+			c1 = width
+		}
+		glyph := byte('#')
+		if e.Task == "" {
+			glyph = '.'
+		}
+		for c := c0; c < c1; c++ {
+			if row[c] == ' ' || row[c] == '.' {
+				row[c] = glyph
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return "(no execution in window)\n"
+	}
+
+	keys := make([]key, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].core != keys[b].core {
+			return keys[a].core < keys[b].core
+		}
+		return keys[a].vcpu < keys[b].vcpu
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "window %v .. %v ('#' task running, '.' idle budget burn)\n", from, to)
+	lastCore := -1
+	for _, k := range keys {
+		if k.core != lastCore {
+			fmt.Fprintf(&b, "core %d:\n", k.core)
+			lastCore = k.core
+		}
+		fmt.Fprintf(&b, "  %-22s |%s|\n", k.vcpu, rows[k])
+	}
+	return b.String()
+}

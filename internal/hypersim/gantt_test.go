@@ -1,0 +1,99 @@
+package hypersim
+
+import (
+	"strings"
+	"testing"
+
+	"vc2m/internal/csa"
+	"vc2m/internal/model"
+	"vc2m/internal/timeunit"
+)
+
+func TestRenderGanttBasic(t *testing.T) {
+	trace := []TraceEntry{
+		{Core: 0, VCPU: "v1", Task: "t1", Start: 0, End: 500},
+		{Core: 0, VCPU: "v2", Task: "", Start: 500, End: 1000},
+		{Core: 1, VCPU: "v3", Task: "t3", Start: 0, End: 1000},
+	}
+	out := RenderGantt(trace, 0, 1000, 20)
+	if !strings.Contains(out, "core 0:") || !strings.Contains(out, "core 1:") {
+		t.Errorf("core headers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("task execution glyph missing")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("idle budget glyph missing")
+	}
+	// v1 occupies the first half of its row, v2 the second.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "v1") {
+			bar := line[strings.Index(line, "|")+1:]
+			if bar[0] != '#' || bar[15] != ' ' {
+				t.Errorf("v1 row misplaced: %q", line)
+			}
+		}
+	}
+}
+
+func TestRenderGanttEmpty(t *testing.T) {
+	if out := RenderGantt(nil, 0, 100, 10); !strings.Contains(out, "no execution") {
+		t.Errorf("empty trace: %q", out)
+	}
+	if out := RenderGantt(nil, 100, 100, 10); !strings.Contains(out, "empty window") {
+		t.Errorf("empty window: %q", out)
+	}
+}
+
+func TestRenderGanttWindowClipping(t *testing.T) {
+	trace := []TraceEntry{
+		{Core: 0, VCPU: "v", Task: "t", Start: 0, End: 10000},
+	}
+	out := RenderGantt(trace, 2000, 3000, 10)
+	bar := out[strings.Index(out, "|")+1:]
+	bar = bar[:strings.Index(bar, "|")]
+	if bar != "##########" {
+		t.Errorf("full-window slice should fill the row: %q", bar)
+	}
+	// Entries entirely outside the window are dropped.
+	out = RenderGantt(trace, 20000, 21000, 10)
+	if !strings.Contains(out, "no execution") {
+		t.Error("out-of-window entry not dropped")
+	}
+}
+
+func TestRenderGanttFromSimulation(t *testing.T) {
+	// The integration path: simulate well-regulated VCPUs, render, and
+	// check that two consecutive periods render identically.
+	p := model.PlatformA
+	t1 := model.SimpleTask("t1", p, 10, 3)
+	t1.VM = "vm"
+	t2 := model.SimpleTask("t2", p, 10, 4)
+	t2.VM = "vm2"
+	v1, err := csa.WellRegulatedVCPU([]*model.Task{t1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := csa.WellRegulatedVCPU([]*model.Task{t2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &model.Allocation{
+		Platform:    p,
+		Cores:       []*model.CoreAlloc{{Core: 0, Cache: 10, BW: 10, VCPUs: []*model.VCPU{v1, v2}}},
+		Schedulable: true,
+	}
+	s, err := New(a, Config{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(timeunit.FromMillis(100))
+	period := timeunit.FromMillis(10)
+	g1 := RenderGantt(res.Trace, 3*period, 4*period, 40)
+	g2 := RenderGantt(res.Trace, 4*period, 5*period, 40)
+	// Strip the window header before comparing shapes.
+	body := func(s string) string { return s[strings.Index(s, "\n")+1:] }
+	if body(g1) != body(g2) {
+		t.Errorf("well-regulated periods render differently:\n%s\nvs\n%s", g1, g2)
+	}
+}

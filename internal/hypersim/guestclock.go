@@ -1,0 +1,43 @@
+package hypersim
+
+import (
+	"fmt"
+
+	"vc2m/internal/timeunit"
+)
+
+// GuestClock models a virtual machine's clock, which is generally not
+// synchronized with the hypervisor's: guest time = wall time + Offset.
+// Section 3.2's release-synchronization design exists precisely because of
+// this: the guest cannot simply pass an absolute release time to the
+// hypervisor.
+type GuestClock struct {
+	// Offset is the guest clock's displacement from wall time; it may be
+	// negative.
+	Offset timeunit.Ticks
+}
+
+// Now returns the guest-time reading at the given wall time.
+func (g GuestClock) Now(wall timeunit.Ticks) timeunit.Ticks {
+	return wall + g.Offset
+}
+
+// SyncReleaseFromGuest is the full release-synchronization protocol of
+// Section 3.2, including the guest side. When a task is initialized at
+// guest time vt0 with its first release at guest time vtr, the guest
+// kernel computes the delay L = vtr - vt0 — a *relative* quantity, so the
+// unknown clock offset cancels — and issues the hypercall with L. The
+// hypervisor, receiving the hypercall at its own time xt0, sets the
+// VCPU's next release to xt0 + L.
+//
+// vtInit and vtRelease are in guest time (per clock); the hypercall is
+// modeled as arriving now. The paper notes the hypercall delay makes the
+// VCPU release trail the task's slightly and ignores it in the analysis;
+// here the delay is zero.
+func (s *Simulator) SyncReleaseFromGuest(vcpuID string, clock GuestClock, vtInit, vtRelease timeunit.Ticks) error {
+	if vtRelease < vtInit {
+		return fmt.Errorf("hypersim: release %v before initialization %v (guest time)", vtRelease, vtInit)
+	}
+	delay := vtRelease - vtInit
+	return s.SyncRelease(vcpuID, delay)
+}

@@ -1,0 +1,66 @@
+package hypersim
+
+import (
+	"testing"
+
+	"vc2m/internal/model"
+	"vc2m/internal/timeunit"
+)
+
+func TestGuestClockNow(t *testing.T) {
+	g := GuestClock{Offset: 500}
+	if g.Now(1000) != 1500 {
+		t.Errorf("Now(1000) = %v, want 1500", g.Now(1000))
+	}
+	neg := GuestClock{Offset: -300}
+	if neg.Now(1000) != 700 {
+		t.Errorf("Now(1000) = %v, want 700", neg.Now(1000))
+	}
+}
+
+func TestSyncReleaseFromGuestOffsetCancels(t *testing.T) {
+	// The protocol's point: wildly different guest-clock offsets produce
+	// the same VCPU release time, because only the relative delay L
+	// crosses the hypercall boundary.
+	for _, offset := range []timeunit.Ticks{0, 12345678, -999999} {
+		a := flatAlloc(t, model.PlatformA, 10, 10, [2]float64{10, 1})
+		s, err := New(a, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock := GuestClock{Offset: offset}
+		// Task initialized at guest time X, first release X + 5 ms.
+		vt0 := clock.Now(0)
+		if err := s.SyncReleaseFromGuest(a.Cores[0].VCPUs[0].ID, clock,
+			vt0, vt0+timeunit.FromMillis(5)); err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run(timeunit.FromMillis(100))
+		// VCPU released at 5 ms: ~10 replenishments in [5, 100].
+		if got := res.BudgetReplenishments; got < 9 || got > 11 {
+			t.Errorf("offset %v: replenishments = %d, want ~10", offset, got)
+		}
+	}
+}
+
+func TestSyncReleaseFromGuestRejectsBackwardRelease(t *testing.T) {
+	a := flatAlloc(t, model.PlatformA, 10, 10, [2]float64{10, 1})
+	s, err := New(a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SyncReleaseFromGuest(a.Cores[0].VCPUs[0].ID, GuestClock{}, 100, 50); err == nil {
+		t.Error("release before initialization accepted")
+	}
+}
+
+func TestSyncReleaseFromGuestUnknownVCPU(t *testing.T) {
+	a := flatAlloc(t, model.PlatformA, 10, 10, [2]float64{10, 1})
+	s, err := New(a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SyncReleaseFromGuest("nope", GuestClock{}, 0, 10); err == nil {
+		t.Error("unknown VCPU accepted")
+	}
+}

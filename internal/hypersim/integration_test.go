@@ -1,0 +1,107 @@
+package hypersim
+
+import (
+	"errors"
+	"testing"
+
+	"vc2m/internal/alloc"
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+	"vc2m/internal/timeunit"
+	"vc2m/internal/workload"
+)
+
+// TestScheduleImpliesNoMisses is the end-to-end soundness check: for
+// randomly generated workloads, any allocation the vC2M solutions declare
+// schedulable must produce zero deadline misses when executed on the
+// hypervisor simulator for two hyperperiods.
+func TestScheduleImpliesNoMisses(t *testing.T) {
+	solutions := []alloc.Allocator{
+		&alloc.Heuristic{Mode: alloc.Flattening},
+		&alloc.Heuristic{Mode: alloc.OverheadFree},
+		alloc.EvenlyPartition{},
+	}
+	checked := 0
+	for seed := int64(0); seed < 8; seed++ {
+		sys, err := workload.Generate(workload.Config{
+			Platform:      model.PlatformA,
+			TargetRefUtil: 0.8 + 0.1*float64(seed%4),
+			Dist:          workload.Uniform,
+		}, rngutil.New(4000+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sol := range solutions {
+			a, err := sol.Allocate(sys, rngutil.New(seed))
+			if errors.Is(err, model.ErrNotSchedulable) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, sol.Name(), err)
+			}
+			// Hyperperiod = max period <= 1100 ms; simulate two.
+			var maxP float64
+			for _, task := range sys.Tasks() {
+				if task.Period > maxP {
+					maxP = task.Period
+				}
+			}
+			s, err := New(a, Config{})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, sol.Name(), err)
+			}
+			res := s.Run(2 * timeunit.FromMillis(maxP))
+			if res.Missed != 0 {
+				t.Errorf("seed %d %s: allocation declared schedulable but missed %d deadlines",
+					seed, sol.Name(), res.Missed)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no schedulable allocations were produced to check")
+	}
+}
+
+// TestExistingCSAAllocationsAlsoHold checks the same property for the
+// existing-CSA solutions: their budgets are conservative (at least the
+// overhead-free budget), so simulated deadlines must hold too.
+func TestExistingCSAAllocationsAlsoHold(t *testing.T) {
+	solutions := []alloc.Allocator{
+		&alloc.Heuristic{Mode: alloc.ExistingCSA},
+		alloc.Baseline{},
+	}
+	checked := 0
+	for seed := int64(0); seed < 6; seed++ {
+		sys, err := workload.Generate(workload.Config{
+			Platform:      model.PlatformA,
+			TargetRefUtil: 0.5,
+			Dist:          workload.Uniform,
+		}, rngutil.New(5000+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sol := range solutions {
+			a, err := sol.Allocate(sys, rngutil.New(seed))
+			if errors.Is(err, model.ErrNotSchedulable) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, sol.Name(), err)
+			}
+			s, err := New(a, Config{})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, sol.Name(), err)
+			}
+			res := s.Run(timeunit.FromMillis(2200))
+			if res.Missed != 0 {
+				t.Errorf("seed %d %s: schedulable allocation missed %d deadlines",
+					seed, sol.Name(), res.Missed)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no schedulable allocations were produced to check")
+	}
+}

@@ -1,0 +1,81 @@
+package hypersim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"vc2m/internal/csa"
+	"vc2m/internal/model"
+	"vc2m/internal/timeunit"
+)
+
+// TestExactSchedulerMetrics pins down the scheduler counters for a fully
+// deterministic scenario: one task (10, 4) alone on a core over 100 ms.
+func TestExactSchedulerMetrics(t *testing.T) {
+	a := flatAlloc(t, model.PlatformA, 10, 10, [2]float64{10, 4})
+	res := run(t, a, Config{}, 100)
+
+	// Releases at 0,10,...,100: 11 replenishments; the job released at
+	// 100 does not execute.
+	if res.BudgetReplenishments != 11 {
+		t.Errorf("replenishments = %d, want 11", res.BudgetReplenishments)
+	}
+	tm := res.Tasks[taskName(0)]
+	if tm.Released != 11 || tm.Completed != 10 || tm.Missed != 0 {
+		t.Errorf("task metrics = %+v, want 11 released / 10 completed / 0 missed", tm)
+	}
+	// Busy 4 ms per 10 ms period.
+	if math.Abs(res.CoreBusy[0]-0.4) > 0.01 {
+		t.Errorf("core busy = %v, want 0.40", res.CoreBusy[0])
+	}
+	if busy := res.VCPUBusy[a.Cores[0].VCPUs[0].ID]; math.Abs(busy-0.4) > 0.01 {
+		t.Errorf("VCPU busy = %v, want 0.40", busy)
+	}
+	// Each period: run 4 ms then idle — 2 context-switch transitions
+	// (to the VCPU, to idle) and a bounded number of scheduling passes.
+	if res.ContextSwitches < 20 || res.ContextSwitches > 23 {
+		t.Errorf("context switches = %d, want ~2 per period", res.ContextSwitches)
+	}
+	if res.SchedInvocations < res.ContextSwitches {
+		t.Errorf("scheduling passes (%d) below context switches (%d)",
+			res.SchedInvocations, res.ContextSwitches)
+	}
+}
+
+// TestLargeSystemStress: 96 flattened VCPUs across 4 cores at ~80% load,
+// 2 simulated seconds — no misses, conservation holds, and the run stays
+// fast enough for CI.
+func TestLargeSystemStress(t *testing.T) {
+	p := model.PlatformA
+	perCore := make([][]*model.VCPU, 4)
+	for i := 0; i < 96; i++ {
+		core := i % 4
+		period := 10.0 * float64(int(1)<<uint(i%3))
+		share := 0.8 / 24
+		task := model.SimpleTask(fmt.Sprintf("s%d", i), p, period, period*share)
+		task.VM = "vm"
+		perCore[core] = append(perCore[core], csa.FlattenVCPU(task, i))
+	}
+	cores := make([]*model.CoreAlloc, 4)
+	for c := range cores {
+		cores[c] = &model.CoreAlloc{Core: c, Cache: 5, BW: 5, VCPUs: perCore[c]}
+	}
+	a := &model.Allocation{Platform: p, Cores: cores, Schedulable: true}
+	s, err := New(a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(timeunit.FromMillis(2000))
+	if res.Missed != 0 {
+		t.Errorf("stress run missed %d deadlines", res.Missed)
+	}
+	if res.Completed < 96*2000/40 {
+		t.Errorf("completed %d jobs, implausibly few", res.Completed)
+	}
+	for c, busy := range res.CoreBusy {
+		if busy > 0.85 {
+			t.Errorf("core %d busy %v, want ~0.8", c, busy)
+		}
+	}
+}

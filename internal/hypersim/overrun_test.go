@@ -1,0 +1,89 @@
+package hypersim
+
+import (
+	"testing"
+
+	"vc2m/internal/csa"
+	"vc2m/internal/model"
+	"vc2m/internal/timeunit"
+)
+
+// TestOverrunIsContainedByVCPUBudget is the temporal-isolation property of
+// the periodic-server architecture: a task that overruns its declared WCET
+// exhausts its own VCPU's budget and misses its own deadlines, while the
+// other VCPU sharing the core keeps every deadline.
+func TestOverrunIsContainedByVCPUBudget(t *testing.T) {
+	a := flatAlloc(t, model.PlatformA, 10, 10,
+		[2]float64{10, 5}, // a-task: will overrun
+		[2]float64{10, 5}, // b-task: well-behaved
+	)
+	s, err := New(a, Config{
+		OverrunFactor: map[string]float64{taskName(0): 1.6}, // demands 8 ms, budget 5 ms
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(timeunit.FromMillis(1000))
+
+	faulty := res.Tasks[taskName(0)]
+	healthy := res.Tasks[taskName(1)]
+	if faulty.Missed == 0 {
+		t.Error("overrunning task missed no deadlines")
+	}
+	if healthy.Missed != 0 {
+		t.Errorf("well-behaved task missed %d deadlines; the overrun leaked across VCPUs",
+			healthy.Missed)
+	}
+}
+
+// TestOverrunWithinBudgetHarmless: an overrun that still fits inside the
+// VCPU's budget (because the budget has slack at this allocation) hurts
+// nobody.
+func TestOverrunWithinBudgetHarmless(t *testing.T) {
+	p := model.PlatformA
+	task := model.SimpleTask("t", p, 10, 4)
+	task.VM = "vm"
+	v := csa.FlattenVCPU(task, 0)
+	v.Budget = model.ConstTable(p, 6) // slack above the declared WCET
+	a := &model.Allocation{
+		Platform:    p,
+		Cores:       []*model.CoreAlloc{{Core: 0, Cache: 10, BW: 10, VCPUs: []*model.VCPU{v}}},
+		Schedulable: true,
+	}
+	s, err := New(a, Config{OverrunFactor: map[string]float64{"t": 1.4}}) // 5.6 < 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(timeunit.FromMillis(500))
+	if res.Missed != 0 {
+		t.Errorf("overrun within budget slack missed %d deadlines", res.Missed)
+	}
+}
+
+// TestOverrunInsideSharedVCPU: tasks sharing a well-regulated VCPU are NOT
+// isolated from each other (only VCPUs are isolation boundaries); the
+// overrun can steal their common budget.
+func TestOverrunInsideSharedVCPU(t *testing.T) {
+	p := model.PlatformA
+	t1 := model.SimpleTask("greedy", p, 10, 3)
+	t1.VM = "vm"
+	t2 := model.SimpleTask("victim", p, 10, 3)
+	t2.VM = "vm"
+	v, err := csa.WellRegulatedVCPU([]*model.Task{t1, t2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &model.Allocation{
+		Platform:    p,
+		Cores:       []*model.CoreAlloc{{Core: 0, Cache: 10, BW: 10, VCPUs: []*model.VCPU{v}}},
+		Schedulable: true,
+	}
+	s, err := New(a, Config{OverrunFactor: map[string]float64{"greedy": 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(timeunit.FromMillis(1000))
+	if res.Tasks["victim"].Missed == 0 && res.Tasks["greedy"].Missed == 0 {
+		t.Error("a 1.5x overrun inside a budget-exact shared VCPU should cause misses")
+	}
+}

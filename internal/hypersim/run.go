@@ -1,0 +1,221 @@
+package hypersim
+
+import (
+	"vc2m/internal/sim"
+	"vc2m/internal/stats"
+	"vc2m/internal/timeunit"
+)
+
+// TaskMetrics summarizes one task's behaviour over a run.
+type TaskMetrics struct {
+	// Released is the number of jobs released.
+	Released int
+	// Completed is the number of jobs that finished.
+	Completed int
+	// Missed is the number of jobs unfinished at their deadline (such jobs
+	// are discarded, so one overload does not cascade into later jobs).
+	Missed int
+	// MaxLateness is the largest completion time past a deadline observed
+	// (0 when every job met its deadline).
+	MaxLateness timeunit.Ticks
+	// MaxResponse is the largest observed job response time (completion
+	// minus release).
+	MaxResponse timeunit.Ticks
+	// ResponseP50Ms, ResponseP95Ms and ResponseP99Ms are response-time
+	// percentiles in milliseconds; populated only when
+	// Config.CollectResponses is set and the task completed jobs.
+	ResponseP50Ms float64
+	ResponseP95Ms float64
+	ResponseP99Ms float64
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	// Horizon is the simulated duration.
+	Horizon timeunit.Ticks
+	// Released, Completed and Missed aggregate job counts over all tasks.
+	Released  int
+	Completed int
+	Missed    int
+	// Tasks maps task ID to its metrics.
+	Tasks map[string]TaskMetrics
+	// ContextSwitches, SchedInvocations and BudgetReplenishments count
+	// scheduler activity across all cores (Table 2's rows).
+	ContextSwitches      uint64
+	SchedInvocations     uint64
+	BudgetReplenishments uint64
+	// ThrottleEvents and BWReplenishments count regulator activity
+	// (Table 1's rows).
+	ThrottleEvents   uint64
+	BWReplenishments uint64
+	// Overheads holds wall-clock handler cost summaries in microseconds,
+	// keyed by the Ov* constants; only populated with MeasureOverheads.
+	Overheads map[string]stats.Summary
+	// CoreBusy is each core's busy fraction of the horizon.
+	CoreBusy []float64
+	// VCPUBusy is each VCPU's executed share of the horizon (its observed
+	// bandwidth consumption), keyed by VCPU ID.
+	VCPUBusy map[string]float64
+	// Trace is the execution trace; only populated with RecordTrace.
+	Trace []TraceEntry
+}
+
+// vcpuRelease is the periodic-server replenishment: at each period
+// boundary the VCPU's budget is reset to its full value and its deadline
+// moves one period ahead. This is the "CPU budget replenishment" handler
+// of Table 2.
+func (s *Simulator) vcpuRelease(v *vcpuState) {
+	core := s.cores[v.core]
+	s.charge(core) // account the in-flight slice before mutating budgets
+	s.measure(OvBudgetReplenish, func() {
+		now := s.engine.Now()
+		v.released = true
+		v.remaining = v.budget
+		v.deadline = now + v.period
+		v.replenishments++
+	})
+	s.engine.After(v.period, sim.PrioReplenish, func() { s.vcpuRelease(v) })
+	s.requestReschedule(core)
+}
+
+// taskRelease releases the task's next job. A job still unfinished at its
+// implicit deadline (the next release) counts as a deadline miss and is
+// discarded.
+func (s *Simulator) taskRelease(t *taskState, v *vcpuState) {
+	core := s.cores[v.core]
+	s.charge(core)
+	now := s.engine.Now()
+	if t.active && t.remaining > 0 {
+		t.missed++
+		if s.cfg.ContinueLateJobs {
+			// Tardiness mode: the late job keeps running; this release is
+			// skipped (its work is shed rather than queued, bounding the
+			// backlog at one job).
+			s.engine.After(t.period, sim.PrioRelease, func() { s.taskRelease(t, v) })
+			s.requestReschedule(core)
+			return
+		}
+		if core.curTask == t {
+			core.curTask = nil
+		}
+	}
+	t.released++
+	t.remaining = t.wcet
+	t.deadline = now + t.period
+	t.active = t.remaining > 0
+	if !t.active {
+		t.completed++ // zero-demand job completes instantly
+	}
+	s.engine.After(t.period, sim.PrioRelease, func() { s.taskRelease(t, v) })
+	s.requestReschedule(core)
+}
+
+// onThrottle is the BW enforcer handler (Fig. 1 step 3): invoked from the
+// simulated PC-overflow interrupt, it marks the core throttled and asks
+// the scheduler to de-schedule the running VCPU, leaving the core idle.
+func (s *Simulator) onThrottle(coreID int) {
+	core := s.cores[coreID]
+	s.measure(OvThrottle, func() {
+		core.throttled = true
+		s.throttleEvents++
+	})
+	s.requestReschedule(core)
+}
+
+// onBWReplenish is invoked by the regulator for each core during the
+// periodic refill; previously throttled cores get a scheduling pass so a
+// VCPU runs again (Fig. 1 step 4).
+func (s *Simulator) onBWReplenish(coreID int, wasThrottled bool) {
+	core := s.cores[coreID]
+	core.throttled = false
+	if wasThrottled {
+		s.requestReschedule(core)
+	}
+}
+
+// regTick is the BW refiller timer handler (Table 1's "memory BW budget
+// replenishment"): it replenishes every core's budget and re-arms itself.
+func (s *Simulator) regTick() {
+	for _, core := range s.cores {
+		s.charge(core) // account in-flight requests before the refill
+	}
+	s.measure(OvBWReplenish, func() {
+		s.reg.Replenish()
+		s.regReplenishes++
+	})
+	s.engine.After(s.cfg.RegulationPeriod, sim.PrioRegulator, s.regTick)
+}
+
+// Run simulates the allocation for the given horizon and returns the
+// aggregated result. Run may only be called once per Simulator; further
+// calls panic (re-running would double-register every release event).
+func (s *Simulator) Run(horizon timeunit.Ticks) *Result {
+	if s.ran {
+		panic("hypersim: Run called twice on the same Simulator")
+	}
+	s.ran = true
+	for _, v := range s.vcpus {
+		v := v
+		s.engine.At(v.offset, sim.PrioReplenish, func() { s.vcpuRelease(v) })
+		for _, t := range v.tasks {
+			t := t
+			s.engine.At(t.offset, sim.PrioRelease, func() { s.taskRelease(t, v) })
+		}
+	}
+	if s.reg != nil {
+		s.engine.At(s.cfg.RegulationPeriod, sim.PrioRegulator, s.regTick)
+	}
+
+	s.engine.RunUntil(horizon)
+	for _, core := range s.cores {
+		s.charge(core)
+	}
+
+	res := &Result{
+		Horizon:          horizon,
+		Tasks:            make(map[string]TaskMetrics, len(s.tasks)),
+		ThrottleEvents:   s.throttleEvents,
+		BWReplenishments: s.regReplenishes,
+		CoreBusy:         make([]float64, len(s.cores)),
+		Trace:            s.trace,
+	}
+	for _, t := range s.tasks {
+		tm := TaskMetrics{
+			Released:    t.released,
+			Completed:   t.completed,
+			Missed:      t.missed,
+			MaxLateness: t.maxLate,
+			MaxResponse: t.maxResp,
+		}
+		if t.responses != nil && t.responses.N() > 0 {
+			tm.ResponseP50Ms = t.responses.Percentile(50)
+			tm.ResponseP95Ms = t.responses.Percentile(95)
+			tm.ResponseP99Ms = t.responses.Percentile(99)
+		}
+		res.Tasks[t.spec.ID] = tm
+		res.Released += t.released
+		res.Completed += t.completed
+		res.Missed += t.missed
+	}
+	for i, core := range s.cores {
+		res.ContextSwitches += core.contextSwitches
+		res.SchedInvocations += core.schedInvocations
+		if horizon > 0 {
+			res.CoreBusy[i] = float64(core.busyTicks) / float64(horizon)
+		}
+	}
+	res.VCPUBusy = make(map[string]float64, len(s.vcpus))
+	for _, v := range s.vcpus {
+		res.BudgetReplenishments += v.replenishments
+		if horizon > 0 {
+			res.VCPUBusy[v.spec.ID] = float64(v.execTicks) / float64(horizon)
+		}
+	}
+	if s.cfg.MeasureOverheads {
+		res.Overheads = make(map[string]stats.Summary, len(s.overheads))
+		for k, sample := range s.overheads {
+			res.Overheads[k] = sample.Summary()
+		}
+	}
+	return res
+}

@@ -1,0 +1,26 @@
+package kmeans
+
+import (
+	"testing"
+
+	"vc2m/internal/rngutil"
+)
+
+func BenchmarkCluster(b *testing.B) {
+	// 100 points in the slowdown-vector dimensionality of Platform A
+	// (19 x 20 = 380), 3 clusters — the hypervisor-level clustering load.
+	rng := rngutil.New(1)
+	points := make([][]float64, 100)
+	for i := range points {
+		p := make([]float64, 380)
+		base := 1 + rng.Float64()*3
+		for d := range p {
+			p[d] = base * (1 + rng.Float64()*0.1)
+		}
+		points[i] = p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cluster(points, 3, rngutil.New(int64(i)))
+	}
+}

@@ -1,0 +1,200 @@
+// Package kmeans implements Lloyd's algorithm with kmeans++ seeding for
+// clustering slowdown vectors.
+//
+// Both allocation levels in vC2M group entities (tasks at the VM level,
+// VCPUs at the hypervisor level) with similar sensitivity to cache and
+// memory-bandwidth resources, so that the partitions granted to a VCPU or a
+// core benefit everything placed on it. A slowdown vector is a point in
+// R^((C-Cmin+1)*(B-Bmin+1)); Euclidean distance between two such points is a
+// natural similarity measure because entries are normalized slowdowns
+// (s(C,B) = 1 for everything).
+//
+// The implementation is fully deterministic under a caller-supplied RNG.
+package kmeans
+
+import (
+	"math"
+
+	"vc2m/internal/rngutil"
+)
+
+// Result holds the outcome of a clustering run.
+type Result struct {
+	// Assign maps each input point index to a cluster index in [0, K).
+	Assign []int
+	// Centers holds the final cluster centroids.
+	Centers [][]float64
+	// K is the number of non-empty clusters actually produced (always equal
+	// to len(Centers); empty clusters are dropped and indices compacted).
+	K int
+	// Iterations is the number of Lloyd iterations executed.
+	Iterations int
+}
+
+// maxIterations bounds the Lloyd loop; the clustering problems in this
+// repository (tens to hundreds of points, k <= 8) converge in far fewer.
+const maxIterations = 100
+
+// Cluster partitions points into at most k clusters and returns the
+// assignment. It panics if k <= 0. If there are fewer distinct points than
+// k, fewer clusters are returned. An empty point set yields an empty result.
+// All points must have the same dimension; Cluster panics otherwise.
+func Cluster(points [][]float64, k int, rng *rngutil.RNG) Result {
+	if k <= 0 {
+		panic("kmeans: k must be positive")
+	}
+	n := len(points)
+	if n == 0 {
+		return Result{Assign: []int{}, Centers: [][]float64{}}
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			panic("kmeans: points with inconsistent dimensions")
+		}
+	}
+	if k > n {
+		k = n
+	}
+
+	centers := seedPlusPlus(points, k, rng)
+	assign := make([]int, n)
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+
+	iter := 0
+	for ; iter < maxIterations; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := sqDist(p, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			if assign[i] != prev[i] {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		copy(prev, assign)
+
+		// Recompute centroids.
+		counts := make([]int, len(centers))
+		for c := range centers {
+			for d := 0; d < dim; d++ {
+				centers[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				centers[c][d] += p[d]
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// current center, a standard fix that keeps k stable when
+				// the data supports it.
+				centers[c] = clonePoint(points[farthestPoint(points, centers, assign)])
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centers[c][d] /= float64(counts[c])
+			}
+		}
+	}
+
+	return compact(assign, centers, iter)
+}
+
+// seedPlusPlus picks k initial centers with the kmeans++ strategy: the first
+// uniformly, each subsequent one with probability proportional to its
+// squared distance from the nearest chosen center.
+func seedPlusPlus(points [][]float64, k int, rng *rngutil.RNG) [][]float64 {
+	n := len(points)
+	centers := make([][]float64, 0, k)
+	centers = append(centers, clonePoint(points[rng.Intn(n)]))
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+		}
+		centers = append(centers, clonePoint(points[rng.Choice(d2)]))
+	}
+	return centers
+}
+
+// farthestPoint returns the index of the point with the greatest distance to
+// its assigned center.
+func farthestPoint(points [][]float64, centers [][]float64, assign []int) int {
+	best, bestD := 0, -1.0
+	for i, p := range points {
+		d := sqDist(p, centers[assign[i]])
+		if d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// compact removes empty clusters and renumbers assignments densely.
+func compact(assign []int, centers [][]float64, iters int) Result {
+	used := make([]bool, len(centers))
+	for _, a := range assign {
+		used[a] = true
+	}
+	remap := make([]int, len(centers))
+	var kept [][]float64
+	for c := range centers {
+		if used[c] {
+			remap[c] = len(kept)
+			kept = append(kept, centers[c])
+		} else {
+			remap[c] = -1
+		}
+	}
+	out := make([]int, len(assign))
+	for i, a := range assign {
+		out[i] = remap[a]
+	}
+	return Result{Assign: out, Centers: kept, K: len(kept), Iterations: iters}
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func clonePoint(p []float64) []float64 {
+	out := make([]float64, len(p))
+	copy(out, p)
+	return out
+}
+
+// Inertia returns the total within-cluster sum of squared distances for a
+// result, a standard clustering-quality metric used in tests.
+func Inertia(points [][]float64, r Result) float64 {
+	var total float64
+	for i, p := range points {
+		total += sqDist(p, r.Centers[r.Assign[i]])
+	}
+	return total
+}

@@ -1,0 +1,183 @@
+package kmeans
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vc2m/internal/rngutil"
+)
+
+func TestEmptyInput(t *testing.T) {
+	r := Cluster(nil, 3, rngutil.New(1))
+	if len(r.Assign) != 0 || r.K != 0 {
+		t.Errorf("empty input should yield empty result, got %+v", r)
+	}
+}
+
+func TestPanicsOnNonPositiveK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Cluster with k=0 did not panic")
+		}
+	}()
+	Cluster([][]float64{{1}}, 0, rngutil.New(1))
+}
+
+func TestPanicsOnMixedDimensions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Cluster with mixed dimensions did not panic")
+		}
+	}()
+	Cluster([][]float64{{1, 2}, {1}}, 1, rngutil.New(1))
+}
+
+func TestSinglePoint(t *testing.T) {
+	r := Cluster([][]float64{{3, 4}}, 5, rngutil.New(1))
+	if r.K != 1 || r.Assign[0] != 0 {
+		t.Errorf("single point: got %+v", r)
+	}
+}
+
+func TestTwoWellSeparatedClusters(t *testing.T) {
+	pts := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1},
+		{10, 10}, {10.1, 10}, {10, 10.1}, {10.1, 10.1},
+	}
+	r := Cluster(pts, 2, rngutil.New(42))
+	if r.K != 2 {
+		t.Fatalf("K = %d, want 2", r.K)
+	}
+	// All of the first four must share a label, all of the last four the other.
+	for i := 1; i < 4; i++ {
+		if r.Assign[i] != r.Assign[0] {
+			t.Errorf("point %d not clustered with point 0: %v", i, r.Assign)
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if r.Assign[i] != r.Assign[4] {
+			t.Errorf("point %d not clustered with point 4: %v", i, r.Assign)
+		}
+	}
+	if r.Assign[0] == r.Assign[4] {
+		t.Errorf("separated groups merged: %v", r.Assign)
+	}
+}
+
+func TestThreeClustersInSlowdownSpace(t *testing.T) {
+	// Mimic slowdown vectors: flat (compute-bound), steep (memory-bound),
+	// and intermediate profiles.
+	flat := []float64{1.05, 1.02, 1.01, 1.0}
+	steep := []float64{4.0, 2.5, 1.6, 1.0}
+	mid := []float64{2.0, 1.6, 1.3, 1.0}
+	var pts [][]float64
+	for i := 0; i < 5; i++ {
+		pts = append(pts, jitter(flat, float64(i)*0.001))
+		pts = append(pts, jitter(steep, float64(i)*0.001))
+		pts = append(pts, jitter(mid, float64(i)*0.001))
+	}
+	r := Cluster(pts, 3, rngutil.New(7))
+	if r.K != 3 {
+		t.Fatalf("K = %d, want 3", r.K)
+	}
+	// Points of the same family (index mod 3) must share a cluster.
+	for fam := 0; fam < 3; fam++ {
+		want := r.Assign[fam]
+		for i := fam; i < len(pts); i += 3 {
+			if r.Assign[i] != want {
+				t.Errorf("family %d split across clusters: %v", fam, r.Assign)
+			}
+		}
+	}
+}
+
+func jitter(p []float64, d float64) []float64 {
+	out := make([]float64, len(p))
+	for i, v := range p {
+		out[i] = v + d
+	}
+	return out
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	pts := [][]float64{{1}, {2}, {9}, {10}, {5}, {6}}
+	a := Cluster(pts, 3, rngutil.New(123))
+	b := Cluster(pts, 3, rngutil.New(123))
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("same seed produced different assignments: %v vs %v", a.Assign, b.Assign)
+		}
+	}
+}
+
+func TestKLargerThanN(t *testing.T) {
+	pts := [][]float64{{1}, {2}, {3}}
+	r := Cluster(pts, 10, rngutil.New(5))
+	if r.K > 3 {
+		t.Errorf("K = %d exceeds number of points", r.K)
+	}
+	for _, a := range r.Assign {
+		if a < 0 || a >= r.K {
+			t.Errorf("assignment %d out of range [0,%d)", a, r.K)
+		}
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	pts := [][]float64{{2, 2}, {2, 2}, {2, 2}, {2, 2}}
+	r := Cluster(pts, 3, rngutil.New(9))
+	for _, a := range r.Assign {
+		if a < 0 || a >= r.K {
+			t.Errorf("invalid assignment for identical points: %+v", r)
+		}
+	}
+	if Inertia(pts, r) != 0 {
+		t.Errorf("identical points should have zero inertia, got %v", Inertia(pts, r))
+	}
+}
+
+func TestAssignmentsAlwaysValid(t *testing.T) {
+	f := func(raw []uint8, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pts := make([][]float64, len(raw))
+		for i, v := range raw {
+			pts[i] = []float64{float64(v), float64(v % 7)}
+		}
+		k := int(kRaw%8) + 1
+		r := Cluster(pts, k, rngutil.New(77))
+		if len(r.Assign) != len(pts) {
+			return false
+		}
+		if r.K != len(r.Centers) {
+			return false
+		}
+		used := make([]bool, r.K)
+		for _, a := range r.Assign {
+			if a < 0 || a >= r.K {
+				return false
+			}
+			used[a] = true
+		}
+		for _, u := range used {
+			if !u { // compact() must drop empty clusters
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInertiaDecreasesWithMoreClusters(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {2}, {10}, {11}, {12}, {20}, {21}, {22}}
+	r1 := Cluster(pts, 1, rngutil.New(3))
+	r3 := Cluster(pts, 3, rngutil.New(3))
+	if Inertia(pts, r3) >= Inertia(pts, r1) {
+		t.Errorf("inertia with k=3 (%v) not below k=1 (%v)",
+			Inertia(pts, r3), Inertia(pts, r1))
+	}
+}

@@ -1,0 +1,55 @@
+package model
+
+import (
+	"testing"
+)
+
+// FuzzDecodeSystem feeds arbitrary bytes to the system decoder: it must
+// never panic, and anything it accepts must validate.
+func FuzzDecodeSystem(f *testing.F) {
+	good, err := EncodeSystem(&System{Platform: PlatformA, VMs: []*VM{
+		{ID: "vm0", Tasks: []*Task{SimpleTask("t1", PlatformA, 100, 10)}},
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Platform":{"Name":"A","M":4,"C":20,"B":20,"Cmin":2,"Bmin":1}}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, err := DecodeSystem(data)
+		if err != nil {
+			return
+		}
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("DecodeSystem accepted an invalid system: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeAllocation: same contract for the allocation decoder.
+func FuzzDecodeAllocation(f *testing.F) {
+	a := &Allocation{
+		Platform: PlatformA,
+		Cores: []*CoreAlloc{{Core: 0, Cache: 5, BW: 5, VCPUs: []*VCPU{
+			{ID: "v0", Period: 100, Budget: ConstTable(PlatformA, 10)},
+		}}},
+		Schedulable: true,
+	}
+	good, err := EncodeAllocation(a)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{"Cores":[{"Core":-1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := DecodeAllocation(data)
+		if err != nil {
+			return
+		}
+		if err := out.ValidateStructure(nil); err != nil {
+			t.Fatalf("DecodeAllocation accepted a structurally invalid allocation: %v", err)
+		}
+	})
+}

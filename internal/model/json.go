@@ -1,0 +1,85 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// resourceTableJSON is the wire form of a ResourceTable: the index bounds
+// plus the row-major values.
+type resourceTableJSON struct {
+	CMin   int       `json:"cmin"`
+	CMax   int       `json:"cmax"`
+	BMin   int       `json:"bmin"`
+	BMax   int       `json:"bmax"`
+	Values []float64 `json:"values"`
+}
+
+// MarshalJSON encodes the table as bounds plus row-major values, so
+// systems and allocations serialize with encoding/json directly.
+func (t *ResourceTable) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resourceTableJSON{
+		CMin:   t.cmin,
+		CMax:   t.cmin + t.nc - 1,
+		BMin:   t.bmin,
+		BMax:   t.bmin + t.nb - 1,
+		Values: t.vals,
+	})
+}
+
+// UnmarshalJSON decodes the wire form, validating bounds and value count.
+func (t *ResourceTable) UnmarshalJSON(data []byte) error {
+	var w resourceTableJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.CMax < w.CMin || w.BMax < w.BMin || w.CMin < 0 || w.BMin < 0 {
+		return fmt.Errorf("model: invalid ResourceTable bounds c[%d,%d] b[%d,%d]",
+			w.CMin, w.CMax, w.BMin, w.BMax)
+	}
+	nc, nb := w.CMax-w.CMin+1, w.BMax-w.BMin+1
+	if len(w.Values) != nc*nb {
+		return fmt.Errorf("model: ResourceTable has %d values, bounds need %d",
+			len(w.Values), nc*nb)
+	}
+	t.cmin, t.bmin, t.nc, t.nb = w.CMin, w.BMin, nc, nb
+	t.vals = append([]float64(nil), w.Values...)
+	return nil
+}
+
+// EncodeSystem serializes a system to indented JSON.
+func EncodeSystem(sys *System) ([]byte, error) {
+	return json.MarshalIndent(sys, "", "  ")
+}
+
+// DecodeSystem parses a system from JSON and validates it.
+func DecodeSystem(data []byte) (*System, error) {
+	var sys System
+	if err := json.Unmarshal(data, &sys); err != nil {
+		return nil, err
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return &sys, nil
+}
+
+// EncodeAllocation serializes an allocation to indented JSON. Tasks inside
+// VCPUs are embedded by value, so the encoding is self-contained (at the
+// cost of duplicating task definitions that appear in the source system).
+func EncodeAllocation(a *Allocation) ([]byte, error) {
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// DecodeAllocation parses an allocation from JSON and checks its
+// structural invariants.
+func DecodeAllocation(data []byte) (*Allocation, error) {
+	var a Allocation
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, err
+	}
+	if err := a.ValidateStructure(nil); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}

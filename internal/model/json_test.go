@@ -1,0 +1,146 @@
+package model
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestResourceTableJSONRoundTrip(t *testing.T) {
+	orig := NewResourceTable(2, 5, 1, 3)
+	orig.Fill(func(c, b int) float64 { return float64(c*10 + b) })
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ResourceTable
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	cmin, cmax, bmin, bmax := back.Bounds()
+	if cmin != 2 || cmax != 5 || bmin != 1 || bmax != 3 {
+		t.Fatalf("bounds after round trip: %d %d %d %d", cmin, cmax, bmin, bmax)
+	}
+	for c := 2; c <= 5; c++ {
+		for b := 1; b <= 3; b++ {
+			if back.At(c, b) != orig.At(c, b) {
+				t.Fatalf("value mismatch at (%d,%d)", c, b)
+			}
+		}
+	}
+}
+
+func TestResourceTableUnmarshalValidation(t *testing.T) {
+	cases := []string{
+		`{"cmin":5,"cmax":2,"bmin":1,"bmax":1,"values":[1]}`,      // inverted bounds
+		`{"cmin":1,"cmax":2,"bmin":1,"bmax":2,"values":[1,2,3]}`,  // wrong count
+		`{"cmin":-1,"cmax":2,"bmin":1,"bmax":2,"values":[1,2,3]}`, // negative
+		`"nope"`, // wrong type
+	}
+	for _, c := range cases {
+		var tab ResourceTable
+		if err := json.Unmarshal([]byte(c), &tab); err == nil {
+			t.Errorf("accepted invalid table JSON %s", c)
+		}
+	}
+}
+
+func TestSystemJSONRoundTrip(t *testing.T) {
+	sys := &System{Platform: PlatformC, VMs: []*VM{
+		{ID: "vm0", Tasks: []*Task{
+			SimpleTask("t1", PlatformC, 100, 7),
+			SimpleTask("t2", PlatformC, 200, 11),
+		}},
+	}}
+	for _, task := range sys.VMs[0].Tasks {
+		task.VM = "vm0"
+	}
+	data, err := EncodeSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSystem(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.VMs) != 1 || len(back.VMs[0].Tasks) != 2 {
+		t.Fatalf("structure lost: %+v", back)
+	}
+	if back.Platform.Name != "C" || back.Platform.M != 4 {
+		t.Errorf("platform lost: %+v", back.Platform)
+	}
+	if math.Abs(back.VMs[0].Tasks[1].RefWCET()-11) > 1e-12 {
+		t.Errorf("task WCET lost: %v", back.VMs[0].Tasks[1].RefWCET())
+	}
+	if back.RefUtil() != sys.RefUtil() {
+		t.Errorf("utilization changed: %v vs %v", back.RefUtil(), sys.RefUtil())
+	}
+}
+
+func TestDecodeSystemRejectsInvalid(t *testing.T) {
+	// A syntactically valid system that fails validation (duplicate IDs).
+	sys := &System{Platform: PlatformA, VMs: []*VM{
+		{ID: "vm0", Tasks: []*Task{SimpleTask("t1", PlatformA, 100, 1)}},
+		{ID: "vm0", Tasks: []*Task{SimpleTask("t2", PlatformA, 100, 1)}},
+	}}
+	data, err := EncodeSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSystem(data); err == nil {
+		t.Error("duplicate VM IDs accepted")
+	}
+	if _, err := DecodeSystem([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestAllocationJSONRoundTrip(t *testing.T) {
+	task := SimpleTask("t1", PlatformA, 100, 10)
+	task.VM = "vm0"
+	a := &Allocation{
+		Platform: PlatformA,
+		Cores: []*CoreAlloc{{
+			Core: 0, Cache: 8, BW: 6,
+			VCPUs: []*VCPU{{
+				ID: "v0", VM: "vm0", Period: 100,
+				Budget: ConstTable(PlatformA, 10),
+				Tasks:  []*Task{task},
+			}},
+		}},
+		Schedulable: true,
+		Solution:    "Heuristic (flattening)",
+	}
+	data, err := EncodeAllocation(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Heuristic (flattening)") {
+		t.Error("solution label missing from JSON")
+	}
+	back, err := DecodeAllocation(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cores) != 1 || back.Cores[0].Cache != 8 {
+		t.Errorf("allocation structure lost: %+v", back.Cores[0])
+	}
+	if back.Cores[0].VCPUs[0].Budget.Reference() != 10 {
+		t.Error("budget table lost")
+	}
+}
+
+func TestDecodeAllocationRejectsStructurallyInvalid(t *testing.T) {
+	a := &Allocation{
+		Platform: PlatformA,
+		Cores:    []*CoreAlloc{{Core: 99, Cache: 8, BW: 6}},
+	}
+	data, err := EncodeAllocation(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeAllocation(data); err == nil {
+		t.Error("core index out of range accepted")
+	}
+}

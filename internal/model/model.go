@@ -1,0 +1,580 @@
+// Package model defines the cache- and memory-bandwidth-aware task, VCPU,
+// VM and platform model of vC2M (Section 4.1 of the paper).
+//
+// The platform has M identical cores, a shared cache divided into C
+// equal-size partitions, and a memory bus divided into B equal-size
+// bandwidth (BW) partitions. A core may be allocated between Cmin and C
+// cache partitions and between Bmin and B BW partitions.
+//
+// Each task tau_i = (p_i, {e_i(c,b)}) is an independent implicit-deadline
+// periodic task whose WCET e_i(c,b) depends on the cache and BW partitions
+// allocated to its core. e_i* = e_i(C,B) is the reference WCET and
+// s_i(c,b) = e_i(c,b)/e_i* the slowdown vector, which captures the task's
+// sensitivity to cache and BW. VCPUs are modeled identically with budget
+// functions Theta_j(c,b).
+package model
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Platform describes the multicore hardware configuration.
+type Platform struct {
+	// Name identifies the configuration in reports (e.g. "A").
+	Name string
+	// M is the number of identical physical cores.
+	M int
+	// C is the total number of equal-size shared-cache partitions.
+	C int
+	// B is the total number of equal-size memory-bandwidth partitions.
+	B int
+	// Cmin is the minimum number of cache partitions a core can be
+	// allocated (hardware constraint; Intel CAT requires at least 2 ways).
+	Cmin int
+	// Bmin is the minimum number of BW partitions per core.
+	Bmin int
+}
+
+// Validate reports an error if the platform parameters are inconsistent.
+func (p Platform) Validate() error {
+	switch {
+	case p.M <= 0:
+		return fmt.Errorf("platform %s: M = %d, need > 0", p.Name, p.M)
+	case p.Cmin <= 0 || p.Bmin <= 0:
+		return fmt.Errorf("platform %s: Cmin/Bmin = %d/%d, need > 0", p.Name, p.Cmin, p.Bmin)
+	case p.C < p.Cmin:
+		return fmt.Errorf("platform %s: C = %d < Cmin = %d", p.Name, p.C, p.Cmin)
+	case p.B < p.Bmin:
+		return fmt.Errorf("platform %s: B = %d < Bmin = %d", p.Name, p.B, p.Bmin)
+	}
+	return nil
+}
+
+// The three evaluation platforms from Section 5.1. The maximum number of BW
+// partitions equals the maximum number of cache partitions (C = B), and the
+// profiling sweep in the paper uses c = 2..20, so Cmin = 2 and Bmin = 1.
+var (
+	// PlatformA models the Intel Xeon 2618L v3 configuration: 4 cores, 20
+	// cache partitions.
+	PlatformA = Platform{Name: "A", M: 4, C: 20, B: 20, Cmin: 2, Bmin: 1}
+	// PlatformB models the Intel Xeon D-1528 configuration: 6 cores, 20
+	// cache partitions.
+	PlatformB = Platform{Name: "B", M: 6, C: 20, B: 20, Cmin: 2, Bmin: 1}
+	// PlatformC models the Intel Xeon D-1518 configuration: 4 cores, 12
+	// cache partitions.
+	PlatformC = Platform{Name: "C", M: 4, C: 12, B: 12, Cmin: 2, Bmin: 1}
+)
+
+// PlatformByName returns the named evaluation platform ("A", "B" or "C").
+func PlatformByName(name string) (Platform, error) {
+	switch name {
+	case "A", "a":
+		return PlatformA, nil
+	case "B", "b":
+		return PlatformB, nil
+	case "C", "c":
+		return PlatformC, nil
+	}
+	return Platform{}, fmt.Errorf("model: unknown platform %q (want A, B or C)", name)
+}
+
+// ResourceTable is a dense table of float64 values indexed by a cache
+// allocation c in [Cmin, C] and a BW allocation b in [Bmin, B]. It stores
+// WCET functions e(c,b) for tasks and budget functions Theta(c,b) for VCPUs.
+type ResourceTable struct {
+	cmin, bmin int
+	nc, nb     int
+	vals       []float64
+}
+
+// NewResourceTable returns a zero-filled table covering c in [cmin, cmax]
+// and b in [bmin, bmax]. It panics on an empty range.
+func NewResourceTable(cmin, cmax, bmin, bmax int) *ResourceTable {
+	if cmax < cmin || bmax < bmin || cmin < 0 || bmin < 0 {
+		panic(fmt.Sprintf("model: invalid ResourceTable range c[%d,%d] b[%d,%d]",
+			cmin, cmax, bmin, bmax))
+	}
+	nc, nb := cmax-cmin+1, bmax-bmin+1
+	return &ResourceTable{
+		cmin: cmin, bmin: bmin, nc: nc, nb: nb,
+		vals: make([]float64, nc*nb),
+	}
+}
+
+// NewResourceTableFor returns a zero-filled table covering the platform's
+// full allocation range.
+func NewResourceTableFor(p Platform) *ResourceTable {
+	return NewResourceTable(p.Cmin, p.C, p.Bmin, p.B)
+}
+
+// Bounds returns the inclusive index ranges [cmin, cmax], [bmin, bmax].
+func (t *ResourceTable) Bounds() (cmin, cmax, bmin, bmax int) {
+	return t.cmin, t.cmin + t.nc - 1, t.bmin, t.bmin + t.nb - 1
+}
+
+func (t *ResourceTable) index(c, b int) int {
+	ci, bi := c-t.cmin, b-t.bmin
+	if ci < 0 || ci >= t.nc || bi < 0 || bi >= t.nb {
+		panic(fmt.Sprintf("model: ResourceTable index (c=%d, b=%d) out of range c[%d,%d] b[%d,%d]",
+			c, b, t.cmin, t.cmin+t.nc-1, t.bmin, t.bmin+t.nb-1))
+	}
+	return ci*t.nb + bi
+}
+
+// At returns the value at (c, b). It panics if (c, b) is out of range.
+func (t *ResourceTable) At(c, b int) float64 { return t.vals[t.index(c, b)] }
+
+// Set stores v at (c, b). It panics if (c, b) is out of range.
+func (t *ResourceTable) Set(c, b int, v float64) { t.vals[t.index(c, b)] = v }
+
+// Reference returns the value under the full allocation (cmax, bmax), i.e.
+// e* for a WCET table or Theta* for a budget table.
+func (t *ResourceTable) Reference() float64 {
+	return t.At(t.cmin+t.nc-1, t.bmin+t.nb-1)
+}
+
+// Fill sets every entry to f(c, b).
+func (t *ResourceTable) Fill(f func(c, b int) float64) {
+	for ci := 0; ci < t.nc; ci++ {
+		for bi := 0; bi < t.nb; bi++ {
+			t.vals[ci*t.nb+bi] = f(t.cmin+ci, t.bmin+bi)
+		}
+	}
+}
+
+// Clone returns a deep copy of the table.
+func (t *ResourceTable) Clone() *ResourceTable {
+	out := &ResourceTable{cmin: t.cmin, bmin: t.bmin, nc: t.nc, nb: t.nb,
+		vals: make([]float64, len(t.vals))}
+	copy(out.vals, t.vals)
+	return out
+}
+
+// Scale multiplies every entry by f in place and returns the table.
+func (t *ResourceTable) Scale(f float64) *ResourceTable {
+	for i := range t.vals {
+		t.vals[i] *= f
+	}
+	return t
+}
+
+// AddTable adds other into t entry-wise. Both tables must have identical
+// bounds; AddTable panics otherwise. Allocation code uses it to aggregate
+// task WCETs into VCPU budgets and VCPU budgets into core demand.
+func (t *ResourceTable) AddTable(other *ResourceTable) {
+	if t.cmin != other.cmin || t.bmin != other.bmin || t.nc != other.nc || t.nb != other.nb {
+		panic("model: AddTable with mismatched bounds")
+	}
+	for i := range t.vals {
+		t.vals[i] += other.vals[i]
+	}
+}
+
+// Slowdown returns the table normalized by its reference value as a flat
+// vector in row-major (c, then b) order — the slowdown vector s(c,b) used
+// for clustering. It panics if the reference value is not positive.
+func (t *ResourceTable) Slowdown() []float64 {
+	ref := t.Reference()
+	if ref <= 0 {
+		panic("model: Slowdown of table with non-positive reference value")
+	}
+	out := make([]float64, len(t.vals))
+	for i, v := range t.vals {
+		out[i] = v / ref
+	}
+	return out
+}
+
+// CheckMonotone reports an error unless the table is non-increasing in both
+// c and b: more cache or more bandwidth never increases WCET. The workload
+// generator and the synthetic benchmark profiles guarantee this property;
+// analysis code relies on it when growing a core's allocation.
+func (t *ResourceTable) CheckMonotone() error {
+	for ci := 0; ci < t.nc; ci++ {
+		for bi := 0; bi < t.nb; bi++ {
+			v := t.vals[ci*t.nb+bi]
+			if v < 0 {
+				return fmt.Errorf("model: negative table entry at c=%d b=%d", t.cmin+ci, t.bmin+bi)
+			}
+			if ci+1 < t.nc && t.vals[(ci+1)*t.nb+bi] > v+1e-9 {
+				return fmt.Errorf("model: table increases in c at c=%d b=%d", t.cmin+ci, t.bmin+bi)
+			}
+			if bi+1 < t.nb && t.vals[ci*t.nb+bi+1] > v+1e-9 {
+				return fmt.Errorf("model: table increases in b at c=%d b=%d", t.cmin+ci, t.bmin+bi)
+			}
+		}
+	}
+	return nil
+}
+
+// Task is an implicit-deadline periodic task with a cache/BW-dependent WCET.
+// All time quantities are in milliseconds.
+type Task struct {
+	// ID is unique within the system.
+	ID string
+	// VM names the virtual machine this task belongs to.
+	VM string
+	// Period is the task period (= deadline) in ms.
+	Period float64
+	// WCET is the WCET function e(c,b) in ms.
+	WCET *ResourceTable
+	// Benchmark records which benchmark profile generated the WCET table
+	// (provenance only; empty for hand-built tasks).
+	Benchmark string
+}
+
+// RefWCET returns the reference WCET e* = e(C,B).
+func (t *Task) RefWCET() float64 { return t.WCET.Reference() }
+
+// RefUtil returns the reference utilization e*/p.
+func (t *Task) RefUtil() float64 { return t.WCET.Reference() / t.Period }
+
+// Util returns the utilization e(c,b)/p under the given allocation.
+func (t *Task) Util(c, b int) float64 { return t.WCET.At(c, b) / t.Period }
+
+// Validate reports an error if the task is malformed.
+func (t *Task) Validate() error {
+	if t.Period <= 0 {
+		return fmt.Errorf("task %s: period %v, need > 0", t.ID, t.Period)
+	}
+	if t.WCET == nil {
+		return fmt.Errorf("task %s: nil WCET table", t.ID)
+	}
+	if t.WCET.Reference() <= 0 {
+		return fmt.Errorf("task %s: non-positive reference WCET", t.ID)
+	}
+	if err := t.WCET.CheckMonotone(); err != nil {
+		return fmt.Errorf("task %s: %w", t.ID, err)
+	}
+	return nil
+}
+
+// VM is a virtual machine hosting a set of tasks.
+type VM struct {
+	// ID is unique within the system.
+	ID string
+	// Tasks are the VM's periodic tasks.
+	Tasks []*Task
+	// MaxVCPUs bounds how many VCPUs this VM may have; 0 means unlimited
+	// (the paper notes Xen supports up to 512 VCPUs per VM). The flattening
+	// strategy requires MaxVCPUs = 0 or MaxVCPUs >= len(Tasks).
+	MaxVCPUs int
+}
+
+// RefUtil returns the total reference utilization of the VM's tasks.
+func (vm *VM) RefUtil() float64 {
+	var u float64
+	for _, t := range vm.Tasks {
+		u += t.RefUtil()
+	}
+	return u
+}
+
+// System is a set of VMs to be deployed on a platform.
+type System struct {
+	Platform Platform
+	VMs      []*VM
+}
+
+// Tasks returns all tasks across all VMs in declaration order.
+func (s *System) Tasks() []*Task {
+	var out []*Task
+	for _, vm := range s.VMs {
+		out = append(out, vm.Tasks...)
+	}
+	return out
+}
+
+// RefUtil returns the total reference utilization across all VMs.
+func (s *System) RefUtil() float64 {
+	var u float64
+	for _, vm := range s.VMs {
+		u += vm.RefUtil()
+	}
+	return u
+}
+
+// Validate checks the platform, every task, and ID uniqueness.
+func (s *System) Validate() error {
+	if err := s.Platform.Validate(); err != nil {
+		return err
+	}
+	seenVM := map[string]bool{}
+	seenTask := map[string]bool{}
+	for _, vm := range s.VMs {
+		if seenVM[vm.ID] {
+			return fmt.Errorf("system: duplicate VM ID %q", vm.ID)
+		}
+		seenVM[vm.ID] = true
+		for _, t := range vm.Tasks {
+			if seenTask[t.ID] {
+				return fmt.Errorf("system: duplicate task ID %q", t.ID)
+			}
+			seenTask[t.ID] = true
+			if err := t.Validate(); err != nil {
+				return err
+			}
+			cmin, cmax, bmin, bmax := t.WCET.Bounds()
+			if cmin != s.Platform.Cmin || cmax != s.Platform.C ||
+				bmin != s.Platform.Bmin || bmax != s.Platform.B {
+				return fmt.Errorf("task %s: WCET table bounds c[%d,%d] b[%d,%d] do not match platform c[%d,%d] b[%d,%d]",
+					t.ID, cmin, cmax, bmin, bmax,
+					s.Platform.Cmin, s.Platform.C, s.Platform.Bmin, s.Platform.B)
+			}
+		}
+	}
+	return nil
+}
+
+// VCPU is a virtual processor: a periodic server with a cache/BW-dependent
+// execution budget, scheduled by the hypervisor as an implicit-deadline
+// periodic task (Pi_j, Theta_j(c,b)).
+type VCPU struct {
+	// ID is unique within an allocation.
+	ID string
+	// VM names the owning virtual machine.
+	VM string
+	// Index is the VCPU index used by the deterministic EDF tie-breaking
+	// rule for well-regulated execution (smaller index = higher priority).
+	Index int
+	// Period Pi_j in ms.
+	Period float64
+	// Budget is the execution-budget function Theta_j(c,b) in ms.
+	Budget *ResourceTable
+	// Tasks are the tasks mapped onto this VCPU.
+	Tasks []*Task
+	// WellRegulated records that the VCPU must execute under the
+	// well-regulated discipline (Theorem 2): periodic server, harmonic
+	// period, deterministic tie-breaking.
+	WellRegulated bool
+	// SyncedRelease records that the VCPU's release is synchronized with
+	// its (single) task's release (Theorem 1, flattening).
+	SyncedRelease bool
+}
+
+// RefBandwidth returns Theta*(C,B)/Pi, the VCPU's reference CPU bandwidth.
+func (v *VCPU) RefBandwidth() float64 { return v.Budget.Reference() / v.Period }
+
+// Bandwidth returns Theta(c,b)/Pi under the given allocation.
+func (v *VCPU) Bandwidth(c, b int) float64 { return v.Budget.At(c, b) / v.Period }
+
+// TaskRefUtil returns the total reference utilization of the VCPU's tasks.
+func (v *VCPU) TaskRefUtil() float64 {
+	var u float64
+	for _, t := range v.Tasks {
+		u += t.RefUtil()
+	}
+	return u
+}
+
+// Validate reports an error if the VCPU is malformed.
+func (v *VCPU) Validate() error {
+	if v.Period <= 0 {
+		return fmt.Errorf("vcpu %s: period %v, need > 0", v.ID, v.Period)
+	}
+	if v.Budget == nil {
+		return fmt.Errorf("vcpu %s: nil budget table", v.ID)
+	}
+	return nil
+}
+
+// CoreAlloc is the allocation for one physical core: the VCPUs assigned to
+// it and the numbers of cache and BW partitions it owns.
+type CoreAlloc struct {
+	// Core is the physical core index in [0, M).
+	Core int
+	// Cache is the number of cache partitions allocated to the core.
+	Cache int
+	// BW is the number of memory-bandwidth partitions allocated.
+	BW int
+	// VCPUs are the virtual processors scheduled on this core under EDF.
+	VCPUs []*VCPU
+}
+
+// Utilization returns the total VCPU bandwidth on the core under its
+// current (Cache, BW) allocation. The core is EDF-schedulable iff this is
+// at most 1 (exact test for implicit-deadline periodic servers).
+func (ca *CoreAlloc) Utilization() float64 {
+	var u float64
+	for _, v := range ca.VCPUs {
+		u += v.Bandwidth(ca.Cache, ca.BW)
+	}
+	return u
+}
+
+// RefUtilization returns the total reference bandwidth of the core's VCPUs.
+func (ca *CoreAlloc) RefUtilization() float64 {
+	var u float64
+	for _, v := range ca.VCPUs {
+		u += v.RefBandwidth()
+	}
+	return u
+}
+
+// Allocation is the complete output of the vC2M resource allocator: the
+// task-to-VCPU mapping (embedded in the VCPUs), the VCPU-to-core mapping,
+// and the per-core cache/BW partition counts.
+type Allocation struct {
+	// Platform is the configuration the allocation was computed for.
+	Platform Platform
+	// Cores holds one entry per core actually used (len <= Platform.M).
+	Cores []*CoreAlloc
+	// Schedulable reports whether the allocator proved all deadlines met.
+	Schedulable bool
+	// Solution names the algorithm that produced this allocation.
+	Solution string
+}
+
+// ErrNotSchedulable is returned by allocators when no feasible allocation
+// was found within the platform's resources.
+var ErrNotSchedulable = errors.New("model: system not schedulable on platform")
+
+// Report renders a human-readable account of the allocation: per core, the
+// partition counts, the utilization under those partitions (the quantity
+// the schedulability test bounds by 1), and each VCPU's parameters with
+// its tasks. It is the explanation of *why* the allocation is schedulable.
+func (a *Allocation) Report() string {
+	var b strings.Builder
+	label := a.Solution
+	if label == "" {
+		label = "(unnamed solution)"
+	}
+	fmt.Fprintf(&b, "allocation by %s on platform %s (%d cores, %d cache + %d BW partitions)\n",
+		label, a.Platform.Name, a.Platform.M, a.Platform.C, a.Platform.B)
+	fmt.Fprintf(&b, "cores used: %d; partitions used: %d cache, %d BW\n",
+		len(a.Cores), a.UsedCache(), a.UsedBW())
+	for _, core := range a.Cores {
+		fmt.Fprintf(&b, "core %d: cache %d, BW %d, utilization %.3f <= 1\n",
+			core.Core, core.Cache, core.BW, core.Utilization())
+		for _, v := range core.VCPUs {
+			kind := "periodic server"
+			switch {
+			case v.SyncedRelease:
+				kind = "flattened (release-synchronized)"
+			case v.WellRegulated:
+				kind = "well-regulated"
+			}
+			fmt.Fprintf(&b, "  VCPU %-24s period %8.2f ms, budget %8.2f ms, bandwidth %.3f [%s]\n",
+				v.ID, v.Period, v.Budget.At(core.Cache, core.BW), v.Bandwidth(core.Cache, core.BW), kind)
+			for _, t := range v.Tasks {
+				fmt.Fprintf(&b, "    task %-20s period %8.2f ms, WCET %8.2f ms (utilization %.3f)\n",
+					t.ID, t.Period, t.WCET.At(core.Cache, core.BW), t.Util(core.Cache, core.BW))
+			}
+		}
+	}
+	return b.String()
+}
+
+// VCPUs returns all VCPUs across all cores.
+func (a *Allocation) VCPUs() []*VCPU {
+	var out []*VCPU
+	for _, c := range a.Cores {
+		out = append(out, c.VCPUs...)
+	}
+	return out
+}
+
+// UsedCache returns the total number of cache partitions allocated.
+func (a *Allocation) UsedCache() int {
+	var n int
+	for _, c := range a.Cores {
+		n += c.Cache
+	}
+	return n
+}
+
+// UsedBW returns the total number of BW partitions allocated.
+func (a *Allocation) UsedBW() int {
+	var n int
+	for _, c := range a.Cores {
+		n += c.BW
+	}
+	return n
+}
+
+// Validate checks the structural invariants of a schedulable allocation:
+//   - at most M cores, each with a partition count in [Cmin, C] x [Bmin, B];
+//   - partition totals within the platform's C and B (disjointness);
+//   - every core utilization at most 1 under its allocation;
+//   - every VCPU appears exactly once;
+//   - every task appears on exactly one VCPU;
+//   - task periods on a well-regulated VCPU are harmonic and at least the
+//     VCPU period.
+//
+// The expected task set is supplied by the caller (the allocator's input);
+// pass nil to skip the task-coverage check.
+func (a *Allocation) Validate(tasks []*Task) error {
+	if err := a.ValidateStructure(tasks); err != nil {
+		return err
+	}
+	for _, core := range a.Cores {
+		if u := core.Utilization(); u > 1+1e-9 {
+			return fmt.Errorf("allocation: core %d utilization %.6f > 1", core.Core, u)
+		}
+	}
+	return nil
+}
+
+// ValidateStructure checks every invariant of Validate except per-core
+// schedulability (utilization at most 1). The hypervisor simulator uses it
+// so that deliberately overloaded allocations can be simulated and their
+// deadline misses observed.
+func (a *Allocation) ValidateStructure(tasks []*Task) error {
+	p := a.Platform
+	if len(a.Cores) > p.M {
+		return fmt.Errorf("allocation: uses %d cores, platform has %d", len(a.Cores), p.M)
+	}
+	if a.UsedCache() > p.C {
+		return fmt.Errorf("allocation: uses %d cache partitions, platform has %d", a.UsedCache(), p.C)
+	}
+	if a.UsedBW() > p.B {
+		return fmt.Errorf("allocation: uses %d BW partitions, platform has %d", a.UsedBW(), p.B)
+	}
+	seenCore := map[int]bool{}
+	seenVCPU := map[string]bool{}
+	taskOn := map[string]int{}
+	for _, core := range a.Cores {
+		if core.Core < 0 || core.Core >= p.M {
+			return fmt.Errorf("allocation: core index %d out of range [0,%d)", core.Core, p.M)
+		}
+		if seenCore[core.Core] {
+			return fmt.Errorf("allocation: core %d allocated twice", core.Core)
+		}
+		seenCore[core.Core] = true
+		if core.Cache < p.Cmin || core.Cache > p.C {
+			return fmt.Errorf("allocation: core %d cache = %d outside [%d,%d]", core.Core, core.Cache, p.Cmin, p.C)
+		}
+		if core.BW < p.Bmin || core.BW > p.B {
+			return fmt.Errorf("allocation: core %d BW = %d outside [%d,%d]", core.Core, core.BW, p.Bmin, p.B)
+		}
+		for _, v := range core.VCPUs {
+			if err := v.Validate(); err != nil {
+				return err
+			}
+			if seenVCPU[v.ID] {
+				return fmt.Errorf("allocation: VCPU %s on multiple cores", v.ID)
+			}
+			seenVCPU[v.ID] = true
+			for _, t := range v.Tasks {
+				taskOn[t.ID]++
+				if t.Period < v.Period-1e-9 {
+					return fmt.Errorf("allocation: task %s period %v below VCPU %s period %v",
+						t.ID, t.Period, v.ID, v.Period)
+				}
+			}
+		}
+	}
+	if tasks != nil {
+		for _, t := range tasks {
+			if n := taskOn[t.ID]; n != 1 {
+				return fmt.Errorf("allocation: task %s mapped %d times, want 1", t.ID, n)
+			}
+		}
+		if len(taskOn) != len(tasks) {
+			return fmt.Errorf("allocation: %d mapped tasks, input has %d", len(taskOn), len(tasks))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package model
+
+// ConstTable returns a table covering the platform's allocation range whose
+// every entry is v. It models a resource-insensitive (purely compute-bound)
+// WCET: the task runs in the same time regardless of cache and BW.
+func ConstTable(p Platform, v float64) *ResourceTable {
+	t := NewResourceTableFor(p)
+	t.Fill(func(c, b int) float64 { return v })
+	return t
+}
+
+// FuncTable returns a table covering the platform's allocation range filled
+// from f.
+func FuncTable(p Platform, f func(c, b int) float64) *ResourceTable {
+	t := NewResourceTableFor(p)
+	t.Fill(f)
+	return t
+}
+
+// SimpleTask builds a resource-insensitive task with the given period and
+// WCET on the platform, a convenience for tests and examples.
+func SimpleTask(id string, p Platform, period, wcet float64) *Task {
+	return &Task{ID: id, Period: period, WCET: ConstTable(p, wcet)}
+}

@@ -1,0 +1,141 @@
+// Package plot renders experiment series as ASCII line charts, so the
+// command-line tools can display the paper's figures directly in a
+// terminal. It is deliberately minimal: multiple named series over a
+// shared x-axis, y scaled to the data, one character per (column, series)
+// sample, distinct glyphs per series and a legend.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	// X and Y must have equal length; points are plotted in order.
+	X []float64
+	Y []float64
+}
+
+// Config controls rendering.
+type Config struct {
+	// Width and Height are the plot area's dimensions in characters;
+	// zeros default to 72x20.
+	Width  int
+	Height int
+	// YMin and YMax fix the y-range; with YMin == YMax the range is taken
+	// from the data.
+	YMin, YMax float64
+	// Title is printed above the chart when non-empty.
+	Title string
+	// XLabel and YLabel annotate the axes when non-empty.
+	XLabel, YLabel string
+}
+
+// glyphs assigns one marker per series, cycling if there are more series.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Render draws the series into a string. Series with no points are
+// skipped; an error is returned when nothing is plottable or a series has
+// mismatched X/Y lengths.
+func Render(cfg Config, series ...Series) (string, error) {
+	w, h := cfg.Width, cfg.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	plottable := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x values and %d y values",
+				s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			continue
+		}
+		plottable++
+		for i := range s.X {
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if plottable == 0 {
+		return "", fmt.Errorf("plot: no data")
+	}
+	if cfg.YMin != cfg.YMax {
+		ymin, ymax = cfg.YMin, cfg.YMax
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(w-1)))
+			y := s.Y[i]
+			if y < ymin {
+				y = ymin
+			}
+			if y > ymax {
+				y = ymax
+			}
+			row := h - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(h-1)))
+			if grid[row][col] == ' ' || grid[row][col] == g {
+				grid[row][col] = g
+			} else {
+				grid[row][col] = '&' // collision marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	yLegendTop := fmt.Sprintf("%8.2f", ymax)
+	yLegendBot := fmt.Sprintf("%8.2f", ymin)
+	for r, row := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%s |%s\n", yLegendTop, row)
+		case h - 1:
+			fmt.Fprintf(&b, "%s |%s\n", yLegendBot, row)
+		default:
+			fmt.Fprintf(&b, "%8s |%s\n", "", row)
+		}
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%8s  %-*.2f%*.2f\n", "", w/2, xmin, w-w/2, xmax)
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%8s  x: %s   y: %s\n", "", cfg.XLabel, cfg.YLabel)
+	}
+	for si, s := range series {
+		if len(s.X) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%8s  %c %s\n", "", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,131 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out, err := Render(Config{Title: "demo", Width: 40, Height: 10},
+		Series{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* up") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no points plotted")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 10 rows + axis + x labels + legend = 14.
+	if len(lines) != 14 {
+		t.Errorf("got %d lines, want 14:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderMonotoneSeriesShape(t *testing.T) {
+	// An increasing series must place its first point lower (a later row)
+	// than its last point.
+	out, err := Render(Config{Width: 30, Height: 10},
+		Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 10}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(out, "\n")
+	var firstRow, lastRow int
+	for i, row := range rows {
+		idx := strings.IndexByte(row, '*')
+		if idx < 0 {
+			continue
+		}
+		if strings.Contains(row[:idx+1], "* ") {
+			continue // legend line
+		}
+		if firstRow == 0 {
+			firstRow = i
+		}
+		lastRow = i
+	}
+	if firstRow >= lastRow {
+		t.Errorf("increasing series did not slope: first row %d, last row %d\n%s",
+			firstRow, lastRow, out)
+	}
+}
+
+func TestRenderMultipleSeriesGlyphs(t *testing.T) {
+	out, err := Render(Config{Width: 30, Height: 8},
+		Series{Name: "a", X: []float64{0, 1}, Y: []float64{1, 1}},
+		Series{Name: "b", X: []float64{0, 1}, Y: []float64{2, 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Errorf("legend glyphs wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("second series not plotted")
+	}
+}
+
+func TestRenderCollisionMarker(t *testing.T) {
+	out, err := Render(Config{Width: 10, Height: 5},
+		Series{Name: "a", X: []float64{0, 1}, Y: []float64{1, 2}},
+		Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "&") {
+		t.Errorf("overlapping points should show the collision marker:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(Config{}); err == nil {
+		t.Error("no series accepted")
+	}
+	if _, err := Render(Config{}, Series{Name: "empty"}); err == nil {
+		t.Error("all-empty series accepted")
+	}
+	if _, err := Render(Config{}, Series{Name: "bad", X: []float64{1}, Y: nil}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestRenderFixedYRangeClamps(t *testing.T) {
+	out, err := Render(Config{Width: 20, Height: 5, YMin: 0, YMax: 1},
+		Series{Name: "s", X: []float64{0, 1}, Y: []float64{-5, 5}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1.00") || !strings.Contains(out, "0.00") {
+		t.Errorf("fixed y-range labels missing:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	if _, err := Render(Config{},
+		Series{Name: "flat", X: []float64{2, 2}, Y: []float64{3, 3}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderAxisLabels(t *testing.T) {
+	out, err := Render(Config{XLabel: "util", YLabel: "fraction"},
+		Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "x: util") || !strings.Contains(out, "y: fraction") {
+		t.Error("axis labels missing")
+	}
+}

@@ -1,0 +1,171 @@
+package rngutil
+
+import (
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := New(7)
+	for i := 0; i < 1000; i++ {
+		x := g.Uniform(0.1, 0.4)
+		if x < 0.1 || x >= 0.4 {
+			t.Fatalf("Uniform(0.1, 0.4) = %v out of range", x)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	g := New(7)
+	if x := g.Uniform(3, 3); x != 3 {
+		t.Errorf("Uniform(3,3) = %v, want 3", x)
+	}
+}
+
+func TestUniformPanicsOnInvertedRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uniform(1, 0) did not panic")
+		}
+	}()
+	New(1).Uniform(1, 0)
+}
+
+func TestBimodalRanges(t *testing.T) {
+	g := New(11)
+	light, heavy := 0, 0
+	for i := 0; i < 10000; i++ {
+		x := g.Bimodal(0.1, 0.4, 0.5, 0.9, 8.0/9.0)
+		switch {
+		case x >= 0.1 && x < 0.4:
+			light++
+		case x >= 0.5 && x < 0.9:
+			heavy++
+		default:
+			t.Fatalf("Bimodal sample %v outside both modes", x)
+		}
+	}
+	frac := float64(light) / 10000
+	if frac < 0.85 || frac > 0.93 {
+		t.Errorf("light fraction = %v, want approx 8/9", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := New(3)
+	p := g.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm(20) invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestChoiceWeighted(t *testing.T) {
+	g := New(5)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[g.Choice([]float64{1, 2, 1})]++
+	}
+	// Middle entry has weight 2/4 = 0.5.
+	frac := float64(counts[1]) / 30000
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("weighted choice fraction = %v, want approx 0.5", frac)
+	}
+}
+
+func TestChoiceZeroWeightsUniform(t *testing.T) {
+	g := New(5)
+	counts := [4]int{}
+	for i := 0; i < 4000; i++ {
+		counts[g.Choice([]float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("zero-weight Choice never picked index %d", i)
+		}
+	}
+}
+
+func TestChoiceNegativeWeightIgnored(t *testing.T) {
+	g := New(9)
+	for i := 0; i < 1000; i++ {
+		if idx := g.Choice([]float64{-5, 1, 0}); idx != 1 {
+			t.Fatalf("Choice picked index %d with zero/negative weight", idx)
+		}
+	}
+}
+
+func TestChoicePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Choice(nil) did not panic")
+		}
+	}()
+	New(1).Choice(nil)
+}
+
+func TestSplitIndependence(t *testing.T) {
+	g1 := New(99)
+	child1 := g1.Split()
+	seq1 := []float64{child1.Float64(), child1.Float64()}
+
+	// Recreate and interleave extra draws from the parent after splitting;
+	// the child stream must be unchanged.
+	g2 := New(99)
+	child2 := g2.Split()
+	g2.Float64()
+	g2.Float64()
+	seq2 := []float64{child2.Float64(), child2.Float64()}
+
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("child stream perturbed by parent draws at %d", i)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	g := New(4)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	g.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("Shuffle lost elements: %v", xs)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	g := New(8)
+	for i := 0; i < 1000; i++ {
+		if v := g.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package sim provides the deterministic discrete-event engine underneath
+// the hypervisor simulator (package hypersim) and the interference
+// workbench (package interference).
+//
+// Events are ordered by (time, priority, sequence): two events at the same
+// instant fire in priority order, and two events with equal priority fire
+// in the order they were scheduled. This total order makes every simulation
+// in this repository reproducible bit-for-bit, which the well-regulated
+// VCPU execution of vC2M (Theorem 2) depends on: its proof requires a
+// deterministic tie-breaking rule among VCPUs with equal deadlines, and a
+// nondeterministic event queue would silently break it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"vc2m/internal/timeunit"
+)
+
+// Priorities for simultaneous events. Lower fires first. Budget refill must
+// precede scheduling so a replenished VCPU is visible to the scheduler
+// invoked at the same instant; job releases precede scheduling for the same
+// reason.
+const (
+	PrioReplenish = 0
+	PrioRelease   = 1
+	PrioRegulator = 2
+	PrioSchedule  = 3
+	PrioDefault   = 5
+)
+
+type event struct {
+	at   timeunit.Ticks
+	prio int
+	seq  uint64
+	fn   func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is ready to
+// use with the clock at 0.
+type Engine struct {
+	now    timeunit.Ticks
+	seq    uint64
+	queue  eventQueue
+	nSteps uint64
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() timeunit.Ticks { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nSteps }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t with the given priority. It
+// panics if t is in the past (events may be scheduled for the current
+// instant).
+func (e *Engine) At(t timeunit.Ticks, prio int, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, now is %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, prio: prio, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d ticks from now.
+func (e *Engine) After(d timeunit.Ticks, prio int, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.At(e.now+d, prio, fn)
+}
+
+// Step executes the next event and reports whether one was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.nSteps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the next event is after
+// the horizon. The clock is left at the last executed event (or advanced to
+// the horizon if RunTo semantics are needed, use RunUntil). It returns the
+// number of events executed.
+func (e *Engine) Run(horizon timeunit.Ticks) uint64 {
+	var n uint64
+	for len(e.queue) > 0 && e.queue[0].at <= horizon {
+		e.Step()
+		n++
+	}
+	return n
+}
+
+// RunUntil is Run followed by advancing the clock to the horizon, so that
+// subsequent After calls measure from the horizon.
+func (e *Engine) RunUntil(horizon timeunit.Ticks) uint64 {
+	n := e.Run(horizon)
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return n
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+
+	"vc2m/internal/timeunit"
+)
+
+func TestEmptyEngine(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Error("Step on empty engine should return false")
+	}
+	if e.Now() != 0 {
+		t.Error("clock should start at 0")
+	}
+	if n := e.Run(1000); n != 0 {
+		t.Errorf("Run on empty engine executed %d events", n)
+	}
+}
+
+func TestEventOrderByTime(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(30, PrioDefault, func() { order = append(order, 3) })
+	e.At(10, PrioDefault, func() { order = append(order, 1) })
+	e.At(20, PrioDefault, func() { order = append(order, 2) })
+	e.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEventOrderByPriority(t *testing.T) {
+	var e Engine
+	var order []string
+	e.At(10, PrioSchedule, func() { order = append(order, "sched") })
+	e.At(10, PrioReplenish, func() { order = append(order, "replenish") })
+	e.At(10, PrioRelease, func() { order = append(order, "release") })
+	e.Run(100)
+	want := []string{"replenish", "release", "sched"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEventOrderBySequence(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, PrioDefault, func() { order = append(order, i) })
+	}
+	e.Run(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-priority events reordered: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	var e Engine
+	var at timeunit.Ticks
+	e.At(100, PrioDefault, func() {
+		e.After(50, PrioDefault, func() { at = e.Now() })
+	})
+	e.Run(1000)
+	if at != 150 {
+		t.Errorf("After fired at %v, want 150", at)
+	}
+}
+
+func TestPastEventPanics(t *testing.T) {
+	var e Engine
+	e.At(100, PrioDefault, func() {})
+	e.Run(1000)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, PrioDefault, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, PrioDefault, func() {})
+}
+
+func TestRunHorizon(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.At(10, PrioDefault, func() { fired++ })
+	e.At(20, PrioDefault, func() { fired++ })
+	e.At(30, PrioDefault, func() { fired++ })
+	if n := e.Run(20); n != 2 {
+		t.Errorf("Run(20) executed %d events, want 2", n)
+	}
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	var e Engine
+	e.At(10, PrioDefault, func() {})
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Errorf("clock = %v, want 500", e.Now())
+	}
+}
+
+func TestPeriodicSelfRescheduling(t *testing.T) {
+	var e Engine
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.After(100, PrioReplenish, tick)
+	}
+	e.At(0, PrioReplenish, tick)
+	e.Run(1000)
+	// Fires at 0, 100, ..., 1000 inclusive.
+	if count != 11 {
+		t.Errorf("periodic event fired %d times, want 11", count)
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	var e Engine
+	for i := 0; i < 5; i++ {
+		e.At(timeunit.Ticks(i), PrioDefault, func() {})
+	}
+	e.Run(100)
+	if e.Steps() != 5 {
+		t.Errorf("Steps = %d, want 5", e.Steps())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	build := func() ([]int, *Engine) {
+		var order []int
+		e := &Engine{}
+		for i := 0; i < 100; i++ {
+			i := i
+			e.At(timeunit.Ticks(i%7), (i*3)%4, func() { order = append(order, i) })
+		}
+		return order, e
+	}
+	o1, e1 := build()
+	e1.Run(100)
+	r1 := append([]int(nil), o1...)
+	o2, e2 := build()
+	e2.Run(100)
+	for i := range r1 {
+		if r1[i] != o2[i] {
+			t.Fatal("identical schedules executed in different orders")
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package vcat
+
+import (
+	"strings"
+	"testing"
+
+	"vc2m/internal/bitmask"
+	"vc2m/internal/cache"
+	"vc2m/internal/model"
+)
+
+func mkHW(t *testing.T) *Hardware {
+	t.Helper()
+	hw, err := NewHardware(20, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw
+}
+
+func TestNewHardwareValidation(t *testing.T) {
+	bad := [][3]int{{0, 4, 4}, {65, 4, 4}, {20, 0, 4}, {20, 4, 0}}
+	for _, c := range bad {
+		if _, err := NewHardware(c[0], c[1], c[2]); err == nil {
+			t.Errorf("NewHardware(%v) should fail", c)
+		}
+	}
+}
+
+func TestPowerOnState(t *testing.T) {
+	hw := mkHW(t)
+	for clos := 0; clos < hw.NumCLOS(); clos++ {
+		m, err := hw.ReadCBM(clos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != bitmask.Full(20) {
+			t.Errorf("CLOS %d CBM = %#x, want full mask at power-on", clos, m)
+		}
+	}
+	m, err := hw.EffectiveMask(2)
+	if err != nil || m != bitmask.Full(20) {
+		t.Errorf("core 2 effective mask = %#x (%v), want full (CLOS 0)", m, err)
+	}
+}
+
+func TestWriteCBMValidation(t *testing.T) {
+	hw := mkHW(t)
+	if err := hw.WriteCBM(1, 0b1111); err != nil {
+		t.Errorf("valid CBM rejected: %v", err)
+	}
+	cases := []struct {
+		clos int
+		mask uint64
+	}{
+		{-1, 1}, {16, 1}, // bad CLOS
+		{0, 0},       // empty
+		{0, 0b101},   // non-contiguous
+		{0, 1 << 20}, // beyond way count
+	}
+	for _, c := range cases {
+		if err := hw.WriteCBM(c.clos, c.mask); err == nil {
+			t.Errorf("WriteCBM(%d, %#x) should fail", c.clos, c.mask)
+		}
+	}
+	// A faulting write must not change the register.
+	if m, _ := hw.ReadCBM(1); m != 0b1111 {
+		t.Errorf("register changed by faulting write: %#x", m)
+	}
+}
+
+func TestAssociate(t *testing.T) {
+	hw := mkHW(t)
+	if err := hw.WriteCBM(3, 0b11<<4); err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.Associate(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	m, err := hw.EffectiveMask(1)
+	if err != nil || m != 0b11<<4 {
+		t.Errorf("effective mask = %#x (%v), want CLOS 3's CBM", m, err)
+	}
+	if err := hw.Associate(9, 0); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if err := hw.Associate(0, 99); err == nil {
+		t.Error("out-of-range CLOS accepted")
+	}
+	if _, err := hw.EffectiveMask(-1); err == nil {
+		t.Error("out-of-range core accepted by EffectiveMask")
+	}
+	if _, err := hw.ReadCBM(-1); err == nil {
+		t.Error("out-of-range CLOS accepted by ReadCBM")
+	}
+}
+
+func TestProgramCache(t *testing.T) {
+	hw := mkHW(t)
+	if err := hw.WriteCBM(0, 0b11); err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.WriteCBM(1, 0b1100); err != nil {
+		t.Fatal(err)
+	}
+	for core := 0; core < 4; core++ {
+		if err := hw.Associate(core, core%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	llc, err := cache.New(cache.Config{Sets: 16, Ways: 20, LineSize: 64}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.Program(llc); err != nil {
+		t.Fatal(err)
+	}
+	if llc.Mask(0) != 0b11 || llc.Mask(1) != 0b1100 {
+		t.Errorf("cache masks = %#x, %#x", llc.Mask(0), llc.Mask(1))
+	}
+}
+
+func TestDomainLifecycle(t *testing.T) {
+	hw := mkHW(t)
+	m := NewManager(hw)
+	if m.FreeWays() != 20 {
+		t.Fatalf("FreeWays = %d, want 20", m.FreeWays())
+	}
+	d1, err := m.CreateDomain("vm1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := m.CreateDomain("vm2", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeWays() != 0 {
+		t.Errorf("FreeWays = %d, want 0", m.FreeWays())
+	}
+	if d1.PhysicalMask()&d2.PhysicalMask() != 0 {
+		t.Error("domains overlap")
+	}
+	if d1.Ways() != 8 || d2.VM() != "vm2" {
+		t.Error("domain metadata wrong")
+	}
+	if _, err := m.CreateDomain("vm3", 1); err == nil {
+		t.Error("over-allocation accepted")
+	}
+	if _, err := m.CreateDomain("vm1", 1); err == nil {
+		t.Error("duplicate domain accepted")
+	}
+	if _, err := m.CreateDomain("vm4", 0); err == nil {
+		t.Error("zero-way domain accepted")
+	}
+	if d, ok := m.Domain("vm1"); !ok || d != d1 {
+		t.Error("Domain lookup failed")
+	}
+	m.Reset()
+	if m.FreeWays() != 20 {
+		t.Error("Reset did not release ways")
+	}
+	if _, ok := m.Domain("vm1"); ok {
+		t.Error("Reset did not drop domains")
+	}
+}
+
+func TestDomainTranslation(t *testing.T) {
+	hw := mkHW(t)
+	m := NewManager(hw)
+	if _, err := m.CreateDomain("vm1", 8); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := m.CreateDomain("vm2", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vm2's region is ways 8..11; virtual mask 0b0011 -> physical 0b11<<8.
+	phys, err := d2.Translate(0b0011)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phys != 0b11<<8 {
+		t.Errorf("Translate = %#x, want %#x", phys, 0b11<<8)
+	}
+	// Escaping, empty and non-contiguous masks are rejected.
+	for _, bad := range []uint64{0, 0b10001, 0b101, 1 << 4} {
+		if _, err := d2.Translate(bad); err == nil {
+			t.Errorf("Translate(%#b) should fail", bad)
+		}
+	}
+}
+
+func TestSetVirtualCBM(t *testing.T) {
+	hw := mkHW(t)
+	m := NewManager(hw)
+	if _, err := m.CreateDomain("vm1", 10); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := m.CreateDomain("vm2", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.SetVirtualCBM(5, 0b111); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := hw.ReadCBM(5)
+	if got != 0b111<<10 {
+		t.Errorf("CBM = %#x, want %#x", got, 0b111<<10)
+	}
+	// A guest cannot program ways outside its domain.
+	if err := d2.SetVirtualCBM(5, 0b11111111111); err == nil {
+		t.Error("domain escape accepted")
+	}
+}
+
+func TestApplyAllocation(t *testing.T) {
+	hw := mkHW(t)
+	a := &model.Allocation{
+		Platform: model.PlatformA,
+		Cores: []*model.CoreAlloc{
+			{Core: 0, Cache: 6, BW: 5},
+			{Core: 1, Cache: 4, BW: 5},
+			{Core: 2, Cache: 10, BW: 5},
+		},
+		Schedulable: true,
+	}
+	if err := ApplyAllocation(hw, a); err != nil {
+		t.Fatal(err)
+	}
+	var union uint64
+	for i, core := range a.Cores {
+		mask, err := hw.EffectiveMask(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if popcount(mask) != core.Cache {
+			t.Errorf("core %d mask %#x has %d ways, want %d", i, mask, popcount(mask), core.Cache)
+		}
+		if union&mask != 0 {
+			t.Errorf("core %d mask overlaps earlier cores", i)
+		}
+		union |= mask
+	}
+}
+
+func popcount(m uint64) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+func TestApplyAllocationOverflow(t *testing.T) {
+	hw := mkHW(t)
+	a := &model.Allocation{
+		Platform: model.PlatformA,
+		Cores: []*model.CoreAlloc{
+			{Core: 0, Cache: 15, BW: 5},
+			{Core: 1, Cache: 15, BW: 5},
+		},
+	}
+	err := ApplyAllocation(hw, a)
+	if err == nil || !strings.Contains(err.Error(), "ways") {
+		t.Errorf("way overflow not detected: %v", err)
+	}
+}
+
+func TestApplyAllocationTooManyCores(t *testing.T) {
+	hw, err := NewHardware(20, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &model.Allocation{
+		Platform: model.PlatformA,
+		Cores: []*model.CoreAlloc{
+			{Core: 0, Cache: 2, BW: 5},
+			{Core: 1, Cache: 2, BW: 5},
+			{Core: 2, Cache: 2, BW: 5},
+		},
+	}
+	if err := ApplyAllocation(hw, a); err == nil {
+		t.Error("CLOS exhaustion not detected")
+	}
+}

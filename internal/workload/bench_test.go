@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"testing"
+
+	"vc2m/internal/model"
+	"vc2m/internal/parsec"
+	"vc2m/internal/rngutil"
+)
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := Config{Platform: model.PlatformA, TargetRefUtil: 1.5, Dist: Uniform}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg, rngutil.New(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSuiteCoverageAcrossLargeTaskset(t *testing.T) {
+	// A large generated population should draw on every benchmark profile.
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		sys, err := Generate(Config{
+			Platform: model.PlatformA, TargetRefUtil: 2.0, Dist: Uniform,
+		}, rngutil.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range sys.Tasks() {
+			seen[task.Benchmark] = true
+		}
+	}
+	for _, name := range parsec.Names() {
+		if !seen[name] {
+			t.Errorf("benchmark %s never drawn across 20 tasksets", name)
+		}
+	}
+}
