@@ -26,12 +26,15 @@ func main() {
 	max := flag.Float64("max", 2.0, "maximum taskset reference utilization")
 	step := flag.Float64("step", 0.2, "utilization step")
 	seed := flag.Int64("seed", 1, "random seed")
+	showMetrics := flag.Bool("metrics", false, "collect and print per-solution search-effort metrics (dbf/sbf evaluations, phase timings, ...)")
+	metricsCSV := flag.String("metrics-csv", "", "also write the per-solution metrics to this CSV file (implies -metrics)")
 	flag.Parse()
 
 	plat, err := model.PlatformByName(*platform)
 	if err != nil {
 		fatal(err)
 	}
+	collect := *showMetrics || *metricsCSV != ""
 	res, err := experiment.RunSchedulability(experiment.SchedConfig{
 		Platform:         plat,
 		Dist:             workload.Uniform,
@@ -40,6 +43,7 @@ func main() {
 		UtilStep:         *step,
 		TasksetsPerPoint: *tasksets,
 		Seed:             *seed,
+		CollectMetrics:   collect,
 		Progress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rutilization points: %d/%d", done, total)
 			if done == total {
@@ -52,6 +56,24 @@ func main() {
 	}
 	fmt.Println("# Figure 4: average running time per taskset (seconds)")
 	fmt.Println(res.RuntimeTable())
+
+	if collect {
+		fmt.Println("# per-solution search-effort metrics")
+		fmt.Print(res.MetricsTable())
+	}
+	if *metricsCSV != "" {
+		f, err := os.Create(*metricsCSV)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteMetricsCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsCSV)
+	}
 }
 
 func fatal(err error) {

@@ -36,6 +36,8 @@ func main() {
 	doPlot := flag.Bool("plot", false, "render the curves as an ASCII chart (the figure itself)")
 	csvPath := flag.String("csv", "", "also write the fraction series to this CSV file")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "tasksets analyzed concurrently (results are identical at any value; use 1 when timing)")
+	showMetrics := flag.Bool("metrics", false, "collect and print per-solution search-effort metrics (dbf/sbf evaluations, phase timings, ...)")
+	metricsCSV := flag.String("metrics-csv", "", "also write the per-solution metrics to this CSV file (implies -metrics)")
 	flag.Parse()
 
 	plat, err := model.PlatformByName(*platform)
@@ -56,6 +58,7 @@ func main() {
 		TasksetsPerPoint: *tasksets,
 		Seed:             *seed,
 		Parallel:         *parallel,
+		CollectMetrics:   *showMetrics || *metricsCSV != "",
 	}
 	if !*quiet {
 		cfg.Progress = func(done, total int) {
@@ -72,6 +75,24 @@ func main() {
 	}
 	fmt.Println(res.FractionTable())
 	fmt.Println(res.Summary())
+
+	if cfg.CollectMetrics {
+		fmt.Println("# per-solution search-effort metrics")
+		fmt.Print(res.MetricsTable())
+	}
+	if *metricsCSV != "" {
+		f, err := os.Create(*metricsCSV)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteMetricsCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsCSV)
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

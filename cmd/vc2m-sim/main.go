@@ -12,11 +12,13 @@
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
 
 	"vc2m"
+	"vc2m/internal/metrics"
 	"vc2m/internal/model"
 )
 
@@ -32,6 +34,8 @@ func main() {
 	out := flag.String("out", "", "write the allocation JSON here")
 	simulate := flag.Float64("simulate", 2200, "simulate the allocation for this many ms (0 to skip)")
 	gantt := flag.Float64("gantt", 0, "render an execution Gantt chart for the first N ms of the simulation")
+	showMetrics := flag.Bool("metrics", false, "record and print allocator and simulator metrics (search effort, scheduler events)")
+	metricsCSV := flag.String("metrics-csv", "", "also write the metrics to this CSV file (implies -metrics)")
 	flag.Parse()
 
 	sys := loadOrGenerate(*in, *platform, *genUtil, *genDist, *genSeed)
@@ -61,7 +65,12 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 
-	a, err := vc2m.Allocate(sys, vc2m.Options{Mode: m, Seed: *seed})
+	var rec *vc2m.MetricsRecorder
+	if *showMetrics || *metricsCSV != "" {
+		rec = vc2m.NewMetrics()
+	}
+
+	a, err := vc2m.Allocate(sys, vc2m.Options{Mode: m, Seed: *seed, Metrics: rec})
 	if err != nil {
 		fatal(err)
 	}
@@ -79,7 +88,7 @@ func main() {
 	}
 
 	if *simulate > 0 {
-		res, err := vc2m.Simulate(a, *simulate, vc2m.SimOptions{RecordTrace: *gantt > 0})
+		res, err := vc2m.Simulate(a, *simulate, vc2m.SimOptions{RecordTrace: *gantt > 0, Metrics: rec})
 		if err != nil {
 			fatal(err)
 		}
@@ -92,6 +101,41 @@ func main() {
 			fatal(fmt.Errorf("allocation declared schedulable but missed deadlines"))
 		}
 	}
+
+	if rec != nil {
+		snap := rec.Snapshot()
+		fmt.Println("# allocator + simulator metrics")
+		fmt.Print(snap.Table())
+		if *metricsCSV != "" {
+			writeMetricsCSV(*metricsCSV, snap, *mode)
+		}
+	}
+}
+
+// writeMetricsCSV dumps the snapshot as (scope, kind, name, value, ...)
+// rows, with the analysis mode as the scope.
+func writeMetricsCSV(path string, snap vc2m.MetricsSnapshot, scope string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	cw := csv.NewWriter(f)
+	if err := cw.Write(metrics.CSVHeader()); err != nil {
+		fatal(err)
+	}
+	for _, row := range snap.CSVRows(scope) {
+		if err := cw.Write(row); err != nil {
+			fatal(err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 func loadOrGenerate(in, platform string, util float64, dist string, seed int64) *vc2m.System {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"vc2m/internal/csa"
+	"vc2m/internal/metrics"
 	"vc2m/internal/model"
 	"vc2m/internal/parsec"
 )
@@ -33,7 +34,7 @@ func baselineWCET(t *model.Task, plat model.Platform) float64 {
 // still fits within the VCPU period. A new VCPU is opened when no
 // existing one can take the task. It returns nil when some task is
 // infeasible even on a dedicated VCPU.
-func packExistingVCPUs(vm *model.VM, plat model.Platform, firstIndex int) []*model.VCPU {
+func packExistingVCPUs(vm *model.VM, plat model.Platform, firstIndex int, rec *metrics.Recorder) []*model.VCPU {
 	type bin struct {
 		tasks  []*model.Task
 		theta  float64 // current minimum budget
@@ -66,7 +67,9 @@ func packExistingVCPUs(vm *model.VM, plat model.Platform, firstIndex int) []*mod
 		if err != nil {
 			return 0, 0, false
 		}
-		theta, ok = csa.MinBudgetForDemand(period, demand.Checkpoints(), demand.DBF(wcets))
+		cps := demand.Checkpoints()
+		rec.Add(csa.MetricDBFEvals, int64(len(cps)))
+		theta, ok = csa.MinBudgetForDemandMetered(period, cps, demand.DBF(wcets), rec)
 		return theta, period, ok
 	}
 
@@ -161,15 +164,23 @@ func evenSplit(total, m, max int) int {
 // VCPUs onto cores, and an even partition split for hardware validity
 // (the baseline analysis itself is resource-oblivious).
 func BaselineAllocate(sys *model.System, plat model.Platform) (*model.Allocation, error) {
+	return baselineAllocate(sys, plat, nil)
+}
+
+// baselineAllocate is BaselineAllocate with search-effort accounting on rec
+// (nil-safe).
+func baselineAllocate(sys *model.System, plat model.Platform, rec *metrics.Recorder) (*model.Allocation, error) {
 	var vcpus []*model.VCPU
 	for _, vm := range sys.VMs {
-		packed := packExistingVCPUs(vm, plat, len(vcpus))
+		packed := packExistingVCPUs(vm, plat, len(vcpus), rec)
 		if packed == nil {
 			return nil, model.ErrNotSchedulable
 		}
 		vcpus = append(vcpus, packed...)
 	}
+	rec.Add(MetricVCPUsBuilt, int64(len(vcpus)))
 	for m := 1; m <= plat.M; m++ {
+		rec.Inc(MetricMTried)
 		cache := evenSplit(plat.C, m, plat.C)
 		bw := evenSplit(plat.B, m, plat.B)
 		if cache < plat.Cmin || bw < plat.Bmin {
@@ -190,7 +201,15 @@ func BaselineAllocate(sys *model.System, plat model.Platform) (*model.Allocation
 // of tasks onto VCPUs and VCPUs onto cores (no slowdown clustering, no
 // incremental resource allocation, no load balancing).
 func EvenlyPartitionAllocate(sys *model.System, plat model.Platform) (*model.Allocation, error) {
+	return evenlyPartitionAllocate(sys, plat, nil)
+}
+
+// evenlyPartitionAllocate is EvenlyPartitionAllocate with search-effort
+// accounting on rec (nil-safe). The overhead-free analysis performs no
+// dbf/sbf evaluations, so only structural counters are recorded.
+func evenlyPartitionAllocate(sys *model.System, plat model.Platform, rec *metrics.Recorder) (*model.Allocation, error) {
 	for m := 1; m <= plat.M; m++ {
+		rec.Inc(MetricMTried)
 		cache := evenSplit(plat.C, m, plat.C)
 		bw := evenSplit(plat.B, m, plat.B)
 		if cache < plat.Cmin || bw < plat.Bmin {
@@ -216,6 +235,7 @@ func EvenlyPartitionAllocate(sys *model.System, plat model.Platform) (*model.All
 		if cores == nil {
 			continue
 		}
+		rec.Add(MetricVCPUsBuilt, int64(len(vcpus)))
 		return coresToAllocation(cores, plat, cache, bw), nil
 	}
 	return nil, model.ErrNotSchedulable

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"vc2m/internal/metrics"
 	"vc2m/internal/model"
 	"vc2m/internal/rngutil"
 	"vc2m/internal/workload"
@@ -51,4 +52,11 @@ func BenchmarkBaseline(b *testing.B) {
 
 func BenchmarkEvenlyPartition(b *testing.B) {
 	benchAllocator(b, EvenlyPartition{}, 1.0)
+}
+
+// BenchmarkHeuristicExistingCSAMetrics is the live-recorder counterpart of
+// BenchmarkHeuristicExistingCSA; comparing the two (and the nil-recorder
+// default above) bounds the recording overhead.
+func BenchmarkHeuristicExistingCSAMetrics(b *testing.B) {
+	benchAllocator(b, &Heuristic{Mode: ExistingCSA, Metrics: metrics.New()}, 1.0)
 }

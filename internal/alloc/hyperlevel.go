@@ -6,6 +6,7 @@ import (
 
 	"vc2m/internal/csa"
 	"vc2m/internal/kmeans"
+	"vc2m/internal/metrics"
 	"vc2m/internal/model"
 	"vc2m/internal/rngutil"
 )
@@ -25,6 +26,9 @@ type HyperConfig struct {
 	// Overheads inflates VCPU budgets for intra-core preemption and
 	// completion overhead before allocation ([17]); zero disables.
 	Overheads csa.Overheads
+	// Metrics, when non-nil, records search-effort counters and per-phase
+	// timings (nil disables recording at no cost).
+	Metrics *metrics.Recorder
 
 	// Ablation switches, used by the design-choice benchmarks to quantify
 	// what each ingredient of the heuristic contributes.
@@ -102,6 +106,7 @@ func HyperLevel(vcpus []*model.VCPU, plat model.Platform, cfg HyperConfig, rng *
 		return &model.Allocation{Platform: plat, Schedulable: true}, nil
 	}
 	cfg = cfg.withDefaults(len(vcpus))
+	rec := cfg.Metrics
 
 	inflated := make([]*model.VCPU, len(vcpus))
 	for i, v := range vcpus {
@@ -125,6 +130,8 @@ func HyperLevel(vcpus []*model.VCPU, plat model.Platform, cfg HyperConfig, rng *
 			points[i] = clampVector(v.Budget.Slowdown())
 		}
 		clustering := kmeans.Cluster(points, cfg.Clusters, rng)
+		rec.Inc(MetricKMeansRuns)
+		rec.Add(MetricKMeansIters, int64(clustering.Iterations))
 		groups = make([][]*model.VCPU, clustering.K)
 		for i, c := range clustering.Assign {
 			groups[c] = append(groups[c], inflated[i])
@@ -145,9 +152,14 @@ func HyperLevel(vcpus []*model.VCPU, plat model.Platform, cfg HyperConfig, rng *
 		if plat.Cmin*m > plat.C || plat.Bmin*m > plat.B {
 			break // not enough partitions to give every core its minimum
 		}
+		rec.Inc(MetricMTried)
 		for iter := 0; iter < cfg.MaxIters; iter++ {
 			perm := rng.Perm(len(groups))
+			rec.Inc(MetricPermutations)
+			stop := rec.Time(MetricPhase1Seconds)
 			cores := packPhase1(groups, perm, m)
+			stop()
+			rec.Inc(MetricPhase1Packing)
 			if ok := allocateAndBalance(cores, plat, cfg); ok {
 				return buildAllocation(cores, plat), nil
 			}
@@ -186,11 +198,19 @@ func packPhase1(groups [][]*model.VCPU, perm []int, m int) []*coreState {
 // helping, or the round budget is exhausted. It reports success; on
 // success the cores hold their final VCPU and partition assignments.
 func allocateAndBalance(cores []*coreState, plat model.Platform, cfg HyperConfig) bool {
+	rec := cfg.Metrics
 	phase2 := allocatePhase2
 	if cfg.NoResourceGrowth {
 		phase2 = allocateEven
 	}
-	if phase2(cores, plat) {
+	runPhase2 := func() bool {
+		rec.Inc(MetricPhase2Calls)
+		stop := rec.Time(MetricPhase2Seconds)
+		ok := phase2(cores, plat, rec)
+		stop()
+		return ok
+	}
+	if runPhase2() {
 		return true
 	}
 	if cfg.NoLoadBalance {
@@ -198,10 +218,14 @@ func allocateAndBalance(cores []*coreState, plat model.Platform, cfg HyperConfig
 	}
 	prevOverload := totalOverload(cores)
 	for round := 0; round < cfg.MaxBalanceRounds; round++ {
-		if !balancePhase3(cores) {
+		rec.Inc(MetricPhase3Rounds)
+		stop := rec.Time(MetricPhase3Seconds)
+		moved := balancePhase3(cores, rec)
+		stop()
+		if !moved {
 			return false // no migration possible: no benefit in balancing
 		}
-		if phase2(cores, plat) {
+		if runPhase2() {
 			return true
 		}
 		over := totalOverload(cores)
@@ -215,7 +239,7 @@ func allocateAndBalance(cores []*coreState, plat model.Platform, cfg HyperConfig
 
 // allocateEven is the NoResourceGrowth ablation: every core receives an
 // equal share of the partitions regardless of demand.
-func allocateEven(cores []*coreState, plat model.Platform) bool {
+func allocateEven(cores []*coreState, plat model.Platform, _ *metrics.Recorder) bool {
 	cache := plat.C / len(cores)
 	bw := plat.B / len(cores)
 	if cache < plat.Cmin || bw < plat.Bmin {
@@ -236,7 +260,7 @@ func allocateEven(cores []*coreState, plat model.Platform) bool {
 // remain, the unschedulable core with the highest utilization reduction
 // from one extra partition (cache or BW, whichever helps it more) receives
 // that partition. It reports whether all cores became schedulable.
-func allocatePhase2(cores []*coreState, plat model.Platform) bool {
+func allocatePhase2(cores []*coreState, plat model.Platform, rec *metrics.Recorder) bool {
 	for _, cs := range cores {
 		cs.cache, cs.bw = plat.Cmin, plat.Bmin
 	}
@@ -246,6 +270,13 @@ func allocatePhase2(cores []*coreState, plat model.Platform) bool {
 		return false
 	}
 
+	var attempts, grants int64
+	if rec != nil {
+		defer func() {
+			rec.Add(MetricPhase2Attempts, attempts)
+			rec.Add(MetricPhase2Grants, grants)
+		}()
+	}
 	for {
 		allOK := true
 		bestCore, bestIsCache := -1, false
@@ -257,11 +288,13 @@ func allocatePhase2(cores []*coreState, plat model.Platform) bool {
 			}
 			allOK = false
 			if spareCache > 0 && cs.cache < plat.C {
+				attempts++
 				if g := gain(u, cs.utilAt(cs.cache+1, cs.bw)); g > bestGain {
 					bestGain, bestCore, bestIsCache = g, i, true
 				}
 			}
 			if spareBW > 0 && cs.bw < plat.B {
+				attempts++
 				if g := gain(u, cs.utilAt(cs.cache, cs.bw+1)); g > bestGain {
 					bestGain, bestCore, bestIsCache = g, i, false
 				}
@@ -273,6 +306,7 @@ func allocatePhase2(cores []*coreState, plat model.Platform) bool {
 		if bestCore < 0 || bestGain <= schedEps {
 			return false // no partition helps any unschedulable core
 		}
+		grants++
 		if bestIsCache {
 			cores[bestCore].cache++
 			spareCache--
@@ -299,8 +333,8 @@ func gain(old, new_ float64) float64 {
 // balancePhase3 migrates one VCPU from each unschedulable core to the
 // schedulable core that will have the smallest utilization after the
 // migration. It reports whether at least one migration happened.
-func balancePhase3(cores []*coreState) bool {
-	moved := false
+func balancePhase3(cores []*coreState, rec *metrics.Recorder) bool {
+	var migrations int64
 	for _, src := range cores {
 		for !schedulable(src.util()) {
 			vi, dst := pickMigration(cores, src)
@@ -310,10 +344,11 @@ func balancePhase3(cores []*coreState) bool {
 			v := src.vcpus[vi]
 			src.vcpus = append(src.vcpus[:vi], src.vcpus[vi+1:]...)
 			dst.vcpus = append(dst.vcpus, v)
-			moved = true
+			migrations++
 		}
 	}
-	return moved
+	rec.Add(MetricPhase3Migrations, migrations)
+	return migrations > 0
 }
 
 // pickMigration chooses which VCPU of src to migrate and its destination:

@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"vc2m/internal/metrics"
 	"vc2m/internal/model"
 	"vc2m/internal/rngutil"
 )
@@ -29,10 +30,17 @@ type Heuristic struct {
 	VMLevel VMLevelConfig
 	// Hyper configures the hypervisor-level search.
 	Hyper HyperConfig
+	// Metrics, when non-nil, records search-effort counters and per-phase
+	// timings across both allocation levels (see the Metric* constants and
+	// the csa.Metric* constants). Nil disables recording at no cost.
+	Metrics *metrics.Recorder
 }
 
 // Name implements Allocator.
 func (h *Heuristic) Name() string { return "Heuristic (" + h.Mode.String() + ")" }
+
+// SetMetrics implements MetricsSetter.
+func (h *Heuristic) SetMetrics(r *metrics.Recorder) { h.Metrics = r }
 
 // Allocate implements Allocator. A nil RNG falls back to a fixed seed, so
 // the call is deterministic either way.
@@ -40,52 +48,84 @@ func (h *Heuristic) Allocate(sys *model.System, rng *rngutil.RNG) (*model.Alloca
 	if rng == nil {
 		rng = rngutil.New(0)
 	}
+	rec := h.Metrics
+	rec.Inc(MetricAllocCalls)
 	vmCfg := h.VMLevel
 	vmCfg.Mode = h.Mode
+	if rec != nil {
+		vmCfg.Metrics = rec
+	}
+	hyCfg := h.Hyper
+	if rec != nil {
+		hyCfg.Metrics = rec
+	}
+	stopVM := rec.Time(MetricVMLevelSeconds)
 	var vcpus []*model.VCPU
 	for _, vm := range sys.VMs {
 		vs, err := VMLevel(vm, sys.Platform, vmCfg, len(vcpus), rng)
 		if err != nil {
+			stopVM()
 			return nil, err
 		}
 		vcpus = append(vcpus, vs...)
 	}
-	a, err := HyperLevel(vcpus, sys.Platform, h.Hyper, rng)
+	stopVM()
+	rec.Add(MetricVCPUsBuilt, int64(len(vcpus)))
+	stopHyper := rec.Time(MetricHyperSeconds)
+	a, err := HyperLevel(vcpus, sys.Platform, hyCfg, rng)
+	stopHyper()
 	if err != nil {
 		return nil, err
 	}
+	rec.Inc(MetricAllocSchedulable)
 	a.Solution = h.Name()
 	return a, nil
 }
 
 // EvenlyPartition is the "Evenly-partition (overhead-free CSA)" solution.
-type EvenlyPartition struct{}
+type EvenlyPartition struct {
+	// Metrics, when non-nil, records search-effort counters.
+	Metrics *metrics.Recorder
+}
 
 // Name implements Allocator.
 func (EvenlyPartition) Name() string { return "Evenly-partition (overhead-free CSA)" }
 
+// SetMetrics implements MetricsSetter.
+func (e *EvenlyPartition) SetMetrics(r *metrics.Recorder) { e.Metrics = r }
+
 // Allocate implements Allocator.
-func (EvenlyPartition) Allocate(sys *model.System, _ *rngutil.RNG) (*model.Allocation, error) {
-	a, err := EvenlyPartitionAllocate(sys, sys.Platform)
+func (e EvenlyPartition) Allocate(sys *model.System, _ *rngutil.RNG) (*model.Allocation, error) {
+	e.Metrics.Inc(MetricAllocCalls)
+	a, err := evenlyPartitionAllocate(sys, sys.Platform, e.Metrics)
 	if err != nil {
 		return nil, err
 	}
+	e.Metrics.Inc(MetricAllocSchedulable)
 	a.Solution = EvenlyPartition{}.Name()
 	return a, nil
 }
 
 // Baseline is the "Baseline (existing CSA)" solution.
-type Baseline struct{}
+type Baseline struct {
+	// Metrics, when non-nil, records search-effort counters.
+	Metrics *metrics.Recorder
+}
 
 // Name implements Allocator.
 func (Baseline) Name() string { return "Baseline (existing CSA)" }
 
+// SetMetrics implements MetricsSetter.
+func (b *Baseline) SetMetrics(r *metrics.Recorder) { b.Metrics = r }
+
 // Allocate implements Allocator.
-func (Baseline) Allocate(sys *model.System, _ *rngutil.RNG) (*model.Allocation, error) {
-	a, err := BaselineAllocate(sys, sys.Platform)
+func (b Baseline) Allocate(sys *model.System, _ *rngutil.RNG) (*model.Allocation, error) {
+	b.Metrics.Inc(MetricAllocCalls)
+	a, err := baselineAllocate(sys, sys.Platform, b.Metrics)
 	if err != nil {
 		return nil, err
 	}
+	b.Metrics.Inc(MetricAllocSchedulable)
 	a.Solution = Baseline{}.Name()
 	return a, nil
 }
@@ -93,11 +133,12 @@ func (Baseline) Allocate(sys *model.System, _ *rngutil.RNG) (*model.Allocation, 
 // PaperSolutions returns the five solutions evaluated in Section 5, in the
 // legend order of Figures 2-4: Baseline (existing CSA), Evenly-partition
 // (overhead-free CSA), Heuristic (existing CSA), Heuristic (overhead-free
-// CSA), Heuristic (flattening).
+// CSA), Heuristic (flattening). All entries are pointers so that callers
+// can attach a metrics recorder through MetricsSetter.
 func PaperSolutions() []Allocator {
 	return []Allocator{
-		Baseline{},
-		EvenlyPartition{},
+		&Baseline{},
+		&EvenlyPartition{},
 		&Heuristic{Mode: ExistingCSA},
 		&Heuristic{Mode: OverheadFree},
 		&Heuristic{Mode: Flattening},

@@ -20,6 +20,7 @@ import (
 
 	"vc2m/internal/csa"
 	"vc2m/internal/kmeans"
+	"vc2m/internal/metrics"
 	"vc2m/internal/model"
 	"vc2m/internal/rngutil"
 )
@@ -73,6 +74,9 @@ type VMLevelConfig struct {
 	// Clusters is the number of KMeans clusters used to group tasks by
 	// slowdown similarity; 0 defaults to min(3, #tasks).
 	Clusters int
+	// Metrics, when non-nil, records clustering and analysis effort
+	// (nil disables recording at no cost).
+	Metrics *metrics.Recorder
 }
 
 // slowdownCap bounds slowdown-vector entries used for clustering. Budget
@@ -148,6 +152,9 @@ func clusterPackVM(vm *model.VM, plat model.Platform, cfg VMLevelConfig, firstIn
 		points[i] = clampVector(t.WCET.Slowdown())
 	}
 	clustering := kmeans.Cluster(points, k, rng)
+	rec := cfg.Metrics
+	rec.Inc(MetricKMeansRuns)
+	rec.Add(MetricKMeansIters, int64(clustering.Iterations))
 
 	// Group task indices per cluster.
 	groups := make([][]int, clustering.K)
@@ -201,7 +208,7 @@ func clusterPackVM(vm *model.VM, plat model.Platform, cfg VMLevelConfig, firstIn
 			}
 			out = append(out, v)
 		case ExistingCSA:
-			v, _, err := csa.ExistingVCPU(group, idx, plat)
+			v, _, err := csa.ExistingVCPUMetered(group, idx, plat, rec)
 			if err != nil {
 				return nil, fmt.Errorf("alloc: VM %s: %w", vm.ID, err)
 			}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"vc2m/internal/metrics"
 	"vc2m/internal/model"
 )
 
@@ -33,6 +34,17 @@ import (
 // budget is infeasible even under the full allocation (C,B), in which case
 // the VCPU can never be scheduled.
 func ExistingVCPU(tasks []*model.Task, index int, plat model.Platform) (*model.VCPU, bool, error) {
+	return ExistingVCPUMetered(tasks, index, plat, nil)
+}
+
+// ExistingVCPUMetered is ExistingVCPU with search-effort accounting: the
+// dbf/sbf checkpoint evaluations and minimum-budget searches behind the
+// VCPU's budget table are recorded on rec (nil-safe). These counters are
+// what makes the existing CSA's running-time premium over the overhead-free
+// analyses (Figure 4) attributable: every (c,b) allocation triggers a full
+// demand evaluation plus a bisection search, while Theorems 1 and 2 need
+// neither.
+func ExistingVCPUMetered(tasks []*model.Task, index int, plat model.Platform, rec *metrics.Recorder) (*model.VCPU, bool, error) {
 	if len(tasks) == 0 {
 		return nil, false, errors.New("csa: ExistingVCPU with no tasks")
 	}
@@ -51,16 +63,28 @@ func ExistingVCPU(tasks []*model.Task, index int, plat model.Platform) (*model.V
 
 	budget := model.NewResourceTableFor(plat)
 	cps := demand.Checkpoints()
+	var dbfEvals, sbfEvals, searches, iters int64
 	for c := plat.Cmin; c <= plat.C; c++ {
 		for b := plat.Bmin; b <= plat.B; b++ {
 			dem := demand.DBF(TaskWCETs(tasks, c, b))
-			theta, ok := MinBudgetForDemand(pi, cps, dem)
+			dbfEvals += int64(len(cps))
+			theta, ok, se, it := minBudgetForDemand(pi, cps, dem)
+			searches++
+			sbfEvals += se
+			iters += it
 			if !ok {
 				budget.Set(c, b, pseudoBudget(pi, cps, dem))
 				continue
 			}
 			budget.Set(c, b, theta)
 		}
+	}
+	if rec != nil {
+		rec.Inc(MetricExistingVCPUs)
+		rec.Add(MetricDBFEvals, dbfEvals)
+		rec.Add(MetricSBFEvals, sbfEvals)
+		rec.Add(MetricMinBudgetCalls, searches)
+		rec.Add(MetricMinBudgetIters, iters)
 	}
 
 	v := &model.VCPU{

@@ -18,6 +18,30 @@ package csa
 
 import (
 	"math"
+
+	"vc2m/internal/metrics"
+)
+
+// Counter names recorded by the metered analysis entry points. The
+// dbf/sbf checkpoint-evaluation counters are the paper's Figure-4
+// running-time gap made countable: the existing CSA evaluates demand and
+// supply at every checkpoint of every (c,b) allocation, while the
+// overhead-free analyses (Theorems 1 and 2) evaluate none.
+const (
+	// MetricDBFEvals counts demand-bound evaluations, one per (checkpoint,
+	// WCET-vector) pair.
+	MetricDBFEvals = "csa.dbf.checkpoint_evals"
+	// MetricSBFEvals counts supply-bound evaluations performed by the
+	// minimum-budget search.
+	MetricSBFEvals = "csa.sbf.evals"
+	// MetricMinBudgetCalls counts minimum-budget searches (one per (c,b)
+	// allocation of every existing-CSA VCPU).
+	MetricMinBudgetCalls = "csa.minbudget.calls"
+	// MetricMinBudgetIters counts bisection iterations across all
+	// minimum-budget searches.
+	MetricMinBudgetIters = "csa.minbudget.bisect_iters"
+	// MetricExistingVCPUs counts VCPUs parameterized with the existing CSA.
+	MetricExistingVCPUs = "csa.existing.vcpus"
 )
 
 // SBF returns the supply-bound function of the periodic resource model
@@ -76,8 +100,29 @@ const budgetEps = 1e-6
 // each checkpoint is found by bisection and the overall minimum is the
 // maximum over checkpoints.
 func MinBudgetForDemand(pi float64, checkpoints, demands []float64) (float64, bool) {
+	theta, ok, _, _ := minBudgetForDemand(pi, checkpoints, demands)
+	return theta, ok
+}
+
+// MinBudgetForDemandMetered is MinBudgetForDemand with search-effort
+// accounting: it additionally records the number of sbf evaluations and
+// bisection iterations on rec (nil-safe).
+func MinBudgetForDemandMetered(pi float64, checkpoints, demands []float64, rec *metrics.Recorder) (float64, bool) {
+	theta, ok, sbfEvals, iters := minBudgetForDemand(pi, checkpoints, demands)
+	if rec != nil {
+		rec.Inc(MetricMinBudgetCalls)
+		rec.Add(MetricSBFEvals, sbfEvals)
+		rec.Add(MetricMinBudgetIters, iters)
+	}
+	return theta, ok
+}
+
+// minBudgetForDemand is the shared implementation; it tallies its sbf
+// evaluations and bisection iterations in plain locals so the disabled-
+// metrics path pays nothing beyond two integer increments.
+func minBudgetForDemand(pi float64, checkpoints, demands []float64) (theta float64, ok bool, sbfEvals, iters int64) {
 	if pi <= 0 {
-		return 0, false
+		return 0, false, 0, 0
 	}
 	var need float64
 	for i, t := range checkpoints {
@@ -87,10 +132,12 @@ func MinBudgetForDemand(pi float64, checkpoints, demands []float64) (float64, bo
 		}
 		// Even a dedicated core (theta = pi) supplies at most t by time t.
 		if d > t+1e-9 {
-			return 0, false
+			return 0, false, sbfEvals, iters
 		}
 		lo, hi := 0.0, pi
 		for iter := 0; iter < 64 && hi-lo > budgetEps/4; iter++ {
+			iters++
+			sbfEvals++
 			mid := (lo + hi) / 2
 			if SBF(pi, mid, t) >= d {
 				hi = mid
@@ -98,8 +145,9 @@ func MinBudgetForDemand(pi float64, checkpoints, demands []float64) (float64, bo
 				lo = mid
 			}
 		}
+		sbfEvals++
 		if SBF(pi, hi, t) < d-1e-9 {
-			return 0, false
+			return 0, false, sbfEvals, iters
 		}
 		if hi > need {
 			need = hi
@@ -109,9 +157,12 @@ func MinBudgetForDemand(pi float64, checkpoints, demands []float64) (float64, bo
 	// bisection tolerance at every checkpoint.
 	need = math.Min(pi, need+budgetEps/2)
 	for i, t := range checkpoints {
-		if demands[i] > 0 && SBF(pi, need, t) < demands[i]-1e-9 {
-			return 0, false
+		if demands[i] > 0 {
+			sbfEvals++
+			if SBF(pi, need, t) < demands[i]-1e-9 {
+				return 0, false, sbfEvals, iters
+			}
 		}
 	}
-	return need, true
+	return need, true, sbfEvals, iters
 }

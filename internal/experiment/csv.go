@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"vc2m/internal/metrics"
 )
 
 // WriteFractionsCSV writes the schedulable-fraction series as CSV: a
@@ -34,12 +36,29 @@ func (r *SchedResult) writeCSV(w io.Writer, cell func(SchedPoint) string) error 
 	if err := cw.Write(header); err != nil {
 		return err
 	}
-	if len(r.Series) > 0 {
-		for i := range r.Series[0].Points {
-			row := []string{strconv.FormatFloat(r.Series[0].Points[i].Util, 'f', 2, 64)}
-			for _, s := range r.Series {
-				row = append(row, cell(s.Points[i]))
-			}
+	for i := 0; i < r.minPoints(); i++ {
+		row := []string{strconv.FormatFloat(r.Series[0].Points[i].Util, 'f', 2, 64)}
+		for _, s := range r.Series {
+			row = append(row, cell(s.Points[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMetricsCSV writes every series' search-effort snapshot as CSV rows
+// of (scope, kind, name, value, n, min_sec, mean_sec, max_sec), with the
+// solution name as the scope. Series without metrics contribute no rows.
+func (r *SchedResult) WriteMetricsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(metrics.CSVHeader()); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for _, row := range s.Metrics.CSVRows(s.Solution) {
 			if err := cw.Write(row); err != nil {
 				return err
 			}

@@ -15,9 +15,22 @@ import (
 	"time"
 
 	"vc2m/internal/alloc"
+	"vc2m/internal/metrics"
 	"vc2m/internal/model"
 	"vc2m/internal/rngutil"
 	"vc2m/internal/workload"
+)
+
+// Counter and timer names recorded per solution when
+// SchedConfig.CollectMetrics is set.
+const (
+	// MetricPoints counts utilization points completed; MetricTasksets
+	// counts tasksets analyzed.
+	MetricPoints   = "experiment.points"
+	MetricTasksets = "experiment.tasksets"
+	// MetricPointSeconds observes, per utilization point, the solution's
+	// total allocation time across the point's tasksets.
+	MetricPointSeconds = "experiment.point.seconds"
 )
 
 // SchedConfig parameterizes a schedulability experiment (Sections 5.2-5.3).
@@ -46,10 +59,20 @@ type SchedConfig struct {
 	// data) include scheduler contention, so keep Parallel at 1 when
 	// measuring running time.
 	Parallel int
+	// CollectMetrics attaches a search-effort recorder to every solution
+	// that supports one (alloc.MetricsSetter); each series then carries a
+	// metrics snapshot in SchedSeries.Metrics. Counters are deterministic
+	// across runs regardless of Parallel; timer values are wall-clock and
+	// are not.
+	CollectMetrics bool
 }
 
+// withDefaults fills the paper's defaults. The utilization range defaults
+// as a unit — UtilMin defaults to 0.1 only when UtilMax is also unset — so
+// that an explicit sweep starting at 0 (UtilMin: 0, UtilMax: x) is
+// representable and not silently rewritten.
 func (c SchedConfig) withDefaults() SchedConfig {
-	if c.UtilMin == 0 {
+	if c.UtilMin == 0 && c.UtilMax == 0 {
 		c.UtilMin = 0.1
 	}
 	if c.UtilMax == 0 {
@@ -67,6 +90,24 @@ func (c SchedConfig) withDefaults() SchedConfig {
 	return c
 }
 
+// utilGrid returns the utilization sweep min, min+step, ..., up to and
+// including max (within a relative tolerance for the endpoint). Each point
+// is generated as min + i*step rather than by repeated addition, so the
+// grid carries one rounding error per point instead of an accumulated one
+// — with step 0.025, accumulation followed by rounding to two decimals
+// used to collapse neighbouring points.
+func utilGrid(min, max, step float64) []float64 {
+	n := int(math.Floor((max-min)/step + 1e-9))
+	if n < 0 {
+		return nil
+	}
+	out := make([]float64, n+1)
+	for i := range out {
+		out[i] = min + float64(i)*step
+	}
+	return out
+}
+
 // SchedPoint is one (utilization, solution) measurement.
 type SchedPoint struct {
 	// Util is the taskset reference utilization (x-axis).
@@ -81,6 +122,10 @@ type SchedPoint struct {
 type SchedSeries struct {
 	Solution string
 	Points   []SchedPoint
+	// Metrics is the solution's search-effort snapshot; populated only
+	// when SchedConfig.CollectMetrics is set and the solution supports
+	// recording.
+	Metrics metrics.Snapshot
 }
 
 // SchedResult holds a full schedulability experiment.
@@ -102,15 +147,25 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 	if err := cfg.Platform.Validate(); err != nil {
 		return nil, err
 	}
-
-	var utils []float64
-	for u := cfg.UtilMin; u <= cfg.UtilMax+1e-9; u += cfg.UtilStep {
-		utils = append(utils, math.Round(u*100)/100)
+	if cfg.UtilStep < 0 {
+		return nil, fmt.Errorf("experiment: negative UtilStep %v", cfg.UtilStep)
+	}
+	if cfg.UtilMax < cfg.UtilMin {
+		return nil, fmt.Errorf("experiment: UtilMax %v below UtilMin %v", cfg.UtilMax, cfg.UtilMin)
 	}
 
+	utils := utilGrid(cfg.UtilMin, cfg.UtilMax, cfg.UtilStep)
+
 	res := &SchedResult{Platform: cfg.Platform, Dist: cfg.Dist}
-	for _, sol := range cfg.Solutions {
+	recorders := make([]*metrics.Recorder, len(cfg.Solutions))
+	for si, sol := range cfg.Solutions {
 		res.Series = append(res.Series, SchedSeries{Solution: sol.Name()})
+		if cfg.CollectMetrics {
+			if ms, ok := sol.(alloc.MetricsSetter); ok {
+				recorders[si] = metrics.New()
+				ms.SetMetrics(recorders[si])
+			}
+		}
 	}
 
 	workers := cfg.Parallel
@@ -191,12 +246,35 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 				Fraction:   float64(schedulable[si]) / float64(cfg.TasksetsPerPoint),
 				AvgSeconds: elapsed[si] / float64(cfg.TasksetsPerPoint),
 			})
+			if rec := recorders[si]; rec != nil {
+				rec.Inc(MetricPoints)
+				rec.Add(MetricTasksets, int64(cfg.TasksetsPerPoint))
+				rec.Observe(MetricPointSeconds, elapsed[si])
+			}
 		}
 		if cfg.Progress != nil {
 			cfg.Progress(ui+1, len(utils))
 		}
 	}
+	for si, rec := range recorders {
+		if rec != nil {
+			res.Series[si].Metrics = rec.Snapshot()
+		}
+	}
 	return res, nil
+}
+
+// MetricsTable renders every series' search-effort snapshot as aligned
+// text, one block per solution; empty when no metrics were collected.
+func (r *SchedResult) MetricsTable() string {
+	var b strings.Builder
+	for _, s := range r.Series {
+		if s.Metrics.Empty() {
+			continue
+		}
+		fmt.Fprintf(&b, "## %s\n%s", s.Solution, s.Metrics.Table())
+	}
+	return b.String()
 }
 
 // Knee returns the largest utilization at which the solution still
@@ -240,10 +318,7 @@ func (r *SchedResult) table(cell func(SchedPoint) string) string {
 		fmt.Fprintf(&b, " | %-38s", s.Solution)
 	}
 	b.WriteByte('\n')
-	if len(r.Series) == 0 {
-		return b.String()
-	}
-	for i := range r.Series[0].Points {
+	for i := 0; i < r.minPoints(); i++ {
 		fmt.Fprintf(&b, "%-6.2f", r.Series[0].Points[i].Util)
 		for _, s := range r.Series {
 			fmt.Fprintf(&b, " | %-38s", cell(s.Points[i]))
@@ -251,6 +326,22 @@ func (r *SchedResult) table(cell func(SchedPoint) string) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// minPoints returns the shortest series length — the number of rows every
+// series can contribute to. Hand-assembled results may be ragged; indexing
+// all series by the first one's length used to panic on them.
+func (r *SchedResult) minPoints() int {
+	if len(r.Series) == 0 {
+		return 0
+	}
+	min := len(r.Series[0].Points)
+	for _, s := range r.Series[1:] {
+		if len(s.Points) < min {
+			min = len(s.Points)
+		}
+	}
+	return min
 }
 
 // FractionSeries converts the result into plottable (x, y) series of

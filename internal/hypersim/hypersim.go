@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"vc2m/internal/membus"
+	"vc2m/internal/metrics"
 	"vc2m/internal/model"
 	"vc2m/internal/sim"
 	"vc2m/internal/stats"
@@ -80,7 +81,26 @@ type Config struct {
 	// TaskMetrics.MaxLateness reports how late jobs finished. The default
 	// (discard) isolates miss counting from cascade effects.
 	ContinueLateJobs bool
+	// Metrics, when non-nil, receives the run's aggregate event counters
+	// (context switches, scheduler invocations, replenishments, throttle
+	// events, deadline misses — see the Metric* constants) at the end of
+	// Run. Nil disables recording at no cost.
+	Metrics *metrics.Recorder
 }
+
+// Counter names recorded on Config.Metrics at the end of Run. They mirror
+// the Result fields so that simulator activity lands in the same report as
+// the allocators' search-effort counters.
+const (
+	MetricContextSwitches  = "hypersim.context_switches"
+	MetricSchedInvocations = "hypersim.sched_invocations"
+	MetricBudgetReplenish  = "hypersim.budget_replenishments"
+	MetricThrottleEvents   = "hypersim.throttle_events"
+	MetricBWReplenish      = "hypersim.bw_replenishments"
+	MetricJobsReleased     = "hypersim.jobs_released"
+	MetricJobsCompleted    = "hypersim.jobs_completed"
+	MetricDeadlineMisses   = "hypersim.deadline_misses"
+)
 
 // taskState is a task's runtime state.
 type taskState struct {

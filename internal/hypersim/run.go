@@ -217,5 +217,15 @@ func (s *Simulator) Run(horizon timeunit.Ticks) *Result {
 			res.Overheads[k] = sample.Summary()
 		}
 	}
+	if rec := s.cfg.Metrics; rec != nil {
+		rec.Add(MetricContextSwitches, int64(res.ContextSwitches))
+		rec.Add(MetricSchedInvocations, int64(res.SchedInvocations))
+		rec.Add(MetricBudgetReplenish, int64(res.BudgetReplenishments))
+		rec.Add(MetricThrottleEvents, int64(res.ThrottleEvents))
+		rec.Add(MetricBWReplenish, int64(res.BWReplenishments))
+		rec.Add(MetricJobsReleased, int64(res.Released))
+		rec.Add(MetricJobsCompleted, int64(res.Completed))
+		rec.Add(MetricDeadlineMisses, int64(res.Missed))
+	}
 	return res
 }

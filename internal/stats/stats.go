@@ -11,13 +11,16 @@ import (
 )
 
 // Summary accumulates observations and reports min, mean and max. The zero
-// value is an empty summary ready for use.
+// value is an empty summary ready for use. Mean and variance are maintained
+// with Welford's online algorithm, which stays accurate for large-magnitude,
+// low-variance observations (e.g. nanosecond-scale timestamps) where the
+// textbook sum-of-squares formula cancels catastrophically.
 type Summary struct {
 	n    int
 	min  float64
 	max  float64
-	sum  float64
-	sum2 float64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
 }
 
 // Add records one observation.
@@ -34,8 +37,9 @@ func (s *Summary) Add(x float64) {
 		}
 	}
 	s.n++
-	s.sum += x
-	s.sum2 += x * x
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
 }
 
 // N returns the number of observations recorded.
@@ -59,10 +63,7 @@ func (s *Summary) Max() float64 {
 
 // Mean returns the arithmetic mean, or 0 if no observations were recorded.
 func (s *Summary) Mean() float64 {
-	if s.n == 0 {
-		return 0
-	}
-	return s.sum / float64(s.n)
+	return s.mean
 }
 
 // StdDev returns the population standard deviation, or 0 for fewer than two
@@ -71,8 +72,7 @@ func (s *Summary) StdDev() float64 {
 	if s.n < 2 {
 		return 0
 	}
-	m := s.Mean()
-	v := s.sum2/float64(s.n) - m*m
+	v := s.m2 / float64(s.n)
 	if v < 0 {
 		v = 0 // guard against rounding
 	}

@@ -56,6 +56,38 @@ func TestSummaryStdDev(t *testing.T) {
 	}
 }
 
+// TestSummaryStdDevLargeOffset is the regression test for the catastrophic
+// cancellation in the pre-Welford sum2/n - mean^2 formula: nanosecond-scale
+// observations (magnitude 1e9, variance well below 1) produced a sum of
+// squares around 3e18, where float64 resolution is ~512 — the subtraction
+// left essentially no significant digits. Welford's algorithm keeps full
+// precision.
+func TestSummaryStdDevLargeOffset(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1e9, 1e9 + 1, 1e9 + 2} {
+		s.Add(x)
+	}
+	// Population stddev of {0, 1, 2} shifted by 1e9: sqrt(2/3).
+	want := math.Sqrt(2.0 / 3.0)
+	if got := s.StdDev(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("StdDev of 1e9+{0,1,2} = %v, want %v", got, want)
+	}
+	if got := s.Mean(); math.Abs(got-(1e9+1)) > 1e-6 {
+		t.Errorf("Mean = %v, want 1e9+1", got)
+	}
+
+	// Larger offset, same shape: stays exact with Welford, and the old
+	// formula's clamp-at-zero guard would have hidden the failure as 0.
+	var s2 Summary
+	for _, x := range []float64{1e12, 1e12 + 2, 1e12 + 4} {
+		s2.Add(x)
+	}
+	want2 := 2 * math.Sqrt(2.0/3.0)
+	if got := s2.StdDev(); math.Abs(got-want2) > 1e-3 {
+		t.Errorf("StdDev of 1e12+{0,2,4} = %v, want %v", got, want2)
+	}
+}
+
 func TestSummaryInvariants(t *testing.T) {
 	f := func(raw []int32) bool {
 		var s Summary

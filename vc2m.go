@@ -41,6 +41,7 @@ import (
 	"vc2m/internal/alloc"
 	"vc2m/internal/csa"
 	"vc2m/internal/hypersim"
+	"vc2m/internal/metrics"
 	"vc2m/internal/model"
 	"vc2m/internal/parsec"
 	"vc2m/internal/rngutil"
@@ -89,6 +90,23 @@ var (
 
 // ErrNotSchedulable is returned when no feasible allocation exists.
 var ErrNotSchedulable = model.ErrNotSchedulable
+
+// MetricsRecorder collects search-effort counters, gauges and wall-time
+// timers from the allocator and the simulator. The zero value of the
+// pointer (nil) is a valid no-op recorder: every recording method on a nil
+// *MetricsRecorder returns immediately, so instrumented code needs no
+// guards and pays nothing when metrics are off.
+type MetricsRecorder = metrics.Recorder
+
+// MetricsSnapshot is an immutable copy of a recorder's state, renderable
+// as JSON (MetricsSnapshot.JSON) or an aligned text table
+// (MetricsSnapshot.Table).
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetrics returns an enabled metrics recorder. Pass it via
+// Options.Metrics or SimOptions.Metrics, then read it with
+// MetricsRecorder.Snapshot.
+func NewMetrics() *MetricsRecorder { return metrics.New() }
 
 // Mode selects the analysis used for VCPU parameters.
 type Mode = alloc.CSAMode
@@ -177,6 +195,10 @@ type Options struct {
 	// Overheads inflates WCETs/budgets for intra-core preemption overhead
 	// before allocation; the zero value disables inflation.
 	Overheads Overheads
+	// Metrics, when non-nil, records the allocator's search effort
+	// (dbf/sbf evaluations, clustering iterations, phase timings — see
+	// NewMetrics). Nil disables recording at no cost.
+	Metrics *MetricsRecorder
 }
 
 // Allocate runs the vC2M allocator on the system and returns a schedulable
@@ -193,6 +215,7 @@ func Allocate(sys *System, opts Options) (*Allocation, error) {
 			Clusters:  opts.Clusters,
 			Overheads: opts.Overheads,
 		},
+		Metrics: opts.Metrics,
 	}
 	return h.Allocate(sys, rngutil.New(opts.Seed))
 }
@@ -232,6 +255,9 @@ type SimOptions struct {
 	MemRate map[string]float64
 	// RecordTrace keeps the per-core execution trace in the result.
 	RecordTrace bool
+	// Metrics, when non-nil, receives the run's aggregate event counters
+	// (context switches, replenishments, deadline misses, ...).
+	Metrics *MetricsRecorder
 }
 
 // SimResult is the outcome of a simulation run.
@@ -251,6 +277,7 @@ func Simulate(a *Allocation, horizonMs float64, opts SimOptions) (*SimResult, er
 		BWBudgets:   opts.BWBudgets,
 		MemRate:     opts.MemRate,
 		RecordTrace: opts.RecordTrace,
+		Metrics:     opts.Metrics,
 	}
 	if opts.RegulationPeriodMs > 0 {
 		cfg.RegulationPeriod = timeunit.FromMillis(opts.RegulationPeriodMs)
