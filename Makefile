@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench race cover paper examples clean
+.PHONY: all build vet fmtcheck test bench bench-smoke race cover ci paper examples clean
 
 all: build vet test
 
@@ -13,12 +13,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fails (listing the offenders) if any file is not gofmt-clean.
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 # Reduced-scale regeneration of every table/figure as benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark — catches bit-rot in the bench
+# harnesses without paying for a real measurement run.
+bench-smoke:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+# Everything CI runs (see .github/workflows/ci.yml), locally.
+ci: build vet fmtcheck test race bench-smoke
 
 race:
 	$(GO) test -race ./...

@@ -16,6 +16,7 @@ import (
 
 	"vc2m/internal/experiment"
 	"vc2m/internal/model"
+	"vc2m/internal/profutil"
 	"vc2m/internal/workload"
 )
 
@@ -24,7 +25,14 @@ func main() {
 	tasksets := flag.Int("tasksets", 50, "tasksets per utilization point (paper: 50)")
 	step := flag.Float64("step", 0.05, "utilization step (paper: 0.05)")
 	seed := flag.Int64("seed", 1, "random seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
@@ -127,6 +135,9 @@ func main() {
 	}
 	writeFile(*out, "online.txt", online.Table())
 
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
 	fmt.Fprintf(os.Stderr, "done; outputs in %s/\n", *out)
 }
 

@@ -21,6 +21,7 @@ import (
 	"vc2m/internal/experiment"
 	"vc2m/internal/model"
 	"vc2m/internal/plot"
+	"vc2m/internal/profutil"
 	"vc2m/internal/workload"
 )
 
@@ -38,7 +39,14 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "tasksets analyzed concurrently (results are identical at any value; use 1 when timing)")
 	showMetrics := flag.Bool("metrics", false, "collect and print per-solution search-effort metrics (dbf/sbf evaluations, phase timings, ...)")
 	metricsCSV := flag.String("metrics-csv", "", "also write the per-solution metrics to this CSV file (implies -metrics)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
 
 	plat, err := model.PlatformByName(*platform)
 	if err != nil {
@@ -122,6 +130,10 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(chart)
+	}
+
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 

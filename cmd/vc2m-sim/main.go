@@ -20,6 +20,7 @@ import (
 	"vc2m"
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
+	"vc2m/internal/profutil"
 )
 
 func main() {
@@ -36,7 +37,17 @@ func main() {
 	gantt := flag.Float64("gantt", 0, "render an execution Gantt chart for the first N ms of the simulation")
 	showMetrics := flag.Bool("metrics", false, "record and print allocator and simulator metrics (search effort, scheduler events)")
 	metricsCSV := flag.String("metrics-csv", "", "also write the metrics to this CSV file (implies -metrics)")
+	traceOut := flag.String("trace-out", "", "write the simulation's flight-recorder trace as Chrome trace-event JSON (open in ui.perfetto.dev)")
+	traceJSONL := flag.String("trace-jsonl", "", "write the simulation's flight-recorder trace as JSON lines (replay with vc2m-trace)")
+	diagnose := flag.Bool("diagnose", false, "on deadline misses, print a per-task miss-cause breakdown")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
 
 	sys := loadOrGenerate(*in, *platform, *genUtil, *genDist, *genSeed)
 
@@ -88,14 +99,20 @@ func main() {
 	}
 
 	if *simulate > 0 {
-		res, err := vc2m.Simulate(a, *simulate, vc2m.SimOptions{RecordTrace: *gantt > 0, Metrics: rec})
+		sink, closeSinks := openTraceSinks(*traceOut, *traceJSONL)
+		recordTrace := *gantt > 0 || *diagnose
+		res, err := vc2m.Simulate(a, *simulate, vc2m.SimOptions{RecordTrace: recordTrace, Trace: sink, Metrics: rec})
 		if err != nil {
 			fatal(err)
 		}
+		closeSinks()
 		fmt.Printf("simulated %.0f ms: %d jobs released, %d completed, %d deadline misses\n",
 			*simulate, res.Released, res.Completed, res.Missed)
 		if *gantt > 0 {
 			fmt.Print(vc2m.RenderGantt(res, 0, *gantt, 100))
+		}
+		if *diagnose && res.Missed > 0 {
+			fmt.Print(vc2m.DiagnoseMisses(res.Events).Render())
 		}
 		if res.Missed > 0 {
 			fatal(fmt.Errorf("allocation declared schedulable but missed deadlines"))
@@ -108,6 +125,50 @@ func main() {
 		fmt.Print(snap.Table())
 		if *metricsCSV != "" {
 			writeMetricsCSV(*metricsCSV, snap, *mode)
+		}
+	}
+
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
+}
+
+// openTraceSinks builds the flight-recorder sink requested by the
+// -trace-out / -trace-jsonl flags. The returned close function finalizes
+// the output files (the Chrome export in particular is invalid JSON
+// until closed) and must run before the process exits successfully.
+func openTraceSinks(chromePath, jsonlPath string) (vc2m.TraceSink, func()) {
+	var sinks []vc2m.TraceSink
+	var closers []func() error
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			fatal(err)
+		}
+		cw := vc2m.NewTraceChrome(f)
+		sinks = append(sinks, cw)
+		closers = append(closers, cw.Close, f.Close)
+	}
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			fatal(err)
+		}
+		jw := vc2m.NewTraceJSONL(f)
+		sinks = append(sinks, jw)
+		closers = append(closers, jw.Close, f.Close)
+	}
+	return vc2m.MultiTrace(sinks...), func() {
+		for _, c := range closers {
+			if err := c(); err != nil {
+				fatal(err)
+			}
+		}
+		if chromePath != "" {
+			fmt.Fprintf(os.Stderr, "wrote trace to %s (open in ui.perfetto.dev)\n", chromePath)
+		}
+		if jsonlPath != "" {
+			fmt.Fprintf(os.Stderr, "wrote trace to %s (inspect with vc2m-trace)\n", jsonlPath)
 		}
 	}
 }

@@ -1,0 +1,167 @@
+// vc2m-trace works with flight-recorder traces captured from the
+// hypervisor simulator (vc2m-sim -trace-jsonl, or any SimOptions.Trace
+// sink): it converts JSONL captures to Chrome trace-event JSON for
+// ui.perfetto.dev, renders ASCII Gantt charts, explains deadline misses,
+// and summarizes stream contents.
+//
+// Subcommands:
+//
+//	vc2m-trace convert -in run.jsonl -out run.json   # Perfetto/Chrome JSON
+//	vc2m-trace gantt -in run.jsonl -from 0 -to 100   # ASCII timeline
+//	vc2m-trace diagnose -in run.jsonl                # miss causes
+//	vc2m-trace stats -in run.jsonl                   # event counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"vc2m/internal/hypersim"
+	"vc2m/internal/timeunit"
+	"vc2m/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "convert":
+		cmdConvert(os.Args[2:])
+	case "gantt":
+		cmdGantt(os.Args[2:])
+	case "diagnose":
+		cmdDiagnose(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "vc2m-trace: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: vc2m-trace <subcommand> [flags]
+
+subcommands:
+  convert   convert a JSONL trace to Chrome trace-event JSON (ui.perfetto.dev)
+  gantt     render a window of the trace as per-core ASCII timelines
+  diagnose  attribute every deadline miss in the trace to a cause
+  stats     summarize the trace's event counts
+
+run 'vc2m-trace <subcommand> -h' for flags. Capture traces with
+'vc2m-sim -trace-jsonl run.jsonl' or a SimOptions.Trace sink.
+`)
+}
+
+// readEvents loads a JSONL trace from path ("-" or "" means stdin).
+func readEvents(path string) []trace.Event {
+	var r io.Reader = os.Stdin
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := trace.ReadJSONL(r)
+	if err != nil {
+		fatal(err)
+	}
+	return events
+}
+
+func cmdConvert(args []string) {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input JSONL trace (default stdin)")
+	out := fs.String("out", "", "output Chrome trace JSON file (default stdout)")
+	fs.Parse(args)
+
+	events := readEvents(*in)
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := trace.WriteChrome(w, events); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d events); open it in ui.perfetto.dev\n", *out, len(events))
+	}
+}
+
+func cmdGantt(args []string) {
+	fs := flag.NewFlagSet("gantt", flag.ExitOnError)
+	in := fs.String("in", "", "input JSONL trace (default stdin)")
+	from := fs.Float64("from", 0, "window start in ms")
+	to := fs.Float64("to", 0, "window end in ms (0 means the trace's end)")
+	width := fs.Int("width", 100, "columns per row")
+	fs.Parse(args)
+
+	events := readEvents(*in)
+	slices := hypersim.SlicesFromEvents(events)
+	end := timeunit.FromMillis(*to)
+	if *to <= 0 {
+		for _, s := range slices {
+			if s.End > end {
+				end = s.End
+			}
+		}
+	}
+	fmt.Print(hypersim.RenderGantt(slices, timeunit.FromMillis(*from), end, *width))
+}
+
+func cmdDiagnose(args []string) {
+	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+	in := fs.String("in", "", "input JSONL trace (default stdin)")
+	fs.Parse(args)
+
+	rep := trace.Diagnose(readEvents(*in))
+	fmt.Print(rep.Render())
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "input JSONL trace (default stdin)")
+	fs.Parse(args)
+
+	events := readEvents(*in)
+	counts := trace.CountByType(events)
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var span timeunit.Ticks
+	for _, ev := range events {
+		if ev.Time > span {
+			span = ev.Time
+		}
+	}
+	fmt.Printf("%d events over %v\n", len(events), span)
+	for _, name := range names {
+		fmt.Printf("  %-16s %d\n", name, counts[name])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vc2m-trace:", err)
+	os.Exit(1)
+}

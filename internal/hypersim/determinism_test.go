@@ -57,6 +57,20 @@ func TestSimulationDeterminism(t *testing.T) {
 			t.Fatalf("trace diverges at entry %d: %+v vs %+v", i, r1.Trace[i], r2.Trace[i])
 		}
 	}
+	// The full typed flight-recorder stream — every release, completion,
+	// replenishment, context switch and slice — must be bit-identical,
+	// not just the slice projection.
+	if len(r1.Events) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	if len(r1.Events) != len(r2.Events) {
+		t.Fatalf("event stream lengths differ: %d vs %d", len(r1.Events), len(r2.Events))
+	}
+	for i := range r1.Events {
+		if r1.Events[i] != r2.Events[i] {
+			t.Fatalf("event stream diverges at %d: %+v vs %+v", i, r1.Events[i], r2.Events[i])
+		}
+	}
 	for id, m1 := range r1.Tasks {
 		if m2 := r2.Tasks[id]; m1 != m2 {
 			t.Fatalf("task %s metrics differ: %+v vs %+v", id, m1, m2)

@@ -6,7 +6,26 @@ import (
 	"strings"
 
 	"vc2m/internal/timeunit"
+	"vc2m/internal/trace"
 )
+
+// SlicesFromEvents projects a typed event stream onto the execution-slice
+// view consumed by RenderGantt: one TraceEntry per EvExecSlice, in stream
+// order. It is how Result.Trace is rebuilt from the flight recorder, and
+// how the trace CLI renders Gantt charts from captured JSONL streams.
+func SlicesFromEvents(events []trace.Event) []TraceEntry {
+	var out []TraceEntry
+	for _, ev := range events {
+		if ev.Type != trace.EvExecSlice {
+			continue
+		}
+		out = append(out, TraceEntry{
+			Core: ev.Core, VCPU: ev.VCPU, Task: ev.Task,
+			Start: ev.Start, End: ev.Time,
+		})
+	}
+	return out
+}
 
 // RenderGantt converts an execution trace into per-core ASCII timelines:
 // one row per VCPU, one column per time bin, a glyph where the VCPU held
@@ -18,7 +37,12 @@ import (
 // consuming budget idle). Injected context-switch overhead renders as part
 // of the incoming slice (the VCPU holds the core either way). Rows are
 // grouped by core and sorted by VCPU ID.
-func RenderGantt(trace []TraceEntry, from, to timeunit.Ticks, width int) string {
+//
+// Every VCPU that appears anywhere in the trace gets a row in every
+// window, blank when it did not run there — so two windows rendered side
+// by side always have the same rows and an idle VCPU is visibly idle
+// rather than silently absent.
+func RenderGantt(entries []TraceEntry, from, to timeunit.Ticks, width int) string {
 	if width <= 0 {
 		width = 80
 	}
@@ -32,16 +56,16 @@ func RenderGantt(trace []TraceEntry, from, to timeunit.Ticks, width int) string 
 		vcpu string
 	}
 	rows := map[key][]byte{}
-	for _, e := range trace {
+	for _, e := range entries {
+		if _, ok := rows[key{e.Core, e.VCPU}]; !ok {
+			rows[key{e.Core, e.VCPU}] = []byte(strings.Repeat(" ", width))
+		}
+	}
+	for _, e := range entries {
 		if e.End <= from || e.Start >= to {
 			continue
 		}
-		k := key{e.Core, e.VCPU}
-		row, ok := rows[k]
-		if !ok {
-			row = []byte(strings.Repeat(" ", width))
-			rows[k] = row
-		}
+		row := rows[key{e.Core, e.VCPU}]
 		start, end := e.Start, e.End
 		if start < from {
 			start = from

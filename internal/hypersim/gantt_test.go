@@ -55,10 +55,50 @@ func TestRenderGanttWindowClipping(t *testing.T) {
 	if bar != "##########" {
 		t.Errorf("full-window slice should fill the row: %q", bar)
 	}
-	// Entries entirely outside the window are dropped.
+	// Entries entirely outside the window leave the VCPU's row blank —
+	// the row itself must survive so windows stay comparable.
 	out = RenderGantt(trace, 20000, 21000, 10)
-	if !strings.Contains(out, "no execution") {
-		t.Error("out-of-window entry not dropped")
+	bar = out[strings.Index(out, "|")+1:]
+	bar = bar[:strings.Index(bar, "|")]
+	if bar != strings.Repeat(" ", 10) {
+		t.Errorf("out-of-window slice should leave a blank row: %q", bar)
+	}
+	if !strings.Contains(out, "v") {
+		t.Errorf("VCPU row missing from out-of-window rendering:\n%s", out)
+	}
+}
+
+// TestRenderGanttIdleVCPURow: a VCPU idle for a whole window still gets an
+// (empty) row there, so side-by-side window comparisons line up.
+func TestRenderGanttIdleVCPURow(t *testing.T) {
+	trace := []TraceEntry{
+		{Core: 0, VCPU: "v1", Task: "t1", Start: 0, End: 1000},
+		{Core: 0, VCPU: "v2", Task: "t2", Start: 0, End: 400},
+		// v2 never runs again; v1 keeps running in the second window.
+		{Core: 0, VCPU: "v1", Task: "t1", Start: 1000, End: 2000},
+	}
+	w1 := RenderGantt(trace, 0, 1000, 10)
+	w2 := RenderGantt(trace, 1000, 2000, 10)
+	countRows := func(s string) int {
+		n := 0
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "|") {
+				n++
+			}
+		}
+		return n
+	}
+	if countRows(w1) != 2 || countRows(w2) != 2 {
+		t.Fatalf("windows have different row sets:\n%s\nvs\n%s", w1, w2)
+	}
+	for _, line := range strings.Split(w2, "\n") {
+		if strings.Contains(line, "v2") {
+			bar := line[strings.Index(line, "|")+1:]
+			bar = bar[:strings.Index(bar, "|")]
+			if strings.TrimSpace(bar) != "" {
+				t.Errorf("idle v2 row should be blank: %q", line)
+			}
+		}
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"vc2m/internal/sim"
 	"vc2m/internal/stats"
 	"vc2m/internal/timeunit"
+	"vc2m/internal/trace"
 )
 
 // Config parameterizes a simulation.
@@ -86,6 +87,13 @@ type Config struct {
 	// events, deadline misses — see the Metric* constants) at the end of
 	// Run. Nil disables recording at no cost.
 	Metrics *metrics.Recorder
+	// Trace, when non-nil, receives the typed flight-recorder event
+	// stream: every job release/completion/miss, VCPU replenishment,
+	// context switch, execution slice, throttle and BW replenishment,
+	// stamped with tick time, core, VCPU and task. Nil disables emission
+	// at no cost (one pointer check per site). RecordTrace composes with
+	// it: the Result.Trace slice view is rebuilt from the same stream.
+	Trace trace.Sink
 }
 
 // Counter names recorded on Config.Metrics at the end of Run. They mirror
@@ -104,11 +112,13 @@ const (
 
 // taskState is a task's runtime state.
 type taskState struct {
-	spec   *model.Task
-	index  int
-	wcet   timeunit.Ticks // execution demand at the core's allocation
-	period timeunit.Ticks
-	offset timeunit.Ticks
+	spec     *model.Task
+	index    int
+	wcet     timeunit.Ticks // execution demand at the core's allocation
+	declared timeunit.Ticks // declared WCET (wcet before overrun injection)
+	period   timeunit.Ticks
+	offset   timeunit.Ticks
+	vcpu     *vcpuState
 
 	nextRelease timeunit.Ticks
 	deadline    timeunit.Ticks
@@ -183,7 +193,11 @@ type Simulator struct {
 	tasks  []*taskState
 	reg    *membus.Regulator
 
-	trace []TraceEntry
+	// sink receives the typed event stream (nil when tracing is off);
+	// mem is the internal memory sink backing Result.Trace when
+	// Config.RecordTrace is set, and feeds into sink.
+	sink trace.Sink
+	mem  *trace.Memory
 
 	// overhead samples, keyed like the paper's tables
 	overheads map[string]*stats.Sample
@@ -224,6 +238,11 @@ func New(alloc *model.Allocation, cfg Config) (*Simulator, error) {
 		OvSchedule:        {},
 		OvContextSwitch:   {},
 	}}
+	s.sink = cfg.Trace
+	if cfg.RecordTrace {
+		s.mem = trace.NewMemory()
+		s.sink = trace.Multi(s.mem, cfg.Trace)
+	}
 
 	taskIdx := 0
 	for _, ca := range alloc.Cores {
@@ -243,14 +262,17 @@ func New(alloc *model.Allocation, cfg Config) (*Simulator, error) {
 			}
 			for _, task := range v.Tasks {
 				demand := task.WCET.At(ca.Cache, ca.BW)
+				declared := demand
 				if f, ok := cfg.OverrunFactor[task.ID]; ok && f > 0 {
 					demand *= f
 				}
 				ts := &taskState{
-					spec:   task,
-					index:  taskIdx,
-					wcet:   timeunit.FromMillisFloor(demand),
-					period: timeunit.FromMillis(task.Period),
+					spec:     task,
+					index:    taskIdx,
+					wcet:     timeunit.FromMillisFloor(demand),
+					declared: timeunit.FromMillisFloor(declared),
+					period:   timeunit.FromMillis(task.Period),
+					vcpu:     vs,
 				}
 				if cfg.DesyncTasks > 0 {
 					ts.offset = cfg.DesyncTasks * timeunit.Ticks(taskIdx+1)

@@ -4,6 +4,7 @@ import (
 	"vc2m/internal/sim"
 	"vc2m/internal/stats"
 	"vc2m/internal/timeunit"
+	"vc2m/internal/trace"
 )
 
 // TaskMetrics summarizes one task's behaviour over a run.
@@ -16,14 +17,21 @@ type TaskMetrics struct {
 	// are discarded, so one overload does not cascade into later jobs).
 	Missed int
 	// MaxLateness is the largest completion time past a deadline observed
-	// (0 when every job met its deadline).
+	// (0 when every job met its deadline), in ticks.
 	MaxLateness timeunit.Ticks
 	// MaxResponse is the largest observed job response time (completion
-	// minus release).
+	// minus release), in ticks.
 	MaxResponse timeunit.Ticks
-	// ResponseP50Ms, ResponseP95Ms and ResponseP99Ms are response-time
-	// percentiles in milliseconds; populated only when
+	// ResponseP50, ResponseP95 and ResponseP99 are response-time
+	// percentiles in ticks — the same unit as MaxResponse/MaxLateness,
+	// so the fields compare directly. Populated only when
 	// Config.CollectResponses is set and the task completed jobs.
+	ResponseP50 timeunit.Ticks
+	ResponseP95 timeunit.Ticks
+	ResponseP99 timeunit.Ticks
+	// ResponseP50Ms, ResponseP95Ms and ResponseP99Ms are the same
+	// percentiles in milliseconds, kept for render paths that report ms;
+	// convert tick fields with Ticks.Millis rather than mixing units.
 	ResponseP50Ms float64
 	ResponseP95Ms float64
 	ResponseP99Ms float64
@@ -56,8 +64,14 @@ type Result struct {
 	// VCPUBusy is each VCPU's executed share of the horizon (its observed
 	// bandwidth consumption), keyed by VCPU ID.
 	VCPUBusy map[string]float64
-	// Trace is the execution trace; only populated with RecordTrace.
+	// Trace is the execution-slice trace (the RenderGantt input); only
+	// populated with RecordTrace. It is a projection of Events.
 	Trace []TraceEntry
+	// Events is the full typed flight-recorder stream; only populated
+	// with RecordTrace. Feed it to trace.Diagnose, trace.WriteChrome or
+	// a JSONL writer. Streaming sinks passed via Config.Trace receive
+	// the same events without this retained copy.
+	Events []trace.Event
 }
 
 // vcpuRelease is the periodic-server replenishment: at each period
@@ -74,6 +88,13 @@ func (s *Simulator) vcpuRelease(v *vcpuState) {
 		v.deadline = now + v.period
 		v.replenishments++
 	})
+	if s.sink != nil {
+		s.sink.Record(trace.Event{
+			Type: trace.EvVCPUReplenish, Time: s.engine.Now(),
+			Core: v.core, VCPU: v.spec.ID,
+			Budget: v.budget, Deadline: v.deadline,
+		})
+	}
 	s.engine.After(v.period, sim.PrioReplenish, func() { s.vcpuRelease(v) })
 	s.requestReschedule(core)
 }
@@ -87,6 +108,13 @@ func (s *Simulator) taskRelease(t *taskState, v *vcpuState) {
 	now := s.engine.Now()
 	if t.active && t.remaining > 0 {
 		t.missed++
+		if s.sink != nil {
+			s.sink.Record(trace.Event{
+				Type: trace.EvDeadlineMiss, Time: now,
+				Core: v.core, VCPU: v.spec.ID, Task: t.spec.ID,
+				Deadline: t.deadline, Demand: t.remaining,
+			})
+		}
 		if s.cfg.ContinueLateJobs {
 			// Tardiness mode: the late job keeps running; this release is
 			// skipped (its work is shed rather than queued, bounding the
@@ -103,8 +131,22 @@ func (s *Simulator) taskRelease(t *taskState, v *vcpuState) {
 	t.remaining = t.wcet
 	t.deadline = now + t.period
 	t.active = t.remaining > 0
+	if s.sink != nil {
+		s.sink.Record(trace.Event{
+			Type: trace.EvJobRelease, Time: now,
+			Core: v.core, VCPU: v.spec.ID, Task: t.spec.ID,
+			Deadline: t.deadline, Demand: t.wcet, WCET: t.declared,
+		})
+	}
 	if !t.active {
 		t.completed++ // zero-demand job completes instantly
+		if s.sink != nil {
+			s.sink.Record(trace.Event{
+				Type: trace.EvJobComplete, Time: now,
+				Core: v.core, VCPU: v.spec.ID, Task: t.spec.ID,
+				Start: now, Deadline: t.deadline,
+			})
+		}
 	}
 	s.engine.After(t.period, sim.PrioRelease, func() { s.taskRelease(t, v) })
 	s.requestReschedule(core)
@@ -119,6 +161,18 @@ func (s *Simulator) onThrottle(coreID int) {
 		core.throttled = true
 		s.throttleEvents++
 	})
+	if s.sink != nil {
+		ev := trace.Event{
+			Type: trace.EvThrottle, Time: s.engine.Now(), Core: coreID,
+		}
+		if core.current != nil {
+			ev.VCPU = core.current.spec.ID
+			if core.curTask != nil {
+				ev.Task = core.curTask.spec.ID
+			}
+		}
+		s.sink.Record(ev)
+	}
 	s.requestReschedule(core)
 }
 
@@ -128,6 +182,12 @@ func (s *Simulator) onThrottle(coreID int) {
 func (s *Simulator) onBWReplenish(coreID int, wasThrottled bool) {
 	core := s.cores[coreID]
 	core.throttled = false
+	if s.sink != nil {
+		s.sink.Record(trace.Event{
+			Type: trace.EvBWReplenish, Time: s.engine.Now(),
+			Core: coreID, Throttled: wasThrottled,
+		})
+	}
 	if wasThrottled {
 		s.requestReschedule(core)
 	}
@@ -177,7 +237,12 @@ func (s *Simulator) Run(horizon timeunit.Ticks) *Result {
 		ThrottleEvents:   s.throttleEvents,
 		BWReplenishments: s.regReplenishes,
 		CoreBusy:         make([]float64, len(s.cores)),
-		Trace:            s.trace,
+	}
+	if s.mem != nil {
+		// The slice view consumed by RenderGantt is a projection of the
+		// typed event stream, so both render the same execution.
+		res.Events = s.mem.Events()
+		res.Trace = SlicesFromEvents(res.Events)
 	}
 	for _, t := range s.tasks {
 		tm := TaskMetrics{
@@ -191,6 +256,9 @@ func (s *Simulator) Run(horizon timeunit.Ticks) *Result {
 			tm.ResponseP50Ms = t.responses.Percentile(50)
 			tm.ResponseP95Ms = t.responses.Percentile(95)
 			tm.ResponseP99Ms = t.responses.Percentile(99)
+			tm.ResponseP50 = timeunit.FromMillis(tm.ResponseP50Ms)
+			tm.ResponseP95 = timeunit.FromMillis(tm.ResponseP95Ms)
+			tm.ResponseP99 = timeunit.FromMillis(tm.ResponseP99Ms)
 		}
 		res.Tasks[t.spec.ID] = tm
 		res.Released += t.released

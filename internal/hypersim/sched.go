@@ -6,6 +6,7 @@ import (
 	"vc2m/internal/sim"
 	"vc2m/internal/stats"
 	"vc2m/internal/timeunit"
+	"vc2m/internal/trace"
 )
 
 // charge accounts the elapsed execution of the core's current slice: it
@@ -39,14 +40,15 @@ func (s *Simulator) charge(core *coreState) {
 	}
 
 	task := core.curTask
-	if s.cfg.RecordTrace {
+	if s.sink != nil {
 		name := ""
 		if task != nil {
 			name = task.spec.ID
 		}
-		s.trace = append(s.trace, TraceEntry{
-			Core: core.id, VCPU: v.spec.ID, Task: name,
-			Start: core.runStart, End: now,
+		s.sink.Record(trace.Event{
+			Type: trace.EvExecSlice, Time: now, Core: core.id,
+			VCPU: v.spec.ID, Task: name,
+			Start: core.runStart, Budget: v.remaining,
 		})
 	}
 
@@ -92,6 +94,13 @@ func (s *Simulator) completeTask(task *taskState) {
 		}
 		task.responses.Add(resp.Millis())
 	}
+	if s.sink != nil {
+		s.sink.Record(trace.Event{
+			Type: trace.EvJobComplete, Time: now,
+			Core: task.vcpu.core, VCPU: task.vcpu.spec.ID, Task: task.spec.ID,
+			Start: task.deadline - task.period, Deadline: task.deadline,
+		})
+	}
 }
 
 // requestReschedule queues a scheduling pass for the core at the current
@@ -130,7 +139,8 @@ func (s *Simulator) doSchedule(core *coreState) {
 		}
 	})
 
-	switched := next != core.current
+	prev := core.current
+	switched := next != prev
 	if switched {
 		s.measure(OvContextSwitch, func() {
 			core.contextSwitches++
@@ -138,6 +148,22 @@ func (s *Simulator) doSchedule(core *coreState) {
 			// bookkeeping below is this simulator's equivalent.
 			core.current = next
 		})
+		if s.sink != nil {
+			ev := trace.Event{
+				Type: trace.EvContextSwitch,
+				Time: s.engine.Now(), Core: core.id,
+			}
+			if next != nil {
+				ev.VCPU = next.spec.ID
+				if nextTask != nil {
+					ev.Task = nextTask.spec.ID
+				}
+			}
+			if prev != nil {
+				ev.From = prev.spec.ID
+			}
+			s.sink.Record(ev)
+		}
 	} else {
 		core.current = next
 	}

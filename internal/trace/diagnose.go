@@ -1,0 +1,312 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vc2m/internal/timeunit"
+)
+
+// MissCause classifies why a job was unfinished at its deadline.
+type MissCause uint8
+
+const (
+	// CauseUnknown: the window shows no resource deprivation the analyzer
+	// models (e.g. the demand simply exceeded what the window could hold
+	// with the configured budgets).
+	CauseUnknown MissCause = iota
+	// CauseOverrun: the job's demand exceeded the task's declared WCET —
+	// an injected (or real) execution-time overrun. The periodic-server
+	// design contains the fault to the task's own VCPU.
+	CauseOverrun
+	// CauseThrottled: the core spent part of the job's window throttled
+	// by the memory-bandwidth regulator, and that was the dominant
+	// deprivation.
+	CauseThrottled
+	// CauseNoBudget: the task's VCPU was out of budget for part of the
+	// window (the periodic server was exhausted — typically drained by a
+	// co-located task), and that was the dominant deprivation.
+	CauseNoBudget
+	// CausePreempted: the core executed other, EDF-preferred VCPUs for
+	// the dominant share of the window while the task's VCPU still had
+	// budget.
+	CausePreempted
+
+	numCauses
+)
+
+var causeNames = [numCauses]string{
+	CauseUnknown:   "unknown",
+	CauseOverrun:   "demand-overrun",
+	CauseThrottled: "core-throttled",
+	CauseNoBudget:  "vcpu-out-of-budget",
+	CausePreempted: "preempted",
+}
+
+// String returns the cause's stable name.
+func (c MissCause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("cause(%d)", uint8(c))
+}
+
+// MissDiagnosis explains one deadline miss: the reconstructed state of
+// the task's core and VCPU over the missed job's window [Release, At).
+type MissDiagnosis struct {
+	Task    string
+	VCPU    string
+	Core    int
+	Release timeunit.Ticks // job release
+	At      timeunit.Ticks // the missed deadline
+	Cause   MissCause
+
+	// Demand is the job's execution demand; WCET the task's declared
+	// worst case (Demand > WCET marks an overrun); DemandLeft what was
+	// still owed at the deadline.
+	Demand     timeunit.Ticks
+	WCET       timeunit.Ticks
+	DemandLeft timeunit.Ticks
+
+	// The window decomposition, as fractions of [Release, At):
+	// ExecFrac     — the task's VCPU held the core;
+	// ThrottledFrac— the core was throttled by the BW regulator;
+	// StolenFrac   — the core executed other VCPUs;
+	// ExhaustedFrac— the task's VCPU had zero budget remaining.
+	// Exhausted overlaps Stolen/idle time (an exhausted VCPU cannot run),
+	// so the fractions need not sum to 1.
+	ExecFrac      float64
+	ThrottledFrac float64
+	StolenFrac    float64
+	ExhaustedFrac float64
+}
+
+// String renders the diagnosis as one line.
+func (d MissDiagnosis) String() string {
+	return fmt.Sprintf(
+		"%v task %s (vcpu %s, core %d): %s — window %v..%v: ran %.0f%%, throttled %.0f%%, other VCPUs %.0f%%, budget-exhausted %.0f%%; demand %v (wcet %v), %v unfinished",
+		d.At, d.Task, d.VCPU, d.Core, d.Cause,
+		d.Release, d.At,
+		100*d.ExecFrac, 100*d.ThrottledFrac, 100*d.StolenFrac, 100*d.ExhaustedFrac,
+		d.Demand, d.WCET, d.DemandLeft)
+}
+
+// CauseCounts tallies a task's misses per cause.
+type CauseCounts map[MissCause]int
+
+// Report aggregates the per-miss diagnoses of one event stream.
+type Report struct {
+	// Misses holds one diagnosis per EvDeadlineMiss, in stream order.
+	Misses []MissDiagnosis
+	// ByTask maps task ID to its per-cause miss counts.
+	ByTask map[string]CauseCounts
+}
+
+// Render formats the report: a per-task cause summary followed by the
+// individual misses.
+func (r *Report) Render() string {
+	var b strings.Builder
+	if len(r.Misses) == 0 {
+		b.WriteString("no deadline misses in trace\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d deadline miss(es)\n", len(r.Misses))
+	tasks := make([]string, 0, len(r.ByTask))
+	for id := range r.ByTask {
+		tasks = append(tasks, id)
+	}
+	sort.Strings(tasks)
+	for _, id := range tasks {
+		counts := r.ByTask[id]
+		parts := make([]string, 0, len(counts))
+		for c := MissCause(0); c < numCauses; c++ {
+			if n := counts[c]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%d %s", n, c))
+			}
+		}
+		fmt.Fprintf(&b, "  %s: %s\n", id, strings.Join(parts, ", "))
+	}
+	b.WriteString("details:\n")
+	for _, d := range r.Misses {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+// diagCore tracks one core's replayed state.
+type diagCore struct {
+	throttled    bool
+	throttleFrom timeunit.Ticks
+	throttledAcc timeunit.Ticks // closed throttle intervals
+	execAcc      timeunit.Ticks // total executed (all VCPUs)
+}
+
+// diagVCPU tracks one VCPU's replayed state.
+type diagVCPU struct {
+	core         int
+	budget       timeunit.Ticks
+	exhausted    bool
+	exhaustFrom  timeunit.Ticks
+	exhaustedAcc timeunit.Ticks
+	execAcc      timeunit.Ticks
+}
+
+// diagJob is a pending job: its release event plus accumulator snapshots
+// taken at release, so window measures are O(1) at the deadline.
+type diagJob struct {
+	release       Event
+	coreThrottled timeunit.Ticks
+	coreExec      timeunit.Ticks
+	vcpuExhausted timeunit.Ticks
+	vcpuExec      timeunit.Ticks
+	taskExec      timeunit.Ticks
+}
+
+// Diagnose replays an event stream and attributes every deadline miss to
+// a cause by reconstructing, over the missed job's window, how much time
+// the task's core spent throttled, executing other VCPUs, or with the
+// task's own server out of budget.
+//
+// Attribution order: a demand overrun (Demand > WCET on the release)
+// wins outright — the fault is the task's own; otherwise the largest of
+// the three deprivation measures wins; a window with no deprivation at
+// all is CauseUnknown. The stream must include EvExecSlice events (i.e.
+// be recorded by a full sink, not a filtered one) for the replay to see
+// execution; it tolerates truncated streams (a ring that dropped the
+// prefix) by treating unseen state as zero.
+func Diagnose(events []Event) *Report {
+	cores := map[int]*diagCore{}
+	vcpus := map[string]*diagVCPU{}
+	// jobs is keyed by task; the simulator keeps at most one pending job
+	// per task (later releases either miss or supersede the previous job).
+	jobs := map[string]*diagJob{}
+	taskExec := map[string]timeunit.Ticks{}
+
+	core := func(id int) *diagCore {
+		c := cores[id]
+		if c == nil {
+			c = &diagCore{}
+			cores[id] = c
+		}
+		return c
+	}
+	vcpu := func(id string, coreID int) *diagVCPU {
+		v := vcpus[id]
+		if v == nil {
+			v = &diagVCPU{core: coreID}
+			vcpus[id] = v
+		}
+		return v
+	}
+	// throttledAt / exhaustedAt close the open interval at t.
+	throttledAt := func(c *diagCore, t timeunit.Ticks) timeunit.Ticks {
+		if c.throttled && t > c.throttleFrom {
+			return c.throttledAcc + (t - c.throttleFrom)
+		}
+		return c.throttledAcc
+	}
+	exhaustedAt := func(v *diagVCPU, t timeunit.Ticks) timeunit.Ticks {
+		if v.exhausted && t > v.exhaustFrom {
+			return v.exhaustedAcc + (t - v.exhaustFrom)
+		}
+		return v.exhaustedAcc
+	}
+
+	rep := &Report{ByTask: map[string]CauseCounts{}}
+	for _, ev := range events {
+		switch ev.Type {
+		case EvThrottle:
+			c := core(ev.Core)
+			if !c.throttled {
+				c.throttled = true
+				c.throttleFrom = ev.Time
+			}
+		case EvBWReplenish:
+			c := core(ev.Core)
+			if c.throttled {
+				c.throttledAcc = throttledAt(c, ev.Time)
+				c.throttled = false
+			}
+		case EvVCPUReplenish:
+			v := vcpu(ev.VCPU, ev.Core)
+			if v.exhausted {
+				v.exhaustedAcc = exhaustedAt(v, ev.Time)
+				v.exhausted = false
+			}
+			v.budget = ev.Budget
+		case EvExecSlice:
+			dur := ev.Time - ev.Start
+			if dur <= 0 {
+				continue
+			}
+			c := core(ev.Core)
+			c.execAcc += dur
+			v := vcpu(ev.VCPU, ev.Core)
+			v.execAcc += dur
+			v.budget = ev.Budget
+			if v.budget <= 0 && !v.exhausted {
+				v.exhausted = true
+				v.exhaustFrom = ev.Time
+			}
+			if ev.Task != "" {
+				taskExec[ev.Task] += dur
+			}
+		case EvJobRelease:
+			c := core(ev.Core)
+			v := vcpu(ev.VCPU, ev.Core)
+			jobs[ev.Task] = &diagJob{
+				release:       ev,
+				coreThrottled: throttledAt(c, ev.Time),
+				coreExec:      c.execAcc,
+				vcpuExhausted: exhaustedAt(v, ev.Time),
+				vcpuExec:      v.execAcc,
+				taskExec:      taskExec[ev.Task],
+			}
+		case EvDeadlineMiss:
+			c := core(ev.Core)
+			v := vcpu(ev.VCPU, ev.Core)
+			d := MissDiagnosis{
+				Task: ev.Task, VCPU: ev.VCPU, Core: ev.Core,
+				At: ev.Time, DemandLeft: ev.Demand,
+			}
+			var window, throttled, stolen, exhausted, exec timeunit.Ticks
+			if job := jobs[ev.Task]; job != nil {
+				d.Release = job.release.Time
+				d.Demand = job.release.Demand
+				d.WCET = job.release.WCET
+				window = ev.Time - job.release.Time
+				throttled = throttledAt(c, ev.Time) - job.coreThrottled
+				exhausted = exhaustedAt(v, ev.Time) - job.vcpuExhausted
+				stolen = (c.execAcc - job.coreExec) - (v.execAcc - job.vcpuExec)
+				exec = taskExec[ev.Task] - job.taskExec
+			}
+			if window > 0 {
+				d.ExecFrac = float64(exec) / float64(window)
+				d.ThrottledFrac = float64(throttled) / float64(window)
+				d.StolenFrac = float64(stolen) / float64(window)
+				d.ExhaustedFrac = float64(exhausted) / float64(window)
+			}
+			switch {
+			case d.Demand > 0 && d.WCET > 0 && d.Demand > d.WCET:
+				d.Cause = CauseOverrun
+			case throttled > 0 && throttled >= stolen && throttled >= exhausted:
+				d.Cause = CauseThrottled
+			case exhausted > 0 && exhausted >= stolen:
+				d.Cause = CauseNoBudget
+			case stolen > 0:
+				d.Cause = CausePreempted
+			default:
+				d.Cause = CauseUnknown
+			}
+			rep.Misses = append(rep.Misses, d)
+			counts := rep.ByTask[ev.Task]
+			if counts == nil {
+				counts = CauseCounts{}
+				rep.ByTask[ev.Task] = counts
+			}
+			counts[d.Cause]++
+		}
+	}
+	return rep
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDiagnoseSyntheticCauses drives the analyzer with hand-built streams
+// isolating each cause. End-to-end streams from real simulations are
+// exercised in package hypersim's trace tests.
+func TestDiagnoseSyntheticCauses(t *testing.T) {
+	t.Run("throttled", func(t *testing.T) {
+		// Job of 5000 on a core throttled 6000 of the 10000 window.
+		rep := Diagnose([]Event{
+			{Type: EvVCPUReplenish, Time: 0, Core: 0, VCPU: "v", Budget: 5000},
+			{Type: EvJobRelease, Time: 0, Core: 0, VCPU: "v", Task: "t", Deadline: 10000, Demand: 5000, WCET: 5000},
+			{Type: EvExecSlice, Time: 2000, Core: 0, VCPU: "v", Task: "t", Start: 0, Budget: 3000},
+			{Type: EvThrottle, Time: 2000, Core: 0, VCPU: "v"},
+			{Type: EvBWReplenish, Time: 8000, Core: 0, Throttled: true},
+			{Type: EvExecSlice, Time: 10000, Core: 0, VCPU: "v", Task: "t", Start: 8000, Budget: 1000},
+			{Type: EvDeadlineMiss, Time: 10000, Core: 0, VCPU: "v", Task: "t", Deadline: 10000, Demand: 1000},
+		})
+		if len(rep.Misses) != 1 {
+			t.Fatalf("%d misses", len(rep.Misses))
+		}
+		d := rep.Misses[0]
+		if d.Cause != CauseThrottled {
+			t.Errorf("cause = %v, want %v (%+v)", d.Cause, CauseThrottled, d)
+		}
+		if d.ThrottledFrac < 0.59 || d.ThrottledFrac > 0.61 {
+			t.Errorf("throttled fraction = %v, want 0.6", d.ThrottledFrac)
+		}
+		if d.ExecFrac < 0.39 || d.ExecFrac > 0.41 {
+			t.Errorf("exec fraction = %v, want 0.4", d.ExecFrac)
+		}
+	})
+
+	t.Run("overrun", func(t *testing.T) {
+		// Demand 9000 against a declared WCET of 3000.
+		rep := Diagnose([]Event{
+			{Type: EvVCPUReplenish, Time: 0, Core: 0, VCPU: "v", Budget: 3000},
+			{Type: EvJobRelease, Time: 0, Core: 0, VCPU: "v", Task: "t", Deadline: 10000, Demand: 9000, WCET: 3000},
+			{Type: EvExecSlice, Time: 3000, Core: 0, VCPU: "v", Task: "t", Start: 0, Budget: 0},
+			{Type: EvDeadlineMiss, Time: 10000, Core: 0, VCPU: "v", Task: "t", Deadline: 10000, Demand: 6000},
+		})
+		if len(rep.Misses) != 1 || rep.Misses[0].Cause != CauseOverrun {
+			t.Fatalf("diagnosis: %+v", rep.Misses)
+		}
+		// Overrun wins even though the VCPU also sat exhausted.
+		if rep.Misses[0].ExhaustedFrac < 0.69 {
+			t.Errorf("exhausted fraction = %v, want ~0.7", rep.Misses[0].ExhaustedFrac)
+		}
+	})
+
+	t.Run("no-budget", func(t *testing.T) {
+		// The victim's VCPU runs a co-located task that drains the whole
+		// server; the victim itself never runs.
+		rep := Diagnose([]Event{
+			{Type: EvVCPUReplenish, Time: 0, Core: 0, VCPU: "v", Budget: 4000},
+			{Type: EvJobRelease, Time: 0, Core: 0, VCPU: "v", Task: "hog", Deadline: 10000, Demand: 8000, WCET: 2000},
+			{Type: EvJobRelease, Time: 0, Core: 0, VCPU: "v", Task: "victim", Deadline: 10000, Demand: 2000, WCET: 2000},
+			{Type: EvExecSlice, Time: 4000, Core: 0, VCPU: "v", Task: "hog", Start: 0, Budget: 0},
+			{Type: EvDeadlineMiss, Time: 10000, Core: 0, VCPU: "v", Task: "hog", Deadline: 10000, Demand: 4000},
+			{Type: EvDeadlineMiss, Time: 10000, Core: 0, VCPU: "v", Task: "victim", Deadline: 10000, Demand: 2000},
+		})
+		if len(rep.Misses) != 2 {
+			t.Fatalf("%d misses", len(rep.Misses))
+		}
+		if rep.Misses[0].Cause != CauseOverrun {
+			t.Errorf("hog cause = %v, want %v", rep.Misses[0].Cause, CauseOverrun)
+		}
+		if rep.Misses[1].Cause != CauseNoBudget {
+			t.Errorf("victim cause = %v, want %v", rep.Misses[1].Cause, CauseNoBudget)
+		}
+	})
+
+	t.Run("preempted", func(t *testing.T) {
+		// Another VCPU held the core most of the window while the task's
+		// own server kept budget.
+		rep := Diagnose([]Event{
+			{Type: EvVCPUReplenish, Time: 0, Core: 0, VCPU: "v1", Budget: 6000},
+			{Type: EvVCPUReplenish, Time: 0, Core: 0, VCPU: "v2", Budget: 6000},
+			{Type: EvJobRelease, Time: 0, Core: 0, VCPU: "v2", Task: "t2", Deadline: 10000, Demand: 6000, WCET: 6000},
+			{Type: EvExecSlice, Time: 6000, Core: 0, VCPU: "v1", Task: "t1", Start: 0, Budget: 0},
+			{Type: EvExecSlice, Time: 10000, Core: 0, VCPU: "v2", Task: "t2", Start: 6000, Budget: 2000},
+			{Type: EvDeadlineMiss, Time: 10000, Core: 0, VCPU: "v2", Task: "t2", Deadline: 10000, Demand: 2000},
+		})
+		if len(rep.Misses) != 1 || rep.Misses[0].Cause != CausePreempted {
+			t.Fatalf("diagnosis: %+v", rep.Misses)
+		}
+		if f := rep.Misses[0].StolenFrac; f < 0.59 || f > 0.61 {
+			t.Errorf("stolen fraction = %v, want 0.6", f)
+		}
+	})
+
+	t.Run("unknown-without-context", func(t *testing.T) {
+		// A bare miss with no release or slices in the stream (ring
+		// dropped the prefix): no deprivation visible.
+		rep := Diagnose([]Event{
+			{Type: EvDeadlineMiss, Time: 10000, Core: 0, VCPU: "v", Task: "t", Demand: 100},
+		})
+		if len(rep.Misses) != 1 || rep.Misses[0].Cause != CauseUnknown {
+			t.Fatalf("diagnosis: %+v", rep.Misses)
+		}
+	})
+}
+
+func TestReportRender(t *testing.T) {
+	rep := Diagnose(nil)
+	if !strings.Contains(rep.Render(), "no deadline misses") {
+		t.Error("empty report should say so")
+	}
+	rep = Diagnose([]Event{
+		{Type: EvJobRelease, Time: 0, Core: 0, VCPU: "v", Task: "t", Deadline: 10000, Demand: 9000, WCET: 3000},
+		{Type: EvDeadlineMiss, Time: 10000, Core: 0, VCPU: "v", Task: "t", Demand: 6000},
+	})
+	out := rep.Render()
+	for _, want := range []string{"1 deadline miss", "t: 1 demand-overrun", "details:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

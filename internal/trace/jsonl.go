@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONLWriter streams events as JSON lines (one object per line). It is
+// the capture format for horizons too large to hold in memory: events are
+// encoded and flushed through a buffered writer as they arrive, so memory
+// use is constant in the horizon. ReadJSONL is the inverse.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+	n   int
+}
+
+// NewJSONLWriter wraps w. The caller owns w; call Close to flush before
+// closing the underlying file.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Record implements Sink. The first encoding error is retained and
+// reported by Close; subsequent events are dropped.
+func (w *JSONLWriter) Record(ev Event) {
+	if w.err != nil {
+		return
+	}
+	if err := w.enc.Encode(ev); err != nil {
+		w.err = fmt.Errorf("trace: jsonl encode: %w", err)
+		return
+	}
+	w.n++
+}
+
+// Events returns the number of events written so far.
+func (w *JSONLWriter) Events() int { return w.n }
+
+// Close flushes buffered output and returns the first error encountered
+// while recording or flushing. It does not close the underlying writer.
+func (w *JSONLWriter) Close() error {
+	if err := w.bw.Flush(); w.err == nil && err != nil {
+		w.err = fmt.Errorf("trace: jsonl flush: %w", err)
+	}
+	return w.err
+}
+
+// ReadJSONL decodes a JSON-lines stream written by JSONLWriter. Blank
+// lines are skipped; a malformed line aborts with an error naming its
+// line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: jsonl read: %w", err)
+	}
+	return events, nil
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vc2m/internal/timeunit"
+)
+
+// TestJSONLRoundTrip: writer -> reader reproduces the stream exactly,
+// including every populated field.
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Event{
+		{Type: EvJobRelease, Time: 0, Core: 1, VCPU: "vm/flat-t1", Task: "t1",
+			Deadline: 10000, Demand: 3000, WCET: 3000},
+		{Type: EvVCPUReplenish, Time: 0, Core: 1, VCPU: "vm/flat-t1",
+			Budget: 3000, Deadline: 10000},
+		{Type: EvContextSwitch, Time: 0, Core: 1, VCPU: "vm/flat-t1", Task: "t1", From: "vm/flat-t0"},
+		{Type: EvExecSlice, Time: 3000, Core: 1, VCPU: "vm/flat-t1", Task: "t1",
+			Start: 0, Budget: 0},
+		{Type: EvThrottle, Time: 500, Core: 0, VCPU: "v0"},
+		{Type: EvBWReplenish, Time: 1000, Core: 0, Throttled: true},
+		{Type: EvJobComplete, Time: 3000, Core: 1, VCPU: "vm/flat-t1", Task: "t1",
+			Start: 0, Deadline: 10000},
+		{Type: EvDeadlineMiss, Time: 10000, Core: 1, VCPU: "vm/flat-t1", Task: "t1",
+			Deadline: 10000, Demand: timeunit.Ticks(42)},
+	}
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	for _, ev := range in {
+		w.Record(ev)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() != len(in) {
+		t.Errorf("writer counted %d events, want %d", w.Events(), len(in))
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(in) {
+		t.Errorf("%d lines written, want %d", lines, len(in))
+	}
+
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestReadJSONLSkipsBlanksRejectsGarbage(t *testing.T) {
+	good := `{"type":"throttle","t":5,"core":0}` + "\n\n" + `{"type":"bw_replenish","t":9,"core":0,"throttled":true}` + "\n"
+	events, err := ReadJSONL(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Type != EvThrottle || !events[1].Throttled {
+		t.Fatalf("parsed %+v", events)
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"type":"bogus","t":1,"core":0}` + "\n")); err == nil {
+		t.Error("unknown event type accepted")
+	}
+}

@@ -1,0 +1,263 @@
+// Package trace is the flight recorder of the hypervisor simulator: a
+// typed event stream emitted from every scheduler and regulator handler in
+// package hypersim, with pluggable sinks. It turns "the task set missed
+// deadlines" into "core 2 was throttled for 40% of the window in which
+// task t3 missed" — the per-event visibility that analysis frameworks for
+// static-partitioning interference (SP-IMPact, H-MBR) rely on.
+//
+// The design mirrors package metrics: a nil Sink costs nothing on hot
+// paths (emission sites guard with a single nil check and never assemble
+// an Event), and the stream is bit-identical across runs with the same
+// seed because the simulator itself is deterministic.
+//
+// Three sinks ship with the package:
+//
+//   - Memory: an in-memory slice or fixed-capacity ring (the flight
+//     recorder proper — keep the last N events of a huge run);
+//   - JSONLWriter: streaming JSON-lines for horizons too large to hold in
+//     memory, with ReadJSONL as its inverse;
+//   - ChromeWriter: Chrome trace-event JSON (Perfetto-compatible), so any
+//     run opens in ui.perfetto.dev with one thread track per (core, VCPU)
+//     and instant markers for deadline misses and throttles.
+//
+// On top of the stream, Diagnose (diagnose.go) reconstructs per-job
+// resource deprivation and attributes every deadline miss to a cause.
+package trace
+
+import (
+	"fmt"
+
+	"vc2m/internal/timeunit"
+)
+
+// EventType discriminates the events of the stream.
+type EventType uint8
+
+// The event types, one per instrumented handler site in hypersim.
+const (
+	// EvJobRelease: a task released a job. Carries Deadline, the job's
+	// execution Demand and the task's declared WCET (Demand > WCET means
+	// an injected overrun).
+	EvJobRelease EventType = iota
+	// EvJobComplete: a job finished. Start holds the job's release time,
+	// Deadline its deadline (Time > Deadline means it completed late).
+	EvJobComplete
+	// EvDeadlineMiss: a job was unfinished at its deadline. Demand holds
+	// the execution still owed at that instant.
+	EvDeadlineMiss
+	// EvVCPUReplenish: a periodic-server budget replenishment. Budget
+	// holds the refilled budget, Deadline the server's new deadline.
+	EvVCPUReplenish
+	// EvContextSwitch: a different VCPU took the core. VCPU/Task identify
+	// the incoming slice (empty when the core goes idle), From the
+	// outgoing VCPU (empty when the core was idle).
+	EvContextSwitch
+	// EvExecSlice: a charged execution slice [Start, Time) of VCPU on
+	// Core, running Task (empty while consuming budget idle). Budget
+	// holds the VCPU's budget remaining after the slice.
+	EvExecSlice
+	// EvThrottle: the BW enforcer throttled the core (PC overflow). VCPU
+	// names the VCPU that was de-scheduled, if any.
+	EvThrottle
+	// EvBWReplenish: the BW refiller reset the core's bandwidth budget.
+	// Throttled reports whether the core had been throttled this period.
+	EvBWReplenish
+
+	numEventTypes
+)
+
+var eventTypeNames = [numEventTypes]string{
+	EvJobRelease:    "job_release",
+	EvJobComplete:   "job_complete",
+	EvDeadlineMiss:  "deadline_miss",
+	EvVCPUReplenish: "vcpu_replenish",
+	EvContextSwitch: "context_switch",
+	EvExecSlice:     "exec_slice",
+	EvThrottle:      "throttle",
+	EvBWReplenish:   "bw_replenish",
+}
+
+// String returns the snake_case name used in every export format.
+func (t EventType) String() string {
+	if int(t) < len(eventTypeNames) {
+		return eventTypeNames[t]
+	}
+	return fmt.Sprintf("event_type(%d)", uint8(t))
+}
+
+// ParseEventType is the inverse of String.
+func ParseEventType(s string) (EventType, error) {
+	for i, name := range eventTypeNames {
+		if name == s {
+			return EventType(i), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event type %q", s)
+}
+
+// MarshalJSON renders the type as its snake_case name.
+func (t EventType) MarshalJSON() ([]byte, error) {
+	if int(t) >= len(eventTypeNames) {
+		return nil, fmt.Errorf("trace: cannot marshal event type %d", uint8(t))
+	}
+	return []byte(`"` + eventTypeNames[t] + `"`), nil
+}
+
+// UnmarshalJSON parses the snake_case name.
+func (t *EventType) UnmarshalJSON(data []byte) error {
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return fmt.Errorf("trace: event type must be a JSON string, got %s", data)
+	}
+	v, err := ParseEventType(string(data[1 : len(data)-1]))
+	if err != nil {
+		return err
+	}
+	*t = v
+	return nil
+}
+
+// Event is one record of the flight-recorder stream. Every event carries
+// its type, tick timestamp and core; the remaining fields are populated
+// per type as documented on the Ev* constants. The struct is flat (no
+// pointers beyond the strings, which alias the simulator's interned IDs)
+// so a memory sink stores events without per-event allocation.
+type Event struct {
+	Type EventType      `json:"type"`
+	Time timeunit.Ticks `json:"t"`
+	Core int            `json:"core"`
+	VCPU string         `json:"vcpu,omitempty"`
+	Task string         `json:"task,omitempty"`
+	// From is the outgoing VCPU of a context switch.
+	From string `json:"from,omitempty"`
+	// Start is the slice start (EvExecSlice) or job release (EvJobComplete).
+	Start timeunit.Ticks `json:"start,omitempty"`
+	// Deadline is the job's or server's deadline.
+	Deadline timeunit.Ticks `json:"deadline,omitempty"`
+	// Budget is the VCPU budget: refilled value on EvVCPUReplenish,
+	// remaining value after the slice on EvExecSlice.
+	Budget timeunit.Ticks `json:"budget,omitempty"`
+	// Demand is the job's execution demand: the full demand on
+	// EvJobRelease, the unfinished remainder on EvDeadlineMiss.
+	Demand timeunit.Ticks `json:"demand,omitempty"`
+	// WCET is the task's declared worst-case execution time at the core's
+	// allocation (EvJobRelease); Demand exceeding it marks an overrun.
+	WCET timeunit.Ticks `json:"wcet,omitempty"`
+	// Throttled reports whether the core had been throttled in the period
+	// an EvBWReplenish closes.
+	Throttled bool `json:"throttled,omitempty"`
+}
+
+// Sink receives the event stream. Implementations must tolerate events
+// arriving in simulation order (non-decreasing Time) and must not retain
+// the Event beyond Record unless they copy it (the struct is passed by
+// value, so plain appends are safe).
+//
+// A nil Sink is the disabled state: emission sites check for nil before
+// assembling the Event, so tracing off costs one pointer comparison.
+type Sink interface {
+	Record(Event)
+}
+
+// Memory is an in-memory sink: unbounded by default, or a fixed-capacity
+// ring keeping the most recent events when constructed with NewRing — the
+// classic flight-recorder configuration for long runs where only the
+// window around a failure matters.
+type Memory struct {
+	events []Event
+	cap    int
+	head   int  // ring: index of the oldest event
+	full   bool // ring: wrapped at least once
+}
+
+// NewMemory returns an unbounded in-memory sink.
+func NewMemory() *Memory { return &Memory{} }
+
+// NewRing returns a ring sink retaining the most recent capacity events.
+// A non-positive capacity yields an unbounded sink.
+func NewRing(capacity int) *Memory {
+	if capacity <= 0 {
+		return NewMemory()
+	}
+	return &Memory{cap: capacity, events: make([]Event, 0, capacity)}
+}
+
+// Record implements Sink.
+func (m *Memory) Record(ev Event) {
+	if m.cap <= 0 {
+		m.events = append(m.events, ev)
+		return
+	}
+	if len(m.events) < m.cap {
+		m.events = append(m.events, ev)
+		return
+	}
+	m.events[m.head] = ev
+	m.head++
+	if m.head == m.cap {
+		m.head = 0
+	}
+	m.full = true
+}
+
+// Len returns the number of retained events.
+func (m *Memory) Len() int { return len(m.events) }
+
+// Dropped reports whether the ring has discarded events.
+func (m *Memory) Dropped() bool { return m.full }
+
+// Events returns the retained events in emission order. The slice is a
+// copy only when the ring has wrapped; callers must not mutate it either
+// way.
+func (m *Memory) Events() []Event {
+	if !m.full || m.head == 0 {
+		return m.events
+	}
+	out := make([]Event, 0, len(m.events))
+	out = append(out, m.events[m.head:]...)
+	out = append(out, m.events[:m.head]...)
+	return out
+}
+
+// Reset discards everything recorded so far.
+func (m *Memory) Reset() {
+	m.events = m.events[:0]
+	m.head = 0
+	m.full = false
+}
+
+// Multi fans one stream out to several sinks, skipping nil entries. It
+// returns nil when no non-nil sink remains, and the sink itself when only
+// one does, so composition never adds an indirection for the common cases.
+func Multi(sinks ...Sink) Sink {
+	var live []Sink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiSink(live)
+}
+
+type multiSink []Sink
+
+func (m multiSink) Record(ev Event) {
+	for _, s := range m {
+		s.Record(ev)
+	}
+}
+
+// CountByType tallies a stream per event type — the cheap summary used by
+// the CLI and by tests asserting stream shape.
+func CountByType(events []Event) map[string]int {
+	out := make(map[string]int, numEventTypes)
+	for _, ev := range events {
+		out[ev.Type.String()]++
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"vc2m/internal/timeunit"
+)
+
+func TestEventTypeNames(t *testing.T) {
+	for ty := EventType(0); ty < numEventTypes; ty++ {
+		name := ty.String()
+		if name == "" {
+			t.Fatalf("type %d has no name", ty)
+		}
+		back, err := ParseEventType(name)
+		if err != nil {
+			t.Fatalf("ParseEventType(%q): %v", name, err)
+		}
+		if back != ty {
+			t.Errorf("round trip %q: got %v want %v", name, back, ty)
+		}
+	}
+	if _, err := ParseEventType("nope"); err == nil {
+		t.Error("ParseEventType accepted an unknown name")
+	}
+}
+
+func mkEvents(n int) []Event {
+	events := make([]Event, n)
+	for i := range events {
+		events[i] = Event{
+			Type: EventType(i % int(numEventTypes)),
+			Time: timeunit.Ticks(i * 10),
+			Core: i % 4,
+			VCPU: "v",
+		}
+	}
+	return events
+}
+
+func TestMemoryUnbounded(t *testing.T) {
+	m := NewMemory()
+	in := mkEvents(100)
+	for _, ev := range in {
+		m.Record(ev)
+	}
+	if m.Len() != 100 || m.Dropped() {
+		t.Fatalf("len=%d dropped=%v", m.Len(), m.Dropped())
+	}
+	if !reflect.DeepEqual(m.Events(), in) {
+		t.Error("events differ from input")
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	m := NewRing(8)
+	in := mkEvents(21)
+	for _, ev := range in {
+		m.Record(ev)
+	}
+	if m.Len() != 8 {
+		t.Fatalf("len=%d, want 8", m.Len())
+	}
+	if !m.Dropped() {
+		t.Error("ring should report drops")
+	}
+	got := m.Events()
+	want := in[len(in)-8:]
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ring contents:\n got %v\nwant %v", got, want)
+	}
+	// Exactly at capacity: no drops, identity order.
+	m2 := NewRing(4)
+	for _, ev := range in[:4] {
+		m2.Record(ev)
+	}
+	if m2.Dropped() || !reflect.DeepEqual(m2.Events(), in[:4]) {
+		t.Error("at-capacity ring mangled events")
+	}
+	// Non-positive capacity degrades to unbounded.
+	if NewRing(0).cap != 0 {
+		t.Error("NewRing(0) should be unbounded")
+	}
+}
+
+func TestMultiComposition(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("Multi of no live sinks should be nil")
+	}
+	a := NewMemory()
+	if Multi(nil, a) != Sink(a) {
+		t.Error("Multi of one live sink should be that sink")
+	}
+	b := NewMemory()
+	m := Multi(a, b)
+	ev := Event{Type: EvThrottle, Time: 7, Core: 2}
+	m.Record(ev)
+	if a.Len() != 1 || b.Len() != 1 || a.Events()[0] != ev {
+		t.Error("multi did not fan out")
+	}
+}
+
+func TestCountByType(t *testing.T) {
+	events := []Event{
+		{Type: EvJobRelease}, {Type: EvJobRelease}, {Type: EvDeadlineMiss},
+	}
+	got := CountByType(events)
+	if got["job_release"] != 2 || got["deadline_miss"] != 1 {
+		t.Errorf("counts: %v", got)
+	}
+}

@@ -1,6 +1,8 @@
 package vc2m
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"math"
 	"strings"
@@ -286,6 +288,69 @@ func TestReleasePublicAPI(t *testing.T) {
 					v.ID, busy, v.Bandwidth(core.Cache, core.BW))
 			}
 		}
+	}
+}
+
+func TestTracePublicAPI(t *testing.T) {
+	// The flight-recorder journey behind `vc2m-sim -trace-out`: simulate
+	// with Chrome and JSONL sinks attached, then check the Chrome export
+	// is well-formed trace-event JSON and the JSONL stream round-trips.
+	a, err := Allocate(simpleSystem(t), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chromeBuf, jsonlBuf bytes.Buffer
+	cw := NewTraceChrome(&chromeBuf)
+	jw := NewTraceJSONL(&jsonlBuf)
+	mem := NewTraceMemory()
+	res, err := Simulate(a, 500, SimOptions{Trace: MultiTrace(cw, jw, mem)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chromeBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	slices := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			slices++
+		}
+	}
+	if res.Completed > 0 && slices == 0 {
+		t.Error("jobs completed but Chrome export has no duration slices")
+	}
+
+	events, err := ReadTraceJSONL(&jsonlBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(mem.Events()) {
+		t.Fatalf("JSONL round-trip lost events: %d vs %d", len(events), len(mem.Events()))
+	}
+	for i, ev := range events {
+		if ev != mem.Events()[i] {
+			t.Fatalf("JSONL round-trip diverges at %d: %+v vs %+v", i, ev, mem.Events()[i])
+		}
+	}
+	if rep := DiagnoseMisses(events); len(rep.Misses) != int(res.Missed) {
+		t.Errorf("diagnosis found %d misses, simulator reported %d", len(rep.Misses), res.Missed)
 	}
 }
 
