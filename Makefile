@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck test bench bench-smoke race cover ci paper examples clean
+.PHONY: all build vet fmtcheck lint test bench bench-smoke race cover ci determinism paper examples clean
 
 all: build vet test
 
@@ -18,6 +18,12 @@ fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Domain-invariant static analysis (determinism, time units, nil-safe
+# sinks, float equality). Fails on any unsuppressed diagnostic; see
+# DESIGN.md for the analyzer list and the //vc2m: suppression directives.
+lint:
+	$(GO) run ./cmd/vc2m-lint ./...
+
 test:
 	$(GO) test ./...
 
@@ -31,10 +37,20 @@ bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 # Everything CI runs (see .github/workflows/ci.yml), locally.
-ci: build vet fmtcheck test race bench-smoke
+ci: build vet fmtcheck lint test race bench-smoke determinism
 
 race:
 	$(GO) test -race ./...
+
+# Determinism smoke: the same fully seeded simulation run twice must
+# produce byte-identical stdout and byte-identical trace JSONL.
+determinism:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	flags="-gen-util 1.0 -gen-seed 7 -mode flattening -simulate 2200"; \
+	$(GO) run ./cmd/vc2m-sim $$flags -trace-jsonl $$tmp/a.jsonl > $$tmp/a.out && \
+	$(GO) run ./cmd/vc2m-sim $$flags -trace-jsonl $$tmp/b.jsonl > $$tmp/b.out && \
+	diff $$tmp/a.out $$tmp/b.out && diff $$tmp/a.jsonl $$tmp/b.jsonl && \
+	echo "determinism: two seeded runs byte-identical"
 
 cover:
 	$(GO) test -cover ./...

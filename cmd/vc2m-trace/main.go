@@ -145,7 +145,7 @@ func cmdStats(args []string) {
 	events := readEvents(*in)
 	counts := trace.CountByType(events)
 	names := make([]string, 0, len(counts))
-	for name := range counts {
+	for name := range counts { //vc2m:ordered keys are sorted below
 		names = append(names, name)
 	}
 	sort.Strings(names)

@@ -63,7 +63,8 @@ func main() {
 	}
 	fmt.Printf("\nsimulated %.0f ms: %d jobs released, %d completed, %d deadline misses\n",
 		res.Horizon.Millis(), res.Released, res.Completed, res.Missed)
-	for id, tm := range res.Tasks {
+	for _, id := range res.TaskIDs() {
+		tm := res.Tasks[id]
 		fmt.Printf("  %-8s worst response %8.3f ms\n", id, tm.MaxResponse.Millis())
 	}
 }

@@ -55,7 +55,8 @@ func main() {
 		for i, busy := range res.CoreBusy {
 			fmt.Printf("  core %d busy: %.2f\n", i, busy)
 		}
-		for id, tm := range res.Tasks {
+		for _, id := range res.TaskIDs() {
+			tm := res.Tasks[id]
 			fmt.Printf("  %-8s completed %3d/%3d jobs, %3d misses\n",
 				id, tm.Completed, tm.Released, tm.Missed)
 		}

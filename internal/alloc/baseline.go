@@ -45,7 +45,7 @@ func packExistingVCPUs(vm *model.VM, plat model.Platform, firstIndex int, rec *m
 	sort.SliceStable(order, func(a, b int) bool {
 		ua := baselineWCET(order[a], plat) / order[a].Period
 		ub := baselineWCET(order[b], plat) / order[b].Period
-		if ua != ub {
+		if ua != ub { //vc2m:floateq exact tie-break keeps the sort a strict weak order
 			return ua > ub
 		}
 		return order[a].ID < order[b].ID
@@ -121,7 +121,7 @@ func packVCPUsToCores(vcpus []*model.VCPU, m, cache, bw int) [][]*model.VCPU {
 	order := append([]*model.VCPU(nil), vcpus...)
 	sort.SliceStable(order, func(a, b int) bool {
 		ba, bb := order[a].Bandwidth(cache, bw), order[b].Bandwidth(cache, bw)
-		if ba != bb {
+		if ba != bb { //vc2m:floateq exact tie-break keeps the sort a strict weak order
 			return ba > bb
 		}
 		return order[a].Index < order[b].Index
@@ -251,7 +251,7 @@ func packOverheadFreeVCPUs(vm *model.VM, plat model.Platform, cache, bw, firstIn
 	order := append([]*model.Task(nil), vm.Tasks...)
 	sort.SliceStable(order, func(a, b int) bool {
 		ua, ub := order[a].Util(cache, bw), order[b].Util(cache, bw)
-		if ua != ub {
+		if ua != ub { //vc2m:floateq exact tie-break keeps the sort a strict weak order
 			return ua > ub
 		}
 		return order[a].ID < order[b].ID

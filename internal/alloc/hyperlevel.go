@@ -141,7 +141,7 @@ func HyperLevel(vcpus []*model.VCPU, plat model.Platform, cfg HyperConfig, rng *
 	for _, g := range groups {
 		sort.SliceStable(g, func(a, b int) bool {
 			ua, ub := g[a].RefBandwidth(), g[b].RefBandwidth()
-			if ua != ub {
+			if ua != ub { //vc2m:floateq exact tie-break keeps the sort a strict weak order
 				return ua > ub
 			}
 			return g[a].Index < g[b].Index

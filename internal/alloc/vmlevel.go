@@ -172,7 +172,7 @@ func clusterPackVM(vm *model.VM, plat model.Platform, cfg VMLevelConfig, firstIn
 		// (deterministic tie-break by index).
 		sort.SliceStable(idxs, func(a, b int) bool {
 			ua, ub := tasks[idxs[a]].RefUtil(), tasks[idxs[b]].RefUtil()
-			if ua != ub {
+			if ua != ub { //vc2m:floateq exact tie-break keeps the sort a strict weak order
 				return ua > ub
 			}
 			return idxs[a] < idxs[b]

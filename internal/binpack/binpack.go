@@ -82,7 +82,7 @@ func PackDecreasing(sizes []float64, nbins int, capacity float64, strat Strategy
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		if sizes[order[a]] != sizes[order[b]] {
+		if sizes[order[a]] != sizes[order[b]] { //vc2m:floateq exact tie-break keeps the sort a strict weak order
 			return sizes[order[a]] > sizes[order[b]]
 		}
 		return order[a] < order[b]
@@ -135,7 +135,7 @@ func MinBinsDecreasing(sizes []float64, capacity float64, strat Strategy) Result
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		if sizes[order[a]] != sizes[order[b]] {
+		if sizes[order[a]] != sizes[order[b]] { //vc2m:floateq exact tie-break keeps the sort a strict weak order
 			return sizes[order[a]] > sizes[order[b]]
 		}
 		return order[a] < order[b]

@@ -73,7 +73,7 @@ func NewConstrainedDemand(periods, deadlines []float64) (*ConstrainedDemand, err
 		}
 	}
 	cps := make([]float64, 0, len(set))
-	for t := range set {
+	for t := range set { //vc2m:ordered checkpoints are sorted below
 		cps = append(cps, t)
 	}
 	sort.Float64s(cps)

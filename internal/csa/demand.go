@@ -67,7 +67,7 @@ func NewDemand(periods []float64) (*Demand, error) {
 		}
 	}
 	cps := make([]float64, 0, len(set))
-	for t := range set {
+	for t := range set { //vc2m:ordered checkpoints are sorted below
 		cps = append(cps, t)
 	}
 	sort.Float64s(cps)

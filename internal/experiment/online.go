@@ -50,7 +50,7 @@ func RunOnline(cfg OnlineConfig) (*OnlineResult, error) {
 	if cfg.Platform.M == 0 {
 		cfg.Platform = model.PlatformA
 	}
-	if cfg.VMUtil == 0 {
+	if cfg.VMUtil == 0 { //vc2m:floateq unset-config sentinel
 		cfg.VMUtil = 0.35
 	}
 	if cfg.Arrivals == 0 {

@@ -38,10 +38,10 @@ func (c OverheadConfig) withDefaults() OverheadConfig {
 	if c.Cores == 0 {
 		c.Cores = 4
 	}
-	if c.HorizonMs == 0 {
+	if c.HorizonMs == 0 { //vc2m:floateq unset-config sentinel
 		c.HorizonMs = 2000
 	}
-	if c.RegulationPeriodMs == 0 {
+	if c.RegulationPeriodMs == 0 { //vc2m:floateq unset-config sentinel
 		c.RegulationPeriodMs = 1
 	}
 	if c.BWBudget == 0 {

@@ -72,13 +72,13 @@ type SchedConfig struct {
 // that an explicit sweep starting at 0 (UtilMin: 0, UtilMax: x) is
 // representable and not silently rewritten.
 func (c SchedConfig) withDefaults() SchedConfig {
-	if c.UtilMin == 0 && c.UtilMax == 0 {
+	if c.UtilMin == 0 && c.UtilMax == 0 { //vc2m:floateq unset-config sentinel
 		c.UtilMin = 0.1
 	}
-	if c.UtilMax == 0 {
+	if c.UtilMax == 0 { //vc2m:floateq unset-config sentinel
 		c.UtilMax = 2.0
 	}
-	if c.UtilStep == 0 {
+	if c.UtilStep == 0 { //vc2m:floateq unset-config sentinel
 		c.UtilStep = 0.05
 	}
 	if c.TasksetsPerPoint == 0 {
@@ -219,9 +219,9 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 				oks := make([]bool, len(cfg.Solutions))
 				secs := make([]float64, len(cfg.Solutions))
 				for si, sol := range cfg.Solutions {
-					start := time.Now()
+					start := time.Now() //vc2m:wallclock Figure 4 measures solution wall time
 					_, err := sol.Allocate(sys, rngutil.New(j.seeds[si]))
-					secs[si] = time.Since(start).Seconds()
+					secs[si] = time.Since(start).Seconds() //vc2m:wallclock
 					oks[si] = err == nil
 				}
 				mu.Lock()

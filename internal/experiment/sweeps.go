@@ -50,7 +50,7 @@ func RunPartitionSweep(cfg PartitionSweepConfig) (*PartitionSweepResult, error) 
 	if cfg.Partitions == nil {
 		cfg.Partitions = []int{8, 12, 16, 20, 28, 40}
 	}
-	if cfg.Util == 0 {
+	if cfg.Util == 0 { //vc2m:floateq unset-config sentinel
 		cfg.Util = 1.8
 	}
 	if cfg.TasksetsPerPoint == 0 {
@@ -159,7 +159,7 @@ func RunRegPeriodSweep(cfg RegPeriodSweepConfig) ([]RegPeriodPoint, error) {
 	if cfg.VCPUs == 0 {
 		cfg.VCPUs = 24
 	}
-	if cfg.HorizonMs == 0 {
+	if cfg.HorizonMs == 0 { //vc2m:floateq unset-config sentinel
 		cfg.HorizonMs = 1000
 	}
 	var out []RegPeriodPoint

@@ -19,6 +19,7 @@ package guest
 
 import (
 	"fmt"
+	"sort"
 
 	"vc2m/internal/hypersim"
 	"vc2m/internal/timeunit"
@@ -134,9 +135,16 @@ func (os *OS) SyncTask(taskID string) error {
 	return nil
 }
 
-// SyncAll issues the hypercall for every registered task.
+// SyncAll issues the hypercall for every registered task, in task-ID
+// order so the hypercall sequence the hypervisor observes is the same in
+// every run.
 func (os *OS) SyncAll() error {
-	for id := range os.tasks {
+	ids := make([]string, 0, len(os.tasks))
+	for id := range os.tasks { //vc2m:ordered keys are sorted below
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
 		if err := os.SyncTask(id); err != nil {
 			return err
 		}

@@ -100,6 +100,46 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+// orderHV records the sequence of hypercalls, not just their arguments.
+type orderHV struct {
+	seq []string
+}
+
+func (o *orderHV) SyncRelease(vcpuID string, delay timeunit.Ticks) error {
+	o.seq = append(o.seq, vcpuID)
+	return nil
+}
+
+func TestSyncAllHypercallOrderIsDeterministic(t *testing.T) {
+	// SyncAll iterates a map of tasks; the hypercall sequence the
+	// hypervisor observes must nonetheless be the same in every run —
+	// sorted by task ID regardless of registration order.
+	want := []string{"v-a", "v-b", "v-c", "v-d", "v-e"}
+	for run := 0; run < 20; run++ {
+		hv := &orderHV{}
+		os := NewOS("vm0", 0, hv)
+		// Register in reverse so sorted output cannot be an accident of
+		// insertion order.
+		for i := len(want) - 1; i >= 0; i-- {
+			id := string(rune('a' + i))
+			if err := os.InitTask("t-"+id, "v-"+id, 0, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.SyncAll(); err != nil {
+			t.Fatal(err)
+		}
+		if len(hv.seq) != len(want) {
+			t.Fatalf("run %d: %d hypercalls, want %d", run, len(hv.seq), len(want))
+		}
+		for i := range want {
+			if hv.seq[i] != want[i] {
+				t.Fatalf("run %d: hypercall order %v, want %v", run, hv.seq, want)
+			}
+		}
+	}
+}
+
 func TestSyncAllAgainstRealSimulator(t *testing.T) {
 	// End to end: tasks declared with staggered guest-time releases; the
 	// guest OS syncs its VCPUs via real hypercalls; the simulation shows

@@ -93,7 +93,7 @@ func RenderGantt(entries []TraceEntry, from, to timeunit.Ticks, width int) strin
 	}
 
 	keys := make([]key, 0, len(rows))
-	for k := range rows {
+	for k := range rows { //vc2m:ordered keys are sorted below
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(a, b int) bool {

@@ -1,6 +1,8 @@
 package hypersim
 
 import (
+	"sort"
+
 	"vc2m/internal/sim"
 	"vc2m/internal/stats"
 	"vc2m/internal/timeunit"
@@ -72,6 +74,18 @@ type Result struct {
 	// a JSONL writer. Streaming sinks passed via Config.Trace receive
 	// the same events without this retained copy.
 	Events []trace.Event
+}
+
+// TaskIDs returns the keys of Tasks in sorted order — the deterministic
+// iteration order every report and rendering should use, so output is
+// byte-identical run to run.
+func (r *Result) TaskIDs() []string {
+	ids := make([]string, 0, len(r.Tasks))
+	for id := range r.Tasks { //vc2m:ordered keys are sorted below
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // vcpuRelease is the periodic-server replenishment: at each period
@@ -269,19 +283,19 @@ func (s *Simulator) Run(horizon timeunit.Ticks) *Result {
 		res.ContextSwitches += core.contextSwitches
 		res.SchedInvocations += core.schedInvocations
 		if horizon > 0 {
-			res.CoreBusy[i] = float64(core.busyTicks) / float64(horizon)
+			res.CoreBusy[i] = timeunit.Ratio(core.busyTicks, horizon)
 		}
 	}
 	res.VCPUBusy = make(map[string]float64, len(s.vcpus))
 	for _, v := range s.vcpus {
 		res.BudgetReplenishments += v.replenishments
 		if horizon > 0 {
-			res.VCPUBusy[v.spec.ID] = float64(v.execTicks) / float64(horizon)
+			res.VCPUBusy[v.spec.ID] = timeunit.Ratio(v.execTicks, horizon)
 		}
 	}
 	if s.cfg.MeasureOverheads {
 		res.Overheads = make(map[string]stats.Summary, len(s.overheads))
-		for k, sample := range s.overheads {
+		for k, sample := range s.overheads { //vc2m:ordered map-to-map copy
 			res.Overheads[k] = sample.Summary()
 		}
 	}

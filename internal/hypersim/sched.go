@@ -57,7 +57,7 @@ func (s *Simulator) charge(core *coreState) {
 		if s.reg != nil {
 			if rate := s.cfg.MemRate[task.spec.ID]; rate > 0 {
 				perTick := rate / float64(timeunit.TicksPerMilli)
-				exact := float64(taskElapsed)*perTick + core.reqCarry
+				exact := taskElapsed.Count()*perTick + core.reqCarry
 				whole := math.Floor(exact)
 				core.reqCarry = exact - whole
 				s.reg.RequestN(core.id, int64(whole))
@@ -220,7 +220,7 @@ func (s *Simulator) ticksUntilThrottle(core *coreState, task *taskState) timeuni
 		return -1
 	}
 	perTick := rate / float64(timeunit.TicksPerMilli)
-	d := timeunit.Ticks(math.Ceil((float64(left) - core.reqCarry) / perTick))
+	d := timeunit.FromCount(math.Ceil((float64(left) - core.reqCarry) / perTick))
 	if d < 1 {
 		d = 1
 	}

@@ -1,0 +1,23 @@
+package hypersim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestResultTaskIDsSorted(t *testing.T) {
+	r := &Result{Tasks: map[string]TaskMetrics{
+		"zeta": {}, "alpha": {}, "mid": {}, "alpha2": {},
+	}}
+	want := []string{"alpha", "alpha2", "mid", "zeta"}
+	// Repeat so a map-iteration-order accident cannot pass by luck.
+	for run := 0; run < 20; run++ {
+		if got := r.TaskIDs(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: TaskIDs() = %v, want %v", run, got, want)
+		}
+	}
+	empty := &Result{}
+	if got := empty.TaskIDs(); len(got) != 0 {
+		t.Errorf("empty Result TaskIDs() = %v, want empty", got)
+	}
+}

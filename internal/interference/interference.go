@@ -216,7 +216,7 @@ func CoRun(cfg Config, bms []parsec.Benchmark, isolate bool, cacheCounts []int, 
 			p.periodMisses++
 			if p.periodMisses >= budgets[core] {
 				// Throttle until the next regulation period boundary.
-				next := (p.clock/cfg.RegulationPeriod + 1) * cfg.RegulationPeriod
+				next := p.clock - p.clock%cfg.RegulationPeriod + cfg.RegulationPeriod
 				p.stalledUntil = next
 				res.Throttles[core]++
 			}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"vc2m/internal/lintkit"
+)
+
+// FloatEq flags == and != between floating-point operands. Exact float
+// comparison is the "silently wrong numbers" bug family behind the Welford
+// StdDev and UtilMin=0 fixes of earlier PRs: two mathematically equal
+// values rarely compare equal after independent rounding. Compare with
+// timeunit.AlmostEqual (or an explicit tolerance), or — for genuinely
+// exact sentinel values that are only ever assigned, never computed —
+// annotate //vc2m:floateq with a justification.
+//
+// Comparisons where both operands are compile-time constants are exempt
+// (they are evaluated in exact precision), as are _test.go files, which
+// vc2m-lint never loads.
+var FloatEq = &lintkit.Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= between float operands outside tests; use timeunit.AlmostEqual or an " +
+		"explicit tolerance, or annotate //vc2m:floateq for exact sentinel comparisons",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *lintkit.Pass) {
+	isFloat := func(e ast.Expr) bool {
+		t := pass.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	isConst := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		return ok && tv.Value != nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(bin.X) && !isFloat(bin.Y) {
+				return true
+			}
+			if isConst(bin.X) && isConst(bin.Y) {
+				return true
+			}
+			pass.ReportSuppressible(bin.OpPos, "floateq",
+				"exact float comparison %s %s %s; use timeunit.AlmostEqual or an explicit "+
+					"tolerance (//vc2m:floateq if the compare is a never-computed sentinel)",
+				exprString(pass.Fset, bin.X), bin.Op, exprString(pass.Fset, bin.Y))
+			return true
+		})
+	}
+}

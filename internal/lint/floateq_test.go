@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vc2m/internal/lint"
+	"vc2m/internal/lintkit/linttest"
+)
+
+func TestFloatEqGolden(t *testing.T) {
+	linttest.RunGolden(t, "testdata/src/floateq", lint.FloatEq)
+}

@@ -1,0 +1,58 @@
+// Package lint holds vc2m-lint's domain analyzers: the invariants that
+// make this repository a faithful reproduction of the DAC 2019 vC2M paper
+// but that the Go compiler cannot check.
+//
+//   - nondet: bit-exact determinism. Identical seeds must reproduce
+//     identical tables, traces and figures, so wall-clock reads, global
+//     math/rand and order-leaking map iteration are flagged.
+//   - timeunit: tick/millisecond unit discipline. The analyses work in
+//     float64 milliseconds and the simulators in integer microsecond
+//     ticks (timeunit.Ticks); every crossing must go through the blessed
+//     converters.
+//   - nilsafe: the nil-receiver no-op contract of the instrumentation
+//     hooks (trace sinks, the metrics recorder), whose zero-cost-when-off
+//     guarantee holds only if every exported pointer method guards nil.
+//   - floateq: exact float comparison, the "silently wrong numbers" class
+//     behind past Welford and utilization-grid bugs.
+//
+// Each analyzer documents its rules and suppression directives on its
+// variable. All four run over ./... via `make lint` and in CI.
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+
+	"vc2m/internal/lintkit"
+)
+
+// All returns every vc2m analyzer, in stable order.
+func All() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{Nondeterminism, TimeUnit, NilSafe, FloatEq}
+}
+
+// ByName returns the analyzer with the given Name, or nil.
+func ByName(name string) *lintkit.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// exprString renders an expression compactly for diagnostics, truncating
+// long expressions.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "expression"
+	}
+	s := buf.String()
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}

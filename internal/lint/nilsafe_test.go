@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vc2m/internal/lint"
+	"vc2m/internal/lintkit/linttest"
+)
+
+// TestNilSafeGolden drives the interface-registry path: fixture types
+// implementing the real trace.Sink.
+func TestNilSafeGolden(t *testing.T) {
+	linttest.RunGolden(t, "testdata/src/nilsafe", lint.NilSafe)
+}
+
+// TestNilSafeConcreteHookGolden drives the concrete-type registry path
+// (the one that covers metrics.Recorder on the real tree) against a
+// fixture registry.
+func TestNilSafeConcreteHookGolden(t *testing.T) {
+	analyzer := lint.NewNilSafe([]lint.HookSpec{
+		{Pkg: "vc2m/internal/lint/testdata/src/nilsafehooks", Type: "Recorder"},
+	})
+	linttest.RunGolden(t, "testdata/src/nilsafehooks", analyzer)
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vc2m/internal/lintkit"
+)
+
+// rngutilPath is the module's deterministic RNG wrapper; it is the one
+// package allowed to touch math/rand.
+const rngutilPath = "vc2m/internal/rngutil"
+
+// Nondeterminism flags constructs that can make two runs with the same
+// seed diverge:
+//
+//   - time.Now / time.Since calls. The simulators are discrete-event
+//     machines with their own clocks; wall-clock reads belong only in
+//     explicit overhead measurement. Intentional measurement sites are
+//     annotated //vc2m:wallclock.
+//   - any use of the global math/rand package outside internal/rngutil.
+//     Experiments must draw from a seeded rngutil.RNG so identical
+//     invocations reproduce identical tasksets. Not suppressible.
+//   - range over a map. Iteration order is randomized by the runtime and
+//     leaks into results the moment the loop appends, prints or
+//     accumulates order-sensitively. Loops whose body is provably
+//     order-insensitive (commutative folds, set copies, or key collection
+//     followed by sorting) are annotated //vc2m:ordered.
+var Nondeterminism = &lintkit.Analyzer{
+	Name: "nondet",
+	Doc: "flags wall-clock reads (time.Now/Since), global math/rand use, and map iteration " +
+		"whose order can escape into results; suppress with //vc2m:wallclock (measurement) " +
+		"or //vc2m:ordered (order-insensitive loop)",
+	Run: runNondeterminism,
+}
+
+func runNondeterminism(pass *lintkit.Pass) {
+	allowRand := pass.Pkg.Path() == rngutilPath
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj := pass.Info.Uses[n.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					if name := obj.Name(); name == "Now" || name == "Since" {
+						pass.ReportSuppressible(n.Pos(), "wallclock",
+							"time.%s reads the wall clock and breaks run-to-run determinism; "+
+								"use the simulator clock, or annotate //vc2m:wallclock for measurement-only code", name)
+					}
+				case "math/rand", "math/rand/v2":
+					if _, isType := obj.(*types.TypeName); isType {
+						return true // naming a rand type is harmless; drawing from it is not
+					}
+					if !allowRand {
+						pass.Reportf(n.Pos(),
+							"global %s.%s bypasses seeded randomness; draw from vc2m/internal/rngutil instead",
+							obj.Pkg().Path(), obj.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				t := pass.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.ReportSuppressible(n.For, "ordered",
+						"range over map %s iterates in randomized order; iterate sorted keys, "+
+							"or annotate //vc2m:ordered if order cannot escape",
+						exprString(pass.Fset, n.X))
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,46 @@
+// Package floateqfix exercises the floateq analyzer: exact comparisons
+// between float operands, including named float types and suppressions.
+package floateqfix
+
+// Celsius checks that named types with float underlying are covered.
+type Celsius float64
+
+func Eq(a, b float64) bool {
+	return a == b // want `exact float comparison a == b`
+}
+
+func Neq(a, b float64) bool {
+	return a != b // want `exact float comparison a != b`
+}
+
+func NamedEq(a, b Celsius) bool {
+	return a == b // want `exact float comparison a == b`
+}
+
+func Float32Eq(a, b float32) bool {
+	return a == b // want `exact float comparison a == b`
+}
+
+func VarConstEq(a float64) bool {
+	return a == 0.3 // want `exact float comparison a == 0\.3`
+}
+
+func ZeroSentinel(a float64) bool {
+	return a == 0 // want `exact float comparison a == 0`
+}
+
+func SuppressedSentinel(a float64) bool {
+	return a == 0 //vc2m:floateq fixture for an assigned-only sentinel
+}
+
+func IntEq(a, b int) bool {
+	return a == b
+}
+
+func ConstConst() bool {
+	return 1.5 == 3.0/2.0
+}
+
+func Ordered(a, b float64) bool {
+	return a < b
+}

@@ -1,0 +1,75 @@
+// Package nilsafefix exercises the nilsafe analyzer's interface-driven
+// registry: types implementing trace.Sink must nil-guard every exported
+// pointer-receiver method.
+package nilsafefix
+
+import "vc2m/internal/trace"
+
+// GoodSink guards every exported pointer method.
+type GoodSink struct {
+	events []trace.Event
+}
+
+func (g *GoodSink) Record(ev trace.Event) {
+	if g == nil {
+		return
+	}
+	g.events = append(g.events, ev)
+}
+
+func (g *GoodSink) Len() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.events)
+}
+
+// Enabled guards by returning the nil comparison itself.
+func (g *GoodSink) Enabled() bool { return g != nil }
+
+// Clear has an empty body, which is trivially nil-safe.
+func (g *GoodSink) Clear() {}
+
+func (g *GoodSink) grow() { // unexported methods are not part of the contract
+	g.events = append(g.events, trace.Event{})
+}
+
+// BadSink implements trace.Sink but skips the guards.
+type BadSink struct {
+	n int
+}
+
+func (b *BadSink) Record(ev trace.Event) { // want `\(\*BadSink\)\.Record must begin with a nil-receiver guard`
+	b.n++
+}
+
+func (b *BadSink) Count() int { // want `\(\*BadSink\)\.Count must begin with a nil-receiver guard`
+	return b.n
+}
+
+// AnonSink's receiver cannot be guarded because it is unnamed.
+type AnonSink struct {
+	n int
+}
+
+func (*AnonSink) Record(ev trace.Event) { // want `\(\*AnonSink\)\.Record has an unnamed receiver`
+	_ = ev
+}
+
+// NotASink has unguarded pointer methods but implements no hook
+// interface, so it is out of scope.
+type NotASink struct {
+	n int
+}
+
+func (s *NotASink) Bump() {
+	s.n++
+}
+
+// ValueSink implements trace.Sink with a value receiver; value receivers
+// cannot be nil and are exempt.
+type ValueSink struct{}
+
+func (ValueSink) Record(ev trace.Event) {
+	_ = ev
+}

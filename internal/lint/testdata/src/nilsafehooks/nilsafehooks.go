@@ -1,0 +1,31 @@
+// Package nilsafehooks exercises the nilsafe analyzer's concrete-type
+// registry (the metrics.Recorder path): the test registers Recorder below
+// as a hook type by name, without any interface involved.
+package nilsafehooks
+
+// Recorder mimics the shape of metrics.Recorder.
+type Recorder struct {
+	counters map[string]int64
+}
+
+func (r *Recorder) Add(name string, delta int64) { // want `\(\*Recorder\)\.Add must begin with a nil-receiver guard`
+	r.counters[name] += delta
+}
+
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[name]
+}
+
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Bystander is not registered, so its unguarded method is fine.
+type Bystander struct {
+	n int
+}
+
+func (b *Bystander) Inc() {
+	b.n++
+}

@@ -1,0 +1,63 @@
+// Package nondetfix exercises the nondet analyzer: wall-clock reads,
+// global math/rand, and map iteration, with and without suppressions.
+package nondetfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func WallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func Elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `time\.Since reads the wall clock`
+}
+
+func MeasuredWallClock() time.Time {
+	return time.Now() //vc2m:wallclock measurement-only fixture site
+}
+
+func GlobalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn bypasses seeded randomness`
+}
+
+func SeededButStillGlobal() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want `math/rand\.New` `math/rand\.NewSource`
+}
+
+func SumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m iterates in randomized order`
+		total += v
+	}
+	return total
+}
+
+func SumValuesOrdered(m map[string]int) int {
+	total := 0
+	//vc2m:ordered summation is commutative
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //vc2m:ordered keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func SliceRangeIsFine(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

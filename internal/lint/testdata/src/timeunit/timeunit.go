@@ -1,0 +1,60 @@
+// Package unitfix exercises the timeunit analyzer: conversions that cross
+// the tick/millisecond boundary without the blessed converters, and
+// dimensionally bogus tick products.
+package unitfix
+
+import "vc2m/internal/timeunit"
+
+func BadMsToTicks(ms float64) timeunit.Ticks {
+	return timeunit.Ticks(ms) // want `conversion of float value ms .* use timeunit\.FromMillis`
+}
+
+func GoodMsToTicks(ms float64) timeunit.Ticks {
+	return timeunit.FromMillis(ms)
+}
+
+func BadTicksToFloat(t timeunit.Ticks) float64 {
+	return float64(t) // want `conversion of timeunit\.Ticks value t to float64 .* Millis\(\)`
+}
+
+func GoodTicksToFloat(t timeunit.Ticks) float64 {
+	return t.Millis()
+}
+
+// TickPlusMs is the canonical mixed-unit bug: adding a millisecond value
+// to a tick value through a bare conversion.
+func TickPlusMs(t timeunit.Ticks, ms float64) timeunit.Ticks {
+	return t + timeunit.Ticks(ms) // want `conversion of float value ms`
+}
+
+func GoodTickPlusMs(t timeunit.Ticks, ms float64) timeunit.Ticks {
+	return t + timeunit.FromMillis(ms)
+}
+
+func BadProduct(a, b timeunit.Ticks) timeunit.Ticks {
+	return a * b // want `product of two timeunit\.Ticks values`
+}
+
+func SuppressedProduct(a, b timeunit.Ticks) timeunit.Ticks {
+	return a * b //vc2m:units fixture for a justified exception
+}
+
+func GoodCountScale(t timeunit.Ticks, n int) timeunit.Ticks {
+	return t * timeunit.Ticks(n)
+}
+
+func GoodConstScale(t timeunit.Ticks) timeunit.Ticks {
+	return 2 * t
+}
+
+func GoodPerMilli(t timeunit.Ticks) timeunit.Ticks {
+	return t / timeunit.TicksPerMilli
+}
+
+func GoodConstConversion() timeunit.Ticks {
+	return timeunit.Ticks(1000)
+}
+
+func IntConversionIsFine(t timeunit.Ticks) int64 {
+	return int64(t)
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"vc2m/internal/lintkit"
+)
+
+// timeunitPath is the package defining the tick representation.
+const timeunitPath = "vc2m/internal/timeunit"
+
+// TimeUnit enforces the tick/millisecond unit discipline at the
+// boundaries go/types cannot see. The repo's convention (documented in
+// package timeunit) is that float64 values carry milliseconds and
+// timeunit.Ticks carries integer microseconds; mixing them through bare
+// conversions silently rescales by 1000. Three rules, all exempt inside
+// package timeunit itself (it owns the blessed converters):
+//
+//   - T1: converting a non-constant float expression to Ticks. A float in
+//     this codebase is milliseconds, so Ticks(ms) mis-reads it as
+//     microseconds; use FromMillis / FromMillisCeil / FromMillisFloor.
+//   - T2: converting a Ticks expression to a float type. The result is
+//     tick-valued but will flow into millisecond arithmetic; use
+//     Ticks.Millis().
+//   - T3: multiplying two Ticks-valued operands. Time x time is not a
+//     time quantity; a dimensionless count must enter the product as an
+//     untyped constant or an integer-to-Ticks conversion (t *
+//     timeunit.Ticks(n)), both of which are exempt.
+//
+// A deliberate exception (none exist today) would be annotated
+// //vc2m:units with a justification.
+var TimeUnit = &lintkit.Analyzer{
+	Name: "timeunit",
+	Doc: "flags tick/millisecond unit mixing: float->Ticks conversions (use FromMillis*), " +
+		"Ticks->float conversions (use Millis()), and Ticks*Ticks products; " +
+		"suppress with //vc2m:units",
+	Run: runTimeUnit,
+}
+
+func runTimeUnit(pass *lintkit.Pass) {
+	if pass.Pkg.Path() == timeunitPath {
+		return
+	}
+	ticks := ticksTypeOf(pass.Pkg)
+	if ticks == nil {
+		return
+	}
+	isTicks := func(t types.Type) bool { return t != nil && types.Identical(t, ticks) }
+	isFloat := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	isConst := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		return ok && tv.Value != nil
+	}
+	// countConversion reports whether e is Ticks(x) for an integer x — the
+	// idiom marking a dimensionless count inside a product.
+	countConversion := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return false
+		}
+		tv, ok := pass.Info.Types[call.Fun]
+		if !ok || !tv.IsType() || !isTicks(tv.Type) {
+			return false
+		}
+		argT := pass.TypeOf(call.Args[0])
+		if argT == nil || isTicks(argT) {
+			return false
+		}
+		b, ok := argT.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsInteger != 0
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if len(n.Args) != 1 {
+					return true
+				}
+				tv, ok := pass.Info.Types[n.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				target := tv.Type
+				arg := n.Args[0]
+				argT := pass.TypeOf(arg)
+				if argT == nil || isConst(arg) {
+					return true
+				}
+				if isTicks(target) && isFloat(argT) {
+					pass.ReportSuppressible(n.Pos(), "units",
+						"conversion of float value %s (milliseconds by convention) to timeunit.Ticks "+
+							"rescales it as microseconds; use timeunit.FromMillis/FromMillisCeil/FromMillisFloor",
+						exprString(pass.Fset, arg))
+				} else if isFloat(target) && isTicks(argT) {
+					pass.ReportSuppressible(n.Pos(), "units",
+						"conversion of timeunit.Ticks value %s to %s leaks tick-valued numbers into "+
+							"millisecond arithmetic; use the Millis() method",
+						exprString(pass.Fset, arg), target)
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.MUL {
+					return true
+				}
+				if !isTicks(pass.TypeOf(n.X)) || !isTicks(pass.TypeOf(n.Y)) {
+					return true
+				}
+				if isConst(n.X) || isConst(n.Y) || countConversion(n.X) || countConversion(n.Y) {
+					return true
+				}
+				pass.ReportSuppressible(n.OpPos, "units",
+					"product of two timeunit.Ticks values (%s * %s) is not a time quantity; "+
+						"enter dimensionless counts as timeunit.Ticks(n) conversions or constants",
+					exprString(pass.Fset, n.X), exprString(pass.Fset, n.Y))
+			}
+			return true
+		})
+	}
+}
+
+// ticksTypeOf finds the timeunit.Ticks type through pkg's imports, or nil
+// when the package never touches tick-valued time.
+func ticksTypeOf(pkg *types.Package) types.Type {
+	var tu *types.Package
+	if pkg.Path() == timeunitPath {
+		tu = pkg
+	} else {
+		for _, imp := range pkg.Imports() {
+			if imp.Path() == timeunitPath {
+				tu = imp
+				break
+			}
+		}
+	}
+	if tu == nil {
+		return nil
+	}
+	obj, ok := tu.Scope().Lookup("Ticks").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	return obj.Type()
+}

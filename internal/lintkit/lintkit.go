@@ -1,0 +1,159 @@
+// Package lintkit is the stdlib-only static-analysis harness behind
+// cmd/vc2m-lint. It mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer owns a Run function that inspects one type-checked package
+// through a Pass and reports Diagnostics — but is built exclusively on
+// go/parser, go/types and go/importer so the module keeps its zero-dependency
+// guarantee.
+//
+// The harness adds two repo-specific mechanisms on top of the x/tools shape:
+//
+//   - Suppression directives. A diagnostic reported through
+//     ReportSuppressible names a directive word (e.g. "ordered"); a comment
+//     of the form //vc2m:<word> on the diagnosed line, or on the line
+//     directly above it, silences the diagnostic. Directives are the
+//     reviewed escape hatch for intentional exceptions (a commutative map
+//     fold, a wall-clock measurement) and every use should carry a short
+//     justification after the directive word.
+//
+//   - Golden-diagnostic tests. RunGolden (golden.go) loads a fixture
+//     package from a testdata tree, runs analyzers over it and compares the
+//     surviving diagnostics against "// want" comment expectations, so each
+//     analyzer's behaviour — including its suppressions — is pinned by
+//     example.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a single package via the Pass
+// and reports findings with Pass.Reportf or Pass.ReportSuppressible.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, JSON output and the
+	// CLI's enable flags. It must be a single lowercase word.
+	Name string
+	// Doc is a one-paragraph description shown by vc2m-lint -list.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed source files, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's fact tables (Types, Defs, Uses,
+	// Selections, Implicits) for the package.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Reportf records a diagnostic at pos that no directive can silence.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, "", format, args...)
+}
+
+// ReportSuppressible records a diagnostic at pos that a //vc2m:<directive>
+// comment on the diagnosed line (or the line above) silences.
+func (p *Pass) ReportSuppressible(pos token.Pos, directive, format string, args ...any) {
+	p.report(pos, directive, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, directive, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer:     p.Analyzer.Name,
+		File:         position.Filename,
+		Line:         position.Line,
+		Col:          position.Column,
+		Message:      fmt.Sprintf(format, args...),
+		Suppressible: directive,
+	})
+}
+
+// Diagnostic is one finding, positioned by file/line/column.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// Suppressible names the //vc2m: directive that can silence this
+	// diagnostic; empty means the finding is mandatory.
+	Suppressible string `json:"suppressible,omitempty"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// DirectivePrefix introduces suppression comments: //vc2m:<word> [reason].
+const DirectivePrefix = "//vc2m:"
+
+// directiveIndex records which //vc2m: directive words appear on which
+// lines of which files.
+type directiveIndex map[string]map[int]map[string]bool // file -> line -> word set
+
+// buildDirectiveIndex scans every comment of the files for //vc2m:
+// directives.
+func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) directiveIndex {
+	idx := directiveIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+				if !ok {
+					continue
+				}
+				word := rest
+				if i := strings.IndexFunc(rest, func(r rune) bool { return r == ' ' || r == '\t' }); i >= 0 {
+					word = rest[:i]
+				}
+				if word == "" {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					idx[pos.Filename] = lines
+				}
+				words := lines[pos.Line]
+				if words == nil {
+					words = map[string]bool{}
+					lines[pos.Line] = words
+				}
+				words[word] = true
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether the diagnostic's directive appears on its
+// line or the line directly above.
+func (idx directiveIndex) suppressed(d Diagnostic) bool {
+	if d.Suppressible == "" {
+		return false
+	}
+	lines := idx[d.File]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Line][d.Suppressible] || lines[d.Line-1][d.Suppressible]
+}

@@ -1,0 +1,171 @@
+// Package linttest runs lintkit analyzers over testdata fixture packages
+// and checks their diagnostics against in-source "// want" expectations —
+// the stdlib-only equivalent of golang.org/x/tools/go/analysis/analysistest.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"vc2m/internal/lintkit"
+)
+
+// sharedLoaders caches one Loader per module root across golden tests, so
+// a test binary type-checks the standard library (and the module's shared
+// packages) once rather than per test.
+var sharedLoaders sync.Map // module root dir -> *lintkit.Loader
+
+// loaderFor returns the cached Loader for the module enclosing dir.
+func loaderFor(dir string) (*lintkit.Loader, error) {
+	l, err := lintkit.NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := sharedLoaders.LoadOrStore(l.Root(), l)
+	return actual.(*lintkit.Loader), nil
+}
+
+// RunGolden loads the fixture package at pkgDir (relative to the calling
+// test's working directory), runs the analyzers over it, and compares the
+// surviving diagnostics against the fixture's "// want" expectations.
+//
+// An expectation is a comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// at the end of (or on) the offending line: each quoted pattern must match
+// the message of exactly one diagnostic reported on that line, and every
+// diagnostic must be matched by a pattern. Diagnostics silenced by //vc2m:
+// directives never reach the comparison, so suppression behaviour is
+// goldenable too: a suppressed site simply carries no want comment.
+func RunGolden(t *testing.T, pkgDir string, analyzers ...*lintkit.Analyzer) {
+	t.Helper()
+	loader, err := loaderFor(pkgDir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.Load(pkgDir, ".")
+	if err != nil {
+		t.Fatalf("load %s: %v", pkgDir, err)
+	}
+	res := lintkit.RunAnalyzers(pkgs, analyzers)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					patterns, ok, err := parseWant(c)
+					if err != nil {
+						pos := pkg.Fset.Position(c.Slash)
+						t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Slash)
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], patterns...)
+				}
+			}
+		}
+	}
+
+	keys := make([]key, 0, len(wants))
+	for k := range wants { //vc2m:ordered keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].file != keys[b].file {
+			return keys[a].file < keys[b].file
+		}
+		return keys[a].line < keys[b].line
+	})
+
+	matched := make([]bool, len(res.Diagnostics))
+	for _, k := range keys {
+		patterns := wants[k]
+		for _, re := range patterns {
+			found := false
+			for i, d := range res.Diagnostics {
+				if matched[i] || d.File != k.file || d.Line != k.line {
+					continue
+				}
+				if re.MatchString(d.Message) {
+					matched[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+			}
+		}
+	}
+	for i, d := range res.Diagnostics {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps from a "// want ..." comment. The
+// second result reports whether the comment is a want comment at all.
+func parseWant(c *ast.Comment) ([]*regexp.Regexp, bool, error) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil, false, nil
+	}
+	var patterns []*regexp.Regexp
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			return nil, false, fmt.Errorf("want: expected quoted regexp, got %q", rest)
+		}
+		lit, remainder, err := cutString(rest)
+		if err != nil {
+			return nil, false, err
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, false, fmt.Errorf("want: bad regexp %q: %v", lit, err)
+		}
+		patterns = append(patterns, re)
+		rest = strings.TrimSpace(remainder)
+	}
+	if len(patterns) == 0 {
+		return nil, false, fmt.Errorf("want: no patterns")
+	}
+	return patterns, true, nil
+}
+
+// cutString splits off one leading Go string literal (quoted or backquoted)
+// and returns its value and the remainder.
+func cutString(s string) (value, rest string, err error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case quote == '"' && s[i] == '\\':
+			i++
+		case s[i] == quote:
+			v, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("want: bad string %q: %v", s[:i+1], err)
+			}
+			return v, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("want: unterminated string in %q", s)
+}

@@ -1,0 +1,316 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path within the module.
+	Path string
+	// Dir is the absolute directory holding the package's sources.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of the enclosing Go module from
+// source. Packages inside the module are resolved by mapping their import
+// path onto the module tree directly (so even packages under testdata/,
+// which the go tool refuses to build, can be loaded and analyzed); imports
+// outside the module fall back to go/importer's source importer, which
+// covers the standard library. The module has no third-party dependencies,
+// so those two resolvers are complete.
+//
+// Test files (*_test.go) are never loaded: all vc2m-lint analyzers target
+// non-test code, and excluding them keeps every package a single
+// compilation unit.
+type Loader struct {
+	rootDir    string // absolute module root (directory of go.mod)
+	modulePath string
+
+	mu       sync.Mutex
+	fset     *token.FileSet
+	fallback types.ImporterFrom
+	pkgs     map[string]*Package // by import path
+	loading  map[string]bool     // cycle detection
+}
+
+// NewLoader returns a Loader for the module enclosing dir (found by
+// walking up to the nearest go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	fallback, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lintkit: source importer does not support ImportFrom")
+	}
+	return &Loader{
+		rootDir:    root,
+		modulePath: modPath,
+		fset:       fset,
+		fallback:   fallback,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// Root returns the absolute module root directory.
+func (l *Loader) Root() string { return l.rootDir }
+
+// findModule locates the nearest enclosing go.mod and returns its
+// directory and module path.
+func findModule(dir string) (root, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					mod := strings.TrimSpace(rest)
+					if mod == "" {
+						break
+					}
+					return d, mod, nil
+				}
+			}
+			return "", "", fmt.Errorf("lintkit: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lintkit: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Load resolves the patterns (relative to dir, the directory passed to
+// NewLoader's caller — typically "." and "./..." forms) and returns the
+// matched packages, parsed and type-checked. Directories without non-test
+// Go files are skipped for "..." patterns and are an error for literal
+// ones.
+func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	dirs, err := l.expand(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, d := range dirs {
+		ip, err := l.importPathOf(d)
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		p, err := l.load(ip)
+		l.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// expand turns CLI-style patterns into a sorted list of absolute package
+// directories.
+func (l *Loader) expand(baseDir string, patterns []string) ([]string, error) {
+	base, err := filepath.Abs(baseDir)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			walkRoot := filepath.Join(base, strings.TrimSuffix(rest, "/"))
+			err := filepath.WalkDir(walkRoot, func(path string, de os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !de.IsDir() {
+					return nil
+				}
+				name := de.Name()
+				// Mirror the go tool: "..." never descends into testdata,
+				// vendor, or _/. prefixed directories.
+				if path != walkRoot && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				has, err := hasGoFiles(path)
+				if err != nil {
+					return err
+				}
+				if has {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		d := filepath.Join(base, pat)
+		has, err := hasGoFiles(d)
+		if err != nil {
+			return nil, err
+		}
+		if !has {
+			return nil, fmt.Errorf("lintkit: no non-test Go files in %s", d)
+		}
+		add(d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	names, err := goFileNames(dir)
+	return len(names) > 0, err
+}
+
+// goFileNames lists dir's non-test Go sources in sorted order.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// importPathOf maps an absolute directory inside the module to its import
+// path.
+func (l *Loader) importPathOf(dir string) (string, error) {
+	rel, err := filepath.Rel(l.rootDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lintkit: %s is outside module %s", dir, l.rootDir)
+	}
+	if rel == "." {
+		return l.modulePath, nil
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.rootDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local packages load
+// from source through this Loader, everything else (the standard library)
+// through the go/importer source importer. The caller must hold l.mu; the
+// type checker only calls this re-entrantly from within load.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.fallback.ImportFrom(path, srcDir, mode)
+}
+
+// load parses and type-checks the module-local package with the given
+// import path, memoized. The caller must hold l.mu.
+func (l *Loader) load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lintkit: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	dir := l.rootDir
+	if importPath != l.modulePath {
+		dir = filepath.Join(l.rootDir, filepath.FromSlash(strings.TrimPrefix(importPath, l.modulePath+"/")))
+	}
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lintkit: no non-test Go files in %s", dir)
+	}
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lintkit: type errors in %s: %w", importPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: type-checking %s: %w", importPath, err)
+	}
+
+	p := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}

@@ -1,0 +1,115 @@
+package lintkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Result is the outcome of running analyzers over a set of packages.
+type Result struct {
+	// Diagnostics are the surviving findings, sorted by file, line,
+	// column, analyzer and message.
+	Diagnostics []Diagnostic
+	// Suppressed are the findings silenced by //vc2m: directives, in the
+	// same order. They are kept so tooling can audit the escape hatch.
+	Suppressed []Diagnostic
+}
+
+// RunAnalyzers executes every analyzer over every package, applies the
+// //vc2m: suppression directives, and returns the sorted results.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) *Result {
+	res := &Result{}
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+		idx := buildDirectiveIndex(pkg.Fset, pkg.Files)
+		for _, d := range diags {
+			if idx.suppressed(d) {
+				res.Suppressed = append(res.Suppressed, d)
+			} else {
+				res.Diagnostics = append(res.Diagnostics, d)
+			}
+		}
+	}
+	sortDiagnostics(res.Diagnostics)
+	sortDiagnostics(res.Suppressed)
+	return res
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// RelativizeFiles rewrites every diagnostic's file path relative to dir
+// when possible, for stable, readable output.
+func (r *Result) RelativizeFiles(dir string) {
+	rel := func(ds []Diagnostic) {
+		for i := range ds {
+			if p, err := filepath.Rel(dir, ds[i].File); err == nil && !filepath.IsAbs(p) {
+				ds[i].File = p
+			}
+		}
+	}
+	rel(r.Diagnostics)
+	rel(r.Suppressed)
+}
+
+// WriteText renders the diagnostics one per line, compiler style, followed
+// by a summary line.
+func (r *Result) WriteText(w io.Writer) error {
+	for _, d := range r.Diagnostics {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "vc2m-lint: %d diagnostic(s), %d suppressed\n",
+		len(r.Diagnostics), len(r.Suppressed))
+	return err
+}
+
+// jsonResult fixes the JSON shape of a Result: diagnostics plus the count
+// of directive-suppressed findings.
+type jsonResult struct {
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Suppressed  int          `json:"suppressed"`
+}
+
+// WriteJSON renders the result as a single JSON object. Diagnostics is
+// always an array (never null) so consumers can index it unconditionally.
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := jsonResult{Diagnostics: r.Diagnostics, Suppressed: len(r.Suppressed)}
+	if out.Diagnostics == nil {
+		out.Diagnostics = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

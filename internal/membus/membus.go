@@ -232,5 +232,5 @@ func (b Bus) Latency(n int) timeunit.Ticks {
 		n = 1
 	}
 	stretch := 1 + b.ContentionFactor*float64(n-1)
-	return timeunit.Ticks(float64(b.BaseLatency) * stretch)
+	return b.BaseLatency.Scale(stretch)
 }

@@ -58,7 +58,12 @@ func New() *Recorder {
 func (r *Recorder) Enabled() bool { return r != nil }
 
 // Inc adds 1 to the named counter.
-func (r *Recorder) Inc(name string) { r.Add(name, 1) }
+func (r *Recorder) Inc(name string) {
+	if r == nil {
+		return
+	}
+	r.Add(name, 1)
+}
 
 // Add adds delta to the named counter, creating it at zero first. Adding a
 // zero delta registers the counter, which makes "this solution performed 0
@@ -105,8 +110,8 @@ func (r *Recorder) Time(name string) func() {
 	if r == nil {
 		return func() {}
 	}
-	start := time.Now()
-	return func() { r.Observe(name, time.Since(start).Seconds()) }
+	start := time.Now()                                            //vc2m:wallclock timers measure wall time by design
+	return func() { r.Observe(name, time.Since(start).Seconds()) } //vc2m:wallclock
 }
 
 // Counter returns the named counter's value (0 when absent).
@@ -152,19 +157,19 @@ func (r *Recorder) Snapshot() Snapshot {
 	var s Snapshot
 	if len(r.counters) > 0 {
 		s.Counters = make(map[string]int64, len(r.counters))
-		for k, v := range r.counters {
+		for k, v := range r.counters { //vc2m:ordered map-to-map copy
 			s.Counters[k] = v
 		}
 	}
 	if len(r.gauges) > 0 {
 		s.Gauges = make(map[string]float64, len(r.gauges))
-		for k, v := range r.gauges {
+		for k, v := range r.gauges { //vc2m:ordered map-to-map copy
 			s.Gauges[k] = v
 		}
 	}
 	if len(r.timers) > 0 {
 		s.Timers = make(map[string]TimerStats, len(r.timers))
-		for k, t := range r.timers {
+		for k, t := range r.timers { //vc2m:ordered map-to-map copy
 			s.Timers[k] = TimerStats{
 				N:    t.N(),
 				Min:  t.Min(),
@@ -181,7 +186,7 @@ func (r *Recorder) Snapshot() Snapshot {
 // iteration order used by every rendering.
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
-	for k := range m {
+	for k := range m { //vc2m:ordered keys are sorted below
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

@@ -43,16 +43,16 @@ func (c TraceConfig) withDefaults() TraceConfig {
 	if c.Ops == 0 {
 		c.Ops = 50000
 	}
-	if c.HitLatency == 0 {
+	if c.HitLatency == 0 { //vc2m:floateq unset-config sentinel
 		c.HitLatency = 1
 	}
-	if c.MissLatency == 0 {
+	if c.MissLatency == 0 { //vc2m:floateq unset-config sentinel
 		c.MissLatency = 20
 	}
-	if c.ComputeLatency == 0 {
+	if c.ComputeLatency == 0 { //vc2m:floateq unset-config sentinel
 		c.ComputeLatency = 1
 	}
-	if c.BWPerPartition == 0 {
+	if c.BWPerPartition == 0 { //vc2m:floateq unset-config sentinel
 		c.BWPerPartition = 0.35
 	}
 	return c

@@ -76,13 +76,13 @@ func Render(cfg Config, series ...Series) (string, error) {
 	if plottable == 0 {
 		return "", fmt.Errorf("plot: no data")
 	}
-	if cfg.YMin != cfg.YMax {
+	if cfg.YMin != cfg.YMax { //vc2m:floateq documented YMin==YMax "auto-range" sentinel
 		ymin, ymax = cfg.YMin, cfg.YMax
 	}
-	if ymax == ymin {
+	if ymax == ymin { //vc2m:floateq degenerate-range guard; widened exactly
 		ymax = ymin + 1
 	}
-	if xmax == xmin {
+	if xmax == xmin { //vc2m:floateq degenerate-range guard; widened exactly
 		xmax = xmin + 1
 	}
 

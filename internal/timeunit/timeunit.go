@@ -52,6 +52,38 @@ func (t Ticks) Millis() float64 {
 	return float64(t) / float64(TicksPerMilli)
 }
 
+// Count returns the raw number of ticks as a float64 — a dimensionless
+// count for per-tick rate arithmetic (requests = rate * elapsed.Count()).
+// Unlike Millis it performs no unit conversion; use it only where the
+// surrounding math is explicitly per-tick, never where the value meets
+// millisecond-valued numbers.
+func (t Ticks) Count() float64 {
+	return float64(t)
+}
+
+// FromCount converts a dimensionless tick count — typically produced by
+// per-tick rate arithmetic on Count values — back to Ticks, truncating
+// toward zero. It is the inverse of Count, NOT a millisecond conversion;
+// milliseconds enter through FromMillis and friends.
+func FromCount(f float64) Ticks {
+	return Ticks(f)
+}
+
+// Ratio returns a/b — the dimensionless fraction of two time spans
+// (utilizations, busy fractions, deprivation shares). The division is
+// performed directly on the tick counts, so the result is bit-identical
+// to float64(a)/float64(b) with no intermediate unit conversion.
+func Ratio(a, b Ticks) float64 {
+	return float64(a) / float64(b)
+}
+
+// Scale multiplies t by a dimensionless factor, truncating toward zero —
+// bit-compatible with the Ticks(float64(t) * f) pattern it replaces
+// (e.g. stretching a base latency by a contention factor).
+func (t Ticks) Scale(f float64) Ticks {
+	return Ticks(float64(t) * f)
+}
+
 // String formats the time in milliseconds with microsecond precision.
 func (t Ticks) String() string {
 	return fmt.Sprintf("%.3fms", t.Millis())

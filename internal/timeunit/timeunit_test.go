@@ -239,3 +239,33 @@ func TestMaxTicks(t *testing.T) {
 		t.Error("MaxTicks is not MaxInt64")
 	}
 }
+
+func TestDimensionlessHelpers(t *testing.T) {
+	// Count/FromCount/Ratio/Scale are the blessed dimensionless escape
+	// hatches; each must stay bit-identical to the raw conversion it
+	// replaces, so swapping one in never perturbs simulation results.
+	for _, v := range []Ticks{0, 1, 999, 123456789, -42} {
+		if got := v.Count(); got != float64(v) {
+			t.Errorf("Ticks(%d).Count() = %v, want %v", int64(v), got, float64(v))
+		}
+	}
+	for _, f := range []float64{0, 1, 0.4, 0.6, 1234.9, -7.5} {
+		if got := FromCount(f); got != Ticks(f) {
+			t.Errorf("FromCount(%v) = %v, want %v", f, got, Ticks(f))
+		}
+	}
+	if got := Ratio(1, 3); got != float64(1)/float64(3) {
+		t.Errorf("Ratio(1, 3) = %v", got)
+	}
+	if got := Ratio(0, 7); got != 0 {
+		t.Errorf("Ratio(0, 7) = %v, want 0", got)
+	}
+	for _, c := range []struct {
+		t Ticks
+		f float64
+	}{{1000, 1.5}, {7, 0.1}, {123456, 0.9999}, {-10, 2.5}} {
+		if got, want := c.t.Scale(c.f), Ticks(float64(c.t)*c.f); got != want {
+			t.Errorf("Ticks(%d).Scale(%v) = %v, want %v", int64(c.t), c.f, got, want)
+		}
+	}
+}

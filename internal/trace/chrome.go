@@ -58,8 +58,11 @@ func NewChromeWriter(w io.Writer) *ChromeWriter {
 	return &ChromeWriter{w: w, tids: map[chromeKey]int{}}
 }
 
-// Record implements Sink.
+// Record implements Sink. A nil writer drops everything.
 func (c *ChromeWriter) Record(ev Event) {
+	if c == nil {
+		return
+	}
 	switch ev.Type {
 	case EvExecSlice:
 		name := ev.Task
@@ -105,7 +108,7 @@ func (c *ChromeWriter) tid(core int, vcpu string) int {
 	c.tids[k] = tid
 	// Name the process once, on its first thread.
 	first := true
-	for other := range c.tids {
+	for other := range c.tids { //vc2m:ordered existence scan; no order dependence
 		if other.core == core && other != k {
 			first = false
 			break
@@ -151,8 +154,12 @@ func (c *ChromeWriter) emit(ev chromeEvent) {
 
 // Close completes the JSON document and returns the first error seen. It
 // does not close the underlying writer. Closing a writer that recorded no
-// events still produces a valid, empty trace document.
+// events still produces a valid, empty trace document; closing a nil
+// writer is a no-op.
 func (c *ChromeWriter) Close() error {
+	if c == nil {
+		return nil
+	}
 	if c.err != nil {
 		return c.err
 	}

@@ -113,7 +113,7 @@ func (r *Report) Render() string {
 	}
 	fmt.Fprintf(&b, "%d deadline miss(es)\n", len(r.Misses))
 	tasks := make([]string, 0, len(r.ByTask))
-	for id := range r.ByTask {
+	for id := range r.ByTask { //vc2m:ordered keys are sorted below
 		tasks = append(tasks, id)
 	}
 	sort.Strings(tasks)
@@ -282,10 +282,10 @@ func Diagnose(events []Event) *Report {
 				exec = taskExec[ev.Task] - job.taskExec
 			}
 			if window > 0 {
-				d.ExecFrac = float64(exec) / float64(window)
-				d.ThrottledFrac = float64(throttled) / float64(window)
-				d.StolenFrac = float64(stolen) / float64(window)
-				d.ExhaustedFrac = float64(exhausted) / float64(window)
+				d.ExecFrac = timeunit.Ratio(exec, window)
+				d.ThrottledFrac = timeunit.Ratio(throttled, window)
+				d.StolenFrac = timeunit.Ratio(stolen, window)
+				d.ExhaustedFrac = timeunit.Ratio(exhausted, window)
 			}
 			switch {
 			case d.Demand > 0 && d.WCET > 0 && d.Demand > d.WCET:

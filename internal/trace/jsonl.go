@@ -26,8 +26,12 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter {
 }
 
 // Record implements Sink. The first encoding error is retained and
-// reported by Close; subsequent events are dropped.
+// reported by Close; subsequent events are dropped. A nil writer drops
+// everything.
 func (w *JSONLWriter) Record(ev Event) {
+	if w == nil {
+		return
+	}
 	if w.err != nil {
 		return
 	}
@@ -38,12 +42,21 @@ func (w *JSONLWriter) Record(ev Event) {
 	w.n++
 }
 
-// Events returns the number of events written so far.
-func (w *JSONLWriter) Events() int { return w.n }
+// Events returns the number of events written so far (0 on nil).
+func (w *JSONLWriter) Events() int {
+	if w == nil {
+		return 0
+	}
+	return w.n
+}
 
 // Close flushes buffered output and returns the first error encountered
 // while recording or flushing. It does not close the underlying writer.
+// Closing a nil writer is a no-op.
 func (w *JSONLWriter) Close() error {
+	if w == nil {
+		return nil
+	}
 	if err := w.bw.Flush(); w.err == nil && err != nil {
 		w.err = fmt.Errorf("trace: jsonl flush: %w", err)
 	}

@@ -181,8 +181,12 @@ func NewRing(capacity int) *Memory {
 	return &Memory{cap: capacity, events: make([]Event, 0, capacity)}
 }
 
-// Record implements Sink.
+// Record implements Sink. A nil *Memory drops the event: like every hook
+// in this repository, a nil receiver is the disabled state.
 func (m *Memory) Record(ev Event) {
+	if m == nil {
+		return
+	}
 	if m.cap <= 0 {
 		m.events = append(m.events, ev)
 		return
@@ -199,16 +203,29 @@ func (m *Memory) Record(ev Event) {
 	m.full = true
 }
 
-// Len returns the number of retained events.
-func (m *Memory) Len() int { return len(m.events) }
+// Len returns the number of retained events (0 on a nil sink).
+func (m *Memory) Len() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.events)
+}
 
 // Dropped reports whether the ring has discarded events.
-func (m *Memory) Dropped() bool { return m.full }
+func (m *Memory) Dropped() bool {
+	if m == nil {
+		return false
+	}
+	return m.full
+}
 
 // Events returns the retained events in emission order. The slice is a
 // copy only when the ring has wrapped; callers must not mutate it either
-// way.
+// way. A nil sink has no events.
 func (m *Memory) Events() []Event {
+	if m == nil {
+		return nil
+	}
 	if !m.full || m.head == 0 {
 		return m.events
 	}
@@ -220,6 +237,9 @@ func (m *Memory) Events() []Event {
 
 // Reset discards everything recorded so far.
 func (m *Memory) Reset() {
+	if m == nil {
+		return
+	}
 	m.events = m.events[:0]
 	m.head = 0
 	m.full = false
