@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck lint test bench bench-smoke race cover ci determinism paper examples clean
+.PHONY: all build vet fmtcheck lint test bench bench-smoke bench-check fuzz-smoke race cover ci determinism paper examples clean
 
 all: build vet test
 
@@ -36,8 +36,30 @@ bench:
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
+# Quick run of the vc2m-bench macro suite, schema-checked against the
+# newest committed baseline under results/ — catches renamed or dropped
+# benchmarks without caring about machine-dependent values. See
+# EXPERIMENTS.md, "Benchmarking and performance regression".
+bench-check:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	base=$$(ls results/BENCH_*.json 2>/dev/null | sort | tail -1); \
+	if [ -z "$$base" ]; then echo "no committed BENCH_*.json baseline under results/"; exit 1; fi; \
+	$(GO) run ./cmd/vc2m-bench -quick -out "$$tmp" -check "$$base"
+
+# A few hundred iterations of every native fuzz target — exercises the
+# harnesses and seed corpora; real fuzzing sessions use
+# `go test -fuzz=<target> -fuzztime=5m <pkg>`.
+fuzz-smoke:
+	@set -e; \
+	for tgt in internal/model:FuzzDecodeSystem internal/model:FuzzDecodeAllocation \
+	           internal/timeunit:FuzzMillisConversions internal/timeunit:FuzzTickRoundTrips \
+	           internal/timeunit:FuzzGCDLCM internal/workload:FuzzGenerate; do \
+		pkg=$${tgt%%:*}; fn=$${tgt##*:}; \
+		$(GO) test -run=^$$ -fuzz="^$$fn$$" -fuzztime=300x ./$$pkg || exit 1; \
+	done
+
 # Everything CI runs (see .github/workflows/ci.yml), locally.
-ci: build vet fmtcheck lint test race bench-smoke determinism
+ci: build vet fmtcheck lint test race bench-smoke bench-check fuzz-smoke determinism
 
 race:
 	$(GO) test -race ./...

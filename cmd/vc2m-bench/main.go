@@ -1,0 +1,130 @@
+// vc2m-bench runs the repository's fixed macro-benchmark suite (hypersim
+// event-loop throughput, existing-CSA demand evaluation, per-allocator
+// Allocate cost, schedulability-sweep throughput) and writes a
+// machine-readable BENCH_<stamp>.json report.
+//
+// The committed reports under results/ form the performance trajectory:
+// compare two with `vc2m-bench -compare old.json new.json`, or eyeball the
+// "speedup" fields, which pit each optimized hot path against its retained
+// reference implementation. CI runs `vc2m-bench -quick -check <baseline>`
+// to catch schema drift (renamed or dropped benchmarks) without caring
+// about machine-dependent values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"vc2m/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smoke-test sizes (CI); values are not comparable to full runs")
+	runs := flag.Int("runs", 0, "repetitions per benchmark, median reported (default 3, 1 with -quick)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for the sweep benchmark")
+	out := flag.String("out", "results", "directory for BENCH_<stamp>.json ('-' writes JSON to stdout)")
+	check := flag.String("check", "", "compare the run's JSON schema against this committed baseline; exit 1 on drift")
+	compare := flag.String("compare", "", "compare a second report file against -check (no benchmarks are run)")
+	flag.Parse()
+
+	if *compare != "" {
+		if *check == "" {
+			fatal(fmt.Errorf("-compare requires -check <baseline.json>"))
+		}
+		baseRep, err := loadReport(*check)
+		if err != nil {
+			fatal(err)
+		}
+		curRep, err := loadReport(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		printComparison(baseRep, curRep)
+		return
+	}
+
+	rep, err := bench.RunAll(bench.Options{Quick: *quick, Runs: *runs, Parallel: *parallel})
+	if err != nil {
+		fatal(err)
+	}
+	rep.Stamp = time.Now().UTC().Format("20060102T150405Z") //vc2m:wallclock report stamp
+
+	for _, r := range rep.Results {
+		line := fmt.Sprintf("%-28s %14.0f %s", r.Name, r.Value, r.Metric)
+		if r.Baseline != nil {
+			line += fmt.Sprintf("  (%.2fx vs %s)", r.Speedup, r.Baseline.Name)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+
+	data, err := rep.Marshal()
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, "BENCH_"+rep.Stamp+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	if *check != "" {
+		baseRep, err := loadReport(*check)
+		if err != nil {
+			fatal(err)
+		}
+		diffs := bench.CompareSchema(baseRep, rep)
+		if len(diffs) > 0 {
+			fmt.Fprintln(os.Stderr, "benchmark schema drifted from committed baseline:")
+			for _, d := range diffs {
+				fmt.Fprintln(os.Stderr, "  -", d)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "schema matches %s\n", *check)
+	}
+}
+
+func loadReport(path string) (*bench.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return bench.ParseReport(data)
+}
+
+// printComparison renders a benchstat-style old/new table for two reports.
+func printComparison(old, new_ *bench.Report) {
+	fmt.Printf("%-28s %14s %14s %8s\n", "benchmark", "old", "new", "delta")
+	newByName := map[string]bench.Result{}
+	for _, r := range new_.Results {
+		newByName[r.Name] = r
+	}
+	for _, o := range old.Results {
+		n, ok := newByName[o.Name]
+		if !ok {
+			fmt.Printf("%-28s %14.0f %14s\n", o.Name, o.Value, "(gone)")
+			continue
+		}
+		delta := "n/a"
+		if o.Value > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(n.Value-o.Value)/o.Value)
+		}
+		fmt.Printf("%-28s %14.0f %14.0f %8s\n", o.Name, o.Value, n.Value, delta)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vc2m-bench:", err)
+	os.Exit(1)
+}

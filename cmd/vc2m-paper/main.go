@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"vc2m/internal/experiment"
 	"vc2m/internal/model"
@@ -25,6 +26,7 @@ func main() {
 	tasksets := flag.Int("tasksets", 50, "tasksets per utilization point (paper: 50)")
 	step := flag.Float64("step", 0.05, "utilization step (paper: 0.05)")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "tasksets/trials analyzed concurrently (results are identical at any value; use 1 when timing, e.g. for fig4)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -60,6 +62,7 @@ func main() {
 			UtilStep:         *step,
 			TasksetsPerPoint: *tasksets,
 			Seed:             *seed,
+			Parallel:         *parallel,
 		})
 		if err != nil {
 			fatal(err)
@@ -106,7 +109,7 @@ func main() {
 	// VM-count study (repository addition).
 	fmt.Fprintln(os.Stderr, "vm-count study...")
 	vmc, err := experiment.RunVMCount(experiment.VMCountConfig{
-		Platform: model.PlatformA, Util: 1.0, Seed: *seed,
+		Platform: model.PlatformA, Util: 1.0, Seed: *seed, Parallel: *parallel,
 	})
 	if err != nil {
 		fatal(err)
@@ -115,7 +118,7 @@ func main() {
 
 	// Partition-count and regulation-period sweeps (repository additions).
 	fmt.Fprintln(os.Stderr, "partition sweep...")
-	psweep, err := experiment.RunPartitionSweep(experiment.PartitionSweepConfig{Seed: *seed})
+	psweep, err := experiment.RunPartitionSweep(experiment.PartitionSweepConfig{Seed: *seed, Parallel: *parallel})
 	if err != nil {
 		fatal(err)
 	}
@@ -129,7 +132,7 @@ func main() {
 	writeFile(*out, "regperiod-sweep.txt", experiment.RegPeriodTable(rsweep))
 
 	fmt.Fprintln(os.Stderr, "online admission study...")
-	online, err := experiment.RunOnline(experiment.OnlineConfig{Seed: *seed})
+	online, err := experiment.RunOnline(experiment.OnlineConfig{Seed: *seed, Parallel: *parallel})
 	if err != nil {
 		fatal(err)
 	}

@@ -92,6 +92,7 @@ func Admit(existing *model.Allocation, vm *model.VM, mode CSAMode, rng *rngutil.
 			}
 		}
 		cores[host].vcpus = append(cores[host].vcpus, v)
+		cores[host].touch()
 	}
 
 	out := &model.Allocation{
@@ -169,6 +170,7 @@ func placeBest(cores []*coreState, v *model.VCPU) bool {
 		return false
 	}
 	cores[best].vcpus = append(cores[best].vcpus, v)
+	cores[best].touch()
 	return true
 }
 
@@ -226,5 +228,6 @@ func grantTo(cs *coreState, plat model.Platform, v *model.VCPU, spareCache, spar
 		cs.bw++
 		*spareBW--
 	}
+	cs.touch()
 	return true
 }

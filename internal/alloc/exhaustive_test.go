@@ -159,3 +159,37 @@ func TestAllocatorSoundAgainstExhaustive(t *testing.T) {
 			heuristicYes, exhaustiveYes)
 	}
 }
+
+// TestAllSolutionsSoundAgainstExhaustive is the randomized differential
+// sweep over every allocator the paper compares (PaperSolutions): none may
+// ever admit a system the brute-force search proves infeasible. The
+// exhaustive oracle checks flattening feasibility, which is optimal for
+// per-core EDF, so it upper-bounds every sound analysis — including the
+// overhead-aware existing CSA, whose pessimism only shrinks the set of
+// admitted systems. Instances are regenerated from independent root seeds
+// so each run covers a fresh slice of the space deterministically.
+func TestAllSolutionsSoundAgainstExhaustive(t *testing.T) {
+	solutions := PaperSolutions()
+	for _, rootSeed := range []int64{1, 77, 4099} {
+		rng := rngutil.New(rootSeed)
+		feasible := 0
+		for trial := 0; trial < 20; trial++ {
+			tasks := randomTinyTasks(rng)
+			sys := &model.System{Platform: tinyPlatform, VMs: []*model.VM{{ID: "vm", Tasks: tasks}}}
+			exhaustive := exhaustiveFeasible(tasks, tinyPlatform)
+			if exhaustive {
+				feasible++
+			}
+			for _, sol := range solutions {
+				_, err := sol.Allocate(sys, rngutil.New(rootSeed*1000+int64(trial)))
+				if err == nil && !exhaustive {
+					t.Errorf("root %d trial %d: %s admits a system the exhaustive search proves infeasible",
+						rootSeed, trial, sol.Name())
+				}
+			}
+		}
+		if feasible == 0 {
+			t.Errorf("root %d: no feasible instances generated; sweep has no power", rootSeed)
+		}
+	}
+}

@@ -66,16 +66,26 @@ type coreState struct {
 	vcpus []*model.VCPU
 	cache int
 	bw    int
+
+	// memoUtil caches util(): Phase 2 and Phase 3 (and online admission)
+	// re-evaluate each core's utilization many times between mutations, and
+	// each evaluation walks every hosted VCPU. Any mutation of vcpus, cache
+	// or bw must go through touch() to invalidate the memo.
+	memoUtil  float64
+	memoValid bool
 }
+
+// touch invalidates the memoized utilization after a mutation.
+func (cs *coreState) touch() { cs.memoValid = false }
 
 // util returns the core's total VCPU bandwidth under its current partition
 // allocation; +Inf entries (existing-CSA infeasible allocations) propagate.
 func (cs *coreState) util() float64 {
-	var u float64
-	for _, v := range cs.vcpus {
-		u += v.Bandwidth(cs.cache, cs.bw)
+	if !cs.memoValid {
+		cs.memoUtil = cs.utilAt(cs.cache, cs.bw)
+		cs.memoValid = true
 	}
-	return u
+	return cs.memoUtil
 }
 
 // utilAt evaluates the core's bandwidth under a hypothetical allocation.
@@ -148,6 +158,7 @@ func HyperLevel(vcpus []*model.VCPU, plat model.Platform, cfg HyperConfig, rng *
 		})
 	}
 
+	var scratch packScratch
 	for m := 1; m <= plat.M; m++ {
 		if plat.Cmin*m > plat.C || plat.Bmin*m > plat.B {
 			break // not enough partitions to give every core its minimum
@@ -157,7 +168,7 @@ func HyperLevel(vcpus []*model.VCPU, plat model.Platform, cfg HyperConfig, rng *
 			perm := rng.Perm(len(groups))
 			rec.Inc(MetricPermutations)
 			stop := rec.Time(MetricPhase1Seconds)
-			cores := packPhase1(groups, perm, m)
+			cores := packPhase1(groups, perm, m, &scratch)
 			stop()
 			rec.Inc(MetricPhase1Packing)
 			if ok := allocateAndBalance(cores, plat, cfg); ok {
@@ -168,16 +179,42 @@ func HyperLevel(vcpus []*model.VCPU, plat model.Platform, cfg HyperConfig, rng *
 	return nil, model.ErrNotSchedulable
 }
 
+// packScratch is the reusable working memory of packPhase1: one HyperLevel
+// search runs up to MaxIters * M packings, and without the scratch every
+// one of them allocated fresh core states and a load vector. buildAllocation
+// copies the per-core VCPU slices, so reusing the backing arrays across
+// iterations is safe.
+type packScratch struct {
+	states  []coreState
+	cores   []*coreState
+	refLoad []float64
+}
+
+func (s *packScratch) reset(m int) ([]*coreState, []float64) {
+	if cap(s.states) < m {
+		s.states = make([]coreState, m)
+		s.cores = make([]*coreState, m)
+		s.refLoad = make([]float64, m)
+	}
+	s.states = s.states[:m]
+	s.cores = s.cores[:m]
+	s.refLoad = s.refLoad[:m]
+	for i := range s.states {
+		s.states[i].vcpus = s.states[i].vcpus[:0]
+		s.states[i].cache, s.states[i].bw = 0, 0
+		s.states[i].touch()
+		s.cores[i] = &s.states[i]
+		s.refLoad[i] = 0
+	}
+	return s.cores, s.refLoad
+}
+
 // packPhase1 packs VCPUs onto m cores: clusters are visited in permutation
 // order, VCPUs within a cluster in decreasing reference utilization, each
 // placed on the core with the smallest total reference utilization so that
 // all cores end up with similar loads.
-func packPhase1(groups [][]*model.VCPU, perm []int, m int) []*coreState {
-	cores := make([]*coreState, m)
-	for i := range cores {
-		cores[i] = &coreState{}
-	}
-	refLoad := make([]float64, m)
+func packPhase1(groups [][]*model.VCPU, perm []int, m int, scratch *packScratch) []*coreState {
+	cores, refLoad := scratch.reset(m)
 	for _, g := range perm {
 		for _, v := range groups[g] {
 			best := 0
@@ -187,6 +224,7 @@ func packPhase1(groups [][]*model.VCPU, perm []int, m int) []*coreState {
 				}
 			}
 			cores[best].vcpus = append(cores[best].vcpus, v)
+			cores[best].touch()
 			refLoad[best] += v.RefBandwidth()
 		}
 	}
@@ -248,6 +286,7 @@ func allocateEven(cores []*coreState, plat model.Platform, _ *metrics.Recorder) 
 	ok := true
 	for _, cs := range cores {
 		cs.cache, cs.bw = cache, bw
+		cs.touch()
 		if !schedulable(cs.util()) {
 			ok = false
 		}
@@ -263,6 +302,7 @@ func allocateEven(cores []*coreState, plat model.Platform, _ *metrics.Recorder) 
 func allocatePhase2(cores []*coreState, plat model.Platform, rec *metrics.Recorder) bool {
 	for _, cs := range cores {
 		cs.cache, cs.bw = plat.Cmin, plat.Bmin
+		cs.touch()
 	}
 	spareCache := plat.C - plat.Cmin*len(cores)
 	spareBW := plat.B - plat.Bmin*len(cores)
@@ -314,6 +354,7 @@ func allocatePhase2(cores []*coreState, plat model.Platform, rec *metrics.Record
 			cores[bestCore].bw++
 			spareBW--
 		}
+		cores[bestCore].touch()
 	}
 }
 
@@ -335,15 +376,20 @@ func gain(old, new_ float64) float64 {
 // migration. It reports whether at least one migration happened.
 func balancePhase3(cores []*coreState, rec *metrics.Recorder) bool {
 	var migrations int64
+	var order []int // reused by every pickMigration call in this pass
 	for _, src := range cores {
 		for !schedulable(src.util()) {
-			vi, dst := pickMigration(cores, src)
+			var vi int
+			var dst *coreState
+			vi, dst, order = pickMigration(cores, src, order)
 			if vi < 0 {
 				break // nowhere to move anything
 			}
 			v := src.vcpus[vi]
 			src.vcpus = append(src.vcpus[:vi], src.vcpus[vi+1:]...)
+			src.touch()
 			dst.vcpus = append(dst.vcpus, v)
+			dst.touch()
 			migrations++
 		}
 	}
@@ -355,11 +401,12 @@ func balancePhase3(cores []*coreState, rec *metrics.Recorder) bool {
 // the largest-bandwidth VCPU on src, placed onto the schedulable core
 // whose post-migration utilization is smallest. It returns (-1, nil) when
 // no schedulable destination can accept any VCPU while staying
-// schedulable.
-func pickMigration(cores []*coreState, src *coreState) (int, *coreState) {
-	order := make([]int, len(src.vcpus))
-	for i := range order {
-		order[i] = i
+// schedulable. The scratch slice is reused for the candidate ordering and
+// returned so the caller can thread it through repeated calls.
+func pickMigration(cores []*coreState, src *coreState, scratch []int) (int, *coreState, []int) {
+	order := scratch[:0]
+	for i := range src.vcpus {
+		order = append(order, i)
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		return src.vcpus[order[a]].RefBandwidth() > src.vcpus[order[b]].RefBandwidth()
@@ -378,10 +425,10 @@ func pickMigration(cores []*coreState, src *coreState) (int, *coreState) {
 			}
 		}
 		if best != nil {
-			return vi, best
+			return vi, best, order
 		}
 	}
-	return -1, nil
+	return -1, nil, order
 }
 
 // totalOverload sums each core's utilization excess over 1, the progress

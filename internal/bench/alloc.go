@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"vc2m/internal/alloc"
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+	"vc2m/internal/workload"
+)
+
+// benchAllocators measures each paper solution's end-to-end Allocate wall
+// time over a fixed set of seeded systems — one Result per allocator, so a
+// regression in any single solution is attributable.
+func benchAllocators(opts Options) ([]Result, error) {
+	plat := model.PlatformA
+	util := 1.2
+	systems := 12
+	if opts.Quick {
+		systems = 2
+	}
+
+	gen := rngutil.New(4099)
+	seeds := rngutil.New(8191)
+	syss := make([]*model.System, systems)
+	allocSeeds := make([]int64, systems)
+	for i := range syss {
+		sys, err := workload.Generate(workload.Config{
+			Platform:      plat,
+			TargetRefUtil: util,
+			Dist:          workload.Uniform,
+		}, gen.Split())
+		if err != nil {
+			return nil, err
+		}
+		syss[i] = sys
+		allocSeeds[i] = seeds.Int63()
+	}
+
+	var out []Result
+	for _, sol := range alloc.PaperSolutions() {
+		sol := sol
+		fn := func() {
+			for i, sys := range syss {
+				// Schedulability varies by solution; only panics are
+				// failures here, the wall time is the measurement.
+				_, _ = sol.Allocate(sys, rngutil.New(allocSeeds[i]))
+			}
+		}
+		secs := medianSeconds(opts.Runs, fn)
+		out = append(out, Result{
+			Name:   "alloc/" + sanitizeName(sol.Name()),
+			Metric: "allocations_per_sec",
+			Value:  throughput(float64(systems), secs),
+			Runs:   opts.Runs,
+			Notes:  fmt.Sprintf("platform %s, util %.2f, %d systems", plat.Name, util, systems),
+		})
+	}
+	return out, nil
+}
+
+// sanitizeName converts a solution's display name into a stable slug used
+// in benchmark names (lowercase, spaces and parens collapsed to dashes).
+func sanitizeName(name string) string {
+	s := strings.ToLower(name)
+	repl := strings.NewReplacer(" ", "-", "(", "", ")", "", "/", "-", ",", "")
+	s = repl.Replace(s)
+	for strings.Contains(s, "--") {
+		s = strings.ReplaceAll(s, "--", "-")
+	}
+	return strings.Trim(s, "-")
+}

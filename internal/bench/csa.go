@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"vc2m/internal/csa"
+	"vc2m/internal/model"
+)
+
+// benchCSADemand measures the existing CSA's demand evaluation over the
+// full candidate (c,b) grid — the inner loop of ExistingVCPU and the
+// dominant cost of the existing-CSA curves (Figure 4).
+//
+// Optimized path: the precomputed flattened counts matrix with reused WCET
+// and demand buffers (Demand.DBFInto / TaskWCETsInto). Reference path: the
+// pre-memoization shape — a fresh WCET vector per candidate and per-
+// checkpoint floor recomputation, exactly dbf(t) = sum_i floor(t/p_i)*e_i
+// evaluated from scratch at every checkpoint of every candidate.
+func benchCSADemand(opts Options) (Result, error) {
+	plat := model.PlatformA
+	repeats := 40
+	if opts.Quick {
+		repeats = 2
+	}
+
+	// A fixed 24-task harmonic ladder: the 10..160 ms periods generate a
+	// 16-checkpoint demand grid, the shape the existing CSA sees on the
+	// paper's workloads, without depending on the workload generator's
+	// sampling.
+	tasks := make([]*model.Task, 24)
+	for i := range tasks {
+		period := 10.0 * float64(int(1)<<uint(i%5))
+		tasks[i] = model.SimpleTask(fmt.Sprintf("bench-t%d", i), plat, period, period*0.04)
+	}
+	periods := csa.TaskPeriods(tasks)
+	demand, err := csa.NewDemand(periods)
+	if err != nil {
+		return Result{}, err
+	}
+	cps := demand.Checkpoints()
+	candidates := (plat.C - plat.Cmin + 1) * (plat.B - plat.Bmin + 1)
+
+	// Both paths accumulate the same checksum (the sum of every demand
+	// value over the grid), so a divergence fails the benchmark instead of
+	// silently timing different work.
+	var optSum float64
+	optimized := func() {
+		optSum = 0
+		wcets := make([]float64, len(tasks))
+		dem := make([]float64, len(cps))
+		for r := 0; r < repeats; r++ {
+			for c := plat.Cmin; c <= plat.C; c++ {
+				for b := plat.Bmin; b <= plat.B; b++ {
+					demand.DBFInto(dem, csa.TaskWCETsInto(wcets, tasks, c, b))
+					for _, v := range dem {
+						optSum += v
+					}
+				}
+			}
+		}
+	}
+	var refSum float64
+	reference := func() {
+		refSum = 0
+		for r := 0; r < repeats; r++ {
+			for c := plat.Cmin; c <= plat.C; c++ {
+				for b := plat.Bmin; b <= plat.B; b++ {
+					wcets := csa.TaskWCETs(tasks, c, b)
+					for _, t := range cps {
+						var s float64
+						for i, p := range periods {
+							s += math.Floor(t/p+1e-9) * wcets[i]
+						}
+						refSum += s
+					}
+				}
+			}
+		}
+	}
+
+	optSecs := medianSeconds(opts.Runs, optimized)
+	refSecs := medianSeconds(opts.Runs, reference)
+	if math.Abs(optSum-refSum) > 1e-6*math.Max(math.Abs(refSum), 1) {
+		return Result{}, checksumMismatch("csa/demand-sweep", optSum, refSum)
+	}
+
+	ops := float64(candidates * repeats)
+	value := throughput(ops, optSecs)
+	ref := throughput(ops, refSecs)
+	res := Result{
+		Name:     "csa/demand-sweep",
+		Metric:   "candidate_evals_per_sec",
+		Value:    value,
+		Runs:     opts.Runs,
+		Baseline: &Baseline{Name: "per-checkpoint-floors", Value: ref},
+		Notes: fmt.Sprintf("%d tasks, %d checkpoints, %d (c,b) candidates x%d",
+			len(tasks), len(cps), candidates, repeats),
+	}
+	if ref > 0 {
+		res.Speedup = value / ref
+	}
+	return res, nil
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// CompareSchema checks that two reports have the same shape: the same
+// top-level fields, the same set of benchmark names, and per benchmark the
+// same metric and baseline presence. Values are free to drift — that is
+// the point of a performance baseline — but a missing or renamed benchmark
+// is a regression in coverage that CI should catch. It returns a list of
+// human-readable differences, empty when the schemas match.
+func CompareSchema(baseline, current *Report) []string {
+	var diffs []string
+	if baseline.Schema != current.Schema {
+		diffs = append(diffs, fmt.Sprintf("schema version %q vs %q", baseline.Schema, current.Schema))
+	}
+	base := indexResults(baseline.Results)
+	cur := indexResults(current.Results)
+	for _, name := range sortedKeys(base) {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("benchmark %q missing from current run", name))
+			continue
+		}
+		if b.Metric != c.Metric {
+			diffs = append(diffs, fmt.Sprintf("benchmark %q metric %q vs %q", name, b.Metric, c.Metric))
+		}
+		if (b.Baseline == nil) != (c.Baseline == nil) {
+			diffs = append(diffs, fmt.Sprintf("benchmark %q baseline presence differs", name))
+		} else if b.Baseline != nil && b.Baseline.Name != c.Baseline.Name {
+			diffs = append(diffs, fmt.Sprintf("benchmark %q baseline %q vs %q", name, b.Baseline.Name, c.Baseline.Name))
+		}
+	}
+	for _, name := range sortedKeys(cur) {
+		if _, ok := base[name]; !ok {
+			diffs = append(diffs, fmt.Sprintf("benchmark %q not in committed baseline (update the baseline)", name))
+		}
+	}
+	return diffs
+}
+
+func indexResults(rs []Result) map[string]Result {
+	out := make(map[string]Result, len(rs))
+	for _, r := range rs {
+		out[r.Name] = r
+	}
+	return out
+}
+
+func sortedKeys(m map[string]Result) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //vc2m:ordered keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ParseReport decodes a BENCH_*.json payload, rejecting unknown schema
+// versions so CI fails loudly instead of comparing incompatible shapes.
+func ParseReport(data []byte) (*Report, error) {
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: parsing report: %w", err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("bench: unsupported schema %q (want %q)", rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// Marshal renders the report as stable, indented JSON. Results keep their
+// suite order, so committed baselines diff cleanly run over run.
+func (r *Report) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+
+	"vc2m/internal/alloc"
+	"vc2m/internal/experiment"
+	"vc2m/internal/model"
+	"vc2m/internal/workload"
+)
+
+// benchSweep measures schedulability-sweep throughput in tasksets analyzed
+// per second — the workhorse of every figure in the evaluation. Optimized
+// path: the deterministic worker pool at Options.Parallel. Reference path:
+// the same sweep serial. Both produce byte-identical fraction tables (the
+// harness's determinism contract), so a divergence fails the benchmark.
+func benchSweep(opts Options) (Result, error) {
+	cfg := experiment.SchedConfig{
+		Platform:         model.PlatformA,
+		Dist:             workload.Uniform,
+		UtilMin:          0.6,
+		UtilMax:          1.4,
+		UtilStep:         0.2,
+		TasksetsPerPoint: 16,
+		Seed:             31,
+		Solutions: []alloc.Allocator{
+			&alloc.Heuristic{Mode: alloc.Flattening},
+			&alloc.Heuristic{Mode: alloc.OverheadFree},
+		},
+	}
+	if opts.Quick {
+		cfg.UtilMax = 0.8
+		cfg.TasksetsPerPoint = 4
+	}
+
+	var parRes, serRes *experiment.SchedResult
+	var runErr error
+	parCfg := cfg
+	parCfg.Parallel = opts.Parallel
+	parSecs := medianSeconds(opts.Runs, func() {
+		if runErr == nil {
+			parRes, runErr = experiment.RunSchedulability(parCfg)
+		}
+	})
+	serSecs := medianSeconds(opts.Runs, func() {
+		if runErr == nil {
+			serRes, runErr = experiment.RunSchedulability(cfg)
+		}
+	})
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	if parRes.FractionTable() != serRes.FractionTable() {
+		return Result{}, fmt.Errorf("bench experiment/sweep: parallel and serial fraction tables differ")
+	}
+
+	tasksets := float64(parRes.Tasksets)
+	value := throughput(tasksets, parSecs)
+	ref := throughput(tasksets, serSecs)
+	res := Result{
+		Name:     "experiment/sweep",
+		Metric:   "tasksets_per_sec",
+		Value:    value,
+		Runs:     opts.Runs,
+		Baseline: &Baseline{Name: "serial", Value: ref},
+		Notes: fmt.Sprintf("platform A, %d tasksets, 2 solutions, parallel=%d",
+			parRes.Tasksets, opts.Parallel),
+	}
+	if ref > 0 {
+		res.Speedup = value / ref
+	}
+	return res, nil
+}

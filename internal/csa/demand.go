@@ -23,12 +23,40 @@ var ErrHyperperiodTooLarge = errors.New("csa: hyperperiod too large for exact an
 
 // Demand precomputes the structure of a periodic taskset's EDF demand-bound
 // function so that the demand under different WCET vectors (different (c,b)
-// allocations) can be evaluated cheaply: dbf(t_k) = sum_i counts[k][i] *
-// e_i, where counts[k][i] = floor(t_k / p_i).
+// allocations) can be evaluated cheaply. Tasks sharing a period contribute
+// floor(t/p) * sum of their WCETs, so the table is built over the distinct
+// periods only: dbf(t_k) = sum_j counts[k*g+j] * E_j, where counts[k*g+j] =
+// floor(t_k / uniq_j) and E_j folds the WCETs of every task with period
+// uniq_j. The paper's workloads draw periods from a small harmonic ladder,
+// so g is typically far below the task count.
+//
+// The counts matrix is stored row-major in one contiguous slice: the
+// existing CSA evaluates it once per candidate (c,b) allocation — the
+// hottest loop in the analysis — and a flat layout keeps the inner product
+// on sequential memory with no per-row pointer chasing.
+//
+// The evaluation methods (DBF, DBFInto, DBFAt) share an internal scratch
+// buffer and must not be called concurrently on one Demand; concurrent
+// analyses build their own Demand (as ExistingVCPU does).
 type Demand struct {
 	periods     []float64
+	uniq        []float64 // distinct periods, first-appearance order
+	groupOf     []int     // task index -> index into uniq
 	checkpoints []float64
-	counts      [][]float64
+	counts      []float64 // len(checkpoints) rows of len(uniq), row-major
+	groupSums   []float64 // scratch: per-uniq WCET sums of the current vector
+}
+
+// foldWCETs accumulates the WCET vector into per-distinct-period sums.
+func (d *Demand) foldWCETs(wcets []float64) []float64 {
+	g := d.groupSums
+	for j := range g {
+		g[j] = 0
+	}
+	for i, w := range wcets {
+		g[d.groupOf[i]] += w
+	}
+	return g
 }
 
 // NewDemand builds the demand structure for implicit-deadline periodic
@@ -72,15 +100,39 @@ func NewDemand(periods []float64) (*Demand, error) {
 	}
 	sort.Float64s(cps)
 
-	counts := make([][]float64, len(cps))
-	for k, t := range cps {
-		row := make([]float64, len(periods))
-		for i, p := range periods {
-			row[i] = math.Floor(t/p + 1e-9)
+	// Group tasks by distinct period (exact equality: tasks drawn from the
+	// same ladder share bit-identical periods, and distinct values must
+	// stay distinct).
+	var uniq []float64
+	groupOf := make([]int, len(periods))
+	for i, p := range periods {
+		j := 0
+		for ; j < len(uniq); j++ {
+			if uniq[j] == p { //vc2m:floateq exact grouping of identical periods
+				break
+			}
 		}
-		counts[k] = row
+		if j == len(uniq) {
+			uniq = append(uniq, p)
+		}
+		groupOf[i] = j
 	}
-	return &Demand{periods: periods, checkpoints: cps, counts: counts}, nil
+
+	counts := make([]float64, len(cps)*len(uniq))
+	for k, t := range cps {
+		row := counts[k*len(uniq) : (k+1)*len(uniq)]
+		for j, p := range uniq {
+			row[j] = math.Floor(t/p + 1e-9)
+		}
+	}
+	return &Demand{
+		periods:     periods,
+		uniq:        uniq,
+		groupOf:     groupOf,
+		checkpoints: cps,
+		counts:      counts,
+		groupSums:   make([]float64, len(uniq)),
+	}, nil
 }
 
 // hyperperiod returns the LCM of the periods. Harmonic periods (each pair
@@ -118,29 +170,55 @@ func (d *Demand) Checkpoints() []float64 { return d.checkpoints }
 // vector (wcets[i] corresponds to periods[i]). The returned slice is
 // freshly allocated. It panics if len(wcets) != number of tasks.
 func (d *Demand) DBF(wcets []float64) []float64 {
+	return d.DBFInto(make([]float64, len(d.checkpoints)), wcets)
+}
+
+// DBFInto is DBF writing into dst, which must have one slot per checkpoint.
+// Callers evaluating many WCET vectors (one per candidate (c,b) allocation)
+// reuse one buffer across the whole search instead of allocating per
+// candidate. It returns dst.
+func (d *Demand) DBFInto(dst, wcets []float64) []float64 {
 	if len(wcets) != len(d.periods) {
 		panic("csa: DBF with wrong WCET vector length")
 	}
-	out := make([]float64, len(d.checkpoints))
-	for k, row := range d.counts {
-		var s float64
-		for i, n := range row {
-			s += n * wcets[i]
-		}
-		out[k] = s
+	if len(dst) != len(d.checkpoints) {
+		panic("csa: DBFInto with wrong destination length")
 	}
-	return out
+	g := d.foldWCETs(wcets)
+	n := len(g)
+	for k := range dst {
+		row := d.counts[k*n : (k+1)*n]
+		var s float64
+		for j, c := range row {
+			s += c * g[j]
+		}
+		dst[k] = s
+	}
+	return dst
 }
 
 // DBFAt returns the EDF demand bound dbf(t) = sum_i floor(t/p_i) * e_i for
-// an arbitrary time t.
+// an arbitrary time t. When t coincides with a precomputed checkpoint, the
+// memoized floor counts are reused instead of recomputing each floor — the
+// common case for callers walking the checkpoint grid under many candidate
+// WCET vectors.
 func (d *Demand) DBFAt(wcets []float64, t float64) float64 {
 	if len(wcets) != len(d.periods) {
 		panic("csa: DBFAt with wrong WCET vector length")
 	}
+	g := d.foldWCETs(wcets)
+	n := len(g)
+	if k := sort.SearchFloat64s(d.checkpoints, t); k < len(d.checkpoints) && d.checkpoints[k] == t { //vc2m:floateq checkpoint grid hit
+		row := d.counts[k*n : (k+1)*n]
+		var s float64
+		for j, c := range row {
+			s += c * g[j]
+		}
+		return s
+	}
 	var s float64
-	for i, p := range d.periods {
-		s += math.Floor(t/p+1e-9) * wcets[i]
+	for j, p := range d.uniq {
+		s += math.Floor(t/p+1e-9) * g[j]
 	}
 	return s
 }
@@ -180,9 +258,18 @@ func TaskPeriods(tasks []*model.Task) []float64 {
 // TaskWCETs extracts the WCET vector e_i(c,b) of a taskset under the given
 // allocation.
 func TaskWCETs(tasks []*model.Task, c, b int) []float64 {
-	out := make([]float64, len(tasks))
-	for i, t := range tasks {
-		out[i] = t.WCET.At(c, b)
+	return TaskWCETsInto(make([]float64, len(tasks)), tasks, c, b)
+}
+
+// TaskWCETsInto is TaskWCETs writing into dst (one slot per task), for
+// callers sweeping many (c,b) allocations with one reusable buffer. It
+// returns dst.
+func TaskWCETsInto(dst []float64, tasks []*model.Task, c, b int) []float64 {
+	if len(dst) != len(tasks) {
+		panic("csa: TaskWCETsInto with wrong destination length")
 	}
-	return out
+	for i, t := range tasks {
+		dst[i] = t.WCET.At(c, b)
+	}
+	return dst
 }

@@ -64,9 +64,14 @@ func ExistingVCPUMetered(tasks []*model.Task, index int, plat model.Platform, re
 	budget := model.NewResourceTableFor(plat)
 	cps := demand.Checkpoints()
 	var dbfEvals, sbfEvals, searches, iters int64
+	// One WCET vector and one demand vector are reused across every
+	// candidate (c,b) — this loop dominates the existing CSA's running time
+	// (Figure 4), and per-candidate allocations used to dominate the loop.
+	wcets := make([]float64, len(tasks))
+	dem := make([]float64, len(cps))
 	for c := plat.Cmin; c <= plat.C; c++ {
 		for b := plat.Bmin; b <= plat.B; b++ {
-			dem := demand.DBF(TaskWCETs(tasks, c, b))
+			demand.DBFInto(dem, TaskWCETsInto(wcets, tasks, c, b))
 			dbfEvals += int64(len(cps))
 			theta, ok, se, it := minBudgetForDemand(pi, cps, dem)
 			searches++

@@ -30,6 +30,12 @@ type OnlineConfig struct {
 	Trials int
 	// Seed makes the study reproducible.
 	Seed int64
+	// Parallel runs up to this many trials concurrently (0 or 1 = serial).
+	// Results are identical for every worker count: each trial's RNG
+	// stream is split off the root in trial order before the workers
+	// start, every trial works on private state, and per-trial admission
+	// counts are reduced in trial order.
+	Parallel int
 }
 
 // OnlineResult summarizes the study.
@@ -60,75 +66,103 @@ func RunOnline(cfg OnlineConfig) (*OnlineResult, error) {
 		cfg.Trials = 10
 	}
 
+	// Each trial owns one RNG stream, split off the root in trial order.
+	// (Trials used to interleave decision-dependent splits on one shared
+	// root, which made the stream — and thus the workloads — depend on how
+	// many admission decisions earlier trials took; per-trial streams make
+	// every trial self-contained and order-independent.)
 	root := rngutil.New(cfg.Seed)
-	var onlineSum, offlineSum float64
-	for trial := 0; trial < cfg.Trials; trial++ {
-		stream := make([]*model.VM, cfg.Arrivals)
-		for i := range stream {
-			sys, err := workload.Generate(workload.Config{
-				Platform:      cfg.Platform,
-				TargetRefUtil: cfg.VMUtil,
-				Dist:          workload.Uniform,
-				NumVMs:        1,
-			}, root.Split())
-			if err != nil {
-				return nil, err
-			}
-			vm := sys.VMs[0]
-			vm.ID = fmt.Sprintf("trial%d-vm%d", trial, i)
-			for _, t := range vm.Tasks {
-				t.VM = vm.ID
-				t.ID = vm.ID + "/" + t.ID
-			}
-			stream[i] = vm
-		}
-
-		// Online: start from the first VM's offline allocation, then
-		// admit greedily.
-		h := &alloc.Heuristic{Mode: alloc.Flattening}
-		online := 0
-		var current *model.Allocation
-		for _, vm := range stream {
-			if current == nil {
-				sys := &model.System{Platform: cfg.Platform, VMs: []*model.VM{vm}}
-				a, err := h.Allocate(sys, root.Split())
-				if err != nil {
-					break
-				}
-				current = a
-				online++
-				continue
-			}
-			next, err := alloc.Admit(current, vm, alloc.Flattening, root.Split())
-			if err != nil {
-				continue // rejected; later smaller VMs may still fit
-			}
-			current = next
-			online++
-		}
-		onlineSum += float64(online)
-
-		// Offline comparator: same greedy accept/skip policy, but every
-		// decision re-allocates all accepted VMs from scratch.
-		offline := 0
-		var accepted []*model.VM
-		for _, vm := range stream {
-			trial := append(append([]*model.VM(nil), accepted...), vm)
-			sys := &model.System{Platform: cfg.Platform, VMs: trial}
-			if _, err := h.Allocate(sys, root.Split()); err != nil {
-				continue
-			}
-			accepted = trial
-			offline++
-		}
-		offlineSum += float64(offline)
+	type trialResult struct {
+		online, offline int
+		err             error
 	}
+	rngs := make([]*rngutil.RNG, cfg.Trials)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+	results := make([]trialResult, cfg.Trials)
+	runIndexed(cfg.Trials, cfg.Parallel, func(trial int) {
+		online, offline, err := runOnlineTrial(cfg, trial, rngs[trial])
+		results[trial] = trialResult{online: online, offline: offline, err: err}
+	})
 
+	var onlineSum, offlineSum float64
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		onlineSum += float64(r.online)
+		offlineSum += float64(r.offline)
+	}
 	return &OnlineResult{
 		Config:          cfg,
 		OnlineAdmitted:  onlineSum / float64(cfg.Trials),
 		OfflineAdmitted: offlineSum / float64(cfg.Trials),
 	}, nil
+}
+
+// runOnlineTrial draws one arrival stream and plays it through the online
+// controller and the offline comparator. All state — the RNG stream, the
+// heuristic, the working allocations — is private to the trial, so trials
+// are safe to run concurrently and their outcomes do not depend on
+// execution order.
+func runOnlineTrial(cfg OnlineConfig, trial int, rng *rngutil.RNG) (online, offline int, err error) {
+	stream := make([]*model.VM, cfg.Arrivals)
+	for i := range stream {
+		sys, err := workload.Generate(workload.Config{
+			Platform:      cfg.Platform,
+			TargetRefUtil: cfg.VMUtil,
+			Dist:          workload.Uniform,
+			NumVMs:        1,
+		}, rng.Split())
+		if err != nil {
+			return 0, 0, err
+		}
+		vm := sys.VMs[0]
+		vm.ID = fmt.Sprintf("trial%d-vm%d", trial, i)
+		for _, t := range vm.Tasks {
+			t.VM = vm.ID
+			t.ID = vm.ID + "/" + t.ID
+		}
+		stream[i] = vm
+	}
+
+	// Online: start from the first VM's offline allocation, then admit
+	// greedily.
+	h := &alloc.Heuristic{Mode: alloc.Flattening}
+	var current *model.Allocation
+	for _, vm := range stream {
+		if current == nil {
+			sys := &model.System{Platform: cfg.Platform, VMs: []*model.VM{vm}}
+			a, err := h.Allocate(sys, rng.Split())
+			if err != nil {
+				break
+			}
+			current = a
+			online++
+			continue
+		}
+		next, err := alloc.Admit(current, vm, alloc.Flattening, rng.Split())
+		if err != nil {
+			continue // rejected; later smaller VMs may still fit
+		}
+		current = next
+		online++
+	}
+
+	// Offline comparator: same greedy accept/skip policy, but every
+	// decision re-allocates all accepted VMs from scratch.
+	var accepted []*model.VM
+	for _, vm := range stream {
+		cand := append(append([]*model.VM(nil), accepted...), vm)
+		sys := &model.System{Platform: cfg.Platform, VMs: cand}
+		if _, err := h.Allocate(sys, rng.Split()); err != nil {
+			continue
+		}
+		accepted = cand
+		offline++
+	}
+	return online, offline, nil
 }
 
 // Table renders the study.

@@ -1,0 +1,38 @@
+package experiment
+
+import "sync"
+
+// runIndexed runs fn(i) for every i in [0, n) on up to workers goroutines
+// (workers <= 1 runs inline). Determinism contract: fn must write only to
+// index-i slots of pre-sized result slices — never to shared accumulators —
+// and the caller reduces those slots in index order afterwards. Combined
+// with splitting all RNG streams off the root before the workers start,
+// this makes every harness's output independent of the worker count and of
+// goroutine scheduling.
+func runIndexed(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -11,7 +11,6 @@ import (
 	"math"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"vc2m/internal/alloc"
@@ -180,6 +179,9 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 		type job struct {
 			gen   *rngutil.RNG
 			seeds []int64
+			oks   []bool
+			secs  []float64
+			err   error
 		}
 		jobs := make([]job, cfg.TasksetsPerPoint)
 		for ts := range jobs {
@@ -192,51 +194,41 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 			jobs[ts] = job{gen: genRNG, seeds: seeds}
 		}
 
+		// Each worker writes only its own job's slots; the reduction below
+		// runs serially in taskset order, so counts and float sums are
+		// identical for every worker count.
+		runIndexed(len(jobs), workers, func(ts int) {
+			j := &jobs[ts]
+			sys, err := workload.Generate(workload.Config{
+				Platform:      cfg.Platform,
+				TargetRefUtil: u,
+				Dist:          cfg.Dist,
+			}, j.gen)
+			if err != nil {
+				j.err = err
+				return
+			}
+			j.oks = make([]bool, len(cfg.Solutions))
+			j.secs = make([]float64, len(cfg.Solutions))
+			for si, sol := range cfg.Solutions {
+				start := time.Now() //vc2m:wallclock Figure 4 measures solution wall time
+				_, err := sol.Allocate(sys, rngutil.New(j.seeds[si]))
+				j.secs[si] = time.Since(start).Seconds() //vc2m:wallclock
+				j.oks[si] = err == nil
+			}
+		})
 		schedulable := make([]int, len(cfg.Solutions))
 		elapsed := make([]float64, len(cfg.Solutions))
-		var mu sync.Mutex
-		var firstErr error
-		sem := make(chan struct{}, workers)
-		var wg sync.WaitGroup
 		for ts := range jobs {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(j job) {
-				defer func() { <-sem; wg.Done() }()
-				sys, err := workload.Generate(workload.Config{
-					Platform:      cfg.Platform,
-					TargetRefUtil: u,
-					Dist:          cfg.Dist,
-				}, j.gen)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
+			if jobs[ts].err != nil {
+				return nil, jobs[ts].err
+			}
+			for si := range cfg.Solutions {
+				if jobs[ts].oks[si] {
+					schedulable[si]++
 				}
-				oks := make([]bool, len(cfg.Solutions))
-				secs := make([]float64, len(cfg.Solutions))
-				for si, sol := range cfg.Solutions {
-					start := time.Now() //vc2m:wallclock Figure 4 measures solution wall time
-					_, err := sol.Allocate(sys, rngutil.New(j.seeds[si]))
-					secs[si] = time.Since(start).Seconds() //vc2m:wallclock
-					oks[si] = err == nil
-				}
-				mu.Lock()
-				for si := range cfg.Solutions {
-					if oks[si] {
-						schedulable[si]++
-					}
-					elapsed[si] += secs[si]
-				}
-				mu.Unlock()
-			}(jobs[ts])
-		}
-		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
+				elapsed[si] += jobs[ts].secs[si]
+			}
 		}
 		res.Tasksets += cfg.TasksetsPerPoint
 

@@ -29,6 +29,11 @@ type PartitionSweepConfig struct {
 	TasksetsPerPoint int
 	// Seed makes the sweep reproducible.
 	Seed int64
+	// Parallel runs up to this many tasksets concurrently per partition
+	// count (0 or 1 = serial). Results are identical for every worker
+	// count: all RNG streams are split off the root in order before the
+	// workers start, and outcomes are reduced in taskset order.
+	Parallel int
 }
 
 // PartitionSweepResult holds per-partition-count schedulable fractions
@@ -75,22 +80,43 @@ func RunPartitionSweep(cfg PartitionSweepConfig) (*PartitionSweepResult, error) 
 			return nil, err
 		}
 		root := rngutil.New(cfg.Seed)
-		okH, okE := 0, 0
-		for ts := 0; ts < cfg.TasksetsPerPoint; ts++ {
+		type job struct {
+			gen      *rngutil.RNG
+			seed     int64
+			okH, okE bool
+			err      error
+		}
+		jobs := make([]job, cfg.TasksetsPerPoint)
+		for ts := range jobs {
 			genRNG := root.Split()
 			allocRNG := root.Split()
+			jobs[ts] = job{gen: genRNG, seed: allocRNG.Int63()}
+		}
+		runIndexed(len(jobs), cfg.Parallel, func(ts int) {
+			j := &jobs[ts]
 			sys, err := workload.Generate(workload.Config{
 				Platform:      plat,
 				TargetRefUtil: cfg.Util,
 				Dist:          workload.Uniform,
-			}, genRNG)
+			}, j.gen)
 			if err != nil {
-				return nil, err
+				j.err = err
+				return
 			}
-			if _, err := heur.Allocate(sys, rngutil.New(allocRNG.Int63())); err == nil {
+			_, errH := heur.Allocate(sys, rngutil.New(j.seed))
+			j.okH = errH == nil
+			_, errE := even.Allocate(sys, nil)
+			j.okE = errE == nil
+		})
+		okH, okE := 0, 0
+		for ts := range jobs {
+			if jobs[ts].err != nil {
+				return nil, jobs[ts].err
+			}
+			if jobs[ts].okH {
 				okH++
 			}
-			if _, err := even.Allocate(sys, nil); err == nil {
+			if jobs[ts].okE {
 				okE++
 			}
 		}

@@ -29,6 +29,11 @@ type VMCountConfig struct {
 	TasksetsPerPoint int
 	// Seed makes the study reproducible.
 	Seed int64
+	// Parallel runs up to this many tasksets concurrently per VM count
+	// (0 or 1 = serial). Results are identical for every worker count:
+	// all RNG streams are split off the root in order before the workers
+	// start, and per-taskset outcomes are reduced in taskset order.
+	Parallel int
 }
 
 // VMCountResult holds the per-VM-count schedulable fractions.
@@ -75,21 +80,49 @@ func RunVMCount(cfg VMCountConfig) (*VMCountResult, error) {
 
 	root := rngutil.New(cfg.Seed)
 	for ci, numVMs := range counts {
-		schedulable := make([]int, len(solutions))
-		for ts := 0; ts < per; ts++ {
+		// Split each taskset's streams in order before the workers start,
+		// matching the serial consumption exactly.
+		type job struct {
+			gen   *rngutil.RNG
+			seeds []int64
+			oks   []bool
+			err   error
+		}
+		jobs := make([]job, per)
+		for ts := range jobs {
 			genRNG := root.Split()
 			allocRNG := root.Split()
+			seeds := make([]int64, len(solutions))
+			for si := range seeds {
+				seeds[si] = allocRNG.Int63()
+			}
+			jobs[ts] = job{gen: genRNG, seeds: seeds}
+		}
+		runIndexed(per, cfg.Parallel, func(ts int) {
+			j := &jobs[ts]
 			sys, err := workload.Generate(workload.Config{
 				Platform:      cfg.Platform,
 				TargetRefUtil: cfg.Util,
 				Dist:          workload.Uniform,
 				NumVMs:        numVMs,
-			}, genRNG)
+			}, j.gen)
 			if err != nil {
-				return nil, err
+				j.err = err
+				return
 			}
+			j.oks = make([]bool, len(solutions))
 			for si, sol := range solutions {
-				if _, err := sol.Allocate(sys, rngutil.New(allocRNG.Int63())); err == nil {
+				_, err := sol.Allocate(sys, rngutil.New(j.seeds[si]))
+				j.oks[si] = err == nil
+			}
+		})
+		schedulable := make([]int, len(solutions))
+		for ts := range jobs {
+			if jobs[ts].err != nil {
+				return nil, jobs[ts].err
+			}
+			for si := range solutions {
+				if jobs[ts].oks[si] {
 					schedulable[si]++
 				}
 			}

@@ -1,0 +1,82 @@
+package hypersim
+
+import (
+	"errors"
+	"testing"
+
+	"vc2m/internal/alloc"
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+	"vc2m/internal/timeunit"
+	"vc2m/internal/workload"
+)
+
+// TestAnalysisImpliesZeroMisses is the analysis<->simulation differential
+// oracle: over a population of random workloads, every allocation the CSA
+// declares schedulable must run without a single deadline miss over (two)
+// hyperperiods of simulation. The simulator quantizes demands down and
+// budgets up, so it can only be easier than the analysis assumed — a miss
+// is therefore always an analysis or simulator bug, never noise.
+//
+// Both CSA variants the paper's heuristic uses are exercised: the
+// flattening analysis and the existing (overhead-aware) CSA.
+func TestAnalysisImpliesZeroMisses(t *testing.T) {
+	modes := []struct {
+		name string
+		mode alloc.CSAMode
+	}{
+		{"flattening", alloc.Flattening},
+		{"existing-csa", alloc.ExistingCSA},
+	}
+	const seeds = 50
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			h := &alloc.Heuristic{Mode: m.mode}
+			schedulable := 0
+			for seed := int64(0); seed < seeds; seed++ {
+				sys, err := workload.Generate(workload.Config{
+					Platform:      model.PlatformA,
+					TargetRefUtil: 0.6 + 0.1*float64(seed%6),
+					Dist:          workload.Uniform,
+				}, rngutil.New(7000+seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, err := h.Allocate(sys, rngutil.New(seed))
+				if errors.Is(err, model.ErrNotSchedulable) {
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				schedulable++
+
+				// Harmonic ladder: the hyperperiod is the maximum period.
+				var hyper float64
+				for _, vm := range sys.VMs {
+					for _, task := range vm.Tasks {
+						if task.Period > hyper {
+							hyper = task.Period
+						}
+					}
+				}
+				s, err := New(a, Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := s.Run(2 * timeunit.FromMillis(hyper))
+				if res.Missed != 0 {
+					t.Errorf("seed %d: analysis (%s) schedulable but simulation missed %d deadlines (%d released)",
+						seed, m.name, res.Missed, res.Released)
+				}
+				if res.Released == 0 {
+					t.Errorf("seed %d: no jobs released over two hyperperiods", seed)
+				}
+			}
+			if schedulable < seeds/3 {
+				t.Fatalf("only %d of %d seeds schedulable; oracle has no power", schedulable, seeds)
+			}
+			t.Logf("%s: %d of %d seeds schedulable, all miss-free", m.name, schedulable, seeds)
+		})
+	}
+}

@@ -94,6 +94,14 @@ type Config struct {
 	// at no cost (one pointer check per site). RecordTrace composes with
 	// it: the Result.Trace slice view is rebuilt from the same stream.
 	Trace trace.Sink
+	// LinearDispatch selects the reference dispatch implementation: the
+	// scheduler picks the next VCPU and task by scanning the full list
+	// instead of reading the top of the ready heaps. Both implementations
+	// realize the same strict total order (EDF with the deterministic
+	// tie-breaking rule), so traces are byte-identical either way; the
+	// linear path is retained as the oracle for differential tests and
+	// the performance baseline for the bench harness.
+	LinearDispatch bool
 }
 
 // Counter names recorded on Config.Metrics at the end of Run. They mirror
@@ -131,6 +139,10 @@ type taskState struct {
 	maxLate   timeunit.Ticks
 	maxResp   timeunit.Ticks
 	responses *stats.Sample // nil unless Config.CollectResponses
+
+	// heapIdx is the task's position in its VCPU's ready heap, -1 when
+	// the task is not active (maintained by taskHeap.Swap/Push/Pop).
+	heapIdx int
 }
 
 // vcpuState is a VCPU's runtime state (a periodic server).
@@ -148,6 +160,12 @@ type vcpuState struct {
 
 	tasks []*taskState
 
+	// readyTasks is the EDF min-heap of active tasks (heap dispatch);
+	// heapIdx is this VCPU's position in its core's ready heap, -1 when
+	// the VCPU is not runnable.
+	readyTasks taskHeap
+	heapIdx    int
+
 	replenishments uint64
 	execTicks      timeunit.Ticks
 }
@@ -161,6 +179,7 @@ func (v *vcpuState) idleConsume() bool { return v.spec.WellRegulated }
 type coreState struct {
 	id            int
 	vcpus         []*vcpuState
+	ready         vcpuHeap // runnable VCPUs in EDF order (heap dispatch)
 	current       *vcpuState
 	curTask       *taskState
 	runStart      timeunit.Ticks
@@ -192,6 +211,12 @@ type Simulator struct {
 	vcpus  []*vcpuState
 	tasks  []*taskState
 	reg    *membus.Regulator
+
+	// vcpuByID and taskByID resolve the public string IDs without a
+	// linear scan; the first VCPU/task with a given ID wins, matching
+	// the scan order the lookups replaced.
+	vcpuByID map[string]*vcpuState
+	taskByID map[string]*taskState
 
 	// sink receives the typed event stream (nil when tracing is off);
 	// mem is the internal memory sink backing Result.Trace when
@@ -237,7 +262,10 @@ func New(alloc *model.Allocation, cfg Config) (*Simulator, error) {
 		OvBudgetReplenish: {},
 		OvSchedule:        {},
 		OvContextSwitch:   {},
-	}}
+	},
+		vcpuByID: make(map[string]*vcpuState),
+		taskByID: make(map[string]*taskState),
+	}
 	s.sink = cfg.Trace
 	if cfg.RecordTrace {
 		s.mem = trace.NewMemory()
@@ -252,10 +280,14 @@ func New(alloc *model.Allocation, cfg Config) (*Simulator, error) {
 		for _, v := range ca.VCPUs {
 			budgetMs := v.Budget.At(ca.Cache, ca.BW)
 			vs := &vcpuState{
-				spec:   v,
-				core:   len(s.cores),
-				period: timeunit.FromMillis(v.Period),
-				budget: timeunit.FromMillisCeil(budgetMs),
+				spec:    v,
+				core:    len(s.cores),
+				period:  timeunit.FromMillis(v.Period),
+				budget:  timeunit.FromMillisCeil(budgetMs),
+				heapIdx: -1,
+			}
+			if _, ok := s.vcpuByID[v.ID]; !ok {
+				s.vcpuByID[v.ID] = vs
 			}
 			if vs.period <= 0 {
 				return nil, fmt.Errorf("hypersim: VCPU %s period below tick resolution", v.ID)
@@ -273,6 +305,10 @@ func New(alloc *model.Allocation, cfg Config) (*Simulator, error) {
 					declared: timeunit.FromMillisFloor(declared),
 					period:   timeunit.FromMillis(task.Period),
 					vcpu:     vs,
+					heapIdx:  -1,
+				}
+				if _, ok := s.taskByID[task.ID]; !ok {
+					s.taskByID[task.ID] = ts
 				}
 				if cfg.DesyncTasks > 0 {
 					ts.offset = cfg.DesyncTasks * timeunit.Ticks(taskIdx+1)
@@ -311,11 +347,9 @@ func New(alloc *model.Allocation, cfg Config) (*Simulator, error) {
 // sets the VCPU's next release to now + delay, as the modified RTDS
 // scheduler does when the guest passes the task's first-release delay L.
 func (s *Simulator) SyncRelease(vcpuID string, delay timeunit.Ticks) error {
-	for _, v := range s.vcpus {
-		if v.spec.ID == vcpuID {
-			v.offset = s.engine.Now() + delay
-			return nil
-		}
+	if v, ok := s.vcpuByID[vcpuID]; ok {
+		v.offset = s.engine.Now() + delay
+		return nil
 	}
 	return fmt.Errorf("hypersim: unknown VCPU %q", vcpuID)
 }
@@ -327,11 +361,9 @@ func (s *Simulator) SetTaskRelease(taskID string, delay timeunit.Ticks) error {
 	if delay < 0 {
 		return fmt.Errorf("hypersim: negative release delay %v", delay)
 	}
-	for _, t := range s.tasks {
-		if t.spec.ID == taskID {
-			t.offset = s.engine.Now() + delay
-			return nil
-		}
+	if t, ok := s.taskByID[taskID]; ok {
+		t.offset = s.engine.Now() + delay
+		return nil
 	}
 	return fmt.Errorf("hypersim: unknown task %q", taskID)
 }

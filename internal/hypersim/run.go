@@ -58,6 +58,10 @@ type Result struct {
 	// (Table 1's rows).
 	ThrottleEvents   uint64
 	BWReplenishments uint64
+	// EngineSteps is the number of discrete events the underlying engine
+	// executed — the denominator for events/sec throughput in the bench
+	// harness.
+	EngineSteps uint64
 	// Overheads holds wall-clock handler cost summaries in microseconds,
 	// keyed by the Ov* constants; only populated with MeasureOverheads.
 	Overheads map[string]stats.Summary
@@ -102,6 +106,7 @@ func (s *Simulator) vcpuRelease(v *vcpuState) {
 		v.deadline = now + v.period
 		v.replenishments++
 	})
+	s.syncVCPUReady(v, true) // replenishment moves the EDF deadline
 	if s.sink != nil {
 		s.sink.Record(trace.Event{
 			Type: trace.EvVCPUReplenish, Time: s.engine.Now(),
@@ -145,6 +150,8 @@ func (s *Simulator) taskRelease(t *taskState, v *vcpuState) {
 	t.remaining = t.wcet
 	t.deadline = now + t.period
 	t.active = t.remaining > 0
+	s.syncTaskReady(t, true) // the release moves the job deadline
+	s.syncVCPUReady(v, false)
 	if s.sink != nil {
 		s.sink.Record(trace.Event{
 			Type: trace.EvJobRelease, Time: now,
@@ -250,6 +257,7 @@ func (s *Simulator) Run(horizon timeunit.Ticks) *Result {
 		Tasks:            make(map[string]TaskMetrics, len(s.tasks)),
 		ThrottleEvents:   s.throttleEvents,
 		BWReplenishments: s.regReplenishes,
+		EngineSteps:      s.engine.Steps(),
 		CoreBusy:         make([]float64, len(s.cores)),
 	}
 	if s.mem != nil {

@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"vc2m/internal/timeunit"
@@ -37,35 +36,31 @@ type event struct {
 	fn   func()
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// less is the (time, priority, sequence) total order.
+func (a *event) less(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if q[i].prio != q[j].prio {
-		return q[i].prio < q[j].prio
+	if a.prio != b.prio {
+		return a.prio < b.prio
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event simulation engine. The zero value is ready to
 // use with the clock at 0.
+//
+// The event queue is a binary min-heap stored by value in one slice. The
+// engine executes one event per scheduler slice, budget replenishment and
+// job release of every simulated run, so the queue is the hottest data
+// structure in the repository: keeping events inline (instead of the
+// container/heap pattern of one pointer allocation plus an interface
+// conversion per event) roughly halves the event-loop's allocation count
+// and keeps sift operations on contiguous memory.
 type Engine struct {
 	now    timeunit.Ticks
 	seq    uint64
-	queue  eventQueue
+	queue  []event
 	nSteps uint64
 }
 
@@ -86,7 +81,7 @@ func (e *Engine) At(t timeunit.Ticks, prio int, fn func()) {
 		panic(fmt.Sprintf("sim: event scheduled at %v, now is %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, prio: prio, seq: e.seq, fn: fn})
+	e.push(event{at: t, prio: prio, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d ticks from now.
@@ -97,12 +92,66 @@ func (e *Engine) After(d timeunit.Ticks, prio int, fn func()) {
 	e.At(e.now+d, prio, fn)
 }
 
+// push inserts ev and sifts it up to its heap position. The sift shifts
+// displaced parents down into the hole and writes ev once at its final
+// slot, instead of swapping at every level: each event carries a closure
+// pointer, so every write pays a GC write barrier, and halving the writes
+// measurably speeds up the event loop.
+func (e *Engine) push(ev event) {
+	e.queue = append(e.queue, ev)
+	q := e.queue
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ev.less(&q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = ev
+}
+
+// pop removes and returns the minimum event. It must not be called on an
+// empty queue. Like push, the sift moves the hole down and writes the
+// displaced last element once, to halve the write-barrier traffic.
+func (e *Engine) pop() event {
+	q := e.queue
+	min := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = event{} // release the closure for GC
+	e.queue = q[:n]
+	q = e.queue
+
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && q[r].less(&q[l]) {
+			child = r
+		}
+		if !q[child].less(&last) {
+			break
+		}
+		q[i] = q[child]
+		i = child
+	}
+	if n > 0 {
+		q[i] = last
+	}
+	return min
+}
+
 // Step executes the next event and reports whether one was executed.
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.pop()
 	e.now = ev.at
 	e.nSteps++
 	ev.fn()

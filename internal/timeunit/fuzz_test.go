@@ -1,0 +1,113 @@
+package timeunit
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMillisConversions checks the unit-conversion invariants over
+// arbitrary millisecond values: the three rounding modes must bracket each
+// other (Floor <= Round <= Ceil), differ by at most one tick, and invert
+// through Millis to within half a tick. Non-finite and out-of-range inputs
+// are skipped — float-to-int conversion is implementation-defined there,
+// and no caller produces them (periods and WCETs are validated positive
+// and finite upstream).
+func FuzzMillisConversions(f *testing.F) {
+	f.Add(0.0)
+	f.Add(1.0)
+	f.Add(0.0004)  // below half a tick
+	f.Add(0.0005)  // exactly half a tick
+	f.Add(1100.25) // paper-scale period with a fractional tick part
+	f.Add(-3.25)   // spans are signed
+	f.Add(1.0 / 3) // not representable in ticks
+	f.Fuzz(func(t *testing.T, ms float64) {
+		if math.IsNaN(ms) || math.IsInf(ms, 0) || math.Abs(ms) > 1e12 {
+			t.Skip("outside the conversion domain")
+		}
+		lo, mid, hi := FromMillisFloor(ms), FromMillis(ms), FromMillisCeil(ms)
+		if lo > mid || mid > hi {
+			t.Fatalf("ms=%v: rounding modes out of order: floor %d, round %d, ceil %d", ms, lo, mid, hi)
+		}
+		if hi-lo > 1 {
+			t.Fatalf("ms=%v: floor %d and ceil %d differ by more than one tick", ms, lo, hi)
+		}
+		if diff := math.Abs(mid.Millis() - ms); diff > 0.5/float64(TicksPerMilli)+1e-9 {
+			t.Fatalf("ms=%v: round trip through ticks moved by %v ms", ms, diff)
+		}
+	})
+}
+
+// FuzzTickRoundTrips checks the dimensionless tick arithmetic: Count and
+// FromCount must invert each other exactly, Scale by 1 must be the
+// identity, and Ratio of a span with itself must be exactly 1 — for every
+// tick value float64 can represent exactly (|t| < 2^53, which covers
+// ~285 years of simulated time).
+func FuzzTickRoundTrips(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(1))
+	f.Add(int64(-1))
+	f.Add(int64(1) << 52)
+	f.Add(int64(123456789))
+	f.Fuzz(func(t *testing.T, raw int64) {
+		if raw > 1<<53 || raw < -(1<<53) {
+			t.Skip("not exactly representable in float64")
+		}
+		ticks := Ticks(raw)
+		if back := FromCount(ticks.Count()); back != ticks {
+			t.Fatalf("FromCount(Count(%d)) = %d", ticks, back)
+		}
+		if scaled := ticks.Scale(1); scaled != ticks {
+			t.Fatalf("Scale(%d, 1) = %d", ticks, scaled)
+		}
+		if ticks != 0 {
+			if r := Ratio(ticks, ticks); r != 1 { //vc2m:floateq x/x is exactly 1 for finite nonzero x
+				t.Fatalf("Ratio(%d, %d) = %v", ticks, ticks, r)
+			}
+		}
+	})
+}
+
+// FuzzGCDLCM checks the number-theoretic helpers behind hyperperiod
+// computation: GCD must be non-negative and divide both inputs, and
+// whenever LCMChecked reports success its result must be a non-negative
+// common multiple consistent with a*b = gcd*lcm.
+func FuzzGCDLCM(f *testing.F) {
+	f.Add(int64(0), int64(0))
+	f.Add(int64(100000), int64(400000))
+	f.Add(int64(-6), int64(4))
+	f.Add(int64(1)<<40, int64(3))
+	f.Fuzz(func(t *testing.T, a, b int64) {
+		if a == math.MinInt64 || b == math.MinInt64 {
+			t.Skip("magnitude not representable") // |MinInt64| overflows int64
+		}
+		g := GCD(a, b)
+		if g < 0 {
+			t.Fatalf("GCD(%d, %d) = %d < 0", a, b, g)
+		}
+		if g == 0 {
+			if a != 0 || b != 0 {
+				t.Fatalf("GCD(%d, %d) = 0 with nonzero input", a, b)
+			}
+		} else {
+			if a%g != 0 || b%g != 0 {
+				t.Fatalf("GCD(%d, %d) = %d does not divide both", a, b, g)
+			}
+		}
+		l, ok := LCMChecked(a, b)
+		if !ok {
+			return
+		}
+		if a == 0 || b == 0 {
+			if l != 0 {
+				t.Fatalf("LCMChecked(%d, %d) = %d, want 0", a, b, l)
+			}
+			return
+		}
+		if l <= 0 {
+			t.Fatalf("LCMChecked(%d, %d) = %d, want positive", a, b, l)
+		}
+		if l%a != 0 || l%b != 0 {
+			t.Fatalf("LCMChecked(%d, %d) = %d is not a common multiple", a, b, l)
+		}
+	})
+}

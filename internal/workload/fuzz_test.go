@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"vc2m/internal/csa"
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+)
+
+// FuzzGenerate drives the taskset generator with arbitrary configurations
+// and seeds: it must never panic, and every system it returns must honor
+// its documented contract — the system validates, every task's period lies
+// in the paper's [100, 1100] ms harmonic ladder, and the periods are
+// pairwise harmonic (the property the CSA's hyperperiod short-circuit and
+// the well-regulated analysis both rely on).
+func FuzzGenerate(f *testing.F) {
+	f.Add(1.0, 0, 2, 0, int64(7))
+	f.Add(0.05, 1, 1, 3, int64(1)) // tiny target: VMs may end up empty
+	f.Add(4.0, 3, 5, 0, int64(99)) // heavy bimodal across many VMs
+	f.Add(math.NaN(), 0, 0, 0, int64(2))
+	f.Add(-1.0, 2, 0, 0, int64(3))
+	f.Fuzz(func(t *testing.T, util float64, dist int, numVMs int, maxTasks int, seed int64) {
+		cfg := Config{
+			Platform:      model.PlatformA,
+			TargetRefUtil: util,
+			// Dist is an enum, not external input: clamp to the valid
+			// range rather than fuzzing Sample's panic on bad values.
+			Dist:     Distribution(((dist % 4) + 4) % 4),
+			NumVMs:   numVMs % 64,
+			MaxTasks: maxTasks % 2048,
+		}
+		sys, err := Generate(cfg, rngutil.New(seed))
+		if err != nil {
+			return
+		}
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("Generate returned an invalid system: %v", err)
+		}
+		var periods []float64
+		for _, vm := range sys.VMs {
+			if len(vm.Tasks) == 0 {
+				t.Fatalf("Generate kept empty VM %q", vm.ID)
+			}
+			for _, task := range vm.Tasks {
+				if task.Period < 100-1e-9 || task.Period > 1100+1e-9 {
+					t.Fatalf("task %s period %v outside [100, 1100] ms", task.ID, task.Period)
+				}
+				periods = append(periods, task.Period)
+			}
+		}
+		if len(periods) > 0 && !csa.HarmonicPeriods(periods) {
+			t.Fatalf("generated periods are not pairwise harmonic: %v", periods)
+		}
+	})
+}
