@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck lint test bench bench-smoke bench-check fuzz-smoke race cover ci determinism paper examples clean
+.PHONY: all build vet fmtcheck lint test bench bench-smoke bench-check fuzz-smoke race cover ci determinism report-smoke paper examples clean
 
 all: build vet test
 
@@ -59,7 +59,7 @@ fuzz-smoke:
 	done
 
 # Everything CI runs (see .github/workflows/ci.yml), locally.
-ci: build vet fmtcheck lint test race bench-smoke bench-check fuzz-smoke determinism
+ci: build vet fmtcheck lint test race bench-smoke bench-check fuzz-smoke determinism report-smoke
 
 race:
 	$(GO) test -race ./...
@@ -73,6 +73,20 @@ determinism:
 	$(GO) run ./cmd/vc2m-sim $$flags -trace-jsonl $$tmp/b.jsonl > $$tmp/b.out && \
 	diff $$tmp/a.out $$tmp/b.out && diff $$tmp/a.jsonl $$tmp/b.jsonl && \
 	echo "determinism: two seeded runs byte-identical"
+
+# Report smoke: a seeded run must produce a schema-valid report JSON
+# (validated by the Go test), an explainable decision trail, and a fully
+# self-contained HTML page (no external URLs — it must open offline).
+report-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/vc2m-sim -gen-util 1.0 -gen-seed 7 -mode flattening \
+		-simulate 2200 -report-out $$tmp/run.json > /dev/null && \
+	$(GO) run ./cmd/vc2m-report generate -in $$tmp/run.json -html $$tmp/run.html && \
+	$(GO) run ./cmd/vc2m-report explain -in $$tmp/run.json t1 > /dev/null && \
+	if grep -Eq 'https?://' $$tmp/run.html; then \
+		echo "report-smoke: HTML is not self-contained (external URL found)"; exit 1; fi && \
+	VC2M_REPORT_SMOKE=$$tmp/run.json $(GO) test -count=1 -run '^TestReportSmoke$$' ./internal/report && \
+	echo "report-smoke: report JSON valid, HTML self-contained"
 
 cover:
 	$(GO) test -cover ./...

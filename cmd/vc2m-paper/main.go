@@ -18,6 +18,8 @@ import (
 	"vc2m/internal/experiment"
 	"vc2m/internal/model"
 	"vc2m/internal/profutil"
+	"vc2m/internal/provenance"
+	"vc2m/internal/report"
 	"vc2m/internal/workload"
 )
 
@@ -27,6 +29,8 @@ func main() {
 	step := flag.Float64("step", 0.05, "utilization step (paper: 0.05)")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "tasksets/trials analyzed concurrently (results are identical at any value; use 1 when timing, e.g. for fig4)")
+	provFlag := flag.Bool("provenance", false, "record per-taskset accept/reject provenance across all figure sweeps (implied by -report-out)")
+	reportOut := flag.String("report-out", "", "write one unified sweep report JSON covering all figures here (inspect with vc2m-report)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -53,6 +57,13 @@ func main() {
 		{"fig3b", model.PlatformA, workload.BimodalMedium},
 		{"fig3c", model.PlatformA, workload.BimodalHeavy},
 	}
+	// One recorder spans all sweeps; the per-figure ProvenanceLabel keeps
+	// the sweep cases distinguishable ("fig3a/u=1.00/ts=7").
+	var prov *provenance.Recorder
+	if *provFlag || *reportOut != "" {
+		prov = provenance.New()
+	}
+
 	var fig2a *experiment.SchedResult
 	for _, fig := range figures {
 		fmt.Fprintf(os.Stderr, "%s (platform %s, %s)...\n", fig.name, fig.plat.Name, fig.dist)
@@ -63,6 +74,8 @@ func main() {
 			TasksetsPerPoint: *tasksets,
 			Seed:             *seed,
 			Parallel:         *parallel,
+			Provenance:       prov,
+			ProvenanceLabel:  fig.name,
 		})
 		if err != nil {
 			fatal(err)
@@ -72,6 +85,19 @@ func main() {
 		}
 		writeFile(*out, fig.name+".txt", res.FractionTable()+"\n"+res.Summary())
 		writeCSV(*out, fig.name+".csv", res.WriteFractionsCSV)
+	}
+	if *reportOut != "" {
+		doc := report.BuildSweep(report.SweepInput{
+			Title:      fmt.Sprintf("vc2m-paper figure sweeps (seed %d)", *seed),
+			Seed:       *seed,
+			Platform:   model.PlatformA,
+			Sweep:      fig2a.ReportSweep(),
+			Provenance: prov,
+		})
+		if err := report.Save(*reportOut, doc); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote report to %s (inspect with vc2m-report)\n", *reportOut)
 	}
 
 	// Figure 4: running times come from the fig2a sweep (same workloads).

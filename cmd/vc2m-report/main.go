@@ -1,0 +1,135 @@
+// vc2m-report works with the unified run reports produced by the other
+// vC2M tools' -report-out flag (see package internal/report): it renders
+// the JSON document as a self-contained HTML page, diffs two documents
+// (identically-seeded runs must diff clean), and reconstructs the decision
+// trail for a task, VCPU, core or sweep case — answering "why was this
+// placed here?" and "which resource was binding when this was rejected?".
+//
+// Usage:
+//
+//	vc2m-report generate -in run.json [-html run.html]
+//	vc2m-report diff a.json b.json
+//	vc2m-report explain -in run.json <task|vcpu|core|case>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vc2m/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "generate":
+		cmdGenerate(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	case "explain":
+		cmdExplain(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "vc2m-report: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `vc2m-report <subcommand>:
+  generate -in run.json [-html run.html]   validate the report and render HTML
+  diff <a.json> <b.json>                   compare two reports (exit 0 iff identical)
+  explain -in run.json <subject>           reconstruct a subject's decision trail
+`)
+}
+
+// cmdGenerate validates the document and renders the HTML page. With no
+// -html flag the HTML goes to stdout, so the subcommand doubles as a
+// validator (`vc2m-report generate -in run.json >/dev/null`).
+func cmdGenerate(args []string) {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	in := fs.String("in", "", "input report JSON (required)")
+	htmlOut := fs.String("html", "", "write the HTML rendering here (default stdout)")
+	parseInto(fs, args)
+	if *in == "" {
+		fatal(fmt.Errorf("generate: -in is required"))
+	}
+	doc, err := report.Load(*in)
+	if err != nil {
+		fatal(err)
+	}
+	page := report.RenderHTML(doc)
+	if *htmlOut == "" {
+		fmt.Print(page)
+		return
+	}
+	if err := os.WriteFile(*htmlOut, []byte(page), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d decision(s), kind %s)\n", *htmlOut, len(doc.Decisions), doc.Kind)
+}
+
+// cmdDiff exits 0 iff the two documents are identical — the acceptance
+// check for reproducibility of identically-seeded runs.
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	parseInto(fs, args)
+	if fs.NArg() != 2 {
+		fatal(fmt.Errorf("diff: need exactly two report files, got %d", fs.NArg()))
+	}
+	a, err := report.Load(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	b, err := report.Load(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	diffs := report.Diff(a, b)
+	if len(diffs) == 0 {
+		fmt.Printf("reports identical (%d decision(s))\n", len(a.Decisions))
+		return
+	}
+	fmt.Printf("%d difference(s):\n", len(diffs))
+	for _, d := range diffs {
+		fmt.Println("  " + d)
+	}
+	os.Exit(1)
+}
+
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	in := fs.String("in", "", "input report JSON (required)")
+	parseInto(fs, args)
+	if *in == "" {
+		fatal(fmt.Errorf("explain: -in is required"))
+	}
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("explain: need exactly one subject (a task, VCPU, \"core N\" or sweep case), got %d args", fs.NArg()))
+	}
+	doc, err := report.Load(*in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(report.Explain(doc, fs.Arg(0)))
+}
+
+// parseInto parses args, tolerating flags placed after positional
+// arguments (e.g. `explain run.json -in run.json` is still an error, but
+// `explain -in run.json t3` works as expected).
+func parseInto(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vc2m-report:", err)
+	os.Exit(1)
+}

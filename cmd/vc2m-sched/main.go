@@ -22,6 +22,8 @@ import (
 	"vc2m/internal/model"
 	"vc2m/internal/plot"
 	"vc2m/internal/profutil"
+	"vc2m/internal/provenance"
+	"vc2m/internal/report"
 	"vc2m/internal/workload"
 )
 
@@ -39,6 +41,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "tasksets analyzed concurrently (results are identical at any value; use 1 when timing)")
 	showMetrics := flag.Bool("metrics", false, "collect and print per-solution search-effort metrics (dbf/sbf evaluations, phase timings, ...)")
 	metricsCSV := flag.String("metrics-csv", "", "also write the per-solution metrics to this CSV file (implies -metrics)")
+	provFlag := flag.Bool("provenance", false, "record per-taskset accept/reject provenance (implied by -report-out)")
+	reportOut := flag.String("report-out", "", "write a unified sweep report JSON here (inspect with vc2m-report)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -68,6 +72,11 @@ func main() {
 		Parallel:         *parallel,
 		CollectMetrics:   *showMetrics || *metricsCSV != "",
 	}
+	var prov *provenance.Recorder
+	if *provFlag || *reportOut != "" {
+		prov = provenance.New()
+		cfg.Provenance = prov
+	}
 	if !*quiet {
 		cfg.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rutilization points: %d/%d", done, total)
@@ -83,6 +92,27 @@ func main() {
 	}
 	fmt.Println(res.FractionTable())
 	fmt.Println(res.Summary())
+
+	if *reportOut != "" {
+		doc := report.BuildSweep(report.SweepInput{
+			Title:      fmt.Sprintf("vc2m-sched %s/%s sweep (seed %d)", plat.Name, d, *seed),
+			Seed:       *seed,
+			Platform:   plat,
+			Sweep:      res.ReportSweep(),
+			Provenance: prov,
+		})
+		if err := report.Save(*reportOut, doc); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote report to %s (inspect with vc2m-report)\n", *reportOut)
+	}
+	if *provFlag && prov != nil {
+		pareto := report.RejectionPareto(&report.Document{Decisions: prov.Decisions()})
+		fmt.Printf("# %d decision(s) recorded; rejections by binding resource:\n", prov.Len())
+		for _, e := range pareto {
+			fmt.Printf("  %-6s %d\n", e.Resource, e.Count)
+		}
+	}
 
 	if cfg.CollectMetrics {
 		fmt.Println("# per-solution search-effort metrics")

@@ -18,9 +18,11 @@ import (
 	"os"
 
 	"vc2m"
+	"vc2m/internal/alloc"
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
 	"vc2m/internal/profutil"
+	"vc2m/internal/report"
 )
 
 func main() {
@@ -40,6 +42,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the simulation's flight-recorder trace as Chrome trace-event JSON (open in ui.perfetto.dev)")
 	traceJSONL := flag.String("trace-jsonl", "", "write the simulation's flight-recorder trace as JSON lines (replay with vc2m-trace)")
 	diagnose := flag.Bool("diagnose", false, "on deadline misses, print a per-task miss-cause breakdown")
+	provFlag := flag.Bool("provenance", false, "record the allocator's decision stream and print it after the run")
+	reportOut := flag.String("report-out", "", "write a unified run report JSON here (implies -provenance; inspect with vc2m-report)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -80,11 +84,21 @@ func main() {
 	if *showMetrics || *metricsCSV != "" {
 		rec = vc2m.NewMetrics()
 	}
+	var prov *vc2m.ProvenanceRecorder
+	if *provFlag || *reportOut != "" {
+		prov = vc2m.NewProvenance()
+	}
+	run := reportRun{path: *reportOut, mode: *mode, seed: *genSeed, sys: sys, metrics: rec, prov: prov}
 
-	a, err := vc2m.Allocate(sys, vc2m.Options{Mode: m, Seed: *seed, Metrics: rec})
+	a, err := vc2m.Allocate(sys, vc2m.Options{Mode: m, Seed: *seed, Metrics: rec, Provenance: prov})
 	if err != nil {
+		// The rejection is itself a result: persist the decision trail
+		// (with the binding resource) before exiting non-zero.
+		run.rejection = err
+		run.write()
 		fatal(err)
 	}
+	run.alloc = a
 	fmt.Print(a.Report())
 
 	if *out != "" {
@@ -100,22 +114,35 @@ func main() {
 
 	if *simulate > 0 {
 		sink, closeSinks := openTraceSinks(*traceOut, *traceJSONL)
-		recordTrace := *gantt > 0 || *diagnose
+		recordTrace := *gantt > 0 || *diagnose || *reportOut != ""
 		res, err := vc2m.Simulate(a, *simulate, vc2m.SimOptions{RecordTrace: recordTrace, Trace: sink, Metrics: rec})
 		if err != nil {
 			fatal(err)
 		}
 		closeSinks()
+		run.sim = res
 		fmt.Printf("simulated %.0f ms: %d jobs released, %d completed, %d deadline misses\n",
 			*simulate, res.Released, res.Completed, res.Missed)
 		if *gantt > 0 {
 			fmt.Print(vc2m.RenderGantt(res, 0, *gantt, 100))
 		}
-		if *diagnose && res.Missed > 0 {
-			fmt.Print(vc2m.DiagnoseMisses(res.Events).Render())
+		if res.Missed > 0 && recordTrace {
+			run.diag = vc2m.DiagnoseMisses(res.Events)
+		}
+		if *diagnose && run.diag != nil {
+			fmt.Print(run.diag.Render())
 		}
 		if res.Missed > 0 {
+			run.write()
 			fatal(fmt.Errorf("allocation declared schedulable but missed deadlines"))
+		}
+	}
+	run.write()
+
+	if *provFlag && prov != nil {
+		fmt.Printf("# %d allocation decision(s)\n", prov.Len())
+		for _, d := range prov.Decisions() {
+			fmt.Println(report.FormatDecision(d))
 		}
 	}
 
@@ -131,6 +158,62 @@ func main() {
 	if err := stopProf(); err != nil {
 		fatal(err)
 	}
+}
+
+// reportRun accumulates the sections of the unified run report as the
+// driver progresses, so the document can be written at whichever point the
+// run ends (allocation rejection, deadline misses, or clean completion).
+type reportRun struct {
+	path      string
+	mode      string
+	seed      int64
+	sys       *vc2m.System
+	alloc     *vc2m.Allocation
+	rejection error
+	sim       *vc2m.SimResult
+	diag      *vc2m.MissReport
+	metrics   *vc2m.MetricsRecorder
+	prov      *vc2m.ProvenanceRecorder
+}
+
+// write builds and saves the report document; a no-op without -report-out.
+func (r *reportRun) write() {
+	if r.path == "" {
+		return
+	}
+	in := report.RunInput{
+		Title:      fmt.Sprintf("vc2m-sim %s run (seed %d)", r.mode, r.seed),
+		Seed:       r.seed,
+		Mode:       r.mode,
+		Platform:   r.sys.Platform,
+		Allocation: r.alloc,
+		Rejection:  toRejection(r.rejection),
+		Sim:        r.sim,
+		Diagnosis:  r.diag,
+		Metrics:    r.metrics,
+		Provenance: r.prov,
+	}
+	if err := report.Save(r.path, report.BuildRun(in)); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote report to %s (inspect with vc2m-report)\n", r.path)
+}
+
+// toRejection translates an allocator error into the report's rejection
+// section, preserving the binding resource(s) of a RejectionError.
+func toRejection(err error) *report.Rejection {
+	if err == nil {
+		return nil
+	}
+	rej := &report.Rejection{Reason: err.Error(), Violated: []string{"cpu"}}
+	if re, ok := alloc.AsRejection(err); ok {
+		rej.Stage = re.Stage
+		rej.Violated = rej.Violated[:0]
+		for _, r := range re.Violated {
+			rej.Violated = append(rej.Violated, string(r))
+		}
+	}
+	return rej
 }
 
 // openTraceSinks builds the flight-recorder sink requested by the

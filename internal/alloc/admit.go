@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vc2m/internal/model"
+	"vc2m/internal/provenance"
 	"vc2m/internal/rngutil"
 )
 
@@ -18,9 +19,17 @@ import (
 // utilization most, mirroring Phase 2 of the offline algorithm.
 //
 // On success a new Allocation is returned (the input is not modified); on
-// failure ErrNotSchedulable is returned and the running system is
-// untouched — exactly the contract an online admission controller needs.
+// failure ErrNotSchedulable (diagnosed as a *RejectionError naming every
+// violated resource, not just the first one checked) is returned and the
+// running system is untouched — exactly the contract an online admission
+// controller needs.
 func Admit(existing *model.Allocation, vm *model.VM, mode CSAMode, rng *rngutil.RNG) (*model.Allocation, error) {
+	return AdmitProv(existing, vm, mode, rng, nil)
+}
+
+// AdmitProv is Admit with decision provenance: placements, spare-partition
+// grants and the rejection diagnosis are recorded on prov (nil-safe).
+func AdmitProv(existing *model.Allocation, vm *model.VM, mode CSAMode, rng *rngutil.RNG, prov *provenance.Recorder) (*model.Allocation, error) {
 	if existing == nil || !existing.Schedulable {
 		return nil, fmt.Errorf("alloc: Admit requires an existing schedulable allocation")
 	}
@@ -35,7 +44,7 @@ func Admit(existing *model.Allocation, vm *model.VM, mode CSAMode, rng *rngutil.
 			firstIndex = v.Index + 1
 		}
 	}
-	newVCPUs, err := VMLevel(vm, plat, VMLevelConfig{Mode: mode}, firstIndex, rng)
+	newVCPUs, err := VMLevel(vm, plat, VMLevelConfig{Mode: mode, Provenance: prov}, firstIndex, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +83,17 @@ func Admit(existing *model.Allocation, vm *model.VM, mode CSAMode, rng *rngutil.
 	}
 
 	for _, v := range newVCPUs {
-		if placeBest(cores, v) {
+		if placed := placeBest(cores, v); placed >= 0 {
+			if prov.Enabled() {
+				cs := cores[placed]
+				prov.Record(provenance.Decision{
+					Stage: provenance.StageAdmit, Kind: provenance.KindPlace,
+					Subject: v.ID, Target: fmt.Sprintf("core %d", coreIDs[placed]),
+					Cache: cs.cache, BW: cs.bw,
+					Value: cs.util(), Accepted: true,
+					Reason: "smallest post-placement utilization among feasible cores",
+				})
+			}
 			continue
 		}
 		// No core fits under current partitions: pick the host that would
@@ -84,15 +103,65 @@ func Admit(existing *model.Allocation, vm *model.VM, mode CSAMode, rng *rngutil.
 		// which would then become feasible.
 		host := chooseGrowableHost(cores, plat, v, spareCache, spareBW)
 		if host < 0 {
-			return nil, model.ErrNotSchedulable
+			re := &RejectionError{
+				Stage: provenance.StageAdmit,
+				Reason: fmt.Sprintf("VCPU %s of VM %s fits on no core even after granting every spare partition (%d cache, %d bw left)",
+					v.ID, vm.ID, spareCache, spareBW),
+				Violated: admitHopeless(cores, plat, v, spareCache, spareBW).violated(),
+			}
+			if prov.Enabled() {
+				prov.Record(provenance.Decision{
+					Stage: provenance.StageAdmit, Kind: provenance.KindReject,
+					Subject: v.ID, Value: v.RefBandwidth(),
+					Reason: re.Reason, Violated: re.Violated,
+				})
+			}
+			return nil, re
 		}
 		for !fitsOn(cores[host], v) {
-			if !grantTo(cores[host], plat, v, &spareCache, &spareBW) {
-				return nil, model.ErrNotSchedulable
+			granted, isCache := grantTo(cores[host], plat, v, &spareCache, &spareBW)
+			if !granted {
+				re := &RejectionError{
+					Stage: provenance.StageAdmit,
+					Reason: fmt.Sprintf("no spare partition still helps VCPU %s on core %d (%d cache, %d bw left)",
+						v.ID, coreIDs[host], spareCache, spareBW),
+					Violated: grantViolations(cores[host], plat, v, spareCache, spareBW).violated(),
+				}
+				if prov.Enabled() {
+					prov.Record(provenance.Decision{
+						Stage: provenance.StageAdmit, Kind: provenance.KindReject,
+						Subject: v.ID, Target: fmt.Sprintf("core %d", coreIDs[host]),
+						Cache: cores[host].cache, BW: cores[host].bw,
+						Reason: re.Reason, Violated: re.Violated,
+					})
+				}
+				return nil, re
+			}
+			if prov.Enabled() {
+				kind := provenance.Cache
+				if !isCache {
+					kind = provenance.BW
+				}
+				prov.Record(provenance.Decision{
+					Stage: provenance.StageAdmit, Kind: provenance.KindGrant,
+					Subject: fmt.Sprintf("core %d", coreIDs[host]), Target: string(kind),
+					Cache: cores[host].cache, BW: cores[host].bw, Accepted: true,
+					Reason: fmt.Sprintf("spare %s partition granted so VCPU %s can fit", kind, v.ID),
+				})
 			}
 		}
 		cores[host].vcpus = append(cores[host].vcpus, v)
 		cores[host].touch()
+		if prov.Enabled() {
+			cs := cores[host]
+			prov.Record(provenance.Decision{
+				Stage: provenance.StageAdmit, Kind: provenance.KindPlace,
+				Subject: v.ID, Target: fmt.Sprintf("core %d", coreIDs[host]),
+				Cache: cs.cache, BW: cs.bw,
+				Value: cs.util(), Accepted: true,
+				Reason: "placed after growing the host with spare partitions",
+			})
+		}
 	}
 
 	out := &model.Allocation{
@@ -153,8 +222,8 @@ func Release(existing *model.Allocation, vmID string) (*model.Allocation, error)
 }
 
 // placeBest puts v on the feasible core with the smallest resulting
-// utilization; reports success.
-func placeBest(cores []*coreState, v *model.VCPU) bool {
+// utilization and returns that core's index, or -1 when no core fits.
+func placeBest(cores []*coreState, v *model.VCPU) int {
 	best := -1
 	bestUtil := 0.0
 	for i, cs := range cores {
@@ -167,11 +236,11 @@ func placeBest(cores []*coreState, v *model.VCPU) bool {
 		}
 	}
 	if best == -1 {
-		return false
+		return -1
 	}
 	cores[best].vcpus = append(cores[best].vcpus, v)
 	cores[best].touch()
-	return true
+	return best
 }
 
 // fitsOn reports whether v fits on the core under its current partitions.
@@ -207,9 +276,10 @@ func chooseGrowableHost(cores []*coreState, plat model.Platform, v *model.VCPU, 
 }
 
 // grantTo gives the host one spare partition, cache or BW, whichever
-// reduces the host's prospective utilization (including v) more; reports
-// whether a grant with positive effect happened.
-func grantTo(cs *coreState, plat model.Platform, v *model.VCPU, spareCache, spareBW *int) bool {
+// reduces the host's prospective utilization (including v) more; it
+// reports whether a grant with positive effect happened and which kind
+// it was.
+func grantTo(cs *coreState, plat model.Platform, v *model.VCPU, spareCache, spareBW *int) (granted, isCache bool) {
 	cur := cs.util() + v.Bandwidth(cs.cache, cs.bw)
 	gainCache, gainBW := 0.0, 0.0
 	if *spareCache > 0 && cs.cache < plat.C {
@@ -220,14 +290,60 @@ func grantTo(cs *coreState, plat model.Platform, v *model.VCPU, spareCache, spar
 	}
 	switch {
 	case gainCache <= schedEps && gainBW <= schedEps:
-		return false
+		return false, false
 	case gainCache >= gainBW:
 		cs.cache++
 		*spareCache--
+		isCache = true
 	default:
 		cs.bw++
 		*spareBW--
 	}
 	cs.touch()
-	return true
+	return true, isCache
+}
+
+// grantViolations classifies a grantTo failure, naming EVERY resource that
+// blocked the admission rather than whichever check happened first: a
+// resource is violated when one more partition of it would still reduce
+// the prospective utilization (so the core is starved of it) but the spare
+// pool is empty; when no partition helps at all the admission is
+// CPU-bound.
+func grantViolations(cs *coreState, plat model.Platform, v *model.VCPU, spareCache, spareBW int) failCause {
+	cur := cs.util() + v.Bandwidth(cs.cache, cs.bw)
+	var f failCause
+	if cs.cache < plat.C && gain(cur, cs.utilAt(cs.cache+1, cs.bw)+v.Bandwidth(cs.cache+1, cs.bw)) > schedEps && spareCache == 0 {
+		f.cache = true
+	}
+	if cs.bw < plat.B && gain(cur, cs.utilAt(cs.cache, cs.bw+1)+v.Bandwidth(cs.cache, cs.bw+1)) > schedEps && spareBW == 0 {
+		f.bw = true
+	}
+	if !f.cache && !f.bw {
+		f.cpu = true
+	}
+	return f
+}
+
+// admitHopeless classifies a chooseGrowableHost failure: for every core,
+// either the VCPU is CPU-bound (over 1 even under the platform's full
+// partitions) or the spare pool is too small to grow the core far enough
+// (cache- and/or BW-starved). The union across cores names every binding
+// resource.
+func admitHopeless(cores []*coreState, plat model.Platform, v *model.VCPU, spareCache, spareBW int) failCause {
+	var f failCause
+	for _, cs := range cores {
+		if !schedulable(cs.utilAt(plat.C, plat.B) + v.Bandwidth(plat.C, plat.B)) {
+			f.cpu = true
+			continue
+		}
+		// The core would fit v under full partitions; the spare pool is
+		// what stopped it from getting there.
+		if cs.cache+spareCache < plat.C {
+			f.cache = true
+		}
+		if cs.bw+spareBW < plat.B {
+			f.bw = true
+		}
+	}
+	return f
 }

@@ -5,10 +5,12 @@ import (
 	"math"
 	"sort"
 
+	"vc2m/internal/binpack"
 	"vc2m/internal/csa"
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
 	"vc2m/internal/parsec"
+	"vc2m/internal/provenance"
 )
 
 // baselineWCET returns a task's worst-case WCET as the baseline solution
@@ -32,9 +34,10 @@ func baselineWCET(t *model.Task, plat model.Platform) float64 {
 // the feasible VCPU whose resulting bandwidth is highest (tightest fit),
 // where feasibility means the recomputed minimum periodic-resource budget
 // still fits within the VCPU period. A new VCPU is opened when no
-// existing one can take the task. It returns nil when some task is
-// infeasible even on a dedicated VCPU.
-func packExistingVCPUs(vm *model.VM, plat model.Platform, firstIndex int, rec *metrics.Recorder) []*model.VCPU {
+// existing one can take the task. It returns (nil, task) when some task is
+// infeasible even on a dedicated VCPU, naming the offender so rejections
+// can be attributed.
+func packExistingVCPUs(vm *model.VM, plat model.Platform, firstIndex int, rec *metrics.Recorder) ([]*model.VCPU, *model.Task) {
 	type bin struct {
 		tasks  []*model.Task
 		theta  float64 // current minimum budget
@@ -94,7 +97,7 @@ func packExistingVCPUs(vm *model.VM, plat model.Platform, firstIndex int, rec *m
 		}
 		theta, period, ok := tryPack([]*model.Task{t})
 		if !ok {
-			return nil // task infeasible even alone
+			return nil, t // task infeasible even alone
 		}
 		bins = append(bins, &bin{tasks: []*model.Task{t}, theta: theta, period: period})
 	}
@@ -110,42 +113,63 @@ func packExistingVCPUs(vm *model.VM, plat model.Platform, firstIndex int, rec *m
 			Tasks:  append([]*model.Task(nil), bn.tasks...),
 		}
 	}
-	return out
+	return out, nil
 }
 
 // packVCPUsToCores places VCPUs onto at most m cores with best-fit
 // decreasing on bandwidth under the (cache, bw) allocation every core will
-// receive. It returns the per-core VCPU lists, or nil if some VCPU fits on
-// no core.
-func packVCPUsToCores(vcpus []*model.VCPU, m, cache, bw int) [][]*model.VCPU {
-	order := append([]*model.VCPU(nil), vcpus...)
-	sort.SliceStable(order, func(a, b int) bool {
-		ba, bb := order[a].Bandwidth(cache, bw), order[b].Bandwidth(cache, bw)
-		if ba != bb { //vc2m:floateq exact tie-break keeps the sort a strict weak order
-			return ba > bb
-		}
-		return order[a].Index < order[b].Index
-	})
+// receive, delegating the packing itself to binpack.PackDecreasing (VCPUs
+// arrive in index order, so binpack's original-index tie-break matches the
+// VCPU-index tie-break used before the delegation). It returns the
+// per-core VCPU lists, or nil if some VCPU fits on no core; per-VCPU
+// placements and misfits are recorded on prov (nil-safe).
+func packVCPUsToCores(vcpus []*model.VCPU, m, cache, bw int, prov *provenance.Recorder) [][]*model.VCPU {
+	sizes := make([]float64, len(vcpus))
+	for i, v := range vcpus {
+		sizes[i] = v.Bandwidth(cache, bw)
+	}
+	res := binpack.PackDecreasing(sizes, m, 1, binpack.BestFit)
+	if prov.Enabled() {
+		recordBinpack(prov, res, vcpus, sizes, m, cache, bw)
+	}
+	if !res.OK {
+		return nil
+	}
 	cores := make([][]*model.VCPU, m)
-	loads := make([]float64, m)
-	for _, v := range order {
-		need := v.Bandwidth(cache, bw)
-		best := -1
-		for c := 0; c < m; c++ {
-			if loads[c]+need > 1+schedEps {
-				continue
+	for i, v := range vcpus {
+		cores[res.Assign[i]] = append(cores[res.Assign[i]], v)
+	}
+	// Restore the pre-delegation within-core order (decreasing bandwidth,
+	// index tie-break): downstream output is ordered by it.
+	for _, vs := range cores {
+		sort.SliceStable(vs, func(a, b int) bool {
+			ba, bb := vs[a].Bandwidth(cache, bw), vs[b].Bandwidth(cache, bw)
+			if ba != bb { //vc2m:floateq exact tie-break keeps the sort a strict weak order
+				return ba > bb
 			}
-			if best == -1 || loads[c] > loads[best] {
-				best = c // best-fit: highest current load that still fits
-			}
-		}
-		if best == -1 {
-			return nil
-		}
-		cores[best] = append(cores[best], v)
-		loads[best] += need
+			return vs[a].Index < vs[b].Index
+		})
 	}
 	return cores
+}
+
+// recordBinpack emits one place decision per packed VCPU.
+func recordBinpack(prov *provenance.Recorder, res binpack.Result, vcpus []*model.VCPU, sizes []float64, m, cache, bw int) {
+	for i, v := range vcpus {
+		d := provenance.Decision{
+			Stage: provenance.StageBinpack, Kind: provenance.KindPlace,
+			Subject: v.ID, Cache: cache, BW: bw, Value: sizes[i],
+		}
+		if res.Assign[i] >= 0 {
+			d.Target = fmt.Sprintf("core %d", res.Assign[i])
+			d.Accepted = true
+			d.Reason = "best-fit decreasing on bandwidth (value = VCPU bandwidth)"
+		} else {
+			d.Reason = fmt.Sprintf("bandwidth %.4g fits on none of %d cores (best-fit decreasing)", sizes[i], m)
+			d.Violated = []provenance.Resource{provenance.CPU}
+		}
+		prov.Record(d)
+	}
 }
 
 // evenSplit returns the per-core partition count when dividing total
@@ -164,17 +188,31 @@ func evenSplit(total, m, max int) int {
 // VCPUs onto cores, and an even partition split for hardware validity
 // (the baseline analysis itself is resource-oblivious).
 func BaselineAllocate(sys *model.System, plat model.Platform) (*model.Allocation, error) {
-	return baselineAllocate(sys, plat, nil)
+	return baselineAllocate(sys, plat, nil, nil)
 }
 
 // baselineAllocate is BaselineAllocate with search-effort accounting on rec
-// (nil-safe).
-func baselineAllocate(sys *model.System, plat model.Platform, rec *metrics.Recorder) (*model.Allocation, error) {
+// and decision provenance on prov (both nil-safe). The baseline analysis
+// is resource-oblivious — VCPU bandwidths assume worst-case WCETs and do
+// not shrink with partitions — so its rejections are always CPU-bound.
+func baselineAllocate(sys *model.System, plat model.Platform, rec *metrics.Recorder, prov *provenance.Recorder) (*model.Allocation, error) {
 	var vcpus []*model.VCPU
 	for _, vm := range sys.VMs {
-		packed := packExistingVCPUs(vm, plat, len(vcpus), rec)
+		packed, offending := packExistingVCPUs(vm, plat, len(vcpus), rec)
 		if packed == nil {
-			return nil, model.ErrNotSchedulable
+			re := &RejectionError{
+				Stage: provenance.StageBaseline,
+				Reason: fmt.Sprintf("task %s is infeasible even on a dedicated VCPU under worst-case WCETs (existing CSA)",
+					offending.ID),
+				Violated: []provenance.Resource{provenance.CPU},
+			}
+			if prov.Enabled() {
+				prov.Record(provenance.Decision{
+					Stage: provenance.StageBaseline, Kind: provenance.KindReject,
+					Subject: offending.ID, Reason: re.Reason, Violated: re.Violated,
+				})
+			}
+			return nil, re
 		}
 		vcpus = append(vcpus, packed...)
 	}
@@ -186,13 +224,33 @@ func baselineAllocate(sys *model.System, plat model.Platform, rec *metrics.Recor
 		if cache < plat.Cmin || bw < plat.Bmin {
 			break
 		}
-		cores := packVCPUsToCores(vcpus, m, cache, bw)
+		cores := packVCPUsToCores(vcpus, m, cache, bw, prov)
 		if cores == nil {
 			continue
 		}
+		if prov.Enabled() {
+			prov.Record(provenance.Decision{
+				Stage: provenance.StageBaseline, Kind: provenance.KindAccept,
+				Subject: "system", Target: fmt.Sprintf("m=%d", m),
+				Cache: cache, BW: bw, Value: float64(m), Accepted: true,
+				Reason: fmt.Sprintf("%d baseline VCPUs packed onto %d cores under an even partition split", len(vcpus), m),
+			})
+		}
 		return coresToAllocation(cores, plat, cache, bw), nil
 	}
-	return nil, model.ErrNotSchedulable
+	re := &RejectionError{
+		Stage: provenance.StageBaseline,
+		Reason: fmt.Sprintf("%d baseline VCPUs (worst-case WCETs) pack onto no m in 1..%d cores",
+			len(vcpus), plat.M),
+		Violated: []provenance.Resource{provenance.CPU},
+	}
+	if prov.Enabled() {
+		prov.Record(provenance.Decision{
+			Stage: provenance.StageBaseline, Kind: provenance.KindReject,
+			Subject: "system", Reason: re.Reason, Violated: re.Violated,
+		})
+	}
+	return nil, re
 }
 
 // EvenlyPartitionAllocate implements "Evenly-partition (overhead-free
@@ -201,13 +259,18 @@ func baselineAllocate(sys *model.System, plat model.Platform, rec *metrics.Recor
 // of tasks onto VCPUs and VCPUs onto cores (no slowdown clustering, no
 // incremental resource allocation, no load balancing).
 func EvenlyPartitionAllocate(sys *model.System, plat model.Platform) (*model.Allocation, error) {
-	return evenlyPartitionAllocate(sys, plat, nil)
+	return evenlyPartitionAllocate(sys, plat, nil, nil)
 }
 
 // evenlyPartitionAllocate is EvenlyPartitionAllocate with search-effort
-// accounting on rec (nil-safe). The overhead-free analysis performs no
-// dbf/sbf evaluations, so only structural counters are recorded.
-func evenlyPartitionAllocate(sys *model.System, plat model.Platform, rec *metrics.Recorder) (*model.Allocation, error) {
+// accounting on rec and decision provenance on prov (both nil-safe). The
+// overhead-free analysis performs no dbf/sbf evaluations, so only
+// structural counters are recorded. Failed core counts are classified per
+// resource: a task too heavy for one VCPU under the even split may be
+// curable by partitions the split withholds (cache/BW-starved) or heavy
+// under even the full allocation (CPU-bound).
+func evenlyPartitionAllocate(sys *model.System, plat model.Platform, rec *metrics.Recorder, prov *provenance.Recorder) (*model.Allocation, error) {
+	var cpuN, cacheN, bwN int
 	for m := 1; m <= plat.M; m++ {
 		rec.Inc(MetricMTried)
 		cache := evenSplit(plat.C, m, plat.C)
@@ -218,12 +281,31 @@ func evenlyPartitionAllocate(sys *model.System, plat model.Platform, rec *metric
 		var vcpus []*model.VCPU
 		feasible := true
 		for _, vm := range sys.VMs {
-			packed, err := packOverheadFreeVCPUs(vm, plat, cache, bw, len(vcpus))
+			packed, offending, err := packOverheadFreeVCPUs(vm, plat, cache, bw, len(vcpus))
 			if err != nil {
 				return nil, err
 			}
 			if packed == nil {
 				feasible = false
+				cause := evenSplitFailCause(offending, plat, cache, bw)
+				if cause.cpu {
+					cpuN++
+				}
+				if cause.cache {
+					cacheN++
+				}
+				if cause.bw {
+					bwN++
+				}
+				if prov.Enabled() {
+					prov.Record(provenance.Decision{
+						Stage: provenance.StageBaseline, Kind: provenance.KindAttempt,
+						Subject: offending.ID, Target: fmt.Sprintf("m=%d", m),
+						Cache: cache, BW: bw, Value: offending.Util(cache, bw),
+						Reason:   fmt.Sprintf("task utilization %.4g > 1 under the even (%d,%d) split", offending.Util(cache, bw), cache, bw),
+						Violated: cause.violated(),
+					})
+				}
 				break
 			}
 			vcpus = append(vcpus, packed...)
@@ -231,23 +313,62 @@ func evenlyPartitionAllocate(sys *model.System, plat model.Platform, rec *metric
 		if !feasible {
 			continue
 		}
-		cores := packVCPUsToCores(vcpus, m, cache, bw)
+		cores := packVCPUsToCores(vcpus, m, cache, bw, prov)
 		if cores == nil {
+			cpuN++
 			continue
 		}
 		rec.Add(MetricVCPUsBuilt, int64(len(vcpus)))
+		if prov.Enabled() {
+			prov.Record(provenance.Decision{
+				Stage: provenance.StageBaseline, Kind: provenance.KindAccept,
+				Subject: "system", Target: fmt.Sprintf("m=%d", m),
+				Cache: cache, BW: bw, Value: float64(m), Accepted: true,
+				Reason: fmt.Sprintf("%d well-regulated VCPUs packed onto %d cores under an even partition split", len(vcpus), m),
+			})
+		}
 		return coresToAllocation(cores, plat, cache, bw), nil
 	}
-	return nil, model.ErrNotSchedulable
+	re := &RejectionError{
+		Stage:    provenance.StageBaseline,
+		Reason:   fmt.Sprintf("no m in 1..%d is feasible under even partition splits (cpu-bound %d, cache-starved %d, bw-starved %d attempts)", plat.M, cpuN, cacheN, bwN),
+		Violated: rankViolated(cpuN, cacheN, bwN),
+	}
+	if prov.Enabled() {
+		prov.Record(provenance.Decision{
+			Stage: provenance.StageBaseline, Kind: provenance.KindReject,
+			Subject: "system", Reason: re.Reason, Violated: re.Violated,
+		})
+	}
+	return nil, re
+}
+
+// evenSplitFailCause classifies a task that exceeds one full VCPU under
+// the even (cache, bw) split: a resource the split withholds is implicated
+// when restoring it (up to the platform cap) would bring the task back
+// under 1; when even the full allocation leaves it above 1, it is
+// CPU-bound.
+func evenSplitFailCause(t *model.Task, plat model.Platform, cache, bw int) failCause {
+	var f failCause
+	if cache < plat.C && t.Util(plat.C, bw) <= 1+schedEps {
+		f.cache = true
+	}
+	if bw < plat.B && t.Util(cache, plat.B) <= 1+schedEps {
+		f.bw = true
+	}
+	if !f.cache && !f.bw {
+		f.cpu = true
+	}
+	return f
 }
 
 // packOverheadFreeVCPUs packs one VM's tasks onto well-regulated VCPUs
 // with best-fit decreasing on the tasks' utilization under the (cache, bw)
 // allocation, opening a new VCPU whenever a task fits nowhere (a VCPU is
 // feasible while its taskset utilization is at most 1, by Theorem 2). It
-// returns nil when some task alone exceeds a full VCPU, and an error for
-// non-harmonic tasksets.
-func packOverheadFreeVCPUs(vm *model.VM, plat model.Platform, cache, bw, firstIndex int) ([]*model.VCPU, error) {
+// returns (nil, task, nil) when some task alone exceeds a full VCPU,
+// naming the offender, and an error for non-harmonic tasksets.
+func packOverheadFreeVCPUs(vm *model.VM, plat model.Platform, cache, bw, firstIndex int) ([]*model.VCPU, *model.Task, error) {
 	order := append([]*model.Task(nil), vm.Tasks...)
 	sort.SliceStable(order, func(a, b int) bool {
 		ua, ub := order[a].Util(cache, bw), order[b].Util(cache, bw)
@@ -261,7 +382,7 @@ func packOverheadFreeVCPUs(vm *model.VM, plat model.Platform, cache, bw, firstIn
 	for _, t := range order {
 		u := t.Util(cache, bw)
 		if u > 1+schedEps {
-			return nil, nil
+			return nil, t, nil
 		}
 		best := -1
 		for i, load := range loads {
@@ -284,11 +405,11 @@ func packOverheadFreeVCPUs(vm *model.VM, plat model.Platform, cache, bw, firstIn
 	for i, group := range bins {
 		v, err := csa.WellRegulatedVCPU(group, firstIndex+i)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out[i] = v
 	}
-	return out, nil
+	return out, nil, nil
 }
 
 // coresToAllocation freezes per-core VCPU lists with a uniform partition

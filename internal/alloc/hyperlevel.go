@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -8,6 +9,7 @@ import (
 	"vc2m/internal/kmeans"
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
+	"vc2m/internal/provenance"
 	"vc2m/internal/rngutil"
 )
 
@@ -29,6 +31,10 @@ type HyperConfig struct {
 	// Metrics, when non-nil, records search-effort counters and per-phase
 	// timings (nil disables recording at no cost).
 	Metrics *metrics.Recorder
+	// Provenance, when non-nil, records every packing attempt, partition
+	// grant, migration and the final verdict with the binding resources
+	// (nil disables recording at one pointer compare per site).
+	Provenance *provenance.Recorder
 
 	// Ablation switches, used by the design-choice benchmarks to quantify
 	// what each ingredient of the heuristic contributes.
@@ -117,6 +123,7 @@ func HyperLevel(vcpus []*model.VCPU, plat model.Platform, cfg HyperConfig, rng *
 	}
 	cfg = cfg.withDefaults(len(vcpus))
 	rec := cfg.Metrics
+	prov := cfg.Provenance
 
 	inflated := make([]*model.VCPU, len(vcpus))
 	for i, v := range vcpus {
@@ -127,7 +134,20 @@ func HyperLevel(vcpus []*model.VCPU, plat model.Platform, cfg HyperConfig, rng *
 	// under the full allocation can never be scheduled.
 	for _, v := range inflated {
 		if !schedulable(v.RefBandwidth()) {
-			return nil, model.ErrNotSchedulable
+			re := &RejectionError{
+				Stage: provenance.StageHyper,
+				Reason: fmt.Sprintf("VCPU %s needs bandwidth %.3f > 1 even under the full (C,B) allocation",
+					v.ID, v.RefBandwidth()),
+				Violated: []provenance.Resource{provenance.CPU},
+			}
+			if prov.Enabled() {
+				prov.Record(provenance.Decision{
+					Stage: provenance.StageHyper, Kind: provenance.KindReject,
+					Subject: v.ID, Cache: plat.C, BW: plat.B,
+					Value: v.RefBandwidth(), Reason: re.Reason, Violated: re.Violated,
+				})
+			}
+			return nil, re
 		}
 	}
 
@@ -159,6 +179,8 @@ func HyperLevel(vcpus []*model.VCPU, plat model.Platform, cfg HyperConfig, rng *
 	}
 
 	var scratch packScratch
+	var attempts int
+	var cpuN, cacheN, bwN int // how often each resource bound a failed attempt
 	for m := 1; m <= plat.M; m++ {
 		if plat.Cmin*m > plat.C || plat.Bmin*m > plat.B {
 			break // not enough partitions to give every core its minimum
@@ -171,12 +193,68 @@ func HyperLevel(vcpus []*model.VCPU, plat model.Platform, cfg HyperConfig, rng *
 			cores := packPhase1(groups, perm, m, &scratch)
 			stop()
 			rec.Inc(MetricPhase1Packing)
-			if ok := allocateAndBalance(cores, plat, cfg); ok {
+			attempts++
+			ok, cause := allocateAndBalance(cores, plat, cfg)
+			if ok {
+				if prov.Enabled() {
+					recordPlacements(prov, cores)
+					prov.Record(provenance.Decision{
+						Stage: provenance.StageHyper, Kind: provenance.KindAccept,
+						Subject: "system", Target: fmt.Sprintf("m=%d", m),
+						Value: float64(m), Accepted: true,
+						Reason: fmt.Sprintf("schedulable on %d cores at iteration %d", m, iter),
+					})
+				}
 				return buildAllocation(cores, plat), nil
+			}
+			if cause.cpu {
+				cpuN++
+			}
+			if cause.cache {
+				cacheN++
+			}
+			if cause.bw {
+				bwN++
+			}
+			if prov.Enabled() {
+				prov.Record(provenance.Decision{
+					Stage: provenance.StageHyper, Kind: provenance.KindAttempt,
+					Subject:  fmt.Sprintf("m=%d iter=%d", m, iter),
+					Value:    totalOverload(cores),
+					Reason:   "packing attempt left unschedulable cores (value = total overload)",
+					Violated: cause.violated(),
+				})
 			}
 		}
 	}
-	return nil, model.ErrNotSchedulable
+	re := &RejectionError{
+		Stage:    provenance.StageHyper,
+		Reason:   fmt.Sprintf("no feasible packing in %d attempts (cpu-bound %d, cache-starved %d, bw-starved %d)", attempts, cpuN, cacheN, bwN),
+		Violated: rankViolated(cpuN, cacheN, bwN),
+	}
+	if prov.Enabled() {
+		prov.Record(provenance.Decision{
+			Stage: provenance.StageHyper, Kind: provenance.KindReject,
+			Subject: "system", Reason: re.Reason, Violated: re.Violated,
+		})
+	}
+	return nil, re
+}
+
+// recordPlacements emits one place decision per VCPU of a successful
+// packing, capturing the final core map and partition context.
+func recordPlacements(prov *provenance.Recorder, cores []*coreState) {
+	for i, cs := range cores {
+		for _, v := range cs.vcpus {
+			prov.Record(provenance.Decision{
+				Stage: provenance.StageHyper, Kind: provenance.KindPlace,
+				Subject: v.ID, Target: fmt.Sprintf("core %d", i),
+				Cache: cs.cache, BW: cs.bw,
+				Value: v.Bandwidth(cs.cache, cs.bw), Accepted: true,
+				Reason: "final placement (value = VCPU bandwidth under the core's partitions)",
+			})
+		}
+	}
 }
 
 // packScratch is the reusable working memory of packPhase1: one HyperLevel
@@ -234,72 +312,83 @@ func packPhase1(groups [][]*model.VCPU, perm []int, m int, scratch *packScratch)
 // allocateAndBalance runs Phase 2 (resource allocation) and Phase 3 (load
 // balancing) alternately until the system is schedulable, balancing stops
 // helping, or the round budget is exhausted. It reports success; on
-// success the cores hold their final VCPU and partition assignments.
-func allocateAndBalance(cores []*coreState, plat model.Platform, cfg HyperConfig) bool {
+// success the cores hold their final VCPU and partition assignments, and
+// on failure the cause classifies the binding resources of the last
+// Phase 2 failure.
+func allocateAndBalance(cores []*coreState, plat model.Platform, cfg HyperConfig) (bool, failCause) {
 	rec := cfg.Metrics
+	prov := cfg.Provenance
 	phase2 := allocatePhase2
 	if cfg.NoResourceGrowth {
 		phase2 = allocateEven
 	}
+	var cause failCause
 	runPhase2 := func() bool {
 		rec.Inc(MetricPhase2Calls)
 		stop := rec.Time(MetricPhase2Seconds)
-		ok := phase2(cores, plat, rec)
+		var ok bool
+		ok, cause = phase2(cores, plat, rec, prov)
 		stop()
 		return ok
 	}
 	if runPhase2() {
-		return true
+		return true, failCause{}
 	}
 	if cfg.NoLoadBalance {
-		return false
+		return false, cause
 	}
 	prevOverload := totalOverload(cores)
 	for round := 0; round < cfg.MaxBalanceRounds; round++ {
 		rec.Inc(MetricPhase3Rounds)
 		stop := rec.Time(MetricPhase3Seconds)
-		moved := balancePhase3(cores, rec)
+		moved := balancePhase3(cores, rec, prov)
 		stop()
 		if !moved {
-			return false // no migration possible: no benefit in balancing
+			return false, cause // no migration possible: no benefit in balancing
 		}
 		if runPhase2() {
-			return true
+			return true, failCause{}
 		}
 		over := totalOverload(cores)
 		if over >= prevOverload-schedEps {
-			return false // balancing no longer helps
+			return false, cause // balancing no longer helps
 		}
 		prevOverload = over
 	}
-	return false
+	return false, cause
 }
 
 // allocateEven is the NoResourceGrowth ablation: every core receives an
 // equal share of the partitions regardless of demand.
-func allocateEven(cores []*coreState, plat model.Platform, _ *metrics.Recorder) bool {
+func allocateEven(cores []*coreState, plat model.Platform, _ *metrics.Recorder, _ *provenance.Recorder) (bool, failCause) {
 	cache := plat.C / len(cores)
 	bw := plat.B / len(cores)
 	if cache < plat.Cmin || bw < plat.Bmin {
-		return false
+		return false, failCause{cache: cache < plat.Cmin, bw: bw < plat.Bmin}
 	}
 	ok := true
+	var cause failCause
 	for _, cs := range cores {
 		cs.cache, cs.bw = cache, bw
 		cs.touch()
 		if !schedulable(cs.util()) {
 			ok = false
+			cause = cause.or(coreFailCause(cs, plat))
 		}
 	}
-	return ok
+	if ok {
+		cause = failCause{}
+	}
+	return ok, cause
 }
 
 // allocatePhase2 distributes cache and BW partitions: every core starts at
 // (Cmin, Bmin); while some core is unschedulable and spare partitions
 // remain, the unschedulable core with the highest utilization reduction
 // from one extra partition (cache or BW, whichever helps it more) receives
-// that partition. It reports whether all cores became schedulable.
-func allocatePhase2(cores []*coreState, plat model.Platform, rec *metrics.Recorder) bool {
+// that partition. It reports whether all cores became schedulable; on
+// failure the cause classifies every still-unschedulable core.
+func allocatePhase2(cores []*coreState, plat model.Platform, rec *metrics.Recorder, prov *provenance.Recorder) (bool, failCause) {
 	for _, cs := range cores {
 		cs.cache, cs.bw = plat.Cmin, plat.Bmin
 		cs.touch()
@@ -307,7 +396,7 @@ func allocatePhase2(cores []*coreState, plat model.Platform, rec *metrics.Record
 	spareCache := plat.C - plat.Cmin*len(cores)
 	spareBW := plat.B - plat.Bmin*len(cores)
 	if spareCache < 0 || spareBW < 0 {
-		return false
+		return false, failCause{cache: spareCache < 0, bw: spareBW < 0}
 	}
 
 	var attempts, grants int64
@@ -341,12 +430,34 @@ func allocatePhase2(cores []*coreState, plat model.Platform, rec *metrics.Record
 			}
 		}
 		if allOK {
-			return true
+			return true, failCause{}
 		}
 		if bestCore < 0 || bestGain <= schedEps {
-			return false // no partition helps any unschedulable core
+			// No partition helps any unschedulable core: classify each of
+			// them so the rejection names every binding resource.
+			var cause failCause
+			for _, cs := range cores {
+				if !schedulable(cs.util()) {
+					cause = cause.or(coreFailCause(cs, plat))
+				}
+			}
+			return false, cause
 		}
 		grants++
+		if prov.Enabled() {
+			kind := provenance.Cache
+			if !bestIsCache {
+				kind = provenance.BW
+			}
+			cs := cores[bestCore]
+			prov.Record(provenance.Decision{
+				Stage: provenance.StagePhase2, Kind: provenance.KindGrant,
+				Subject: fmt.Sprintf("core %d", bestCore), Target: string(kind),
+				Cache: cs.cache, BW: cs.bw,
+				Value: bestGain, Accepted: true,
+				Reason: fmt.Sprintf("best utilization gain %.4g among unschedulable cores", bestGain),
+			})
+		}
 		if bestIsCache {
 			cores[bestCore].cache++
 			spareCache--
@@ -374,10 +485,10 @@ func gain(old, new_ float64) float64 {
 // balancePhase3 migrates one VCPU from each unschedulable core to the
 // schedulable core that will have the smallest utilization after the
 // migration. It reports whether at least one migration happened.
-func balancePhase3(cores []*coreState, rec *metrics.Recorder) bool {
+func balancePhase3(cores []*coreState, rec *metrics.Recorder, prov *provenance.Recorder) bool {
 	var migrations int64
 	var order []int // reused by every pickMigration call in this pass
-	for _, src := range cores {
+	for si, src := range cores {
 		for !schedulable(src.util()) {
 			var vi int
 			var dst *coreState
@@ -391,10 +502,31 @@ func balancePhase3(cores []*coreState, rec *metrics.Recorder) bool {
 			dst.vcpus = append(dst.vcpus, v)
 			dst.touch()
 			migrations++
+			if prov.Enabled() {
+				di := coreIndexOf(cores, dst)
+				prov.Record(provenance.Decision{
+					Stage: provenance.StagePhase3, Kind: provenance.KindMigrate,
+					Subject: v.ID, Target: fmt.Sprintf("core %d -> core %d", si, di),
+					Cache: dst.cache, BW: dst.bw,
+					Value: dst.util(), Accepted: true,
+					Reason: "migrated off an overloaded core to the least-utilized schedulable core",
+				})
+			}
 		}
 	}
 	rec.Add(MetricPhase3Migrations, migrations)
 	return migrations > 0
+}
+
+// coreIndexOf returns the index of cs in cores (-1 if absent); only used
+// on the provenance path, where readable core names beat pointer identity.
+func coreIndexOf(cores []*coreState, cs *coreState) int {
+	for i, c := range cores {
+		if c == cs {
+			return i
+		}
+	}
+	return -1
 }
 
 // pickMigration chooses which VCPU of src to migrate and its destination:

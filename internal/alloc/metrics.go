@@ -1,6 +1,9 @@
 package alloc
 
-import "vc2m/internal/metrics"
+import (
+	"vc2m/internal/metrics"
+	"vc2m/internal/provenance"
+)
 
 // Counter and timer names recorded by the allocators when a recorder is
 // attached (see Heuristic.Metrics and MetricsSetter). Together with the
@@ -47,4 +50,11 @@ const (
 // solution without widening the Allocator interface.
 type MetricsSetter interface {
 	SetMetrics(*metrics.Recorder)
+}
+
+// ProvenanceSetter is implemented by allocators that can record their
+// decision stream (see package provenance). Like MetricsSetter, it lets
+// harnesses attach a recorder without widening the Allocator interface.
+type ProvenanceSetter interface {
+	SetProvenance(*provenance.Recorder)
 }

@@ -3,6 +3,7 @@ package alloc
 import (
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
+	"vc2m/internal/provenance"
 	"vc2m/internal/rngutil"
 )
 
@@ -34,6 +35,10 @@ type Heuristic struct {
 	// timings across both allocation levels (see the Metric* constants and
 	// the csa.Metric* constants). Nil disables recording at no cost.
 	Metrics *metrics.Recorder
+	// Provenance, when non-nil, records the full decision stream across
+	// both allocation levels (see package provenance). Nil disables
+	// recording at no cost.
+	Provenance *provenance.Recorder
 }
 
 // Name implements Allocator.
@@ -41,6 +46,9 @@ func (h *Heuristic) Name() string { return "Heuristic (" + h.Mode.String() + ")"
 
 // SetMetrics implements MetricsSetter.
 func (h *Heuristic) SetMetrics(r *metrics.Recorder) { h.Metrics = r }
+
+// SetProvenance implements ProvenanceSetter.
+func (h *Heuristic) SetProvenance(p *provenance.Recorder) { h.Provenance = p }
 
 // Allocate implements Allocator. A nil RNG falls back to a fixed seed, so
 // the call is deterministic either way.
@@ -58,6 +66,10 @@ func (h *Heuristic) Allocate(sys *model.System, rng *rngutil.RNG) (*model.Alloca
 	hyCfg := h.Hyper
 	if rec != nil {
 		hyCfg.Metrics = rec
+	}
+	if h.Provenance != nil {
+		vmCfg.Provenance = h.Provenance
+		hyCfg.Provenance = h.Provenance
 	}
 	stopVM := rec.Time(MetricVMLevelSeconds)
 	var vcpus []*model.VCPU
@@ -86,6 +98,8 @@ func (h *Heuristic) Allocate(sys *model.System, rng *rngutil.RNG) (*model.Alloca
 type EvenlyPartition struct {
 	// Metrics, when non-nil, records search-effort counters.
 	Metrics *metrics.Recorder
+	// Provenance, when non-nil, records packing decisions and rejections.
+	Provenance *provenance.Recorder
 }
 
 // Name implements Allocator.
@@ -94,10 +108,13 @@ func (EvenlyPartition) Name() string { return "Evenly-partition (overhead-free C
 // SetMetrics implements MetricsSetter.
 func (e *EvenlyPartition) SetMetrics(r *metrics.Recorder) { e.Metrics = r }
 
+// SetProvenance implements ProvenanceSetter.
+func (e *EvenlyPartition) SetProvenance(p *provenance.Recorder) { e.Provenance = p }
+
 // Allocate implements Allocator.
 func (e EvenlyPartition) Allocate(sys *model.System, _ *rngutil.RNG) (*model.Allocation, error) {
 	e.Metrics.Inc(MetricAllocCalls)
-	a, err := evenlyPartitionAllocate(sys, sys.Platform, e.Metrics)
+	a, err := evenlyPartitionAllocate(sys, sys.Platform, e.Metrics, e.Provenance)
 	if err != nil {
 		return nil, err
 	}
@@ -110,6 +127,8 @@ func (e EvenlyPartition) Allocate(sys *model.System, _ *rngutil.RNG) (*model.All
 type Baseline struct {
 	// Metrics, when non-nil, records search-effort counters.
 	Metrics *metrics.Recorder
+	// Provenance, when non-nil, records packing decisions and rejections.
+	Provenance *provenance.Recorder
 }
 
 // Name implements Allocator.
@@ -118,10 +137,13 @@ func (Baseline) Name() string { return "Baseline (existing CSA)" }
 // SetMetrics implements MetricsSetter.
 func (b *Baseline) SetMetrics(r *metrics.Recorder) { b.Metrics = r }
 
+// SetProvenance implements ProvenanceSetter.
+func (b *Baseline) SetProvenance(p *provenance.Recorder) { b.Provenance = p }
+
 // Allocate implements Allocator.
 func (b Baseline) Allocate(sys *model.System, _ *rngutil.RNG) (*model.Allocation, error) {
 	b.Metrics.Inc(MetricAllocCalls)
-	a, err := baselineAllocate(sys, sys.Platform, b.Metrics)
+	a, err := baselineAllocate(sys, sys.Platform, b.Metrics, b.Provenance)
 	if err != nil {
 		return nil, err
 	}

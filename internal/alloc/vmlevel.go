@@ -22,6 +22,7 @@ import (
 	"vc2m/internal/kmeans"
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
+	"vc2m/internal/provenance"
 	"vc2m/internal/rngutil"
 )
 
@@ -77,6 +78,9 @@ type VMLevelConfig struct {
 	// Metrics, when non-nil, records clustering and analysis effort
 	// (nil disables recording at no cost).
 	Metrics *metrics.Recorder
+	// Provenance, when non-nil, records the task-to-VCPU mapping and each
+	// VCPU's derived interface (nil disables recording at no cost).
+	Provenance *provenance.Recorder
 }
 
 // slowdownCap bounds slowdown-vector entries used for clustering. Budget
@@ -95,12 +99,12 @@ func VMLevel(vm *model.VM, plat model.Platform, cfg VMLevelConfig, firstIndex in
 	}
 	switch cfg.Mode {
 	case Flattening:
-		return flattenVM(vm, firstIndex)
+		return flattenVM(vm, firstIndex, cfg.Provenance)
 	case OverheadFree, ExistingCSA:
 		return clusterPackVM(vm, plat, cfg, firstIndex, rng)
 	case Auto:
 		if vm.MaxVCPUs == 0 || len(vm.Tasks) <= vm.MaxVCPUs {
-			return flattenVM(vm, firstIndex)
+			return flattenVM(vm, firstIndex, cfg.Provenance)
 		}
 		cfg.Mode = OverheadFree
 		return clusterPackVM(vm, plat, cfg, firstIndex, rng)
@@ -110,7 +114,7 @@ func VMLevel(vm *model.VM, plat model.Platform, cfg VMLevelConfig, firstIndex in
 }
 
 // flattenVM applies Theorem 1: one VCPU per task.
-func flattenVM(vm *model.VM, firstIndex int) ([]*model.VCPU, error) {
+func flattenVM(vm *model.VM, firstIndex int, prov *provenance.Recorder) ([]*model.VCPU, error) {
 	if vm.MaxVCPUs > 0 && len(vm.Tasks) > vm.MaxVCPUs {
 		return nil, fmt.Errorf("%w: VM %s has %d tasks, limit %d",
 			ErrTooManyTasks, vm.ID, len(vm.Tasks), vm.MaxVCPUs)
@@ -118,6 +122,14 @@ func flattenVM(vm *model.VM, firstIndex int) ([]*model.VCPU, error) {
 	out := make([]*model.VCPU, len(vm.Tasks))
 	for i, t := range vm.Tasks {
 		out[i] = csa.FlattenVCPU(t, firstIndex+i)
+		if prov.Enabled() {
+			prov.Record(provenance.Decision{
+				Stage: provenance.StageVMLevel, Kind: provenance.KindMap,
+				Subject: t.ID, Target: out[i].ID, Accepted: true,
+				Value:  t.RefUtil(),
+				Reason: "flattening (Theorem 1): dedicated VCPU mirroring the task, zero abstraction overhead",
+			})
+		}
 	}
 	return out, nil
 }
@@ -197,23 +209,44 @@ func clusterPackVM(vm *model.VM, plat model.Platform, cfg VMLevelConfig, firstIn
 		}
 	}
 
+	prov := cfg.Provenance
 	out := make([]*model.VCPU, 0, len(vcpuTasks))
 	for i, group := range vcpuTasks {
 		idx := firstIndex + i
+		var v *model.VCPU
 		switch cfg.Mode {
 		case OverheadFree:
-			v, err := csa.WellRegulatedVCPU(group, idx)
+			wr, err := csa.WellRegulatedVCPU(group, idx)
 			if err != nil {
 				return nil, fmt.Errorf("alloc: VM %s: %w", vm.ID, err)
 			}
-			out = append(out, v)
+			v = wr
+			if prov.Enabled() {
+				prov.Record(provenance.Decision{
+					Stage: provenance.StageCSA, Kind: provenance.KindInterface,
+					Subject: v.ID, Cache: plat.C, BW: plat.B,
+					Value: v.RefBandwidth(), Accepted: true,
+					Reason: fmt.Sprintf("well-regulated (Theorem 2): period %.4g, bandwidth equals taskset utilization (zero abstraction overhead)", v.Period),
+				})
+			}
 		case ExistingCSA:
-			v, _, err := csa.ExistingVCPUMetered(group, idx, plat, rec)
+			ex, _, err := csa.ExistingVCPUProv(group, idx, plat, rec, prov)
 			if err != nil {
 				return nil, fmt.Errorf("alloc: VM %s: %w", vm.ID, err)
 			}
-			out = append(out, v)
+			v = ex
 		}
+		if prov.Enabled() {
+			for _, t := range group {
+				prov.Record(provenance.Decision{
+					Stage: provenance.StageVMLevel, Kind: provenance.KindMap,
+					Subject: t.ID, Target: v.ID, Accepted: true,
+					Value:  t.RefUtil(),
+					Reason: fmt.Sprintf("cluster packing (%s): least-loaded VCPU of the task's slowdown cluster", cfg.Mode),
+				})
+			}
+		}
+		out = append(out, v)
 	}
 	return out, nil
 }

@@ -3,9 +3,11 @@ package csa
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
+	"vc2m/internal/provenance"
 )
 
 // ExistingVCPU computes a VCPU for the given taskset using the existing
@@ -45,6 +47,17 @@ func ExistingVCPU(tasks []*model.Task, index int, plat model.Platform) (*model.V
 // demand evaluation plus a bisection search, while Theorems 1 and 2 need
 // neither.
 func ExistingVCPUMetered(tasks []*model.Task, index int, plat model.Platform, rec *metrics.Recorder) (*model.VCPU, bool, error) {
+	return ExistingVCPUProv(tasks, index, plat, rec, nil)
+}
+
+// ExistingVCPUProv is ExistingVCPUMetered with decision provenance: when
+// prov is non-nil it records the derived interface — the chosen period
+// rule, the budget at the full and minimum allocations, how many (c,b)
+// candidates were feasible, and the decisive demand checkpoint (the time
+// point with the least supply slack when feasible, the one with the
+// steepest demand when not) — so reports can show why the existing CSA
+// priced the taskset the way it did.
+func ExistingVCPUProv(tasks []*model.Task, index int, plat model.Platform, rec *metrics.Recorder, prov *provenance.Recorder) (*model.VCPU, bool, error) {
 	if len(tasks) == 0 {
 		return nil, false, errors.New("csa: ExistingVCPU with no tasks")
 	}
@@ -69,6 +82,7 @@ func ExistingVCPUMetered(tasks []*model.Task, index int, plat model.Platform, re
 	// (Figure 4), and per-candidate allocations used to dominate the loop.
 	wcets := make([]float64, len(tasks))
 	dem := make([]float64, len(cps))
+	feasibleAllocs, totalAllocs := 0, 0
 	for c := plat.Cmin; c <= plat.C; c++ {
 		for b := plat.Bmin; b <= plat.B; b++ {
 			demand.DBFInto(dem, TaskWCETsInto(wcets, tasks, c, b))
@@ -77,10 +91,12 @@ func ExistingVCPUMetered(tasks []*model.Task, index int, plat model.Platform, re
 			searches++
 			sbfEvals += se
 			iters += it
+			totalAllocs++
 			if !ok {
 				budget.Set(c, b, pseudoBudget(pi, cps, dem))
 				continue
 			}
+			feasibleAllocs++
 			budget.Set(c, b, theta)
 		}
 	}
@@ -101,7 +117,58 @@ func ExistingVCPUMetered(tasks []*model.Task, index int, plat model.Platform, re
 		Tasks:  append([]*model.Task(nil), tasks...),
 	}
 	feasible := budget.Reference() <= pi
+	if prov.Enabled() {
+		// dem still holds the demand at the full (C,B) allocation — the
+		// loop's last iteration — which is the interface's reference point.
+		theta := budget.Reference()
+		t, slack := decisiveCheckpoint(pi, theta, cps, dem, feasible)
+		why := fmt.Sprintf("least supply slack %.4g at checkpoint t=%.4g", slack, t)
+		if !feasible {
+			why = fmt.Sprintf("demand %.4g at checkpoint t=%.4g exceeds even a dedicated core", slack, t)
+		}
+		prov.Record(provenance.Decision{
+			Stage: provenance.StageCSA, Kind: provenance.KindInterface,
+			Subject: v.ID, Cache: plat.C, BW: plat.B,
+			Value: theta, Accepted: feasible,
+			Reason: fmt.Sprintf("existing CSA (Shin & Lee): period %.4g (half min task period), budget %.4g at full allocation; %d/%d (c,b) candidates feasible; %s",
+				pi, theta, feasibleAllocs, totalAllocs, why),
+		})
+		prov.Record(provenance.Decision{
+			Stage: provenance.StageCSA, Kind: provenance.KindInterface,
+			Subject: v.ID, Cache: plat.Cmin, BW: plat.Bmin,
+			Value: budget.At(plat.Cmin, plat.Bmin), Accepted: budget.At(plat.Cmin, plat.Bmin) <= pi,
+			Reason: fmt.Sprintf("budget %.4g at the minimum (Cmin,Bmin) allocation — the other end of the interface's resource gradient",
+				budget.At(plat.Cmin, plat.Bmin)),
+		})
+	}
 	return v, feasible, nil
+}
+
+// decisiveCheckpoint returns the demand checkpoint that decided the
+// budget: with a feasible budget, the time point where supply clears
+// demand by the least (and that slack); otherwise the point with the
+// steepest demand rate (and the demand there).
+func decisiveCheckpoint(pi, theta float64, cps, dem []float64, feasible bool) (t, evidence float64) {
+	if feasible {
+		minSlack := math.Inf(1)
+		for i, cp := range cps {
+			if slack := SBF(pi, theta, cp) - dem[i]; slack < minSlack {
+				minSlack, t = slack, cp
+			}
+		}
+		return t, minSlack
+	}
+	worst := -1.0
+	var demAt float64
+	for i, cp := range cps {
+		if cp <= 0 {
+			continue
+		}
+		if r := dem[i] / cp; r > worst {
+			worst, t, demAt = r, cp, dem[i]
+		}
+	}
+	return t, demAt
 }
 
 // pseudoBudget returns Pi * max_t dbf(t)/t for an infeasible allocation.

@@ -1,0 +1,19 @@
+package experiment
+
+import "vc2m/internal/report"
+
+// ReportSweep flattens the schedulability result into the unified report's
+// sweep section: one (utilization, fraction) series per solution. Running
+// times are deliberately excluded — report documents carry only
+// deterministic data.
+func (r *SchedResult) ReportSweep() *report.SweepSummary {
+	s := &report.SweepSummary{Tasksets: r.Tasksets}
+	for _, series := range r.Series {
+		rs := report.SweepSeries{Solution: series.Solution}
+		for _, p := range series.Points {
+			rs.Points = append(rs.Points, report.SweepPoint{Util: p.Util, Fraction: p.Fraction})
+		}
+		s.Series = append(s.Series, rs)
+	}
+	return s
+}

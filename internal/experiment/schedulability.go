@@ -7,6 +7,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"vc2m/internal/alloc"
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
+	"vc2m/internal/provenance"
 	"vc2m/internal/rngutil"
 	"vc2m/internal/workload"
 )
@@ -64,6 +66,15 @@ type SchedConfig struct {
 	// across runs regardless of Parallel; timer values are wall-clock and
 	// are not.
 	CollectMetrics bool
+	// Provenance, when non-nil, records one decision per (taskset,
+	// solution) case — accepted or rejected, with the rejection's binding
+	// resources taken from the allocator's diagnosis. Decisions are
+	// recorded in the serial reduction loop, so the stream is
+	// deterministic at any Parallel. Nil disables recording.
+	Provenance *provenance.Recorder
+	// ProvenanceLabel prefixes every recorded subject (e.g. a figure
+	// name) so multiple sweeps can share one recorder.
+	ProvenanceLabel string
 }
 
 // withDefaults fills the paper's defaults. The utilization range defaults
@@ -181,6 +192,7 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 			seeds []int64
 			oks   []bool
 			secs  []float64
+			errs  []error
 			err   error
 		}
 		jobs := make([]job, cfg.TasksetsPerPoint)
@@ -210,11 +222,13 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 			}
 			j.oks = make([]bool, len(cfg.Solutions))
 			j.secs = make([]float64, len(cfg.Solutions))
+			j.errs = make([]error, len(cfg.Solutions))
 			for si, sol := range cfg.Solutions {
 				start := time.Now() //vc2m:wallclock Figure 4 measures solution wall time
 				_, err := sol.Allocate(sys, rngutil.New(j.seeds[si]))
 				j.secs[si] = time.Since(start).Seconds() //vc2m:wallclock
 				j.oks[si] = err == nil
+				j.errs[si] = err
 			}
 		})
 		schedulable := make([]int, len(cfg.Solutions))
@@ -228,6 +242,7 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 					schedulable[si]++
 				}
 				elapsed[si] += jobs[ts].secs[si]
+				recordSweepCase(cfg, u, ts, cfg.Solutions[si].Name(), jobs[ts].errs[si])
 			}
 		}
 		res.Tasksets += cfg.TasksetsPerPoint
@@ -254,6 +269,37 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// recordSweepCase records one (taskset, solution) verdict on the sweep's
+// provenance recorder (no-op when none is configured). A rejection carries
+// the allocator's binding-resource diagnosis; an undiagnosed
+// not-schedulable error falls back to CPU, the resource every infeasible
+// packing is short of.
+func recordSweepCase(cfg SchedConfig, util float64, ts int, solution string, err error) {
+	if cfg.Provenance == nil {
+		return
+	}
+	label := cfg.ProvenanceLabel
+	if label != "" && !strings.HasSuffix(label, "/") {
+		label += "/"
+	}
+	d := provenance.Decision{
+		Stage: provenance.StageSweep, Kind: provenance.KindTaskset,
+		Subject:  fmt.Sprintf("%su=%.2f/ts=%d", label, util, ts),
+		Target:   solution,
+		Value:    util,
+		Accepted: err == nil,
+	}
+	if err != nil {
+		d.Reason = err.Error()
+		if re, ok := alloc.AsRejection(err); ok {
+			d.Violated = re.Violated
+		} else if errors.Is(err, model.ErrNotSchedulable) {
+			d.Violated = []provenance.Resource{provenance.CPU}
+		}
+	}
+	cfg.Provenance.Record(d)
 }
 
 // MetricsTable renders every series' search-effort snapshot as aligned

@@ -1,0 +1,244 @@
+// Package provenance records *why* the allocator did what it did: every
+// placement attempt, partition grant, interface derivation and rejection is
+// captured as a typed Decision, turning "not schedulable" into "rejected
+// because the cache partition pool was exhausted while core 2 still needed
+// partitions". The decision stream is what cmd/vc2m-report renders,
+// explains and diffs; interference-analysis frameworks (SP-IMPact, the
+// multi-objective MBR work) rely on exactly this per-decision attribution
+// to compare partitioning heuristics.
+//
+// The design mirrors packages metrics and trace: a nil *Recorder is the
+// disabled state and costs one pointer comparison at every call site
+// (emission sites guard with `if prov != nil` and never assemble a
+// Decision when recording is off), and the stream is bit-identical across
+// runs with the same seed because decisions are recorded from the
+// allocator's deterministic control flow — sequence numbers are stamped
+// under a mutex, but parallel harnesses record only from their serial
+// reduction loops.
+package provenance
+
+import (
+	"io"
+	"sync"
+
+	"vc2m/internal/trace"
+)
+
+// Resource identifies one of the three allocated resource dimensions. A
+// rejection's Violated list names every resource whose exhaustion (or
+// uselessness) contributed to the failure — the "binding" constraints.
+type Resource string
+
+// The resource dimensions of the holistic allocation.
+const (
+	// CPU means no partition grant could reduce utilization below 1:
+	// the workload is compute-bound at that packing.
+	CPU Resource = "cpu"
+	// Cache means additional cache partitions would have helped but the
+	// pool was exhausted (or the per-core cap was reached).
+	Cache Resource = "cache"
+	// BW means additional memory-bandwidth partitions would have helped
+	// but the pool was exhausted (or the per-core cap was reached).
+	BW Resource = "bw"
+)
+
+// ValidResource reports whether r is one of the defined dimensions.
+func ValidResource(r Resource) bool {
+	return r == CPU || r == Cache || r == BW
+}
+
+// Stages of the allocation pipeline, recorded on every decision so reports
+// can group the stream into the paper's phases.
+const (
+	// StageVMLevel is the tasks-to-VCPUs mapping (Section 4.2).
+	StageVMLevel = "vmlevel"
+	// StageCSA is the per-VCPU interface derivation (budget tables).
+	StageCSA = "csa"
+	// StageHyper is the hypervisor-level search (Section 4.3), including
+	// its Phase 1 packings; StagePhase2/StagePhase3 are its inner phases.
+	StageHyper  = "hyper"
+	StagePhase2 = "hyper.phase2"
+	StagePhase3 = "hyper.phase3"
+	// StageAdmit is the online admission controller.
+	StageAdmit = "admit"
+	// StageBaseline covers the two baseline solutions' packing decisions.
+	StageBaseline = "baseline"
+	// StageBinpack is the generic bin-packing helper.
+	StageBinpack = "binpack"
+	// StageVCAT is the realization of partition counts on the CAT hardware.
+	StageVCAT = "vcat"
+	// StageSweep is one taskset×solution case of a schedulability sweep.
+	StageSweep = "sweep"
+)
+
+// Decision kinds.
+const (
+	// KindMap: a task was mapped onto a VCPU.
+	KindMap = "map"
+	// KindInterface: a VCPU's parameter interface was derived (period,
+	// budget table) by one of the analyses.
+	KindInterface = "interface"
+	// KindAttempt: one hypervisor-level packing attempt (a cluster
+	// permutation at a core count) succeeded or failed.
+	KindAttempt = "attempt"
+	// KindPlace: a VCPU was placed on (or rejected from) a core.
+	KindPlace = "place"
+	// KindGrant: a cache or BW partition was granted to a core.
+	KindGrant = "grant"
+	// KindMigrate: Phase 3 migrated a VCPU between cores.
+	KindMigrate = "migrate"
+	// KindAccept / KindReject: the final verdict of an allocation.
+	KindAccept = "accept"
+	KindReject = "reject"
+	// KindTaskset: one taskset×solution case of a sweep.
+	KindTaskset = "taskset"
+	// KindProgram: a CAT class of service was programmed for a core.
+	KindProgram = "program"
+)
+
+// Decision is one record of the provenance stream. The struct is flat and
+// self-describing so a JSON line needs no schema lookup; unused fields are
+// omitted from the encoding.
+type Decision struct {
+	// Seq is the decision's position in the stream, stamped by the
+	// Recorder starting at 0.
+	Seq int `json:"seq"`
+	// Stage is one of the Stage* constants.
+	Stage string `json:"stage"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Subject is the entity the decision is about (task, VCPU, VM, core or
+	// sweep-case ID).
+	Subject string `json:"subject,omitempty"`
+	// Target is the entity the subject was mapped to, when any ("core 2",
+	// a VCPU ID, a solution name).
+	Target string `json:"target,omitempty"`
+	// Cache and BW are the partition counts in effect for the decision.
+	Cache int `json:"cache,omitempty"`
+	BW    int `json:"bw,omitempty"`
+	// Value is the decision's scalar evidence: a utilization, a grant
+	// gain, a budget — documented by the Reason.
+	Value float64 `json:"value,omitempty"`
+	// Accepted reports whether the decision went the subject's way.
+	Accepted bool `json:"accepted"`
+	// Reason explains the decision in one line.
+	Reason string `json:"reason,omitempty"`
+	// Violated names every resource constraint that contributed to a
+	// rejection — all of them, not just the first one checked.
+	Violated []Resource `json:"violated,omitempty"`
+}
+
+// Sink receives the decision stream as it is recorded. A nil Sink is the
+// disabled state: implementations must be safe no-ops on nil receivers,
+// like every instrumentation hook in this repository.
+type Sink interface {
+	Record(Decision)
+}
+
+// Recorder accumulates the decision stream. A nil *Recorder is a valid
+// no-op: every method checks the receiver, so instrumented code pays one
+// pointer comparison when provenance is off. A Recorder may be shared by
+// goroutines; all methods are mutex-protected, but deterministic streams
+// require recording from deterministic (serial) control flow.
+type Recorder struct {
+	mu        sync.Mutex
+	decisions []Decision
+	sink      Sink
+}
+
+// New returns an empty, enabled recorder.
+func New() *Recorder { return &Recorder{} }
+
+// NewStreaming returns a recorder that forwards every decision to sink as
+// it is recorded (in addition to retaining it).
+func NewStreaming(sink Sink) *Recorder { return &Recorder{sink: sink} }
+
+// Enabled reports whether the recorder actually records (i.e. is non-nil).
+// Hot call sites use this to skip assembling a Decision entirely.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Record appends the decision to the stream, stamping its sequence number.
+func (r *Recorder) Record(d Decision) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	d.Seq = len(r.decisions)
+	r.decisions = append(r.decisions, d)
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink.Record(d)
+	}
+}
+
+// Len returns the number of decisions recorded so far (0 on nil).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.decisions)
+}
+
+// Decisions returns a copy of the stream in record order (nil on a nil
+// recorder).
+func (r *Recorder) Decisions() []Decision {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Decision(nil), r.decisions...)
+}
+
+// Reset discards everything recorded so far; sequence numbers restart at 0.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.decisions = r.decisions[:0]
+	r.mu.Unlock()
+}
+
+// JSONLWriter streams decisions as JSON lines through the shared buffered
+// line writer (trace.LineWriter) — the same first-error-wins, flush-on-
+// Close discipline as the trace JSONL sink.
+type JSONLWriter struct {
+	lw *trace.LineWriter
+}
+
+// NewJSONLWriter wraps w. The caller owns w; call Close to flush before
+// closing the underlying file.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{lw: trace.NewLineWriter(w)}
+}
+
+// Record implements Sink. The first encoding error is retained and
+// reported by Close; subsequent decisions are dropped. A nil writer drops
+// everything.
+func (w *JSONLWriter) Record(d Decision) {
+	if w == nil {
+		return
+	}
+	w.lw.Encode(d)
+}
+
+// Decisions returns the number of decisions written so far (0 on nil).
+func (w *JSONLWriter) Decisions() int {
+	if w == nil {
+		return 0
+	}
+	return w.lw.Count()
+}
+
+// Close flushes buffered output and returns the first error encountered
+// while recording or flushing. It does not close the underlying writer.
+func (w *JSONLWriter) Close() error {
+	if w == nil {
+		return nil
+	}
+	return w.lw.Close()
+}

@@ -1,0 +1,97 @@
+package provenance
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.Record(Decision{Stage: StageHyper}) // must not panic
+	r.Reset()
+	if r.Len() != 0 || r.Decisions() != nil {
+		t.Fatal("nil recorder is not empty")
+	}
+}
+
+func TestRecorderSequencesAndCopies(t *testing.T) {
+	r := New()
+	r.Record(Decision{Stage: StageVMLevel, Kind: KindMap, Subject: "t1"})
+	r.Record(Decision{Stage: StageHyper, Kind: KindPlace, Subject: "vm1/flat-t1"})
+	ds := r.Decisions()
+	if len(ds) != 2 || ds[0].Seq != 0 || ds[1].Seq != 1 {
+		t.Fatalf("bad sequence stamping: %+v", ds)
+	}
+	ds[0].Subject = "mutated"
+	if r.Decisions()[0].Subject != "t1" {
+		t.Fatal("Decisions returned an aliased slice")
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Reset left %d decisions", r.Len())
+	}
+	r.Record(Decision{Stage: StageAdmit})
+	if got := r.Decisions()[0].Seq; got != 0 {
+		t.Fatalf("sequence did not restart after Reset: %d", got)
+	}
+}
+
+func TestJSONLWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	rec := NewStreaming(w)
+	rec.Record(Decision{
+		Stage: StagePhase2, Kind: KindGrant, Subject: "core 1",
+		Cache: 3, BW: 2, Value: 0.125, Accepted: true,
+		Reason: "cache grant gain 0.125",
+	})
+	rec.Record(Decision{
+		Stage: StageHyper, Kind: KindReject, Subject: "system",
+		Violated: []Resource{Cache, BW},
+	})
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if w.Decisions() != 2 {
+		t.Fatalf("wrote %d decisions, want 2", w.Decisions())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var d Decision
+	if err := json.Unmarshal([]byte(lines[1]), &d); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if d.Seq != 1 || len(d.Violated) != 2 || d.Violated[0] != Cache {
+		t.Fatalf("round-trip mismatch: %+v", d)
+	}
+	// Empty fields must be omitted so streams stay compact.
+	if strings.Contains(lines[0], "violated") {
+		t.Fatalf("accepted decision encoded an empty violated list: %s", lines[0])
+	}
+}
+
+func TestNilJSONLWriter(t *testing.T) {
+	var w *JSONLWriter
+	w.Record(Decision{}) // must not panic
+	if w.Decisions() != 0 || w.Close() != nil {
+		t.Fatal("nil JSONLWriter is not a clean no-op")
+	}
+}
+
+func TestValidResource(t *testing.T) {
+	for _, r := range []Resource{CPU, Cache, BW} {
+		if !ValidResource(r) {
+			t.Fatalf("%q should be valid", r)
+		}
+	}
+	if ValidResource("gpu") {
+		t.Fatal("unknown resource accepted")
+	}
+}

@@ -1,0 +1,224 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+
+	"vc2m/internal/provenance"
+)
+
+// RenderHTML renders the document as one self-contained HTML page: inline
+// CSS only, no scripts, no external URLs, so the file can be archived next
+// to the run it describes and opened offline years later. The report-smoke
+// make target greps the output for "http://"/"https://" to enforce this.
+func RenderHTML(doc *Document) string {
+	var b strings.Builder
+	esc := html.EscapeString
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", esc(doc.Title))
+	b.WriteString("<style>\n" + inlineCSS + "</style>\n</head>\n<body>\n")
+
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", esc(doc.Title))
+	fmt.Fprintf(&b, "<p class=\"meta\">schema %s &middot; kind %s &middot; seed %d", esc(doc.Schema), esc(doc.Kind), doc.Seed)
+	if doc.Mode != "" {
+		fmt.Fprintf(&b, " &middot; mode %s", esc(doc.Mode))
+	}
+	p := doc.Platform
+	fmt.Fprintf(&b, " &middot; platform %s (M=%d, C=%d, B=%d)</p>\n", esc(p.Name), p.M, p.C, p.B)
+
+	if doc.Rejection != nil {
+		b.WriteString("<h2>Verdict: rejected</h2>\n<div class=\"reject\">\n")
+		fmt.Fprintf(&b, "<p><b>Stage:</b> %s</p>\n", esc(orUnknown(doc.Rejection.Stage)))
+		fmt.Fprintf(&b, "<p><b>Binding resource(s):</b> %s</p>\n", esc(strings.Join(doc.Rejection.Violated, ", ")))
+		fmt.Fprintf(&b, "<p>%s</p>\n</div>\n", esc(doc.Rejection.Reason))
+	}
+	if doc.Allocation != nil {
+		renderAllocationHTML(&b, doc.Allocation, doc.Platform)
+	}
+	if doc.Sweep != nil {
+		renderSweepHTML(&b, doc.Sweep)
+	}
+	if doc.Sim != nil {
+		renderSimHTML(&b, doc.Sim)
+	}
+	if len(doc.Misses) > 0 {
+		renderMissesHTML(&b, doc.Misses)
+	}
+	if len(doc.Decisions) > 0 {
+		renderParetoHTML(&b, doc)
+		renderDecisionsHTML(&b, doc.Decisions)
+	}
+	if len(doc.Counters) > 0 {
+		renderCountersHTML(&b, doc.Counters)
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+const inlineCSS = `body{font-family:sans-serif;margin:2em auto;max-width:70em;color:#222}
+h1,h2{border-bottom:1px solid #ccc;padding-bottom:.2em}
+.meta{color:#666}
+table{border-collapse:collapse;margin:.5em 0}
+td,th{border:1px solid #ccc;padding:.25em .6em;text-align:left;font-size:90%}
+th{background:#f4f4f4}
+.bar{display:inline-block;height:.8em;background:#4a90d9;vertical-align:middle}
+.bar.hot{background:#d9534f}
+.reject{background:#fdecea;border:1px solid #d9534f;padding:.5em 1em;border-radius:4px}
+.ok{color:#2e7d32}
+.no{color:#c62828}
+details{margin:.4em 0}
+summary{cursor:pointer;font-weight:bold}
+pre{background:#f7f7f7;padding:.5em;overflow-x:auto;font-size:85%}
+`
+
+func renderAllocationHTML(b *strings.Builder, a *AllocSummary, p PlatformSummary) {
+	esc := html.EscapeString
+	b.WriteString("<h2>Allocation</h2>\n")
+	verdict := "<span class=\"no\">not schedulable</span>"
+	if a.Schedulable {
+		verdict = "<span class=\"ok\">schedulable</span>"
+	}
+	fmt.Fprintf(b, "<p>solution <b>%s</b> &mdash; %s &mdash; %d core(s), %d/%d cache and %d/%d BW partitions used</p>\n",
+		esc(a.Solution), verdict, len(a.Cores), a.UsedCache, p.C, a.UsedBW, p.B)
+	b.WriteString("<table>\n<tr><th>core</th><th>cache</th><th>bw</th><th>utilization</th><th>vcpus</th></tr>\n")
+	for _, c := range a.Cores {
+		cls := "bar"
+		if c.Utilization > 0.9 {
+			cls = "bar hot"
+		}
+		width := int(c.Utilization * 120)
+		if width < 1 {
+			width = 1
+		}
+		vcpus := make([]string, 0, len(c.VCPUs))
+		for _, v := range c.VCPUs {
+			vcpus = append(vcpus, fmt.Sprintf("%s (bw %.3f)", esc(v.ID), v.Bandwidth))
+		}
+		fmt.Fprintf(b, "<tr><td>%d</td><td>%d</td><td>%d</td><td><span class=\"%s\" style=\"width:%dpx\"></span> %.3f</td><td>%s</td></tr>\n",
+			c.Core, c.Cache, c.BW, cls, width, c.Utilization, strings.Join(vcpus, ", "))
+	}
+	b.WriteString("</table>\n")
+
+	b.WriteString("<details><summary>Task placement</summary>\n<table>\n<tr><th>task</th><th>vcpu</th><th>core</th></tr>\n")
+	for _, c := range a.Cores {
+		for _, v := range c.VCPUs {
+			for _, t := range v.Tasks {
+				fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%d</td></tr>\n", esc(t), esc(v.ID), c.Core)
+			}
+		}
+	}
+	b.WriteString("</table>\n</details>\n")
+}
+
+func renderSweepHTML(b *strings.Builder, s *SweepSummary) {
+	esc := html.EscapeString
+	b.WriteString("<h2>Schedulability sweep</h2>\n")
+	fmt.Fprintf(b, "<p>%d taskset(s) analyzed across %d series</p>\n", s.Tasksets, len(s.Series))
+	for _, series := range s.Series {
+		fmt.Fprintf(b, "<details open><summary>%s</summary>\n<table>\n<tr><th>util</th><th>schedulable fraction</th></tr>\n", esc(series.Solution))
+		for _, pt := range series.Points {
+			width := int(pt.Fraction * 120)
+			if width < 1 {
+				width = 1
+			}
+			fmt.Fprintf(b, "<tr><td>%.2f</td><td><span class=\"bar\" style=\"width:%dpx\"></span> %.3f</td></tr>\n",
+				pt.Util, width, pt.Fraction)
+		}
+		b.WriteString("</table>\n</details>\n")
+	}
+}
+
+func renderSimHTML(b *strings.Builder, s *SimSummary) {
+	b.WriteString("<h2>Simulation</h2>\n<table>\n")
+	row := func(k string, v any) { fmt.Fprintf(b, "<tr><th>%s</th><td>%v</td></tr>\n", k, v) }
+	row("horizon (ticks)", s.HorizonTicks)
+	row("jobs released", s.Released)
+	row("jobs completed", s.Completed)
+	missCls := "ok"
+	if s.Missed > 0 {
+		missCls = "no"
+	}
+	fmt.Fprintf(b, "<tr><th>deadline misses</th><td class=\"%s\">%d</td></tr>\n", missCls, s.Missed)
+	row("context switches", s.ContextSwitches)
+	row("scheduler invocations", s.SchedInvocations)
+	row("budget replenishments", s.BudgetReplenishments)
+	row("throttle events", s.ThrottleEvents)
+	row("BW replenishments", s.BWReplenishments)
+	b.WriteString("</table>\n")
+	if len(s.CoreBusy) > 0 {
+		b.WriteString("<p>per-core busy fraction:</p>\n<table>\n<tr><th>core</th><th>busy</th></tr>\n")
+		for i, f := range s.CoreBusy {
+			width := int(f * 120)
+			if width < 1 {
+				width = 1
+			}
+			fmt.Fprintf(b, "<tr><td>%d</td><td><span class=\"bar\" style=\"width:%dpx\"></span> %.3f</td></tr>\n", i, width, f)
+		}
+		b.WriteString("</table>\n")
+	}
+}
+
+func renderMissesHTML(b *strings.Builder, misses []MissSummary) {
+	esc := html.EscapeString
+	b.WriteString("<h2>Deadline-miss diagnosis</h2>\n<table>\n<tr><th>task</th><th>cause</th><th>misses</th></tr>\n")
+	for _, m := range misses {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%d</td></tr>\n", esc(m.Task), esc(m.Cause), m.Count)
+	}
+	b.WriteString("</table>\n")
+}
+
+func renderParetoHTML(b *strings.Builder, doc *Document) {
+	pareto := RejectionPareto(doc)
+	if len(pareto) == 0 {
+		return
+	}
+	b.WriteString("<h2>Rejection Pareto</h2>\n<p>violated-resource tally over all rejecting decisions:</p>\n<table>\n<tr><th>resource</th><th>rejections</th></tr>\n")
+	max := pareto[0].Count
+	for _, e := range pareto {
+		width := 1
+		if max > 0 {
+			width = 1 + e.Count*120/max
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td><span class=\"bar hot\" style=\"width:%dpx\"></span> %d</td></tr>\n",
+			html.EscapeString(e.Resource), width, e.Count)
+	}
+	b.WriteString("</table>\n")
+}
+
+func renderDecisionsHTML(b *strings.Builder, decisions []provenance.Decision) {
+	esc := html.EscapeString
+	b.WriteString("<h2>Decision trail</h2>\n")
+	// Group by stage, preserving the order stages first appear in.
+	var stages []string
+	byStage := map[string][]provenance.Decision{}
+	for _, d := range decisions {
+		s := string(d.Stage)
+		if _, ok := byStage[s]; !ok {
+			stages = append(stages, s)
+		}
+		byStage[s] = append(byStage[s], d)
+	}
+	for _, s := range stages {
+		ds := byStage[s]
+		fmt.Fprintf(b, "<details><summary>%s (%d decision(s))</summary>\n<pre>", esc(s), len(ds))
+		for _, d := range ds {
+			b.WriteString(esc(FormatDecision(d)) + "\n")
+		}
+		b.WriteString("</pre>\n</details>\n")
+	}
+}
+
+func renderCountersHTML(b *strings.Builder, counters map[string]int64) {
+	b.WriteString("<h2>Search-effort counters</h2>\n<table>\n<tr><th>counter</th><th>value</th></tr>\n")
+	keys := make([]string, 0, len(counters))
+	for k := range counters { //vc2m:ordered keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td></tr>\n", html.EscapeString(k), counters[k])
+	}
+	b.WriteString("</table>\n")
+}

@@ -1,0 +1,555 @@
+// Package report joins vC2M's three observability streams — allocation
+// decision provenance (package provenance), search-effort counters
+// (package metrics) and simulation traces (package trace / hypersim) —
+// into one schema-versioned document that can be saved as JSON, rendered
+// as a self-contained HTML page, diffed between runs and queried with
+// "explain" (why did task X land where it did / why was taskset Y
+// rejected?).
+//
+// Determinism contract: a Document built from two identically-seeded runs
+// is byte-identical after Save. To that end documents carry only
+// deterministic data — metrics *counters* (never wall-clock timers or
+// gauges), provenance decisions (which contain no timestamps), and
+// simulation totals in simulated ticks. The golden tests assert this.
+//
+// The package deliberately does not import internal/alloc: callers
+// translate an allocator's RejectionError into the plain Rejection
+// section, which keeps report usable from any layer without a dependency
+// on the heuristics it describes.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"vc2m/internal/hypersim"
+	"vc2m/internal/metrics"
+	"vc2m/internal/model"
+	"vc2m/internal/provenance"
+	"vc2m/internal/trace"
+)
+
+// SchemaVersion identifies the document layout. Bump when a field changes
+// meaning; Validate rejects documents from other versions.
+const SchemaVersion = "vc2m.report/v1"
+
+// Document kinds.
+const (
+	KindRun   = "run"   // one taskset: allocation (+ optional simulation)
+	KindSweep = "sweep" // a schedulability sweep over many tasksets
+)
+
+// PlatformSummary mirrors model.Platform in the document.
+type PlatformSummary struct {
+	Name string `json:"name"`
+	M    int    `json:"m"`
+	C    int    `json:"c"`
+	B    int    `json:"b"`
+	Cmin int    `json:"cmin"`
+	Bmin int    `json:"bmin"`
+}
+
+// VCPUSummary is one VCPU's placement in the allocation section.
+type VCPUSummary struct {
+	ID        string   `json:"id"`
+	PeriodMs  float64  `json:"period_ms"`
+	BudgetMs  float64  `json:"budget_ms"` // at the owning core's (c,b)
+	Bandwidth float64  `json:"bandwidth"` // BudgetMs / PeriodMs
+	Tasks     []string `json:"tasks,omitempty"`
+}
+
+// CoreSummary is one core's partition grant and load.
+type CoreSummary struct {
+	Core        int           `json:"core"`
+	Cache       int           `json:"cache"`
+	BW          int           `json:"bw"`
+	Utilization float64       `json:"utilization"`
+	VCPUs       []VCPUSummary `json:"vcpus,omitempty"`
+}
+
+// AllocSummary is the accepted-allocation section.
+type AllocSummary struct {
+	Solution    string        `json:"solution"`
+	Schedulable bool          `json:"schedulable"`
+	UsedCache   int           `json:"used_cache"`
+	UsedBW      int           `json:"used_bw"`
+	Cores       []CoreSummary `json:"cores"`
+}
+
+// Rejection is the rejected-allocation section. Callers build it from an
+// alloc.RejectionError (Stage/Reason/Violated map one-to-one); Violated
+// holds provenance resource names ("cpu", "cache", "bw").
+type Rejection struct {
+	Stage    string   `json:"stage,omitempty"`
+	Reason   string   `json:"reason"`
+	Violated []string `json:"violated"`
+}
+
+// MissSummary is one (task, cause) deadline-miss tally from the trace
+// diagnoser.
+type MissSummary struct {
+	Task  string `json:"task"`
+	Cause string `json:"cause"`
+	Count int    `json:"count"`
+}
+
+// SimSummary holds the deterministic totals of a simulation run. All
+// quantities are event counts or simulated time — never wall clock.
+type SimSummary struct {
+	HorizonTicks         int64     `json:"horizon_ticks"`
+	Released             int       `json:"released"`
+	Completed            int       `json:"completed"`
+	Missed               int       `json:"missed"`
+	ContextSwitches      uint64    `json:"context_switches"`
+	SchedInvocations     uint64    `json:"sched_invocations"`
+	BudgetReplenishments uint64    `json:"budget_replenishments"`
+	ThrottleEvents       uint64    `json:"throttle_events"`
+	BWReplenishments     uint64    `json:"bw_replenishments"`
+	CoreBusy             []float64 `json:"core_busy,omitempty"`
+}
+
+// SweepPoint is one (utilization, schedulable-fraction) measurement.
+type SweepPoint struct {
+	Util     float64 `json:"util"`
+	Fraction float64 `json:"fraction"`
+}
+
+// SweepSeries is one solution's schedulability curve.
+type SweepSeries struct {
+	Solution string       `json:"solution"`
+	Points   []SweepPoint `json:"points"`
+}
+
+// SweepSummary is the sweep section: curves plus the taskset total.
+type SweepSummary struct {
+	Tasksets int           `json:"tasksets"`
+	Series   []SweepSeries `json:"series"`
+}
+
+// Document is the unified run report.
+type Document struct {
+	Schema   string          `json:"schema"`
+	Title    string          `json:"title"`
+	Kind     string          `json:"kind"`
+	Seed     int64           `json:"seed"`
+	Mode     string          `json:"mode,omitempty"`
+	Platform PlatformSummary `json:"platform"`
+
+	Allocation *AllocSummary `json:"allocation,omitempty"`
+	Rejection  *Rejection    `json:"rejection,omitempty"`
+	Sim        *SimSummary   `json:"sim,omitempty"`
+	Misses     []MissSummary `json:"misses,omitempty"`
+	Sweep      *SweepSummary `json:"sweep,omitempty"`
+
+	// Counters is the deterministic subset of the metrics snapshot.
+	// Wall-clock timers and gauges are deliberately dropped so that
+	// identically-seeded runs produce byte-identical documents.
+	Counters map[string]int64 `json:"counters,omitempty"`
+
+	// Decisions is the full provenance stream, in Seq order.
+	Decisions []provenance.Decision `json:"decisions,omitempty"`
+}
+
+// RunInput collects the sources BuildRun joins. Every field except Title,
+// Seed and Platform may be zero/nil; the corresponding section is omitted.
+type RunInput struct {
+	Title      string
+	Seed       int64
+	Mode       string
+	Platform   model.Platform
+	Allocation *model.Allocation // accepted allocation, nil when rejected
+	Rejection  *Rejection        // rejection verdict, nil when accepted
+	Sim        *hypersim.Result  // simulation totals, nil when not simulated
+	Diagnosis  *trace.Report     // deadline-miss diagnoses, nil when none
+	Metrics    *metrics.Recorder // search-effort counters (nil ok)
+	Provenance *provenance.Recorder
+}
+
+// BuildRun assembles a KindRun document.
+func BuildRun(in RunInput) *Document {
+	doc := &Document{
+		Schema:   SchemaVersion,
+		Title:    in.Title,
+		Kind:     KindRun,
+		Seed:     in.Seed,
+		Mode:     in.Mode,
+		Platform: summarizePlatform(in.Platform),
+
+		Allocation: summarizeAllocation(in.Allocation),
+		Rejection:  in.Rejection,
+		Sim:        summarizeSim(in.Sim),
+		Misses:     summarizeMisses(in.Diagnosis),
+		Counters:   counterSnapshot(in.Metrics),
+		Decisions:  in.Provenance.Decisions(),
+	}
+	return doc
+}
+
+// SweepInput collects the sources BuildSweep joins.
+type SweepInput struct {
+	Title      string
+	Seed       int64
+	Mode       string
+	Platform   model.Platform
+	Sweep      *SweepSummary // the caller-flattened sweep curves
+	Metrics    *metrics.Recorder
+	Provenance *provenance.Recorder
+}
+
+// BuildSweep assembles a KindSweep document.
+func BuildSweep(in SweepInput) *Document {
+	return &Document{
+		Schema:   SchemaVersion,
+		Title:    in.Title,
+		Kind:     KindSweep,
+		Seed:     in.Seed,
+		Mode:     in.Mode,
+		Platform: summarizePlatform(in.Platform),
+
+		Sweep:     in.Sweep,
+		Counters:  counterSnapshot(in.Metrics),
+		Decisions: in.Provenance.Decisions(),
+	}
+}
+
+func summarizePlatform(p model.Platform) PlatformSummary {
+	return PlatformSummary{Name: p.Name, M: p.M, C: p.C, B: p.B, Cmin: p.Cmin, Bmin: p.Bmin}
+}
+
+func summarizeAllocation(a *model.Allocation) *AllocSummary {
+	if a == nil {
+		return nil
+	}
+	s := &AllocSummary{
+		Solution:    a.Solution,
+		Schedulable: a.Schedulable,
+		UsedCache:   a.UsedCache(),
+		UsedBW:      a.UsedBW(),
+		Cores:       make([]CoreSummary, 0, len(a.Cores)),
+	}
+	for _, core := range a.Cores {
+		cs := CoreSummary{
+			Core: core.Core, Cache: core.Cache, BW: core.BW,
+			Utilization: core.Utilization(),
+			VCPUs:       make([]VCPUSummary, 0, len(core.VCPUs)),
+		}
+		for _, v := range core.VCPUs {
+			vs := VCPUSummary{
+				ID:        v.ID,
+				PeriodMs:  v.Period,
+				BudgetMs:  v.Budget.At(core.Cache, core.BW),
+				Bandwidth: v.Bandwidth(core.Cache, core.BW),
+			}
+			for _, t := range v.Tasks {
+				vs.Tasks = append(vs.Tasks, t.ID)
+			}
+			cs.VCPUs = append(cs.VCPUs, vs)
+		}
+		s.Cores = append(s.Cores, cs)
+	}
+	return s
+}
+
+func summarizeSim(r *hypersim.Result) *SimSummary {
+	if r == nil {
+		return nil
+	}
+	return &SimSummary{
+		HorizonTicks:         int64(r.Horizon),
+		Released:             r.Released,
+		Completed:            r.Completed,
+		Missed:               r.Missed,
+		ContextSwitches:      r.ContextSwitches,
+		SchedInvocations:     r.SchedInvocations,
+		BudgetReplenishments: r.BudgetReplenishments,
+		ThrottleEvents:       r.ThrottleEvents,
+		BWReplenishments:     r.BWReplenishments,
+		CoreBusy:             r.CoreBusy,
+	}
+}
+
+func summarizeMisses(rep *trace.Report) []MissSummary {
+	if rep == nil || len(rep.ByTask) == 0 {
+		return nil
+	}
+	tasks := make([]string, 0, len(rep.ByTask))
+	for id := range rep.ByTask { //vc2m:ordered keys are sorted below
+		tasks = append(tasks, id)
+	}
+	sort.Strings(tasks)
+	var out []MissSummary
+	for _, id := range tasks {
+		counts := rep.ByTask[id]
+		// Walk causes in declaration order; String falls back to
+		// "cause(n)" past the last named one, which ends the walk.
+		for c := trace.MissCause(0); !strings.HasPrefix(c.String(), "cause("); c++ {
+			if n := counts[c]; n > 0 {
+				out = append(out, MissSummary{Task: id, Cause: c.String(), Count: n})
+			}
+		}
+	}
+	return out
+}
+
+func counterSnapshot(rec *metrics.Recorder) map[string]int64 {
+	if rec == nil {
+		return nil
+	}
+	snap := rec.Snapshot()
+	if len(snap.Counters) == 0 {
+		return nil
+	}
+	return snap.Counters
+}
+
+// Save writes the document as indented JSON. The output is byte-stable
+// for identical documents (encoding/json sorts map keys).
+func Save(path string, doc *Document) error {
+	data, err := Marshal(doc)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Marshal renders the document to its canonical JSON bytes (indented,
+// trailing newline).
+func Marshal(doc *Document) ([]byte, error) {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("report: marshal: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Load reads and validates a document.
+func Load(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("report: parse %s: %w", path, err)
+	}
+	if err := Validate(&doc); err != nil {
+		return nil, fmt.Errorf("report: %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// Validate checks the document's structural invariants: the schema
+// version, a known kind, monotonically increasing decision sequence
+// numbers, and valid resource names in every Violated list.
+func Validate(doc *Document) error {
+	if doc.Schema != SchemaVersion {
+		return fmt.Errorf("schema %q, want %q", doc.Schema, SchemaVersion)
+	}
+	if doc.Kind != KindRun && doc.Kind != KindSweep {
+		return fmt.Errorf("unknown kind %q", doc.Kind)
+	}
+	prev := -1
+	for i, d := range doc.Decisions {
+		if d.Seq <= prev {
+			return fmt.Errorf("decision %d: seq %d not increasing (prev %d)", i, d.Seq, prev)
+		}
+		prev = d.Seq
+		for _, r := range d.Violated {
+			if !provenance.ValidResource(r) {
+				return fmt.Errorf("decision %d (seq %d): invalid resource %q", i, d.Seq, r)
+			}
+		}
+	}
+	if doc.Rejection != nil {
+		if doc.Rejection.Reason == "" {
+			return fmt.Errorf("rejection section without a reason")
+		}
+		if len(doc.Rejection.Violated) == 0 {
+			return fmt.Errorf("rejection section without a binding resource")
+		}
+		for _, r := range doc.Rejection.Violated {
+			if !provenance.ValidResource(provenance.Resource(r)) {
+				return fmt.Errorf("rejection: invalid resource %q", r)
+			}
+		}
+	}
+	if doc.Allocation != nil && doc.Rejection != nil {
+		return fmt.Errorf("document has both an allocation and a rejection")
+	}
+	return nil
+}
+
+// Diff compares two documents section by section and returns one line per
+// difference (empty means identical). Two identically-seeded runs must
+// diff clean — that is the reproducibility acceptance test.
+func Diff(a, b *Document) []string {
+	var out []string
+	diffScalar := func(name string, av, bv any) {
+		aj, _ := json.Marshal(av)
+		bj, _ := json.Marshal(bv)
+		if string(aj) != string(bj) {
+			out = append(out, fmt.Sprintf("%s: %s != %s", name, aj, bj))
+		}
+	}
+	diffScalar("schema", a.Schema, b.Schema)
+	diffScalar("title", a.Title, b.Title)
+	diffScalar("kind", a.Kind, b.Kind)
+	diffScalar("seed", a.Seed, b.Seed)
+	diffScalar("mode", a.Mode, b.Mode)
+	diffScalar("platform", a.Platform, b.Platform)
+	diffScalar("allocation", a.Allocation, b.Allocation)
+	diffScalar("rejection", a.Rejection, b.Rejection)
+	diffScalar("sim", a.Sim, b.Sim)
+	diffScalar("misses", a.Misses, b.Misses)
+	diffScalar("sweep", a.Sweep, b.Sweep)
+	diffScalar("counters", a.Counters, b.Counters)
+
+	n := len(a.Decisions)
+	if len(b.Decisions) != n {
+		out = append(out, fmt.Sprintf("decisions: %d != %d entries", len(a.Decisions), len(b.Decisions)))
+		if len(b.Decisions) < n {
+			n = len(b.Decisions)
+		}
+	}
+	const maxDecisionDiffs = 10
+	shown := 0
+	for i := 0; i < n && shown < maxDecisionDiffs; i++ {
+		aj, _ := json.Marshal(a.Decisions[i])
+		bj, _ := json.Marshal(b.Decisions[i])
+		if string(aj) != string(bj) {
+			out = append(out, fmt.Sprintf("decision %d: %s != %s", i, aj, bj))
+			shown++
+		}
+	}
+	return out
+}
+
+// Explain reconstructs the decision trail for a subject — a task ID, a
+// VCPU ID, a core ("core 2"), or a sweep case ("u=1.00/ts=3"). Matching is
+// case-sensitive substring over each decision's Subject and Target. For a
+// rejected document (or matching reject decisions) the verdict names the
+// binding resource(s).
+func Explain(doc *Document, subject string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "explain %q in %s report %q (seed %d)\n", subject, doc.Kind, doc.Title, doc.Seed)
+	matched := 0
+	var binding []string
+	seen := map[string]bool{}
+	addBinding := func(rs []string) {
+		for _, r := range rs {
+			if !seen[r] {
+				seen[r] = true
+				binding = append(binding, r)
+			}
+		}
+	}
+	for _, d := range doc.Decisions {
+		if !strings.Contains(d.Subject, subject) && !strings.Contains(d.Target, subject) {
+			continue
+		}
+		matched++
+		b.WriteString("  " + FormatDecision(d) + "\n")
+		if !d.Accepted && len(d.Violated) > 0 {
+			rs := make([]string, len(d.Violated))
+			for i, r := range d.Violated {
+				rs[i] = string(r)
+			}
+			addBinding(rs)
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintf(&b, "  no decisions mention %q (the run may have been recorded without -provenance)\n", subject)
+	}
+	if doc.Rejection != nil {
+		fmt.Fprintf(&b, "verdict: REJECTED at %s — %s\n", orUnknown(doc.Rejection.Stage), doc.Rejection.Reason)
+		addBinding(doc.Rejection.Violated)
+	}
+	if len(binding) > 0 {
+		fmt.Fprintf(&b, "binding resource(s): %s\n", strings.Join(binding, ", "))
+	} else if matched > 0 {
+		b.WriteString("verdict: no rejection recorded for this subject\n")
+	}
+	return b.String()
+}
+
+// FormatDecision renders one decision as a single stable line.
+func FormatDecision(d provenance.Decision) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%04d [%s/%s]", d.Seq, d.Stage, d.Kind)
+	if d.Subject != "" {
+		fmt.Fprintf(&b, " %s", d.Subject)
+	}
+	if d.Target != "" {
+		fmt.Fprintf(&b, " -> %s", d.Target)
+	}
+	if d.Cache != 0 || d.BW != 0 {
+		fmt.Fprintf(&b, " (cache %d, bw %d)", d.Cache, d.BW)
+	}
+	if d.Value != 0 { //vc2m:floateq unset-field sentinel
+		fmt.Fprintf(&b, " value %.4g", d.Value)
+	}
+	if d.Accepted {
+		b.WriteString(" OK")
+	} else {
+		b.WriteString(" REJECTED")
+	}
+	if len(d.Violated) > 0 {
+		rs := make([]string, len(d.Violated))
+		for i, r := range d.Violated {
+			rs[i] = string(r)
+		}
+		fmt.Fprintf(&b, " binding=%s", strings.Join(rs, ","))
+	}
+	if d.Reason != "" {
+		fmt.Fprintf(&b, ": %s", d.Reason)
+	}
+	return b.String()
+}
+
+// RejectionPareto tallies the document's reject decisions by violated
+// resource, most frequent first — "what binds most often?".
+func RejectionPareto(doc *Document) []struct {
+	Resource string
+	Count    int
+} {
+	counts := map[string]int{}
+	for _, d := range doc.Decisions {
+		if d.Accepted {
+			continue
+		}
+		for _, r := range d.Violated {
+			counts[string(r)]++
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts { //vc2m:ordered keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	out := make([]struct {
+		Resource string
+		Count    int
+	}, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, struct {
+			Resource string
+			Count    int
+		}{k, counts[k]})
+	}
+	return out
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "(unknown stage)"
+	}
+	return s
+}

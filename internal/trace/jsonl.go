@@ -9,20 +9,16 @@ import (
 
 // JSONLWriter streams events as JSON lines (one object per line). It is
 // the capture format for horizons too large to hold in memory: events are
-// encoded and flushed through a buffered writer as they arrive, so memory
-// use is constant in the horizon. ReadJSONL is the inverse.
+// encoded and flushed through the shared LineWriter as they arrive, so
+// memory use is constant in the horizon. ReadJSONL is the inverse.
 type JSONLWriter struct {
-	bw  *bufio.Writer
-	enc *json.Encoder
-	err error
-	n   int
+	lw *LineWriter
 }
 
 // NewJSONLWriter wraps w. The caller owns w; call Close to flush before
 // closing the underlying file.
 func NewJSONLWriter(w io.Writer) *JSONLWriter {
-	bw := bufio.NewWriter(w)
-	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+	return &JSONLWriter{lw: NewLineWriter(w)}
 }
 
 // Record implements Sink. The first encoding error is retained and
@@ -32,14 +28,7 @@ func (w *JSONLWriter) Record(ev Event) {
 	if w == nil {
 		return
 	}
-	if w.err != nil {
-		return
-	}
-	if err := w.enc.Encode(ev); err != nil {
-		w.err = fmt.Errorf("trace: jsonl encode: %w", err)
-		return
-	}
-	w.n++
+	w.lw.Encode(ev)
 }
 
 // Events returns the number of events written so far (0 on nil).
@@ -47,7 +36,7 @@ func (w *JSONLWriter) Events() int {
 	if w == nil {
 		return 0
 	}
-	return w.n
+	return w.lw.Count()
 }
 
 // Close flushes buffered output and returns the first error encountered
@@ -57,10 +46,7 @@ func (w *JSONLWriter) Close() error {
 	if w == nil {
 		return nil
 	}
-	if err := w.bw.Flush(); w.err == nil && err != nil {
-		w.err = fmt.Errorf("trace: jsonl flush: %w", err)
-	}
-	return w.err
+	return w.lw.Close()
 }
 
 // ReadJSONL decodes a JSON-lines stream written by JSONLWriter. Blank

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failAfterWriter accepts the first n bytes, then fails every write.
+type failAfterWriter struct {
+	remaining int
+	writes    int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if len(p) > w.remaining {
+		n := w.remaining
+		w.remaining = 0
+		return n, errDiskFull
+	}
+	w.remaining -= len(p)
+	return len(p), nil
+}
+
+// Regression test for the flush-on-error contract shared by the trace and
+// provenance JSONL sinks: an error surfacing at flush time must be
+// reported by Close, and records after the first error must be dropped
+// rather than silently "written" into a dead buffer.
+func TestLineWriterFlushOnError(t *testing.T) {
+	// The failing writer accepts nothing, but bufio buffers ~4KB, so the
+	// error only surfaces when the buffer fills or Close flushes.
+	fw := &failAfterWriter{remaining: 0}
+	lw := NewLineWriter(fw)
+
+	lw.Encode(map[string]int{"a": 1})
+	if lw.Err() != nil {
+		t.Fatalf("error before any flush: %v", lw.Err())
+	}
+	err := lw.Close()
+	if err == nil {
+		t.Fatal("Close after failed flush returned nil error")
+	}
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("Close error %v does not wrap the underlying write error", err)
+	}
+	if !strings.Contains(err.Error(), "flush") {
+		t.Fatalf("Close error %q does not identify the flush", err)
+	}
+}
+
+func TestLineWriterDropsAfterError(t *testing.T) {
+	// Small acceptance window so the error surfaces mid-stream when the
+	// bufio buffer (4KB) first fills.
+	fw := &failAfterWriter{remaining: 10}
+	lw := NewLineWriter(fw)
+
+	big := strings.Repeat("x", 2048)
+	for i := 0; i < 8; i++ {
+		lw.Encode(map[string]string{"pad": big})
+	}
+	if lw.Err() == nil {
+		t.Fatal("expected encode error once the buffer spilled into the failing writer")
+	}
+	countAtError := lw.Count()
+	writesAtError := fw.writes
+
+	// Everything after the first error must be dropped: no new counted
+	// records, no further writes reaching the underlying writer.
+	lw.Encode(map[string]string{"pad": big})
+	if lw.Count() != countAtError {
+		t.Fatalf("count advanced after error: %d -> %d", countAtError, lw.Count())
+	}
+	if err := lw.Close(); err == nil {
+		t.Fatal("Close lost the recorded error")
+	}
+	if fw.writes != writesAtError {
+		t.Fatalf("writer received %d extra writes after the first error", fw.writes-writesAtError)
+	}
+}
+
+func TestLineWriterNil(t *testing.T) {
+	var lw *LineWriter
+	lw.Encode(42) // must not panic
+	if lw.Count() != 0 || lw.Err() != nil || lw.Close() != nil {
+		t.Fatal("nil LineWriter is not a clean no-op")
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
 	"vc2m/internal/parsec"
+	"vc2m/internal/provenance"
 	"vc2m/internal/rngutil"
 	"vc2m/internal/timeunit"
 	"vc2m/internal/trace"
@@ -109,6 +110,21 @@ type MetricsSnapshot = metrics.Snapshot
 // Options.Metrics or SimOptions.Metrics, then read it with
 // MetricsRecorder.Snapshot.
 func NewMetrics() *MetricsRecorder { return metrics.New() }
+
+// ProvenanceRecorder collects the allocator's decision stream: every
+// placement attempt, candidate interface, partition grant and rejection,
+// with the reason and (for rejections) the binding resource(s). Like
+// MetricsRecorder, a nil recorder is a valid no-op sink, so provenance is
+// free when disabled. Join the stream into a run report with package
+// internal/report or the vc2m-report CLI.
+type ProvenanceRecorder = provenance.Recorder
+
+// ProvenanceDecision is one recorded allocation decision.
+type ProvenanceDecision = provenance.Decision
+
+// NewProvenance returns an enabled provenance recorder. Pass it via
+// Options.Provenance, then read it with ProvenanceRecorder.Decisions.
+func NewProvenance() *ProvenanceRecorder { return provenance.New() }
 
 // Flight-recorder tracing (package internal/trace). A TraceSink receives
 // the simulator's typed event stream: job releases/completions/misses,
@@ -253,6 +269,9 @@ type Options struct {
 	// (dbf/sbf evaluations, clustering iterations, phase timings — see
 	// NewMetrics). Nil disables recording at no cost.
 	Metrics *MetricsRecorder
+	// Provenance, when non-nil, records the allocator's decision stream
+	// (see NewProvenance). Nil disables recording at no cost.
+	Provenance *ProvenanceRecorder
 }
 
 // Allocate runs the vC2M allocator on the system and returns a schedulable
@@ -269,7 +288,8 @@ func Allocate(sys *System, opts Options) (*Allocation, error) {
 			Clusters:  opts.Clusters,
 			Overheads: opts.Overheads,
 		},
-		Metrics: opts.Metrics,
+		Metrics:    opts.Metrics,
+		Provenance: opts.Provenance,
 	}
 	return h.Allocate(sys, rngutil.New(opts.Seed))
 }
@@ -281,7 +301,7 @@ func Allocate(sys *System, opts Options) (*Allocation, error) {
 // is returned (the input is untouched); ErrNotSchedulable means the VM
 // was rejected and the running system is unaffected.
 func Admit(existing *Allocation, vm *VM, opts Options) (*Allocation, error) {
-	return alloc.Admit(existing, vm, opts.Mode, rngutil.New(opts.Seed))
+	return alloc.AdmitProv(existing, vm, opts.Mode, rngutil.New(opts.Seed), opts.Provenance)
 }
 
 // Release removes a VM's VCPUs from an allocation — the online departure
