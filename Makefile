@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck lint test bench bench-smoke bench-check fuzz-smoke race cover ci determinism report-smoke paper examples clean
+.PHONY: all build vet fmtcheck lint test bench bench-smoke bench-check fuzz-smoke race cover ci determinism report-smoke server-smoke paper examples clean
 
 all: build vet test
 
@@ -59,7 +59,7 @@ fuzz-smoke:
 	done
 
 # Everything CI runs (see .github/workflows/ci.yml), locally.
-ci: build vet fmtcheck lint test race bench-smoke bench-check fuzz-smoke determinism report-smoke
+ci: build vet fmtcheck lint test race bench-smoke bench-check fuzz-smoke determinism report-smoke server-smoke
 
 race:
 	$(GO) test -race ./...
@@ -87,6 +87,33 @@ report-smoke:
 		echo "report-smoke: HTML is not self-contained (external URL found)"; exit 1; fi && \
 	VC2M_REPORT_SMOKE=$$tmp/run.json $(GO) test -count=1 -run '^TestReportSmoke$$' ./internal/report && \
 	echo "report-smoke: report JSON valid, HTML self-contained"
+
+# Server smoke: boot vc2m-server on an ephemeral port, drive the seeded
+# reference run through the client path (vc2m-sim -server), require the
+# served report to be byte-identical to the same-seed in-process run and
+# schema-valid, then SIGTERM the daemon and require a clean (exit 0)
+# graceful drain.
+server-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/bin/ ./cmd/vc2m-server ./cmd/vc2m-sim ./cmd/vc2m-report || exit 1; \
+	$$tmp/bin/vc2m-server -addr 127.0.0.1:0 -ready-file $$tmp/addr >$$tmp/server.log 2>&1 & pid=$$!; \
+	up=; i=0; while [ $$i -lt 100 ]; do \
+		if [ -s $$tmp/addr ]; then up=1; break; fi; i=$$((i+1)); sleep 0.1; done; \
+	if [ -z "$$up" ]; then echo "server-smoke: daemon did not come up"; \
+		cat $$tmp/server.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	addr=$$(cat $$tmp/addr); \
+	{ $$tmp/bin/vc2m-sim -server "http://$$addr" -gen-util 1.0 -gen-seed 7 \
+		-simulate 1100 -report-out $$tmp/served.json >/dev/null && \
+	  $$tmp/bin/vc2m-sim -gen-util 1.0 -gen-seed 7 -simulate 1100 \
+		-report-out $$tmp/local.json >/dev/null 2>&1 && \
+	  cmp $$tmp/served.json $$tmp/local.json && \
+	  $$tmp/bin/vc2m-report generate -in $$tmp/served.json >/dev/null; } || \
+		{ echo "server-smoke: served run failed or diverged"; \
+		  cat $$tmp/server.log; kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; \
+	if wait $$pid; then :; else echo "server-smoke: daemon did not drain cleanly"; \
+		cat $$tmp/server.log; exit 1; fi; \
+	echo "server-smoke: served report byte-identical to in-process run; daemon drained cleanly"
 
 cover:
 	$(GO) test -cover ./...

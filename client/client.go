@@ -1,0 +1,220 @@
+// Package client is the typed Go client for the vc2m-server HTTP API.
+// It speaks the same wire types as internal/server (SubmitRequest,
+// RunStatus, ...) and fetches report documents as raw bytes, preserving
+// the server's byte-identical report guarantee end to end.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"vc2m/internal/provenance"
+	"vc2m/internal/report"
+	"vc2m/internal/server"
+)
+
+// Client talks to one vc2m-server instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for the server at base (e.g. "http://127.0.0.1:8700").
+// A nil http.Client uses a default with a 5-minute overall timeout;
+// streaming requests override it per call via context.
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Minute}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// do issues one request and decodes the JSON response into out (skipped
+// when out is nil). Non-2xx responses are returned as errors carrying
+// the server's error message.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// apiError turns a non-2xx response into an error, preferring the
+// server's structured message.
+func apiError(code int, body []byte) error {
+	var er server.ErrorResponse
+	if err := json.Unmarshal(body, &er); err == nil && er.Error != "" {
+		return fmt.Errorf("server: %s (HTTP %d)", er.Error, code)
+	}
+	return fmt.Errorf("server: HTTP %d: %s", code, bytes.TrimSpace(body))
+}
+
+// Health checks liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the service gauges.
+func (c *Client) Metrics(ctx context.Context) (server.ServiceMetrics, error) {
+	var m server.ServiceMetrics
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}
+
+// Submit queues a run and returns its ID.
+func (c *Client) Submit(ctx context.Context, req server.SubmitRequest) (server.SubmitResponse, error) {
+	var resp server.SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/runs", req, &resp)
+	return resp, err
+}
+
+// Runs lists every registered run in submission order.
+func (c *Client) Runs(ctx context.Context) ([]server.RunStatus, error) {
+	var out []server.RunStatus
+	err := c.do(ctx, http.MethodGet, "/v1/runs", nil, &out)
+	return out, err
+}
+
+// Run fetches one run's status.
+func (c *Client) Run(ctx context.Context, id string) (server.RunStatus, error) {
+	var st server.RunStatus
+	err := c.do(ctx, http.MethodGet, "/v1/runs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait blocks until the run reaches a terminal state (or ctx expires),
+// using the server's blocking status endpoint — no client-side polling
+// loop, no missed transitions.
+func (c *Client) Wait(ctx context.Context, id string) (server.RunStatus, error) {
+	for {
+		var st server.RunStatus
+		if err := c.do(ctx, http.MethodGet, "/v1/runs/"+id+"?wait=1", nil, &st); err != nil {
+			return st, err
+		}
+		switch st.State {
+		case server.StateDone, server.StateFailed, server.StateCanceled:
+			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+	}
+}
+
+// Cancel aborts a pending or running run.
+func (c *Client) Cancel(ctx context.Context, id string) (server.RunStatus, error) {
+	var st server.RunStatus
+	err := c.do(ctx, http.MethodPost, "/v1/runs/"+id+"/cancel", nil, &st)
+	return st, err
+}
+
+// ReportBytes fetches the run's report document verbatim — the exact
+// bytes report.Save would have written in-process, suitable for hashing
+// and diffing.
+func (c *Client) ReportBytes(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/runs/"+id+"/report", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp.StatusCode, data)
+	}
+	return data, nil
+}
+
+// Report fetches and parses the run's report document, validating its
+// schema version.
+func (c *Client) Report(ctx context.Context, id string) (*report.Document, error) {
+	data, err := c.ReportBytes(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	var doc report.Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	if err := report.Validate(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// StreamProvenance follows the run's live decision log, invoking fn for
+// every decision until the run finishes, fn returns an error, or ctx is
+// canceled. The transport client must not impose an overall timeout
+// shorter than the run (pass a dedicated http.Client to New for long
+// streams).
+func (c *Client) StreamProvenance(ctx context.Context, id string, fn func(provenance.Decision) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/runs/"+id+"/provenance", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return apiError(resp.StatusCode, data)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var d provenance.Decision
+		if err := json.Unmarshal(line, &d); err != nil {
+			return fmt.Errorf("client: bad provenance line: %w", err)
+		}
+		if err := fn(d); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

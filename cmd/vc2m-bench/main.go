@@ -23,33 +23,49 @@ import (
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "smoke-test sizes (CI); values are not comparable to full runs")
-	runs := flag.Int("runs", 0, "repetitions per benchmark, median reported (default 3, 1 with -quick)")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for the sweep benchmark")
-	out := flag.String("out", "results", "directory for BENCH_<stamp>.json ('-' writes JSON to stdout)")
-	check := flag.String("check", "", "compare the run's JSON schema against this committed baseline; exit 1 on drift")
-	compare := flag.String("compare", "", "compare a second report file against -check (no benchmarks are run)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
 
-	if *compare != "" {
-		if *check == "" {
-			fatal(fmt.Errorf("-compare requires -check <baseline.json>"))
+// run is the defer-safe driver: every exit path unwinds through it
+// instead of os.Exit-ing mid-function.
+func run(args []string) int {
+	fs := flag.NewFlagSet("vc2m-bench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "smoke-test sizes (CI); values are not comparable to full runs")
+	runs := fs.Int("runs", 0, "repetitions per benchmark, median reported (default 3, 1 with -quick)")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "worker count for the sweep benchmark")
+	out := fs.String("out", "results", "directory for BENCH_<stamp>.json ('-' writes JSON to stdout)")
+	check := fs.String("check", "", "compare the run's JSON schema against this committed baseline; exit 1 on drift")
+	compare := fs.String("compare", "", "compare a second report file against -check (no benchmarks are run)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := realMain(*quick, *runs, *parallel, *out, *check, *compare); err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-bench:", err)
+		return 1
+	}
+	return 0
+}
+
+func realMain(quick bool, runs, parallel int, out, check, compare string) error {
+	if compare != "" {
+		if check == "" {
+			return fmt.Errorf("-compare requires -check <baseline.json>")
 		}
-		baseRep, err := loadReport(*check)
+		baseRep, err := loadReport(check)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		curRep, err := loadReport(*compare)
+		curRep, err := loadReport(compare)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		printComparison(baseRep, curRep)
-		return
+		return nil
 	}
 
-	rep, err := bench.RunAll(bench.Options{Quick: *quick, Runs: *runs, Parallel: *parallel})
+	rep, err := bench.RunAll(bench.Options{Quick: quick, Runs: runs, Parallel: parallel})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	rep.Stamp = time.Now().UTC().Format("20060102T150405Z") //vc2m:wallclock report stamp
 
@@ -63,25 +79,25 @@ func main() {
 
 	data, err := rep.Marshal()
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(data)
 	} else {
-		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fatal(err)
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
 		}
-		path := filepath.Join(*out, "BENCH_"+rep.Stamp+".json")
+		path := filepath.Join(out, "BENCH_"+rep.Stamp+".json")
 		if err := os.WriteFile(path, data, 0o644); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 
-	if *check != "" {
-		baseRep, err := loadReport(*check)
+	if check != "" {
+		baseRep, err := loadReport(check)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		diffs := bench.CompareSchema(baseRep, rep)
 		if len(diffs) > 0 {
@@ -89,10 +105,11 @@ func main() {
 			for _, d := range diffs {
 				fmt.Fprintln(os.Stderr, "  -", d)
 			}
-			os.Exit(1)
+			return fmt.Errorf("schema drift against %s", check)
 		}
-		fmt.Fprintf(os.Stderr, "schema matches %s\n", *check)
+		fmt.Fprintf(os.Stderr, "schema matches %s\n", check)
 	}
+	return nil
 }
 
 func loadReport(path string) (*bench.Report, error) {
@@ -122,9 +139,4 @@ func printComparison(old, new_ *bench.Report) {
 		}
 		fmt.Printf("%-28s %14.0f %14.0f %8s\n", o.Name, o.Value, n.Value, delta)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vc2m-bench:", err)
-	os.Exit(1)
 }

@@ -23,57 +23,69 @@ import (
 )
 
 func main() {
-	vcpuList := flag.String("vcpus", "24,96", "comma-separated VCPU counts to measure (paper: 24,96)")
-	horizon := flag.Float64("horizon", 2000, "simulated duration in ms")
-	seed := flag.Int64("seed", 1, "random seed")
-	csvPath := flag.String("csv", "", "also write the first configuration's handler summaries to this CSV file")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
 
+// run is the defer-safe driver: the CSV file closes on every exit path.
+func run(args []string) int {
+	fs := flag.NewFlagSet("vc2m-overhead", flag.ContinueOnError)
+	vcpuList := fs.String("vcpus", "24,96", "comma-separated VCPU counts to measure (paper: 24,96)")
+	horizon := fs.Float64("horizon", 2000, "simulated duration in ms")
+	seed := fs.Int64("seed", 1, "random seed")
+	csvPath := fs.String("csv", "", "also write the first configuration's handler summaries to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := realMain(*vcpuList, *horizon, *seed, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-overhead:", err)
+		return 1
+	}
+	return 0
+}
+
+func realMain(vcpuList string, horizon float64, seed int64, csvPath string) error {
 	var counts []int
-	for _, s := range strings.Split(*vcpuList, ",") {
+	for _, s := range strings.Split(vcpuList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || n <= 0 {
-			fatal(fmt.Errorf("invalid VCPU count %q", s))
+			return fmt.Errorf("invalid VCPU count %q", s)
 		}
 		counts = append(counts, n)
 	}
 
 	first, err := experiment.RunOverhead(experiment.OverheadConfig{
-		VCPUs: counts[0], HorizonMs: *horizon, Seed: *seed,
+		VCPUs: counts[0], HorizonMs: horizon, Seed: seed,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := first.WriteCSV(f); err != nil {
-			fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	fmt.Print(first.Table1())
 	fmt.Printf("  (%d throttle events, %d BW replenishments over %.0f ms)\n\n",
-		first.ThrottleEvents, first.BWReplenishments, *horizon)
+		first.ThrottleEvents, first.BWReplenishments, horizon)
 
 	fmt.Println("Table 2: Scheduler's overhead (us)")
 	fmt.Print(first.Table2Row())
 	for _, n := range counts[1:] {
 		res, err := experiment.RunOverhead(experiment.OverheadConfig{
-			VCPUs: n, HorizonMs: *horizon, Seed: *seed,
+			VCPUs: n, HorizonMs: horizon, Seed: seed,
 		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Print(res.Table2Row())
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vc2m-overhead:", err)
-	os.Exit(1)
+	return nil
 }

@@ -4,63 +4,124 @@
 // VM-count studies). Text tables and CSVs are written under -out.
 //
 // The default scale finishes in a few minutes; -tasksets 50 -step 0.05
-// matches the paper's 1950 tasksets per figure.
+// matches the paper's 1950 tasksets per figure. An interrupt (SIGINT or
+// SIGTERM) stops the sweep at the next utilization point, flushes the
+// figures completed so far, and exits non-zero.
+//
+// With -server the six figure sweeps are submitted to a vc2m-server
+// daemon as sweep runs; each figure's report document is fetched and
+// written under -out as <figure>.report.json.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 
+	"vc2m/client"
 	"vc2m/internal/experiment"
 	"vc2m/internal/model"
 	"vc2m/internal/profutil"
 	"vc2m/internal/provenance"
 	"vc2m/internal/report"
+	"vc2m/internal/server"
 	"vc2m/internal/workload"
 )
 
+// figures lists the six schedulability sweeps of Figures 2 and 3.
+var figures = []struct {
+	name string
+	plat model.Platform
+	dist workload.Distribution
+}{
+	{"fig2a", model.PlatformA, workload.Uniform},
+	{"fig2b", model.PlatformB, workload.Uniform},
+	{"fig2c", model.PlatformC, workload.Uniform},
+	{"fig3a", model.PlatformA, workload.BimodalLight},
+	{"fig3b", model.PlatformA, workload.BimodalMedium},
+	{"fig3c", model.PlatformA, workload.BimodalHeavy},
+}
+
 func main() {
-	out := flag.String("out", "results", "output directory")
-	tasksets := flag.Int("tasksets", 50, "tasksets per utilization point (paper: 50)")
-	step := flag.Float64("step", 0.05, "utilization step (paper: 0.05)")
-	seed := flag.Int64("seed", 1, "random seed")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "tasksets/trials analyzed concurrently (results are identical at any value; use 1 when timing, e.g. for fig4)")
-	provFlag := flag.Bool("provenance", false, "record per-taskset accept/reject provenance across all figure sweeps (implied by -report-out)")
-	reportOut := flag.String("report-out", "", "write one unified sweep report JSON covering all figures here (inspect with vc2m-report)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
 
-	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
+// run is the defer-safe driver: every exit path unwinds through it, so
+// profiles stop cleanly and partially-completed figures are flushed even
+// when a later stage fails or the run is interrupted.
+func run(args []string) int {
+	fs := flag.NewFlagSet("vc2m-paper", flag.ContinueOnError)
+	out := fs.String("out", "results", "output directory")
+	tasksets := fs.Int("tasksets", 50, "tasksets per utilization point (paper: 50)")
+	step := fs.Float64("step", 0.05, "utilization step (paper: 0.05)")
+	seed := fs.Int64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "tasksets/trials analyzed concurrently (results are identical at any value; use 1 when timing, e.g. for fig4)")
+	provFlag := fs.Bool("provenance", false, "record per-taskset accept/reject provenance across all figure sweeps (implied by -report-out)")
+	reportOut := fs.String("report-out", "", "write one unified sweep report JSON covering all figures here (inspect with vc2m-report)")
+	serverURL := fs.String("server", "", "submit the figure sweeps to a vc2m-server daemon at this URL instead of running in-process")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// An interrupt cancels the sweep at the next utilization point; the
+	// figures completed so far still flush below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := realMain(ctx, paperFlags{
+		out: *out, tasksets: *tasksets, step: *step, seed: *seed,
+		parallel: *parallel, provenance: *provFlag, reportOut: *reportOut,
+		serverURL: *serverURL, cpuprofile: *cpuprofile, memprofile: *memprofile,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-paper:", err)
+		return 1
+	}
+	return 0
+}
+
+type paperFlags struct {
+	out        string
+	tasksets   int
+	step       float64
+	seed       int64
+	parallel   int
+	provenance bool
+	reportOut  string
+	serverURL  string
+	cpuprofile string
+	memprofile string
+}
+
+func realMain(ctx context.Context, f paperFlags) error {
+	if err := os.MkdirAll(f.out, 0o755); err != nil {
+		return err
+	}
+	if f.serverURL != "" {
+		return runViaServer(ctx, f)
+	}
+
+	stopProf, err := profutil.Start(f.cpuprofile, f.memprofile)
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "vc2m-paper: profile:", perr)
+		}
+	}()
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
-	}
-
-	// Figures 2 and 3: six schedulability sweeps.
-	figures := []struct {
-		name string
-		plat model.Platform
-		dist workload.Distribution
-	}{
-		{"fig2a", model.PlatformA, workload.Uniform},
-		{"fig2b", model.PlatformB, workload.Uniform},
-		{"fig2c", model.PlatformC, workload.Uniform},
-		{"fig3a", model.PlatformA, workload.BimodalLight},
-		{"fig3b", model.PlatformA, workload.BimodalMedium},
-		{"fig3c", model.PlatformA, workload.BimodalHeavy},
-	}
 	// One recorder spans all sweeps; the per-figure ProvenanceLabel keeps
 	// the sweep cases distinguishable ("fig3a/u=1.00/ts=7").
 	var prov *provenance.Recorder
-	if *provFlag || *reportOut != "" {
+	if f.provenance || f.reportOut != "" {
 		prov = provenance.New()
 	}
 
@@ -70,126 +131,205 @@ func main() {
 		res, err := experiment.RunSchedulability(experiment.SchedConfig{
 			Platform:         fig.plat,
 			Dist:             fig.dist,
-			UtilStep:         *step,
-			TasksetsPerPoint: *tasksets,
-			Seed:             *seed,
-			Parallel:         *parallel,
+			UtilStep:         f.step,
+			TasksetsPerPoint: f.tasksets,
+			Seed:             f.seed,
+			Parallel:         f.parallel,
 			Provenance:       prov,
 			ProvenanceLabel:  fig.name,
+			Context:          ctx,
 		})
+		if res != nil {
+			// Flush whatever completed — on an interrupt this preserves
+			// the utilization points analyzed before the signal.
+			if werr := writeFile(f.out, fig.name+".txt", res.FractionTable()+"\n"+res.Summary()); werr != nil && err == nil {
+				err = werr
+			}
+			if werr := writeCSV(f.out, fig.name+".csv", res.WriteFractionsCSV); werr != nil && err == nil {
+				err = werr
+			}
+		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if fig.name == "fig2a" {
 			fig2a = res
 		}
-		writeFile(*out, fig.name+".txt", res.FractionTable()+"\n"+res.Summary())
-		writeCSV(*out, fig.name+".csv", res.WriteFractionsCSV)
 	}
-	if *reportOut != "" {
+	if f.reportOut != "" {
 		doc := report.BuildSweep(report.SweepInput{
-			Title:      fmt.Sprintf("vc2m-paper figure sweeps (seed %d)", *seed),
-			Seed:       *seed,
+			Title:      fmt.Sprintf("vc2m-paper figure sweeps (seed %d)", f.seed),
+			Seed:       f.seed,
 			Platform:   model.PlatformA,
 			Sweep:      fig2a.ReportSweep(),
 			Provenance: prov,
 		})
-		if err := report.Save(*reportOut, doc); err != nil {
-			fatal(err)
+		if err := report.Save(f.reportOut, doc); err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote report to %s (inspect with vc2m-report)\n", *reportOut)
+		fmt.Fprintf(os.Stderr, "wrote report to %s (inspect with vc2m-report)\n", f.reportOut)
 	}
 
 	// Figure 4: running times come from the fig2a sweep (same workloads).
 	fmt.Fprintln(os.Stderr, "fig4 (running times)...")
-	writeFile(*out, "fig4.txt", "# Figure 4: average running time per taskset (seconds)\n"+fig2a.RuntimeTable())
-	writeCSV(*out, "fig4.csv", fig2a.WriteRuntimesCSV)
+	if err := writeFile(f.out, "fig4.txt", "# Figure 4: average running time per taskset (seconds)\n"+fig2a.RuntimeTable()); err != nil {
+		return err
+	}
+	if err := writeCSV(f.out, "fig4.csv", fig2a.WriteRuntimesCSV); err != nil {
+		return err
+	}
 
 	// Tables 1 and 2.
 	fmt.Fprintln(os.Stderr, "tables 1-2 (overheads)...")
 	var tables string
 	for i, vcpus := range []int{24, 96} {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		res, err := experiment.RunOverhead(experiment.OverheadConfig{
-			VCPUs: vcpus, HorizonMs: 5000, Seed: *seed,
+			VCPUs: vcpus, HorizonMs: 5000, Seed: f.seed,
 		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if i == 0 {
 			tables += res.Table1() + "\nTable 2: Scheduler's overhead (us)\n"
-			writeCSV(*out, "table1.csv", res.WriteCSV)
+			if err := writeCSV(f.out, "table1.csv", res.WriteCSV); err != nil {
+				return err
+			}
 		}
 		tables += res.Table2Row()
 	}
-	writeFile(*out, "tables12.txt", tables)
+	if err := writeFile(f.out, "tables12.txt", tables); err != nil {
+		return err
+	}
 
 	// Section 3.3.
 	fmt.Fprintln(os.Stderr, "section 3.3 (isolation)...")
-	iso, err := experiment.RunIsolation(experiment.IsolationConfig{Ops: 150000, Seed: *seed})
+	iso, err := experiment.RunIsolation(experiment.IsolationConfig{Ops: 150000, Seed: f.seed})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	writeFile(*out, "sec33.txt", iso.Table())
-	writeCSV(*out, "sec33.csv", iso.WriteCSV)
+	if err := writeFile(f.out, "sec33.txt", iso.Table()); err != nil {
+		return err
+	}
+	if err := writeCSV(f.out, "sec33.csv", iso.WriteCSV); err != nil {
+		return err
+	}
 
 	// VM-count study (repository addition).
 	fmt.Fprintln(os.Stderr, "vm-count study...")
 	vmc, err := experiment.RunVMCount(experiment.VMCountConfig{
-		Platform: model.PlatformA, Util: 1.0, Seed: *seed, Parallel: *parallel,
+		Platform: model.PlatformA, Util: 1.0, Seed: f.seed, Parallel: f.parallel,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	writeFile(*out, "vmcount.txt", vmc.Table())
+	if err := writeFile(f.out, "vmcount.txt", vmc.Table()); err != nil {
+		return err
+	}
 
 	// Partition-count and regulation-period sweeps (repository additions).
 	fmt.Fprintln(os.Stderr, "partition sweep...")
-	psweep, err := experiment.RunPartitionSweep(experiment.PartitionSweepConfig{Seed: *seed, Parallel: *parallel})
+	psweep, err := experiment.RunPartitionSweep(experiment.PartitionSweepConfig{Seed: f.seed, Parallel: f.parallel})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	writeFile(*out, "partition-sweep.txt", psweep.Table())
+	if err := writeFile(f.out, "partition-sweep.txt", psweep.Table()); err != nil {
+		return err
+	}
 
 	fmt.Fprintln(os.Stderr, "regulation-period sweep...")
-	rsweep, err := experiment.RunRegPeriodSweep(experiment.RegPeriodSweepConfig{Seed: *seed})
+	rsweep, err := experiment.RunRegPeriodSweep(experiment.RegPeriodSweepConfig{Seed: f.seed})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	writeFile(*out, "regperiod-sweep.txt", experiment.RegPeriodTable(rsweep))
+	if err := writeFile(f.out, "regperiod-sweep.txt", experiment.RegPeriodTable(rsweep)); err != nil {
+		return err
+	}
 
 	fmt.Fprintln(os.Stderr, "online admission study...")
-	online, err := experiment.RunOnline(experiment.OnlineConfig{Seed: *seed, Parallel: *parallel})
+	online, err := experiment.RunOnline(experiment.OnlineConfig{Seed: f.seed, Parallel: f.parallel})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	writeFile(*out, "online.txt", online.Table())
+	if err := writeFile(f.out, "online.txt", online.Table()); err != nil {
+		return err
+	}
 
-	if err := stopProf(); err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "done; outputs in %s/\n", *out)
+	fmt.Fprintf(os.Stderr, "done; outputs in %s/\n", f.out)
+	return nil
 }
 
-func writeFile(dir, name, content string) {
-	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
-		fatal(err)
+// runViaServer submits the six figure sweeps to a vc2m-server daemon,
+// waits for each, and writes the fetched report documents under -out.
+// Submission is concurrent — the daemon's worker pool sets the
+// parallelism — and an interrupt cancels the waits, leaving the daemon to
+// finish (or time out) the sweeps on its own.
+func runViaServer(ctx context.Context, f paperFlags) error {
+	c := client.New(f.serverURL, nil)
+	ids := make(map[string]string, len(figures))
+	for _, fig := range figures {
+		sub, err := c.Submit(ctx, server.SubmitRequest{
+			Kind:  server.KindSweep,
+			Title: fmt.Sprintf("vc2m-paper %s sweep (seed %d)", fig.name, f.seed),
+			Seed:  f.seed,
+			Sweep: &server.SweepSpec{
+				Platform:         fig.plat.Name,
+				Dist:             fig.dist.String(),
+				UtilStep:         f.step,
+				TasksetsPerPoint: f.tasksets,
+				Parallel:         f.parallel,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s submitted as %s\n", fig.name, sub.ID)
+		ids[fig.name] = sub.ID
 	}
+	var firstErr error
+	for _, fig := range figures {
+		id := ids[fig.name]
+		st, err := c.Wait(ctx, id)
+		if err != nil {
+			return err
+		}
+		if st.State != server.StateDone {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s (%s) %s: %s", fig.name, id, st.State, st.Error)
+			}
+			continue
+		}
+		data, err := c.ReportBytes(ctx, id)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(f.out, fig.name+".report.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	fmt.Fprintf(os.Stderr, "done; reports in %s/ (inspect with vc2m-report)\n", f.out)
+	return nil
 }
 
-func writeCSV(dir, name string, write func(w io.Writer) error) {
+func writeFile(dir, name, content string) error {
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+}
+
+func writeCSV(dir, name string, write func(w io.Writer) error) error {
 	f, err := os.Create(filepath.Join(dir, name))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := write(f); err != nil {
-		fatal(err)
+		f.Close()
+		return err
 	}
-	if err := f.Close(); err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vc2m-paper:", err)
-	os.Exit(1)
+	return f.Close()
 }

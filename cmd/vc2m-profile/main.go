@@ -21,24 +21,40 @@ import (
 )
 
 func main() {
-	cores := flag.Int("cores", 4, "number of co-running cores")
-	ops := flag.Int("ops", 100000, "operations per task")
-	seed := flag.Int64("seed", 1, "random seed")
-	benchmark := flag.String("benchmark", "", "also print this benchmark's slowdown profile s(c,b)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
 
+// run is the defer-safe driver: every exit path unwinds through it
+// instead of os.Exit-ing mid-function.
+func run(args []string) int {
+	fs := flag.NewFlagSet("vc2m-profile", flag.ContinueOnError)
+	cores := fs.Int("cores", 4, "number of co-running cores")
+	ops := fs.Int("ops", 100000, "operations per task")
+	seed := fs.Int64("seed", 1, "random seed")
+	benchmark := fs.String("benchmark", "", "also print this benchmark's slowdown profile s(c,b)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := realMain(*cores, *ops, *seed, *benchmark); err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-profile:", err)
+		return 1
+	}
+	return 0
+}
+
+func realMain(cores, ops int, seed int64, benchmark string) error {
 	res, err := experiment.RunIsolation(experiment.IsolationConfig{
-		Cores: *cores, Ops: *ops, Seed: *seed,
+		Cores: cores, Ops: ops, Seed: seed,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Print(res.Table())
 
-	if *benchmark != "" {
-		bm, err := parsec.ByName(*benchmark)
+	if benchmark != "" {
+		bm, err := parsec.ByName(benchmark)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		p := model.PlatformA
 		prof := bm.Profile(p)
@@ -57,9 +73,5 @@ func main() {
 		}
 		fmt.Printf("max slowdown s^max (cache disabled, worst BW): %.2f\n", bm.MaxSlowdown(p))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vc2m-profile:", err)
-	os.Exit(1)
+	return nil
 }

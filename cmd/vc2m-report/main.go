@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,24 +22,44 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run(os.Args[1:]))
+}
+
+// errDiffer marks the diff subcommand's "documents differ" outcome: the
+// details were already printed, only the exit code remains.
+var errDiffer = errors.New("reports differ")
+
+// run is the defer-safe driver: subcommands return errors instead of
+// os.Exit-ing mid-function.
+func run(args []string) int {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	switch os.Args[1] {
+	var err error
+	switch args[0] {
 	case "generate":
-		cmdGenerate(os.Args[2:])
+		err = cmdGenerate(args[1:])
 	case "diff":
-		cmdDiff(os.Args[2:])
+		err = cmdDiff(args[1:])
 	case "explain":
-		cmdExplain(os.Args[2:])
+		err = cmdExplain(args[1:])
 	case "-h", "-help", "--help", "help":
 		usage()
+		return 0
 	default:
-		fmt.Fprintf(os.Stderr, "vc2m-report: unknown subcommand %q\n", os.Args[1])
+		fmt.Fprintf(os.Stderr, "vc2m-report: unknown subcommand %q\n", args[0])
 		usage()
-		os.Exit(2)
+		return 2
 	}
+	if errors.Is(err, errDiffer) {
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-report:", err)
+		return 1
+	}
+	return 0
 }
 
 func usage() {
@@ -52,84 +73,78 @@ func usage() {
 // cmdGenerate validates the document and renders the HTML page. With no
 // -html flag the HTML goes to stdout, so the subcommand doubles as a
 // validator (`vc2m-report generate -in run.json >/dev/null`).
-func cmdGenerate(args []string) {
-	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
 	in := fs.String("in", "", "input report JSON (required)")
 	htmlOut := fs.String("html", "", "write the HTML rendering here (default stdout)")
-	parseInto(fs, args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
-		fatal(fmt.Errorf("generate: -in is required"))
+		return fmt.Errorf("generate: -in is required")
 	}
 	doc, err := report.Load(*in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	page := report.RenderHTML(doc)
 	if *htmlOut == "" {
 		fmt.Print(page)
-		return
+		return nil
 	}
 	if err := os.WriteFile(*htmlOut, []byte(page), 0o644); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d decision(s), kind %s)\n", *htmlOut, len(doc.Decisions), doc.Kind)
+	return nil
 }
 
 // cmdDiff exits 0 iff the two documents are identical — the acceptance
 // check for reproducibility of identically-seeded runs.
-func cmdDiff(args []string) {
-	fs := flag.NewFlagSet("diff", flag.ExitOnError)
-	parseInto(fs, args)
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if fs.NArg() != 2 {
-		fatal(fmt.Errorf("diff: need exactly two report files, got %d", fs.NArg()))
+		return fmt.Errorf("diff: need exactly two report files, got %d", fs.NArg())
 	}
 	a, err := report.Load(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	b, err := report.Load(fs.Arg(1))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	diffs := report.Diff(a, b)
 	if len(diffs) == 0 {
 		fmt.Printf("reports identical (%d decision(s))\n", len(a.Decisions))
-		return
+		return nil
 	}
 	fmt.Printf("%d difference(s):\n", len(diffs))
 	for _, d := range diffs {
 		fmt.Println("  " + d)
 	}
-	os.Exit(1)
+	return errDiffer
 }
 
-func cmdExplain(args []string) {
-	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
 	in := fs.String("in", "", "input report JSON (required)")
-	parseInto(fs, args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
-		fatal(fmt.Errorf("explain: -in is required"))
+		return fmt.Errorf("explain: -in is required")
 	}
 	if fs.NArg() != 1 {
-		fatal(fmt.Errorf("explain: need exactly one subject (a task, VCPU, \"core N\" or sweep case), got %d args", fs.NArg()))
+		return fmt.Errorf("explain: need exactly one subject (a task, VCPU, \"core N\" or sweep case), got %d args", fs.NArg())
 	}
 	doc, err := report.Load(*in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Print(report.Explain(doc, fs.Arg(0)))
-}
-
-// parseInto parses args, tolerating flags placed after positional
-// arguments (e.g. `explain run.json -in run.json` is still an error, but
-// `explain -in run.json t3` works as expected).
-func parseInto(fs *flag.FlagSet, args []string) {
-	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vc2m-report:", err)
-	os.Exit(1)
+	return nil
 }

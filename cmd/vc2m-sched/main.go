@@ -9,14 +9,20 @@
 // The full paper-scale run is -tasksets 50 over utilization 0.1..2.0 step
 // 0.05 (1950 tasksets); the default uses a coarser grid so the command
 // finishes in seconds. Output is a utilization-indexed table of fractions
-// plus a knee/area summary.
+// plus a knee/area summary. An interrupt (SIGINT or SIGTERM) stops the
+// sweep at the next utilization point, flushes the completed points'
+// tables, CSVs and metrics, and exits non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"vc2m/internal/experiment"
 	"vc2m/internal/model"
@@ -28,56 +34,110 @@ import (
 )
 
 func main() {
-	platform := flag.String("platform", "A", "platform configuration: A (4 cores, 20 partitions), B (6, 20) or C (4, 12)")
-	dist := flag.String("dist", "uniform", "task utilization distribution: uniform, light, medium or heavy")
-	tasksets := flag.Int("tasksets", 10, "independent tasksets per utilization point (paper: 50)")
-	min := flag.Float64("min", 0.1, "minimum taskset reference utilization")
-	max := flag.Float64("max", 2.0, "maximum taskset reference utilization")
-	step := flag.Float64("step", 0.1, "utilization step (paper: 0.05)")
-	seed := flag.Int64("seed", 1, "random seed")
-	quiet := flag.Bool("quiet", false, "suppress progress output")
-	doPlot := flag.Bool("plot", false, "render the curves as an ASCII chart (the figure itself)")
-	csvPath := flag.String("csv", "", "also write the fraction series to this CSV file")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "tasksets analyzed concurrently (results are identical at any value; use 1 when timing)")
-	showMetrics := flag.Bool("metrics", false, "collect and print per-solution search-effort metrics (dbf/sbf evaluations, phase timings, ...)")
-	metricsCSV := flag.String("metrics-csv", "", "also write the per-solution metrics to this CSV file (implies -metrics)")
-	provFlag := flag.Bool("provenance", false, "record per-taskset accept/reject provenance (implied by -report-out)")
-	reportOut := flag.String("report-out", "", "write a unified sweep report JSON here (inspect with vc2m-report)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
 
-	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
-	if err != nil {
-		fatal(err)
+// run is the defer-safe driver: deferred closers (profiles, CSV files)
+// execute on every exit path, and an interrupted sweep still flushes the
+// utilization points completed before the signal.
+func run(args []string) int {
+	fs := flag.NewFlagSet("vc2m-sched", flag.ContinueOnError)
+	platform := fs.String("platform", "A", "platform configuration: A (4 cores, 20 partitions), B (6, 20) or C (4, 12)")
+	dist := fs.String("dist", "uniform", "task utilization distribution: uniform, light, medium or heavy")
+	tasksets := fs.Int("tasksets", 10, "independent tasksets per utilization point (paper: 50)")
+	min := fs.Float64("min", 0.1, "minimum taskset reference utilization")
+	max := fs.Float64("max", 2.0, "maximum taskset reference utilization")
+	step := fs.Float64("step", 0.1, "utilization step (paper: 0.05)")
+	seed := fs.Int64("seed", 1, "random seed")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	doPlot := fs.Bool("plot", false, "render the curves as an ASCII chart (the figure itself)")
+	csvPath := fs.String("csv", "", "also write the fraction series to this CSV file")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "tasksets analyzed concurrently (results are identical at any value; use 1 when timing)")
+	showMetrics := fs.Bool("metrics", false, "collect and print per-solution search-effort metrics (dbf/sbf evaluations, phase timings, ...)")
+	metricsCSV := fs.String("metrics-csv", "", "also write the per-solution metrics to this CSV file (implies -metrics)")
+	provFlag := fs.Bool("provenance", false, "record per-taskset accept/reject provenance (implied by -report-out)")
+	reportOut := fs.String("report-out", "", "write a unified sweep report JSON here (inspect with vc2m-report)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	plat, err := model.PlatformByName(*platform)
-	if err != nil {
-		fatal(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := realMain(ctx, schedFlags{
+		platform: *platform, dist: *dist, tasksets: *tasksets,
+		min: *min, max: *max, step: *step, seed: *seed,
+		quiet: *quiet, doPlot: *doPlot, csvPath: *csvPath, parallel: *parallel,
+		showMetrics: *showMetrics, metricsCSV: *metricsCSV,
+		provenance: *provFlag, reportOut: *reportOut,
+		cpuprofile: *cpuprofile, memprofile: *memprofile,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-sched:", err)
+		return 1
 	}
-	d, err := workload.ParseDistribution(*dist)
+	return 0
+}
+
+type schedFlags struct {
+	platform    string
+	dist        string
+	tasksets    int
+	min         float64
+	max         float64
+	step        float64
+	seed        int64
+	quiet       bool
+	doPlot      bool
+	csvPath     string
+	parallel    int
+	showMetrics bool
+	metricsCSV  string
+	provenance  bool
+	reportOut   string
+	cpuprofile  string
+	memprofile  string
+}
+
+func realMain(ctx context.Context, f schedFlags) error {
+	stopProf, err := profutil.Start(f.cpuprofile, f.memprofile)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "vc2m-sched: profile:", perr)
+		}
+	}()
+
+	plat, err := model.PlatformByName(f.platform)
+	if err != nil {
+		return err
+	}
+	d, err := workload.ParseDistribution(f.dist)
+	if err != nil {
+		return err
 	}
 
 	cfg := experiment.SchedConfig{
 		Platform:         plat,
 		Dist:             d,
-		UtilMin:          *min,
-		UtilMax:          *max,
-		UtilStep:         *step,
-		TasksetsPerPoint: *tasksets,
-		Seed:             *seed,
-		Parallel:         *parallel,
-		CollectMetrics:   *showMetrics || *metricsCSV != "",
+		UtilMin:          f.min,
+		UtilMax:          f.max,
+		UtilStep:         f.step,
+		TasksetsPerPoint: f.tasksets,
+		Seed:             f.seed,
+		Parallel:         f.parallel,
+		CollectMetrics:   f.showMetrics || f.metricsCSV != "",
+		Context:          ctx,
 	}
 	var prov *provenance.Recorder
-	if *provFlag || *reportOut != "" {
+	if f.provenance || f.reportOut != "" {
 		prov = provenance.New()
 		cfg.Provenance = prov
 	}
-	if !*quiet {
+	if !f.quiet {
 		cfg.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rutilization points: %d/%d", done, total)
 			if done == total {
@@ -86,27 +146,29 @@ func main() {
 		}
 	}
 
-	res, err := experiment.RunSchedulability(cfg)
-	if err != nil {
-		fatal(err)
+	res, runErr := experiment.RunSchedulability(cfg)
+	if res == nil {
+		return runErr
 	}
+	// On an interrupt res holds the completed utilization points; flush
+	// everything below, then surface the error.
 	fmt.Println(res.FractionTable())
 	fmt.Println(res.Summary())
 
-	if *reportOut != "" {
+	if f.reportOut != "" {
 		doc := report.BuildSweep(report.SweepInput{
-			Title:      fmt.Sprintf("vc2m-sched %s/%s sweep (seed %d)", plat.Name, d, *seed),
-			Seed:       *seed,
+			Title:      fmt.Sprintf("vc2m-sched %s/%s sweep (seed %d)", plat.Name, d, f.seed),
+			Seed:       f.seed,
 			Platform:   plat,
 			Sweep:      res.ReportSweep(),
 			Provenance: prov,
 		})
-		if err := report.Save(*reportOut, doc); err != nil {
-			fatal(err)
+		if err := report.Save(f.reportOut, doc); err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote report to %s (inspect with vc2m-report)\n", *reportOut)
+		fmt.Fprintf(os.Stderr, "wrote report to %s (inspect with vc2m-report)\n", f.reportOut)
 	}
-	if *provFlag && prov != nil {
+	if f.provenance && prov != nil {
 		pareto := report.RejectionPareto(&report.Document{Decisions: prov.Decisions()})
 		fmt.Printf("# %d decision(s) recorded; rejections by binding resource:\n", prov.Len())
 		for _, e := range pareto {
@@ -118,35 +180,18 @@ func main() {
 		fmt.Println("# per-solution search-effort metrics")
 		fmt.Print(res.MetricsTable())
 	}
-	if *metricsCSV != "" {
-		f, err := os.Create(*metricsCSV)
-		if err != nil {
-			fatal(err)
+	if f.metricsCSV != "" {
+		if err := writeCSVFile(f.metricsCSV, res.WriteMetricsCSV); err != nil {
+			return err
 		}
-		if err := res.WriteMetricsCSV(f); err != nil {
-			fatal(err)
+	}
+	if f.csvPath != "" {
+		if err := writeCSVFile(f.csvPath, res.WriteFractionsCSV); err != nil {
+			return err
 		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsCSV)
 	}
 
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := res.WriteFractionsCSV(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
-	}
-
-	if *doPlot {
+	if f.doPlot {
 		var series []plot.Series
 		for _, s := range res.FractionSeries() {
 			series = append(series, plot.Series{Name: s.Name, X: s.X, Y: s.Y})
@@ -157,17 +202,27 @@ func main() {
 			XLabel: "taskset reference utilization", YLabel: "schedulable fraction",
 		}, series...)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(chart)
 	}
-
-	if err := stopProf(); err != nil {
-		fatal(err)
-	}
+	return runErr
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vc2m-sched:", err)
-	os.Exit(1)
+// writeCSVFile streams one CSV writer into path, closing the file on
+// every path.
+func writeCSVFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }

@@ -1,0 +1,154 @@
+// vc2m-server is the vC2M allocation daemon: a long-running HTTP/JSON
+// service that accepts taskset/VM/platform specs, runs allocations
+// concurrently on a bounded worker pool, and serves each run's report
+// document and live provenance stream. See internal/server for the API
+// and package client for the typed Go client.
+//
+// Examples:
+//
+//	vc2m-server -addr 127.0.0.1:8700
+//	vc2m-server -addr 127.0.0.1:0 -ready-file addr.txt -workers 4
+//	vc2m-server -vm 3 -core 4 -cache 12 -bw 12        # with demo inventory
+//
+// SIGINT/SIGTERM drain gracefully: in-flight runs complete, their
+// reports are retained for late fetches until the listener closes, and
+// the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vc2m/internal/model"
+	"vc2m/internal/server"
+	"vc2m/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the defer-safe driver: every return path unwinds cleanly, so
+// the listener, ready file and worker pool are always released.
+func run(args []string) int {
+	fs := flag.NewFlagSet("vc2m-server", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8700", "listen address (port 0 picks an ephemeral port)")
+	workers := fs.Int("workers", 2, "concurrent allocation workers")
+	queue := fs.Int("queue", 64, "pending-run queue capacity")
+	runTimeout := fs.Duration("run-timeout", 10*time.Minute, "per-run execution bound (0 disables)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request bound for non-streaming endpoints")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Minute, "shutdown drain bound before in-flight runs are canceled")
+	readyFile := fs.String("ready-file", "", "write the bound address here once listening (for scripts)")
+
+	// vcsim-style synthetic inventory: a generated demo system submitted
+	// at startup, so a fresh daemon has browsable state immediately.
+	demoVMs := fs.Int("vm", 0, "demo inventory: VM count (0 disables the demo run)")
+	demoCores := fs.Int("core", 4, "demo inventory: platform cores")
+	demoCache := fs.Int("cache", 12, "demo inventory: cache partitions")
+	demoBW := fs.Int("bw", 12, "demo inventory: memory-bandwidth partitions")
+	demoUtil := fs.Float64("demo-util", 1.0, "demo inventory: taskset reference utilization")
+	demoSeed := fs.Int64("demo-seed", 1, "demo inventory: generation seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		RunTimeout:     *runTimeout,
+		RequestTimeout: *reqTimeout,
+	})
+	srv.Start()
+
+	if *demoVMs > 0 {
+		if err := seedDemo(srv, *demoVMs, *demoCores, *demoCache, *demoBW, *demoUtil, *demoSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "vc2m-server: demo inventory:", err)
+			return 1
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-server:", err)
+		return 1
+	}
+	defer ln.Close()
+	bound := ln.Addr().String()
+	if *readyFile != "" {
+		if err := os.WriteFile(*readyFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vc2m-server:", err)
+			return 1
+		}
+		defer os.Remove(*readyFile)
+	}
+	fmt.Printf("vc2m-server listening on %s (%d workers, queue %d)\n", bound, *workers, *queue)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "vc2m-server:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, then drain the
+	// worker pool — in-flight runs complete and their reports flush into
+	// the registry before the process exits 0.
+	fmt.Println("vc2m-server: signal received, draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-server: drain:", err)
+		_ = hs.Close()
+		return 1
+	}
+	if err := hs.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-server: http shutdown:", err)
+		return 1
+	}
+	fmt.Println("vc2m-server: drained, exiting")
+	return 0
+}
+
+// seedDemo submits one generated run on a synthetic platform, mirroring
+// vcsim's instant inventory: -vm/-core/-cache/-bw describe the hardware
+// and fleet, and the resulting allocation is immediately listable.
+func seedDemo(srv *server.Server, vms, cores, cache, bw int, util float64, seed int64) error {
+	plat := model.Platform{Name: "synthetic", M: cores, C: cache, B: bw, Cmin: 2, Bmin: 1}
+	if cache < 2*cores {
+		// Tiny platforms cannot give every core the 2-partition minimum;
+		// fall back to 1 so -core 8 -cache 8 still forms a valid demo.
+		plat.Cmin = 1
+	}
+	if err := plat.Validate(); err != nil {
+		return err
+	}
+	run, err := srv.Submit(server.SubmitRequest{
+		Kind:  server.KindRun,
+		Title: fmt.Sprintf("demo inventory (%d VMs on %dx%dc/%db)", vms, cores, cache, bw),
+		Generate: &workload.Config{
+			Platform:      plat,
+			TargetRefUtil: util,
+			NumVMs:        vms,
+		},
+		GenSeed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vc2m-server: demo inventory submitted as %s\n", run.ID())
+	return nil
+}

@@ -4,142 +4,227 @@
 // allocations are exchanged as JSON, so allocations can be produced once
 // and inspected or replayed later.
 //
+// With -server it submits the run to a vc2m-server daemon instead of
+// executing in-process; the fetched report is byte-identical to the local
+// run with the same seeds.
+//
 // Examples:
 //
 //	vc2m-sim -gen-util 1.2 -gen-seed 7 -dump-system system.json
 //	vc2m-sim -in system.json -mode flattening -out alloc.json
 //	vc2m-sim -gen-util 1.0 -mode overheadfree -simulate 2200
+//	vc2m-sim -server http://127.0.0.1:8700 -gen-util 1.0 -report-out run.json
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"vc2m"
+	"vc2m/client"
 	"vc2m/internal/alloc"
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
 	"vc2m/internal/profutil"
 	"vc2m/internal/report"
+	"vc2m/internal/server"
+	"vc2m/internal/workload"
 )
 
 func main() {
-	in := flag.String("in", "", "input system JSON file (omit to generate a workload)")
-	genUtil := flag.Float64("gen-util", 1.0, "generated workload's target reference utilization")
-	genDist := flag.String("gen-dist", "uniform", "generated workload's distribution: uniform, light, medium, heavy")
-	genSeed := flag.Int64("gen-seed", 1, "generated workload's seed")
-	platform := flag.String("platform", "A", "platform for generated workloads: A, B or C")
-	dumpSystem := flag.String("dump-system", "", "write the (generated) system JSON here and exit")
-	mode := flag.String("mode", "flattening", "analysis mode: flattening, overheadfree or existing")
-	seed := flag.Int64("seed", 0, "allocator seed")
-	out := flag.String("out", "", "write the allocation JSON here")
-	simulate := flag.Float64("simulate", 2200, "simulate the allocation for this many ms (0 to skip)")
-	gantt := flag.Float64("gantt", 0, "render an execution Gantt chart for the first N ms of the simulation")
-	showMetrics := flag.Bool("metrics", false, "record and print allocator and simulator metrics (search effort, scheduler events)")
-	metricsCSV := flag.String("metrics-csv", "", "also write the metrics to this CSV file (implies -metrics)")
-	traceOut := flag.String("trace-out", "", "write the simulation's flight-recorder trace as Chrome trace-event JSON (open in ui.perfetto.dev)")
-	traceJSONL := flag.String("trace-jsonl", "", "write the simulation's flight-recorder trace as JSON lines (replay with vc2m-trace)")
-	diagnose := flag.Bool("diagnose", false, "on deadline misses, print a per-task miss-cause breakdown")
-	provFlag := flag.Bool("provenance", false, "record the allocator's decision stream and print it after the run")
-	reportOut := flag.String("report-out", "", "write a unified run report JSON here (implies -provenance; inspect with vc2m-report)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
 
-	stopProf, err := profutil.Start(*cpuprofile, *memprofile)
-	if err != nil {
-		fatal(err)
+// run is the defer-safe driver: every exit path unwinds through it, so
+// deferred sink/file closers always execute and no partial output is
+// silently truncated.
+func run(args []string) int {
+	fs := flag.NewFlagSet("vc2m-sim", flag.ContinueOnError)
+	in := fs.String("in", "", "input system JSON file (omit to generate a workload)")
+	genUtil := fs.Float64("gen-util", 1.0, "generated workload's target reference utilization")
+	genDist := fs.String("gen-dist", "uniform", "generated workload's distribution: uniform, light, medium, heavy")
+	genSeed := fs.Int64("gen-seed", 1, "generated workload's seed")
+	platform := fs.String("platform", "A", "platform for generated workloads: A, B or C")
+	dumpSystem := fs.String("dump-system", "", "write the (generated) system JSON here and exit")
+	mode := fs.String("mode", "flattening", "analysis mode: flattening, overheadfree or existing")
+	seed := fs.Int64("seed", 0, "allocator seed")
+	out := fs.String("out", "", "write the allocation JSON here")
+	simulate := fs.Float64("simulate", 2200, "simulate the allocation for this many ms (0 to skip)")
+	gantt := fs.Float64("gantt", 0, "render an execution Gantt chart for the first N ms of the simulation")
+	showMetrics := fs.Bool("metrics", false, "record and print allocator and simulator metrics (search effort, scheduler events)")
+	metricsCSV := fs.String("metrics-csv", "", "also write the metrics to this CSV file (implies -metrics)")
+	traceOut := fs.String("trace-out", "", "write the simulation's flight-recorder trace as Chrome trace-event JSON (open in ui.perfetto.dev)")
+	traceJSONL := fs.String("trace-jsonl", "", "write the simulation's flight-recorder trace as JSON lines (replay with vc2m-trace)")
+	diagnose := fs.Bool("diagnose", false, "on deadline misses, print a per-task miss-cause breakdown")
+	provFlag := fs.Bool("provenance", false, "record the allocator's decision stream and print it after the run")
+	reportOut := fs.String("report-out", "", "write a unified run report JSON here (implies -provenance; inspect with vc2m-report)")
+	serverURL := fs.String("server", "", "submit the run to a vc2m-server daemon at this URL instead of executing in-process")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	sys := loadOrGenerate(*in, *platform, *genUtil, *genDist, *genSeed)
+	// An interrupt cancels the in-flight allocation (or the pending
+	// server call); completed outputs flush on the way out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-	if *dumpSystem != "" {
+	if err := realMain(ctx, simFlags{
+		in: *in, genUtil: *genUtil, genDist: *genDist, genSeed: *genSeed,
+		platform: *platform, dumpSystem: *dumpSystem, mode: *mode, seed: *seed,
+		out: *out, simulate: *simulate, gantt: *gantt,
+		showMetrics: *showMetrics, metricsCSV: *metricsCSV,
+		traceOut: *traceOut, traceJSONL: *traceJSONL,
+		diagnose: *diagnose, provenance: *provFlag, reportOut: *reportOut,
+		serverURL: *serverURL, cpuprofile: *cpuprofile, memprofile: *memprofile,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-sim:", err)
+		return 1
+	}
+	return 0
+}
+
+type simFlags struct {
+	in          string
+	genUtil     float64
+	genDist     string
+	genSeed     int64
+	platform    string
+	dumpSystem  string
+	mode        string
+	seed        int64
+	out         string
+	simulate    float64
+	gantt       float64
+	showMetrics bool
+	metricsCSV  string
+	traceOut    string
+	traceJSONL  string
+	diagnose    bool
+	provenance  bool
+	reportOut   string
+	serverURL   string
+	cpuprofile  string
+	memprofile  string
+}
+
+func realMain(ctx context.Context, f simFlags) error {
+	if f.serverURL != "" {
+		return runViaServer(ctx, f)
+	}
+
+	stopProf, err := profutil.Start(f.cpuprofile, f.memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "vc2m-sim: profile:", perr)
+		}
+	}()
+
+	sys, err := loadOrGenerate(f.in, f.platform, f.genUtil, f.genDist, f.genSeed)
+	if err != nil {
+		return err
+	}
+
+	if f.dumpSystem != "" {
 		data, err := model.EncodeSystem(sys)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		if err := os.WriteFile(*dumpSystem, data, 0o644); err != nil {
-			fatal(err)
+		if err := os.WriteFile(f.dumpSystem, data, 0o644); err != nil {
+			return err
 		}
 		fmt.Printf("wrote %s (%d VMs, %d tasks, reference utilization %.2f)\n",
-			*dumpSystem, len(sys.VMs), len(sys.Tasks()), sys.RefUtil())
-		return
+			f.dumpSystem, len(sys.VMs), len(sys.Tasks()), sys.RefUtil())
+		return nil
 	}
 
-	var m vc2m.Mode
-	switch *mode {
-	case "flattening":
-		m = vc2m.Flattening
-	case "overheadfree", "overhead-free":
-		m = vc2m.OverheadFree
-	case "existing":
-		m = vc2m.ExistingCSA
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+	m, modeName, err := parseMode(f.mode)
+	if err != nil {
+		return err
 	}
 
 	var rec *vc2m.MetricsRecorder
-	if *showMetrics || *metricsCSV != "" {
+	if f.showMetrics || f.metricsCSV != "" {
 		rec = vc2m.NewMetrics()
 	}
 	var prov *vc2m.ProvenanceRecorder
-	if *provFlag || *reportOut != "" {
+	if f.provenance || f.reportOut != "" {
 		prov = vc2m.NewProvenance()
 	}
-	run := reportRun{path: *reportOut, mode: *mode, seed: *genSeed, sys: sys, metrics: rec, prov: prov}
+	run := reportRun{path: f.reportOut, mode: modeName, seed: f.genSeed, sys: sys, metrics: rec, prov: prov}
 
-	a, err := vc2m.Allocate(sys, vc2m.Options{Mode: m, Seed: *seed, Metrics: rec, Provenance: prov})
+	a, err := vc2m.Allocate(sys, vc2m.Options{Mode: m, Seed: f.seed, Metrics: rec, Provenance: prov, Context: ctx})
 	if err != nil {
 		// The rejection is itself a result: persist the decision trail
 		// (with the binding resource) before exiting non-zero.
 		run.rejection = err
-		run.write()
-		fatal(err)
+		if werr := run.write(); werr != nil {
+			fmt.Fprintln(os.Stderr, "vc2m-sim: report:", werr)
+		}
+		return err
 	}
 	run.alloc = a
 	fmt.Print(a.Report())
 
-	if *out != "" {
+	if f.out != "" {
 		data, err := model.EncodeAllocation(a)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			fatal(err)
+		if err := os.WriteFile(f.out, data, 0o644); err != nil {
+			return err
 		}
-		fmt.Printf("wrote allocation to %s\n", *out)
+		fmt.Printf("wrote allocation to %s\n", f.out)
 	}
 
-	if *simulate > 0 {
-		sink, closeSinks := openTraceSinks(*traceOut, *traceJSONL)
-		recordTrace := *gantt > 0 || *diagnose || *reportOut != ""
-		res, err := vc2m.Simulate(a, *simulate, vc2m.SimOptions{RecordTrace: recordTrace, Trace: sink, Metrics: rec})
+	if f.simulate > 0 {
+		sink, closeSinks, err := openTraceSinks(f.traceOut, f.traceJSONL)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		closeSinks()
+		recordTrace := f.gantt > 0 || f.diagnose || f.reportOut != ""
+		res, err := vc2m.Simulate(a, f.simulate, vc2m.SimOptions{RecordTrace: recordTrace, Trace: sink, Metrics: rec})
+		if cerr := closeSinks(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
 		run.sim = res
 		fmt.Printf("simulated %.0f ms: %d jobs released, %d completed, %d deadline misses\n",
-			*simulate, res.Released, res.Completed, res.Missed)
-		if *gantt > 0 {
-			fmt.Print(vc2m.RenderGantt(res, 0, *gantt, 100))
+			f.simulate, res.Released, res.Completed, res.Missed)
+		if f.gantt > 0 {
+			fmt.Print(vc2m.RenderGantt(res, 0, f.gantt, 100))
 		}
 		if res.Missed > 0 && recordTrace {
 			run.diag = vc2m.DiagnoseMisses(res.Events)
 		}
-		if *diagnose && run.diag != nil {
+		if f.diagnose && run.diag != nil {
 			fmt.Print(run.diag.Render())
 		}
 		if res.Missed > 0 {
-			run.write()
-			fatal(fmt.Errorf("allocation declared schedulable but missed deadlines"))
+			if werr := run.write(); werr != nil {
+				fmt.Fprintln(os.Stderr, "vc2m-sim: report:", werr)
+			}
+			return fmt.Errorf("allocation declared schedulable but missed deadlines")
 		}
 	}
-	run.write()
+	if err := run.write(); err != nil {
+		return err
+	}
 
-	if *provFlag && prov != nil {
+	if f.provenance && prov != nil {
 		fmt.Printf("# %d allocation decision(s)\n", prov.Len())
 		for _, d := range prov.Decisions() {
 			fmt.Println(report.FormatDecision(d))
@@ -150,14 +235,137 @@ func main() {
 		snap := rec.Snapshot()
 		fmt.Println("# allocator + simulator metrics")
 		fmt.Print(snap.Table())
-		if *metricsCSV != "" {
-			writeMetricsCSV(*metricsCSV, snap, *mode)
+		if f.metricsCSV != "" {
+			if err := writeMetricsCSV(f.metricsCSV, snap, modeName); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
+}
 
-	if err := stopProf(); err != nil {
-		fatal(err)
+// runViaServer submits the run to a vc2m-server daemon and fetches the
+// report. The request carries the same title, seeds and spec as the
+// in-process path, so the served document is byte-identical to a local
+// run — the report is streamed back verbatim into -report-out.
+func runViaServer(ctx context.Context, f simFlags) error {
+	localOnly := []struct {
+		name string
+		set  bool
+	}{
+		{"-dump-system", f.dumpSystem != ""},
+		{"-out", f.out != ""},
+		{"-gantt", f.gantt > 0},
+		{"-trace-out", f.traceOut != ""},
+		{"-trace-jsonl", f.traceJSONL != ""},
+		{"-metrics-csv", f.metricsCSV != ""},
+		{"-cpuprofile", f.cpuprofile != ""},
+		{"-memprofile", f.memprofile != ""},
 	}
+	for _, flag := range localOnly {
+		if flag.set {
+			return fmt.Errorf("%s is local-only and cannot be combined with -server", flag.name)
+		}
+	}
+	_, modeName, err := parseMode(f.mode)
+	if err != nil {
+		return err
+	}
+	req := server.SubmitRequest{
+		Kind:       server.KindRun,
+		Title:      fmt.Sprintf("vc2m-sim %s run (seed %d)", modeName, f.genSeed),
+		Mode:       modeName,
+		Seed:       f.seed,
+		GenSeed:    f.genSeed,
+		SimulateMs: f.simulate,
+		Metrics:    f.showMetrics,
+	}
+	if f.in != "" {
+		data, err := os.ReadFile(f.in)
+		if err != nil {
+			return err
+		}
+		sys, err := model.DecodeSystem(data)
+		if err != nil {
+			return err
+		}
+		req.System = sys
+	} else {
+		plat, err := model.PlatformByName(f.platform)
+		if err != nil {
+			return err
+		}
+		dist, err := workload.ParseDistribution(f.genDist)
+		if err != nil {
+			return err
+		}
+		req.Generate = &workload.Config{Platform: plat, TargetRefUtil: f.genUtil, Dist: dist}
+	}
+
+	c := client.New(f.serverURL, nil)
+	sub, err := c.Submit(ctx, req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted as %s to %s\n", sub.ID, f.serverURL)
+	st, err := c.Wait(ctx, sub.ID)
+	if err != nil {
+		return err
+	}
+	switch st.State {
+	case server.StateDone:
+	case server.StateFailed, server.StateCanceled:
+		return fmt.Errorf("run %s %s: %s", st.ID, st.State, st.Error)
+	}
+	data, err := c.ReportBytes(ctx, sub.ID)
+	if err != nil {
+		return err
+	}
+	var doc report.Document
+	if derr := json.Unmarshal(data, &doc); derr != nil {
+		return derr
+	}
+	if f.reportOut != "" {
+		if err := os.WriteFile(f.reportOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote report to %s (inspect with vc2m-report)\n", f.reportOut)
+	}
+	if doc.Rejection != nil {
+		return errors.New(doc.Rejection.Reason)
+	}
+	if doc.Allocation != nil {
+		fmt.Printf("allocation: %s, %d cores, schedulable %v\n",
+			doc.Allocation.Solution, len(doc.Allocation.Cores), doc.Allocation.Schedulable)
+	}
+	if doc.Sim != nil {
+		fmt.Printf("simulated: %d jobs released, %d completed, %d deadline misses\n",
+			doc.Sim.Released, doc.Sim.Completed, doc.Sim.Missed)
+	}
+	if f.provenance {
+		fmt.Printf("# %d allocation decision(s)\n", len(doc.Decisions))
+		for _, d := range doc.Decisions {
+			fmt.Println(report.FormatDecision(d))
+		}
+	}
+	if doc.Sim != nil && doc.Sim.Missed > 0 {
+		return fmt.Errorf("allocation declared schedulable but missed deadlines")
+	}
+	return nil
+}
+
+// parseMode maps the -mode flag to the facade mode, returning the
+// normalized name used in reports.
+func parseMode(name string) (vc2m.Mode, string, error) {
+	switch name {
+	case "flattening":
+		return vc2m.Flattening, "flattening", nil
+	case "overheadfree", "overhead-free":
+		return vc2m.OverheadFree, "overheadfree", nil
+	case "existing":
+		return vc2m.ExistingCSA, "existing", nil
+	}
+	return 0, "", fmt.Errorf("unknown mode %q", name)
 }
 
 // reportRun accumulates the sections of the unified run report as the
@@ -177,9 +385,9 @@ type reportRun struct {
 }
 
 // write builds and saves the report document; a no-op without -report-out.
-func (r *reportRun) write() {
+func (r *reportRun) write() error {
 	if r.path == "" {
-		return
+		return nil
 	}
 	in := report.RunInput{
 		Title:      fmt.Sprintf("vc2m-sim %s run (seed %d)", r.mode, r.seed),
@@ -194,9 +402,10 @@ func (r *reportRun) write() {
 		Provenance: r.prov,
 	}
 	if err := report.Save(r.path, report.BuildRun(in)); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote report to %s (inspect with vc2m-report)\n", r.path)
+	return nil
 }
 
 // toRejection translates an allocator error into the report's rejection
@@ -220,13 +429,13 @@ func toRejection(err error) *report.Rejection {
 // -trace-out / -trace-jsonl flags. The returned close function finalizes
 // the output files (the Chrome export in particular is invalid JSON
 // until closed) and must run before the process exits successfully.
-func openTraceSinks(chromePath, jsonlPath string) (vc2m.TraceSink, func()) {
+func openTraceSinks(chromePath, jsonlPath string) (vc2m.TraceSink, func() error, error) {
 	var sinks []vc2m.TraceSink
 	var closers []func() error
 	if chromePath != "" {
 		f, err := os.Create(chromePath)
 		if err != nil {
-			fatal(err)
+			return nil, nil, err
 		}
 		cw := vc2m.NewTraceChrome(f)
 		sinks = append(sinks, cw)
@@ -235,16 +444,16 @@ func openTraceSinks(chromePath, jsonlPath string) (vc2m.TraceSink, func()) {
 	if jsonlPath != "" {
 		f, err := os.Create(jsonlPath)
 		if err != nil {
-			fatal(err)
+			return nil, nil, err
 		}
 		jw := vc2m.NewTraceJSONL(f)
 		sinks = append(sinks, jw)
 		closers = append(closers, jw.Close, f.Close)
 	}
-	return vc2m.MultiTrace(sinks...), func() {
+	closeAll := func() error {
 		for _, c := range closers {
 			if err := c(); err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		if chromePath != "" {
@@ -253,64 +462,55 @@ func openTraceSinks(chromePath, jsonlPath string) (vc2m.TraceSink, func()) {
 		if jsonlPath != "" {
 			fmt.Fprintf(os.Stderr, "wrote trace to %s (inspect with vc2m-trace)\n", jsonlPath)
 		}
+		return nil
 	}
+	return vc2m.MultiTrace(sinks...), closeAll, nil
 }
 
 // writeMetricsCSV dumps the snapshot as (scope, kind, name, value, ...)
 // rows, with the analysis mode as the scope.
-func writeMetricsCSV(path string, snap vc2m.MetricsSnapshot, scope string) {
+func writeMetricsCSV(path string, snap vc2m.MetricsSnapshot, scope string) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	defer f.Close()
 	cw := csv.NewWriter(f)
 	if err := cw.Write(metrics.CSVHeader()); err != nil {
-		fatal(err)
+		return err
 	}
 	for _, row := range snap.CSVRows(scope) {
 		if err := cw.Write(row); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	cw.Flush()
 	if err := cw.Error(); err != nil {
-		fatal(err)
+		return err
 	}
 	if err := f.Close(); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }
 
-func loadOrGenerate(in, platform string, util float64, dist string, seed int64) *vc2m.System {
+func loadOrGenerate(in, platform string, util float64, dist string, seed int64) (*vc2m.System, error) {
 	if in != "" {
 		data, err := os.ReadFile(in)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
-		sys, err := model.DecodeSystem(data)
-		if err != nil {
-			fatal(err)
-		}
-		return sys
+		return model.DecodeSystem(data)
 	}
 	plat, err := model.PlatformByName(platform)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	sys, err := vc2m.GenerateWorkload(vc2m.WorkloadConfig{
+	return vc2m.GenerateWorkload(vc2m.WorkloadConfig{
 		Platform:      plat,
 		TargetRefUtil: util,
 		Distribution:  dist,
 		Seed:          seed,
 	})
-	if err != nil {
-		fatal(err)
-	}
-	return sys
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vc2m-sim:", err)
-	os.Exit(1)
 }

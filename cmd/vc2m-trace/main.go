@@ -25,26 +25,39 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the defer-safe driver: subcommands return errors instead of
+// os.Exit-ing mid-function, so deferred file closers always execute.
+func run(args []string) int {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	switch os.Args[1] {
+	var err error
+	switch args[0] {
 	case "convert":
-		cmdConvert(os.Args[2:])
+		err = cmdConvert(args[1:])
 	case "gantt":
-		cmdGantt(os.Args[2:])
+		err = cmdGantt(args[1:])
 	case "diagnose":
-		cmdDiagnose(os.Args[2:])
+		err = cmdDiagnose(args[1:])
 	case "stats":
-		cmdStats(os.Args[2:])
+		err = cmdStats(args[1:])
 	case "-h", "-help", "--help", "help":
 		usage()
+		return 0
 	default:
-		fmt.Fprintf(os.Stderr, "vc2m-trace: unknown subcommand %q\n\n", os.Args[1])
+		fmt.Fprintf(os.Stderr, "vc2m-trace: unknown subcommand %q\n\n", args[0])
 		usage()
-		os.Exit(2)
+		return 2
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-trace:", err)
+		return 1
+	}
+	return 0
 }
 
 func usage() {
@@ -62,60 +75,71 @@ run 'vc2m-trace <subcommand> -h' for flags. Capture traces with
 }
 
 // readEvents loads a JSONL trace from path ("-" or "" means stdin).
-func readEvents(path string) []trace.Event {
+func readEvents(path string) ([]trace.Event, error) {
 	var r io.Reader = os.Stdin
 	if path != "" && path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		defer f.Close()
 		r = f
 	}
-	events, err := trace.ReadJSONL(r)
-	if err != nil {
-		fatal(err)
-	}
-	return events
+	return trace.ReadJSONL(r)
 }
 
-func cmdConvert(args []string) {
-	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
 	in := fs.String("in", "", "input JSONL trace (default stdin)")
 	out := fs.String("out", "", "output Chrome trace JSON file (default stdout)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	events := readEvents(*in)
+	events, err := readEvents(*in)
+	if err != nil {
+		return err
+	}
 	var w io.Writer = os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
 		w = f
 	}
 	if err := trace.WriteChrome(w, events); err != nil {
-		fatal(err)
+		if f != nil {
+			f.Close()
+		}
+		return err
 	}
-	if *out != "" {
+	if f != nil {
+		// The Chrome export is invalid JSON until fully flushed; a close
+		// error means a truncated file, so it must fail the command.
+		if err := f.Close(); err != nil {
+			return err
+		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d events); open it in ui.perfetto.dev\n", *out, len(events))
 	}
+	return nil
 }
 
-func cmdGantt(args []string) {
-	fs := flag.NewFlagSet("gantt", flag.ExitOnError)
+func cmdGantt(args []string) error {
+	fs := flag.NewFlagSet("gantt", flag.ContinueOnError)
 	in := fs.String("in", "", "input JSONL trace (default stdin)")
 	from := fs.Float64("from", 0, "window start in ms")
 	to := fs.Float64("to", 0, "window end in ms (0 means the trace's end)")
 	width := fs.Int("width", 100, "columns per row")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	events := readEvents(*in)
+	events, err := readEvents(*in)
+	if err != nil {
+		return err
+	}
 	slices := hypersim.SlicesFromEvents(events)
 	end := timeunit.FromMillis(*to)
 	if *to <= 0 {
@@ -126,23 +150,35 @@ func cmdGantt(args []string) {
 		}
 	}
 	fmt.Print(hypersim.RenderGantt(slices, timeunit.FromMillis(*from), end, *width))
+	return nil
 }
 
-func cmdDiagnose(args []string) {
-	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+func cmdDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
 	in := fs.String("in", "", "input JSONL trace (default stdin)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	rep := trace.Diagnose(readEvents(*in))
-	fmt.Print(rep.Render())
+	events, err := readEvents(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Print(trace.Diagnose(events).Render())
+	return nil
 }
 
-func cmdStats(args []string) {
-	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	in := fs.String("in", "", "input JSONL trace (default stdin)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	events := readEvents(*in)
+	events, err := readEvents(*in)
+	if err != nil {
+		return err
+	}
 	counts := trace.CountByType(events)
 	names := make([]string, 0, len(counts))
 	for name := range counts { //vc2m:ordered keys are sorted below
@@ -159,9 +195,5 @@ func cmdStats(args []string) {
 	for _, name := range names {
 		fmt.Printf("  %-16s %d\n", name, counts[name])
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vc2m-trace:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -35,6 +36,12 @@ type HyperConfig struct {
 	// grant, migration and the final verdict with the binding resources
 	// (nil disables recording at one pointer compare per site).
 	Provenance *provenance.Recorder
+	// Ctx, when non-nil, is polled between packing attempts: a canceled
+	// context aborts the search and HyperLevel returns the context's
+	// error. Long-running services (the allocation server, interruptible
+	// sweeps) use it to stop abandoned allocations promptly; a nil Ctx
+	// costs one comparison per attempt.
+	Ctx context.Context
 
 	// Ablation switches, used by the design-choice benchmarks to quantify
 	// what each ingredient of the heuristic contributes.
@@ -187,6 +194,11 @@ func HyperLevel(vcpus []*model.VCPU, plat model.Platform, cfg HyperConfig, rng *
 		}
 		rec.Inc(MetricMTried)
 		for iter := 0; iter < cfg.MaxIters; iter++ {
+			if cfg.Ctx != nil {
+				if err := cfg.Ctx.Err(); err != nil {
+					return nil, fmt.Errorf("alloc: search canceled after %d attempts: %w", attempts, err)
+				}
+			}
 			perm := rng.Perm(len(groups))
 			rec.Inc(MetricPermutations)
 			stop := rec.Time(MetricPhase1Seconds)

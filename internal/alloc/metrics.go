@@ -1,6 +1,8 @@
 package alloc
 
 import (
+	"context"
+
 	"vc2m/internal/metrics"
 	"vc2m/internal/provenance"
 )
@@ -57,4 +59,12 @@ type MetricsSetter interface {
 // harnesses attach a recorder without widening the Allocator interface.
 type ProvenanceSetter interface {
 	SetProvenance(*provenance.Recorder)
+}
+
+// ContextSetter is implemented by allocators whose search polls a
+// cancellation context (see Heuristic.Ctx). Harnesses and the allocation
+// server use it to make long searches abortable without widening the
+// Allocator interface.
+type ContextSetter interface {
+	SetContext(context.Context)
 }

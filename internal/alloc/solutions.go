@@ -1,6 +1,8 @@
 package alloc
 
 import (
+	"context"
+
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
 	"vc2m/internal/provenance"
@@ -39,6 +41,11 @@ type Heuristic struct {
 	// both allocation levels (see package provenance). Nil disables
 	// recording at no cost.
 	Provenance *provenance.Recorder
+	// Ctx, when non-nil, is polled between VMs and between hypervisor-
+	// level packing attempts: a canceled context aborts the allocation
+	// with the context's error instead of running the search to
+	// completion. Nil disables the checks.
+	Ctx context.Context
 }
 
 // Name implements Allocator.
@@ -49,6 +56,9 @@ func (h *Heuristic) SetMetrics(r *metrics.Recorder) { h.Metrics = r }
 
 // SetProvenance implements ProvenanceSetter.
 func (h *Heuristic) SetProvenance(p *provenance.Recorder) { h.Provenance = p }
+
+// SetContext implements ContextSetter.
+func (h *Heuristic) SetContext(ctx context.Context) { h.Ctx = ctx }
 
 // Allocate implements Allocator. A nil RNG falls back to a fixed seed, so
 // the call is deterministic either way.
@@ -71,9 +81,18 @@ func (h *Heuristic) Allocate(sys *model.System, rng *rngutil.RNG) (*model.Alloca
 		vmCfg.Provenance = h.Provenance
 		hyCfg.Provenance = h.Provenance
 	}
+	if h.Ctx != nil {
+		hyCfg.Ctx = h.Ctx
+	}
 	stopVM := rec.Time(MetricVMLevelSeconds)
 	var vcpus []*model.VCPU
 	for _, vm := range sys.VMs {
+		if h.Ctx != nil {
+			if err := h.Ctx.Err(); err != nil {
+				stopVM()
+				return nil, err
+			}
+		}
 		vs, err := VMLevel(vm, sys.Platform, vmCfg, len(vcpus), rng)
 		if err != nil {
 			stopVM()

@@ -4,7 +4,47 @@
 // and contiguous.
 package bitmask
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Mask is a capacity bitmask carried across a wire boundary. On the wire
+// it is the canonical lowercase hex string the CAT MSR tooling uses
+// ("0xf0"), never a JSON number: 64-bit masks exceed the 53-bit integer
+// range that survives float64 JSON readers, so a numeric encoding would
+// be silently lossy. Encode→decode→re-encode is byte-identical for every
+// value, which the round-trip tests assert.
+type Mask uint64
+
+// String returns the canonical lowercase hex form, e.g. "0xf0".
+func (m Mask) String() string { return "0x" + strconv.FormatUint(uint64(m), 16) }
+
+// MarshalJSON renders the mask as its canonical hex string.
+func (m Mask) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + m.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the hex string form (with or without the 0x
+// prefix). Numeric encodings are rejected: they are exactly the lossy
+// form the string encoding exists to prevent.
+func (m *Mask) UnmarshalJSON(data []byte) error {
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return fmt.Errorf("bitmask: mask must be a hex JSON string like \"0xf0\", got %s", data)
+	}
+	s := strings.TrimPrefix(string(data[1:len(data)-1]), "0x")
+	if s == "" {
+		return fmt.Errorf("bitmask: empty mask string")
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return fmt.Errorf("bitmask: invalid mask %s: %v", data, err)
+	}
+	*m = Mask(v)
+	return nil
+}
 
 // Full returns a mask with the n lowest bits set. n must be in [0, 64].
 func Full(n int) uint64 {

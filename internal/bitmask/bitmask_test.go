@@ -1,6 +1,7 @@
 package bitmask
 
 import (
+	"encoding/json"
 	"testing"
 	"testing/quick"
 )
@@ -62,6 +63,51 @@ func TestRangeAlwaysContiguousProperty(t *testing.T) {
 func TestCount(t *testing.T) {
 	if Count(0b1011) != 3 {
 		t.Errorf("Count(0b1011) = %d, want 3", Count(0b1011))
+	}
+}
+
+// TestMaskJSONByteIdentity: every mask — including full 64-bit values
+// that would be truncated by a float64 JSON reader — survives
+// encode → decode → re-encode with identical bytes.
+func TestMaskJSONByteIdentity(t *testing.T) {
+	for _, m := range []Mask{0, 1, 0xf0, 1 << 63, ^Mask(0), Mask(1<<53) + 1} {
+		first, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Mask
+		if err := json.Unmarshal(first, &back); err != nil {
+			t.Fatalf("decode %s: %v", first, err)
+		}
+		if back != m {
+			t.Fatalf("mask %#x decoded as %#x", uint64(m), uint64(back))
+		}
+		second, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(first) != string(second) {
+			t.Fatalf("mask re-encoding drifted: %s vs %s", first, second)
+		}
+	}
+}
+
+func TestMaskJSONRejectsLossyForms(t *testing.T) {
+	for _, bad := range []string{`240`, `""`, `"zz"`, `"0x"`, `null`, `"0x1ffffffffffffffff"`} {
+		var m Mask
+		if err := json.Unmarshal([]byte(bad), &m); err == nil {
+			t.Errorf("accepted lossy/invalid mask encoding %s", bad)
+		}
+	}
+}
+
+func TestMaskJSONAcceptsBareHex(t *testing.T) {
+	var m Mask
+	if err := json.Unmarshal([]byte(`"f0"`), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m != 0xf0 {
+		t.Fatalf("bare hex parsed as %#x", uint64(m))
 	}
 }
 

@@ -7,6 +7,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -75,6 +76,13 @@ type SchedConfig struct {
 	// ProvenanceLabel prefixes every recorded subject (e.g. a figure
 	// name) so multiple sweeps can share one recorder.
 	ProvenanceLabel string
+	// Context, when non-nil, makes the sweep interruptible: it is polled
+	// before each utilization point, and once canceled the sweep stops and
+	// RunSchedulability returns the points completed so far TOGETHER WITH
+	// the context's error — callers flush the partial curves instead of
+	// discarding completed work. It is also threaded into every
+	// context-aware solution, so the in-flight point aborts promptly.
+	Context context.Context
 }
 
 // withDefaults fills the paper's defaults. The utilization range defaults
@@ -176,6 +184,11 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 				ms.SetMetrics(recorders[si])
 			}
 		}
+		if cfg.Context != nil {
+			if cs, ok := sol.(alloc.ContextSetter); ok {
+				cs.SetContext(cfg.Context)
+			}
+		}
 	}
 
 	workers := cfg.Parallel
@@ -184,7 +197,27 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 	}
 
 	root := rngutil.New(cfg.Seed)
+
+	// partial snapshots whatever metrics exist and returns the completed
+	// points together with the interruption error, so callers can flush
+	// finished work (an interrupted 40-point sweep still yields its
+	// completed curves) instead of discarding it.
+	partial := func(cause error) (*SchedResult, error) {
+		for si, rec := range recorders {
+			if rec != nil {
+				res.Series[si].Metrics = rec.Snapshot()
+			}
+		}
+		return res, fmt.Errorf("experiment: sweep interrupted after %d of %d utilization points: %w",
+			res.minPoints(), len(utils), cause)
+	}
+
 	for ui, u := range utils {
+		if cfg.Context != nil {
+			if err := cfg.Context.Err(); err != nil {
+				return partial(err)
+			}
+		}
 		// Split every taskset's RNG streams up front, in order, so the
 		// generated workloads are independent of the worker count.
 		type job struct {
@@ -231,6 +264,14 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 				j.errs[si] = err
 			}
 		})
+		// A cancellation mid-point leaves some allocations aborted with the
+		// context's error; discard the incomplete point rather than reduce
+		// corrupted fractions into the curves.
+		if cfg.Context != nil {
+			if err := cfg.Context.Err(); err != nil {
+				return partial(err)
+			}
+		}
 		schedulable := make([]int, len(cfg.Solutions))
 		elapsed := make([]float64, len(cfg.Solutions))
 		for ts := range jobs {

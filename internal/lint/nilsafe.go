@@ -25,10 +25,12 @@ type HookSpec struct {
 }
 
 // DefaultHooks are the repo's registered instrumentation hooks: every
-// trace.Sink and provenance.Sink implementation, the metrics.Recorder,
-// the provenance.Recorder and the shared trace.LineWriter they stream
-// through. Their documented contract is that a nil receiver is the
-// disabled state and every method is a safe no-op on it.
+// trace.Sink and provenance.Sink implementation (including unexported
+// ones like the allocation server's pubSub broadcast sink), the
+// metrics.Recorder, the provenance.Recorder and the shared
+// trace.LineWriter they stream through. Their documented contract is that
+// a nil receiver is the disabled state and every method is a safe no-op
+// on it.
 var DefaultHooks = []HookSpec{
 	{Pkg: "vc2m/internal/trace", Interface: "Sink"},
 	{Pkg: "vc2m/internal/trace", Type: "LineWriter"},

@@ -3,7 +3,10 @@
 // pointer-receiver method.
 package nilsafefix
 
-import "vc2m/internal/trace"
+import (
+	"vc2m/internal/provenance"
+	"vc2m/internal/trace"
+)
 
 // GoodSink guards every exported pointer method.
 type GoodSink struct {
@@ -72,4 +75,29 @@ type ValueSink struct{}
 
 func (ValueSink) Record(ev trace.Event) {
 	_ = ev
+}
+
+// provSink mirrors the allocation server's unexported pubSub broadcast
+// sink: unexported types implementing provenance.Sink are hooks too, so
+// the server's live-stream wakeup path keeps its nil-receiver contract.
+type provSink struct {
+	n int
+}
+
+func (p *provSink) Record(d provenance.Decision) { // want `\(\*provSink\)\.Record must begin with a nil-receiver guard`
+	p.n++
+	_ = d
+}
+
+// guardedProvSink is the compliant version of the same hook.
+type guardedProvSink struct {
+	n int
+}
+
+func (p *guardedProvSink) Record(d provenance.Decision) {
+	if p == nil {
+		return
+	}
+	p.n++
+	_ = d
 }

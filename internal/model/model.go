@@ -21,20 +21,26 @@ import (
 )
 
 // Platform describes the multicore hardware configuration.
+//
+// The JSON tags on this and every other wire-crossing model type are the
+// vC2M wire schema (systems and allocations travel between the CLIs, the
+// allocation server and its clients as JSON): explicit snake_case names,
+// with every unit-carrying field suffixed by its unit (_ms). The schema is
+// covered by encode/decode/encode byte-identity tests in json_test.go.
 type Platform struct {
 	// Name identifies the configuration in reports (e.g. "A").
-	Name string
+	Name string `json:"name"`
 	// M is the number of identical physical cores.
-	M int
+	M int `json:"m"`
 	// C is the total number of equal-size shared-cache partitions.
-	C int
+	C int `json:"c"`
 	// B is the total number of equal-size memory-bandwidth partitions.
-	B int
+	B int `json:"b"`
 	// Cmin is the minimum number of cache partitions a core can be
 	// allocated (hardware constraint; Intel CAT requires at least 2 ways).
-	Cmin int
+	Cmin int `json:"cmin"`
 	// Bmin is the minimum number of BW partitions per core.
-	Bmin int
+	Bmin int `json:"bmin"`
 }
 
 // Validate reports an error if the platform parameters are inconsistent.
@@ -213,16 +219,16 @@ func (t *ResourceTable) CheckMonotone() error {
 // All time quantities are in milliseconds.
 type Task struct {
 	// ID is unique within the system.
-	ID string
+	ID string `json:"id"`
 	// VM names the virtual machine this task belongs to.
-	VM string
+	VM string `json:"vm"`
 	// Period is the task period (= deadline) in ms.
-	Period float64
+	Period float64 `json:"period_ms"`
 	// WCET is the WCET function e(c,b) in ms.
-	WCET *ResourceTable
+	WCET *ResourceTable `json:"wcet_ms"`
 	// Benchmark records which benchmark profile generated the WCET table
 	// (provenance only; empty for hand-built tasks).
-	Benchmark string
+	Benchmark string `json:"benchmark,omitempty"`
 }
 
 // RefWCET returns the reference WCET e* = e(C,B).
@@ -254,13 +260,13 @@ func (t *Task) Validate() error {
 // VM is a virtual machine hosting a set of tasks.
 type VM struct {
 	// ID is unique within the system.
-	ID string
+	ID string `json:"id"`
 	// Tasks are the VM's periodic tasks.
-	Tasks []*Task
+	Tasks []*Task `json:"tasks"`
 	// MaxVCPUs bounds how many VCPUs this VM may have; 0 means unlimited
 	// (the paper notes Xen supports up to 512 VCPUs per VM). The flattening
 	// strategy requires MaxVCPUs = 0 or MaxVCPUs >= len(Tasks).
-	MaxVCPUs int
+	MaxVCPUs int `json:"max_vcpus,omitempty"`
 }
 
 // RefUtil returns the total reference utilization of the VM's tasks.
@@ -274,8 +280,8 @@ func (vm *VM) RefUtil() float64 {
 
 // System is a set of VMs to be deployed on a platform.
 type System struct {
-	Platform Platform
-	VMs      []*VM
+	Platform Platform `json:"platform"`
+	VMs      []*VM    `json:"vms"`
 }
 
 // Tasks returns all tasks across all VMs in declaration order.
@@ -333,25 +339,25 @@ func (s *System) Validate() error {
 // periodic task (Pi_j, Theta_j(c,b)).
 type VCPU struct {
 	// ID is unique within an allocation.
-	ID string
+	ID string `json:"id"`
 	// VM names the owning virtual machine.
-	VM string
+	VM string `json:"vm"`
 	// Index is the VCPU index used by the deterministic EDF tie-breaking
 	// rule for well-regulated execution (smaller index = higher priority).
-	Index int
+	Index int `json:"index"`
 	// Period Pi_j in ms.
-	Period float64
+	Period float64 `json:"period_ms"`
 	// Budget is the execution-budget function Theta_j(c,b) in ms.
-	Budget *ResourceTable
+	Budget *ResourceTable `json:"budget_ms"`
 	// Tasks are the tasks mapped onto this VCPU.
-	Tasks []*Task
+	Tasks []*Task `json:"tasks,omitempty"`
 	// WellRegulated records that the VCPU must execute under the
 	// well-regulated discipline (Theorem 2): periodic server, harmonic
 	// period, deterministic tie-breaking.
-	WellRegulated bool
+	WellRegulated bool `json:"well_regulated,omitempty"`
 	// SyncedRelease records that the VCPU's release is synchronized with
 	// its (single) task's release (Theorem 1, flattening).
-	SyncedRelease bool
+	SyncedRelease bool `json:"synced_release,omitempty"`
 }
 
 // RefBandwidth returns Theta*(C,B)/Pi, the VCPU's reference CPU bandwidth.
@@ -384,13 +390,13 @@ func (v *VCPU) Validate() error {
 // it and the numbers of cache and BW partitions it owns.
 type CoreAlloc struct {
 	// Core is the physical core index in [0, M).
-	Core int
+	Core int `json:"core"`
 	// Cache is the number of cache partitions allocated to the core.
-	Cache int
+	Cache int `json:"cache"`
 	// BW is the number of memory-bandwidth partitions allocated.
-	BW int
+	BW int `json:"bw"`
 	// VCPUs are the virtual processors scheduled on this core under EDF.
-	VCPUs []*VCPU
+	VCPUs []*VCPU `json:"vcpus"`
 }
 
 // Utilization returns the total VCPU bandwidth on the core under its
@@ -418,13 +424,13 @@ func (ca *CoreAlloc) RefUtilization() float64 {
 // and the per-core cache/BW partition counts.
 type Allocation struct {
 	// Platform is the configuration the allocation was computed for.
-	Platform Platform
+	Platform Platform `json:"platform"`
 	// Cores holds one entry per core actually used (len <= Platform.M).
-	Cores []*CoreAlloc
+	Cores []*CoreAlloc `json:"cores"`
 	// Schedulable reports whether the allocator proved all deadlines met.
-	Schedulable bool
+	Schedulable bool `json:"schedulable"`
 	// Solution names the algorithm that produced this allocation.
-	Solution string
+	Solution string `json:"solution,omitempty"`
 }
 
 // ErrNotSchedulable is returned by allocators when no feasible allocation

@@ -1,0 +1,111 @@
+package model_test
+
+// Byte-identity tests for the vC2M wire schema: every document the
+// allocation server serves or accepts must survive encode → decode →
+// re-encode with identical bytes, so clients can cache, diff and hash
+// reports without canonicalizing first. DeepEqual round trips (json_test)
+// catch lossy decoding; these catch lossy *re-encoding* — float
+// formatting drift, field-order instability, unit-ambiguous tags mapped
+// onto the wrong field.
+
+import (
+	"bytes"
+	"testing"
+
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+	"vc2m/internal/workload"
+)
+
+// generatedSystem returns a realistic multi-VM system with full WCET
+// tables, the kind the server receives from vc2m-sim -server.
+func generatedSystem(t *testing.T) *model.System {
+	t.Helper()
+	sys, err := workload.Generate(workload.Config{
+		Platform:      model.PlatformC,
+		TargetRefUtil: 1.5,
+		Dist:          workload.BimodalMedium,
+		NumVMs:        3,
+	}, rngutil.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemWireByteIdentity(t *testing.T) {
+	sys := generatedSystem(t)
+	first, err := model.EncodeSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := model.DecodeSystem(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := model.EncodeSystem(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("system wire encoding not byte-identical after round trip:\nfirst:  %d bytes\nsecond: %d bytes", len(first), len(second))
+	}
+}
+
+func TestAllocationWireByteIdentity(t *testing.T) {
+	task := model.SimpleTask("t1", model.PlatformA, 100, 10)
+	task.VM = "vm0"
+	a := &model.Allocation{
+		Platform: model.PlatformA,
+		Cores: []*model.CoreAlloc{
+			{
+				Core: 0, Cache: 5, BW: 4,
+				VCPUs: []*model.VCPU{{
+					ID: "v0", VM: "vm0", Index: 0, Period: 100,
+					Budget:        model.ConstTable(model.PlatformA, 10),
+					Tasks:         []*model.Task{task},
+					WellRegulated: true, SyncedRelease: true,
+				}},
+			},
+			{Core: 1, Cache: 3, BW: 2},
+		},
+		Schedulable: true,
+		Solution:    "Heuristic (flattening)",
+	}
+	first, err := model.EncodeAllocation(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := model.DecodeAllocation(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := model.EncodeAllocation(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("allocation wire encoding not byte-identical after round trip:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}
+
+// TestWireTagsAreUnitSuffixed pins the schema: every duration-valued
+// field must name its unit in the tag, so a reader in another language
+// cannot silently misinterpret milliseconds.
+func TestWireTagsAreUnitSuffixed(t *testing.T) {
+	sys := generatedSystem(t)
+	data, err := model.EncodeSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"period_ms"`, `"wcet_ms"`} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("system wire encoding missing %s tag", want)
+		}
+	}
+	for _, stale := range []string{`"Period"`, `"WCET"`, `"period"`, `"wcet"`} {
+		if bytes.Contains(data, []byte(stale+":")) {
+			t.Errorf("system wire encoding still has unit-ambiguous tag %s", stale)
+		}
+	}
+}

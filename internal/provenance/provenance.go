@@ -21,6 +21,7 @@ import (
 	"io"
 	"sync"
 
+	"vc2m/internal/bitmask"
 	"vc2m/internal/trace"
 )
 
@@ -116,6 +117,9 @@ type Decision struct {
 	// Cache and BW are the partition counts in effect for the decision.
 	Cache int `json:"cache,omitempty"`
 	BW    int `json:"bw,omitempty"`
+	// Mask is the programmed CAT capacity bitmask on KindProgram decisions
+	// (hex-encoded on the wire; see bitmask.Mask).
+	Mask bitmask.Mask `json:"cbm_mask,omitempty"`
 	// Value is the decision's scalar evidence: a utilization, a grant
 	// gain, a budget — documented by the Reason.
 	Value float64 `json:"value,omitempty"`
@@ -191,6 +195,25 @@ func (r *Recorder) Decisions() []Decision {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]Decision(nil), r.decisions...)
+}
+
+// DecisionsFrom returns a copy of the stream from sequence n on (nil when
+// nothing new). Incremental readers — the allocation server's live
+// provenance stream — use it to drain only what they have not yet seen
+// instead of re-copying the whole stream on every wakeup.
+func (r *Recorder) DecisionsFrom(n int) []Decision {
+	if r == nil {
+		return nil
+	}
+	if n < 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n >= len(r.decisions) {
+		return nil
+	}
+	return append([]Decision(nil), r.decisions[n:]...)
 }
 
 // Reset discards everything recorded so far; sequence numbers restart at 0.

@@ -3,8 +3,11 @@ package provenance
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
+
+	"vc2m/internal/bitmask"
 )
 
 func TestNilRecorderIsNoOp(t *testing.T) {
@@ -74,6 +77,39 @@ func TestJSONLWriterRoundTrip(t *testing.T) {
 	// Empty fields must be omitted so streams stay compact.
 	if strings.Contains(lines[0], "violated") {
 		t.Fatalf("accepted decision encoded an empty violated list: %s", lines[0])
+	}
+}
+
+// TestDecisionWireByteIdentity: a decision — including a full 64-bit CBM
+// mask — re-encodes to the same bytes after a round trip, so streamed
+// provenance can be diffed and hashed by clients.
+func TestDecisionWireByteIdentity(t *testing.T) {
+	in := Decision{
+		Seq: 7, Stage: StageVCAT, Kind: KindProgram,
+		Subject: "core 0", Target: "CLOS 0",
+		Cache: 5, BW: 4, Mask: ^bitmask.Mask(0), Accepted: true,
+		Reason: "CBM ways [0,5) programmed",
+	}
+	first, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Decision
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, in) {
+		t.Fatalf("decision changed in round trip:\n in: %+v\nout: %+v", in, back)
+	}
+	second, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("decision re-encoding drifted:\nfirst:  %s\nsecond: %s", first, second)
+	}
+	if !strings.Contains(string(first), `"cbm_mask":"0xffffffffffffffff"`) {
+		t.Fatalf("mask not hex-encoded: %s", first)
 	}
 }
 

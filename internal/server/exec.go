@@ -1,0 +1,181 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"vc2m"
+	"vc2m/internal/alloc"
+	"vc2m/internal/experiment"
+	"vc2m/internal/model"
+	"vc2m/internal/provenance"
+	"vc2m/internal/report"
+	"vc2m/internal/rngutil"
+	"vc2m/internal/workload"
+)
+
+// execute runs one registry entry to its terminal state. It mirrors the
+// batch drivers exactly — same facade calls, same report construction —
+// so a server run's document is byte-identical to the same spec executed
+// by vc2m-sim/vc2m-sched with the same seeds.
+func execute(ctx context.Context, run *Run) {
+	if ctx.Err() != nil || !run.setRunning() {
+		run.finish(StateCanceled, nil, nil, "canceled before execution")
+		return
+	}
+	var doc *report.Document
+	var err error
+	switch run.kind {
+	case KindSweep:
+		doc, err = executeSweep(ctx, run.req, run.prov)
+	default:
+		doc, err = executeRun(ctx, run.req, run.prov)
+	}
+	switch {
+	case err != nil && ctx.Err() != nil:
+		run.finish(StateCanceled, nil, nil, err.Error())
+	case err != nil:
+		run.finish(StateFailed, nil, nil, err.Error())
+	default:
+		data, merr := report.Marshal(doc)
+		if merr != nil {
+			run.finish(StateFailed, nil, nil, merr.Error())
+			return
+		}
+		run.finish(StateDone, doc, data, "")
+	}
+}
+
+// executeRun is the KindRun path: allocate one system, optionally
+// simulate, and assemble the report the way cmd/vc2m-sim does.
+func executeRun(ctx context.Context, req SubmitRequest, prov *provenance.Recorder) (*report.Document, error) {
+	sys, err := buildSystem(req)
+	if err != nil {
+		return nil, err
+	}
+	mode, modeName, err := parseMode(req.Mode)
+	if err != nil {
+		return nil, err
+	}
+	var rec *vc2m.MetricsRecorder
+	if req.Metrics {
+		rec = vc2m.NewMetrics()
+	}
+	title := req.Title
+	if title == "" {
+		title = fmt.Sprintf("vc2m-server %s run (seed %d)", modeName, req.GenSeed)
+	}
+	in := report.RunInput{
+		Title:      title,
+		Seed:       req.GenSeed,
+		Mode:       modeName,
+		Platform:   sys.Platform,
+		Metrics:    rec,
+		Provenance: prov,
+	}
+	a, aerr := vc2m.Allocate(sys, vc2m.Options{
+		Mode: mode, Seed: req.Seed, Metrics: rec, Provenance: prov, Context: ctx,
+	})
+	if aerr != nil {
+		if ctx.Err() != nil {
+			return nil, aerr
+		}
+		// The rejection is itself a result: the report carries the
+		// decision trail with the binding resource(s).
+		in.Rejection = toRejection(aerr)
+		return report.BuildRun(in), nil
+	}
+	in.Allocation = a
+	if req.SimulateMs > 0 {
+		res, serr := vc2m.Simulate(a, req.SimulateMs, vc2m.SimOptions{
+			RecordTrace: true, Metrics: rec,
+		})
+		if serr != nil {
+			return nil, serr
+		}
+		in.Sim = res
+		if res.Missed > 0 {
+			in.Diagnosis = vc2m.DiagnoseMisses(res.Events)
+		}
+	}
+	return report.BuildRun(in), nil
+}
+
+// buildSystem materializes the run's taskset: the posted system verbatim,
+// or a workload generated from the posted spec with the request's
+// generation seed — the same call vc2m-sim's loadOrGenerate makes.
+func buildSystem(req SubmitRequest) (*model.System, error) {
+	if req.System != nil {
+		if err := req.System.Validate(); err != nil {
+			return nil, err
+		}
+		return req.System, nil
+	}
+	if req.Generate == nil {
+		return nil, fmt.Errorf("server: run has neither system nor generate spec")
+	}
+	return workload.Generate(*req.Generate, rngutil.New(req.GenSeed))
+}
+
+// executeSweep is the KindSweep path: a schedulability sweep whose curves
+// land in a KindSweep document, decision-per-case provenance included.
+func executeSweep(ctx context.Context, req SubmitRequest, prov *provenance.Recorder) (*report.Document, error) {
+	spec := req.Sweep
+	plat, err := model.PlatformByName(spec.Platform)
+	if err != nil {
+		return nil, err
+	}
+	dist := workload.Uniform
+	if spec.Dist != "" {
+		if dist, err = workload.ParseDistribution(spec.Dist); err != nil {
+			return nil, err
+		}
+	}
+	_, modeName, err := parseMode(req.Mode)
+	if err != nil {
+		return nil, err
+	}
+	res, err := experiment.RunSchedulability(experiment.SchedConfig{
+		Platform:         plat,
+		Dist:             dist,
+		UtilMin:          spec.UtilMin,
+		UtilMax:          spec.UtilMax,
+		UtilStep:         spec.UtilStep,
+		TasksetsPerPoint: spec.TasksetsPerPoint,
+		Seed:             req.Seed,
+		Parallel:         spec.Parallel,
+		Provenance:       prov,
+		Context:          ctx,
+	})
+	if err != nil {
+		return nil, err
+	}
+	title := req.Title
+	if title == "" {
+		title = fmt.Sprintf("vc2m-server sweep %s/%s (seed %d)", plat.Name, dist, req.Seed)
+	}
+	return report.BuildSweep(report.SweepInput{
+		Title:      title,
+		Seed:       req.Seed,
+		Mode:       modeName,
+		Platform:   plat,
+		Sweep:      res.ReportSweep(),
+		Provenance: prov,
+	}), nil
+}
+
+// toRejection translates an allocator error into the report's rejection
+// section, preserving the binding resource(s) of a RejectionError — the
+// same translation the batch CLIs perform (package report deliberately
+// does not import alloc).
+func toRejection(err error) *report.Rejection {
+	rej := &report.Rejection{Reason: err.Error(), Violated: []string{"cpu"}}
+	if re, ok := alloc.AsRejection(err); ok {
+		rej.Stage = re.Stage
+		rej.Violated = rej.Violated[:0]
+		for _, r := range re.Violated {
+			rej.Violated = append(rej.Violated, string(r))
+		}
+	}
+	return rej
+}

@@ -1,0 +1,262 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"vc2m/internal/provenance"
+	"vc2m/internal/report"
+)
+
+// State is a run's lifecycle position.
+type State string
+
+const (
+	// StatePending: accepted and queued, no worker has picked it up.
+	StatePending State = "pending"
+	// StateRunning: a worker is executing the allocation.
+	StateRunning State = "running"
+	// StateDone: the report document is available. Rejected allocations
+	// are done, not failed — a rejection is a result with a decision
+	// trail, exactly like the batch CLIs treat it.
+	StateDone State = "done"
+	// StateFailed: the run could not produce a report (bad generation
+	// spec, simulator error).
+	StateFailed State = "failed"
+	// StateCanceled: the run's context was canceled (explicit cancel,
+	// run timeout, or hard shutdown) before it completed.
+	StateCanceled State = "canceled"
+)
+
+// Run is one registry entry: the submission, its lifecycle state, and —
+// once done — the marshaled report document. The provenance recorder is
+// live from the moment the run is created, so the streaming endpoint can
+// attach before execution starts and observe every decision.
+type Run struct {
+	id   string
+	kind string
+	req  SubmitRequest
+
+	prov *provenance.Recorder
+	pub  *pubSub
+
+	// execCtx is the context workers execute the run under; cancel
+	// aborts it (explicit cancel endpoint or hard shutdown). Both are
+	// set by Server.Submit before the run is enqueued.
+	execCtx context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	mu      sync.Mutex
+	state   State
+	errMsg  string
+	doc     *report.Document
+	docJSON []byte
+}
+
+// ID returns the registry key.
+func (r *Run) ID() string { return r.id }
+
+// Done returns a channel closed when the run reaches a terminal state.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Cancel aborts the run: pending runs are discarded when a worker picks
+// them up; running allocations observe the canceled context at their next
+// poll point.
+func (r *Run) Cancel() { r.cancel() }
+
+// Status snapshots the run for the wire.
+func (r *Run) Status() RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RunStatus{
+		ID:        r.id,
+		Kind:      r.kind,
+		State:     r.state,
+		Title:     r.req.Title,
+		Error:     r.errMsg,
+		Decisions: r.prov.Len(),
+	}
+	if r.doc != nil {
+		st.Title = r.doc.Title
+		if r.doc.Kind == report.KindRun {
+			sched := r.doc.Rejection == nil
+			st.Schedulable = &sched
+		}
+	}
+	return st
+}
+
+// ReportJSON returns the marshaled report document, or false while the
+// run has not produced one.
+func (r *Run) ReportJSON() ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.docJSON, r.docJSON != nil
+}
+
+// setRunning transitions pending → running; it reports false when the
+// run was already terminal (canceled before pickup).
+func (r *Run) setRunning() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != StatePending {
+		return false
+	}
+	r.state = StateRunning
+	return true
+}
+
+// finish records the terminal state and wakes every waiter, including
+// provenance streamers blocked on the next decision.
+func (r *Run) finish(state State, doc *report.Document, docJSON []byte, errMsg string) {
+	r.mu.Lock()
+	r.state = state
+	r.doc = doc
+	r.docJSON = docJSON
+	r.errMsg = errMsg
+	r.mu.Unlock()
+	close(r.done)
+	r.pub.notify()
+}
+
+// Registry tracks every accepted run, keyed by a counter-based ID —
+// deterministic, like every identifier this repository mints, so two
+// identically-scripted sessions produce identical registries.
+type Registry struct {
+	mu    sync.Mutex
+	next  int
+	runs  map[string]*Run
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{runs: make(map[string]*Run)}
+}
+
+// Add registers a new pending run for the request and returns it. The
+// caller (Server.Submit) arms the run's execution context before
+// enqueueing it.
+func (g *Registry) Add(req SubmitRequest) *Run {
+	pub := newPubSub()
+	kind := req.Kind
+	if kind == "" {
+		kind = KindRun
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.next++
+	r := &Run{
+		id:    fmt.Sprintf("r%04d", g.next),
+		kind:  kind,
+		req:   req,
+		prov:  provenance.NewStreaming(pub),
+		pub:   pub,
+		done:  make(chan struct{}),
+		state: StatePending,
+	}
+	g.runs[r.id] = r
+	g.order = append(g.order, r.id)
+	return r
+}
+
+// Remove deletes a run that never made it into the queue (enqueue
+// failure), so the registry only lists runs that will execute.
+func (g *Registry) Remove(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.runs, id)
+	for i, v := range g.order {
+		if v == id {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Get looks a run up by ID.
+func (g *Registry) Get(id string) (*Run, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.runs[id]
+	return r, ok
+}
+
+// Runs returns every registered run in submission order.
+func (g *Registry) Runs() []*Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Run, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.runs[id])
+	}
+	return out
+}
+
+// Statuses returns every run's wire status in submission order.
+func (g *Registry) Statuses() []RunStatus {
+	runs := g.Runs()
+	out := make([]RunStatus, len(runs))
+	for i, r := range runs {
+		out[i] = r.Status()
+	}
+	return out
+}
+
+// Count tallies runs by state.
+func (g *Registry) Count() (total int, byState map[State]int) {
+	runs := g.Runs()
+	byState = make(map[State]int)
+	for _, r := range runs {
+		byState[r.Status().State]++
+	}
+	return len(runs), byState
+}
+
+// pubSub wakes provenance streamers when a new decision lands. It
+// implements provenance.Sink: the recorder retains the decisions, the
+// sink only broadcasts "there is more to read". A nil *pubSub drops
+// notifications, like every sink in this repository.
+type pubSub struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func newPubSub() *pubSub {
+	return &pubSub{ch: make(chan struct{})}
+}
+
+// Record implements provenance.Sink.
+func (p *pubSub) Record(provenance.Decision) {
+	if p == nil {
+		return
+	}
+	p.notify()
+}
+
+// notify wakes every current waiter.
+func (p *pubSub) notify() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	close(p.ch)
+	p.ch = make(chan struct{})
+	p.mu.Unlock()
+}
+
+// wait returns a channel closed at the next notify. Grab the channel
+// BEFORE reading the recorder, so a decision landing between the read and
+// the wait still wakes the waiter.
+func (p *pubSub) wait() <-chan struct{} {
+	if p == nil {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ch
+}

@@ -1,0 +1,359 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Config parameterizes the service. Zero values take sensible defaults.
+type Config struct {
+	// Workers bounds concurrent allocations (default 2). A burst of
+	// submissions queues instead of spawning unbounded goroutines.
+	Workers int
+	// Queue bounds pending submissions (default 64); a full queue
+	// rejects new runs with 503 instead of growing without limit.
+	Queue int
+	// RunTimeout bounds one run's execution; zero means no bound. The
+	// deadline cancels the run's context, which the allocator polls.
+	RunTimeout time.Duration
+	// RequestTimeout bounds non-streaming HTTP requests (default 30s).
+	RequestTimeout time.Duration
+	// WaitTimeout caps a blocking GET /v1/runs/{id}?wait=1 (default 5m).
+	WaitTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.WaitTimeout <= 0 {
+		c.WaitTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// ErrDraining is returned by Submit once shutdown has begun.
+var ErrDraining = errors.New("server: draining, not accepting new runs")
+
+// ErrQueueFull is returned by Submit when the bounded queue is full.
+var ErrQueueFull = errors.New("server: run queue full")
+
+// Server is the allocation service: registry + bounded worker pool +
+// HTTP handler. Create with New, start the pool with Start, expose
+// Handler over any net/http server, and drain with Shutdown.
+type Server struct {
+	cfg Config
+	reg *Registry
+
+	queue chan *Run
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	started  bool
+
+	handler http.Handler
+}
+
+// New builds a server. Call Start before submitting.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		reg:   NewRegistry(),
+		queue: make(chan *Run, cfg.withDefaults().Queue),
+	}
+	s.handler = s.buildHandler()
+	return s
+}
+
+// Registry exposes the run registry (read-mostly; tests and the daemon's
+// inventory seeding use it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Start launches the worker pool. Workers execute runs until Shutdown
+// closes the queue, then drain what remains and exit.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for run := range s.queue {
+				// The run timeout is armed at pickup, not at submission,
+				// so queue time does not count against the execution
+				// budget.
+				ctx := run.execCtx
+				cancelTimeout := func() {}
+				if s.cfg.RunTimeout > 0 {
+					ctx, cancelTimeout = context.WithTimeout(ctx, s.cfg.RunTimeout)
+				}
+				execute(ctx, run)
+				cancelTimeout()
+				run.cancel()
+			}
+		}()
+	}
+}
+
+// Submit validates, registers and enqueues a run. It returns ErrDraining
+// after Shutdown begins and ErrQueueFull when the bounded queue cannot
+// take more.
+func (s *Server) Submit(req SubmitRequest) (*Run, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	run := s.reg.Add(req)
+	run.execCtx, run.cancel = context.WithCancel(context.Background())
+	select {
+	case s.queue <- run:
+		s.mu.Unlock()
+		return run, nil
+	default:
+		s.reg.Remove(run.ID())
+		s.mu.Unlock()
+		run.cancel()
+		return nil, ErrQueueFull
+	}
+}
+
+// Shutdown drains the service: no new submissions are accepted, queued
+// and in-flight runs execute to completion, and the call returns once
+// every worker has exited. If ctx expires first, all remaining runs are
+// canceled and the call waits for the workers to observe it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	started := s.started
+	close(s.queue)
+	s.mu.Unlock()
+	if !started {
+		return nil
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Hard stop: cancel everything still alive and wait for the
+		// workers to notice (the allocator polls its context).
+		for _, run := range s.reg.Runs() {
+			run.cancel()
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Handler returns the HTTP API:
+//
+//	GET  /healthz                  liveness
+//	GET  /metrics                  registry/pool gauges (JSON)
+//	POST /v1/runs                  submit a run or sweep
+//	GET  /v1/runs                  list runs
+//	GET  /v1/runs/{id}[?wait=1]    run status (wait=1 blocks until done)
+//	GET  /v1/runs/{id}/report      the vc2m.report/v1 document
+//	GET  /v1/runs/{id}/provenance  live decision stream (JSONL, chunked)
+//	POST /v1/runs/{id}/cancel      cancel a pending/running run
+func (s *Server) Handler() http.Handler { return s.handler }
+
+func (s *Server) buildHandler() http.Handler {
+	// Bounded-work endpoints sit behind the per-request timeout; the
+	// blocking endpoints (wait-polling, provenance streaming) manage
+	// their own deadlines because http.TimeoutHandler buffers bodies,
+	// which would break chunked streaming.
+	bounded := http.NewServeMux()
+	bounded.HandleFunc("GET /healthz", s.handleHealth)
+	bounded.HandleFunc("GET /metrics", s.handleMetrics)
+	bounded.HandleFunc("POST /v1/runs", s.handleSubmit)
+	bounded.HandleFunc("GET /v1/runs", s.handleList)
+	bounded.HandleFunc("GET /v1/runs/{id}/report", s.handleReport)
+	bounded.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
+
+	root := http.NewServeMux()
+	root.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	root.HandleFunc("GET /v1/runs/{id}/provenance", s.handleProvenance)
+	root.Handle("/", http.TimeoutHandler(bounded, s.cfg.RequestTimeout, `{"error":"request timed out"}`))
+	return root
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	total, byState := s.reg.Count()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, ServiceMetrics{
+		Submitted: total,
+		ByState:   byState,
+		Workers:   s.cfg.Workers,
+		QueueCap:  s.cfg.Queue,
+		QueueLen:  len(s.queue),
+		Draining:  draining,
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding submission: %w", err))
+		return
+	}
+	run, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: run.ID(), State: StatePending})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Statuses())
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Run, bool) {
+	run, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: no run %q", r.PathValue("id")))
+	}
+	return run, ok
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		wait := time.NewTimer(s.cfg.WaitTimeout)
+		defer wait.Stop()
+		select {
+		case <-run.Done():
+		case <-r.Context().Done():
+			return
+		case <-wait.C:
+		}
+	}
+	writeJSON(w, http.StatusOK, run.Status())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	data, ready := run.ReportJSON()
+	if !ready {
+		st := run.Status()
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("server: run %s is %s, no report yet", st.ID, st.State))
+		return
+	}
+	// Serve the marshaled document verbatim: byte-identical to
+	// report.Save of the same in-process run.
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	run.Cancel()
+	writeJSON(w, http.StatusOK, run.Status())
+}
+
+// handleProvenance streams the run's decision log as JSON lines over a
+// chunked response, following the live stream until the run finishes or
+// the client disconnects — `curl .../provenance` tails an allocation.
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		// Grab the wakeup channel before draining, so a decision landing
+		// in between still wakes us.
+		wake := run.pub.wait()
+		for _, d := range run.prov.DecisionsFrom(next) {
+			if err := enc.Encode(d); err != nil {
+				return
+			}
+			next++
+		}
+		if canFlush {
+			flusher.Flush()
+		}
+		select {
+		case <-run.Done():
+			// Final drain: decisions recorded between the loop above and
+			// the run finishing.
+			for _, d := range run.prov.DecisionsFrom(next) {
+				if err := enc.Encode(d); err != nil {
+					return
+				}
+				next++
+			}
+			return
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

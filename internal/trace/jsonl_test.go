@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/json"
 	"reflect"
 	"strings"
 	"testing"
@@ -51,8 +52,41 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEventWireByteIdentity: each event line re-encodes to the same
+// bytes after a round trip, and every tick-valued field names its unit
+// in the tag so captures cannot be misread as milliseconds.
+func TestEventWireByteIdentity(t *testing.T) {
+	in := Event{
+		Type: EvJobRelease, Time: 123456, Core: 2, VCPU: "vm0/v1", Task: "t3",
+		Start: 1, Deadline: 133456, Budget: 2500, Demand: 2000, WCET: 1800,
+	}
+	first, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Event
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != in {
+		t.Fatalf("event changed in round trip:\n in: %+v\nout: %+v", in, back)
+	}
+	second, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("event re-encoding drifted:\nfirst:  %s\nsecond: %s", first, second)
+	}
+	for _, want := range []string{`"t_ticks"`, `"start_ticks"`, `"deadline_ticks"`, `"budget_ticks"`, `"demand_ticks"`, `"wcet_ticks"`} {
+		if !strings.Contains(string(first), want) {
+			t.Errorf("event wire encoding missing unit-suffixed tag %s: %s", want, first)
+		}
+	}
+}
+
 func TestReadJSONLSkipsBlanksRejectsGarbage(t *testing.T) {
-	good := `{"type":"throttle","t":5,"core":0}` + "\n\n" + `{"type":"bw_replenish","t":9,"core":0,"throttled":true}` + "\n"
+	good := `{"type":"throttle","t_ticks":5,"core":0}` + "\n\n" + `{"type":"bw_replenish","t_ticks":9,"core":0,"throttled":true}` + "\n"
 	events, err := ReadJSONL(strings.NewReader(good))
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +97,7 @@ func TestReadJSONLSkipsBlanksRejectsGarbage(t *testing.T) {
 	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
 		t.Error("garbage line accepted")
 	}
-	if _, err := ReadJSONL(strings.NewReader(`{"type":"bogus","t":1,"core":0}` + "\n")); err == nil {
+	if _, err := ReadJSONL(strings.NewReader(`{"type":"bogus","t_ticks":1,"core":0}` + "\n")); err == nil {
 		t.Error("unknown event type accepted")
 	}
 }

@@ -121,27 +121,33 @@ func (t *EventType) UnmarshalJSON(data []byte) error {
 // per type as documented on the Ev* constants. The struct is flat (no
 // pointers beyond the strings, which alias the simulator's interned IDs)
 // so a memory sink stores events without per-event allocation.
+//
+// The JSON tags are the trace wire schema (JSONL captures replayed by
+// vc2m-trace and streamed by the allocation server). Every tick-valued
+// field carries an explicit _ticks suffix so readers in other languages
+// cannot mistake simulator ticks (microseconds) for milliseconds; the
+// schema is covered by a byte-identity round-trip test.
 type Event struct {
 	Type EventType      `json:"type"`
-	Time timeunit.Ticks `json:"t"`
+	Time timeunit.Ticks `json:"t_ticks"`
 	Core int            `json:"core"`
 	VCPU string         `json:"vcpu,omitempty"`
 	Task string         `json:"task,omitempty"`
 	// From is the outgoing VCPU of a context switch.
 	From string `json:"from,omitempty"`
 	// Start is the slice start (EvExecSlice) or job release (EvJobComplete).
-	Start timeunit.Ticks `json:"start,omitempty"`
+	Start timeunit.Ticks `json:"start_ticks,omitempty"`
 	// Deadline is the job's or server's deadline.
-	Deadline timeunit.Ticks `json:"deadline,omitempty"`
+	Deadline timeunit.Ticks `json:"deadline_ticks,omitempty"`
 	// Budget is the VCPU budget: refilled value on EvVCPUReplenish,
 	// remaining value after the slice on EvExecSlice.
-	Budget timeunit.Ticks `json:"budget,omitempty"`
+	Budget timeunit.Ticks `json:"budget_ticks,omitempty"`
 	// Demand is the job's execution demand: the full demand on
 	// EvJobRelease, the unfinished remainder on EvDeadlineMiss.
-	Demand timeunit.Ticks `json:"demand,omitempty"`
+	Demand timeunit.Ticks `json:"demand_ticks,omitempty"`
 	// WCET is the task's declared worst-case execution time at the core's
 	// allocation (EvJobRelease); Demand exceeding it marks an overrun.
-	WCET timeunit.Ticks `json:"wcet,omitempty"`
+	WCET timeunit.Ticks `json:"wcet_ticks,omitempty"`
 	// Throttled reports whether the core had been throttled in the period
 	// an EvBWReplenish closes.
 	Throttled bool `json:"throttled,omitempty"`

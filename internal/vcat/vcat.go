@@ -265,7 +265,7 @@ func ApplyAllocationProv(hw *Hardware, a *model.Allocation, prov *provenance.Rec
 			prov.Record(provenance.Decision{
 				Stage: provenance.StageVCAT, Kind: provenance.KindProgram,
 				Subject: fmt.Sprintf("core %d", core.Core), Target: fmt.Sprintf("CLOS %d", i),
-				Cache: core.Cache, BW: core.BW, Accepted: true,
+				Cache: core.Cache, BW: core.BW, Mask: bitmask.Mask(mask), Accepted: true,
 				Reason: fmt.Sprintf("CBM ways [%d,%d) programmed as a disjoint contiguous region", base, base+core.Cache),
 			})
 		}

@@ -72,6 +72,30 @@ func ParseDistribution(name string) (Distribution, error) {
 	return 0, fmt.Errorf("workload: unknown distribution %q", name)
 }
 
+// MarshalJSON renders the distribution as its figure name, the same
+// token ParseDistribution accepts, so generation specs submitted to the
+// allocation server read the way the flags do.
+func (d Distribution) MarshalJSON() ([]byte, error) {
+	name := d.String()
+	if name == "unknown" {
+		return nil, fmt.Errorf("workload: cannot marshal distribution %d", int(d))
+	}
+	return []byte(`"` + name + `"`), nil
+}
+
+// UnmarshalJSON parses any name ParseDistribution accepts.
+func (d *Distribution) UnmarshalJSON(data []byte) error {
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return fmt.Errorf("workload: distribution must be a JSON string, got %s", data)
+	}
+	v, err := ParseDistribution(string(data[1 : len(data)-1]))
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
+}
+
 // Sample draws one utilization from the distribution.
 func (d Distribution) Sample(rng *rngutil.RNG) float64 {
 	switch d {
@@ -88,35 +112,38 @@ func (d Distribution) Sample(rng *rngutil.RNG) float64 {
 	}
 }
 
-// Config parameterizes taskset generation.
+// Config parameterizes taskset generation. The JSON tags are the wire
+// schema generation specs travel in when submitted to the allocation
+// server; defaults (zero values) are omitted so specs stay minimal.
 type Config struct {
 	// Platform the tasks' WCET tables are generated for.
-	Platform model.Platform
+	Platform model.Platform `json:"platform"`
 	// TargetRefUtil is the taskset's target total reference utilization
 	// (the x-axis of Figures 2 and 3).
-	TargetRefUtil float64
-	// Dist is the task-utilization distribution.
-	Dist Distribution
+	TargetRefUtil float64 `json:"target_ref_util"`
+	// Dist is the task-utilization distribution (a name on the wire,
+	// e.g. "uniform" or "bimodal-light").
+	Dist Distribution `json:"dist"`
 	// NumVMs is the number of VMs tasks are spread across (round-robin).
 	// Zero defaults to 2 — a minimal consolidation scenario. The VM count
 	// does not affect the flattening or overhead-free solutions (their
 	// VCPU bandwidth equals taskset utilization regardless of grouping),
 	// but each extra VM multiplies the VCPU count and therefore the
 	// abstraction overhead paid by the existing-CSA solutions.
-	NumVMs int
+	NumVMs int `json:"num_vms,omitempty"`
 	// MaxTasks caps the number of generated tasks as a safety valve; zero
 	// defaults to 1000.
-	MaxTasks int
+	MaxTasks int `json:"max_tasks,omitempty"`
 	// Benchmarks restricts generation to the named PARSEC profiles; empty
 	// uses the full suite.
-	Benchmarks []string
+	Benchmarks []string `json:"benchmarks,omitempty"`
 	// UseTraceProfiles derives WCET tables by trace-driven measurement on
 	// the cache simulator (parsec.TraceProfile) instead of the analytic
 	// model — the "obtained by measurement on vC2M" path. Generation is
 	// slower; profiles are computed once per benchmark and reused.
-	UseTraceProfiles bool
+	UseTraceProfiles bool `json:"use_trace_profiles,omitempty"`
 	// TraceOps overrides the trace length when UseTraceProfiles is set.
-	TraceOps int
+	TraceOps int `json:"trace_ops,omitempty"`
 }
 
 // periodBaseLo/periodBaseHi bound the harmonic base period so that

@@ -1,7 +1,10 @@
 package workload
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 
 	"vc2m/internal/csa"
@@ -238,4 +241,39 @@ func TestReferenceUtilBelowDrawnUtil(t *testing.T) {
 		}
 	}
 	_ = math.Pi
+}
+
+// TestConfigWireByteIdentity: generation specs submitted to the
+// allocation server re-encode identically after a round trip, and the
+// distribution travels as its figure name.
+func TestConfigWireByteIdentity(t *testing.T) {
+	in := Config{
+		Platform:      model.PlatformB,
+		TargetRefUtil: 2.5,
+		Dist:          BimodalHeavy,
+		NumVMs:        4,
+		Benchmarks:    []string{"canneal", "streamcluster"},
+	}
+	first, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("config re-encoding drifted:\nfirst:  %s\nsecond: %s", first, second)
+	}
+	if !strings.Contains(string(first), `"dist":"bimodal-heavy"`) {
+		t.Fatalf("distribution not name-encoded: %s", first)
+	}
+	var bad Config
+	if err := json.Unmarshal([]byte(`{"platform":{"name":"A","m":2,"c":8,"b":8,"cmin":1,"bmin":1},"target_ref_util":1,"dist":3}`), &bad); err == nil {
+		t.Error("numeric distribution encoding accepted")
+	}
 }

@@ -36,6 +36,7 @@
 package vc2m
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -272,6 +273,12 @@ type Options struct {
 	// Provenance, when non-nil, records the allocator's decision stream
 	// (see NewProvenance). Nil disables recording at no cost.
 	Provenance *ProvenanceRecorder
+	// Context, when non-nil, makes the allocation cancelable: the search
+	// polls it between VMs and between hypervisor-level packing attempts
+	// and aborts with the context's error once it is canceled or its
+	// deadline passes. The allocation server uses this to bound run time
+	// and to stop abandoned requests; nil disables the checks.
+	Context context.Context
 }
 
 // Allocate runs the vC2M allocator on the system and returns a schedulable
@@ -290,6 +297,7 @@ func Allocate(sys *System, opts Options) (*Allocation, error) {
 		},
 		Metrics:    opts.Metrics,
 		Provenance: opts.Provenance,
+		Ctx:        opts.Context,
 	}
 	return h.Allocate(sys, rngutil.New(opts.Seed))
 }
