@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck lint test bench bench-smoke bench-check fuzz-smoke race cover ci determinism report-smoke server-smoke paper examples clean
+.PHONY: all build vet fmtcheck lint test bench bench-smoke bench-check fuzz-smoke race cover ci determinism report-smoke server-smoke obs-smoke paper examples clean
 
 all: build vet test
 
@@ -59,7 +59,7 @@ fuzz-smoke:
 	done
 
 # Everything CI runs (see .github/workflows/ci.yml), locally.
-ci: build vet fmtcheck lint test race bench-smoke bench-check fuzz-smoke determinism report-smoke server-smoke
+ci: build vet fmtcheck lint test race bench-smoke bench-check fuzz-smoke determinism report-smoke server-smoke obs-smoke
 
 race:
 	$(GO) test -race ./...
@@ -110,10 +110,27 @@ server-smoke:
 	  $$tmp/bin/vc2m-report generate -in $$tmp/served.json >/dev/null; } || \
 		{ echo "server-smoke: served run failed or diverged"; \
 		  cat $$tmp/server.log; kill $$pid 2>/dev/null; exit 1; }; \
+	VC2M_PROM_URL="http://$$addr/metrics" \
+		$(GO) test -count=1 -run '^TestPromScrapeLive$$' ./internal/obs || \
+		{ echo "server-smoke: live /metrics scrape failed"; \
+		  cat $$tmp/server.log; kill $$pid 2>/dev/null; exit 1; }; \
 	kill -TERM $$pid; \
 	if wait $$pid; then :; else echo "server-smoke: daemon did not drain cleanly"; \
 		cat $$tmp/server.log; exit 1; fi; \
-	echo "server-smoke: served report byte-identical to in-process run; daemon drained cleanly"
+	echo "server-smoke: served report byte-identical to in-process run; live /metrics parser-clean; daemon drained cleanly"
+
+# Observability smoke: a seeded vc2m-sim run exporting wall-clock spans
+# must produce exactly the committed stage set (durations vary run to
+# run; the instrumented pipeline's stages do not). Regenerate the golden
+# with VC2M_UPDATE_GOLDEN=1 after intentionally adding or removing spans.
+obs-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/bin/ ./cmd/vc2m-sim || exit 1; \
+	$$tmp/bin/vc2m-sim -gen-util 1.0 -gen-seed 7 -mode existing -simulate 2200 \
+		-spans-out $$tmp/spans.json > /dev/null || exit 1; \
+	VC2M_SPANS_FILE=$$tmp/spans.json VC2M_UPDATE_GOLDEN=$(UPDATE_GOLDEN) \
+		$(GO) test -count=1 -run '^TestSpanGoldenStages$$' ./internal/obs && \
+	echo "obs-smoke: span stage set matches golden"
 
 cover:
 	$(GO) test -cover ./...

@@ -88,10 +88,11 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
-// Metrics fetches the service gauges.
+// Metrics fetches the service gauges from /api/metrics (the JSON surface;
+// GET /metrics is the Prometheus text exposition).
 func (c *Client) Metrics(ctx context.Context) (server.ServiceMetrics, error) {
 	var m server.ServiceMetrics
-	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	err := c.do(ctx, http.MethodGet, "/api/metrics", nil, &m)
 	return m, err
 }
 

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"vc2m/internal/bench"
+	"vc2m/internal/obs"
 )
 
 func main() {
@@ -36,9 +37,16 @@ func run(args []string) int {
 	out := fs.String("out", "results", "directory for BENCH_<stamp>.json ('-' writes JSON to stdout)")
 	check := fs.String("check", "", "compare the run's JSON schema against this committed baseline; exit 1 on drift")
 	compare := fs.String("compare", "", "compare a second report file against -check (no benchmarks are run)")
+	logCfg := obs.LogFlags(fs, "warn")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	lg, err := logCfg.Build(os.Stderr, obs.GetBuildInfo().LogAttrs()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-bench:", err)
+		return 2
+	}
+	lg.Debug("starting", "cmd", "vc2m-bench")
 	if err := realMain(*quick, *runs, *parallel, *out, *check, *compare); err != nil {
 		fmt.Fprintln(os.Stderr, "vc2m-bench:", err)
 		return 1

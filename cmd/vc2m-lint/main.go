@@ -29,6 +29,7 @@ import (
 
 	"vc2m/internal/lint"
 	"vc2m/internal/lintkit"
+	"vc2m/internal/obs"
 )
 
 func main() {
@@ -44,9 +45,16 @@ func run(args []string) int {
 	for _, a := range lint.All() {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
 	}
+	logCfg := obs.LogFlags(fs, "warn")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	lg, err := logCfg.Build(os.Stderr, obs.GetBuildInfo().LogAttrs()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-lint:", err)
+		return 2
+	}
+	lg.Debug("starting", "cmd", "vc2m-lint")
 
 	if *list {
 		for _, a := range lint.All() {

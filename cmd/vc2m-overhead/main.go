@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"vc2m/internal/experiment"
+	"vc2m/internal/obs"
 )
 
 func main() {
@@ -33,9 +34,16 @@ func run(args []string) int {
 	horizon := fs.Float64("horizon", 2000, "simulated duration in ms")
 	seed := fs.Int64("seed", 1, "random seed")
 	csvPath := fs.String("csv", "", "also write the first configuration's handler summaries to this CSV file")
+	logCfg := obs.LogFlags(fs, "warn")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	lg, err := logCfg.Build(os.Stderr, obs.GetBuildInfo().LogAttrs()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-overhead:", err)
+		return 2
+	}
+	lg.Debug("starting", "cmd", "vc2m-overhead")
 	if err := realMain(*vcpuList, *horizon, *seed, *csvPath); err != nil {
 		fmt.Fprintln(os.Stderr, "vc2m-overhead:", err)
 		return 1

@@ -27,6 +27,7 @@ import (
 	"vc2m/client"
 	"vc2m/internal/experiment"
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/profutil"
 	"vc2m/internal/provenance"
 	"vc2m/internal/report"
@@ -67,9 +68,16 @@ func run(args []string) int {
 	serverURL := fs.String("server", "", "submit the figure sweeps to a vc2m-server daemon at this URL instead of running in-process")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	logCfg := obs.LogFlags(fs, "warn")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	lg, err := logCfg.Build(os.Stderr, obs.GetBuildInfo().LogAttrs()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-paper:", err)
+		return 2
+	}
+	lg.Debug("starting", "cmd", "vc2m-paper")
 
 	// An interrupt cancels the sweep at the next utilization point; the
 	// figures completed so far still flush below.

@@ -17,6 +17,7 @@ import (
 
 	"vc2m/internal/experiment"
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/parsec"
 )
 
@@ -32,9 +33,16 @@ func run(args []string) int {
 	ops := fs.Int("ops", 100000, "operations per task")
 	seed := fs.Int64("seed", 1, "random seed")
 	benchmark := fs.String("benchmark", "", "also print this benchmark's slowdown profile s(c,b)")
+	logCfg := obs.LogFlags(fs, "warn")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	lg, err := logCfg.Build(os.Stderr, obs.GetBuildInfo().LogAttrs()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-profile:", err)
+		return 2
+	}
+	lg.Debug("starting", "cmd", "vc2m-profile")
 	if err := realMain(*cores, *ops, *seed, *benchmark); err != nil {
 		fmt.Fprintln(os.Stderr, "vc2m-profile:", err)
 		return 1

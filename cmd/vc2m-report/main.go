@@ -16,8 +16,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"vc2m/internal/obs"
 	"vc2m/internal/report"
 )
 
@@ -32,6 +34,26 @@ var errDiffer = errors.New("reports differ")
 // run is the defer-safe driver: subcommands return errors instead of
 // os.Exit-ing mid-function.
 func run(args []string) int {
+	// Global flags (the shared -log-level/-log-json pair) are parsed ahead
+	// of the subcommand: `vc2m-report -log-level debug diff a b`. Parsing
+	// stops at the first non-flag argument, which is the subcommand.
+	gfs := flag.NewFlagSet("vc2m-report", flag.ContinueOnError)
+	gfs.SetOutput(io.Discard)
+	logCfg := obs.LogFlags(gfs, "warn")
+	if perr := gfs.Parse(args); perr != nil {
+		usage()
+		if errors.Is(perr, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	args = gfs.Args()
+	lg, lerr := logCfg.Build(os.Stderr, obs.GetBuildInfo().LogAttrs()...)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-report:", lerr)
+		return 2
+	}
+	lg.Debug("starting", "cmd", "vc2m-report")
 	if len(args) < 1 {
 		usage()
 		return 2
@@ -67,6 +89,8 @@ func usage() {
   generate -in run.json [-html run.html]   validate the report and render HTML
   diff <a.json> <b.json>                   compare two reports (exit 0 iff identical)
   explain -in run.json <subject>           reconstruct a subject's decision trail
+
+global flags (before the subcommand): -log-level <debug|info|warn|error|off>, -log-json
 `)
 }
 

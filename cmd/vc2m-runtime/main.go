@@ -22,6 +22,7 @@ import (
 
 	"vc2m/internal/experiment"
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/workload"
 )
 
@@ -41,9 +42,16 @@ func run(args []string) int {
 	seed := fs.Int64("seed", 1, "random seed")
 	showMetrics := fs.Bool("metrics", false, "collect and print per-solution search-effort metrics (dbf/sbf evaluations, phase timings, ...)")
 	metricsCSV := fs.String("metrics-csv", "", "also write the per-solution metrics to this CSV file (implies -metrics)")
+	logCfg := obs.LogFlags(fs, "warn")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	lg, err := logCfg.Build(os.Stderr, obs.GetBuildInfo().LogAttrs()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-runtime:", err)
+		return 2
+	}
+	lg.Debug("starting", "cmd", "vc2m-runtime")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

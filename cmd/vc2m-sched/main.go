@@ -26,6 +26,7 @@ import (
 
 	"vc2m/internal/experiment"
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/plot"
 	"vc2m/internal/profutil"
 	"vc2m/internal/provenance"
@@ -59,9 +60,16 @@ func run(args []string) int {
 	reportOut := fs.String("report-out", "", "write a unified sweep report JSON here (inspect with vc2m-report)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	logCfg := obs.LogFlags(fs, "warn")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	lg, err := logCfg.Build(os.Stderr, obs.GetBuildInfo().LogAttrs()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-sched:", err)
+		return 2
+	}
+	lg.Debug("starting", "cmd", "vc2m-sched")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

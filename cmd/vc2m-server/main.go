@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/server"
 	"vc2m/internal/workload"
 )
@@ -46,6 +47,10 @@ func run(args []string) int {
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request bound for non-streaming endpoints")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Minute, "shutdown drain bound before in-flight runs are canceled")
 	readyFile := fs.String("ready-file", "", "write the bound address here once listening (for scripts)")
+	slowRun := fs.Duration("slow-run", 0, "log a per-stage wall-clock breakdown for runs slower than this (0 disables)")
+	debugRoutes := fs.Bool("debug-routes", false, "serve GET /debug/panic for verifying the recovery middleware")
+	version := fs.Bool("version", false, "print the build identity and exit")
+	logCfg := obs.LogFlags(fs, "info")
 
 	// vcsim-style synthetic inventory: a generated demo system submitted
 	// at startup, so a fresh daemon has browsable state immediately.
@@ -58,12 +63,24 @@ func run(args []string) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *version {
+		fmt.Println("vc2m-server", obs.GetBuildInfo())
+		return 0
+	}
+	logger, err := logCfg.Build(os.Stderr, obs.GetBuildInfo().LogAttrs()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-server:", err)
+		return 2
+	}
 
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		Queue:          *queue,
 		RunTimeout:     *runTimeout,
 		RequestTimeout: *reqTimeout,
+		Logger:         logger,
+		SlowRun:        *slowRun,
+		DebugRoutes:    *debugRoutes,
 	})
 	srv.Start()
 
@@ -89,6 +106,7 @@ func run(args []string) int {
 		defer os.Remove(*readyFile)
 	}
 	fmt.Printf("vc2m-server listening on %s (%d workers, queue %d)\n", bound, *workers, *queue)
+	logger.Info("listening", "addr", bound, "workers", *workers, "queue", *queue)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -14,6 +14,7 @@
 //	vc2m-sim -in system.json -mode flattening -out alloc.json
 //	vc2m-sim -gen-util 1.0 -mode overheadfree -simulate 2200
 //	vc2m-sim -server http://127.0.0.1:8700 -gen-util 1.0 -report-out run.json
+//	vc2m-sim -gen-util 1.2 -mode existing -spans -spans-out spans.json
 package main
 
 import (
@@ -26,12 +27,14 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"vc2m"
 	"vc2m/client"
 	"vc2m/internal/alloc"
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/profutil"
 	"vc2m/internal/report"
 	"vc2m/internal/server"
@@ -68,6 +71,10 @@ func run(args []string) int {
 	serverURL := fs.String("server", "", "submit the run to a vc2m-server daemon at this URL instead of executing in-process")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	spansOut := fs.String("spans-out", "", "write the run's wall-clock stage spans as Chrome trace-event JSON (open in ui.perfetto.dev)")
+	spans := fs.Bool("spans", false, "print a wall-clock stage-latency breakdown after the run")
+	slowRun := fs.Duration("slow-run", 0, "log a per-stage breakdown if the run exceeds this wall time (0 disables)")
+	logCfg := obs.LogFlags(fs, "warn")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,6 +92,7 @@ func run(args []string) int {
 		traceOut: *traceOut, traceJSONL: *traceJSONL,
 		diagnose: *diagnose, provenance: *provFlag, reportOut: *reportOut,
 		serverURL: *serverURL, cpuprofile: *cpuprofile, memprofile: *memprofile,
+		spansOut: *spansOut, spans: *spans, slowRun: *slowRun, logCfg: logCfg,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "vc2m-sim:", err)
 		return 1
@@ -114,9 +122,17 @@ type simFlags struct {
 	serverURL   string
 	cpuprofile  string
 	memprofile  string
+	spansOut    string
+	spans       bool
+	slowRun     time.Duration
+	logCfg      *obs.LogConfig
 }
 
 func realMain(ctx context.Context, f simFlags) error {
+	lg, err := f.logCfg.Build(os.Stderr, obs.GetBuildInfo().LogAttrs()...)
+	if err != nil {
+		return err
+	}
 	if f.serverURL != "" {
 		return runViaServer(ctx, f)
 	}
@@ -128,6 +144,33 @@ func realMain(ctx context.Context, f simFlags) error {
 	defer func() {
 		if perr := stopProf(); perr != nil {
 			fmt.Fprintln(os.Stderr, "vc2m-sim: profile:", perr)
+		}
+	}()
+
+	// Wall-clock span instrumentation: one trace per invocation, rooted
+	// at a "run" span the allocator and simulator hang their stage spans
+	// under. Spans live strictly outside the report/allocation outputs,
+	// so enabling them never changes a run's bytes. The trace finalizes
+	// on every exit path — a rejected allocation is exactly the kind of
+	// run worth profiling.
+	var tr *obs.Trace
+	var rootSpan *vc2m.Span
+	if f.spansOut != "" || f.spans || f.slowRun > 0 {
+		tr = obs.NewTrace()
+		rootSpan = tr.StartSpan(obs.StageRun)
+	}
+	begin := time.Now() //vc2m:wallclock slow-run threshold is wall time by design
+	defer func() {
+		rootSpan.End()
+		lg.LogSlow(tr, "vc2m-sim", time.Since(begin), f.slowRun) //vc2m:wallclock slow-run threshold is wall time by design
+		if f.spans {
+			fmt.Println("# wall-clock stage breakdown")
+			_ = tr.WriteBreakdown(os.Stdout)
+		}
+		if f.spansOut != "" {
+			if werr := writeSpans(f.spansOut, tr); werr != nil {
+				fmt.Fprintln(os.Stderr, "vc2m-sim: spans:", werr)
+			}
 		}
 	}()
 
@@ -164,7 +207,7 @@ func realMain(ctx context.Context, f simFlags) error {
 	}
 	run := reportRun{path: f.reportOut, mode: modeName, seed: f.genSeed, sys: sys, metrics: rec, prov: prov}
 
-	a, err := vc2m.Allocate(sys, vc2m.Options{Mode: m, Seed: f.seed, Metrics: rec, Provenance: prov, Context: ctx})
+	a, err := vc2m.Allocate(sys, vc2m.Options{Mode: m, Seed: f.seed, Metrics: rec, Provenance: prov, Context: ctx, Span: rootSpan})
 	if err != nil {
 		// The rejection is itself a result: persist the decision trail
 		// (with the binding resource) before exiting non-zero.
@@ -194,7 +237,7 @@ func realMain(ctx context.Context, f simFlags) error {
 			return err
 		}
 		recordTrace := f.gantt > 0 || f.diagnose || f.reportOut != ""
-		res, err := vc2m.Simulate(a, f.simulate, vc2m.SimOptions{RecordTrace: recordTrace, Trace: sink, Metrics: rec})
+		res, err := vc2m.Simulate(a, f.simulate, vc2m.SimOptions{RecordTrace: recordTrace, Trace: sink, Metrics: rec, Span: rootSpan})
 		if cerr := closeSinks(); cerr != nil && err == nil {
 			err = cerr
 		}
@@ -261,6 +304,9 @@ func runViaServer(ctx context.Context, f simFlags) error {
 		{"-metrics-csv", f.metricsCSV != ""},
 		{"-cpuprofile", f.cpuprofile != ""},
 		{"-memprofile", f.memprofile != ""},
+		{"-spans-out", f.spansOut != ""},
+		{"-spans", f.spans},
+		{"-slow-run", f.slowRun > 0},
 	}
 	for _, flag := range localOnly {
 		if flag.set {
@@ -423,6 +469,25 @@ func toRejection(err error) *report.Rejection {
 		}
 	}
 	return rej
+}
+
+// writeSpans exports the wall-clock span trace as Chrome trace-event
+// JSON — same viewer as -trace-out, but the timeline is real elapsed time
+// across pipeline stages, not simulated hypervisor time.
+func writeSpans(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote spans to %s (open in ui.perfetto.dev)\n", path)
+	return nil
 }
 
 // openTraceSinks builds the flight-recorder sink requested by the

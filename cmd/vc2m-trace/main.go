@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"sort"
 
 	"vc2m/internal/hypersim"
+	"vc2m/internal/obs"
 	"vc2m/internal/timeunit"
 	"vc2m/internal/trace"
 )
@@ -31,6 +33,25 @@ func main() {
 // run is the defer-safe driver: subcommands return errors instead of
 // os.Exit-ing mid-function, so deferred file closers always execute.
 func run(args []string) int {
+	// Global flags (the shared -log-level/-log-json pair) are parsed ahead
+	// of the subcommand: `vc2m-trace -log-level debug convert ...`.
+	gfs := flag.NewFlagSet("vc2m-trace", flag.ContinueOnError)
+	gfs.SetOutput(io.Discard)
+	logCfg := obs.LogFlags(gfs, "warn")
+	if perr := gfs.Parse(args); perr != nil {
+		usage()
+		if errors.Is(perr, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	args = gfs.Args()
+	lg, lerr := logCfg.Build(os.Stderr, obs.GetBuildInfo().LogAttrs()...)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "vc2m-trace:", lerr)
+		return 2
+	}
+	lg.Debug("starting", "cmd", "vc2m-trace")
 	if len(args) < 1 {
 		usage()
 		return 2
@@ -71,6 +92,7 @@ subcommands:
 
 run 'vc2m-trace <subcommand> -h' for flags. Capture traces with
 'vc2m-sim -trace-jsonl run.jsonl' or a SimOptions.Trace sink.
+Global flags (before the subcommand): -log-level <debug|info|warn|error|off>, -log-json.
 `)
 }
 

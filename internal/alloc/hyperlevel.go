@@ -10,6 +10,7 @@ import (
 	"vc2m/internal/kmeans"
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/provenance"
 	"vc2m/internal/rngutil"
 )
@@ -42,6 +43,10 @@ type HyperConfig struct {
 	// sweeps) use it to stop abandoned allocations promptly; a nil Ctx
 	// costs one comparison per attempt.
 	Ctx context.Context
+	// Span, when non-nil, is the parent under which one alloc.phase1/2/3
+	// span is opened per phase invocation, mirroring the Metric*Seconds
+	// timers (nil disables at no cost).
+	Span *obs.Span
 
 	// Ablation switches, used by the design-choice benchmarks to quantify
 	// what each ingredient of the heuristic contributes.
@@ -201,9 +206,13 @@ func HyperLevel(vcpus []*model.VCPU, plat model.Platform, cfg HyperConfig, rng *
 			}
 			perm := rng.Perm(len(groups))
 			rec.Inc(MetricPermutations)
+			sp1 := cfg.Span.Child(obs.StagePhase1)
 			stop := rec.Time(MetricPhase1Seconds)
 			cores := packPhase1(groups, perm, m, &scratch)
 			stop()
+			sp1.SetInt("m", int64(m))
+			sp1.SetInt("iter", int64(iter))
+			sp1.End()
 			rec.Inc(MetricPhase1Packing)
 			attempts++
 			ok, cause := allocateAndBalance(cores, plat, cfg)
@@ -337,10 +346,12 @@ func allocateAndBalance(cores []*coreState, plat model.Platform, cfg HyperConfig
 	var cause failCause
 	runPhase2 := func() bool {
 		rec.Inc(MetricPhase2Calls)
+		sp2 := cfg.Span.Child(obs.StagePhase2)
 		stop := rec.Time(MetricPhase2Seconds)
 		var ok bool
 		ok, cause = phase2(cores, plat, rec, prov)
 		stop()
+		sp2.End()
 		return ok
 	}
 	if runPhase2() {
@@ -352,9 +363,11 @@ func allocateAndBalance(cores []*coreState, plat model.Platform, cfg HyperConfig
 	prevOverload := totalOverload(cores)
 	for round := 0; round < cfg.MaxBalanceRounds; round++ {
 		rec.Inc(MetricPhase3Rounds)
+		sp3 := cfg.Span.Child(obs.StagePhase3)
 		stop := rec.Time(MetricPhase3Seconds)
 		moved := balancePhase3(cores, rec, prov)
 		stop()
+		sp3.End()
 		if !moved {
 			return false, cause // no migration possible: no benefit in balancing
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"vc2m/internal/metrics"
+	"vc2m/internal/obs"
 	"vc2m/internal/provenance"
 )
 
@@ -67,4 +68,12 @@ type ProvenanceSetter interface {
 // Allocator interface.
 type ContextSetter interface {
 	SetContext(context.Context)
+}
+
+// SpanSetter is implemented by allocators that open wall-clock stage
+// spans under a parent span (see Heuristic.Span and package obs).
+// Harnesses and the allocation server use it to attach a span without
+// widening the Allocator interface.
+type SpanSetter interface {
+	SetSpan(*obs.Span)
 }

@@ -5,6 +5,7 @@ import (
 
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/provenance"
 	"vc2m/internal/rngutil"
 )
@@ -46,6 +47,11 @@ type Heuristic struct {
 	// with the context's error instead of running the search to
 	// completion. Nil disables the checks.
 	Ctx context.Context
+	// Span, when non-nil, is the parent under which the allocator opens
+	// wall-clock stage spans: alloc.vmlevel and alloc.hyper children here,
+	// csa.derive and alloc.phase1/2/3 grandchildren below. Nil disables
+	// span recording at no cost; spans never influence the result.
+	Span *obs.Span
 }
 
 // Name implements Allocator.
@@ -59,6 +65,9 @@ func (h *Heuristic) SetProvenance(p *provenance.Recorder) { h.Provenance = p }
 
 // SetContext implements ContextSetter.
 func (h *Heuristic) SetContext(ctx context.Context) { h.Ctx = ctx }
+
+// SetSpan implements SpanSetter.
+func (h *Heuristic) SetSpan(sp *obs.Span) { h.Span = sp }
 
 // Allocate implements Allocator. A nil RNG falls back to a fixed seed, so
 // the call is deterministic either way.
@@ -84,27 +93,38 @@ func (h *Heuristic) Allocate(sys *model.System, rng *rngutil.RNG) (*model.Alloca
 	if h.Ctx != nil {
 		hyCfg.Ctx = h.Ctx
 	}
+	vmSpan := h.Span.Child(obs.StageVMLevel)
+	vmCfg.Span = vmSpan
 	stopVM := rec.Time(MetricVMLevelSeconds)
 	var vcpus []*model.VCPU
 	for _, vm := range sys.VMs {
 		if h.Ctx != nil {
 			if err := h.Ctx.Err(); err != nil {
 				stopVM()
+				vmSpan.End()
 				return nil, err
 			}
 		}
 		vs, err := VMLevel(vm, sys.Platform, vmCfg, len(vcpus), rng)
 		if err != nil {
 			stopVM()
+			vmSpan.End()
 			return nil, err
 		}
 		vcpus = append(vcpus, vs...)
 	}
 	stopVM()
+	vmSpan.SetInt("vms", int64(len(sys.VMs)))
+	vmSpan.SetInt("vcpus", int64(len(vcpus)))
+	vmSpan.End()
 	rec.Add(MetricVCPUsBuilt, int64(len(vcpus)))
+	hySpan := h.Span.Child(obs.StageHyper)
+	hyCfg.Span = hySpan
 	stopHyper := rec.Time(MetricHyperSeconds)
 	a, err := HyperLevel(vcpus, sys.Platform, hyCfg, rng)
 	stopHyper()
+	hySpan.SetInt("vcpus", int64(len(vcpus)))
+	hySpan.End()
 	if err != nil {
 		return nil, err
 	}

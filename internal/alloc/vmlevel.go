@@ -22,6 +22,7 @@ import (
 	"vc2m/internal/kmeans"
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/provenance"
 	"vc2m/internal/rngutil"
 )
@@ -81,6 +82,9 @@ type VMLevelConfig struct {
 	// Provenance, when non-nil, records the task-to-VCPU mapping and each
 	// VCPU's derived interface (nil disables recording at no cost).
 	Provenance *provenance.Recorder
+	// Span, when non-nil, is the parent under which one csa.derive span is
+	// opened per derived VCPU interface (nil disables at no cost).
+	Span *obs.Span
 }
 
 // slowdownCap bounds slowdown-vector entries used for clustering. Budget
@@ -214,10 +218,14 @@ func clusterPackVM(vm *model.VM, plat model.Platform, cfg VMLevelConfig, firstIn
 	for i, group := range vcpuTasks {
 		idx := firstIndex + i
 		var v *model.VCPU
+		dsp := cfg.Span.Child(obs.StageCSADerive)
+		dsp.SetAttr("analysis", cfg.Mode.String())
+		dsp.SetInt("tasks", int64(len(group)))
 		switch cfg.Mode {
 		case OverheadFree:
 			wr, err := csa.WellRegulatedVCPU(group, idx)
 			if err != nil {
+				dsp.End()
 				return nil, fmt.Errorf("alloc: VM %s: %w", vm.ID, err)
 			}
 			v = wr
@@ -230,12 +238,17 @@ func clusterPackVM(vm *model.VM, plat model.Platform, cfg VMLevelConfig, firstIn
 				})
 			}
 		case ExistingCSA:
-			ex, _, err := csa.ExistingVCPUProv(group, idx, plat, rec, prov)
+			ex, _, err := csa.ExistingVCPUObs(group, idx, plat, rec, prov, dsp)
 			if err != nil {
+				dsp.End()
 				return nil, fmt.Errorf("alloc: VM %s: %w", vm.ID, err)
 			}
 			v = ex
 		}
+		if v != nil {
+			dsp.SetAttr("vcpu", v.ID)
+		}
+		dsp.End()
 		if prov.Enabled() {
 			for _, t := range group {
 				prov.Record(provenance.Decision{

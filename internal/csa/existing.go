@@ -7,6 +7,7 @@ import (
 
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/provenance"
 )
 
@@ -58,6 +59,17 @@ func ExistingVCPUMetered(tasks []*model.Task, index int, plat model.Platform, re
 // steepest demand when not) — so reports can show why the existing CSA
 // priced the taskset the way it did.
 func ExistingVCPUProv(tasks []*model.Task, index int, plat model.Platform, rec *metrics.Recorder, prov *provenance.Recorder) (*model.VCPU, bool, error) {
+	return ExistingVCPUObs(tasks, index, plat, rec, prov, nil)
+}
+
+// ExistingVCPUObs is ExistingVCPUProv with wall-clock span annotation:
+// when sp is non-nil (an open csa.derive span owned by the caller), the
+// derivation's cost drivers — candidate (c,b) count, dbf checkpoint
+// evaluations, bisection iterations — are attached as span attributes, so
+// a span export explains why this stage dominates the existing CSA's
+// running time (Figure 4). A nil sp costs nothing; the derivation itself
+// is unaffected either way.
+func ExistingVCPUObs(tasks []*model.Task, index int, plat model.Platform, rec *metrics.Recorder, prov *provenance.Recorder, sp *obs.Span) (*model.VCPU, bool, error) {
 	if len(tasks) == 0 {
 		return nil, false, errors.New("csa: ExistingVCPU with no tasks")
 	}
@@ -106,6 +118,13 @@ func ExistingVCPUProv(tasks []*model.Task, index int, plat model.Platform, rec *
 		rec.Add(MetricSBFEvals, sbfEvals)
 		rec.Add(MetricMinBudgetCalls, searches)
 		rec.Add(MetricMinBudgetIters, iters)
+	}
+	if sp != nil {
+		sp.SetInt("candidates", int64(totalAllocs))
+		sp.SetInt("feasible", int64(feasibleAllocs))
+		sp.SetInt("dbf_evals", dbfEvals)
+		sp.SetInt("sbf_evals", sbfEvals)
+		sp.SetInt("bisect_iters", iters)
 	}
 
 	v := &model.VCPU{

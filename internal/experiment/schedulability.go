@@ -18,6 +18,7 @@ import (
 	"vc2m/internal/alloc"
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/provenance"
 	"vc2m/internal/rngutil"
 	"vc2m/internal/workload"
@@ -83,6 +84,12 @@ type SchedConfig struct {
 	// discarding completed work. It is also threaded into every
 	// context-aware solution, so the in-flight point aborts promptly.
 	Context context.Context
+	// Span, when non-nil, is the parent under which one experiment.point
+	// wall-clock span is opened per utilization point (annotated with the
+	// utilization and taskset count). Spans stay at point granularity —
+	// per-taskset spans would swamp the trace — and never influence the
+	// sweep's results. Nil disables at no cost.
+	Span *obs.Span
 }
 
 // withDefaults fills the paper's defaults. The utilization range defaults
@@ -228,6 +235,9 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 			errs  []error
 			err   error
 		}
+		psp := cfg.Span.Child(obs.StageSweepPoint)
+		psp.SetFloat("util", u)
+		psp.SetInt("tasksets", int64(cfg.TasksetsPerPoint))
 		jobs := make([]job, cfg.TasksetsPerPoint)
 		for ts := range jobs {
 			genRNG := root.Split()
@@ -269,6 +279,7 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 		// corrupted fractions into the curves.
 		if cfg.Context != nil {
 			if err := cfg.Context.Err(); err != nil {
+				psp.End()
 				return partial(err)
 			}
 		}
@@ -276,6 +287,7 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 		elapsed := make([]float64, len(cfg.Solutions))
 		for ts := range jobs {
 			if jobs[ts].err != nil {
+				psp.End()
 				return nil, jobs[ts].err
 			}
 			for si := range cfg.Solutions {
@@ -300,6 +312,7 @@ func RunSchedulability(cfg SchedConfig) (*SchedResult, error) {
 				rec.Observe(MetricPointSeconds, elapsed[si])
 			}
 		}
+		psp.End()
 		if cfg.Progress != nil {
 			cfg.Progress(ui+1, len(utils))
 		}

@@ -30,6 +30,7 @@ import (
 	"vc2m/internal/membus"
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/sim"
 	"vc2m/internal/stats"
 	"vc2m/internal/timeunit"
@@ -102,6 +103,11 @@ type Config struct {
 	// linear path is retained as the oracle for differential tests and
 	// the performance baseline for the bench harness.
 	LinearDispatch bool
+	// Span, when non-nil, is the parent under which Run opens one
+	// hypersim.run wall-clock span annotated with the run's volume
+	// (engine steps, jobs, misses). Nil disables at no cost; spans never
+	// influence the simulation result.
+	Span *obs.Span
 }
 
 // Counter names recorded on Config.Metrics at the end of Run. They mirror

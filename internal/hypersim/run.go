@@ -3,6 +3,7 @@ package hypersim
 import (
 	"sort"
 
+	"vc2m/internal/obs"
 	"vc2m/internal/sim"
 	"vc2m/internal/stats"
 	"vc2m/internal/timeunit"
@@ -235,6 +236,7 @@ func (s *Simulator) Run(horizon timeunit.Ticks) *Result {
 		panic("hypersim: Run called twice on the same Simulator")
 	}
 	s.ran = true
+	sp := s.cfg.Span.Child(obs.StageHypersim)
 	for _, v := range s.vcpus {
 		v := v
 		s.engine.At(v.offset, sim.PrioReplenish, func() { s.vcpuRelease(v) })
@@ -317,5 +319,9 @@ func (s *Simulator) Run(horizon timeunit.Ticks) *Result {
 		rec.Add(MetricJobsCompleted, int64(res.Completed))
 		rec.Add(MetricDeadlineMisses, int64(res.Missed))
 	}
+	sp.SetInt("engine_steps", int64(res.EngineSteps))
+	sp.SetInt("released", int64(res.Released))
+	sp.SetInt("missed", int64(res.Missed))
+	sp.End()
 	return res
 }

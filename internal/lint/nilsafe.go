@@ -27,16 +27,18 @@ type HookSpec struct {
 // DefaultHooks are the repo's registered instrumentation hooks: every
 // trace.Sink and provenance.Sink implementation (including unexported
 // ones like the allocation server's pubSub broadcast sink), the
-// metrics.Recorder, the provenance.Recorder and the shared
-// trace.LineWriter they stream through. Their documented contract is that
-// a nil receiver is the disabled state and every method is a safe no-op
-// on it.
+// metrics.Recorder, the provenance.Recorder, the shared trace.LineWriter
+// they stream through, and the observability layer's obs.Span and
+// obs.Logger handles. Their documented contract is that a nil receiver is
+// the disabled state and every method is a safe no-op on it.
 var DefaultHooks = []HookSpec{
 	{Pkg: "vc2m/internal/trace", Interface: "Sink"},
 	{Pkg: "vc2m/internal/trace", Type: "LineWriter"},
 	{Pkg: "vc2m/internal/metrics", Type: "Recorder"},
 	{Pkg: "vc2m/internal/provenance", Interface: "Sink"},
 	{Pkg: "vc2m/internal/provenance", Type: "Recorder"},
+	{Pkg: "vc2m/internal/obs", Type: "Span"},
+	{Pkg: "vc2m/internal/obs", Type: "Logger"},
 }
 
 // NilSafe checks, for every registered hook type, that each exported

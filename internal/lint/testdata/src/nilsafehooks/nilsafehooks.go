@@ -21,6 +21,45 @@ func (r *Recorder) Counter(name string) int64 {
 
 func (r *Recorder) Enabled() bool { return r != nil }
 
+// Span mimics the shape of obs.Span: a handle whose nil value is the
+// spans-disabled state, mutated by End and the attribute setters.
+type Span struct {
+	name string
+	done bool
+}
+
+func (s *Span) End() { // want `\(\*Span\)\.End must begin with a nil-receiver guard`
+	s.done = true
+}
+
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.name = key + "=" + value
+}
+
+// Logger mimics the shape of obs.Logger: the nil logger drops everything.
+type Logger struct {
+	level int
+}
+
+func (l *Logger) Enabled() bool { return l != nil }
+
+func (l *Logger) Info(msg string, args ...any) { // want `\(\*Logger\)\.Info must begin with a nil-receiver guard`
+	_ = msg
+	_ = args
+	l.level++
+}
+
+func (l *Logger) Debug(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	_ = msg
+	_ = args
+}
+
 // Bystander is not registered, so its unguarded method is fine.
 type Bystander struct {
 	n int

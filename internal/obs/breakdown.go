@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StageStat aggregates every ended span of one stage name.
+type StageStat struct {
+	Stage string
+	Count int
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average span duration for the stage.
+func (s StageStat) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Breakdown aggregates the trace's ended spans per stage name, sorted by
+// descending total time (ties by name) — the "where did the wall clock
+// go" table. Nil traces yield an empty table.
+func (t *Trace) Breakdown() []StageStat {
+	if t == nil {
+		return nil
+	}
+	byStage := map[string]*StageStat{}
+	for _, rec := range t.Snapshot() {
+		st, ok := byStage[rec.Name]
+		if !ok {
+			st = &StageStat{Stage: rec.Name, Min: rec.Duration, Max: rec.Duration}
+			byStage[rec.Name] = st
+		}
+		st.Count++
+		st.Total += rec.Duration
+		if rec.Duration < st.Min {
+			st.Min = rec.Duration
+		}
+		if rec.Duration > st.Max {
+			st.Max = rec.Duration
+		}
+	}
+	out := make([]StageStat, 0, len(byStage))
+	for _, st := range byStage { //vc2m:ordered rows are sorted below
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// WriteBreakdown renders the per-stage latency table as aligned text.
+func (t *Trace) WriteBreakdown(w io.Writer) error {
+	stats := t.Breakdown() // nil-safe
+	if len(stats) == 0 {
+		_, err := fmt.Fprintln(w, "no ended spans")
+		return err
+	}
+	width := len("stage")
+	for _, st := range stats {
+		if len(st.Stage) > width {
+			width = len(st.Stage)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %6s  %12s  %12s  %12s  %12s\n",
+		width, "stage", "count", "total", "min", "mean", "max"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", width+6+4*12+10)); err != nil {
+		return err
+	}
+	for _, st := range stats {
+		if _, err := fmt.Fprintf(w, "%-*s  %6d  %12s  %12s  %12s  %12s\n",
+			width, st.Stage, st.Count,
+			fmtDur(st.Total), fmtDur(st.Min), fmtDur(st.Mean()), fmtDur(st.Max)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtDur rounds durations to a readable precision for the table.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}
+
+// BreakdownAttrs converts the table into slog attributes, one group per
+// stage, for the slow-run log.
+func (t *Trace) BreakdownAttrs() []slog.Attr {
+	if t == nil {
+		return nil
+	}
+	stats := t.Breakdown()
+	attrs := make([]slog.Attr, 0, len(stats))
+	for _, st := range stats {
+		attrs = append(attrs, slog.Group(st.Stage,
+			slog.Int("count", st.Count),
+			slog.Duration("total", st.Total),
+			slog.Duration("mean", st.Mean()),
+			slog.Duration("max", st.Max),
+		))
+	}
+	return attrs
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"log/slog"
+	"runtime"
+	"runtime/debug"
+)
+
+// version is the release stamp, overridable at link time:
+//
+//	go build -ldflags "-X vc2m/internal/obs.version=v1.2.3"
+var version = "dev"
+
+// BuildInfo describes the running binary for /healthz, -version flags and
+// root logger attributes.
+type BuildInfo struct {
+	// Version is the link-time stamp ("dev" for unstamped builds).
+	Version string `json:"version"`
+	// Commit is the VCS revision embedded by the go tool, when built from
+	// a checkout ("" otherwise); Dirty marks uncommitted modifications.
+	Commit string `json:"commit,omitempty"`
+	Dirty  bool   `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// GetBuildInfo resolves the binary's build identity from the link-time
+// stamp plus the toolchain's embedded VCS metadata.
+func GetBuildInfo() BuildInfo {
+	bi := BuildInfo{Version: version, GoVersion: runtime.Version()}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				bi.Commit = s.Value
+			case "vcs.modified":
+				bi.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return bi
+}
+
+// String renders "version (commit, go1.xx)" for -version output.
+func (b BuildInfo) String() string {
+	s := b.Version
+	commit := b.Commit
+	if len(commit) > 12 {
+		commit = commit[:12]
+	}
+	if commit != "" {
+		if b.Dirty {
+			commit += "+dirty"
+		}
+		s += " (" + commit + ", " + b.GoVersion + ")"
+	} else {
+		s += " (" + b.GoVersion + ")"
+	}
+	return s
+}
+
+// LogAttrs returns the attributes bound to a root logger so every line
+// carries the build identity.
+func (b BuildInfo) LogAttrs() []slog.Attr {
+	attrs := []slog.Attr{slog.String("version", b.Version)}
+	if b.Commit != "" {
+		commit := b.Commit
+		if len(commit) > 12 {
+			commit = commit[:12]
+		}
+		attrs = append(attrs, slog.String("commit", commit))
+	}
+	return attrs
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newTestLogger(buf io.Writer) *Logger {
+	l, err := (&LogConfig{Level: "debug"}).Build(buf)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func TestMiddlewareMintsAndEchoesRequestID(t *testing.T) {
+	var seen string
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFromContext(r.Context())
+		w.WriteHeader(http.StatusNoContent)
+	}), nil, nil, nil)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if seen == "" {
+		t.Fatal("no request ID in context")
+	}
+	if got := rec.Header().Get(RequestIDHeader); got != seen {
+		t.Fatalf("echoed ID %q != context ID %q", got, seen)
+	}
+
+	// Inbound IDs are honored.
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set(RequestIDHeader, "caller-abc")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "caller-abc" || rec.Header().Get(RequestIDHeader) != "caller-abc" {
+		t.Fatalf("inbound ID not propagated: ctx=%q hdr=%q", seen, rec.Header().Get(RequestIDHeader))
+	}
+
+	// Oversized inbound IDs are replaced, not trusted.
+	req = httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set(RequestIDHeader, strings.Repeat("x", 4096))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if len(seen) > 128 {
+		t.Fatalf("oversized inbound ID accepted: %d bytes", len(seen))
+	}
+}
+
+func TestMiddlewareRecoversPanicWithStack(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewPromRegistry()
+	m := NewHTTPMetrics(reg)
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}), newTestLogger(&buf), m, func(*http.Request) string { return "/boom" })
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil)) // must not propagate the panic
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "kaboom") {
+		t.Fatalf("panic value not logged: %s", out)
+	}
+	if !strings.Contains(out, "httpmw_test.go") && !strings.Contains(out, "goroutine") {
+		t.Fatalf("stack not logged: %s", out)
+	}
+	var expo strings.Builder
+	if err := reg.WriteText(&expo); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expo.String(), `vc2m_http_requests_total{route="/boom",method="GET",code="500"} 1`) {
+		t.Fatalf("panic not counted as 500:\n%s", expo.String())
+	}
+}
+
+func TestMiddlewareAccessLogAndMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewPromRegistry()
+	m := NewHTTPMetrics(reg)
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	}), newTestLogger(&buf), m, func(r *http.Request) string { return "/api/thing" })
+
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/thing?x=1", nil))
+		if rec.Code != http.StatusOK || rec.Body.String() != "ok" {
+			t.Fatalf("response = %d %q", rec.Code, rec.Body.String())
+		}
+	}
+	if got := strings.Count(buf.String(), "msg=request"); got != 3 {
+		t.Fatalf("access log lines = %d\n%s", got, buf.String())
+	}
+	var expo strings.Builder
+	if err := reg.WriteText(&expo); err != nil {
+		t.Fatal(err)
+	}
+	out := expo.String()
+	if !strings.Contains(out, `vc2m_http_requests_total{route="/api/thing",method="GET",code="200"} 3`) {
+		t.Fatalf("request counter wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `vc2m_http_request_seconds_count{route="/api/thing"} 3`) {
+		t.Fatalf("latency histogram wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "vc2m_http_in_flight_requests 0") {
+		t.Fatalf("in-flight gauge not back to zero:\n%s", out)
+	}
+}
+
+// flushRecorder wraps httptest.ResponseRecorder and records Flush calls.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushed bool
+}
+
+func (f *flushRecorder) Flush() { f.flushed = true }
+
+func TestMiddlewarePreservesFlusher(t *testing.T) {
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Error("middleware writer lost http.Flusher")
+			return
+		}
+		_, _ = io.WriteString(w, "chunk")
+		f.Flush()
+	}), nil, nil, nil)
+	rec := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/stream", nil))
+	if !rec.flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+}
+
+func TestMiddlewareConcurrentRequests(t *testing.T) {
+	var buf syncBuffer
+	reg := NewPromRegistry()
+	m := NewHTTPMetrics(reg)
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if RequestIDFromContext(r.Context()) == "" {
+			t.Error("missing request ID")
+		}
+		_, _ = io.WriteString(w, "ok")
+	}), newTestLogger(&buf), m, func(*http.Request) string { return "/x" })
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+			}
+		}()
+	}
+	wg.Wait()
+	var expo strings.Builder
+	if err := reg.WriteText(&expo); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expo.String(), `vc2m_http_requests_total{route="/x",method="GET",code="200"} 200`) {
+		t.Fatalf("counter after hammer:\n%s", expo.String())
+	}
+}
+
+// syncBuffer makes bytes.Buffer safe for the concurrent logger writes in
+// the hammer test.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"time"
+)
+
+// Logger is a nil-safe wrapper over *slog.Logger: a nil *Logger drops
+// everything, so library code can log unconditionally and CLIs that never
+// opt in pay one pointer comparison. (The repo targets go1.22, which has
+// no slog.DiscardHandler; Slog on a nil Logger returns a logger backed by
+// the package's own discard handler.)
+type Logger struct {
+	sl *slog.Logger
+}
+
+// NewLogger wraps an existing slog logger (nil yields a disabled Logger).
+func NewLogger(sl *slog.Logger) *Logger {
+	if sl == nil {
+		return nil
+	}
+	return &Logger{sl: sl}
+}
+
+// Enabled reports whether the logger actually emits.
+func (l *Logger) Enabled() bool { return l != nil }
+
+// Slog returns the underlying *slog.Logger; on a nil receiver it returns
+// a logger that discards everything, so callers may pass it to APIs that
+// require a non-nil *slog.Logger.
+func (l *Logger) Slog() *slog.Logger {
+	if l == nil {
+		return slog.New(discardHandler{})
+	}
+	return l.sl
+}
+
+// With returns a logger with extra attributes bound (nil stays nil).
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{sl: l.sl.With(args...)}
+}
+
+// WithRun binds the run-ID correlation attribute used across server and
+// CLI log lines.
+func (l *Logger) WithRun(runID string) *Logger {
+	if l == nil {
+		return nil
+	}
+	return l.With(slog.String("run", runID))
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.sl.Debug(msg, args...)
+}
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.sl.Info(msg, args...)
+}
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.sl.Warn(msg, args...)
+}
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.sl.Error(msg, args...)
+}
+
+// LogAttrs logs with pre-built attributes (used by the slow-run dump).
+func (l *Logger) LogAttrs(ctx context.Context, level slog.Level, msg string, attrs ...slog.Attr) {
+	if l == nil {
+		return
+	}
+	l.sl.LogAttrs(ctx, level, msg, attrs...)
+}
+
+// LogSlow emits a warn-level stage breakdown for a run whose wall time
+// exceeded threshold; below it (or with threshold<=0, nil logger, or nil
+// trace) it is a no-op. Returns whether a line was emitted.
+func (l *Logger) LogSlow(tr *Trace, runID string, elapsed, threshold time.Duration) bool {
+	if l == nil {
+		return false
+	}
+	if threshold <= 0 || elapsed < threshold || !tr.Enabled() {
+		return false
+	}
+	attrs := []slog.Attr{
+		slog.String("run", runID),
+		slog.Duration("elapsed", elapsed),
+		slog.Duration("threshold", threshold),
+	}
+	attrs = append(attrs, tr.BreakdownAttrs()...)
+	l.LogAttrs(context.Background(), slog.LevelWarn, "slow run", attrs...)
+	return true
+}
+
+// discardHandler is a no-op slog.Handler (go1.22 lacks slog.DiscardHandler).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// LogConfig carries the CLI logging flags shared by every vc2m command.
+type LogConfig struct {
+	// Level is the minimum level: "debug", "info", "warn", "error", or
+	// "off" (drop everything).
+	Level string
+	// JSON selects slog's JSON handler instead of the text handler.
+	JSON bool
+}
+
+// LogFlags registers the shared -log-level / -log-json flags on fs and
+// returns the destination config. defaultLevel is typically "warn" for
+// batch CLIs and "info" for the server.
+func LogFlags(fs *flag.FlagSet, defaultLevel string) *LogConfig {
+	cfg := &LogConfig{Level: defaultLevel}
+	fs.StringVar(&cfg.Level, "log-level", defaultLevel, "log level: debug, info, warn, error, off")
+	fs.BoolVar(&cfg.JSON, "log-json", false, "emit logs as JSON instead of text")
+	return cfg
+}
+
+// ParseLevel maps a level name to its slog level. The second return is
+// false for "off"/"none" (meaning: no logger at all).
+func ParseLevel(name string) (slog.Level, bool, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "debug":
+		return slog.LevelDebug, true, nil
+	case "info", "":
+		return slog.LevelInfo, true, nil
+	case "warn", "warning":
+		return slog.LevelWarn, true, nil
+	case "error":
+		return slog.LevelError, true, nil
+	case "off", "none":
+		return 0, false, nil
+	default:
+		return 0, false, fmt.Errorf("unknown log level %q (want debug, info, warn, error, or off)", name)
+	}
+}
+
+// Build constructs the Logger described by the config, writing to w
+// (conventionally stderr) with attrs bound to every line. Level "off"
+// returns nil — the disabled logger.
+func (c *LogConfig) Build(w io.Writer, attrs ...slog.Attr) (*Logger, error) {
+	if c == nil {
+		return nil, nil
+	}
+	level, on, err := ParseLevel(c.Level)
+	if err != nil {
+		return nil, err
+	}
+	if !on {
+		return nil, nil
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if c.JSON {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	if len(attrs) > 0 {
+		h = h.WithAttrs(attrs)
+	}
+	return NewLogger(slog.New(h)), nil
+}

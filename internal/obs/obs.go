@@ -1,0 +1,67 @@
+// Package obs is vC2M's zero-dependency observability layer: hierarchical
+// wall-clock spans, structured logging on log/slog, and Prometheus
+// text-format metric exposition. It exists so that "where does the time
+// go" questions — the order-of-magnitude running-time gap between CSA
+// modes in the paper's Figure 4, or the slow existing-CSA path that bounds
+// sweep and server throughput — are answerable from telemetry instead of
+// ad-hoc timers.
+//
+// The package deliberately separates three signals that the repository
+// already distinguishes elsewhere:
+//
+//   - Spans (Trace, Span) measure *wall-clock* stage latency: how long the
+//     allocator's VM level, CSA interface derivation, hypervisor-level
+//     phases 1-3, the hypervisor simulator and each sweep point actually
+//     took on this machine. Spans are nondeterministic by nature and live
+//     strictly OUTSIDE every vc2m.report/v1 document — identically-seeded
+//     runs stay byte-identical with spans enabled, which a regression test
+//     guards.
+//   - The flight recorder (package trace) records *simulated-time* events:
+//     what the modeled hypervisor did at which tick. Deterministic,
+//     diffable, part of the determinism contract.
+//   - The metrics recorder (package metrics) counts *search effort*
+//     deterministically (dbf evaluations, packings, grants); its counters
+//     are comparable across machines, unlike span durations.
+//
+// Every hook in this package follows the repository's nil-safety contract:
+// a nil *Trace, *Span or *Logger is the disabled state, every method on it
+// is a safe no-op, and instrumented code pays one pointer comparison when
+// observability is off. The nilsafe lint analyzer enforces this.
+package obs
+
+// Span stage names recorded by the instrumented pipeline. The server's
+// per-stage latency histograms pre-register these, so a scrape exposes
+// every stage even before it has been exercised.
+const (
+	// StageRun is the conventional root span of one allocation run (the
+	// vc2m-sim driver and the allocation server both use it).
+	StageRun = "run"
+	// StageVMLevel covers the tasks-to-VCPUs mapping across all VMs
+	// (Section 4.2).
+	StageVMLevel = "alloc.vmlevel"
+	// StageCSADerive covers one VCPU's interface derivation (budget
+	// table computation) by the selected analysis.
+	StageCSADerive = "csa.derive"
+	// StageHyper covers the hypervisor-level search (Section 4.3).
+	StageHyper = "alloc.hyper"
+	// StagePhase1, StagePhase2 and StagePhase3 cover the search's inner
+	// phases: packing, incremental resource allocation, load balancing.
+	StagePhase1 = "alloc.phase1"
+	StagePhase2 = "alloc.phase2"
+	StagePhase3 = "alloc.phase3"
+	// StageHypersim covers one hypervisor-simulator execution.
+	StageHypersim = "hypersim.run"
+	// StageSweepPoint covers one utilization point of a schedulability
+	// sweep (all tasksets, all solutions).
+	StageSweepPoint = "experiment.point"
+)
+
+// KnownStages lists every stage name above, in pipeline order. The server
+// pre-registers its per-stage latency histogram series from this list.
+func KnownStages() []string {
+	return []string{
+		StageRun, StageVMLevel, StageCSADerive, StageHyper,
+		StagePhase1, StagePhase2, StagePhase3,
+		StageHypersim, StageSweepPoint,
+	}
+}

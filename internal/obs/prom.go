@@ -1,0 +1,376 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// PromContentType is the Prometheus text exposition content type served
+// by Handler (format version 0.0.4).
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// DefLatencyBuckets is the default histogram bucket layout for per-stage
+// wall-clock latencies, in seconds: 100µs up to 10s, roughly
+// logarithmic. The slow existing-CSA allocations sit mid-range (~4ms,
+// per BENCH), sweeps and hypersim runs at the top.
+func DefLatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// PromRegistry is a minimal, dependency-free Prometheus metric registry:
+// counters, gauges, gauge callbacks and cumulative histograms, with
+// labels, exposed in text format v0.0.4. Registration panics on invalid
+// or duplicate names (programmer error, caught at startup); observation
+// methods are cheap and safe for concurrent use.
+type PromRegistry struct {
+	mu       sync.Mutex
+	families map[string]*metricFamily
+	order    []string // registration order, re-sorted at exposition time
+}
+
+// NewPromRegistry returns an empty registry.
+func NewPromRegistry() *PromRegistry {
+	return &PromRegistry{families: map[string]*metricFamily{}}
+}
+
+type metricFamily struct {
+	name       string
+	help       string
+	typ        string // "counter", "gauge", "histogram"
+	labelNames []string
+	buckets    []float64 // histograms only; sorted ascending, no +Inf
+
+	mu       sync.Mutex
+	series   map[string]*series // key: joined escaped label values
+	keys     []string
+	gaugeFns []func() float64 // gauge callbacks (unlabeled)
+}
+
+type series struct {
+	labelValues []string
+	value       float64  // counter / gauge
+	bucketCount []uint64 // histogram: per-bucket cumulative-at-scrape counts (stored non-cumulative)
+	sum         float64  // histogram
+	count       uint64   // histogram
+}
+
+func (r *PromRegistry) register(name, help, typ string, labelNames []string, buckets []float64) *metricFamily {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, ln := range labelNames {
+		if !validLabelName(ln) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", ln, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric registration %q", name))
+	}
+	f := &metricFamily{
+		name: name, help: help, typ: typ,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    buckets,
+		series:     map[string]*series{},
+	}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+func (f *metricFamily) get(labelValues []string) *series {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), labelValues...)}
+		if f.typ == "histogram" {
+			s.bucketCount = make([]uint64, len(f.buckets))
+		}
+		f.series[key] = s
+		f.keys = append(f.keys, key)
+	}
+	return s
+}
+
+// Counter is a monotonically increasing metric family.
+type Counter struct{ f *metricFamily }
+
+// NewCounter registers a counter family. Counters conventionally end in
+// "_total".
+func (r *PromRegistry) NewCounter(name, help string, labelNames ...string) *Counter {
+	return &Counter{f: r.register(name, help, "counter", labelNames, nil)}
+}
+
+// Inc adds 1 to the series identified by labelValues.
+func (c *Counter) Inc(labelValues ...string) { c.Add(1, labelValues...) }
+
+// Add adds delta (must be >= 0) to the series.
+func (c *Counter) Add(delta float64, labelValues ...string) {
+	if delta < 0 {
+		panic(fmt.Sprintf("obs: counter %q decreased by %v", c.f.name, delta))
+	}
+	s := c.f.get(labelValues)
+	c.f.mu.Lock()
+	s.value += delta
+	c.f.mu.Unlock()
+}
+
+// Preregister materializes a zero-valued series so scrapes expose it
+// before the first increment.
+func (c *Counter) Preregister(labelValues ...string) { c.f.get(labelValues) }
+
+// Gauge is a settable metric family.
+type Gauge struct{ f *metricFamily }
+
+// NewGauge registers a gauge family.
+func (r *PromRegistry) NewGauge(name, help string, labelNames ...string) *Gauge {
+	return &Gauge{f: r.register(name, help, "gauge", labelNames, nil)}
+}
+
+// Set stores v in the series identified by labelValues.
+func (g *Gauge) Set(v float64, labelValues ...string) {
+	s := g.f.get(labelValues)
+	g.f.mu.Lock()
+	s.value = v
+	g.f.mu.Unlock()
+}
+
+// Add adjusts the series by delta (negative deltas allowed).
+func (g *Gauge) Add(delta float64, labelValues ...string) {
+	s := g.f.get(labelValues)
+	g.f.mu.Lock()
+	s.value += delta
+	g.f.mu.Unlock()
+}
+
+// NewGaugeFunc registers an unlabeled gauge whose value is sampled from
+// fn at every scrape (queue depth, uptime, goroutines, ...).
+func (r *PromRegistry) NewGaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, "gauge", nil, nil)
+	f.mu.Lock()
+	f.gaugeFns = append(f.gaugeFns, fn)
+	f.mu.Unlock()
+}
+
+// Histogram is a cumulative-bucket latency metric family.
+type Histogram struct{ f *metricFamily }
+
+// NewHistogram registers a histogram family. buckets are upper bounds in
+// ascending order, excluding the implicit +Inf; nil selects
+// DefLatencyBuckets.
+func (r *PromRegistry) NewHistogram(name, help string, buckets []float64, labelNames ...string) *Histogram {
+	if buckets == nil {
+		buckets = DefLatencyBuckets()
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] { //vc2m:floateq bucket bounds must be strictly increasing
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly increasing", name))
+		}
+	}
+	return &Histogram{f: r.register(name, help, "histogram", labelNames, append([]float64(nil), buckets...))}
+}
+
+// Observe records one measurement.
+func (h *Histogram) Observe(v float64, labelValues ...string) {
+	s := h.f.get(labelValues)
+	h.f.mu.Lock()
+	for i, ub := range h.f.buckets {
+		if v <= ub {
+			s.bucketCount[i]++
+			break
+		}
+	}
+	s.sum += v
+	s.count++
+	h.f.mu.Unlock()
+}
+
+// Preregister materializes a zero-observation series so scrapes expose
+// the full bucket layout before the stage first runs.
+func (h *Histogram) Preregister(labelValues ...string) { h.f.get(labelValues) }
+
+// WriteText renders the whole registry in Prometheus text exposition
+// format v0.0.4, families and series in sorted order so output is
+// deterministic for a given state.
+func (r *PromRegistry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*metricFamily, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.writeText(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *metricFamily) writeText(b *strings.Builder) {
+	f.mu.Lock()
+	keys := append([]string(nil), f.keys...)
+	sort.Strings(keys)
+	rows := make([]series, 0, len(keys))
+	for _, k := range keys {
+		s := f.series[k]
+		rows = append(rows, series{
+			labelValues: s.labelValues,
+			value:       s.value,
+			bucketCount: append([]uint64(nil), s.bucketCount...),
+			sum:         s.sum,
+			count:       s.count,
+		})
+	}
+	fns := append([]func() float64(nil), f.gaugeFns...)
+	f.mu.Unlock()
+
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	for _, fn := range fns {
+		fmt.Fprintf(b, "%s %s\n", f.name, formatPromValue(fn()))
+	}
+	for _, s := range rows {
+		switch f.typ {
+		case "histogram":
+			var cum uint64
+			for i, ub := range f.buckets {
+				cum += s.bucketCount[i]
+				fmt.Fprintf(b, "%s_bucket%s %d\n",
+					f.name, labelString(f.labelNames, s.labelValues, "le", formatPromValue(ub)), cum)
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n",
+				f.name, labelString(f.labelNames, s.labelValues, "le", "+Inf"), s.count)
+			fmt.Fprintf(b, "%s_sum%s %s\n",
+				f.name, labelString(f.labelNames, s.labelValues, "", ""), formatPromValue(s.sum))
+			fmt.Fprintf(b, "%s_count%s %d\n",
+				f.name, labelString(f.labelNames, s.labelValues, "", ""), s.count)
+		default:
+			fmt.Fprintf(b, "%s%s %s\n",
+				f.name, labelString(f.labelNames, s.labelValues, "", ""), formatPromValue(s.value))
+		}
+	}
+}
+
+// Handler returns an http.Handler serving the registry as a /metrics
+// scrape endpoint.
+func (r *PromRegistry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		_ = r.WriteText(w)
+	})
+}
+
+// labelString renders {a="x",b="y"} with values escaped; extraName, when
+// non-empty, appends one more pair (the histogram "le" bound). Returns ""
+// when there are no pairs at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the text-format label escapes: backslash,
+// double quote, newline.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// escapeHelp applies the HELP-line escapes: backslash and newline (quotes
+// are legal in help text).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatPromValue renders a sample value: shortest round-trip float,
+// with the format's spellings for infinities and NaN.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// validMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]* and
+// is not reserved (double-underscore prefix, or the histogram's "le").
+func validLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") || name == "le" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

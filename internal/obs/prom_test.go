@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPromCounterGaugeExposition(t *testing.T) {
+	r := NewPromRegistry()
+	c := r.NewCounter("vc2m_runs_total", "Runs by terminal state.", "state")
+	c.Inc("succeeded")
+	c.Add(2, "failed")
+	c.Preregister("canceled")
+	g := r.NewGauge("vc2m_queue_depth", "Queued runs.")
+	g.Set(7)
+	r.NewGaugeFunc("vc2m_up", "Always 1.", func() float64 { return 1 })
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP vc2m_runs_total Runs by terminal state.",
+		"# TYPE vc2m_runs_total counter",
+		`vc2m_runs_total{state="canceled"} 0`,
+		`vc2m_runs_total{state="failed"} 2`,
+		`vc2m_runs_total{state="succeeded"} 1`,
+		"# TYPE vc2m_queue_depth gauge",
+		"vc2m_queue_depth 7",
+		"vc2m_up 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families are sorted by name in the output.
+	if strings.Index(out, "vc2m_queue_depth") > strings.Index(out, "vc2m_runs_total") {
+		t.Fatal("families not sorted")
+	}
+	if _, err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("own output failed validation: %v", err)
+	}
+}
+
+func TestPromHistogramExposition(t *testing.T) {
+	r := NewPromRegistry()
+	h := r.NewHistogram("vc2m_stage_latency_seconds", "Per-stage latency.",
+		[]float64{0.01, 0.1, 1}, "stage")
+	h.Observe(0.005, "alloc.phase1")
+	h.Observe(0.05, "alloc.phase1")
+	h.Observe(5, "alloc.phase1") // above the top bucket: only +Inf
+	h.Preregister("alloc.phase2")
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`vc2m_stage_latency_seconds_bucket{stage="alloc.phase1",le="0.01"} 1`,
+		`vc2m_stage_latency_seconds_bucket{stage="alloc.phase1",le="0.1"} 2`,
+		`vc2m_stage_latency_seconds_bucket{stage="alloc.phase1",le="1"} 2`,
+		`vc2m_stage_latency_seconds_bucket{stage="alloc.phase1",le="+Inf"} 3`,
+		`vc2m_stage_latency_seconds_count{stage="alloc.phase1"} 3`,
+		`vc2m_stage_latency_seconds_bucket{stage="alloc.phase2",le="+Inf"} 0`,
+		`vc2m_stage_latency_seconds_count{stage="alloc.phase2"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	fams, err := ValidateExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("histogram output failed validation: %v", err)
+	}
+	if len(fams) != 1 || fams[0].Type != "histogram" {
+		t.Fatalf("families = %+v", fams)
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	r := NewPromRegistry()
+	c := r.NewCounter("vc2m_test_total", "Escape test.", "reason")
+	tricky := "a\\b\"c\nd"
+	c.Inc(tricky)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `reason="a\\b\"c\nd"`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+	fams, err := ValidateExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("escaped output failed validation: %v", err)
+	}
+	if got := fams[0].Samples[0].Labels["reason"]; got != tricky {
+		t.Fatalf("round-trip = %q, want %q", got, tricky)
+	}
+}
+
+func TestPromSpecialValues(t *testing.T) {
+	r := NewPromRegistry()
+	g := r.NewGauge("vc2m_special", "Special values.")
+	g.Set(math.Inf(1))
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(b.String(), "vc2m_special +Inf") {
+		t.Fatalf("infinity rendering:\n%s", b.String())
+	}
+}
+
+func TestPromRegistrationPanics(t *testing.T) {
+	r := NewPromRegistry()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("invalid metric name", func() { r.NewCounter("1bad", "x") })
+	mustPanic("invalid label name", func() { r.NewCounter("vc2m_ok_total", "x", "le") })
+	r.NewCounter("vc2m_dup_total", "x")
+	mustPanic("duplicate registration", func() { r.NewGauge("vc2m_dup_total", "x") })
+	mustPanic("non-increasing buckets", func() {
+		r.NewHistogram("vc2m_bad_hist", "x", []float64{1, 1})
+	})
+	c := r.NewCounter("vc2m_arity_total", "x", "a")
+	mustPanic("label arity", func() { c.Inc("x", "y") })
+	mustPanic("counter decrease", func() { c.Add(-1, "x") })
+}
+
+func TestPromHandlerContentType(t *testing.T) {
+	r := NewPromRegistry()
+	r.NewGaugeFunc("vc2m_up", "Always 1.", func() float64 { return 1 })
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != PromContentType {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	if _, err := ValidateExposition(resp.Body); err != nil {
+		t.Fatalf("served output failed validation: %v", err)
+	}
+}
+
+func TestPromConcurrentScrapeRace(t *testing.T) {
+	r := NewPromRegistry()
+	c := r.NewCounter("vc2m_hammer_total", "Race hammer.", "worker")
+	h := r.NewHistogram("vc2m_hammer_seconds", "Race hammer.", nil, "worker")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc(id)
+					h.Observe(0.001, id)
+				}
+			}
+		}(strings.Repeat("w", i+1))
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WriteText(&b); err != nil {
+			t.Fatalf("WriteText under load: %v", err)
+		}
+		if _, err := ValidateExposition(strings.NewReader(b.String())); err != nil {
+			t.Fatalf("scrape %d invalid under load: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,436 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the verification half of the exposition story: a strict
+// parser for the Prometheus text format used by tests (and server-smoke)
+// to prove that what /metrics serves is ingestible by a real scraper —
+// HELP/TYPE pairing, label escaping, and histogram invariants included.
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	// Name is the full sample name, including any _bucket/_sum/_count
+	// suffix for histogram series.
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one parsed metric family: its HELP/TYPE metadata and
+// every sample line grouped under it.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParseExposition parses Prometheus text format v0.0.4 strictly: every
+// sample must belong to a family whose # TYPE line precedes it, HELP and
+// TYPE appear at most once per family, families are contiguous, and
+// names, labels and values are well-formed. It returns families in input
+// order.
+func ParseExposition(r io.Reader) ([]*PromFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var (
+		fams  []*PromFamily
+		byNm  = map[string]*PromFamily{}
+		cur   *PromFamily
+		line  int
+		sawNm = map[string]bool{} // families already closed (contiguity check)
+	)
+	getFamily := func(name string) *PromFamily {
+		if f, ok := byNm[name]; ok {
+			return f
+		}
+		f := &PromFamily{Name: name}
+		byNm[name] = f
+		fams = append(fams, f)
+		return f
+	}
+	switchTo := func(f *PromFamily) error {
+		if cur == f {
+			return nil
+		}
+		if cur != nil {
+			sawNm[cur.Name] = true
+		}
+		if sawNm[f.Name] {
+			return fmt.Errorf("line %d: family %q reopened after other families (lines must be grouped)", line, f.Name)
+		}
+		cur = f
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			fields := strings.SplitN(trimmed, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q in %s line", line, name, fields[1])
+			}
+			f := getFamily(name)
+			if err := switchTo(f); err != nil {
+				return nil, err
+			}
+			switch fields[1] {
+			case "HELP":
+				if f.Help != "" {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %q", line, name)
+				}
+				if len(fields) == 4 {
+					help, err := unescapeHelp(fields[3])
+					if err != nil {
+						return nil, fmt.Errorf("line %d: %w", line, err)
+					}
+					f.Help = help
+				}
+			case "TYPE":
+				if f.Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", line, name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %q after its samples", line, name)
+				}
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: TYPE line for %q missing type", line, name)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.Type = fields[3]
+				default:
+					return nil, fmt.Errorf("line %d: unknown TYPE %q for %q", line, fields[3], name)
+				}
+			}
+			continue
+		}
+		sample, err := parseSampleLine(trimmed)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		famName := sampleFamilyName(sample.Name, byNm)
+		f, ok := byNm[famName]
+		if !ok || f.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE line", line, sample.Name)
+		}
+		if err := switchTo(f); err != nil {
+			return nil, err
+		}
+		f.Samples = append(f.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading exposition: %w", err)
+	}
+	return fams, nil
+}
+
+// sampleFamilyName maps a sample name to its family: exact match first,
+// then the histogram/summary suffixes.
+func sampleFamilyName(name string, known map[string]*PromFamily) string {
+	if _, ok := known[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if f, ok := known[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func parseSampleLine(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 && brace < strings.IndexByte(rest+" ", ' ') {
+		nameEnd = brace
+	} else {
+		nameEnd = strings.IndexByte(rest, ' ')
+		if nameEnd < 0 {
+			return s, fmt.Errorf("sample %q has no value", line)
+		}
+	}
+	s.Name = rest[:nameEnd]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest = rest[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", s.Name, err)
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	// An optional timestamp may follow the value; we accept and drop it.
+	valueField := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		valueField = rest[:i]
+		if _, err := strconv.ParseInt(strings.TrimSpace(rest[i+1:]), 10, 64); err != nil {
+			return s, fmt.Errorf("sample %q: bad timestamp %q", s.Name, rest[i+1:])
+		}
+	}
+	v, err := parsePromValue(valueField)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: %w", s.Name, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes a {name="value",...} block starting at rest[0]=='{'
+// and returns the index one past the closing brace.
+func parseLabels(rest string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 1 // past '{'
+	for {
+		for i < len(rest) && rest[i] == ' ' {
+			i++
+		}
+		if i < len(rest) && rest[i] == '}' {
+			return i + 1, labels, nil
+		}
+		start := i
+		for i < len(rest) && rest[i] != '=' {
+			i++
+		}
+		if i >= len(rest) {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		name := strings.TrimSpace(rest[start:i])
+		if name != "le" && name != "quantile" && !validLabelName(name) {
+			return 0, nil, fmt.Errorf("invalid label name %q", name)
+		}
+		if _, dup := labels[name]; dup {
+			return 0, nil, fmt.Errorf("duplicate label %q", name)
+		}
+		i++ // past '='
+		if i >= len(rest) || rest[i] != '"' {
+			return 0, nil, fmt.Errorf("label %q value not quoted", name)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(rest) {
+				return 0, nil, fmt.Errorf("label %q value unterminated", name)
+			}
+			c := rest[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return 0, nil, fmt.Errorf("label %q value ends in backslash", name)
+				}
+				switch rest[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("label %q has invalid escape \\%c", name, rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '\n' {
+				return 0, nil, fmt.Errorf("label %q value contains raw newline", name)
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels[name] = b.String()
+		for i < len(rest) && rest[i] == ' ' {
+			i++
+		}
+		if i < len(rest) && rest[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(rest) && rest[i] == '}' {
+			return i + 1, labels, nil
+		}
+		return 0, nil, fmt.Errorf("malformed label block near %q", rest[i:])
+	}
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+func unescapeHelp(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		if i+1 >= len(s) {
+			return "", fmt.Errorf("HELP text ends in backslash")
+		}
+		switch s[i+1] {
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("HELP text has invalid escape \\%c", s[i+1])
+		}
+		i++
+	}
+	return b.String(), nil
+}
+
+// ValidateExposition parses the document and enforces the invariants a
+// scraper relies on beyond raw syntax: every family has both HELP and
+// TYPE, and every histogram's bucket series are monotone cumulative with
+// a +Inf bucket equal to its _count. Returns the parsed families.
+func ValidateExposition(r io.Reader) ([]*PromFamily, error) {
+	fams, err := ParseExposition(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %q has no TYPE line", f.Name)
+		}
+		if f.Help == "" {
+			return nil, fmt.Errorf("family %q has no HELP line", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := validateHistogramFamily(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// validateHistogramFamily groups bucket series by their non-le labels and
+// checks cumulative monotonicity, the +Inf bucket, and _sum/_count.
+func validateHistogramFamily(f *PromFamily) error {
+	type hseries struct {
+		les      []float64
+		counts   []float64
+		infCount float64
+		sawInf   bool
+		count    float64
+		sawCount bool
+		sawSum   bool
+	}
+	groups := map[string]*hseries{}
+	keyOf := func(labels map[string]string) string {
+		parts := make([]string, 0, len(labels))
+		for k, v := range labels { //vc2m:ordered parts are sorted below
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	get := func(labels map[string]string) *hseries {
+		k := keyOf(labels)
+		g, ok := groups[k]
+		if !ok {
+			g = &hseries{}
+			groups[k] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %q bucket missing le label", f.Name)
+			}
+			g := get(s.Labels)
+			if le == "+Inf" {
+				g.sawInf = true
+				g.infCount = s.Value
+				continue
+			}
+			ub, err := parsePromValue(le)
+			if err != nil {
+				return fmt.Errorf("histogram %q: bad le %q", f.Name, le)
+			}
+			g.les = append(g.les, ub)
+			g.counts = append(g.counts, s.Value)
+		case f.Name + "_sum":
+			get(s.Labels).sawSum = true
+		case f.Name + "_count":
+			g := get(s.Labels)
+			g.sawCount = true
+			g.count = s.Value
+		default:
+			return fmt.Errorf("histogram %q has stray sample %q", f.Name, s.Name)
+		}
+	}
+	for key, g := range groups { //vc2m:ordered validation order is irrelevant
+		label := f.Name
+		if key != "" {
+			label += "{" + key + "}"
+		}
+		if !g.sawInf {
+			return fmt.Errorf("histogram %s missing +Inf bucket", label)
+		}
+		if !g.sawSum || !g.sawCount {
+			return fmt.Errorf("histogram %s missing _sum or _count", label)
+		}
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] { //vc2m:floateq bucket bounds must strictly increase
+				return fmt.Errorf("histogram %s bucket bounds not increasing at le=%v", label, g.les[i])
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("histogram %s bucket counts not cumulative at le=%v", label, g.les[i])
+			}
+		}
+		if len(g.counts) > 0 && g.infCount < g.counts[len(g.counts)-1] {
+			return fmt.Errorf("histogram %s +Inf bucket below last finite bucket", label)
+		}
+		if g.infCount != g.count { //vc2m:floateq +Inf bucket must equal _count exactly
+			return fmt.Errorf("histogram %s +Inf bucket (%v) != _count (%v)", label, g.infCount, g.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The two tests in this file are environment-gated smoke probes driven by
+// the Makefile: server-smoke points VC2M_PROM_URL at a live /metrics
+// endpoint, obs-smoke points VC2M_SPANS_FILE at a span export from a
+// seeded vc2m-sim run. Without the variables they skip, so plain
+// `go test ./...` is unaffected.
+
+// TestPromScrapeLive scrapes a live /metrics endpoint and validates the
+// whole document against the text exposition format, then asserts the
+// per-stage latency histograms the acceptance criteria name.
+func TestPromScrapeLive(t *testing.T) {
+	url := os.Getenv("VC2M_PROM_URL")
+	if url == "" {
+		t.Skip("VC2M_PROM_URL not set (run via make server-smoke)")
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("scrape %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape %s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("scrape Content-Type = %q", ct)
+	}
+	fams, err := ValidateExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("live /metrics is not parser-clean: %v", err)
+	}
+	byName := map[string]*PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	for _, want := range []string{
+		"vc2m_runs_total",
+		"vc2m_decisions_total",
+		"vc2m_queue_depth",
+		"vc2m_workers_in_flight",
+		"vc2m_stage_latency_seconds",
+		"vc2m_http_requests_total",
+	} {
+		if byName[want] == nil {
+			t.Errorf("live /metrics missing family %q", want)
+		}
+	}
+	hist := byName["vc2m_stage_latency_seconds"]
+	if hist == nil {
+		t.Fatal("no stage latency histogram")
+	}
+	if hist.Type != "histogram" {
+		t.Fatalf("vc2m_stage_latency_seconds TYPE = %q", hist.Type)
+	}
+	stages := map[string]bool{}
+	for _, s := range hist.Samples {
+		if st := s.Labels["stage"]; st != "" {
+			stages[st] = true
+		}
+	}
+	for _, want := range []string{
+		StagePhase1, StagePhase2, StagePhase3, StageCSADerive, StageHypersim,
+	} {
+		if !stages[want] {
+			t.Errorf("stage latency histogram missing series for %q (have %v)", want, stages)
+		}
+	}
+}
+
+// TestSpanGoldenStages reads the Chrome span export of a seeded run and
+// diffs its stage set against the committed golden — durations vary run
+// to run, the stage set of a seeded workload does not.
+func TestSpanGoldenStages(t *testing.T) {
+	path := os.Getenv("VC2M_SPANS_FILE")
+	if path == "" {
+		t.Skip("VC2M_SPANS_FILE not set (run via make obs-smoke)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open span export: %v", err)
+	}
+	defer f.Close()
+	stages, err := ReadChromeStages(f)
+	if err != nil {
+		t.Fatalf("decode span export: %v", err)
+	}
+	got := strings.Join(stages, "\n") + "\n"
+
+	goldenPath := filepath.Join("testdata", "span_stages.golden")
+	if os.Getenv("VC2M_UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (set VC2M_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(golden) {
+		t.Fatalf("stage set drifted from golden.\ngot:\n%swant:\n%s\n(set VC2M_UPDATE_GOLDEN=1 to regenerate)",
+			got, golden)
+	}
+	// The golden itself must cover the instrumented pipeline.
+	for _, want := range []string{StageRun, StageVMLevel, StageHyper, StagePhase1, StageHypersim} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("seeded run produced no %q span", want)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "obs-smoke: %d stages matched golden\n", len(stages))
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Trace collects one run's hierarchical wall-clock spans. Create with
+// NewTrace, start a root with StartSpan, and open children with
+// Span.Child; a nil *Trace disables the whole tree at the cost of one
+// pointer comparison per site. A Trace may be shared by goroutines (a
+// parallel sweep's point spans); span registration is mutex-protected.
+type Trace struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// NewTrace returns an empty, enabled span collector.
+func NewTrace() *Trace { return &Trace{} }
+
+// Enabled reports whether the trace actually records (i.e. is non-nil).
+func (t *Trace) Enabled() bool { return t != nil }
+
+// StartSpan opens a root span. Call End on the returned span to close it;
+// only ended spans appear in Snapshot and the exports.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(name, -1)
+}
+
+func (t *Trace) newSpan(name string, parent int) *Span {
+	s := &Span{tr: t, name: name, parent: parent, start: time.Now()} //vc2m:wallclock spans measure wall time by design
+	t.mu.Lock()
+	s.id = len(t.spans)
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Len returns the number of spans started so far (0 on nil).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Snapshot returns an immutable copy of every *ended* span, in start
+// order. Unfinished spans are omitted so exports never show torn state.
+func (t *Trace) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(spans))
+	for _, s := range spans {
+		if rec, ok := s.record(); ok {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// StageSet returns the sorted set of distinct span names among the ended
+// spans — the deterministic fingerprint of which pipeline stages ran,
+// which the obs-smoke golden diffs (durations vary run to run; the stage
+// set of a seeded run does not).
+func (t *Trace) StageSet() []string {
+	if t == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, rec := range t.Snapshot() {
+		seen[rec.Name] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen { //vc2m:ordered keys are sorted below
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Span is one wall-clock measurement with a parent link and key/value
+// attributes. All methods are safe no-ops on a nil *Span, so instrumented
+// code needs no guards: `defer sp.End()` and `sp.Child(...)` both work
+// when observability is off (a nil span's children are nil).
+type Span struct {
+	tr     *Trace
+	id     int
+	parent int
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	end   time.Time
+	ended bool
+}
+
+// Attr is one span attribute. Values are pre-formatted strings so the
+// record is self-describing without reflection.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is an immutable snapshot of one ended span.
+type SpanRecord struct {
+	// ID is the span's registration index within its trace; Parent is the
+	// parent span's ID, or -1 for root spans.
+	ID     int
+	Parent int
+	// Name is the stage name (see the Stage* constants).
+	Name string
+	// Start is the wall-clock start; Duration the measured elapsed time.
+	Start    time.Time
+	Duration time.Duration
+	// Attrs are the span's attributes in the order they were set.
+	Attrs []Attr
+}
+
+// Child opens a sub-span. On a nil receiver it returns nil, so a whole
+// disabled subtree costs only pointer comparisons.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(name, s.id)
+}
+
+// End closes the span, freezing its duration. Ending twice is a no-op, so
+// `defer sp.End()` composes with early explicit ends.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = time.Now() //vc2m:wallclock spans measure wall time by design
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr attaches a string attribute to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute to the span.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatInt(v, 10))
+}
+
+// SetFloat attaches a float attribute to the span.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Name returns the span's stage name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the measured elapsed time (0 while the span is open or
+// on a nil span).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return 0
+	}
+	return s.end.Sub(s.start)
+}
+
+// record snapshots the span if it has ended.
+func (s *Span) record() (SpanRecord, bool) {
+	if s == nil {
+		return SpanRecord{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return SpanRecord{}, false
+	}
+	return SpanRecord{
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: s.end.Sub(s.start),
+		Attrs:    append([]Attr(nil), s.attrs...),
+	}, true
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceAndSpanAreNoOps(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace reports enabled")
+	}
+	sp := tr.StartSpan(StageRun)
+	if sp != nil {
+		t.Fatal("nil trace returned non-nil span")
+	}
+	// Every span method must be a safe no-op on nil.
+	child := sp.Child(StageVMLevel)
+	if child != nil {
+		t.Fatal("nil span returned non-nil child")
+	}
+	sp.SetAttr("k", "v")
+	sp.SetInt("n", 1)
+	sp.SetFloat("f", 1.5)
+	sp.End()
+	sp.End()
+	if got := sp.Name(); got != "" {
+		t.Fatalf("nil span Name = %q", got)
+	}
+	if got := sp.Duration(); got != 0 {
+		t.Fatalf("nil span Duration = %v", got)
+	}
+	if tr.Len() != 0 || tr.Snapshot() != nil || tr.StageSet() != nil {
+		t.Fatal("nil trace leaked state")
+	}
+	if err := tr.WriteChrome(&strings.Builder{}); err != nil {
+		t.Fatalf("nil trace WriteChrome: %v", err)
+	}
+	if err := tr.WriteBreakdown(&strings.Builder{}); err != nil {
+		t.Fatalf("nil trace WriteBreakdown: %v", err)
+	}
+}
+
+func TestSpanHierarchyAndSnapshot(t *testing.T) {
+	tr := NewTrace()
+	root := tr.StartSpan(StageRun)
+	vm := root.Child(StageVMLevel)
+	csa := vm.Child(StageCSADerive)
+	csa.SetInt("vcpus", 4)
+	csa.End()
+	vm.End()
+	open := root.Child(StageHyper) // deliberately left open
+
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d spans, want 2 (only ended)", len(snap))
+	}
+	// Start order: vm first, then csa.
+	if snap[0].Name != StageVMLevel || snap[1].Name != StageCSADerive {
+		t.Fatalf("snapshot order = %q, %q", snap[0].Name, snap[1].Name)
+	}
+	if snap[1].Parent != snap[0].ID {
+		t.Fatalf("csa parent = %d, want %d", snap[1].Parent, snap[0].ID)
+	}
+	if len(snap[1].Attrs) != 1 || snap[1].Attrs[0].Key != "vcpus" || snap[1].Attrs[0].Value != "4" {
+		t.Fatalf("csa attrs = %+v", snap[1].Attrs)
+	}
+	if open.Duration() != 0 {
+		t.Fatal("open span has nonzero duration")
+	}
+	root.End()
+	open.End()
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+
+	got := tr.StageSet()
+	want := []string{StageHyper, StageCSADerive, StageRun, StageVMLevel}
+	if len(got) != len(want) {
+		t.Fatalf("StageSet = %v", got)
+	}
+	// StageSet is sorted.
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("StageSet not sorted: %v", got)
+		}
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.StartSpan(StageHypersim)
+	sp.End()
+	d1 := sp.Duration()
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if sp.Duration() != d1 {
+		t.Fatal("second End changed the duration")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace()
+	root := tr.StartSpan(StageRun)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp := root.Child(StageSweepPoint)
+				sp.SetInt("j", int64(j))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := tr.Len(); got != 16*50+1 {
+		t.Fatalf("Len = %d, want %d", got, 16*50+1)
+	}
+	if got := len(tr.Snapshot()); got != 16*50+1 {
+		t.Fatalf("snapshot = %d spans", got)
+	}
+}
+
+func TestWriteChromeRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	root := tr.StartSpan(StageRun)
+	root.SetAttr("mode", "existing")
+	vm := root.Child(StageVMLevel)
+	vm.End()
+	sim := root.Child(StageHypersim)
+	sim.End()
+	root.End()
+
+	var b strings.Builder
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	stages, err := ReadChromeStages(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ReadChromeStages: %v", err)
+	}
+	want := []string{StageVMLevel, StageHypersim, StageRun}
+	if len(stages) != len(want) {
+		t.Fatalf("stages = %v", stages)
+	}
+	joined := strings.Join(stages, ",")
+	for _, w := range want {
+		if !strings.Contains(joined, w) {
+			t.Fatalf("stages %v missing %q", stages, w)
+		}
+	}
+	if !strings.Contains(b.String(), `"thread_name"`) {
+		t.Fatal("chrome export missing track metadata event")
+	}
+}
+
+func TestBreakdownAggregates(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < 3; i++ {
+		sp := tr.StartSpan(StagePhase1)
+		sp.End()
+	}
+	sp := tr.StartSpan(StagePhase2)
+	sp.End()
+
+	stats := tr.Breakdown()
+	if len(stats) != 2 {
+		t.Fatalf("breakdown rows = %d", len(stats))
+	}
+	byStage := map[string]StageStat{}
+	for _, st := range stats {
+		byStage[st.Stage] = st
+	}
+	if byStage[StagePhase1].Count != 3 || byStage[StagePhase2].Count != 1 {
+		t.Fatalf("counts = %+v", byStage)
+	}
+	p1 := byStage[StagePhase1]
+	if p1.Min > p1.Max || p1.Mean() > p1.Max || p1.Mean() < p1.Min {
+		t.Fatalf("stat ordering violated: %+v", p1)
+	}
+
+	var b strings.Builder
+	if err := tr.WriteBreakdown(&b); err != nil {
+		t.Fatalf("WriteBreakdown: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, StagePhase1) || !strings.Contains(out, "count") {
+		t.Fatalf("breakdown table:\n%s", out)
+	}
+}
+
+func TestKnownStagesCoverConstants(t *testing.T) {
+	known := map[string]bool{}
+	for _, s := range KnownStages() {
+		known[s] = true
+	}
+	for _, s := range []string{
+		StageRun, StageVMLevel, StageCSADerive, StageHyper,
+		StagePhase1, StagePhase2, StagePhase3, StageHypersim, StageSweepPoint,
+	} {
+		if !known[s] {
+			t.Fatalf("KnownStages missing %q", s)
+		}
+	}
+}

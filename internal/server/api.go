@@ -19,6 +19,7 @@ import (
 
 	"vc2m"
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/workload"
 )
 
@@ -181,9 +182,26 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// ServiceMetrics is the wire form of GET /metrics: registry and worker
-// pool gauges. All values are counters or instantaneous queue depths —
-// no wall-clock data, like every document this service produces.
+// HealthStatus is the wire form of GET /healthz: liveness plus the
+// binary's build identity and uptime, so one probe answers "is it up,
+// what is it, and since when".
+type HealthStatus struct {
+	// Status is "ok" while accepting work, "draining" once shutdown began.
+	Status string `json:"status"`
+	// Build identifies the running binary (link-time version stamp, VCS
+	// commit, toolchain).
+	Build obs.BuildInfo `json:"build"`
+	// UptimeSeconds is the wall time since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Draining mirrors Status for programmatic checks.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// ServiceMetrics is the wire form of GET /api/metrics (formerly
+// GET /metrics, which now serves the Prometheus text exposition; the old
+// path still answers ?format=json with a Deprecation header): registry
+// and worker pool gauges. All values are counters or instantaneous queue
+// depths — no wall-clock data, like every document this service produces.
 type ServiceMetrics struct {
 	Submitted int           `json:"submitted"`
 	ByState   map[State]int `json:"by_state"`

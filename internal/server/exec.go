@@ -3,11 +3,13 @@ package server
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"vc2m"
 	"vc2m/internal/alloc"
 	"vc2m/internal/experiment"
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/provenance"
 	"vc2m/internal/report"
 	"vc2m/internal/rngutil"
@@ -17,20 +19,31 @@ import (
 // execute runs one registry entry to its terminal state. It mirrors the
 // batch drivers exactly — same facade calls, same report construction —
 // so a server run's document is byte-identical to the same spec executed
-// by vc2m-sim/vc2m-sched with the same seeds.
-func execute(ctx context.Context, run *Run) {
+// by vc2m-sim/vc2m-sched with the same seeds. Every run executes under a
+// wall-clock span trace whose stage durations feed the
+// vc2m_stage_latency_seconds histograms and the slow-run log; spans live
+// strictly outside the report, so the identity holds with them on.
+func (s *Server) execute(ctx context.Context, run *Run) {
 	if ctx.Err() != nil || !run.setRunning() {
 		run.finish(StateCanceled, nil, nil, "canceled before execution")
+		s.om.runFinished(s.log, run, nil, 0, s.cfg.SlowRun)
 		return
 	}
+	s.log.Info("run started", "run", run.ID(), "kind", run.kind)
+	tr := obs.NewTrace()
+	root := tr.StartSpan(obs.StageRun)
+	root.SetAttr("run", run.ID())
+	begin := time.Now() //vc2m:wallclock run latency feeds the slow-run log
 	var doc *report.Document
 	var err error
 	switch run.kind {
 	case KindSweep:
-		doc, err = executeSweep(ctx, run.req, run.prov)
+		doc, err = executeSweep(ctx, run.req, run.prov, root)
 	default:
-		doc, err = executeRun(ctx, run.req, run.prov)
+		doc, err = executeRun(ctx, run.req, run.prov, root)
 	}
+	root.End()
+	elapsed := time.Since(begin) //vc2m:wallclock run latency feeds the slow-run log
 	switch {
 	case err != nil && ctx.Err() != nil:
 		run.finish(StateCanceled, nil, nil, err.Error())
@@ -40,15 +53,17 @@ func execute(ctx context.Context, run *Run) {
 		data, merr := report.Marshal(doc)
 		if merr != nil {
 			run.finish(StateFailed, nil, nil, merr.Error())
+			s.om.runFinished(s.log, run, tr, elapsed, s.cfg.SlowRun)
 			return
 		}
 		run.finish(StateDone, doc, data, "")
 	}
+	s.om.runFinished(s.log, run, tr, elapsed, s.cfg.SlowRun)
 }
 
 // executeRun is the KindRun path: allocate one system, optionally
 // simulate, and assemble the report the way cmd/vc2m-sim does.
-func executeRun(ctx context.Context, req SubmitRequest, prov *provenance.Recorder) (*report.Document, error) {
+func executeRun(ctx context.Context, req SubmitRequest, prov *provenance.Recorder, sp *obs.Span) (*report.Document, error) {
 	sys, err := buildSystem(req)
 	if err != nil {
 		return nil, err
@@ -74,7 +89,7 @@ func executeRun(ctx context.Context, req SubmitRequest, prov *provenance.Recorde
 		Provenance: prov,
 	}
 	a, aerr := vc2m.Allocate(sys, vc2m.Options{
-		Mode: mode, Seed: req.Seed, Metrics: rec, Provenance: prov, Context: ctx,
+		Mode: mode, Seed: req.Seed, Metrics: rec, Provenance: prov, Context: ctx, Span: sp,
 	})
 	if aerr != nil {
 		if ctx.Err() != nil {
@@ -88,7 +103,7 @@ func executeRun(ctx context.Context, req SubmitRequest, prov *provenance.Recorde
 	in.Allocation = a
 	if req.SimulateMs > 0 {
 		res, serr := vc2m.Simulate(a, req.SimulateMs, vc2m.SimOptions{
-			RecordTrace: true, Metrics: rec,
+			RecordTrace: true, Metrics: rec, Span: sp,
 		})
 		if serr != nil {
 			return nil, serr
@@ -119,7 +134,7 @@ func buildSystem(req SubmitRequest) (*model.System, error) {
 
 // executeSweep is the KindSweep path: a schedulability sweep whose curves
 // land in a KindSweep document, decision-per-case provenance included.
-func executeSweep(ctx context.Context, req SubmitRequest, prov *provenance.Recorder) (*report.Document, error) {
+func executeSweep(ctx context.Context, req SubmitRequest, prov *provenance.Recorder, sp *obs.Span) (*report.Document, error) {
 	spec := req.Sweep
 	plat, err := model.PlatformByName(spec.Platform)
 	if err != nil {
@@ -146,6 +161,7 @@ func executeSweep(ctx context.Context, req SubmitRequest, prov *provenance.Recor
 		Parallel:         spec.Parallel,
 		Provenance:       prov,
 		Context:          ctx,
+		Span:             sp,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"vc2m/internal/obs"
+	"vc2m/internal/provenance"
+)
+
+// serverObs bundles the server's Prometheus surface: run/decision
+// counters, pool gauges and per-stage latency histograms, all registered
+// on one text-exposition registry served at GET /metrics. Everything here
+// lives strictly outside the report documents — scraping a server changes
+// no run's bytes.
+type serverObs struct {
+	reg       *obs.PromRegistry
+	runs      *obs.Counter   // vc2m_runs_total{state}
+	decisions *obs.Counter   // vc2m_decisions_total{stage,kind}
+	stageLat  *obs.Histogram // vc2m_stage_latency_seconds{stage}
+	httpm     *obs.HTTPMetrics
+}
+
+// newServerObs registers the service's metric families. Gauges that track
+// pool state are sampled at scrape time via closures over s, so they need
+// no bookkeeping on the hot path.
+func newServerObs(s *Server) *serverObs {
+	reg := obs.NewPromRegistry()
+	o := &serverObs{
+		reg: reg,
+		runs: reg.NewCounter("vc2m_runs_total",
+			"Runs by terminal state (done includes rejected allocations: a rejection is a result).",
+			"state"),
+		decisions: reg.NewCounter("vc2m_decisions_total",
+			"Provenance decisions recorded, by pipeline stage and decision kind.",
+			"stage", "kind"),
+		stageLat: reg.NewHistogram("vc2m_stage_latency_seconds",
+			"Wall-clock latency of allocator pipeline stages, from run span traces.",
+			nil, "stage"),
+		httpm: obs.NewHTTPMetrics(reg),
+	}
+	// Preregister the series a fresh server will eventually emit, so the
+	// first scrape already shows every family with zero-valued samples —
+	// dashboards and the smoke test's exposition parser see the full
+	// schema before the first run finishes.
+	for _, st := range []State{StateDone, StateFailed, StateCanceled} {
+		o.runs.Preregister(string(st))
+	}
+	o.decisions.Preregister(provenance.StageVMLevel, provenance.KindMap)
+	o.decisions.Preregister(provenance.StageCSA, provenance.KindInterface)
+	o.decisions.Preregister(provenance.StageHyper, provenance.KindAttempt)
+	for _, stage := range obs.KnownStages() {
+		o.stageLat.Preregister(stage)
+	}
+
+	reg.NewGaugeFunc("vc2m_queue_depth",
+		"Pending runs waiting in the bounded submission queue.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.NewGaugeFunc("vc2m_workers_in_flight",
+		"Workers currently executing a run.",
+		func() float64 { return float64(s.inFlight.Load()) })
+	reg.NewGaugeFunc("vc2m_worker_pool_size",
+		"Configured worker pool size.",
+		func() float64 { return float64(s.cfg.Workers) })
+	reg.NewGaugeFunc("vc2m_queue_capacity",
+		"Configured submission queue capacity.",
+		func() float64 { return float64(s.cfg.Queue) })
+	reg.NewGaugeFunc("vc2m_draining",
+		"1 once shutdown has begun and new submissions are refused, else 0.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.draining {
+				return 1
+			}
+			return 0
+		})
+	reg.NewGaugeFunc("vc2m_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() }) //vc2m:wallclock uptime is wall time by definition
+
+	bi := obs.GetBuildInfo()
+	buildInfo := reg.NewGauge("vc2m_build_info",
+		"Build identity; the value is always 1, the labels carry the information.",
+		"version", "commit", "go_version")
+	buildInfo.Set(1, bi.Version, bi.Commit, bi.GoVersion)
+	return o
+}
+
+// runFinished records a run's terminal state, feeds the per-stage latency
+// histograms from its span trace, and emits the slow-run breakdown when
+// the run exceeded the configured threshold. Nil-safe: a server without
+// observability (zero-value construction in tests) skips everything.
+func (o *serverObs) runFinished(log *obs.Logger, run *Run, tr *obs.Trace, elapsed, slowRun time.Duration) {
+	if o == nil {
+		return
+	}
+	state := run.Status().State
+	o.runs.Inc(string(state))
+	for _, rec := range tr.Snapshot() {
+		o.stageLat.Observe(rec.Duration.Seconds(), rec.Name)
+	}
+	if !log.LogSlow(tr, run.ID(), elapsed, slowRun) {
+		log.Info("run finished",
+			"run", run.ID(),
+			"kind", run.kind,
+			"state", string(state),
+			"decisions", run.prov.Len(),
+			"elapsed", elapsed,
+		)
+	}
+}
+
+// countingSink counts every provenance decision by stage and kind before
+// forwarding to the next sink (the run's pubSub broadcaster). A nil
+// *countingSink drops nothing silently — it simply forwards nowhere, like
+// every sink in this repository.
+type countingSink struct {
+	c    *obs.Counter
+	next provenance.Sink
+}
+
+// Record implements provenance.Sink.
+func (s *countingSink) Record(d provenance.Decision) {
+	if s == nil {
+		return
+	}
+	if s.c != nil {
+		s.c.Inc(d.Stage, d.Kind)
+	}
+	if s.next != nil {
+		s.next.Record(d)
+	}
+}
+
+// routeLabel normalizes request paths to the bounded label set the HTTP
+// metrics use — run IDs collapse into "{id}" so series cardinality stays
+// constant no matter how many runs the registry holds.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/healthz" || p == "/metrics" || p == "/api/metrics" || p == "/v1/runs":
+		return p
+	case strings.HasPrefix(p, "/debug/pprof"):
+		return "/debug/pprof"
+	case strings.HasPrefix(p, "/debug/"):
+		return "/debug"
+	case strings.HasPrefix(p, "/v1/runs/"):
+		rest := strings.TrimPrefix(p, "/v1/runs/")
+		i := strings.IndexByte(rest, '/')
+		if i < 0 {
+			return "/v1/runs/{id}"
+		}
+		switch rest[i:] {
+		case "/report", "/provenance", "/cancel":
+			return "/v1/runs/{id}" + rest[i:]
+		}
+		return "/v1/runs/{id}/other"
+	}
+	return "other"
+}

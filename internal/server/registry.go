@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"vc2m/internal/obs"
 	"vc2m/internal/provenance"
 	"vc2m/internal/report"
 )
@@ -129,6 +130,12 @@ type Registry struct {
 	next  int
 	runs  map[string]*Run
 	order []string
+
+	// decisions, when non-nil, counts every recorded provenance decision
+	// by stage and kind (vc2m_decisions_total). Set once by Server.New
+	// before any Add; the counter is chained ahead of the run's pubSub
+	// broadcaster so streamers still wake on every decision.
+	decisions *obs.Counter
 }
 
 // NewRegistry returns an empty registry.
@@ -147,12 +154,16 @@ func (g *Registry) Add(req SubmitRequest) *Run {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	var sink provenance.Sink = pub
+	if g.decisions != nil {
+		sink = &countingSink{c: g.decisions, next: pub}
+	}
 	g.next++
 	r := &Run{
 		id:    fmt.Sprintf("r%04d", g.next),
 		kind:  kind,
 		req:   req,
-		prov:  provenance.NewStreaming(pub),
+		prov:  provenance.NewStreaming(sink),
 		pub:   pub,
 		done:  make(chan struct{}),
 		state: StatePending,

@@ -6,8 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"vc2m/internal/obs"
 )
 
 // Config parameterizes the service. Zero values take sensible defaults.
@@ -25,6 +29,16 @@ type Config struct {
 	RequestTimeout time.Duration
 	// WaitTimeout caps a blocking GET /v1/runs/{id}?wait=1 (default 5m).
 	WaitTimeout time.Duration
+	// Logger receives the server's structured log stream (run lifecycle,
+	// access lines, panics). Nil disables logging at no cost.
+	Logger *obs.Logger
+	// SlowRun, when positive, emits a warn-level per-stage wall-clock
+	// breakdown for any run whose execution exceeded it.
+	SlowRun time.Duration
+	// DebugRoutes additionally serves GET /debug/panic (a handler that
+	// panics on purpose) so deployments and tests can verify the recovery
+	// middleware end to end. Leave off in production.
+	DebugRoutes bool
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +77,15 @@ type Server struct {
 	draining bool
 	started  bool
 
+	// Observability: the Prometheus registry and log stream live strictly
+	// outside the report documents — scraping or logging never changes a
+	// run's bytes (guarded by TestReportByteIdentityWithObservability and
+	// the server golden tests).
+	om       *serverObs
+	log      *obs.Logger
+	inFlight atomic.Int64
+	start    time.Time
+
 	handler http.Handler
 }
 
@@ -72,7 +95,11 @@ func New(cfg Config) *Server {
 		cfg:   cfg.withDefaults(),
 		reg:   NewRegistry(),
 		queue: make(chan *Run, cfg.withDefaults().Queue),
+		log:   cfg.Logger,
+		start: time.Now(), //vc2m:wallclock uptime reference
 	}
+	s.om = newServerObs(s)
+	s.reg.decisions = s.om.decisions
 	s.handler = s.buildHandler()
 	return s
 }
@@ -103,7 +130,9 @@ func (s *Server) Start() {
 				if s.cfg.RunTimeout > 0 {
 					ctx, cancelTimeout = context.WithTimeout(ctx, s.cfg.RunTimeout)
 				}
-				execute(ctx, run)
+				s.inFlight.Add(1)
+				s.execute(ctx, run)
+				s.inFlight.Add(-1)
 				cancelTimeout()
 				run.cancel()
 			}
@@ -176,34 +205,55 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Handler returns the HTTP API:
 //
-//	GET  /healthz                  liveness
-//	GET  /metrics                  registry/pool gauges (JSON)
+//	GET  /healthz                  liveness + build identity + uptime
+//	GET  /metrics                  Prometheus text exposition
+//	GET  /api/metrics              registry/pool gauges (JSON)
 //	POST /v1/runs                  submit a run or sweep
 //	GET  /v1/runs                  list runs
 //	GET  /v1/runs/{id}[?wait=1]    run status (wait=1 blocks until done)
 //	GET  /v1/runs/{id}/report      the vc2m.report/v1 document
 //	GET  /v1/runs/{id}/provenance  live decision stream (JSONL, chunked)
 //	POST /v1/runs/{id}/cancel      cancel a pending/running run
+//	GET  /debug/pprof/...          runtime profiles (CPU, heap, goroutine)
+//
+// GET /metrics?format=json still serves the JSON gauges for one release
+// as a deprecation alias; clients should move to /api/metrics.
+//
+// Every route passes through the observability middleware: request-ID
+// minting/propagation (X-Request-Id), panic recovery, access logging and
+// per-endpoint latency metrics.
 func (s *Server) Handler() http.Handler { return s.handler }
 
 func (s *Server) buildHandler() http.Handler {
 	// Bounded-work endpoints sit behind the per-request timeout; the
-	// blocking endpoints (wait-polling, provenance streaming) manage
+	// blocking endpoints (wait-polling, provenance streaming) and the
+	// pprof profile endpoints (a 30s CPU profile is the point) manage
 	// their own deadlines because http.TimeoutHandler buffers bodies,
 	// which would break chunked streaming.
 	bounded := http.NewServeMux()
 	bounded.HandleFunc("GET /healthz", s.handleHealth)
 	bounded.HandleFunc("GET /metrics", s.handleMetrics)
+	bounded.HandleFunc("GET /api/metrics", s.handleMetricsJSON)
 	bounded.HandleFunc("POST /v1/runs", s.handleSubmit)
 	bounded.HandleFunc("GET /v1/runs", s.handleList)
 	bounded.HandleFunc("GET /v1/runs/{id}/report", s.handleReport)
 	bounded.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
+	if s.cfg.DebugRoutes {
+		bounded.HandleFunc("GET /debug/panic", func(http.ResponseWriter, *http.Request) {
+			panic("debug panic route")
+		})
+	}
 
 	root := http.NewServeMux()
 	root.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	root.HandleFunc("GET /v1/runs/{id}/provenance", s.handleProvenance)
+	root.HandleFunc("GET /debug/pprof/", pprof.Index)
+	root.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	root.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	root.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	root.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	root.Handle("/", http.TimeoutHandler(bounded, s.cfg.RequestTimeout, `{"error":"request timed out"}`))
-	return root
+	return obs.Middleware(root, s.log, s.om.httpm, routeLabel)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -219,10 +269,35 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, HealthStatus{
+		Status:        status,
+		Build:         obs.GetBuildInfo(),
+		UptimeSeconds: time.Since(s.start).Seconds(), //vc2m:wallclock uptime is wall time by definition
+		Draining:      draining,
+	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the Prometheus text exposition. The pre-PR JSON
+// gauges remain reachable as ?format=json for one release; the response
+// carries a Deprecation header pointing at /api/metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</api/metrics>; rel="successor-version"`)
+		s.handleMetricsJSON(w, r)
+		return
+	}
+	s.om.reg.Handler().ServeHTTP(w, r)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	total, byState := s.reg.Count()
 	s.mu.Lock()
 	draining := s.draining

@@ -1,0 +1,105 @@
+package vc2m
+
+import (
+	"bytes"
+	"testing"
+
+	"vc2m/internal/obs"
+	"vc2m/internal/report"
+)
+
+// runOnce performs a full seeded allocate+simulate+report journey with the
+// given observability attachments and returns the marshalled report bytes.
+// The report inputs (metrics, provenance) are part of the document by
+// design; the span trace and logger must never be.
+func runOnce(t *testing.T, mode Mode, sp *Span, lg *obs.Logger) []byte {
+	t.Helper()
+	sys, err := GenerateWorkload(WorkloadConfig{Platform: PlatformA, TargetRefUtil: 1.2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewMetrics()
+	prov := NewProvenance()
+	a, err := Allocate(sys, Options{Mode: mode, Seed: 4, Metrics: rec, Provenance: prov, Span: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(a, 500, SimOptions{Metrics: rec, Span: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("run complete", "missed", res.Missed)
+	doc := report.BuildRun(report.RunInput{
+		Title:      "identity",
+		Seed:       4,
+		Mode:       mode.String(),
+		Platform:   PlatformA,
+		Allocation: a,
+		Sim:        res,
+		Metrics:    rec,
+		Provenance: prov,
+	})
+	raw, err := report.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestReportByteIdentityWithObservability guards the PR's hard invariant:
+// wall-clock spans and structured logging live strictly OUTSIDE the
+// vc2m.report/v1 document, so an identically-seeded run with observability
+// fully enabled produces byte-identical report output to one with it fully
+// disabled. If this test fails, some stage leaked a timestamp, span ID or
+// log artifact into the deterministic report surface.
+func TestReportByteIdentityWithObservability(t *testing.T) {
+	for _, mode := range []Mode{Flattening, OverheadFree, ExistingCSA} {
+		t.Run(mode.String(), func(t *testing.T) {
+			bare := runOnce(t, mode, nil, nil)
+
+			tr := NewSpanTrace()
+			root := tr.StartSpan(obs.StageRun)
+			var logBuf bytes.Buffer
+			logCfg := &obs.LogConfig{Level: "debug", JSON: true}
+			built, err := logCfg.Build(&logBuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lg := built.WithRun("identity-run")
+			instrumented := runOnce(t, mode, root, lg)
+			root.End()
+
+			if !bytes.Equal(bare, instrumented) {
+				t.Fatalf("observability changed the report bytes:\nbare:         %s\ninstrumented: %s",
+					truncate(bare), truncate(instrumented))
+			}
+			// Sanity: the instrumentation actually ran — the trace must have
+			// recorded the allocator/simulator stage spans, and the logger
+			// must have emitted the correlated line.
+			stages := tr.StageSet()
+			for _, want := range []string{obs.StageRun, obs.StageVMLevel, obs.StageHyper, obs.StagePhase1, obs.StageHypersim} {
+				found := false
+				for _, s := range stages {
+					if s == want {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("stage %q missing from trace (got %v)", want, stages)
+				}
+			}
+			if !bytes.Contains(logBuf.Bytes(), []byte("identity-run")) {
+				t.Errorf("log output lacks the run ID: %s", logBuf.String())
+			}
+		})
+	}
+}
+
+func truncate(b []byte) string {
+	const n = 400
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}

@@ -45,6 +45,7 @@ import (
 	"vc2m/internal/hypersim"
 	"vc2m/internal/metrics"
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/parsec"
 	"vc2m/internal/provenance"
 	"vc2m/internal/rngutil"
@@ -126,6 +127,25 @@ type ProvenanceDecision = provenance.Decision
 // NewProvenance returns an enabled provenance recorder. Pass it via
 // Options.Provenance, then read it with ProvenanceRecorder.Decisions.
 func NewProvenance() *ProvenanceRecorder { return provenance.New() }
+
+// Span is one wall-clock measurement in the observability layer (package
+// internal/obs): the allocator, the CSA derivation, the simulator and the
+// sweep harness open child spans under the one passed in via Options.Span
+// or SimOptions.Span. A nil *Span disables the subtree at the cost of one
+// pointer comparison per site. Spans measure wall time and are therefore
+// nondeterministic; they live strictly outside every report document, so
+// identically-seeded runs stay byte-identical with spans enabled.
+type Span = obs.Span
+
+// SpanTrace collects a run's spans; see NewSpanTrace. Export the result
+// with SpanTrace.WriteChrome (Chrome trace-event JSON for
+// ui.perfetto.dev) or SpanTrace.WriteBreakdown (per-stage latency table).
+type SpanTrace = obs.Trace
+
+// NewSpanTrace returns an enabled span collector. Open a root with
+// SpanTrace.StartSpan (conventionally named obs.StageRun) and pass it via
+// Options.Span / SimOptions.Span.
+func NewSpanTrace() *SpanTrace { return obs.NewTrace() }
 
 // Flight-recorder tracing (package internal/trace). A TraceSink receives
 // the simulator's typed event stream: job releases/completions/misses,
@@ -279,6 +299,11 @@ type Options struct {
 	// deadline passes. The allocation server uses this to bound run time
 	// and to stop abandoned requests; nil disables the checks.
 	Context context.Context
+	// Span, when non-nil, is the parent under which the allocator opens
+	// wall-clock stage spans (VM level, CSA derivation, hypervisor-level
+	// phases 1-3 — see NewSpanTrace). Nil disables span recording at no
+	// cost. Spans never influence the allocation result.
+	Span *Span
 }
 
 // Allocate runs the vC2M allocator on the system and returns a schedulable
@@ -298,6 +323,7 @@ func Allocate(sys *System, opts Options) (*Allocation, error) {
 		Metrics:    opts.Metrics,
 		Provenance: opts.Provenance,
 		Ctx:        opts.Context,
+		Span:       opts.Span,
 	}
 	return h.Allocate(sys, rngutil.New(opts.Seed))
 }
@@ -348,6 +374,10 @@ type SimOptions struct {
 	// Metrics, when non-nil, receives the run's aggregate event counters
 	// (context switches, replenishments, deadline misses, ...).
 	Metrics *MetricsRecorder
+	// Span, when non-nil, is the parent under which the simulator opens
+	// its wall-clock stage span (see NewSpanTrace). Nil disables span
+	// recording at no cost; spans never influence the simulation result.
+	Span *Span
 }
 
 // SimResult is the outcome of a simulation run.
@@ -369,6 +399,7 @@ func Simulate(a *Allocation, horizonMs float64, opts SimOptions) (*SimResult, er
 		RecordTrace: opts.RecordTrace,
 		Trace:       opts.Trace,
 		Metrics:     opts.Metrics,
+		Span:        opts.Span,
 	}
 	if opts.RegulationPeriodMs > 0 {
 		cfg.RegulationPeriod = timeunit.FromMillis(opts.RegulationPeriodMs)
