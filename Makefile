@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck lint test bench bench-smoke bench-check fuzz-smoke race cover ci determinism report-smoke server-smoke obs-smoke paper examples clean
+.PHONY: all build vet fmtcheck lint lint-tests lint-sarif test bench bench-smoke bench-check fuzz-smoke race cover ci determinism report-smoke server-smoke obs-smoke paper examples clean
 
 all: build vet test
 
@@ -19,10 +19,24 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Domain-invariant static analysis (determinism, time units, nil-safe
-# sinks, float equality). Fails on any unsuppressed diagnostic; see
-# DESIGN.md for the analyzer list and the //vc2m: suppression directives.
+# sinks, float equality, lock discipline, context flow, close/flush
+# hygiene, stage-vocabulary drift). Fails on any unsuppressed diagnostic;
+# see DESIGN.md for the analyzer list and the //vc2m: suppression
+# directives.
 lint:
 	$(GO) run ./cmd/vc2m-lint ./...
+
+# The same gate over _test.go files too, with the committed baseline
+# (.vc2m-lint-baseline.json) absorbing reviewed pre-existing debt. New
+# findings — in test helpers as much as in product code — still fail.
+lint-tests:
+	$(GO) run ./cmd/vc2m-lint -tests -baseline .vc2m-lint-baseline.json ./...
+
+# lint-tests plus a SARIF v2.1.0 log (lint.sarif) for CI artifact upload
+# and code-host ingestion. Baselined findings carry SARIF suppressions, so
+# viewers show them as known debt rather than new failures.
+lint-sarif:
+	$(GO) run ./cmd/vc2m-lint -tests -baseline .vc2m-lint-baseline.json -sarif lint.sarif ./...
 
 test:
 	$(GO) test ./...
@@ -39,12 +53,16 @@ bench-smoke:
 # Quick run of the vc2m-bench macro suite, schema-checked against the
 # newest committed baseline under results/ — catches renamed or dropped
 # benchmarks without caring about machine-dependent values. See
-# EXPERIMENTS.md, "Benchmarking and performance regression".
+# EXPERIMENTS.md, "Benchmarking and performance regression". Set
+# BENCH_OUT=<dir> to keep the report (CI uploads it as an artifact);
+# unset, it goes to a temp dir.
 bench-check:
-	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	@out="$(BENCH_OUT)"; if [ -z "$$out" ]; then \
+		out=$$(mktemp -d); trap 'rm -rf "$$out"' EXIT; fi; \
+	mkdir -p "$$out"; \
 	base=$$(ls results/BENCH_*.json 2>/dev/null | sort | tail -1); \
 	if [ -z "$$base" ]; then echo "no committed BENCH_*.json baseline under results/"; exit 1; fi; \
-	$(GO) run ./cmd/vc2m-bench -quick -out "$$tmp" -check "$$base"
+	$(GO) run ./cmd/vc2m-bench -quick -out "$$out" -check "$$base"
 
 # A few hundred iterations of every native fuzz target — exercises the
 # harnesses and seed corpora; real fuzzing sessions use
@@ -58,8 +76,10 @@ fuzz-smoke:
 		$(GO) test -run=^$$ -fuzz="^$$fn$$" -fuzztime=300x ./$$pkg || exit 1; \
 	done
 
-# Everything CI runs (see .github/workflows/ci.yml), locally.
-ci: build vet fmtcheck lint test race bench-smoke bench-check fuzz-smoke determinism report-smoke server-smoke obs-smoke
+# Everything CI runs, locally. The workflow (.github/workflows/ci.yml)
+# calls these same targets step by step, so this list is the single
+# source of truth for what a green build means.
+ci: build vet fmtcheck lint lint-sarif test race bench-smoke bench-check fuzz-smoke determinism report-smoke server-smoke obs-smoke
 
 race:
 	$(GO) test -race ./...

@@ -59,7 +59,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //vc2m:closeflush response body close errors are uninformative by contract
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return err
@@ -155,7 +155,7 @@ func (c *Client) ReportBytes(ctx context.Context, id string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //vc2m:closeflush response body close errors are uninformative by contract
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, err
@@ -197,7 +197,7 @@ func (c *Client) StreamProvenance(ctx context.Context, id string, fn func(proven
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //vc2m:closeflush response body close errors are uninformative by contract
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(resp.Body)
 		return apiError(resp.StatusCode, data)

@@ -7,25 +7,35 @@
 //     boundary;
 //   - nilsafe: nil-receiver guards on instrumentation hook methods
 //     (trace sinks, metrics recorder);
-//   - floateq: exact float ==/!= comparisons.
+//   - floateq: exact float ==/!= comparisons;
+//   - guardedby: //vc2m:guardedby lock-discipline annotations;
+//   - ctxflow: context plumbing (no context.Background below the CLI
+//     layer, no ctx fields, blocking constructs observe cancellation);
+//   - closeflush: opened closers/flushers closed with the error handled;
+//   - stagedrift: span-stage/provenance vocabulary cross-checks.
 //
 // The harness is stdlib-only (go/parser + go/types + go/importer). Test
-// files are never analyzed. Intentional exceptions are annotated in the
-// source with //vc2m:<directive> comments (see -list for each analyzer's
-// directives); the exit status is 1 when unsuppressed diagnostics remain,
+// files are skipped unless -tests is given. Intentional exceptions are
+// annotated in the source with //vc2m:<directive> comments (see -list for
+// each analyzer's directives); pre-existing debt can be carried in a
+// committed baseline file (-baseline, refreshed with -write-baseline).
+// The exit status is 1 when unsuppressed, unbaselined diagnostics remain,
 // 2 on usage or load errors.
 //
 // Examples:
 //
 //	vc2m-lint ./...
 //	vc2m-lint -json ./internal/experiment
-//	vc2m-lint -nondet=false -floateq=false ./...
+//	vc2m-lint -only nondet,floateq ./...
+//	vc2m-lint -tests -baseline .vc2m-lint-baseline.json ./...
+//	vc2m-lint -sarif lint.sarif ./...
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"vc2m/internal/lint"
 	"vc2m/internal/lintkit"
@@ -41,6 +51,11 @@ func run(args []string) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON object instead of text")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	dir := fs.String("dir", ".", "directory to resolve package patterns from (inside the module)")
+	tests := fs.Bool("tests", false, "also analyze _test.go files (in-package and external test packages)")
+	only := fs.String("only", "", "comma-separated analyzer names to run (overrides the per-analyzer flags)")
+	baselinePath := fs.String("baseline", "", "baseline file of grandfathered findings; matching diagnostics do not fail the run")
+	writeBaseline := fs.String("write-baseline", "", "write the surviving diagnostics to this baseline file and exit 0")
+	sarifPath := fs.String("sarif", "", "also write the result as SARIF v2.1.0 to this file")
 	enabled := map[string]*bool{}
 	for _, a := range lint.All() {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
@@ -64,9 +79,24 @@ func run(args []string) int {
 	}
 
 	var analyzers []*lintkit.Analyzer
-	for _, a := range lint.All() {
-		if *enabled[a.Name] {
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "vc2m-lint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
 			analyzers = append(analyzers, a)
+		}
+	} else {
+		for _, a := range lint.All() {
+			if *enabled[a.Name] {
+				analyzers = append(analyzers, a)
+			}
 		}
 	}
 	if len(analyzers) == 0 {
@@ -84,6 +114,7 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "vc2m-lint:", err)
 		return 2
 	}
+	loader.IncludeTests = *tests
 	pkgs, err := loader.Load(*dir, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vc2m-lint:", err)
@@ -93,6 +124,46 @@ func run(args []string) int {
 	res := lintkit.RunAnalyzers(pkgs, analyzers)
 	if cwd, err := os.Getwd(); err == nil {
 		res.RelativizeFiles(cwd)
+	}
+
+	if *writeBaseline != "" {
+		b := lintkit.NewBaseline(res)
+		if err := b.Save(*writeBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, "vc2m-lint:", err)
+			return 2
+		}
+		fmt.Printf("vc2m-lint: wrote %d baseline entr%s to %s\n",
+			len(b.Entries), plural(len(b.Entries), "y", "ies"), *writeBaseline)
+		return 0
+	}
+
+	if *baselinePath != "" {
+		b, err := lintkit.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vc2m-lint:", err)
+			return 2
+		}
+		for _, e := range res.ApplyBaseline(b) {
+			fmt.Fprintf(os.Stderr, "vc2m-lint: stale baseline entry: %s [%s] %q (count %d) — tighten %s\n",
+				e.File, e.Analyzer, e.Message, e.Count, *baselinePath)
+		}
+	}
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vc2m-lint:", err)
+			return 2
+		}
+		if err := res.WriteSARIF(f, analyzers); err != nil {
+			_ = f.Close()
+			fmt.Fprintln(os.Stderr, "vc2m-lint:", err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "vc2m-lint:", err)
+			return 2
+		}
 	}
 
 	if *jsonOut {
@@ -108,4 +179,11 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

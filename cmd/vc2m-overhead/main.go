@@ -73,7 +73,7 @@ func realMain(vcpuList string, horizon float64, seed int64, csvPath string) erro
 			return err
 		}
 		if err := first.WriteCSV(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -336,7 +336,7 @@ func writeCSV(dir, name string, write func(w io.Writer) error) error {
 		return err
 	}
 	if err := write(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

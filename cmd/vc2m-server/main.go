@@ -96,7 +96,7 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "vc2m-server:", err)
 		return 1
 	}
-	defer ln.Close()
+	defer ln.Close() //vc2m:closeflush backstop only; http.Server owns and closes the listener
 	bound := ln.Addr().String()
 	if *readyFile != "" {
 		if err := os.WriteFile(*readyFile, []byte(bound+"\n"), 0o644); err != nil {

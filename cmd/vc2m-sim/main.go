@@ -480,7 +480,7 @@ func writeSpans(path string, tr *obs.Trace) error {
 		return err
 	}
 	if err := tr.WriteChrome(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {

@@ -104,7 +104,7 @@ func readEvents(path string) ([]trace.Event, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		defer f.Close() //vc2m:closeflush read-only handle; the close error carries no data
 		r = f
 	}
 	return trace.ReadJSONL(r)
@@ -133,7 +133,7 @@ func cmdConvert(args []string) error {
 	}
 	if err := trace.WriteChrome(w, events); err != nil {
 		if f != nil {
-			f.Close()
+			_ = f.Close()
 		}
 		return err
 	}

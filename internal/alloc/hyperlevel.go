@@ -42,6 +42,7 @@ type HyperConfig struct {
 	// error. Long-running services (the allocation server, interruptible
 	// sweeps) use it to stop abandoned allocations promptly; a nil Ctx
 	// costs one comparison per attempt.
+	//vc2m:ctxfield optional cancellation hook on a config struct; nil runs to completion
 	Ctx context.Context
 	// Span, when non-nil, is the parent under which one alloc.phase1/2/3
 	// span is opened per phase invocation, mirroring the Metric*Seconds

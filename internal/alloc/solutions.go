@@ -46,6 +46,7 @@ type Heuristic struct {
 	// level packing attempts: a canceled context aborts the allocation
 	// with the context's error instead of running the search to
 	// completion. Nil disables the checks.
+	//vc2m:ctxfield optional cancellation hook on a config struct; nil runs to completion
 	Ctx context.Context
 	// Span, when non-nil, is the parent under which the allocator opens
 	// wall-clock stage spans: alloc.vmlevel and alloc.hyper children here,

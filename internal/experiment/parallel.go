@@ -25,7 +25,7 @@ func runIndexed(n, workers int, fn func(int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
+			for i := range idx { //vc2m:ctxfree the feeder closes idx after the last index; cancellation is the caller's job between points
 				fn(i)
 			}
 		}()

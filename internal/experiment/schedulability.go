@@ -83,6 +83,7 @@ type SchedConfig struct {
 	// the context's error — callers flush the partial curves instead of
 	// discarding completed work. It is also threaded into every
 	// context-aware solution, so the in-flight point aborts promptly.
+	//vc2m:ctxfield optional cancellation hook on a config struct; nil runs to completion
 	Context context.Context
 	// Span, when non-nil, is the parent under which one experiment.point
 	// wall-clock span is opened per utilization point (annotated with the

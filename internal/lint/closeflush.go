@@ -1,0 +1,439 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"vc2m/internal/lintkit"
+)
+
+// CloseFlush enforces sink hygiene on everything the repo opens: files,
+// trace sinks, provenance writers, buffered encoders. Three rules:
+//
+//   - closeerr: `x.Close()` or `x.Flush()` as a bare statement drops the
+//     error that tells you the last buffered write failed. Check it, or
+//     discard it explicitly with `_ = x.Close()` so the reviewer sees the
+//     decision.
+//
+//   - deferclose: `defer x.Close()` silently discards the error on every
+//     path. It is fine as a backstop when the success path also closes
+//     with a checked error (the repo's blessed shape for written files);
+//     a lone deferred close on a written sink loses write failures.
+//
+//   - unclosed: a value acquired from an opener (os.Create, os.Open, or a
+//     New*/Open*/Create* constructor returning a closer) must be closed,
+//     flushed, or handed off (returned, stored, passed to a function —
+//     including helpers that close their argument, which the analyzer
+//     tracks cross-function through exported facts).
+//
+// All three suppress with //vc2m:closeflush <reason>.
+var CloseFlush = &lintkit.Analyzer{
+	Name: "closeflush",
+	Doc:  "opened closers/flushers are closed on all paths with the error checked or explicitly discarded",
+	Run:  runCloseFlush,
+}
+
+// closesFact records which closer-typed parameters a function closes (or
+// flushes) on behalf of its caller, exported so cross-package helper calls
+// count as closing their argument.
+type closesFact struct {
+	params map[int]bool
+}
+
+func runCloseFlush(pass *lintkit.Pass) {
+	closers := collectParamClosers(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDroppedCloseErrors(pass, fd)
+			checkDeferredCloses(pass, fd)
+			checkUnclosed(pass, fd, closers)
+		}
+	}
+}
+
+// errorReturningCloseCall matches a method call x.Close() / x.Flush()
+// whose signature returns exactly one error, and returns the receiver.
+func errorReturningCloseCall(pass *lintkit.Pass, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || (sel.Sel.Name != "Close" && sel.Sel.Name != "Flush") || len(call.Args) != 0 {
+		return nil, "", false
+	}
+	if s, found := pass.Info.Selections[sel]; !found || s.Kind() != types.MethodVal {
+		return nil, "", false
+	}
+	sig, isSig := pass.TypeOf(call.Fun).(*types.Signature)
+	if !isSig || sig.Results().Len() != 1 {
+		return nil, "", false
+	}
+	if named, isNamed := sig.Results().At(0).Type().(*types.Named); !isNamed || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// checkDroppedCloseErrors flags Close/Flush calls used as bare statements.
+func checkDroppedCloseErrors(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, name, ok := errorReturningCloseCall(pass, call); ok {
+			pass.ReportSuppressible(call.Pos(), "closeflush",
+				"%s.%s() error is silently dropped: check it or write _ = %s.%s()",
+				pathString(pass.Fset, recv), name, pathString(pass.Fset, recv), name)
+		}
+		return true
+	})
+}
+
+// checkDeferredCloses flags `defer x.Close()` with no checked close on the
+// success path. A later close of the same receiver (in a return, an error
+// check or an explicit discard) makes the deferred one a legitimate
+// error-path backstop.
+func checkDeferredCloses(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	// Gather the receivers closed anywhere outside a defer.
+	checked := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, _, ok := errorReturningCloseCall(pass, call); ok {
+			checked[pathString(pass.Fset, recv)] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		recv, name, ok := errorReturningCloseCall(pass, def.Call)
+		if !ok {
+			return true
+		}
+		path := pathString(pass.Fset, recv)
+		if checked[path] {
+			return true
+		}
+		pass.ReportSuppressible(def.Pos(), "closeflush",
+			"defer %s.%s() discards the error on every path: close with a checked error on the success path, or defer func() { _ = %s.%s() }()",
+			path, name, path, name)
+		return true
+	})
+}
+
+// collectParamClosers computes, for every declared function, which of its
+// closer-typed parameters it closes — directly or by passing them to
+// another closing helper. Functions are processed callee-first using the
+// package call graph so one extra pass reaches a fixpoint even through
+// local helper chains; facts are exported for cross-package callers.
+func collectParamClosers(pass *lintkit.Pass) map[*types.Func]map[int]bool {
+	g := lintkit.BuildCallGraph(pass)
+	var order []*types.Func
+	seen := map[*types.Func]bool{}
+	var post func(fn *types.Func)
+	post = func(fn *types.Func) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		for _, c := range g.Callees(fn) {
+			if g.Decl(c) != nil {
+				post(c)
+			}
+		}
+		order = append(order, fn)
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					post(fn)
+				}
+			}
+		}
+	}
+	closers := map[*types.Func]map[int]bool{}
+	for pass2 := 0; pass2 < 2; pass2++ {
+		changed := false
+		for _, fn := range order {
+			fd := g.Decl(fn)
+			if fd == nil {
+				continue
+			}
+			params := closedParams(pass, fd, closers)
+			if len(params) > len(closers[fn]) {
+				closers[fn] = params
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, fn := range order {
+		if len(closers[fn]) > 0 {
+			pass.ExportObjectFact(fn, closesFact{params: closers[fn]})
+		}
+	}
+	return closers
+}
+
+// closedParams returns the indices of fd's parameters that its body closes
+// or flushes, directly or via a known closing helper.
+func closedParams(pass *lintkit.Pass, fd *ast.FuncDecl, closers map[*types.Func]map[int]bool) map[int]bool {
+	paramIdx := map[types.Object]int{}
+	i := 0
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, name := range f.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					paramIdx[obj] = i
+				}
+				i++
+			}
+		}
+	}
+	if len(paramIdx) == 0 {
+		return nil
+	}
+	out := map[int]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+			(sel.Sel.Name == "Close" || sel.Sel.Name == "Flush") {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if idx, ok := paramIdx[pass.Info.Uses[id]]; ok {
+					out[idx] = true
+				}
+			}
+		}
+		for argI, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			idx, isParam := paramIdx[pass.Info.Uses[id]]
+			if !isParam {
+				continue
+			}
+			if calleeCloses(pass, call, argI, closers) {
+				out[idx] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// calleeCloses reports whether the call's statically-resolved callee
+// closes its argI-th parameter, consulting the local fixpoint first and
+// imported facts second.
+func calleeCloses(pass *lintkit.Pass, call *ast.CallExpr, argI int, closers map[*types.Func]map[int]bool) bool {
+	callee := lintkit.CalleeFunc(pass, call)
+	if callee == nil {
+		return false
+	}
+	if params, ok := closers[callee]; ok {
+		return params[argI]
+	}
+	if f, ok := pass.ObjectFact(callee); ok {
+		if cf, ok := f.(closesFact); ok {
+			return cf.params[argI]
+		}
+	}
+	return false
+}
+
+// checkUnclosed flags opener results that are neither closed nor handed
+// off before the function returns.
+func checkUnclosed(pass *lintkit.Pass, fd *ast.FuncDecl, closers map[*types.Func]map[int]bool) {
+	type acquisition struct {
+		obj  types.Object
+		name string
+		pos  token.Pos
+	}
+	var acquired []acquisition
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isOpenerCall(pass, call) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil || !isCloserType(obj.Type()) {
+				continue
+			}
+			acquired = append(acquired, acquisition{obj: obj, name: id.Name, pos: id.Pos()})
+		}
+		return true
+	})
+	for _, acq := range acquired {
+		if !closedOrEscapes(pass, fd, acq.obj, closers) {
+			pass.ReportSuppressible(acq.pos, "closeflush",
+				"%s is opened here but never closed, flushed or handed off", acq.name)
+		}
+	}
+}
+
+// isOpenerCall recognizes acquisition sites: the os file openers plus any
+// New*/Open*/Create* constructor.
+func isOpenerCall(pass *lintkit.Pass, call *ast.CallExpr) bool {
+	fn := lintkit.CalleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Path() == "os" {
+		switch name {
+		case "Create", "Open", "OpenFile", "CreateTemp":
+			return true
+		}
+		return false
+	}
+	return hasAnyPrefix(name, "New", "Open", "Create")
+}
+
+func hasAnyPrefix(s string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if len(s) > len(p) && s[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// isCloserType reports whether t (or *t) has a Close or Flush method
+// returning error.
+func isCloserType(t types.Type) bool {
+	for _, name := range []string{"Close", "Flush"} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+		m, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := m.Type().(*types.Signature)
+		if sig.Results().Len() != 1 {
+			continue
+		}
+		if named, ok := sig.Results().At(0).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// closedOrEscapes reports whether obj is closed/flushed, or escapes the
+// function (returned, stored, captured, or passed onward).
+func closedOrEscapes(pass *lintkit.Pass, fd *ast.FuncDecl, obj types.Object, closers map[*types.Func]map[int]bool) bool {
+	satisfied := false
+	var inspect func(n ast.Node, inLit bool) bool
+	// Walk with enough parent context to classify each use of obj.
+	var walk func(n ast.Node, inLit bool)
+	walk = func(n ast.Node, inLit bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if satisfied {
+				return false
+			}
+			if lit, ok := m.(*ast.FuncLit); ok && !inLit {
+				walk(lit.Body, true)
+				return false
+			}
+			return inspect(m, inLit)
+		})
+	}
+	usesObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.Info.Uses[id] == obj
+	}
+	inspect = func(m ast.Node, inLit bool) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok && usesObj(sel.X) {
+				if sel.Sel.Name == "Close" || sel.Sel.Name == "Flush" {
+					satisfied = true
+				}
+				return true
+			}
+			for argI, arg := range m.Args {
+				if usesObj(arg) {
+					// Handed to another function: closed there (tracked
+					// via facts) or ownership transferred — either way
+					// this function is off the hook.
+					_ = calleeCloses(pass, m, argI, closers)
+					satisfied = true
+				}
+			}
+		case *ast.SelectorExpr:
+			// Method value (f.Close appended to a closer list) or field
+			// store base: receiver method values of Close/Flush satisfy.
+			if usesObj(m.X) && (m.Sel.Name == "Close" || m.Sel.Name == "Flush") {
+				satisfied = true
+			}
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				if usesObj(r) {
+					satisfied = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range m.Rhs {
+				if usesObj(r) {
+					satisfied = true // aliased or stored; tracking stops here
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range m.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if usesObj(el) {
+					satisfied = true
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(m.Value) {
+				satisfied = true
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.AND && usesObj(m.X) {
+				satisfied = true
+			}
+		case *ast.Ident:
+			if inLit && pass.Info.Uses[m] == obj {
+				// Captured by a closure whose body does not close it:
+				// lifetime is no longer this function's to judge.
+				satisfied = true
+			}
+		}
+		return true
+	}
+	walk(fd.Body, false)
+	return satisfied
+}

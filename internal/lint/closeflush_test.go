@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vc2m/internal/lint"
+	"vc2m/internal/lintkit/linttest"
+)
+
+// TestCloseFlushGolden pins the sink-hygiene rules: dropped Close errors,
+// defer-only closes on written files, leaked openers, and the
+// cross-function closing-helper facts.
+func TestCloseFlushGolden(t *testing.T) {
+	linttest.RunGolden(t, "testdata/src/closeflush", lint.CloseFlush)
+}

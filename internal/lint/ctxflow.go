@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vc2m/internal/lintkit"
+)
+
+// CtxFlow enforces the repository's cancellation-flow discipline. The CLI
+// binaries create the root context (signal.NotifyContext) and everything
+// below receives it as a parameter; runs stay cancelable end to end only
+// if no layer manufactures or hoards contexts. Three rules:
+//
+//   - bgctx: context.Background()/context.TODO() may only be called in
+//     package main, the module-root facade, and _test.go files. Library
+//     code that needs a context must accept one.
+//     Suppress: //vc2m:bgctx <reason> (e.g. a deliberately detached
+//     lifetime, or an API that demands a context it never uses).
+//
+//   - ctxfield: storing a context.Context in a struct hides the request
+//     lifetime from callers and is almost always a plumbing shortcut.
+//     Suppress: //vc2m:ctxfield <reason> on the field (the repo's config
+//     structs are the reviewed exceptions).
+//
+//   - ctxfree: a blocking construct that cannot observe cancellation — a
+//     select with no default case, a conditionless for loop performing
+//     channel operations, or a range over a channel — must mention a
+//     context-typed expression somewhere inside (ctx.Done() in a case,
+//     run.execCtx in the body, ...). Purely computational loops are
+//     exempt; they terminate on their own.
+//     Suppress: //vc2m:ctxfree <reason>.
+var CtxFlow = &lintkit.Analyzer{
+	Name: "ctxflow",
+	Doc:  "contexts flow down from the CLI roots: no context.Background below main, no ctx in structs, blocking loops and selects observe cancellation",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *lintkit.Pass) {
+	rootExempt := pass.Pkg.Name() == "main" || !strings.Contains(pass.Pkg.Path(), "/")
+	for _, file := range pass.Files {
+		fname := pass.Fset.Position(file.Pos()).Filename
+		testFile := strings.HasSuffix(fname, "_test.go")
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if rootExempt || testFile {
+					return true
+				}
+				if name, ok := contextConstructor(pass, n); ok {
+					pass.ReportSuppressible(n.Pos(), "bgctx",
+						"context.%s below the CLI layer: accept a context from the caller instead", name)
+				}
+			case *ast.StructType:
+				checkCtxFields(pass, n)
+			}
+			return true
+		})
+		checkBlocking(pass, file)
+	}
+}
+
+// contextConstructor reports whether call is context.Background() or
+// context.TODO().
+func contextConstructor(pass *lintkit.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func checkCtxFields(pass *lintkit.Pass, st *ast.StructType) {
+	if st.Fields == nil {
+		return
+	}
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 {
+			continue
+		}
+		if !isContextType(pass.TypeOf(f.Type)) {
+			continue
+		}
+		pass.ReportSuppressible(f.Pos(), "ctxfield",
+			"struct field %s stores a context.Context: pass the context as a parameter instead", f.Names[0].Name)
+	}
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkBlocking reports blocking constructs that never observe a context.
+// Outermost-wins: once a construct is reported (or proven fine because it
+// mentions a context anywhere inside), its children are not re-checked.
+func checkBlocking(pass *lintkit.Pass, file *ast.File) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		blocking, pos, what := blockingConstruct(pass, n)
+		if !blocking {
+			return true
+		}
+		if mentionsContext(pass, n) {
+			return false // cancellation observed; nested constructs inherit it
+		}
+		pass.ReportSuppressible(pos, "ctxfree",
+			"%s never observes a context: add a ctx.Done() case or thread a context through", what)
+		return false
+	}
+	ast.Inspect(file, walk)
+}
+
+// blockingConstruct classifies the cancellation-relevant blocking shapes.
+func blockingConstruct(pass *lintkit.Pass, n ast.Node) (bool, token.Pos, string) {
+	switch n := n.(type) {
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				return false, 0, "" // default case: non-blocking poll
+			}
+		}
+		return true, n.Pos(), "select without default"
+	case *ast.ForStmt:
+		if n.Cond != nil {
+			return false, 0, ""
+		}
+		if !hasChannelOp(pass, n.Body) {
+			return false, 0, "" // computational infinite loop; terminates via break/return
+		}
+		return true, n.Pos(), "channel loop (for {...})"
+	case *ast.RangeStmt:
+		if t := pass.TypeOf(n.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				return true, n.Pos(), "range over channel"
+			}
+		}
+	}
+	return false, 0, ""
+}
+
+// hasChannelOp reports whether the block contains a channel send, receive
+// or select — the operations that make an infinite loop block.
+func hasChannelOp(pass *lintkit.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.FuncLit:
+			return false // separate goroutine/closure: judged on its own
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsContext reports whether any expression inside n has type
+// context.Context.
+func mentionsContext(pass *lintkit.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if e, ok := m.(ast.Expr); ok && isContextType(pass.TypeOf(e)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

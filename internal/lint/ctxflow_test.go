@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vc2m/internal/lint"
+	"vc2m/internal/lintkit/linttest"
+)
+
+// TestCtxFlowGolden pins the context-flow rules: no context.Background
+// below the CLI layer, no contexts in struct fields, and blocking
+// selects/loops must observe cancellation.
+func TestCtxFlowGolden(t *testing.T) {
+	linttest.RunGolden(t, "testdata/src/ctxflow", lint.CtxFlow)
+}

@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"vc2m/internal/lintkit"
+)
+
+// lineDirectives indexes a pass's parsed //vc2m: directives by file and
+// line for the annotation-driven analyzers (guardedby, stagedrift), which
+// read directive arguments rather than just suppressing diagnostics.
+type lineDirectives map[string]map[int][]lintkit.Directive
+
+func directivesByLine(pass *lintkit.Pass) lineDirectives {
+	idx := lineDirectives{}
+	for _, d := range pass.Directives {
+		lines := idx[d.File]
+		if lines == nil {
+			lines = map[int][]lintkit.Directive{}
+			idx[d.File] = lines
+		}
+		lines[d.Line] = append(lines[d.Line], d)
+	}
+	return idx
+}
+
+// at returns the first directive with the given word on file:line.
+func (idx lineDirectives) at(file string, line int, word string) (lintkit.Directive, bool) {
+	for _, d := range idx[file][line] {
+		if d.Word == word {
+			return d, true
+		}
+	}
+	return lintkit.Directive{}, false
+}

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"strings"
 	"testing"
 
 	"vc2m/internal/lint"
@@ -9,4 +10,106 @@ import (
 
 func TestFloatEqGolden(t *testing.T) {
 	linttest.RunGolden(t, "testdata/src/floateq", lint.FloatEq)
+}
+
+// TestFloatEqTable drives the analyzer over throwaway fixture modules,
+// covering the shapes the golden file cannot: suppression placement,
+// multi-file packages and the precise diagnostic/suppression split.
+func TestFloatEqTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		files      map[string]string
+		diags      int // surviving diagnostics
+		suppressed int
+		wantSub    string // substring of the first diagnostic, when any
+	}{
+		{
+			name: "equality and inequality both flagged",
+			files: map[string]string{"a.go": `package a
+
+func f(x, y float64) bool { return x == y || x != y }
+`},
+			diags:   2,
+			wantSub: "exact float comparison x == y",
+		},
+		{
+			name: "const-to-const compare exempt",
+			files: map[string]string{"a.go": `package a
+
+const eps = 1e-9
+
+func f() bool { return eps == 1e-9 }
+`},
+		},
+		{
+			name: "integer compares exempt",
+			files: map[string]string{"a.go": `package a
+
+func f(x, y int) bool { return x == y }
+`},
+		},
+		{
+			name: "float32 flagged too",
+			files: map[string]string{"a.go": `package a
+
+func f(x, y float32) bool { return x == y }
+`},
+			diags:   1,
+			wantSub: "exact float comparison",
+		},
+		{
+			name: "directive on the offending line suppresses",
+			files: map[string]string{"a.go": `package a
+
+func f(x float64) bool {
+	return x == 0 //vc2m:floateq zero is an assigned sentinel, never computed
+}
+`},
+			suppressed: 1,
+		},
+		{
+			name: "directive on the line above suppresses",
+			files: map[string]string{"a.go": `package a
+
+func f(x float64) bool {
+	//vc2m:floateq zero is an assigned sentinel, never computed
+	return x == 0
+}
+`},
+			suppressed: 1,
+		},
+		{
+			name: "wrong directive word does not suppress",
+			files: map[string]string{"a.go": `package a
+
+func f(x float64) bool {
+	return x == 0 //vc2m:ordered not the word floateq wants
+}
+`},
+			diags: 1,
+		},
+		{
+			name: "findings surface from every file of a package",
+			files: map[string]string{
+				"a.go": "package a\n\nfunc f(x float64) bool { return x == 1 }\n",
+				"b.go": "package a\n\nfunc g(x float64) bool { return x != 2 }\n",
+			},
+			diags: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := linttest.Analyze(t, linttest.Fixture{Files: tc.files}, lint.FloatEq)
+			if got := len(res.Diagnostics); got != tc.diags {
+				t.Errorf("diagnostics = %d, want %d: %v", got, tc.diags, linttest.Messages(res.Diagnostics))
+			}
+			if got := len(res.Suppressed); got != tc.suppressed {
+				t.Errorf("suppressed = %d, want %d: %v", got, tc.suppressed, linttest.Messages(res.Suppressed))
+			}
+			if tc.wantSub != "" && len(res.Diagnostics) > 0 &&
+				!strings.Contains(res.Diagnostics[0].Message, tc.wantSub) {
+				t.Errorf("diagnostic %q does not contain %q", res.Diagnostics[0].Message, tc.wantSub)
+			}
+		})
+	}
 }

@@ -1,0 +1,640 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vc2m/internal/lintkit"
+)
+
+// GuardedBy enforces annotated lock discipline. A struct field tagged
+//
+//	mu    sync.Mutex
+//	state RunState //vc2m:guardedby mu
+//
+// may only be read or written while the named sibling mutex is held. The
+// analyzer tracks acquired locks through each function body as printed
+// lock paths ("s.mu", "r.f.mu"): X.Lock()/X.RLock() adds the path,
+// X.Unlock()/X.RUnlock() removes it, and a deferred unlock holds the lock
+// to the end of the function. Branches are merged conservatively — a lock
+// state survives an if/else only when every non-terminating branch keeps
+// it — and function literals start with an empty lock set because they
+// may run on another goroutine.
+//
+// Two companion directives refine the analysis:
+//
+//   - //vc2m:locked <mu> on a function or method declares the caller
+//     holds the receiver's <mu> before calling (the classic "fooLocked"
+//     contract, checked at every statically-resolved call site).
+//   - //vc2m:unguarded <reason> suppresses one access the analysis gets
+//     wrong (freshly published values, single-goroutine phases).
+//
+// Values built locally from a composite literal or new() are exempt until
+// they escape: a constructor filling fields before the first publication
+// needs no lock.
+var GuardedBy = &lintkit.Analyzer{
+	Name: "guardedby",
+	Doc:  "fields tagged //vc2m:guardedby <mu> are only accessed with the named mutex held",
+	Run:  runGuardedBy,
+}
+
+// lockedFact marks a function whose callers must hold the receiver path's
+// mutex, exported so cross-package call sites are checked too.
+type lockedFact struct {
+	mu string
+}
+
+func runGuardedBy(pass *lintkit.Pass) {
+	dirs := directivesByLine(pass)
+	guarded := collectGuardedFields(pass, dirs)
+	locked := collectLockedFuncs(pass, dirs)
+	for _, lf := range locked {
+		pass.ExportObjectFact(lf.fn, lockedFact{mu: lf.mu})
+	}
+	lockedByFn := map[*types.Func]string{}
+	for _, lf := range locked {
+		lockedByFn[lf.fn] = lf.mu
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			st := &lockWalker{
+				pass:    pass,
+				guarded: guarded,
+				locked:  lockedByFn,
+				held:    map[string]bool{},
+				fresh:   map[types.Object]bool{},
+			}
+			if mu, ok := funcDirectiveArg(dirs, pass.Fset, fd, "locked"); ok {
+				st.held[recvLockPath(fd, mu)] = true
+			}
+			st.stmt(fd.Body)
+		}
+	}
+}
+
+// guardedField resolves one //vc2m:guardedby annotation: the field object
+// and the sibling path of its mutex.
+type collectedLock struct {
+	fn *types.Func
+	mu string
+}
+
+// collectGuardedFields resolves every //vc2m:guardedby <mu> annotation on
+// a struct field (trailing comment or the line above) to the field's
+// types.Var, validating that single-segment mutex names exist as sibling
+// fields.
+func collectGuardedFields(pass *lintkit.Pass, dirs lineDirectives) map[*types.Var]string {
+	guarded := map[*types.Var]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			siblings := map[string]bool{}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					siblings[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				if len(f.Names) == 0 {
+					continue // embedded fields carry no annotation
+				}
+				pos := pass.Fset.Position(f.Pos())
+				d, ok := dirs.at(pos.Filename, pos.Line, "guardedby")
+				if !ok {
+					d, ok = dirs.at(pos.Filename, pos.Line-1, "guardedby")
+				}
+				if !ok {
+					continue
+				}
+				mu, _, _ := strings.Cut(d.Args, " ")
+				if mu == "" {
+					pass.Reportf(f.Pos(), "//vc2m:guardedby needs the mutex field name, e.g. //vc2m:guardedby mu")
+					continue
+				}
+				if !strings.Contains(mu, ".") && !siblings[mu] {
+					pass.Reportf(f.Pos(), "//vc2m:guardedby names %q, which is not a field of this struct", mu)
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// collectLockedFuncs resolves every //vc2m:locked <mu> annotation on a
+// function declaration, in source order.
+func collectLockedFuncs(pass *lintkit.Pass, dirs lineDirectives) []collectedLock {
+	var out []collectedLock
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			mu, ok := funcDirectiveArg(dirs, pass.Fset, fd, "locked")
+			if !ok {
+				continue
+			}
+			if mu == "" {
+				pass.Reportf(fd.Pos(), "//vc2m:locked needs the held mutex path, e.g. //vc2m:locked mu")
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				out = append(out, collectedLock{fn: fn, mu: mu})
+			}
+		}
+	}
+	return out
+}
+
+// funcDirectiveArg finds a //vc2m:<word> directive attached to a function
+// declaration — anywhere in its doc comment, or on the line above the
+// declaration — and returns the first argument token.
+func funcDirectiveArg(dirs lineDirectives, fset *token.FileSet, fd *ast.FuncDecl, word string) (string, bool) {
+	pos := fset.Position(fd.Pos())
+	from := pos.Line - 1
+	if fd.Doc != nil {
+		from = fset.Position(fd.Doc.Pos()).Line
+	}
+	for line := from; line <= pos.Line; line++ {
+		if d, ok := dirs.at(pos.Filename, line, word); ok {
+			arg, _, _ := strings.Cut(d.Args, " ")
+			return arg, true
+		}
+	}
+	return "", false
+}
+
+// recvLockPath turns a //vc2m:locked argument into the lock path held at
+// entry: "<recv>.<mu>" for methods, the argument verbatim for functions.
+func recvLockPath(fd *ast.FuncDecl, mu string) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		return fd.Recv.List[0].Names[0].Name + "." + mu
+	}
+	return mu
+}
+
+// lockWalker tracks the held lock set through one function body in source
+// order.
+type lockWalker struct {
+	pass    *lintkit.Pass
+	guarded map[*types.Var]string
+	locked  map[*types.Func]string
+	held    map[string]bool
+	fresh   map[types.Object]bool
+}
+
+func (w *lockWalker) clone() *lockWalker {
+	c := &lockWalker{
+		pass:    w.pass,
+		guarded: w.guarded,
+		locked:  w.locked,
+		held:    map[string]bool{},
+		fresh:   map[types.Object]bool{},
+	}
+	for k := range w.held { //vc2m:ordered set copy, order cannot escape
+		c.held[k] = true
+	}
+	for k := range w.fresh { //vc2m:ordered set copy, order cannot escape
+		c.fresh[k] = true
+	}
+	return c
+}
+
+// intersectHeld drops every lock the branch walker released, merging a
+// non-terminating branch back into the fall-through state.
+func (w *lockWalker) intersectHeld(branch *lockWalker) {
+	for k := range w.held { //vc2m:ordered set intersection, order cannot escape
+		if !branch.held[k] {
+			delete(w.held, k)
+		}
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			w.stmt(sub)
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X, false)
+	case *ast.DeferStmt:
+		w.deferred(s.Call)
+	case *ast.GoStmt:
+		// The goroutine runs concurrently: check its body with an empty
+		// lock set and no fresh locals.
+		for _, arg := range s.Call.Args {
+			w.expr(arg, false)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			g := &lockWalker{pass: w.pass, guarded: w.guarded, locked: w.locked,
+				held: map[string]bool{}, fresh: map[types.Object]bool{}}
+			g.stmt(lit.Body)
+		} else {
+			w.expr(s.Call.Fun, false)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.expr(rhs, false)
+		}
+		for _, lhs := range s.Lhs {
+			w.expr(lhs, false)
+		}
+		if s.Tok == token.DEFINE {
+			w.markFresh(s.Lhs, s.Rhs)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, false)
+					}
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, n := range vs.Names {
+						lhs[i] = n
+					}
+					w.markFresh(lhs, vs.Values)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond, false)
+		then := w.clone()
+		then.stmt(s.Body)
+		if !terminates(s.Body) {
+			w.intersectHeld(then)
+		}
+		if s.Else != nil {
+			els := w.clone()
+			els.stmt(s.Else)
+			if ifTerminates := blockOrStmtTerminates(s.Else); !ifTerminates {
+				w.intersectHeld(els)
+			}
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond, false)
+		body := w.clone()
+		body.stmt(s.Body)
+		body.stmt(s.Post)
+		w.intersectHeld(body)
+	case *ast.RangeStmt:
+		w.expr(s.X, false)
+		body := w.clone()
+		body.stmt(s.Body)
+		w.intersectHeld(body)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.expr(s.Tag, false)
+		w.caseBodies(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		w.caseBodies(s.Body)
+	case *ast.SelectStmt:
+		w.caseBodies(s.Body)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, false)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, false)
+		w.expr(s.Value, false)
+	case *ast.IncDecStmt:
+		w.expr(s.X, false)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+// caseBodies checks each case clause against a snapshot of the current
+// lock state; a lock acquired inside one case never leaks past the switch.
+func (w *lockWalker) caseBodies(body *ast.BlockStmt) {
+	for _, c := range body.List {
+		branch := w.clone()
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				branch.expr(e, false)
+			}
+			for _, s := range c.Body {
+				branch.stmt(s)
+			}
+		case *ast.CommClause:
+			branch.stmt(c.Comm)
+			for _, s := range c.Body {
+				branch.stmt(s)
+			}
+		}
+	}
+}
+
+// deferred handles defer statements: a deferred unlock keeps the lock held
+// for the rest of the function, and a deferred closure's accesses are
+// checked against the current lock state without mutating it.
+func (w *lockWalker) deferred(call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		w.expr(arg, false)
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		body := w.clone()
+		body.stmt(lit.Body)
+		return
+	}
+	w.expr(call.Fun, true)
+}
+
+// markFresh records locals initialized from a composite literal or new():
+// nothing else can reference them yet, so unguarded field writes are fine
+// until they escape.
+func (w *lockWalker) markFresh(lhs, rhs []ast.Expr) {
+	if len(lhs) != len(rhs) {
+		return
+	}
+	for i, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if !isFreshValue(w.pass, rhs[i]) {
+			continue
+		}
+		if obj := w.pass.Info.Defs[id]; obj != nil {
+			w.fresh[obj] = true
+		}
+	}
+}
+
+func isFreshValue(pass *lintkit.Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// expr walks an expression in evaluation order, applying lock effects of
+// Lock/Unlock calls and checking every guarded field selection.
+func (w *lockWalker) expr(e ast.Expr, inDefer bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.SelectorExpr:
+		w.expr(e.X, inDefer)
+		w.checkSelector(e)
+	case *ast.CallExpr:
+		if w.applyLockEffect(e, inDefer) {
+			return
+		}
+		w.checkLockedCallee(e)
+		w.expr(e.Fun, inDefer)
+		for _, a := range e.Args {
+			w.expr(a, inDefer)
+		}
+	case *ast.FuncLit:
+		// A closure may run on another goroutine; check it lock-free.
+		c := &lockWalker{pass: w.pass, guarded: w.guarded, locked: w.locked,
+			held: map[string]bool{}, fresh: map[types.Object]bool{}}
+		c.stmt(e.Body)
+	case *ast.ParenExpr:
+		w.expr(e.X, inDefer)
+	case *ast.StarExpr:
+		w.expr(e.X, inDefer)
+	case *ast.UnaryExpr:
+		w.expr(e.X, inDefer)
+	case *ast.BinaryExpr:
+		w.expr(e.X, inDefer)
+		w.expr(e.Y, inDefer)
+	case *ast.IndexExpr:
+		w.expr(e.X, inDefer)
+		w.expr(e.Index, inDefer)
+	case *ast.SliceExpr:
+		w.expr(e.X, inDefer)
+		w.expr(e.Low, inDefer)
+		w.expr(e.High, inDefer)
+		w.expr(e.Max, inDefer)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, inDefer)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.expr(kv.Value, inDefer)
+				continue
+			}
+			w.expr(el, inDefer)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, inDefer)
+		w.expr(e.Value, inDefer)
+	}
+}
+
+// applyLockEffect recognizes X.Lock/RLock/Unlock/RUnlock on a sync
+// (RW)Mutex and updates the held set; it returns true when the call was a
+// lock operation (its receiver needs no guarded-field check).
+func (w *lockWalker) applyLockEffect(call *ast.CallExpr, inDefer bool) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	name := sel.Sel.Name
+	var acquire bool
+	switch name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return false
+	}
+	if !isMutexType(w.pass.TypeOf(sel.X)) {
+		return false
+	}
+	path := pathString(w.pass.Fset, sel.X)
+	if acquire {
+		w.held[path] = true
+	} else if !inDefer {
+		delete(w.held, path)
+	}
+	return true
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkSelector reports a guarded field accessed without its mutex held.
+func (w *lockWalker) checkSelector(sel *ast.SelectorExpr) {
+	s, ok := w.pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	mu, ok := w.guarded[field]
+	if !ok {
+		return
+	}
+	base := pathString(w.pass.Fset, sel.X)
+	if w.held[base+"."+mu] {
+		return
+	}
+	if w.isFreshBase(sel.X) {
+		return
+	}
+	w.pass.ReportSuppressible(sel.Sel.Pos(), "unguarded",
+		"%s.%s is guarded by %s.%s, which is not held here", base, field.Name(), base, mu)
+}
+
+// checkLockedCallee reports a call to a //vc2m:locked function made
+// without the contracted mutex held.
+func (w *lockWalker) checkLockedCallee(call *ast.CallExpr) {
+	callee := lintkit.CalleeFunc(w.pass, call)
+	if callee == nil {
+		return
+	}
+	mu, ok := w.locked[callee]
+	if !ok {
+		if f, found := w.pass.ObjectFact(callee); found {
+			if lf, isLocked := f.(lockedFact); isLocked {
+				mu, ok = lf.mu, true
+			}
+		}
+	}
+	if !ok {
+		return
+	}
+	var need string
+	if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+		if _, isMethod := w.pass.Info.Selections[sel]; isMethod {
+			need = pathString(w.pass.Fset, sel.X) + "." + mu
+		} else {
+			need = mu // package-qualified function: path is absolute
+		}
+	} else {
+		need = mu
+	}
+	if w.held[need] {
+		return
+	}
+	if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel && w.isFreshBase(sel.X) {
+		return
+	}
+	w.pass.ReportSuppressible(call.Pos(), "unguarded",
+		"call to %s requires %s held (//vc2m:locked)", callee.Name(), need)
+}
+
+// isFreshBase reports whether the access root is a local this function
+// built itself (composite literal / new) and not yet published.
+func (w *lockWalker) isFreshBase(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := w.pass.Info.Uses[x]; obj != nil && w.fresh[obj] {
+				return true
+			}
+			return false
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// terminates reports whether a block always transfers control away
+// (return, branch, panic) when it finishes.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+func blockOrStmtTerminates(s ast.Stmt) bool {
+	if b, ok := s.(*ast.BlockStmt); ok {
+		return terminates(b)
+	}
+	return stmtTerminates(s)
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s)
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return terminates(s.Body) && blockOrStmtTerminates(s.Else)
+	}
+	return false
+}
+
+// pathString renders a lock/receiver path exactly (no truncation) so held
+// set keys compare reliably.
+func pathString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

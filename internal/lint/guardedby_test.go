@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vc2m/internal/lint"
+	"vc2m/internal/lintkit/linttest"
+)
+
+// TestGuardedByGolden pins the lock-discipline analysis: guarded-field
+// accesses, defer-held locks, branch merging, //vc2m:locked call
+// contracts, fresh-local exemption and the unguarded suppression.
+func TestGuardedByGolden(t *testing.T) {
+	linttest.RunGolden(t, "testdata/src/guardedby", lint.GuardedBy)
+}

@@ -14,9 +14,19 @@
 //     guarantee holds only if every exported pointer method guards nil.
 //   - floateq: exact float comparison, the "silently wrong numbers" class
 //     behind past Welford and utilization-grid bugs.
+//   - guardedby: annotated lock discipline — fields tagged
+//     //vc2m:guardedby <mu> are only touched with the named mutex held,
+//     and //vc2m:locked functions are only called under it.
+//   - ctxflow: cancellation plumbing — contexts flow down from the CLI
+//     roots as parameters, never manufactured below main or hoarded in
+//     structs, and blocking selects/loops observe them.
+//   - closeflush: sink hygiene — opened closers/flushers are closed on
+//     all paths with the error checked or explicitly discarded.
+//   - stagedrift: the span-stage, provenance and preregistered-metric
+//     vocabularies (plus the span_stages golden) cannot drift apart.
 //
 // Each analyzer documents its rules and suppression directives on its
-// variable. All four run over ./... via `make lint` and in CI.
+// variable. All eight run over ./... via `make lint` and in CI.
 package lint
 
 import (
@@ -30,7 +40,7 @@ import (
 
 // All returns every vc2m analyzer, in stable order.
 func All() []*lintkit.Analyzer {
-	return []*lintkit.Analyzer{Nondeterminism, TimeUnit, NilSafe, FloatEq}
+	return []*lintkit.Analyzer{Nondeterminism, TimeUnit, NilSafe, FloatEq, GuardedBy, CtxFlow, CloseFlush, StageDrift}
 }
 
 // ByName returns the analyzer with the given Name, or nil.

@@ -10,3 +10,126 @@ import (
 func TestNondeterminismGolden(t *testing.T) {
 	linttest.RunGolden(t, "testdata/src/nondet", lint.Nondeterminism)
 }
+
+// TestNondeterminismTable exercises the determinism rules over throwaway
+// fixture modules: the wall-clock and global-rand bans, map-iteration
+// ordering, and the //vc2m: escape hatches for each.
+func TestNondeterminismTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		module     string
+		files      map[string]string
+		diags      int
+		suppressed int
+	}{
+		{
+			name: "time.Now and time.Since flagged",
+			files: map[string]string{"a.go": `package a
+
+import "time"
+
+func f() time.Duration { return time.Since(time.Now()) }
+`},
+			diags: 2,
+		},
+		{
+			name: "wallclock directive suppresses measurement code",
+			files: map[string]string{"a.go": `package a
+
+import "time"
+
+func f() time.Time {
+	return time.Now() //vc2m:wallclock measurement-only
+}
+`},
+			suppressed: 1,
+		},
+		{
+			name: "time.Sleep and timers untouched",
+			files: map[string]string{"a.go": `package a
+
+import "time"
+
+func f() { time.Sleep(time.Millisecond) }
+`},
+		},
+		{
+			name: "global math/rand draw is mandatory (no escape hatch)",
+			files: map[string]string{"a.go": `package a
+
+import "math/rand"
+
+func f() float64 {
+	return rand.Float64() //vc2m:wallclock the wrong word, and rand has none
+}
+`},
+			diags: 1,
+		},
+		{
+			name: "naming a rand type is harmless, drawing from it is not",
+			files: map[string]string{"a.go": `package a
+
+import "math/rand"
+
+func f(r *rand.Rand) *rand.Rand { return r }
+
+func g(r *rand.Rand) float64 { return r.Float64() }
+`},
+			diags: 1,
+		},
+		{
+			name:   "the rngutil package itself may touch math/rand",
+			module: "vc2m",
+			files: map[string]string{"internal/rngutil/r.go": `package rngutil
+
+import "math/rand"
+
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+`},
+		},
+		{
+			name: "map range flagged, sorted-keys rewrite clean",
+			files: map[string]string{"a.go": `package a
+
+import "sort"
+
+func f(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for range keys {
+	}
+	return keys
+}
+`},
+			diags: 1,
+		},
+		{
+			name: "ordered directive suppresses a map range",
+			files: map[string]string{"a.go": `package a
+
+func f(m map[string]int) int {
+	n := 0
+	for _, v := range m { //vc2m:ordered sum is order-independent
+		n += v
+	}
+	return n
+}
+`},
+			suppressed: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := linttest.Analyze(t, linttest.Fixture{Module: tc.module, Files: tc.files}, lint.Nondeterminism)
+			if got := len(res.Diagnostics); got != tc.diags {
+				t.Errorf("diagnostics = %d, want %d: %v", got, tc.diags, linttest.Messages(res.Diagnostics))
+			}
+			if got := len(res.Suppressed); got != tc.suppressed {
+				t.Errorf("suppressed = %d, want %d: %v", got, tc.suppressed, linttest.Messages(res.Suppressed))
+			}
+		})
+	}
+}

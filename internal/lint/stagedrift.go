@@ -1,0 +1,433 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vc2m/internal/lintkit"
+)
+
+// StageDrift cross-checks the repository's observability vocabularies so
+// they cannot drift apart silently. Three string sets describe the same
+// pipeline: the obs package's span stage constants (Stage*), the
+// provenance package's decision stages and kinds (Stage*, Kind*), and the
+// committed span_stages.golden fixture. On top of those, any package may
+// annotate a composite literal of stage names with
+//
+//	//vc2m:stageset span
+//	var stageLatStages = []string{obs.StageRun, ...}
+//
+// and the analyzer checks the literal's value set against the vocabulary:
+//
+//   - span: exactly the obs Stage* values — a missing stage is reported
+//     by name, so deleting one preregistration line fails the lint run.
+//   - span-subset: every value is an obs Stage* value.
+//   - provenance-subset: every constant string in the literal is a
+//     provenance Stage* or Kind* value.
+//
+// On the obs package itself the analyzer additionally checks that Stage*
+// values are distinct, that KnownStages() returns every one of them, and
+// that each golden-fixture line names a real stage. All diagnostics are
+// mandatory: vocabulary drift has no legitimate exception.
+var StageDrift = NewStageDrift(StageDriftConfig{
+	ObsPkg:        "vc2m/internal/obs",
+	ProvenancePkg: "vc2m/internal/provenance",
+	GoldenFile:    "testdata/span_stages.golden",
+})
+
+// StageDriftConfig points the analyzer at the packages defining the
+// vocabularies; tests retarget it at fixture packages.
+type StageDriftConfig struct {
+	// ObsPkg is the import path of the package declaring the span Stage*
+	// string constants and the KnownStages() function.
+	ObsPkg string
+	// ProvenancePkg is the import path of the package declaring the
+	// provenance Stage* and Kind* string constants.
+	ProvenancePkg string
+	// GoldenFile is the stage-name fixture, relative to ObsPkg's
+	// directory; empty skips the golden check.
+	GoldenFile string
+}
+
+// NewStageDrift builds a stagedrift analyzer over the given vocabulary
+// packages.
+func NewStageDrift(cfg StageDriftConfig) *lintkit.Analyzer {
+	return &lintkit.Analyzer{
+		Name: "stagedrift",
+		Doc:  "span stages, provenance stages/kinds, preregistered stage sets and the span_stages golden agree",
+		Run: func(pass *lintkit.Pass) {
+			sd := &stageDrift{cfg: cfg}
+			sd.run(pass)
+		},
+	}
+}
+
+type stageDrift struct {
+	cfg StageDriftConfig
+}
+
+const (
+	spanStagesFact = "spanstages"
+	provVocabFact  = "provvocab"
+)
+
+func (sd *stageDrift) run(pass *lintkit.Pass) {
+	if pass.Pkg.Path() == sd.cfg.ObsPkg {
+		sd.checkObsPackage(pass)
+	}
+	if pass.Pkg.Path() == sd.cfg.ProvenancePkg {
+		sd.checkProvenancePackage(pass)
+	}
+	sd.checkStageSets(pass)
+}
+
+// stringConsts collects the package-scope string constants whose name has
+// the given prefix, in declaration order.
+type namedConst struct {
+	name  string
+	value string
+	pos   token.Pos
+}
+
+func stringConsts(pass *lintkit.Pass, prefix string) []namedConst {
+	var out []namedConst
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, prefix) {
+						continue
+					}
+					c, ok := pass.Info.Defs[name].(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					out = append(out, namedConst{
+						name:  name.Name,
+						value: constant.StringVal(c.Val()),
+						pos:   name.Pos(),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func reportDuplicates(pass *lintkit.Pass, consts []namedConst, kind string) {
+	byValue := map[string]string{}
+	for _, c := range consts {
+		if prev, ok := byValue[c.value]; ok {
+			pass.Reportf(c.pos, "%s %s duplicates the value %q of %s", kind, c.name, c.value, prev)
+			continue
+		}
+		byValue[c.value] = c.name
+	}
+}
+
+// checkObsPackage validates the span vocabulary at its source: distinct
+// Stage* values, a complete KnownStages(), golden lines that name real
+// stages — and exports the value set for stageset literals elsewhere.
+func (sd *stageDrift) checkObsPackage(pass *lintkit.Pass) {
+	stages := stringConsts(pass, "Stage")
+	reportDuplicates(pass, stages, "span stage constant")
+	values := map[string]string{} // value -> const name
+	for _, c := range stages {
+		if _, dup := values[c.value]; !dup {
+			values[c.value] = c.name
+		}
+	}
+	pass.ExportPackageFact(spanStagesFact, values)
+
+	var known *ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == "KnownStages" {
+				known = fd
+			}
+		}
+	}
+	if known == nil {
+		if len(stages) > 0 {
+			pass.Reportf(stages[0].pos, "span stage constants exist but KnownStages() is not declared in this package")
+		}
+	} else {
+		returned := map[string]bool{}
+		ast.Inspect(known.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if c, ok := pass.Info.Uses[id].(*types.Const); ok && c.Val().Kind() == constant.String {
+				returned[constant.StringVal(c.Val())] = true
+			}
+			return true
+		})
+		for _, c := range stages {
+			if !returned[c.value] {
+				pass.Reportf(known.Pos(), "KnownStages() is missing span stage %s (%q)", c.name, c.value)
+			}
+		}
+	}
+
+	if sd.cfg.GoldenFile == "" {
+		return
+	}
+	goldenPos := token.NoPos
+	if known != nil {
+		goldenPos = known.Pos()
+	} else if len(stages) > 0 {
+		goldenPos = stages[0].pos
+	} else {
+		return
+	}
+	path := filepath.Join(pass.Dir, filepath.FromSlash(sd.cfg.GoldenFile))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		pass.Reportf(goldenPos, "cannot read span-stage golden %s: %v", sd.cfg.GoldenFile, err)
+		return
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if _, ok := values[line]; !ok {
+			pass.Reportf(goldenPos, "golden %s names %q, which is not a span stage constant", sd.cfg.GoldenFile, line)
+		}
+	}
+}
+
+// checkProvenancePackage validates the decision vocabulary and exports the
+// combined stage+kind value set.
+func (sd *stageDrift) checkProvenancePackage(pass *lintkit.Pass) {
+	stages := stringConsts(pass, "Stage")
+	kinds := stringConsts(pass, "Kind")
+	reportDuplicates(pass, stages, "provenance stage constant")
+	reportDuplicates(pass, kinds, "provenance kind constant")
+	values := map[string]string{}
+	for _, c := range append(append([]namedConst{}, stages...), kinds...) {
+		if _, dup := values[c.value]; !dup {
+			values[c.value] = c.name
+		}
+	}
+	pass.ExportPackageFact(provVocabFact, values)
+}
+
+// checkStageSets validates every //vc2m:stageset-annotated composite
+// literal against its declared vocabulary.
+func (sd *stageDrift) checkStageSets(pass *lintkit.Pass) {
+	for _, d := range pass.Directives {
+		if d.Word != "stageset" {
+			continue
+		}
+		vocab, _, _ := strings.Cut(d.Args, " ")
+		file := fileNamed(pass, d.File)
+		if file == nil {
+			continue
+		}
+		pos := lineStart(pass.Fset, file, d.Line)
+		lit := compositeLitAtLine(pass, file, d.Line)
+		if lit == nil {
+			pass.Reportf(pos, "//vc2m:stageset has no composite literal on this or the next line")
+			continue
+		}
+		switch vocab {
+		case "span", "span-subset":
+			spanValues, ok := sd.spanStages(pass)
+			if !ok {
+				pass.Reportf(lit.Pos(), "//vc2m:stageset %s: span stage package %s is not available from this package", vocab, sd.cfg.ObsPkg)
+				continue
+			}
+			sd.checkSpanLiteral(pass, lit, spanValues, vocab == "span")
+		case "provenance-subset":
+			provValues, ok := sd.provVocab(pass)
+			if !ok {
+				pass.Reportf(lit.Pos(), "//vc2m:stageset provenance-subset: provenance package %s is not available from this package", sd.cfg.ProvenancePkg)
+				continue
+			}
+			for _, el := range constStringsIn(pass, lit) {
+				if _, known := provValues[el.value]; !known {
+					pass.Reportf(el.pos, "%q is not a provenance stage or kind", el.value)
+				}
+			}
+		case "":
+			pass.Reportf(pos, "//vc2m:stageset needs a vocabulary: span, span-subset or provenance-subset")
+		default:
+			pass.Reportf(pos, "//vc2m:stageset %s: unknown vocabulary (want span, span-subset or provenance-subset)", vocab)
+		}
+	}
+}
+
+// checkSpanLiteral compares a stage-set literal against the span stage
+// values; with equality required, missing stages are named one by one.
+func (sd *stageDrift) checkSpanLiteral(pass *lintkit.Pass, lit *ast.CompositeLit, spanValues map[string]string, wantEqual bool) {
+	have := map[string]bool{}
+	for _, el := range constStringsIn(pass, lit) {
+		if _, known := spanValues[el.value]; !known {
+			pass.Reportf(el.pos, "%q is not a span stage", el.value)
+			continue
+		}
+		have[el.value] = true
+	}
+	if !wantEqual {
+		return
+	}
+	missing := make([]string, 0, len(spanValues))
+	for v := range spanValues { //vc2m:ordered missing stages are sorted below
+		if !have[v] {
+			missing = append(missing, v)
+		}
+	}
+	sort.Strings(missing)
+	for _, v := range missing {
+		pass.Reportf(lit.Pos(), "stage set is missing span stage %q (%s)", v, spanValues[v])
+	}
+}
+
+// spanStages resolves the span stage value set: from the package fact when
+// the obs package was analyzed in this run, else from the import graph.
+func (sd *stageDrift) spanStages(pass *lintkit.Pass) (map[string]string, bool) {
+	if f, ok := pass.PackageFact(sd.cfg.ObsPkg, spanStagesFact); ok {
+		return f.(map[string]string), true
+	}
+	return importedStringConsts(pass, sd.cfg.ObsPkg, "Stage")
+}
+
+func (sd *stageDrift) provVocab(pass *lintkit.Pass) (map[string]string, bool) {
+	if f, ok := pass.PackageFact(sd.cfg.ProvenancePkg, provVocabFact); ok {
+		return f.(map[string]string), true
+	}
+	stages, ok1 := importedStringConsts(pass, sd.cfg.ProvenancePkg, "Stage")
+	kinds, ok2 := importedStringConsts(pass, sd.cfg.ProvenancePkg, "Kind")
+	if !ok1 && !ok2 {
+		return nil, false
+	}
+	for v, n := range kinds { //vc2m:ordered merged into a lookup map, order irrelevant
+		if _, dup := stages[v]; !dup {
+			stages[v] = n
+		}
+	}
+	return stages, true
+}
+
+// importedStringConsts scans an imported package's scope for exported
+// string constants with the given name prefix — the fallback when the
+// vocabulary package is outside the analyzed set.
+func importedStringConsts(pass *lintkit.Pass, pkgPath, prefix string) (map[string]string, bool) {
+	var pkg *types.Package
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Path() == pkgPath {
+			pkg = imp
+			break
+		}
+	}
+	if pkg == nil {
+		if pass.Pkg.Path() == pkgPath {
+			pkg = pass.Pkg
+		} else {
+			return nil, false
+		}
+	}
+	values := map[string]string{}
+	for _, name := range pkg.Scope().Names() {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		c, ok := pkg.Scope().Lookup(name).(*types.Const)
+		if !ok || c.Val().Kind() != constant.String {
+			continue
+		}
+		v := constant.StringVal(c.Val())
+		if _, dup := values[v]; !dup {
+			values[v] = name
+		}
+	}
+	return values, true
+}
+
+// constStrings are the constant string elements of a stage-set literal.
+type constString struct {
+	value string
+	pos   token.Pos
+}
+
+// constStringsIn collects every constant-string expression inside the
+// literal (recursing through nested literals, so struct pair tables work).
+func constStringsIn(pass *lintkit.Pass, lit *ast.CompositeLit) []constString {
+	var out []constString
+	var fromExpr func(e ast.Expr)
+	fromExpr = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				fromExpr(el)
+			}
+		case *ast.KeyValueExpr:
+			fromExpr(e.Value)
+		default:
+			if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				out = append(out, constString{value: constant.StringVal(tv.Value), pos: e.Pos()})
+			}
+		}
+	}
+	for _, el := range lit.Elts {
+		fromExpr(el)
+	}
+	return out
+}
+
+// fileNamed finds the pass file with the given filename.
+func fileNamed(pass *lintkit.Pass, name string) *ast.File {
+	for _, f := range pass.Files {
+		if pass.Fset.Position(f.Pos()).Filename == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// lineStart returns a position at the start of the given line.
+func lineStart(fset *token.FileSet, file *ast.File, line int) token.Pos {
+	tf := fset.File(file.Pos())
+	if tf == nil || line < 1 || line > tf.LineCount() {
+		return file.Pos()
+	}
+	return tf.LineStart(line)
+}
+
+// compositeLitAtLine finds the outermost composite literal starting on
+// line or line+1 of the file.
+func compositeLitAtLine(pass *lintkit.Pass, file *ast.File, line int) *ast.CompositeLit {
+	var found *ast.CompositeLit
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		l := pass.Fset.Position(lit.Pos()).Line
+		if l == line || l == line+1 {
+			found = lit
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,120 @@
+package lint_test
+
+import (
+	"strings"
+
+	"testing"
+
+	"vc2m/internal/lint"
+	"vc2m/internal/lintkit/linttest"
+)
+
+// TestStageDriftGolden pins the vocabulary cross-checks against a fixture
+// that doubles as its own span-stage package: duplicate constants, an
+// incomplete KnownStages, a rotten golden line, and annotated stage-set
+// literals in all three vocabularies.
+func TestStageDriftGolden(t *testing.T) {
+	analyzer := lint.NewStageDrift(lint.StageDriftConfig{
+		ObsPkg:        "vc2m/internal/lint/testdata/src/stagedrift",
+		ProvenancePkg: "vc2m/internal/lint/testdata/src/stagedriftprov",
+		GoldenFile:    "testdata/stages.golden",
+	})
+	linttest.RunGolden(t, "testdata/src/stagedrift", analyzer)
+}
+
+// stagesStub is a well-formed span-stage package for fixture modules: two
+// constants, a complete KnownStages and a matching golden alongside it.
+const stagesStub = `package stages
+
+const (
+	StageAlpha = "alpha"
+	StageBeta  = "beta"
+)
+
+func KnownStages() []string { return []string{StageAlpha, StageBeta} }
+`
+
+// TestStageDriftMisuse covers the directive-misuse diagnostics that golden
+// fixtures cannot express: a // want comment cannot ride on a //vc2m:
+// directive line (they would share one comment group), so these cases run
+// through throwaway modules instead.
+func TestStageDriftMisuse(t *testing.T) {
+	cases := []struct {
+		name     string
+		use      string // body of package use
+		imports  bool   // import the stages package
+		noStages bool   // leave the stages package out of the module
+		wantSub  string
+	}{
+		{
+			name: "unknown vocabulary",
+			use: `//vc2m:stageset martian
+var s = []string{"alpha"}
+`,
+			imports: true,
+			wantSub: "unknown vocabulary",
+		},
+		{
+			name: "missing vocabulary",
+			use: `//vc2m:stageset
+var s = []string{"alpha"}
+`,
+			imports: true,
+			wantSub: "needs a vocabulary",
+		},
+		{
+			name: "no composite literal in reach",
+			use: `//vc2m:stageset span
+var n = 42
+`,
+			imports: true,
+			wantSub: "no composite literal",
+		},
+		{
+			name: "span package not in the analyzed module",
+			use: `//vc2m:stageset span
+var s = []string{"alpha"}
+`,
+			noStages: true,
+			wantSub:  "is not available from this package",
+		},
+		{
+			name: "provenance package not in the analyzed module",
+			use: `//vc2m:stageset provenance-subset
+var s = []string{"alpha"}
+`,
+			noStages: true,
+			wantSub:  "is not available from this package",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			analyzer := lint.NewStageDrift(lint.StageDriftConfig{
+				ObsPkg:        "m/stages",
+				ProvenancePkg: "m/prov",
+				GoldenFile:    "stages.golden",
+			})
+			src := "package use\n\n"
+			if tc.imports {
+				src += "import \"m/stages\"\n\nvar _ = stages.StageAlpha\n\n"
+			}
+			src += tc.use
+			files := map[string]string{"use/use.go": src}
+			if !tc.noStages {
+				files["stages/stages.go"] = stagesStub
+				files["stages/stages.golden"] = "alpha\nbeta\n"
+			}
+			fx := linttest.Fixture{Module: "m", Files: files}
+			res := linttest.Analyze(t, fx, analyzer)
+			found := false
+			for _, d := range res.Diagnostics {
+				if strings.Contains(d.Message, tc.wantSub) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no diagnostic containing %q; got %v", tc.wantSub, linttest.Messages(res.Diagnostics))
+			}
+		})
+	}
+}

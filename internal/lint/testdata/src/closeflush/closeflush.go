@@ -1,0 +1,155 @@
+// Package closeflushfix exercises the closeflush analyzer: opened sinks
+// are closed on all paths with the error checked or explicitly discarded.
+package closeflushfix
+
+import (
+	"io"
+	"os"
+)
+
+// sink is a minimal closer/flusher for the constructor rules.
+type sink struct{ f *os.File }
+
+// NewSink is recognized as an opener by its New* prefix and closer result.
+func NewSink(path string) (*sink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &sink{f: f}, nil
+}
+
+func (s *sink) Write(p []byte) (int, error) { return s.f.Write(p) }
+func (s *sink) Close() error                { return s.f.Close() }
+func (s *sink) Flush() error                { return nil }
+
+// GoodCheckedClose is the blessed shape for written files: deferred
+// backstop plus a checked close on the success path.
+func GoodCheckedClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// BadBareClose drops the close error on the error path without saying so.
+func BadBareClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() // want `f.Close\(\) error is silently dropped`
+		return err
+	}
+	return f.Close()
+}
+
+// GoodExplicitDiscard makes the drop visible.
+func GoodExplicitDiscard(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// BadDeferOnly loses write errors: the only close is deferred.
+func BadDeferOnly(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f.Close\(\) discards the error on every path`
+	_, err = f.Write(data)
+	return err
+}
+
+// SuppressedDeferOnly documents a read-only handle where the close error
+// is uninteresting.
+func SuppressedDeferOnly(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //vc2m:closeflush read-only handle, close error carries no data
+	return io.ReadAll(f)
+}
+
+// BadNeverClosed opens a file and leaks it.
+func BadNeverClosed(path string, data []byte) error {
+	f, err := os.Create(path) // want "f is opened here but never closed, flushed or handed off"
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	return err
+}
+
+// closeHelper closes its argument for the caller; the analyzer learns
+// this and credits call sites.
+func closeHelper(c io.Closer) error {
+	return c.Close()
+}
+
+// chainedHelper closes through another helper, exercising the call-graph
+// fixpoint.
+func chainedHelper(c io.Closer) error {
+	return closeHelper(c)
+}
+
+// GoodClosedByHelper hands the file to a closing helper.
+func GoodClosedByHelper(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return chainedHelper(f)
+}
+
+// GoodReturned transfers ownership to the caller.
+func GoodReturned(path string) (*os.File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// GoodConstructorClose closes a New*-acquired sink.
+func GoodConstructorClose(path string) error {
+	s, err := NewSink(path)
+	if err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+// BadConstructorLeak leaks a New*-acquired sink.
+func BadConstructorLeak(path string, data []byte) error {
+	s, err := NewSink(path) // want "s is opened here but never closed, flushed or handed off"
+	if err != nil {
+		return err
+	}
+	_, err = s.Write(data)
+	return err
+}
+
+// GoodMethodValue registers the closer for later shutdown.
+func GoodMethodValue(path string, closers *[]func() error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	*closers = append(*closers, f.Close)
+	return nil
+}

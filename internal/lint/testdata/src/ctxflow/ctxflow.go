@@ -1,0 +1,122 @@
+// Package ctxflowfix exercises the ctxflow analyzer: contexts flow down
+// from the CLI roots as parameters, and blocking constructs observe them.
+package ctxflowfix
+
+import (
+	"context"
+	"time"
+)
+
+// BadBackground manufactures a context below the CLI layer.
+func BadBackground() context.Context {
+	return context.Background() // want "context.Background below the CLI layer"
+}
+
+// BadTODO is the same smell with a different name.
+func BadTODO() context.Context {
+	return context.TODO() // want "context.TODO below the CLI layer"
+}
+
+// SuppressedBackground documents a deliberately detached lifetime.
+func SuppressedBackground() context.Context {
+	return context.Background() //vc2m:bgctx run outlives the submitting request by design
+}
+
+type badHolder struct {
+	ctx context.Context // want "struct field ctx stores a context.Context"
+}
+
+type goodConfig struct {
+	//vc2m:ctxfield optional root override, documented on Options
+	Context context.Context
+	Name    string // non-context fields are fine
+}
+
+// BadSelect blocks forever without observing any context.
+func BadSelect(done, other chan struct{}) {
+	select { // want "select without default never observes a context"
+	case <-done:
+	case <-other:
+	}
+}
+
+// GoodSelect has a cancellation case.
+func GoodSelect(ctx context.Context, done chan struct{}) {
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+}
+
+// GoodPollSelect is non-blocking thanks to default.
+func GoodPollSelect(done chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// BadChannelLoop pumps a channel forever with no way to stop it.
+func BadChannelLoop(in chan int) int {
+	total := 0
+	for { // want `channel loop \(for \{\.\.\.\}\) never observes a context`
+		total += <-in
+	}
+}
+
+// GoodChannelLoop checks cancellation each iteration.
+func GoodChannelLoop(ctx context.Context, in chan int) int {
+	total := 0
+	for {
+		select {
+		case v := <-in:
+			total += v
+		case <-ctx.Done():
+			return total
+		}
+	}
+}
+
+// GoodComputeLoop is an infinite loop with no channel operations: it
+// terminates through its own break and needs no context.
+func GoodComputeLoop(n int) int {
+	v := n
+	for {
+		if v <= 1 {
+			return v
+		}
+		v /= 2
+	}
+}
+
+// BadRangeChan drains a channel with no cancellation path.
+func BadRangeChan(in chan int) (total int) {
+	for v := range in { // want "range over channel never observes a context"
+		total += v
+	}
+	return total
+}
+
+// SuppressedRangeChan documents why draining to channel close is correct.
+func SuppressedRangeChan(in chan int) (total int) {
+	for v := range in { //vc2m:ctxfree producer closes the channel on shutdown
+		total += v
+	}
+	return total
+}
+
+// GoodRangeChanWithCtx mentions the context in the body.
+func GoodRangeChanWithCtx(ctx context.Context, in chan int) (total int) {
+	for v := range in {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += v
+	}
+	return total
+}
+
+// sleeper exists so the fixture uses time and stays realistic.
+func sleeper() { time.Sleep(0) }

@@ -1,0 +1,114 @@
+// Package guardedbyfix exercises the guardedby analyzer: fields annotated
+// //vc2m:guardedby <mu> must only be touched with the named mutex held.
+package guardedbyfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //vc2m:guardedby mu
+	//vc2m:guardedby mu
+	last  string
+	label string // unannotated: free to access
+}
+
+// Good locks around every access.
+func (c *counter) Good(v string) {
+	c.mu.Lock()
+	c.n++
+	c.last = v
+	c.mu.Unlock()
+	c.label = v
+}
+
+// GoodDefer holds the lock to the end of the function via defer.
+func (c *counter) GoodDefer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// GoodBranchUnlock unlocks only on the early-return path, so the
+// fall-through still holds the lock.
+func (c *counter) GoodBranchUnlock(v string) {
+	c.mu.Lock()
+	if v == "" {
+		c.mu.Unlock()
+		return
+	}
+	c.last = v
+	c.mu.Unlock()
+}
+
+// Bad reads and writes without the lock.
+func (c *counter) Bad(v string) int {
+	c.last = v // want "c.last is guarded by c.mu, which is not held here"
+	return c.n // want "c.n is guarded by c.mu, which is not held here"
+}
+
+// BadAfterUnlock releases too early.
+func (c *counter) BadAfterUnlock() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want "c.n is guarded by c.mu, which is not held here"
+}
+
+// BadClosure loses the lock inside a function literal, which may run on
+// another goroutine.
+func (c *counter) BadClosure() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // want "c.n is guarded by c.mu, which is not held here"
+	}
+}
+
+// GoodClosureLocksItself is the correct shape for escaping closures.
+func (c *counter) GoodClosureLocksItself() func() int {
+	return func() int {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.n
+	}
+}
+
+// bump requires the caller to hold c.mu.
+//
+//vc2m:locked mu
+func (c *counter) bump() {
+	c.n++
+}
+
+// GoodLockedCall holds the lock across the contracted call.
+func (c *counter) GoodLockedCall() {
+	c.mu.Lock()
+	c.bump()
+	c.mu.Unlock()
+}
+
+// BadLockedCall calls the //vc2m:locked method without the lock.
+func (c *counter) BadLockedCall() {
+	c.bump() // want "call to bump requires c.mu held"
+}
+
+// NewCounter fills fields before the value is published: fresh locals are
+// exempt.
+func NewCounter(label string) *counter {
+	c := &counter{label: label}
+	c.n = 1
+	c.last = "init"
+	return c
+}
+
+// Suppressed documents a deliberate unguarded read.
+func Suppressed(c *counter) int {
+	return c.n //vc2m:unguarded read-only snapshot for logs, staleness is fine
+}
+
+type badDecl struct {
+	mu sync.Mutex
+	//vc2m:guardedby missing
+	a int // want "not a field of this struct"
+	//vc2m:guardedby
+	b int // want "needs the mutex field name"
+}

@@ -1,0 +1,56 @@
+// Package stagedriftfix exercises the stagedrift analyzer. This package
+// doubles as the span-vocabulary source (Stage* constants, KnownStages)
+// and as a consumer with annotated stage-set literals.
+package stagedriftfix
+
+import prov "vc2m/internal/lint/testdata/src/stagedriftprov"
+
+// Span stages.
+const (
+	StageAlpha = "alpha"
+	StageBeta  = "beta"
+	StageGamma = "gamma"
+	StageDup   = "alpha" // want `span stage constant StageDup duplicates the value "alpha" of StageAlpha`
+)
+
+// KnownStages forgets StageGamma, and the golden fixture carries a line
+// that names no stage — both reported here.
+func KnownStages() []string { // want `KnownStages\(\) is missing span stage StageGamma` `golden testdata/stages.golden names "bogus-golden-line"`
+	return []string{StageAlpha, StageBeta}
+}
+
+// goodSpanSet covers every span stage.
+//
+//vc2m:stageset span
+var goodSpanSet = []string{StageAlpha, StageBeta, StageGamma}
+
+// badSpanSet drops two stages and invents one.
+//
+//vc2m:stageset span
+var badSpanSet = []string{StageAlpha, "bogus"} // want `"bogus" is not a span stage` `missing span stage "beta" \(StageBeta\)` `missing span stage "gamma" \(StageGamma\)`
+
+// goodSubset only has to stay inside the vocabulary.
+//
+//vc2m:stageset span-subset
+var goodSubset = []string{StageBeta}
+
+// badSubset names a stage that does not exist.
+//
+//vc2m:stageset span-subset
+var badSubset = []string{"nope"} // want `"nope" is not a span stage`
+
+// goodProvTable pairs provenance stages with kinds, recursed through the
+// nested struct literals.
+//
+//vc2m:stageset provenance-subset
+var goodProvTable = []struct{ stage, kind string }{
+	{prov.StageMap, prov.KindPlace},
+	{prov.StageDerive, prov.KindAccept},
+}
+
+// badProvTable smuggles in a value from neither vocabulary.
+//
+//vc2m:stageset provenance-subset
+var badProvTable = []struct{ stage, kind string }{
+	{prov.StageMap, "nope"}, // want `"nope" is not a provenance stage or kind`
+}

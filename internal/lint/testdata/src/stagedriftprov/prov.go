@@ -1,0 +1,16 @@
+// Package stagedriftprovfix is the provenance-vocabulary fixture for the
+// stagedrift analyzer: the decision stage and kind constants a consumer
+// package's annotated literals are checked against.
+package stagedriftprovfix
+
+// Decision stages.
+const (
+	StageMap    = "map"
+	StageDerive = "derive"
+)
+
+// Decision kinds.
+const (
+	KindPlace  = "place"
+	KindAccept = "accept"
+)

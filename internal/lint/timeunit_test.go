@@ -10,3 +10,116 @@ import (
 func TestTimeUnitGolden(t *testing.T) {
 	linttest.RunGolden(t, "testdata/src/timeunit", lint.TimeUnit)
 }
+
+// timeunitStub declares just enough of the blessed package for the
+// analyzer to resolve timeunit.Ticks inside a fixture module named vc2m.
+const timeunitStub = `package timeunit
+
+type Ticks int64
+
+func FromMillis(ms float64) Ticks  { return Ticks(ms * 1000) }
+func (t Ticks) Millis() float64    { return float64(t) / 1000 }
+`
+
+// TestTimeUnitTable exercises the three unit-mixing rules (float→Ticks,
+// Ticks→float, Ticks×Ticks) and their exemptions over fixture modules that
+// carry their own vc2m/internal/timeunit stub.
+func TestTimeUnitTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		src        string // body of package a, importing timeunit as tu
+		diags      int
+		suppressed int
+	}{
+		{
+			name: "float to Ticks conversion flagged",
+			src: `func f(ms float64) tu.Ticks {
+	return tu.Ticks(ms)
+}`,
+			diags: 1,
+		},
+		{
+			name: "FromMillis is the blessed crossing",
+			src: `func f(ms float64) tu.Ticks {
+	return tu.FromMillis(ms)
+}`,
+		},
+		{
+			name: "constant conversion exempt",
+			src: `func f() tu.Ticks {
+	return tu.Ticks(1000)
+}`,
+		},
+		{
+			name: "Ticks to float conversion flagged",
+			src: `func f(t tu.Ticks) float64 {
+	return float64(t)
+}`,
+			diags: 1,
+		},
+		{
+			name: "Millis is the blessed crossing back",
+			src: `func f(t tu.Ticks) float64 {
+	return t.Millis()
+}`,
+		},
+		{
+			name: "Ticks times Ticks flagged",
+			src: `func f(a, b tu.Ticks) tu.Ticks {
+	return a * b
+}`,
+			diags: 1,
+		},
+		{
+			name: "count entering a product as a conversion is exempt",
+			src: `func f(t tu.Ticks, n int) tu.Ticks {
+	return t * tu.Ticks(n)
+}`,
+		},
+		{
+			name: "count entering a product as a constant is exempt",
+			src: `func f(t tu.Ticks) tu.Ticks {
+	return t * 3
+}`,
+		},
+		{
+			name: "units directive suppresses a deliberate crossing",
+			src: `func f(t tu.Ticks) float64 {
+	return float64(t) //vc2m:units plotting code wants raw tick counts
+}`,
+			suppressed: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fx := linttest.Fixture{
+				Module: "vc2m",
+				Files: map[string]string{
+					"internal/timeunit/timeunit.go": timeunitStub,
+					"a/a.go":                        "package a\n\nimport tu \"vc2m/internal/timeunit\"\n\n" + tc.src + "\n",
+				},
+			}
+			res := linttest.Analyze(t, fx, lint.TimeUnit)
+			if got := len(res.Diagnostics); got != tc.diags {
+				t.Errorf("diagnostics = %d, want %d: %v", got, tc.diags, linttest.Messages(res.Diagnostics))
+			}
+			if got := len(res.Suppressed); got != tc.suppressed {
+				t.Errorf("suppressed = %d, want %d: %v", got, tc.suppressed, linttest.Messages(res.Suppressed))
+			}
+		})
+	}
+}
+
+// TestTimeUnitExemptInsideBlessedPackage pins the rule that package
+// timeunit itself — owner of the converters — is never flagged.
+func TestTimeUnitExemptInsideBlessedPackage(t *testing.T) {
+	fx := linttest.Fixture{
+		Module: "vc2m",
+		Files:  map[string]string{"internal/timeunit/timeunit.go": timeunitStub},
+	}
+	res := linttest.Analyze(t, fx, lint.TimeUnit)
+	if len(res.Diagnostics)+len(res.Suppressed) != 0 {
+		t.Errorf("blessed package flagged: %v %v",
+			linttest.Messages(res.Diagnostics), linttest.Messages(res.Suppressed))
+	}
+}

@@ -1,0 +1,117 @@
+package lintkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineSchema versions the committed baseline file. Bump on
+// incompatible format changes.
+const BaselineSchema = "vc2m.lint.baseline/v1"
+
+// BaselineEntry grandfathers known findings: up to Count diagnostics with
+// this exact (file, analyzer, message) triple are absorbed instead of
+// failing the run. Line numbers are deliberately not part of the key —
+// unrelated edits move findings around, and a baseline that rots on every
+// reflow is worse than none.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is the committed suppression baseline: the reviewed list of
+// pre-existing findings a lint run tolerates. New findings — anything not
+// in the baseline — still fail. The file is the audit trail for debt the
+// team has chosen to carry; in-source //vc2m: directives remain the right
+// tool for intentional, permanent exceptions.
+type Baseline struct {
+	Schema  string          `json:"schema"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+type baselineKey struct{ file, analyzer, message string }
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lintkit: baseline %s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("lintkit: baseline %s has schema %q, want %q", path, b.Schema, BaselineSchema)
+	}
+	return &b, nil
+}
+
+// NewBaseline captures the result's surviving diagnostics as a baseline,
+// with deterministic entry order.
+func NewBaseline(r *Result) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, d := range r.Diagnostics {
+		counts[baselineKey{d.File, d.Analyzer, d.Message}]++
+	}
+	b := &Baseline{Schema: BaselineSchema, Entries: []BaselineEntry{}}
+	for k, n := range counts { //vc2m:ordered entries are sorted below
+		b.Entries = append(b.Entries, BaselineEntry{File: k.file, Analyzer: k.analyzer, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Save writes the baseline as indented JSON.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline moves every baselined diagnostic from Diagnostics to
+// Baselined (first-come within each entry's count budget) and returns the
+// stale entries — baseline lines whose finding no longer exists, which
+// callers should surface so the file gets re-tightened.
+func (r *Result) ApplyBaseline(b *Baseline) (stale []BaselineEntry) {
+	budget := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		budget[baselineKey{e.File, e.Analyzer, e.Message}] += e.Count
+	}
+	var keep []Diagnostic
+	for _, d := range r.Diagnostics {
+		k := baselineKey{d.File, d.Analyzer, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			r.Baselined = append(r.Baselined, d)
+		} else {
+			keep = append(keep, d)
+		}
+	}
+	r.Diagnostics = keep
+	for _, e := range b.Entries {
+		if left := budget[baselineKey{e.File, e.Analyzer, e.Message}]; left > 0 {
+			se := e
+			se.Count = left
+			stale = append(stale, se)
+			budget[baselineKey{e.File, e.Analyzer, e.Message}] = 0
+		}
+	}
+	sortDiagnostics(r.Baselined)
+	return stale
+}

@@ -1,0 +1,106 @@
+package lintkit_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vc2m/internal/lintkit"
+)
+
+func diag(file, analyzer, msg string, line int) lintkit.Diagnostic {
+	return lintkit.Diagnostic{Analyzer: analyzer, File: file, Line: line, Col: 1, Message: msg}
+}
+
+func TestNewBaselineCountsAndSorts(t *testing.T) {
+	res := &lintkit.Result{Diagnostics: []lintkit.Diagnostic{
+		diag("b.go", "nondet", "msg-1", 10),
+		diag("a.go", "floateq", "msg-2", 5),
+		diag("b.go", "nondet", "msg-1", 30), // same key, second hit
+	}}
+	b := lintkit.NewBaseline(res)
+	want := []lintkit.BaselineEntry{
+		{File: "a.go", Analyzer: "floateq", Message: "msg-2", Count: 1},
+		{File: "b.go", Analyzer: "nondet", Message: "msg-1", Count: 2},
+	}
+	if !reflect.DeepEqual(b.Entries, want) {
+		t.Fatalf("entries = %+v, want %+v", b.Entries, want)
+	}
+	if b.Schema != lintkit.BaselineSchema {
+		t.Fatalf("schema = %q", b.Schema)
+	}
+}
+
+func TestBaselineSaveLoadRoundTrip(t *testing.T) {
+	b := &lintkit.Baseline{
+		Schema:  lintkit.BaselineSchema,
+		Entries: []lintkit.BaselineEntry{{File: "a.go", Analyzer: "nondet", Message: "m", Count: 3}},
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lintkit.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("round trip: got %+v, want %+v", got, b)
+	}
+}
+
+func TestLoadBaselineErrors(t *testing.T) {
+	if _, err := lintkit.LoadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lintkit.LoadBaseline(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	wrong := filepath.Join(dir, "wrong.json")
+	if err := os.WriteFile(wrong, []byte(`{"schema":"someone-else/v9","entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lintkit.LoadBaseline(wrong); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong schema: err = %v, want schema mismatch", err)
+	}
+}
+
+func TestApplyBaselineBudgetAndStale(t *testing.T) {
+	// Baseline carries 2 of msg-1 and 1 of a finding that no longer exists.
+	b := &lintkit.Baseline{Schema: lintkit.BaselineSchema, Entries: []lintkit.BaselineEntry{
+		{File: "a.go", Analyzer: "nondet", Message: "msg-1", Count: 2},
+		{File: "gone.go", Analyzer: "floateq", Message: "fixed long ago", Count: 1},
+	}}
+	// The tree now has 3 of msg-1: two are absorbed, the third must fail.
+	res := &lintkit.Result{Diagnostics: []lintkit.Diagnostic{
+		diag("a.go", "nondet", "msg-1", 1),
+		diag("a.go", "nondet", "msg-1", 2),
+		diag("a.go", "nondet", "msg-1", 3),
+	}}
+	stale := res.ApplyBaseline(b)
+	if len(res.Diagnostics) != 1 || res.Diagnostics[0].Line != 3 {
+		t.Fatalf("surviving diagnostics = %+v, want just the line-3 overflow", res.Diagnostics)
+	}
+	if len(res.Baselined) != 2 {
+		t.Fatalf("baselined = %d, want 2", len(res.Baselined))
+	}
+	wantStale := []lintkit.BaselineEntry{{File: "gone.go", Analyzer: "floateq", Message: "fixed long ago", Count: 1}}
+	if !reflect.DeepEqual(stale, wantStale) {
+		t.Fatalf("stale = %+v, want %+v", stale, wantStale)
+	}
+}
+
+func TestApplyBaselineEmptyBaseline(t *testing.T) {
+	res := &lintkit.Result{Diagnostics: []lintkit.Diagnostic{diag("a.go", "nondet", "m", 1)}}
+	stale := res.ApplyBaseline(&lintkit.Baseline{Schema: lintkit.BaselineSchema})
+	if len(stale) != 0 || len(res.Diagnostics) != 1 || len(res.Baselined) != 0 {
+		t.Fatalf("empty baseline changed the result: %+v stale %+v", res, stale)
+	}
+}

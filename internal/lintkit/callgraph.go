@@ -1,0 +1,120 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is the static intra-package call graph of one pass: which
+// declared functions and methods call which, resolved through the type
+// checker (so method calls resolve to their concrete *types.Func when the
+// receiver type is known). Dynamic dispatch through interfaces and
+// function values is not resolved — the graph is an under-approximation,
+// which is the right polarity for "does this call a function with
+// contract X" style checks backed by a suppression directive.
+type CallGraph struct {
+	callees map[*types.Func][]*types.Func
+	decls   map[*types.Func]*ast.FuncDecl
+}
+
+// BuildCallGraph walks every function declaration of the pass's package
+// and records its statically-resolvable calls, in source order.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		callees: map[*types.Func][]*types.Func{},
+		decls:   map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[fn] = fd
+			seen := map[*types.Func]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := CalleeFunc(pass, call); callee != nil && !seen[callee] {
+					seen[callee] = true
+					g.callees[fn] = append(g.callees[fn], callee)
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it statically
+// invokes, or nil for dynamic calls (function values, interface methods)
+// and conversions.
+func CalleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			// Interface method calls dispatch dynamically; only concrete
+			// receivers resolve statically.
+			if fn != nil {
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+					if _, isIface := recv.Type().Underlying().(*types.Interface); isIface {
+						return nil
+					}
+				}
+			}
+			return fn
+		}
+		// Package-qualified call (pkg.F).
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// Callees returns the distinct functions fn statically calls, in first-
+// call source order (nil when fn declares nothing or is unknown).
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func {
+	return g.callees[fn]
+}
+
+// Decl returns the AST declaration of a function declared in the graphed
+// package, or nil for imported functions.
+func (g *CallGraph) Decl(fn *types.Func) *ast.FuncDecl {
+	return g.decls[fn]
+}
+
+// Reaches reports whether from can reach to by following static calls
+// within the graphed package.
+func (g *CallGraph) Reaches(from, to *types.Func) bool {
+	seen := map[*types.Func]bool{}
+	var walk func(f *types.Func) bool
+	walk = func(f *types.Func) bool {
+		if f == to {
+			return true
+		}
+		if seen[f] {
+			return false
+		}
+		seen[f] = true
+		for _, c := range g.callees[f] {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}

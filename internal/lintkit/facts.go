@@ -1,0 +1,91 @@
+package lintkit
+
+import (
+	"go/types"
+	"sync"
+)
+
+// Facts is the cross-package fact store shared by one RunAnalyzers call.
+// An analyzer running on a dependency exports facts (about the package as
+// a whole, or about individual objects); the same analyzer running later
+// on a dependent imports them. RunAnalyzers orders packages
+// dependency-first, so by the time a package is analyzed every fact its
+// module-local imports can export is available.
+//
+// Facts are namespaced by analyzer: one analyzer never sees another's
+// facts, so fact types need no cross-analyzer coordination. The store is
+// mutex-protected for safety, though RunAnalyzers itself is serial.
+type Facts struct {
+	mu  sync.Mutex
+	pkg map[pkgFactKey]any
+	obj map[objFactKey]any
+}
+
+type pkgFactKey struct {
+	analyzer string
+	pkgPath  string
+	name     string
+}
+
+type objFactKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+// NewFacts returns an empty fact store. RunAnalyzers creates one per
+// invocation; tests that drive analyzers directly may share one across
+// hand-built passes.
+func NewFacts() *Facts {
+	return &Facts{pkg: map[pkgFactKey]any{}, obj: map[objFactKey]any{}}
+}
+
+// ExportPackageFact records a named fact about the pass's own package.
+func (p *Pass) ExportPackageFact(name string, v any) {
+	p.facts.setPkg(pkgFactKey{p.Analyzer.Name, p.Pkg.Path(), name}, v)
+}
+
+// PackageFact retrieves a named fact this analyzer exported about pkgPath
+// earlier in the run (typically while analyzing a dependency).
+func (p *Pass) PackageFact(pkgPath, name string) (any, bool) {
+	return p.facts.getPkg(pkgFactKey{p.Analyzer.Name, pkgPath, name})
+}
+
+// ExportObjectFact records a fact about a types.Object (usually a
+// function or field of the pass's package).
+func (p *Pass) ExportObjectFact(obj types.Object, v any) {
+	p.facts.setObj(objFactKey{p.Analyzer.Name, obj}, v)
+}
+
+// ObjectFact retrieves the fact this analyzer exported about obj, if any.
+// Objects of module-local imports are the same *types.Object values the
+// exporting pass saw, because the Loader memoizes packages; facts
+// therefore flow across package boundaries for free.
+func (p *Pass) ObjectFact(obj types.Object) (any, bool) {
+	return p.facts.getObj(objFactKey{p.Analyzer.Name, obj})
+}
+
+func (f *Facts) setPkg(k pkgFactKey, v any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pkg[k] = v
+}
+
+func (f *Facts) getPkg(k pkgFactKey) (any, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.pkg[k]
+	return v, ok
+}
+
+func (f *Facts) setObj(k objFactKey, v any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.obj[k] = v
+}
+
+func (f *Facts) getObj(k objFactKey) (any, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.obj[k]
+	return v, ok
+}

@@ -53,7 +53,16 @@ type Pass struct {
 	// Info holds the type-checker's fact tables (Types, Defs, Uses,
 	// Selections, Implicits) for the package.
 	Info *types.Info
+	// Dir is the absolute directory holding the package's sources, for
+	// analyzers that cross-check committed fixtures (stagedrift reads the
+	// span-stage golden next to the obs package).
+	Dir string
+	// Directives are every //vc2m: comment of the package's files, parsed
+	// with their arguments, for annotation-driven analyzers (guardedby,
+	// stagedrift). Suppression still goes through ReportSuppressible.
+	Directives []Directive
 
+	facts *Facts
 	diags *[]Diagnostic
 }
 
@@ -105,14 +114,22 @@ func (d Diagnostic) String() string {
 // DirectivePrefix introduces suppression comments: //vc2m:<word> [reason].
 const DirectivePrefix = "//vc2m:"
 
-// directiveIndex records which //vc2m: directive words appear on which
-// lines of which files.
-type directiveIndex map[string]map[int]map[string]bool // file -> line -> word set
+// Directive is one parsed //vc2m:<word> [args] comment.
+type Directive struct {
+	// File and Line position the comment.
+	File string
+	Line int
+	// Word is the directive name (e.g. "ordered", "guardedby").
+	Word string
+	// Args is everything after the word, trimmed — the named mutex for
+	// guardedby, the reason text for suppressions.
+	Args string
+}
 
-// buildDirectiveIndex scans every comment of the files for //vc2m:
-// directives.
-func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) directiveIndex {
-	idx := directiveIndex{}
+// ParseDirectives scans every comment of the files for //vc2m: directives
+// and returns them with their arguments, in encounter order.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -120,27 +137,41 @@ func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) directiveIndex 
 				if !ok {
 					continue
 				}
-				word := rest
+				word, args := rest, ""
 				if i := strings.IndexFunc(rest, func(r rune) bool { return r == ' ' || r == '\t' }); i >= 0 {
-					word = rest[:i]
+					word, args = rest[:i], strings.TrimSpace(rest[i+1:])
 				}
 				if word == "" {
 					continue
 				}
 				pos := fset.Position(c.Slash)
-				lines := idx[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					idx[pos.Filename] = lines
-				}
-				words := lines[pos.Line]
-				if words == nil {
-					words = map[string]bool{}
-					lines[pos.Line] = words
-				}
-				words[word] = true
+				out = append(out, Directive{File: pos.Filename, Line: pos.Line, Word: word, Args: args})
 			}
 		}
+	}
+	return out
+}
+
+// directiveIndex records which //vc2m: directive words appear on which
+// lines of which files.
+type directiveIndex map[string]map[int]map[string]bool // file -> line -> word set
+
+// buildDirectiveIndex arranges parsed directives for line-based
+// suppression lookup.
+func buildDirectiveIndex(dirs []Directive) directiveIndex {
+	idx := directiveIndex{}
+	for _, d := range dirs {
+		lines := idx[d.File]
+		if lines == nil {
+			lines = map[int]map[string]bool{}
+			idx[d.File] = lines
+		}
+		words := lines[d.Line]
+		if words == nil {
+			words = map[string]bool{}
+			lines[d.Line] = words
+		}
+		words[d.Word] = true
 	}
 	return idx
 }

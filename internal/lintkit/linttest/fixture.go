@@ -1,0 +1,82 @@
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vc2m/internal/lintkit"
+)
+
+// Fixture is a throwaway Go module assembled in a temp directory, for
+// analyzer tests that golden fixtures cannot express: directive misuse
+// (where a // want comment cannot share the line), multi-package facts,
+// test-file loading, and loader error paths.
+type Fixture struct {
+	// Module is the module path written to go.mod; "fixture" when empty.
+	// Tests that exercise path-keyed analyzer rules (timeunit's blessed
+	// package, stagedrift's configured vocabularies) pick the path those
+	// rules expect.
+	Module string
+	// Files maps module-relative paths ("a.go", "internal/x/x.go") to
+	// source text.
+	Files map[string]string
+	// IncludeTests loads _test.go files as their own compilation units,
+	// mirroring vc2m-lint's -tests flag.
+	IncludeTests bool
+}
+
+// Write materializes the fixture module under a fresh temp directory and
+// returns its root.
+func (fx Fixture) Write(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	mod := fx.Module
+	if mod == "" {
+		mod = "fixture"
+	}
+	files := map[string]string{"go.mod": "module " + mod + "\n\ngo 1.22\n"}
+	for name, src := range fx.Files { //vc2m:ordered map copy; destination is keyed
+		files[name] = src
+	}
+	for name, src := range files { //vc2m:ordered independent file writes; content is per-path
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("fixture: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatalf("fixture: %v", err)
+		}
+	}
+	return root
+}
+
+// Analyze writes the fixture, loads every package in it and runs the
+// analyzers, returning the result with file paths relativized to the
+// fixture root (so assertions can use the Files keys).
+func Analyze(t *testing.T, fx Fixture, analyzers ...*lintkit.Analyzer) *lintkit.Result {
+	t.Helper()
+	root := fx.Write(t)
+	loader, err := lintkit.NewLoader(root)
+	if err != nil {
+		t.Fatalf("fixture loader: %v", err)
+	}
+	loader.IncludeTests = fx.IncludeTests
+	pkgs, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("fixture load: %v", err)
+	}
+	res := lintkit.RunAnalyzers(pkgs, analyzers)
+	res.RelativizeFiles(root)
+	return res
+}
+
+// Messages flattens a diagnostic slice to "file:line: message [analyzer]"
+// strings for order-insensitive assertions.
+func Messages(ds []lintkit.Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
+	}
+	return out
+}

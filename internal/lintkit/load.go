@@ -16,7 +16,9 @@ import (
 
 // Package is one loaded, type-checked package.
 type Package struct {
-	// Path is the package's import path within the module.
+	// Path identifies the compilation unit: the package's import path
+	// within the module, decorated with " [tests]" for the test-augmented
+	// variant (Types.Path() stays the plain import path there).
 	Path string
 	// Dir is the absolute directory holding the package's sources.
 	Dir   string
@@ -24,6 +26,17 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// DiagFiles, when non-nil, restricts which files' diagnostics are
+	// reported for this unit. The test-augmented variant of a package
+	// re-checks the non-test sources it shares with the base unit; only
+	// its test files' findings are reported, so nothing appears twice.
+	DiagFiles map[string]bool
+}
+
+// wantDiagnostic reports whether a diagnostic in file should be reported
+// for this unit.
+func (p *Package) wantDiagnostic(file string) bool {
+	return p.DiagFiles == nil || p.DiagFiles[file]
 }
 
 // Loader parses and type-checks packages of the enclosing Go module from
@@ -41,11 +54,21 @@ type Loader struct {
 	rootDir    string // absolute module root (directory of go.mod)
 	modulePath string
 
+	// IncludeTests additionally loads each matched directory's _test.go
+	// files as their own compilation units: the package re-checked with
+	// its in-package test files (diagnostics restricted to the test
+	// files), and the external <pkg>_test package when one exists. Set it
+	// before Load; the memoized import graph always stays test-free.
+	IncludeTests bool
+
 	mu       sync.Mutex
 	fset     *token.FileSet
 	fallback types.ImporterFrom
-	pkgs     map[string]*Package // by import path
-	loading  map[string]bool     // cycle detection
+	// pkgs memoizes loaded packages by import path; loading detects
+	// import cycles. Both are touched only with mu held (load and
+	// importFrom are re-entrant from the type checker under that lock).
+	pkgs    map[string]*Package
+	loading map[string]bool
 }
 
 // NewLoader returns a Loader for the module enclosing dir (found by
@@ -126,8 +149,71 @@ func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
 			return nil, err
 		}
 		pkgs = append(pkgs, p)
+		if l.IncludeTests {
+			tps, err := l.loadTests(p)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, tps...)
+		}
 	}
 	return pkgs, nil
+}
+
+// loadTests builds the test compilation units of base's directory: the
+// package re-checked with its in-package _test.go files, and the external
+// <pkg>_test package. Neither is memoized — the import graph other
+// packages see stays test-free.
+func (l *Loader) loadTests(base *Package) ([]*Package, error) {
+	names, err := testGoFileNames(base.Dir)
+	if err != nil || len(names) == 0 {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var inPkg, external []*ast.File
+	for _, name := range names {
+		f, perr := parser.ParseFile(l.fset, filepath.Join(base.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, perr
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			external = append(external, f)
+		} else {
+			inPkg = append(inPkg, f)
+		}
+	}
+	var out []*Package
+	if len(inPkg) > 0 {
+		files := append(append([]*ast.File(nil), base.Files...), inPkg...)
+		diag := map[string]bool{}
+		for _, f := range inPkg {
+			diag[l.fset.Position(f.Pos()).Filename] = true
+		}
+		p, err := l.check(base.Types.Path(), base.Dir, files, l)
+		if err != nil {
+			return nil, err
+		}
+		p.Path = base.Path + " [tests]"
+		p.DiagFiles = diag
+		out = append(out, p)
+	}
+	if len(external) > 0 {
+		// External tests import the memoized base package, NOT the
+		// test-augmented variant: the rest of the import graph was checked
+		// against the base package, and an external test that also imports
+		// a sibling (workload.Config holding a model.Platform, say) must
+		// see one type identity on both paths of that diamond. The cost is
+		// that an external test cannot reference identifiers declared only
+		// in in-package test files — a pattern this module does not use.
+		p, err := l.check(base.Types.Path()+"_test", base.Dir, external, l)
+		if err != nil {
+			return nil, err
+		}
+		p.Path = base.Path + "_test"
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 // expand turns CLI-style patterns into a sorted list of absolute package
@@ -214,6 +300,24 @@ func goFileNames(dir string) ([]string, error) {
 	return names, nil
 }
 
+// testGoFileNames lists dir's _test.go sources in sorted order.
+func testGoFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
 // importPathOf maps an absolute directory inside the module to its import
 // path.
 func (l *Loader) importPathOf(dir string) (string, error) {
@@ -227,16 +331,29 @@ func (l *Loader) importPathOf(dir string) (string, error) {
 	return l.modulePath + "/" + filepath.ToSlash(rel), nil
 }
 
-// Import implements types.Importer.
+// Import implements types.Importer for external callers; it takes the
+// loader lock itself (the type checker goes through ImportFrom instead,
+// which runs under the lock load's caller already holds).
 func (l *Loader) Import(path string) (*types.Package, error) {
-	return l.ImportFrom(path, l.rootDir, 0)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.importFrom(path, l.rootDir, 0)
 }
 
-// ImportFrom implements types.ImporterFrom: module-local packages load
-// from source through this Loader, everything else (the standard library)
-// through the go/importer source importer. The caller must hold l.mu; the
-// type checker only calls this re-entrantly from within load.
+// ImportFrom implements types.ImporterFrom. The type checker only calls
+// it re-entrantly from within check, whose caller holds l.mu.
+//
+//vc2m:locked mu the type checker calls this under the lock check's caller holds
 func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	return l.importFrom(path, srcDir, mode)
+}
+
+// importFrom resolves one import: module-local packages load from source
+// through this Loader, everything else (the standard library) through the
+// go/importer source importer. The caller must hold l.mu.
+//
+//vc2m:locked mu
+func (l *Loader) importFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
@@ -252,6 +369,8 @@ func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.
 
 // load parses and type-checks the module-local package with the given
 // import path, memoized. The caller must hold l.mu.
+//
+//vc2m:locked mu
 func (l *Loader) load(importPath string) (*Package, error) {
 	if p, ok := l.pkgs[importPath]; ok {
 		return p, nil
@@ -283,6 +402,20 @@ func (l *Loader) load(importPath string) (*Package, error) {
 		files = append(files, f)
 	}
 
+	p, err := l.check(importPath, dir, files, l)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// check type-checks files as one compilation unit under the given
+// importer. The caller must hold l.mu (the checker re-enters the loader
+// through imp).
+//
+//vc2m:locked mu
+func (l *Loader) check(importPath, dir string, files []*ast.File, imp types.ImporterFrom) (*Package, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -292,7 +425,7 @@ func (l *Loader) load(importPath string) (*Package, error) {
 	}
 	var typeErrs []error
 	conf := types.Config{
-		Importer: l,
+		Importer: imp,
 		Error:    func(err error) { typeErrs = append(typeErrs, err) },
 	}
 	tpkg, err := conf.Check(importPath, l.fset, files, info)
@@ -303,14 +436,12 @@ func (l *Loader) load(importPath string) (*Package, error) {
 		return nil, fmt.Errorf("lintkit: type-checking %s: %w", importPath, err)
 	}
 
-	p := &Package{
+	return &Package{
 		Path:  importPath,
 		Dir:   dir,
 		Fset:  l.fset,
 		Files: files,
 		Types: tpkg,
 		Info:  info,
-	}
-	l.pkgs[importPath] = p
-	return p, nil
+	}, nil
 }

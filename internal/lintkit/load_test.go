@@ -1,0 +1,196 @@
+package lintkit_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vc2m/internal/lintkit"
+)
+
+// writeModule materializes files (path -> source) under a temp dir with a
+// go.mod for module path mod, returning the root.
+func writeModule(t *testing.T, mod string, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	all := map[string]string{"go.mod": "module " + mod + "\n\ngo 1.22\n"}
+	for name, src := range files { //vc2m:ordered map copy; destination is keyed
+		all[name] = src
+	}
+	for name, src := range all { //vc2m:ordered independent file writes; content is per-path
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestNewLoaderNoModuleRoot(t *testing.T) {
+	_, err := lintkit.NewLoader(t.TempDir())
+	if err == nil || !strings.Contains(err.Error(), "no go.mod") {
+		t.Fatalf("err = %v, want a no-go.mod error", err)
+	}
+}
+
+func TestNewLoaderNoModuleDirective(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("go 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := lintkit.NewLoader(root)
+	if err == nil || !strings.Contains(err.Error(), "module directive") {
+		t.Fatalf("err = %v, want a missing-module-directive error", err)
+	}
+}
+
+func TestLoadParseError(t *testing.T) {
+	root := writeModule(t, "m", map[string]string{
+		"a/a.go": "package a\n\nfunc broken( {\n",
+	})
+	loader, err := lintkit.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load(root, "./..."); err == nil {
+		t.Fatal("Load accepted a package with a syntax error")
+	}
+}
+
+func TestLoadTypeError(t *testing.T) {
+	root := writeModule(t, "m", map[string]string{
+		"a/a.go": "package a\n\nfunc f() { undefined() }\n",
+	})
+	loader, err := lintkit.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.Load(root, "./...")
+	if err == nil || !strings.Contains(err.Error(), "type errors in m/a") {
+		t.Fatalf("err = %v, want a type-errors-in-m/a error", err)
+	}
+}
+
+func TestLoadImportCycle(t *testing.T) {
+	root := writeModule(t, "m", map[string]string{
+		"a/a.go": "package a\n\nimport \"m/b\"\n\nvar X = b.Y\n",
+		"b/b.go": "package b\n\nimport \"m/a\"\n\nvar Y = a.X\n",
+	})
+	loader, err := lintkit.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.Load(root, "./...")
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v, want an import-cycle error", err)
+	}
+}
+
+func TestLoadLiteralPatternNeedsGoFiles(t *testing.T) {
+	root := writeModule(t, "m", map[string]string{
+		"sub/README": "no Go sources here\n",
+	})
+	loader, err := lintkit.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.Load(root, "sub")
+	if err == nil || !strings.Contains(err.Error(), "no non-test Go files") {
+		t.Fatalf("err = %v, want a no-Go-files error", err)
+	}
+}
+
+func TestLoadWildcardSkipsToolDirs(t *testing.T) {
+	root := writeModule(t, "m", map[string]string{
+		"a/a.go":          "package a\n",
+		"testdata/x/x.go": "package x\n\nfunc broken( {\n", // never parsed
+		"_wip/y.go":       "package y\n\nfunc broken( {\n",
+		".hidden/z.go":    "package z\n\nfunc broken( {\n",
+	})
+	loader, err := lintkit.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "m/a" {
+		t.Fatalf("loaded %d packages, want just m/a", len(pkgs))
+	}
+}
+
+func TestLoadOutsideModule(t *testing.T) {
+	root := writeModule(t, "m", map[string]string{"a/a.go": "package a\n"})
+	loader, err := lintkit.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := writeModule(t, "other", map[string]string{"b/b.go": "package b\n"})
+	if _, err := loader.Load(other, "b"); err == nil {
+		t.Fatal("Load resolved a directory outside the loader's module")
+	}
+}
+
+func TestIncludeTestsUnits(t *testing.T) {
+	root := writeModule(t, "m", map[string]string{
+		"a/a.go":          "package a\n\nfunc F() int { return 1 }\n",
+		"a/a_test.go":     "package a\n\nimport \"testing\"\n\nfunc TestF(t *testing.T) { _ = F() }\n",
+		"a/a_ext_test.go": "package a_test\n\nimport (\n\t\"testing\"\n\n\t\"m/a\"\n)\n\nfunc TestExt(t *testing.T) { _ = a.F() }\n",
+	})
+	loader, err := lintkit.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.IncludeTests = true
+	pkgs, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	want := []string{"m/a", "m/a [tests]", "m/a_test"}
+	if strings.Join(paths, ",") != strings.Join(want, ",") {
+		t.Fatalf("units = %v, want %v", paths, want)
+	}
+	// The test-augmented unit re-checks a.go but must report only on the
+	// test file, so nothing appears twice across units.
+	aug := pkgs[1]
+	if aug.DiagFiles == nil || len(aug.DiagFiles) != 1 {
+		t.Fatalf("augmented unit DiagFiles = %v, want exactly the test file", aug.DiagFiles)
+	}
+	for f := range aug.DiagFiles { //vc2m:ordered single-entry map, asserted above
+		if !strings.HasSuffix(f, "a_test.go") {
+			t.Fatalf("DiagFiles holds %s, want a_test.go", f)
+		}
+	}
+}
+
+// TestExternalTestImportDiamond pins the type-identity fix for external
+// test packages: the external test imports both the package under test and
+// a sibling that also imports it. Both import paths must resolve to the
+// same *types.Package, or the fixture below fails to type-check (a T
+// reaching b.S.F via two "different" types).
+func TestExternalTestImportDiamond(t *testing.T) {
+	root := writeModule(t, "m", map[string]string{
+		"a/a.go":      "package a\n\ntype T struct{ N int }\n\nvar V = T{N: 1}\n",
+		"a/a_test.go": "package a\n\nvar helper = V\n", // forces the augmented unit to exist
+		"b/b.go":      "package b\n\nimport \"m/a\"\n\ntype S struct{ F a.T }\n",
+		"a/ext_test.go": "package a_test\n\nimport (\n\t\"testing\"\n\n\t\"m/a\"\n\t\"m/b\"\n)\n\n" +
+			"func TestDiamond(t *testing.T) { _ = b.S{F: a.V} }\n",
+	})
+	loader, err := lintkit.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.IncludeTests = true
+	if _, err := loader.Load(root, "./..."); err != nil {
+		t.Fatalf("diamond fixture failed to load: %v", err)
+	}
+}

@@ -16,27 +16,41 @@ type Result struct {
 	// Suppressed are the findings silenced by //vc2m: directives, in the
 	// same order. They are kept so tooling can audit the escape hatch.
 	Suppressed []Diagnostic
+	// Baselined are the findings absorbed by an ApplyBaseline call —
+	// known debt that does not fail the run but stays visible in JSON
+	// and SARIF output.
+	Baselined []Diagnostic
 }
 
-// RunAnalyzers executes every analyzer over every package, applies the
-// //vc2m: suppression directives, and returns the sorted results.
+// RunAnalyzers executes every analyzer over every package — ordered
+// dependency-first so cross-package facts flow from imports to importers
+// — applies the //vc2m: suppression directives, and returns the sorted
+// results.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) *Result {
 	res := &Result{}
-	for _, pkg := range pkgs {
+	facts := NewFacts()
+	for _, pkg := range sortPackagesByDeps(pkgs) {
 		var diags []Diagnostic
+		directives := ParseDirectives(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
 			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &diags,
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				Dir:        pkg.Dir,
+				Directives: directives,
+				facts:      facts,
+				diags:      &diags,
 			}
 			a.Run(pass)
 		}
-		idx := buildDirectiveIndex(pkg.Fset, pkg.Files)
+		idx := buildDirectiveIndex(directives)
 		for _, d := range diags {
+			if !pkg.wantDiagnostic(d.File) {
+				continue
+			}
 			if idx.suppressed(d) {
 				res.Suppressed = append(res.Suppressed, d)
 			} else {
@@ -47,6 +61,37 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) *Result {
 	sortDiagnostics(res.Diagnostics)
 	sortDiagnostics(res.Suppressed)
 	return res
+}
+
+// sortPackagesByDeps orders the packages so every package appears after
+// the analyzed packages it imports (directly or transitively) — the
+// order cross-package facts require. Ties keep the incoming (sorted)
+// order, so the result is deterministic.
+func sortPackagesByDeps(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	out := make([]*Package, 0, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p.Path] != 0 {
+			return // done, or a cycle (impossible in valid Go) — skip
+		}
+		state[p.Path] = 1
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		state[p.Path] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }
 
 func sortDiagnostics(ds []Diagnostic) {
@@ -80,6 +125,7 @@ func (r *Result) RelativizeFiles(dir string) {
 	}
 	rel(r.Diagnostics)
 	rel(r.Suppressed)
+	rel(r.Baselined)
 }
 
 // WriteText renders the diagnostics one per line, compiler style, followed
@@ -90,22 +136,27 @@ func (r *Result) WriteText(w io.Writer) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "vc2m-lint: %d diagnostic(s), %d suppressed\n",
-		len(r.Diagnostics), len(r.Suppressed))
+	_, err := fmt.Fprintf(w, "vc2m-lint: %d diagnostic(s), %d suppressed, %d baselined\n",
+		len(r.Diagnostics), len(r.Suppressed), len(r.Baselined))
 	return err
 }
 
-// jsonResult fixes the JSON shape of a Result: diagnostics plus the count
-// of directive-suppressed findings.
+// jsonResult fixes the JSON shape of a Result: diagnostics plus the counts
+// of directive-suppressed and baselined findings.
 type jsonResult struct {
 	Diagnostics []Diagnostic `json:"diagnostics"`
 	Suppressed  int          `json:"suppressed"`
+	Baselined   int          `json:"baselined"`
 }
 
 // WriteJSON renders the result as a single JSON object. Diagnostics is
 // always an array (never null) so consumers can index it unconditionally.
 func (r *Result) WriteJSON(w io.Writer) error {
-	out := jsonResult{Diagnostics: r.Diagnostics, Suppressed: len(r.Suppressed)}
+	out := jsonResult{
+		Diagnostics: r.Diagnostics,
+		Suppressed:  len(r.Suppressed),
+		Baselined:   len(r.Baselined),
+	}
 	if out.Diagnostics == nil {
 		out.Diagnostics = []Diagnostic{}
 	}

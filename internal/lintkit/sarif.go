@@ -1,0 +1,121 @@
+package lintkit
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// SARIF v2.1.0 output, the interchange format CI systems and code hosts
+// ingest for static-analysis results. Only the fields consumers actually
+// read are emitted: the tool driver with one reportingDescriptor per
+// analyzer, and one result per diagnostic with a physical location.
+// Directive-suppressed findings are omitted (they are intentional, with
+// in-source reasons); baselined findings are included but marked with a
+// SARIF suppression so viewers show them as known debt, not new failures.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// WriteSARIF renders the result as a SARIF v2.1.0 log. The analyzers
+// parameter supplies the rule metadata; analyzers that reported nothing
+// still appear as rules, so consumers know the full check set that ran.
+func (r *Result) WriteSARIF(w io.Writer, analyzers []*Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(r.Diagnostics)+len(r.Baselined))
+	for _, d := range r.Diagnostics {
+		results = append(results, sarifResultOf(d, nil))
+	}
+	for _, d := range r.Baselined {
+		results = append(results, sarifResultOf(d, []sarifSuppression{
+			{Kind: "external", Justification: "grandfathered by the committed vc2m-lint baseline"},
+		}))
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/sarif-schema-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "vc2m-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+func sarifResultOf(d Diagnostic, sup []sarifSuppression) sarifResult {
+	return sarifResult{
+		RuleID:  d.Analyzer,
+		Level:   "error",
+		Message: sarifMessage{Text: d.Message},
+		Locations: []sarifLocation{{
+			PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(d.File)},
+				Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+			},
+		}},
+		Suppressions: sup,
+	}
+}

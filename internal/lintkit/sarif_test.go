@@ -1,0 +1,91 @@
+package lintkit_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"vc2m/internal/lintkit"
+)
+
+// TestWriteSARIF pins the subset of SARIF v2.1.0 the writer emits: tool
+// rules for every analyzer that ran (reported or not), error-level results
+// with physical locations, and external suppressions on baselined
+// findings. Directive-suppressed findings never appear.
+func TestWriteSARIF(t *testing.T) {
+	res := &lintkit.Result{
+		Diagnostics: []lintkit.Diagnostic{diag("pkg/a.go", "nondet", "live finding", 7)},
+		Suppressed:  []lintkit.Diagnostic{diag("pkg/a.go", "nondet", "directive-silenced", 9)},
+		Baselined:   []lintkit.Diagnostic{diag("pkg/b.go", "floateq", "known debt", 3)},
+	}
+	analyzers := []*lintkit.Analyzer{
+		{Name: "nondet", Doc: "determinism"},
+		{Name: "floateq", Doc: "float compares"},
+		{Name: "quiet", Doc: "ran but found nothing"},
+	}
+	var buf bytes.Buffer
+	if err := res.WriteSARIF(&buf, analyzers); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				Suppressions []struct {
+					Kind string `json:"kind"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || log.Schema == "" {
+		t.Fatalf("version = %q, $schema = %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "vc2m-lint" || len(run.Tool.Driver.Rules) != 3 {
+		t.Fatalf("driver %q with %d rules, want vc2m-lint with 3", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want live + baselined only", len(run.Results))
+	}
+	live, debt := run.Results[0], run.Results[1]
+	if live.RuleID != "nondet" || live.Level != "error" || len(live.Suppressions) != 0 {
+		t.Errorf("live result: %+v", live)
+	}
+	loc := live.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "pkg/a.go" || loc.Region.StartLine != 7 || loc.Region.StartColumn != 1 {
+		t.Errorf("live location: %+v", loc)
+	}
+	if debt.RuleID != "floateq" || len(debt.Suppressions) != 1 || debt.Suppressions[0].Kind != "external" {
+		t.Errorf("baselined result: %+v", debt)
+	}
+}

@@ -113,7 +113,7 @@ func (l *Logger) LogSlow(tr *Trace, runID string, elapsed, threshold time.Durati
 		slog.Duration("threshold", threshold),
 	}
 	attrs = append(attrs, tr.BreakdownAttrs()...)
-	l.LogAttrs(context.Background(), slog.LevelWarn, "slow run", attrs...)
+	l.LogAttrs(context.Background(), slog.LevelWarn, "slow run", attrs...) //vc2m:bgctx slog demands a context; the logging hooks carry none and never block
 	return true
 }
 

@@ -32,9 +32,11 @@ func DefLatencyBuckets() []float64 {
 // or duplicate names (programmer error, caught at startup); observation
 // methods are cheap and safe for concurrent use.
 type PromRegistry struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	//vc2m:guardedby mu
 	families map[string]*metricFamily
-	order    []string // registration order, re-sorted at exposition time
+	//vc2m:guardedby mu
+	order []string // registration order, re-sorted at exposition time
 }
 
 // NewPromRegistry returns an empty registry.
@@ -49,9 +51,12 @@ type metricFamily struct {
 	labelNames []string
 	buckets    []float64 // histograms only; sorted ascending, no +Inf
 
-	mu       sync.Mutex
-	series   map[string]*series // key: joined escaped label values
-	keys     []string
+	mu sync.Mutex
+	//vc2m:guardedby mu
+	series map[string]*series // key: joined escaped label values
+	//vc2m:guardedby mu
+	keys []string
+	//vc2m:guardedby mu
 	gaugeFns []func() float64 // gauge callbacks (unlabeled)
 }
 

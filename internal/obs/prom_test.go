@@ -150,7 +150,7 @@ func TestPromHandlerContentType(t *testing.T) {
 	if err != nil {
 		t.Fatalf("GET: %v", err)
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //vc2m:closeflush response body close errors are uninformative by contract
 	if got := resp.Header.Get("Content-Type"); got != PromContentType {
 		t.Fatalf("Content-Type = %q", got)
 	}
@@ -169,7 +169,7 @@ func TestPromConcurrentScrapeRace(t *testing.T) {
 		wg.Add(1)
 		go func(id string) {
 			defer wg.Done()
-			for {
+			for { //vc2m:ctxfree scrape hammer; the stop channel bounds it
 				select {
 				case <-stop:
 					return

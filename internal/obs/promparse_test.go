@@ -71,7 +71,7 @@ vc2m_x hello
 vc2m_x{__meta="x"} 1
 `,
 	}
-	for name, doc := range cases {
+	for name, doc := range cases { //vc2m:ordered test-case map; order only affects error interleaving
 		if _, err := ParseExposition(strings.NewReader(doc)); err == nil {
 			t.Errorf("%s: parse accepted malformed document", name)
 		}
@@ -116,7 +116,7 @@ vc2m_h_sum 1
 vc2m_h_count 2
 `,
 	}
-	for name, doc := range cases {
+	for name, doc := range cases { //vc2m:ordered test-case map; order only affects error interleaving
 		if _, err := ValidateExposition(strings.NewReader(doc)); err == nil {
 			t.Errorf("%s: validation accepted bad histogram", name)
 		}

@@ -29,7 +29,7 @@ func TestPromScrapeLive(t *testing.T) {
 	if err != nil {
 		t.Fatalf("scrape %s: %v", url, err)
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //vc2m:closeflush response body close errors are uninformative by contract
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("scrape %s: status %d", url, resp.StatusCode)
 	}
@@ -90,7 +90,7 @@ func TestSpanGoldenStages(t *testing.T) {
 	if err != nil {
 		t.Fatalf("open span export: %v", err)
 	}
-	defer f.Close()
+	defer f.Close() //vc2m:closeflush read-only handle; the close error carries no data
 	stages, err := ReadChromeStages(f)
 	if err != nil {
 		t.Fatalf("decode span export: %v", err)

@@ -13,7 +13,8 @@ import (
 // pointer comparison per site. A Trace may be shared by goroutines (a
 // parallel sweep's point spans); span registration is mutex-protected.
 type Trace struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	//vc2m:guardedby mu
 	spans []*Span
 }
 
@@ -100,9 +101,12 @@ type Span struct {
 	name   string
 	start  time.Time
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	//vc2m:guardedby mu
 	attrs []Attr
-	end   time.Time
+	//vc2m:guardedby mu
+	end time.Time
+	//vc2m:guardedby mu
 	ended bool
 }
 

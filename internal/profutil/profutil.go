@@ -27,7 +27,7 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("profutil: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
-			cpuFile.Close()
+			_ = cpuFile.Close()
 			return nil, fmt.Errorf("profutil: start cpu profile: %w", err)
 		}
 	}
@@ -43,10 +43,13 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			if err != nil {
 				return fmt.Errorf("profutil: %w", err)
 			}
-			defer f.Close()
 			runtime.GC() // materialize up-to-date allocation statistics
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				_ = f.Close()
 				return fmt.Errorf("profutil: write heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("profutil: close heap profile: %w", err)
 			}
 		}
 		return nil

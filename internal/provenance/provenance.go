@@ -145,9 +145,11 @@ type Sink interface {
 // goroutines; all methods are mutex-protected, but deterministic streams
 // require recording from deterministic (serial) control flow.
 type Recorder struct {
-	mu        sync.Mutex
+	mu sync.Mutex
+	//vc2m:guardedby mu
 	decisions []Decision
-	sink      Sink
+	//vc2m:guardedby mu
+	sink Sink
 }
 
 // New returns an empty, enabled recorder.

@@ -22,6 +22,37 @@ type serverObs struct {
 	httpm     *obs.HTTPMetrics
 }
 
+// stageLatStages lists every span stage preregistered on the per-stage
+// latency histogram. The stagedrift analyzer holds this list equal to the
+// obs package's span-stage constant set, so a new pipeline stage cannot
+// ship without its histogram series — and a deleted line here fails lint
+// naming the missing stage.
+//
+//vc2m:stageset span
+var stageLatStages = []string{
+	obs.StageRun,
+	obs.StageVMLevel,
+	obs.StageCSADerive,
+	obs.StageHyper,
+	obs.StagePhase1,
+	obs.StagePhase2,
+	obs.StagePhase3,
+	obs.StageHypersim,
+	obs.StageSweepPoint,
+}
+
+// decisionPrereg lists the provenance (stage, kind) series preregistered
+// on the decision counter — one exemplar kind per pipeline stage the
+// dashboards key on. stagedrift checks every string stays inside the
+// provenance vocabulary.
+//
+//vc2m:stageset provenance-subset
+var decisionPrereg = []struct{ stage, kind string }{
+	{provenance.StageVMLevel, provenance.KindMap},
+	{provenance.StageCSA, provenance.KindInterface},
+	{provenance.StageHyper, provenance.KindAttempt},
+}
+
 // newServerObs registers the service's metric families. Gauges that track
 // pool state are sampled at scrape time via closures over s, so they need
 // no bookkeeping on the hot path.
@@ -47,10 +78,10 @@ func newServerObs(s *Server) *serverObs {
 	for _, st := range []State{StateDone, StateFailed, StateCanceled} {
 		o.runs.Preregister(string(st))
 	}
-	o.decisions.Preregister(provenance.StageVMLevel, provenance.KindMap)
-	o.decisions.Preregister(provenance.StageCSA, provenance.KindInterface)
-	o.decisions.Preregister(provenance.StageHyper, provenance.KindAttempt)
-	for _, stage := range obs.KnownStages() {
+	for _, dp := range decisionPrereg {
+		o.decisions.Preregister(dp.stage, dp.kind)
+	}
+	for _, stage := range stageLatStages {
 		o.stageLat.Preregister(stage)
 	}
 

@@ -44,15 +44,20 @@ type Run struct {
 
 	// execCtx is the context workers execute the run under; cancel
 	// aborts it (explicit cancel endpoint or hard shutdown). Both are
-	// set by Server.Submit before the run is enqueued.
+	// armed by Registry.Add, so they are never nil on a visible run.
+	//vc2m:ctxfield run execution deliberately outlives the submitting HTTP request
 	execCtx context.Context
 	cancel  context.CancelFunc
 	done    chan struct{}
 
-	mu      sync.Mutex
-	state   State
-	errMsg  string
-	doc     *report.Document
+	mu sync.Mutex
+	//vc2m:guardedby mu
+	state State
+	//vc2m:guardedby mu
+	errMsg string
+	//vc2m:guardedby mu
+	doc *report.Document
+	//vc2m:guardedby mu
 	docJSON []byte
 }
 
@@ -126,15 +131,20 @@ func (r *Run) finish(state State, doc *report.Document, docJSON []byte, errMsg s
 // deterministic, like every identifier this repository mints, so two
 // identically-scripted sessions produce identical registries.
 type Registry struct {
-	mu    sync.Mutex
-	next  int
-	runs  map[string]*Run
+	mu sync.Mutex
+	//vc2m:guardedby mu
+	next int
+	//vc2m:guardedby mu
+	runs map[string]*Run
+	//vc2m:guardedby mu
 	order []string
 
 	// decisions, when non-nil, counts every recorded provenance decision
-	// by stage and kind (vc2m_decisions_total). Set once by Server.New
-	// before any Add; the counter is chained ahead of the run's pubSub
-	// broadcaster so streamers still wake on every decision.
+	// by stage and kind (vc2m_decisions_total). Set once via
+	// SetDecisionCounter before any Add; the counter is chained ahead of
+	// the run's pubSub broadcaster so streamers still wake on every
+	// decision.
+	//vc2m:guardedby mu
 	decisions *obs.Counter
 }
 
@@ -143,10 +153,19 @@ func NewRegistry() *Registry {
 	return &Registry{runs: make(map[string]*Run)}
 }
 
+// SetDecisionCounter installs the decision counter. Call it once, before
+// any Add — later runs would otherwise race the sink chain construction.
+func (g *Registry) SetDecisionCounter(c *obs.Counter) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.decisions = c
+}
+
 // Add registers a new pending run for the request and returns it. The
-// caller (Server.Submit) arms the run's execution context before
-// enqueueing it.
-func (g *Registry) Add(req SubmitRequest) *Run {
+// execution context and its cancel func are part of the run from the
+// moment it becomes visible, so a concurrent cancel endpoint can never
+// observe a half-armed run.
+func (g *Registry) Add(req SubmitRequest, execCtx context.Context, cancel context.CancelFunc) *Run {
 	pub := newPubSub()
 	kind := req.Kind
 	if kind == "" {
@@ -160,13 +179,15 @@ func (g *Registry) Add(req SubmitRequest) *Run {
 	}
 	g.next++
 	r := &Run{
-		id:    fmt.Sprintf("r%04d", g.next),
-		kind:  kind,
-		req:   req,
-		prov:  provenance.NewStreaming(sink),
-		pub:   pub,
-		done:  make(chan struct{}),
-		state: StatePending,
+		id:      fmt.Sprintf("r%04d", g.next),
+		kind:    kind,
+		req:     req,
+		prov:    provenance.NewStreaming(sink),
+		pub:     pub,
+		execCtx: execCtx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   StatePending,
 	}
 	g.runs[r.id] = r
 	g.order = append(g.order, r.id)
@@ -232,6 +253,7 @@ func (g *Registry) Count() (total int, byState map[State]int) {
 // notifications, like every sink in this repository.
 type pubSub struct {
 	mu sync.Mutex
+	//vc2m:guardedby mu
 	ch chan struct{}
 }
 

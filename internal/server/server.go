@@ -73,9 +73,11 @@ type Server struct {
 	queue chan *Run
 	wg    sync.WaitGroup
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	//vc2m:guardedby mu
 	draining bool
-	started  bool
+	//vc2m:guardedby mu
+	started bool
 
 	// Observability: the Prometheus registry and log stream live strictly
 	// outside the report documents — scraping or logging never changes a
@@ -99,7 +101,7 @@ func New(cfg Config) *Server {
 		start: time.Now(), //vc2m:wallclock uptime reference
 	}
 	s.om = newServerObs(s)
-	s.reg.decisions = s.om.decisions
+	s.reg.SetDecisionCounter(s.om.decisions)
 	s.handler = s.buildHandler()
 	return s
 }
@@ -152,8 +154,10 @@ func (s *Server) Submit(req SubmitRequest) (*Run, error) {
 		s.mu.Unlock()
 		return nil, ErrDraining
 	}
-	run := s.reg.Add(req)
-	run.execCtx, run.cancel = context.WithCancel(context.Background())
+	// The run's lifetime is deliberately detached from the submitting
+	// request: execution continues after the HTTP response is written.
+	execCtx, cancel := context.WithCancel(context.Background()) //vc2m:bgctx run execution outlives the submitting request by design
+	run := s.reg.Add(req, execCtx, cancel)
 	select {
 	case s.queue <- run:
 		s.mu.Unlock()

@@ -40,7 +40,7 @@ func startServer(t *testing.T, cfg Config) *Server {
 
 func waitDone(t *testing.T, run *Run) RunStatus {
 	t.Helper()
-	select {
+	select { //vc2m:ctxfree test helper; the timeout case bounds the wait
 	case <-run.Done():
 	case <-time.After(60 * time.Second):
 		t.Fatalf("run %s did not finish", run.ID())
@@ -234,8 +234,10 @@ func TestRegistryHammer(t *testing.T) {
 
 func TestDeterministicRunIDs(t *testing.T) {
 	reg := NewRegistry()
-	a := reg.Add(SubmitRequest{})
-	b := reg.Add(SubmitRequest{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	a := reg.Add(SubmitRequest{}, ctx, cancel)
+	b := reg.Add(SubmitRequest{}, ctx, cancel)
 	if a.ID() != "r0001" || b.ID() != "r0002" {
 		t.Fatalf("ids %s, %s — want counter-based r0001, r0002", a.ID(), b.ID())
 	}

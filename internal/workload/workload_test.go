@@ -30,7 +30,7 @@ func TestDistributionString(t *testing.T) {
 		BimodalHeavy:     "bimodal-heavy",
 		Distribution(99): "unknown",
 	}
-	for d, want := range cases {
+	for d, want := range cases { //vc2m:ordered test-case map; order only affects error interleaving
 		if got := d.String(); got != want {
 			t.Errorf("%d.String() = %q, want %q", d, got, want)
 		}

@@ -298,6 +298,7 @@ type Options struct {
 	// and aborts with the context's error once it is canceled or its
 	// deadline passes. The allocation server uses this to bound run time
 	// and to stop abandoned requests; nil disables the checks.
+	//vc2m:ctxfield optional cancellation hook on the facade Options; nil runs to completion
 	Context context.Context
 	// Span, when non-nil, is the parent under which the allocator opens
 	// wall-clock stage spans (VM level, CSA derivation, hypervisor-level
