@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck lint lint-tests lint-sarif test bench bench-smoke bench-check fuzz-smoke race cover ci determinism report-smoke server-smoke obs-smoke paper examples clean
+.PHONY: all build vet fmtcheck lint lint-tests lint-sarif test bench bench-smoke bench-check churn-bench fuzz-smoke race cover ci determinism report-smoke server-smoke obs-smoke paper examples clean
 
 all: build vet test
 
@@ -64,6 +64,26 @@ bench-check:
 	if [ -z "$$base" ]; then echo "no committed BENCH_*.json baseline under results/"; exit 1; fi; \
 	$(GO) run ./cmd/vc2m-bench -quick -out "$$out" -check "$$base"
 
+# Churn smoke: the sustained-churn benchmark pair at smoke size — drives
+# the incremental warm-start path end to end (admit, evict, warm place,
+# repack) against its from-scratch baseline and checks both entries land
+# in the report with baselines attached. Values at this size are
+# meaningless; the committed BENCH_*.json carries the real measurement.
+# Set BENCH_OUT=<dir> to keep the report (CI uploads it as an artifact).
+churn-bench:
+	@out="$(BENCH_OUT)"; if [ -z "$$out" ]; then \
+		out=$$(mktemp -d); trap 'rm -rf "$$out"' EXIT; fi; \
+	mkdir -p "$$out"; \
+	$(GO) run ./cmd/vc2m-bench -quick -only churn -out "$$out" || exit 1; \
+	f=$$(ls "$$out"/BENCH_*.json | sort | tail -1); \
+	for name in churn/incremental-existing-csa churn/incremental-flattening; do \
+		grep -q "\"$$name\"" "$$f" || \
+			{ echo "churn-bench: $$name missing from report"; exit 1; }; \
+	done; \
+	grep -q '"from-scratch"' "$$f" || \
+		{ echo "churn-bench: no from-scratch baseline recorded"; exit 1; }; \
+	echo "churn-bench: smoke report complete, both churn entries carry from-scratch baselines"
+
 # A few hundred iterations of every native fuzz target — exercises the
 # harnesses and seed corpora; real fuzzing sessions use
 # `go test -fuzz=<target> -fuzztime=5m <pkg>`.
@@ -71,7 +91,8 @@ fuzz-smoke:
 	@set -e; \
 	for tgt in internal/model:FuzzDecodeSystem internal/model:FuzzDecodeAllocation \
 	           internal/timeunit:FuzzMillisConversions internal/timeunit:FuzzTickRoundTrips \
-	           internal/timeunit:FuzzGCDLCM internal/workload:FuzzGenerate; do \
+	           internal/timeunit:FuzzGCDLCM internal/workload:FuzzGenerate \
+	           internal/alloc:FuzzIncrementalChurn; do \
 		pkg=$${tgt%%:*}; fn=$${tgt##*:}; \
 		$(GO) test -run=^$$ -fuzz="^$$fn$$" -fuzztime=300x ./$$pkg || exit 1; \
 	done
@@ -79,7 +100,7 @@ fuzz-smoke:
 # Everything CI runs, locally. The workflow (.github/workflows/ci.yml)
 # calls these same targets step by step, so this list is the single
 # source of truth for what a green build means.
-ci: build vet fmtcheck lint lint-sarif test race bench-smoke bench-check fuzz-smoke determinism report-smoke server-smoke obs-smoke
+ci: build vet fmtcheck lint lint-sarif test race bench-smoke bench-check churn-bench fuzz-smoke determinism report-smoke server-smoke obs-smoke
 
 race:
 	$(GO) test -race ./...
@@ -134,10 +155,14 @@ server-smoke:
 		$(GO) test -count=1 -run '^TestPromScrapeLive$$' ./internal/obs || \
 		{ echo "server-smoke: live /metrics scrape failed"; \
 		  cat $$tmp/server.log; kill $$pid 2>/dev/null; exit 1; }; \
+	VC2M_SERVER_URL="http://$$addr" \
+		$(GO) test -count=1 -run '^TestChurnRoundTripLive$$' ./internal/server || \
+		{ echo "server-smoke: live churn round trip failed"; \
+		  cat $$tmp/server.log; kill $$pid 2>/dev/null; exit 1; }; \
 	kill -TERM $$pid; \
 	if wait $$pid; then :; else echo "server-smoke: daemon did not drain cleanly"; \
 		cat $$tmp/server.log; exit 1; fi; \
-	echo "server-smoke: served report byte-identical to in-process run; live /metrics parser-clean; daemon drained cleanly"
+	echo "server-smoke: served report byte-identical to in-process run; live /metrics parser-clean; churn round trip matches in-process replay; daemon drained cleanly"
 
 # Observability smoke: a seeded vc2m-sim run exporting wall-clock spans
 # must produce exactly the committed stage set (durations vary run to
@@ -168,6 +193,7 @@ examples:
 	$(GO) run ./examples/wellregulated
 	$(GO) run ./examples/measurement
 	$(GO) run ./examples/admission
+	$(GO) run ./examples/churn
 
 clean:
 	$(GO) clean ./...

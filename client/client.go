@@ -136,6 +136,17 @@ func (c *Client) Wait(ctx context.Context, id string) (server.RunStatus, error) 
 	}
 }
 
+// Churn queues an incremental churn run against base run id: the server
+// waits for the base to finish, then applies req.Churn.Events in order
+// through the warm-start allocator. The server fills req.Kind and
+// req.Churn.BaseRun from the URL; everything else (mode, seed, title,
+// metrics) is the caller's.
+func (c *Client) Churn(ctx context.Context, id string, req server.SubmitRequest) (server.SubmitResponse, error) {
+	var resp server.SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/runs/"+id+"/churn", req, &resp)
+	return resp, err
+}
+
 // Cancel aborts a pending or running run.
 func (c *Client) Cancel(ctx context.Context, id string) (server.RunStatus, error) {
 	var st server.RunStatus

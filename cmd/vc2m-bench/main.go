@@ -35,6 +35,7 @@ func run(args []string) int {
 	runs := fs.Int("runs", 0, "repetitions per benchmark, median reported (default 3, 1 with -quick)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "worker count for the sweep benchmark")
 	out := fs.String("out", "results", "directory for BENCH_<stamp>.json ('-' writes JSON to stdout)")
+	only := fs.String("only", "", "run only benchmarks whose names start with this prefix (e.g. 'churn'); the report is then a subset, not a -check baseline")
 	check := fs.String("check", "", "compare the run's JSON schema against this committed baseline; exit 1 on drift")
 	compare := fs.String("compare", "", "compare a second report file against -check (no benchmarks are run)")
 	logCfg := obs.LogFlags(fs, "warn")
@@ -47,14 +48,14 @@ func run(args []string) int {
 		return 2
 	}
 	lg.Debug("starting", "cmd", "vc2m-bench")
-	if err := realMain(*quick, *runs, *parallel, *out, *check, *compare); err != nil {
+	if err := realMain(*quick, *runs, *parallel, *out, *only, *check, *compare); err != nil {
 		fmt.Fprintln(os.Stderr, "vc2m-bench:", err)
 		return 1
 	}
 	return 0
 }
 
-func realMain(quick bool, runs, parallel int, out, check, compare string) error {
+func realMain(quick bool, runs, parallel int, out, only, check, compare string) error {
 	if compare != "" {
 		if check == "" {
 			return fmt.Errorf("-compare requires -check <baseline.json>")
@@ -71,7 +72,10 @@ func realMain(quick bool, runs, parallel int, out, check, compare string) error 
 		return nil
 	}
 
-	rep, err := bench.RunAll(bench.Options{Quick: quick, Runs: runs, Parallel: parallel})
+	if only != "" && check != "" {
+		return fmt.Errorf("-only produces a subset report and cannot be schema-checked with -check")
+	}
+	rep, err := bench.RunAll(bench.Options{Quick: quick, Runs: runs, Parallel: parallel, Only: only})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,85 @@
+// Sustained churn through the incremental warm-start allocator: a running
+// fleet sees arrival/departure deltas and each one is applied with
+// alloc.Incremental instead of re-allocating the fleet from scratch.
+// Departures free their cores' partitions back to the spare pool, arrivals
+// derive only their own interfaces and warm-place into freed/slack
+// capacity, and only when that fails does one full repack run — the
+// result reports who was admitted, rejected, departed, and which VCPUs a
+// repack actually moved.
+//
+// The example replaces the fleet one VM at a time (one departure + one
+// arrival per event, the steady-state shape of the churn benchmark), then
+// shows a rejection leaving the layout untouched.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vc2m"
+)
+
+func vmArrival(plat vc2m.Platform, id, bench string, period, ref float64) *vc2m.VM {
+	w, err := vc2m.BenchmarkWCET(plat, bench, ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &vc2m.VM{ID: id, Tasks: []*vc2m.Task{
+		vc2m.NewTask(id+"/main", id, period, w),
+	}}
+}
+
+func main() {
+	plat := vc2m.PlatformA
+
+	// Boot a small fleet with one holistic allocation.
+	fleet := []*vc2m.VM{
+		vmArrival(plat, "vm-a", "x264", 100, 30),
+		vmArrival(plat, "vm-b", "swaptions", 100, 40),
+		vmArrival(plat, "vm-c", "streamcluster", 200, 70),
+		vmArrival(plat, "vm-d", "dedup", 100, 35),
+	}
+	current, err := vc2m.Allocate(&vc2m.System{Platform: plat, VMs: fleet}, vc2m.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("booted %d VMs on %d core(s)\n\n", len(fleet), len(current.Cores))
+
+	// Steady-state churn: each event swaps the oldest VM for a new one.
+	events := []struct {
+		depart  string
+		arrival *vc2m.VM
+	}{
+		{"vm-a", vmArrival(plat, "vm-e", "ferret", 100, 38)},
+		{"vm-b", vmArrival(plat, "vm-f", "vips", 200, 60)},
+		{"vm-c", vmArrival(plat, "vm-g", "canneal", 400, 150)},
+	}
+	for i, ev := range events {
+		res, err := vc2m.Incremental(current, vc2m.ChurnDelta{
+			Departures: []string{ev.depart},
+			Arrivals:   []*vc2m.VM{ev.arrival},
+		}, vc2m.Options{Seed: int64(i)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		current = res.Allocation
+		verdict := "admitted"
+		if len(res.Rejected) > 0 {
+			verdict = "REJECTED"
+		}
+		fmt.Printf("  event %d: %-5s departs, %-5s %s  (%d cores, %d/%d cache, %d/%d BW, %d repacks, %d VCPUs migrated)\n",
+			i, ev.depart, ev.arrival.ID, verdict,
+			len(current.Cores), current.UsedCache(), plat.C,
+			current.UsedBW(), plat.B, res.Repacks, len(res.Migrated))
+	}
+
+	// A hopeless arrival is a verdict, not an error — the layout stays.
+	heavy := vmArrival(plat, "vm-huge", "canneal", 100, 400)
+	before := len(current.Cores)
+	res, err := vc2m.Incremental(current, vc2m.ChurnDelta{Arrivals: []*vc2m.VM{heavy}}, vc2m.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%q rejected: %v (layout unchanged: %d cores before, %d after)\n",
+		heavy.ID, len(res.Rejected) == 1, before, len(res.Allocation.Cores))
+}

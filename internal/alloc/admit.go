@@ -64,103 +64,11 @@ func AdmitProv(existing *model.Allocation, vm *model.VM, mode CSAMode, rng *rngu
 	spareCache := plat.C - existing.UsedCache()
 	spareBW := plat.B - existing.UsedBW()
 
-	// Bring unused physical cores into play (with the minimum partitions)
-	// if the platform has them and spares allow.
-	used := map[int]bool{}
-	for _, id := range coreIDs {
-		used[id] = true
-	}
-	for id := 0; id < plat.M; id++ {
-		if used[id] {
-			continue
-		}
-		if spareCache >= plat.Cmin && spareBW >= plat.Bmin {
-			cores = append(cores, &coreState{cache: plat.Cmin, bw: plat.Bmin})
-			coreIDs = append(coreIDs, id)
-			spareCache -= plat.Cmin
-			spareBW -= plat.Bmin
-		}
-	}
+	cores, coreIDs = bringInIdleCores(cores, coreIDs, plat, &spareCache, &spareBW)
 
 	for _, v := range newVCPUs {
-		if placed := placeBest(cores, v); placed >= 0 {
-			if prov.Enabled() {
-				cs := cores[placed]
-				prov.Record(provenance.Decision{
-					Stage: provenance.StageAdmit, Kind: provenance.KindPlace,
-					Subject: v.ID, Target: fmt.Sprintf("core %d", coreIDs[placed]),
-					Cache: cs.cache, BW: cs.bw,
-					Value: cs.util(), Accepted: true,
-					Reason: "smallest post-placement utilization among feasible cores",
-				})
-			}
-			continue
-		}
-		// No core fits under current partitions: pick the host that would
-		// be best after receiving every remaining spare partition, then
-		// grant spares to it one by one until the VCPU fits. Committing
-		// to one host avoids scattering grants across cores, none of
-		// which would then become feasible.
-		host := chooseGrowableHost(cores, plat, v, spareCache, spareBW)
-		if host < 0 {
-			re := &RejectionError{
-				Stage: provenance.StageAdmit,
-				Reason: fmt.Sprintf("VCPU %s of VM %s fits on no core even after granting every spare partition (%d cache, %d bw left)",
-					v.ID, vm.ID, spareCache, spareBW),
-				Violated: admitHopeless(cores, plat, v, spareCache, spareBW).violated(),
-			}
-			if prov.Enabled() {
-				prov.Record(provenance.Decision{
-					Stage: provenance.StageAdmit, Kind: provenance.KindReject,
-					Subject: v.ID, Value: v.RefBandwidth(),
-					Reason: re.Reason, Violated: re.Violated,
-				})
-			}
+		if re := placeOneGrowing(cores, coreIDs, plat, v, vm.ID, &spareCache, &spareBW, provenance.StageAdmit, prov); re != nil {
 			return nil, re
-		}
-		for !fitsOn(cores[host], v) {
-			granted, isCache := grantTo(cores[host], plat, v, &spareCache, &spareBW)
-			if !granted {
-				re := &RejectionError{
-					Stage: provenance.StageAdmit,
-					Reason: fmt.Sprintf("no spare partition still helps VCPU %s on core %d (%d cache, %d bw left)",
-						v.ID, coreIDs[host], spareCache, spareBW),
-					Violated: grantViolations(cores[host], plat, v, spareCache, spareBW).violated(),
-				}
-				if prov.Enabled() {
-					prov.Record(provenance.Decision{
-						Stage: provenance.StageAdmit, Kind: provenance.KindReject,
-						Subject: v.ID, Target: fmt.Sprintf("core %d", coreIDs[host]),
-						Cache: cores[host].cache, BW: cores[host].bw,
-						Reason: re.Reason, Violated: re.Violated,
-					})
-				}
-				return nil, re
-			}
-			if prov.Enabled() {
-				kind := provenance.Cache
-				if !isCache {
-					kind = provenance.BW
-				}
-				prov.Record(provenance.Decision{
-					Stage: provenance.StageAdmit, Kind: provenance.KindGrant,
-					Subject: fmt.Sprintf("core %d", coreIDs[host]), Target: string(kind),
-					Cache: cores[host].cache, BW: cores[host].bw, Accepted: true,
-					Reason: fmt.Sprintf("spare %s partition granted so VCPU %s can fit", kind, v.ID),
-				})
-			}
-		}
-		cores[host].vcpus = append(cores[host].vcpus, v)
-		cores[host].touch()
-		if prov.Enabled() {
-			cs := cores[host]
-			prov.Record(provenance.Decision{
-				Stage: provenance.StageAdmit, Kind: provenance.KindPlace,
-				Subject: v.ID, Target: fmt.Sprintf("core %d", coreIDs[host]),
-				Cache: cs.cache, BW: cs.bw,
-				Value: cs.util(), Accepted: true,
-				Reason: "placed after growing the host with spare partitions",
-			})
 		}
 	}
 
@@ -219,6 +127,122 @@ func Release(existing *model.Allocation, vmID string) (*model.Allocation, error)
 		return nil, fmt.Errorf("alloc: VM %q not present in allocation", vmID)
 	}
 	return out, nil
+}
+
+// bringInIdleCores adds every unused physical core to the working set at
+// the minimum partitions, as long as the spare pool can pay for them. Both
+// the admission and the warm-start paths call it so freed capacity on idle
+// cores is usable without a repack.
+func bringInIdleCores(cores []*coreState, coreIDs []int, plat model.Platform, spareCache, spareBW *int) ([]*coreState, []int) {
+	used := map[int]bool{}
+	for _, id := range coreIDs {
+		used[id] = true
+	}
+	for id := 0; id < plat.M; id++ {
+		if used[id] {
+			continue
+		}
+		if *spareCache >= plat.Cmin && *spareBW >= plat.Bmin {
+			cores = append(cores, &coreState{cache: plat.Cmin, bw: plat.Bmin})
+			coreIDs = append(coreIDs, id)
+			*spareCache -= plat.Cmin
+			*spareBW -= plat.Bmin
+		}
+	}
+	return cores, coreIDs
+}
+
+// placeOneGrowing places one new VCPU without disturbing anything already
+// placed: first on the feasible core with the smallest post-placement
+// utilization, and failing that on the best host growable with spare
+// partitions, granted one by one until the VCPU fits. It mutates cores and
+// the spare pool on success; on failure it returns a RejectionError naming
+// every binding resource and leaves no partial grant behind only in the
+// sense that the caller owns the (possibly trial) state. stage names the
+// provenance stage decisions are recorded under, so online admission
+// ("admit") and warm-start re-allocation ("incremental") share the
+// mechanics but keep distinct decision trails.
+func placeOneGrowing(cores []*coreState, coreIDs []int, plat model.Platform, v *model.VCPU, vmID string, spareCache, spareBW *int, stage string, prov *provenance.Recorder) *RejectionError {
+	if placed := placeBest(cores, v); placed >= 0 {
+		if prov.Enabled() {
+			cs := cores[placed]
+			prov.Record(provenance.Decision{
+				Stage: stage, Kind: provenance.KindPlace,
+				Subject: v.ID, Target: fmt.Sprintf("core %d", coreIDs[placed]),
+				Cache: cs.cache, BW: cs.bw,
+				Value: cs.util(), Accepted: true,
+				Reason: "smallest post-placement utilization among feasible cores",
+			})
+		}
+		return nil
+	}
+	// No core fits under current partitions: pick the host that would
+	// be best after receiving every remaining spare partition, then
+	// grant spares to it one by one until the VCPU fits. Committing
+	// to one host avoids scattering grants across cores, none of
+	// which would then become feasible.
+	host := chooseGrowableHost(cores, plat, v, *spareCache, *spareBW)
+	if host < 0 {
+		re := &RejectionError{
+			Stage: stage,
+			Reason: fmt.Sprintf("VCPU %s of VM %s fits on no core even after granting every spare partition (%d cache, %d bw left)",
+				v.ID, vmID, *spareCache, *spareBW),
+			Violated: admitHopeless(cores, plat, v, *spareCache, *spareBW).violated(),
+		}
+		if prov.Enabled() {
+			prov.Record(provenance.Decision{
+				Stage: stage, Kind: provenance.KindReject,
+				Subject: v.ID, Value: v.RefBandwidth(),
+				Reason: re.Reason, Violated: re.Violated,
+			})
+		}
+		return re
+	}
+	for !fitsOn(cores[host], v) {
+		granted, isCache := grantTo(cores[host], plat, v, spareCache, spareBW)
+		if !granted {
+			re := &RejectionError{
+				Stage: stage,
+				Reason: fmt.Sprintf("no spare partition still helps VCPU %s on core %d (%d cache, %d bw left)",
+					v.ID, coreIDs[host], *spareCache, *spareBW),
+				Violated: grantViolations(cores[host], plat, v, *spareCache, *spareBW).violated(),
+			}
+			if prov.Enabled() {
+				prov.Record(provenance.Decision{
+					Stage: stage, Kind: provenance.KindReject,
+					Subject: v.ID, Target: fmt.Sprintf("core %d", coreIDs[host]),
+					Cache: cores[host].cache, BW: cores[host].bw,
+					Reason: re.Reason, Violated: re.Violated,
+				})
+			}
+			return re
+		}
+		if prov.Enabled() {
+			kind := provenance.Cache
+			if !isCache {
+				kind = provenance.BW
+			}
+			prov.Record(provenance.Decision{
+				Stage: stage, Kind: provenance.KindGrant,
+				Subject: fmt.Sprintf("core %d", coreIDs[host]), Target: string(kind),
+				Cache: cores[host].cache, BW: cores[host].bw, Accepted: true,
+				Reason: fmt.Sprintf("spare %s partition granted so VCPU %s can fit", kind, v.ID),
+			})
+		}
+	}
+	cores[host].vcpus = append(cores[host].vcpus, v)
+	cores[host].touch()
+	if prov.Enabled() {
+		cs := cores[host]
+		prov.Record(provenance.Decision{
+			Stage: stage, Kind: provenance.KindPlace,
+			Subject: v.ID, Target: fmt.Sprintf("core %d", coreIDs[host]),
+			Cache: cs.cache, BW: cs.bw,
+			Value: cs.util(), Accepted: true,
+			Reason: "placed after growing the host with spare partitions",
+		})
+	}
+	return nil
 }
 
 // placeBest puts v on the feasible core with the smallest resulting

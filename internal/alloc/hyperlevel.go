@@ -27,6 +27,12 @@ type HyperConfig struct {
 	// MaxBalanceRounds bounds the Phase 3 <-> Phase 2 loop per packing;
 	// 0 defaults to 16.
 	MaxBalanceRounds int
+	// MinCores is a warm-start hint: the search starts at m = MinCores
+	// instead of m = 1, skipping core counts the caller already knows are
+	// too small (the incremental repack passes the surviving layout's core
+	// count — a fleet that needed k cores before an arrival will not fit on
+	// fewer with one more VM). 0 or 1 preserves the full search.
+	MinCores int
 	// Overheads inflates VCPU budgets for intra-core preemption and
 	// completion overhead before allocation ([17]); zero disables.
 	Overheads csa.Overheads
@@ -194,7 +200,11 @@ func HyperLevel(vcpus []*model.VCPU, plat model.Platform, cfg HyperConfig, rng *
 	var scratch packScratch
 	var attempts int
 	var cpuN, cacheN, bwN int // how often each resource bound a failed attempt
-	for m := 1; m <= plat.M; m++ {
+	mStart := 1
+	if cfg.MinCores > mStart {
+		mStart = cfg.MinCores
+	}
+	for m := mStart; m <= plat.M; m++ {
 		if plat.Cmin*m > plat.C || plat.Bmin*m > plat.B {
 			break // not enough partitions to give every core its minimum
 		}

@@ -1,0 +1,144 @@
+package alloc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+)
+
+// fuzzArrival decodes one arrival op into a VM: the op argument picks the
+// utilization (0.05 + 0.07·arg, so both admissible and hopeless VMs occur)
+// and the task count (1–3, spread over distinct periods). Returns the VM
+// and the largest single-task utilization, which drives the deterministic
+// rejection oracle below.
+func fuzzArrival(id string, arg int) (*model.VM, float64) {
+	n := 1 + arg%3
+	util := 0.05 + 0.07*float64(arg)
+	per := util / float64(n)
+	periods := []float64{100, 200, 400}
+	vm := &model.VM{ID: id}
+	for i := 0; i < n; i++ {
+		p := periods[i%len(periods)]
+		vm.Tasks = append(vm.Tasks, model.SimpleTask(fmt.Sprintf("%s-t%d", id, i), model.PlatformA, p, per*p))
+	}
+	return vm, per
+}
+
+// FuzzIncrementalChurn drives Incremental with arbitrary interleavings of
+// arrivals, departures, empty deltas, and invalid departures decoded from
+// the fuzz input. After every event the surviving layout must pass
+// Allocation.Validate for the exact fleet task set — which bounds every
+// core's cache/bandwidth grants by the platform totals (no resource leaks)
+// and every core's utilization by 1 — and a VM whose tasks cannot fit any
+// single core (per-task utilization > 1) must be rejected, matching the
+// from-scratch allocator's deterministic quick screen. Errors must leave
+// the previous layout byte-identical; empty deltas must be identities.
+func FuzzIncrementalChurn(f *testing.F) {
+	// Ops: b&3 selects the kind, b>>2 the argument (see the switch below).
+	f.Add([]byte{0, 1, 0x04, 0x08, 0x01, 0x02, 0x0c, 0x03})             // arrive/depart/empty/ghost mix
+	f.Add([]byte{1, 7, 0x10, 0x20, 0x40, 0x01, 0x01, 0x01})             // existing CSA, drain to empty
+	f.Add([]byte{0, 3, 0xfc, 0x04})                                     // hopeless arrival then a small one
+	f.Add([]byte{1, 0, 0x04, 0x24, 0x44, 0x64, 0x84, 0xa4, 0xc4, 0xe4}) // fill until rejections start
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		mode := Flattening
+		if data[0]%2 == 1 {
+			mode = ExistingCSA
+		}
+		seed := int64(data[1]) + 1
+		ops := data[2:]
+		if len(ops) > 48 {
+			ops = ops[:48]
+		}
+
+		cur := &model.Allocation{Platform: model.PlatformA, Schedulable: true}
+		fleet := map[string]*model.VM{}
+		next := 0
+		for i, b := range ops {
+			op, arg := b&3, int(b>>2)
+			var delta Delta
+			var arrived *model.VM
+			maxTaskUtil := 0.0
+			wantErr := false
+			switch op {
+			case 0: // arrival
+				arrived, maxTaskUtil = fuzzArrival(fmt.Sprintf("vm%d", next), arg)
+				next++
+				delta = Delta{Arrivals: []*model.VM{arrived}}
+			case 1: // departure of a present VM
+				ids := sortedKeys(fleet)
+				if len(ids) == 0 {
+					continue
+				}
+				delta = Delta{Departures: []string{ids[arg%len(ids)]}}
+			case 2: // empty delta: must be an identity
+				delta = Delta{}
+			case 3: // departure of an unknown VM: must error, layout untouched
+				delta = Delta{Departures: []string{"ghost"}}
+				wantErr = true
+			}
+
+			before := allocBytes(t, cur)
+			cfg := IncrementalConfig{Mode: mode, Hyper: HyperConfig{MaxIters: 4}}
+			res, err := Incremental(cur, delta, cfg, rngutil.New(seed+int64(i)))
+			if wantErr {
+				if err == nil {
+					t.Fatalf("op %d: unknown departure accepted", i)
+				}
+				if !bytes.Equal(before, allocBytes(t, cur)) {
+					t.Fatalf("op %d: error mutated the previous layout", i)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("op %d (%d): unexpected error: %v", i, op, err)
+			}
+			if !bytes.Equal(before, allocBytes(t, cur)) {
+				t.Fatalf("op %d: Incremental mutated its input layout", i)
+			}
+			if op == 2 && !bytes.Equal(before, allocBytes(t, res.Allocation)) {
+				t.Fatalf("op %d: empty delta changed the layout", i)
+			}
+
+			// Verdict accounting: every arrival lands in exactly one of
+			// Admitted/Rejected, and a task no core can host is never admitted.
+			if arrived != nil {
+				adm := contains(res.Admitted, arrived.ID)
+				rej := contains(res.Rejected, arrived.ID)
+				if adm == rej {
+					t.Fatalf("op %d: arrival %s admitted=%v rejected=%v", i, arrived.ID, adm, rej)
+				}
+				if adm {
+					fleet[arrived.ID] = arrived
+				}
+				if maxTaskUtil > 1 && adm {
+					t.Fatalf("op %d: admitted %s with per-task util %.2f > 1 (from-scratch would reject)",
+						i, arrived.ID, maxTaskUtil)
+				}
+			}
+			for _, id := range res.Departed {
+				if _, ok := fleet[id]; !ok {
+					t.Fatalf("op %d: departed unknown VM %s", i, id)
+				}
+				delete(fleet, id)
+			}
+			if len(res.Departed) != len(delta.Departures) {
+				t.Fatalf("op %d: departed %v for departures %v", i, res.Departed, delta.Departures)
+			}
+
+			// The surviving layout must stay a verified witness: every fleet
+			// task mapped exactly once, per-core grants within the platform
+			// budgets, per-core utilization schedulable.
+			if err := res.Allocation.Validate(fleetTasks(fleet)); err != nil {
+				t.Fatalf("op %d: layout invalid after event: %v", i, err)
+			}
+			cur = res.Allocation
+		}
+	})
+}

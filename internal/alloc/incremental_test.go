@@ -1,0 +1,607 @@
+package alloc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"vc2m/internal/model"
+	"vc2m/internal/provenance"
+	"vc2m/internal/rngutil"
+	"vc2m/internal/workload"
+)
+
+// ---- helpers -------------------------------------------------------------
+
+// constVM builds a single-task VM whose WCET is resource-insensitive, so
+// its flattened VCPU has the given bandwidth under every allocation.
+func constVM(id string, util float64) *model.VM {
+	const period = 100.0
+	return &model.VM{ID: id, Tasks: []*model.Task{{
+		ID: id + "-t0", VM: id, Period: period,
+		WCET: model.ConstTable(model.PlatformA, util*period),
+	}}}
+}
+
+// churnVCPU builds the flattened VCPU of constVM(id, util) directly, for
+// hand-built previous layouts where the test controls every placement.
+func churnVCPU(id string, idx int, util float64) *model.VCPU {
+	const period = 100.0
+	tbl := model.ConstTable(model.PlatformA, util*period)
+	return &model.VCPU{
+		ID: id + "-v0", VM: id, Index: idx, Period: period, Budget: tbl,
+		SyncedRelease: true,
+		Tasks: []*model.Task{{
+			ID: id + "-t0", VM: id, Period: period, WCET: tbl,
+		}},
+	}
+}
+
+// vcpuPlacement is one VM's layout entry used for byte-comparison: the
+// VCPU's full interface plus the physical core hosting it.
+type vcpuPlacement struct {
+	Core int         `json:"core"`
+	VCPU *model.VCPU `json:"vcpu"`
+}
+
+// layoutOf extracts one VM's placements, sorted by VCPU ID, marshaled to
+// bytes so tests compare layouts byte-for-byte.
+func layoutOf(t *testing.T, a *model.Allocation, vmID string) []byte {
+	t.Helper()
+	var ps []vcpuPlacement
+	for _, ca := range a.Cores {
+		for _, v := range ca.VCPUs {
+			if v.VM == vmID {
+				ps = append(ps, vcpuPlacement{Core: ca.Core, VCPU: v})
+			}
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].VCPU.ID < ps[j].VCPU.ID })
+	b, err := json.Marshal(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// allocBytes marshals a whole allocation for byte-identity checks.
+func allocBytes(t *testing.T, a *model.Allocation) []byte {
+	t.Helper()
+	b, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// coreOfVCPUs maps every VCPU ID to its physical core.
+func coreOfVCPUs(a *model.Allocation) map[string]int {
+	out := map[string]int{}
+	for _, ca := range a.Cores {
+		for _, v := range ca.VCPUs {
+			out[v.ID] = ca.Core
+		}
+	}
+	return out
+}
+
+// fleetTasks collects the task set of the current fleet, sorted by VM ID
+// for deterministic iteration.
+func fleetTasks(fleet map[string]*model.VM) []*model.Task {
+	ids := make([]string, 0, len(fleet))
+	for id := range fleet { //vc2m:ordered keys are collected and sorted before use
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []*model.Task
+	for _, id := range ids {
+		out = append(out, fleet[id].Tasks...)
+	}
+	return out
+}
+
+// fleetVMs returns the fleet as a sorted slice, the System input for the
+// from-scratch differential run.
+func fleetVMs(fleet map[string]*model.VM) []*model.VM {
+	ids := make([]string, 0, len(fleet))
+	for id := range fleet { //vc2m:ordered keys are collected and sorted before use
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*model.VM, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, fleet[id])
+	}
+	return out
+}
+
+// genChurnVM generates one arrival VM from the workload model, renamed so
+// IDs never collide with the base fleet or other arrivals.
+func genChurnVM(t *testing.T, seed int64, util float64, tag string) *model.VM {
+	t.Helper()
+	sys, err := workload.Generate(workload.Config{
+		Platform:      model.PlatformA,
+		TargetRefUtil: util,
+		Dist:          workload.Uniform,
+		NumVMs:        1,
+	}, rngutil.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := sys.VMs[0]
+	vm.ID = tag
+	for i, tk := range vm.Tasks {
+		tk.ID = fmt.Sprintf("%s-t%d", tag, i)
+		tk.VM = tag
+	}
+	return vm
+}
+
+// ---- the differential oracle --------------------------------------------
+
+// TestIncrementalDifferentialEquivalence is the correctness anchor of the
+// warm-start path: for randomized seeded churn sequences, after every
+// event the incremental layout must validate against the final fleet's
+// tasks (resource-budget feasibility: partition sums within C/B, every
+// core utilization <= 1, every task mapped exactly once), and a
+// from-scratch allocation of the same final VM set must agree on the
+// schedulability verdict. Deterministically infeasible arrivals (a VCPU
+// over bandwidth 1 under the full allocation) must be rejected by both
+// paths. Runs across both CSA modes; `go test -race` covers the suite.
+func TestIncrementalDifferentialEquivalence(t *testing.T) {
+	modes := []struct {
+		name string
+		mode CSAMode
+	}{
+		{"flattening", Flattening},
+		{"existing-csa", ExistingCSA},
+	}
+	const numSeeds = 50
+	for _, m := range modes {
+		for seed := int64(0); seed < numSeeds; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%02d", m.name, seed), func(t *testing.T) {
+				t.Parallel()
+				runChurnSequence(t, m.mode, seed)
+			})
+		}
+	}
+}
+
+func runChurnSequence(t *testing.T, mode CSAMode, seed int64) {
+	t.Helper()
+	// Base fleet: start from a utilization where most seeds are
+	// schedulable; fall back to lighter fleets for the rest so every seed
+	// exercises the churn path.
+	var cur *model.Allocation
+	fleet := map[string]*model.VM{}
+	for _, util := range []float64{0.9, 0.6, 0.3} {
+		sys, err := workload.Generate(workload.Config{
+			Platform:      model.PlatformA,
+			TargetRefUtil: util,
+			Dist:          workload.Uniform,
+			NumVMs:        3,
+		}, rngutil.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := &Heuristic{Mode: mode}
+		a, err := h.Allocate(sys, rngutil.New(seed))
+		if err == nil {
+			cur = a
+			for _, vm := range sys.VMs {
+				fleet[vm.ID] = vm
+			}
+			break
+		}
+		if !errors.Is(err, model.ErrNotSchedulable) {
+			t.Fatal(err)
+		}
+	}
+	if cur == nil {
+		t.Fatalf("no schedulable base fleet found for seed %d", seed)
+	}
+
+	// Arrival pool: small VMs the sequence draws from in order, plus one
+	// deterministically infeasible "poison" VM injected mid-sequence.
+	var pool []*model.VM
+	for k := 0; k < 8; k++ {
+		u := 0.2 + 0.05*float64(k%4)
+		pool = append(pool, genChurnVM(t, seed*131+int64(k)+1, u, fmt.Sprintf("arr%d", k)))
+	}
+	poison := constVM("poison", 1.5)
+
+	const events = 6
+	const poisonEvent = 2
+	rng := rngutil.New(seed ^ 0x5DEECE66D)
+	nextArrival := 0
+	for ev := 0; ev < events; ev++ {
+		var delta Delta
+		switch {
+		case ev == poisonEvent:
+			delta.Arrivals = []*model.VM{poison}
+		case len(fleet) > 1 && rng.Int63()%2 == 0:
+			ids := make([]string, 0, len(fleet))
+			for id := range fleet { //vc2m:ordered keys are collected and sorted before use
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			delta.Departures = []string{ids[int(rng.Int63())%len(ids)]}
+		default:
+			if nextArrival >= len(pool) {
+				continue
+			}
+			delta.Arrivals = []*model.VM{pool[nextArrival]}
+			nextArrival++
+		}
+
+		before := allocBytes(t, cur)
+		res, err := Incremental(cur, delta, IncrementalConfig{Mode: mode}, rngutil.New(seed*7+int64(ev)))
+		if err != nil {
+			t.Fatalf("event %d: Incremental: %v", ev, err)
+		}
+		if got := len(res.Admitted) + len(res.Rejected); got != len(delta.Arrivals) {
+			t.Fatalf("event %d: %d arrivals, but %d admitted + %d rejected",
+				ev, len(delta.Arrivals), len(res.Admitted), len(res.Rejected))
+		}
+		for _, id := range delta.Departures {
+			delete(fleet, id)
+		}
+		for _, id := range res.Admitted {
+			for _, vm := range delta.Arrivals {
+				if vm.ID == id {
+					fleet[id] = vm
+				}
+			}
+		}
+
+		// Resource-budget feasibility of the incremental layout against
+		// the final fleet's tasks.
+		tasks := fleetTasks(fleet)
+		if err := res.Allocation.Validate(tasks); err != nil {
+			t.Fatalf("event %d: incremental layout invalid: %v", ev, err)
+		}
+
+		if ev == poisonEvent {
+			if len(res.Rejected) != 1 || res.Rejected[0] != poison.ID {
+				t.Fatalf("event %d: poison VM not rejected (rejected=%v)", ev, res.Rejected)
+			}
+			// A pure-arrival rejection must leave the layout untouched.
+			if string(before) != string(allocBytes(t, res.Allocation)) {
+				t.Fatalf("event %d: rejected arrival changed the layout", ev)
+			}
+			// The from-scratch path must reject the same fleet+poison set.
+			withPoison := append(append([]*model.VM(nil), fleetVMs(fleet)...), poison)
+			h := &Heuristic{Mode: mode}
+			if _, err := h.Allocate(&model.System{Platform: model.PlatformA, VMs: withPoison},
+				rngutil.New(seed*13+int64(ev))); !errors.Is(err, model.ErrNotSchedulable) {
+				t.Fatalf("event %d: from-scratch accepted the poison fleet (err=%v)", ev, err)
+			}
+		}
+
+		// Differential verdict: the incremental layout is a schedulability
+		// witness for the current fleet, so a from-scratch allocation of
+		// the same VM set must also find it schedulable — and feasible.
+		// The from-scratch heuristic is randomized (cluster permutations,
+		// and under existing CSA even the derived interfaces depend on RNG
+		// state), so it gets a handful of seeds before the verdicts are
+		// declared to disagree.
+		scratch, err := scratchAllocate(fleet, mode, seed*13+int64(ev))
+		if err != nil {
+			t.Fatalf("event %d: from-scratch disagrees: incremental admitted fleet %v but every scratch attempt failed: %v",
+				ev, sortedKeys(fleet), err)
+		}
+		if err := scratch.Validate(tasks); err != nil {
+			t.Fatalf("event %d: from-scratch layout invalid: %v", ev, err)
+		}
+		cur = res.Allocation
+	}
+}
+
+// scratchAllocate runs the from-scratch heuristic on the fleet, retrying
+// across a few seeds: the heuristic is randomized and incomplete, so one
+// unlucky permutation draw must not read as a verdict disagreement.
+func scratchAllocate(fleet map[string]*model.VM, mode CSAMode, baseSeed int64) (*model.Allocation, error) {
+	sys := &model.System{Platform: model.PlatformA, VMs: fleetVMs(fleet)}
+	var lastErr error
+	for attempt := int64(0); attempt < 5; attempt++ {
+		h := &Heuristic{Mode: mode}
+		a, err := h.Allocate(sys, rngutil.New(baseSeed+attempt))
+		if err == nil {
+			return a, nil
+		}
+		if !errors.Is(err, model.ErrNotSchedulable) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func sortedKeys(m map[string]*model.VM) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { //vc2m:ordered keys are collected and sorted before use
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- property tests: layout-delta invariants ----------------------------
+
+// handBuiltBase returns a fully hand-built schedulable layout on
+// PlatformA: three cores, two 0.45-bandwidth VCPUs each, every partition
+// granted (no spares) — so a warm placement of anything is impossible and
+// an arrival must trigger a repack.
+func handBuiltBase() *model.Allocation {
+	mk := func(core, cache, bw int, vcpus ...*model.VCPU) *model.CoreAlloc {
+		return &model.CoreAlloc{Core: core, Cache: cache, BW: bw, VCPUs: vcpus}
+	}
+	return &model.Allocation{
+		Platform:    model.PlatformA,
+		Schedulable: true,
+		Solution:    "hand-built",
+		Cores: []*model.CoreAlloc{
+			mk(0, 8, 10, churnVCPU("vmA", 0, 0.45), churnVCPU("vmB", 1, 0.45)),
+			mk(1, 6, 5, churnVCPU("vmC", 2, 0.45), churnVCPU("vmD", 3, 0.45)),
+			mk(2, 6, 5, churnVCPU("vmE", 4, 0.45), churnVCPU("vmF", 5, 0.45)),
+		},
+	}
+}
+
+// slackBase is a layout with plenty of slack and free partitions, so
+// arrivals warm-place without any repack.
+func slackBase() *model.Allocation {
+	return &model.Allocation{
+		Platform:    model.PlatformA,
+		Schedulable: true,
+		Solution:    "hand-built",
+		Cores: []*model.CoreAlloc{
+			{Core: 0, Cache: 4, BW: 4, VCPUs: []*model.VCPU{churnVCPU("vmA", 0, 0.5)}},
+			{Core: 1, Cache: 4, BW: 4, VCPUs: []*model.VCPU{churnVCPU("vmB", 1, 0.5)}},
+		},
+	}
+}
+
+// TestIncrementalWarmKeepsUntouchedVMs: on the warm path (no repack),
+// every untouched VM keeps byte-identical interfaces and placements, no
+// migrations are reported, and the provenance stream holds no migrate
+// decision — no phantom migrations.
+func TestIncrementalWarmKeepsUntouchedVMs(t *testing.T) {
+	prev := slackBase()
+	prevLayouts := map[string][]byte{
+		"vmA": layoutOf(t, prev, "vmA"),
+		"vmB": layoutOf(t, prev, "vmB"),
+	}
+	prov := provenance.New()
+	res, err := Incremental(prev, Delta{Arrivals: []*model.VM{constVM("vmNew", 0.4)}},
+		IncrementalConfig{Mode: Flattening, Provenance: prov}, rngutil.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repacks != 0 {
+		t.Fatalf("expected warm placement, got %d repacks", res.Repacks)
+	}
+	if len(res.Migrated) != 0 {
+		t.Fatalf("warm placement reported migrations: %v", res.Migrated)
+	}
+	if len(res.Admitted) != 1 || res.Admitted[0] != "vmNew" {
+		t.Fatalf("admitted = %v, want [vmNew]", res.Admitted)
+	}
+	for vm, want := range prevLayouts { //vc2m:ordered independent per-VM checks; order cannot affect the verdict
+		if got := layoutOf(t, res.Allocation, vm); string(got) != string(want) {
+			t.Errorf("untouched VM %s layout changed:\n  before %s\n  after  %s", vm, want, got)
+		}
+	}
+	for _, d := range prov.Decisions() {
+		if d.Kind == provenance.KindMigrate {
+			t.Errorf("phantom migration recorded: %+v", d)
+		}
+	}
+}
+
+// TestIncrementalRepackMigratedSetExact: when the fallback repack fires,
+// the provenance migrate decisions and IncrementalResult.Migrated name
+// exactly the VCPUs whose physical core changed — computed independently
+// by diffing the layouts — and nothing else.
+func TestIncrementalRepackMigratedSetExact(t *testing.T) {
+	prev := handBuiltBase()
+	before := coreOfVCPUs(prev)
+	prov := provenance.New()
+	res, err := Incremental(prev, Delta{Arrivals: []*model.VM{constVM("vmG", 0.45)}},
+		IncrementalConfig{Mode: Flattening, Provenance: prov}, rngutil.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Admitted) != 1 || res.Admitted[0] != "vmG" {
+		t.Fatalf("admitted = %v (rejected = %v), want [vmG]", res.Admitted, res.Rejected)
+	}
+	if res.Repacks != 1 {
+		t.Fatalf("repacks = %d, want 1 (no spare partition, every core loaded)", res.Repacks)
+	}
+	after := coreOfVCPUs(res.Allocation)
+	moved := map[string]bool{}
+	for id, c := range before { //vc2m:ordered builds an unordered membership set
+		if after[id] != c {
+			moved[id] = true
+		}
+	}
+	gotResult := map[string]bool{}
+	for _, id := range res.Migrated {
+		if gotResult[id] {
+			t.Errorf("Migrated lists %s twice", id)
+		}
+		gotResult[id] = true
+	}
+	gotProv := map[string]bool{}
+	for _, d := range prov.Decisions() {
+		if d.Stage == provenance.StageRepack && d.Kind == provenance.KindMigrate {
+			if gotProv[d.Subject] {
+				t.Errorf("migrate decision for %s recorded twice", d.Subject)
+			}
+			gotProv[d.Subject] = true
+		}
+	}
+	for id := range moved { //vc2m:ordered independent membership checks; order cannot affect the verdict
+		if !gotResult[id] {
+			t.Errorf("VCPU %s moved (core %d -> %d) but is missing from Migrated", id, before[id], after[id])
+		}
+		if !gotProv[id] {
+			t.Errorf("VCPU %s moved but has no migrate decision", id)
+		}
+	}
+	for id := range gotResult { //vc2m:ordered independent membership checks; order cannot affect the verdict
+		if !moved[id] {
+			t.Errorf("phantom migration in result: %s did not change cores", id)
+		}
+	}
+	for id := range gotProv { //vc2m:ordered independent membership checks; order cannot affect the verdict
+		if !moved[id] {
+			t.Errorf("phantom migrate decision: %s did not change cores", id)
+		}
+	}
+	if err := res.Allocation.Validate(nil); err != nil {
+		t.Fatalf("repacked layout invalid: %v", err)
+	}
+}
+
+// TestIncrementalDepartureFreesCapacity: a departure returns an emptied
+// core's partitions to the spare pool, and the next arrival warm-places
+// into exactly that freed capacity — no repack needed even though the
+// layout was saturated before the departure.
+func TestIncrementalDepartureFreesCapacity(t *testing.T) {
+	prev := handBuiltBase()
+	prov := provenance.New()
+	res, err := Incremental(prev, Delta{
+		Departures: []string{"vmA", "vmB"}, // empties core 0, frees 8 cache + 10 bw
+		Arrivals:   []*model.VM{constVM("vmG", 0.8)},
+	}, IncrementalConfig{Mode: Flattening, Provenance: prov}, rngutil.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Departed; len(got) != 2 || got[0] != "vmA" || got[1] != "vmB" {
+		t.Fatalf("departed = %v, want [vmA vmB]", got)
+	}
+	if len(res.Admitted) != 1 || res.Admitted[0] != "vmG" {
+		t.Fatalf("admitted = %v (rejected %v), want [vmG]", res.Admitted, res.Rejected)
+	}
+	if res.Repacks != 0 {
+		t.Fatalf("expected warm placement into freed capacity, got %d repacks", res.Repacks)
+	}
+	evicts := 0
+	for _, d := range prov.Decisions() {
+		if d.Stage == provenance.StageIncremental && d.Kind == provenance.KindEvict {
+			evicts++
+		}
+	}
+	if evicts != 2 {
+		t.Fatalf("evict decisions = %d, want 2", evicts)
+	}
+	if err := res.Allocation.Validate(nil); err != nil {
+		t.Fatalf("layout invalid after depart+arrive: %v", err)
+	}
+	for _, ca := range res.Allocation.Cores {
+		for _, v := range ca.VCPUs {
+			if v.VM == "vmA" || v.VM == "vmB" {
+				t.Fatalf("departed VM %s still placed", v.VM)
+			}
+		}
+	}
+}
+
+// TestIncrementalRejectLeavesLayoutUnchanged: a deterministically
+// infeasible arrival is rejected (not an error) and the returned layout is
+// byte-identical to the previous one.
+func TestIncrementalRejectLeavesLayoutUnchanged(t *testing.T) {
+	prev := slackBase()
+	before := allocBytes(t, prev)
+	res, err := Incremental(prev, Delta{Arrivals: []*model.VM{constVM("heavy", 1.5)}},
+		IncrementalConfig{Mode: Flattening}, rngutil.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejected) != 1 || res.Rejected[0] != "heavy" {
+		t.Fatalf("rejected = %v, want [heavy]", res.Rejected)
+	}
+	if len(res.Admitted) != 0 {
+		t.Fatalf("admitted = %v, want none", res.Admitted)
+	}
+	if string(allocBytes(t, res.Allocation)) != string(before) {
+		t.Fatal("rejected arrival changed the layout")
+	}
+}
+
+// TestIncrementalEmptyDeltaIsIdentity: a no-op delta returns a layout
+// byte-identical to the previous one.
+func TestIncrementalEmptyDeltaIsIdentity(t *testing.T) {
+	prev := handBuiltBase()
+	res, err := Incremental(prev, Delta{}, IncrementalConfig{Mode: Flattening}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(allocBytes(t, res.Allocation)) != string(allocBytes(t, prev)) {
+		t.Fatal("empty delta changed the layout")
+	}
+}
+
+// TestIncrementalFromEmptyBase: warm-start admission works from an empty
+// (zero-core) schedulable layout — the fleet bootstrap path the server and
+// the fuzz harness use.
+func TestIncrementalFromEmptyBase(t *testing.T) {
+	prev := &model.Allocation{Platform: model.PlatformA, Schedulable: true}
+	res, err := Incremental(prev, Delta{Arrivals: []*model.VM{
+		constVM("vm0", 0.5), constVM("vm1", 0.5),
+	}}, IncrementalConfig{Mode: Flattening}, rngutil.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Admitted) != 2 {
+		t.Fatalf("admitted = %v, want both VMs", res.Admitted)
+	}
+	if err := res.Allocation.Validate(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalErrors: invalid input is an error (not a rejection) and
+// never mutates the previous layout.
+func TestIncrementalErrors(t *testing.T) {
+	mismatched := &model.VM{ID: "vmX", Tasks: []*model.Task{{
+		ID: "vmX-t0", VM: "vmX", Period: 100,
+		WCET: model.ConstTable(model.PlatformC, 10), // PlatformC table on a PlatformA layout
+	}}}
+	cases := []struct {
+		name  string
+		prev  *model.Allocation
+		delta Delta
+	}{
+		{"nil previous", nil, Delta{}},
+		{"unschedulable previous", &model.Allocation{Platform: model.PlatformA}, Delta{}},
+		{"unknown departure", slackBase(), Delta{Departures: []string{"ghost"}}},
+		{"double departure", slackBase(), Delta{Departures: []string{"vmA", "vmA"}}},
+		{"duplicate arrival", slackBase(), Delta{Arrivals: []*model.VM{constVM("vmA", 0.1)}}},
+		{"duplicate arrival in delta", slackBase(),
+			Delta{Arrivals: []*model.VM{constVM("vmN", 0.1), constVM("vmN", 0.1)}}},
+		{"nil arrival", slackBase(), Delta{Arrivals: []*model.VM{nil}}},
+		{"taskless arrival", slackBase(), Delta{Arrivals: []*model.VM{{ID: "vmT"}}}},
+		{"mismatched table bounds", slackBase(), Delta{Arrivals: []*model.VM{mismatched}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var before []byte
+			if tc.prev != nil {
+				before = allocBytes(t, tc.prev)
+			}
+			_, err := Incremental(tc.prev, tc.delta, IncrementalConfig{Mode: Flattening}, nil)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if tc.prev != nil {
+				if string(allocBytes(t, tc.prev)) != string(before) {
+					t.Fatal("failed Incremental mutated the previous layout")
+				}
+			}
+		})
+	}
+}

@@ -39,13 +39,24 @@ const (
 	// MetricPhase3Migrations counts VCPU migrations performed.
 	MetricPhase3Rounds     = "alloc.phase3.rounds"
 	MetricPhase3Migrations = "alloc.phase3.migrations"
+	// MetricIncrementalCalls counts Incremental invocations (one churn
+	// delta each); MetricIncrementalAdmits/Rejects count arrival verdicts,
+	// MetricIncrementalEvicts counts departures applied, and
+	// MetricIncrementalRepacks counts arrivals that fell back to a full
+	// hypervisor-level repack instead of a warm placement.
+	MetricIncrementalCalls   = "alloc.incremental.calls"
+	MetricIncrementalAdmits  = "alloc.incremental.admits"
+	MetricIncrementalRejects = "alloc.incremental.rejects"
+	MetricIncrementalEvicts  = "alloc.incremental.evicts"
+	MetricIncrementalRepacks = "alloc.incremental.repacks"
 
 	// Wall-time timers (seconds per invocation).
-	MetricVMLevelSeconds = "alloc.vmlevel.seconds"
-	MetricHyperSeconds   = "alloc.hyper.seconds"
-	MetricPhase1Seconds  = "alloc.phase1.seconds"
-	MetricPhase2Seconds  = "alloc.phase2.seconds"
-	MetricPhase3Seconds  = "alloc.phase3.seconds"
+	MetricVMLevelSeconds     = "alloc.vmlevel.seconds"
+	MetricHyperSeconds       = "alloc.hyper.seconds"
+	MetricPhase1Seconds      = "alloc.phase1.seconds"
+	MetricPhase2Seconds      = "alloc.phase2.seconds"
+	MetricPhase3Seconds      = "alloc.phase3.seconds"
+	MetricIncrementalSeconds = "alloc.incremental.seconds"
 )
 
 // MetricsSetter is implemented by allocators that can record search-effort

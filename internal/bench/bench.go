@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -36,6 +37,11 @@ type Options struct {
 	// Parallel is the worker count for the sweep benchmark's parallel
 	// side; 0 defaults to runtime.NumCPU().
 	Parallel int
+	// Only, when non-empty, restricts the run to benchmarks whose names
+	// start with this prefix (e.g. "churn" runs just the sustained-churn
+	// pair). A report produced under Only is a subset and will not pass a
+	// schema check against a full-suite baseline.
+	Only string
 }
 
 func (o Options) withDefaults() Options {
@@ -100,23 +106,39 @@ func RunAll(opts Options) (*Report, error) {
 		NumCPU:    runtime.NumCPU(),
 		Quick:     opts.Quick,
 	}
-	benches := []func(Options) (Result, error){
-		benchCSADemand,
-		benchHypersimEvents,
-		benchSweep,
+	single := func(fn func(Options) (Result, error)) func(Options) ([]Result, error) {
+		return func(o Options) ([]Result, error) {
+			r, err := fn(o)
+			if err != nil {
+				return nil, err
+			}
+			return []Result{r}, nil
+		}
 	}
-	for _, fn := range benches {
-		r, err := fn(opts)
+	groups := []struct {
+		prefix string // name prefix of every Result the group produces
+		fn     func(Options) ([]Result, error)
+	}{
+		{"csa/", single(benchCSADemand)},
+		{"hypersim/", single(benchHypersimEvents)},
+		{"experiment/", single(benchSweep)},
+		{"alloc/", benchAllocators},
+		{"churn/", benchChurn},
+	}
+	for _, g := range groups {
+		if opts.Only != "" && !strings.HasPrefix(g.prefix, opts.Only) && !strings.HasPrefix(opts.Only, g.prefix) {
+			continue
+		}
+		results, err := g.fn(opts)
 		if err != nil {
 			return nil, err
 		}
-		rep.Results = append(rep.Results, r)
+		for _, r := range results {
+			if opts.Only == "" || strings.HasPrefix(r.Name, opts.Only) {
+				rep.Results = append(rep.Results, r)
+			}
+		}
 	}
-	allocResults, err := benchAllocators(opts)
-	if err != nil {
-		return nil, err
-	}
-	rep.Results = append(rep.Results, allocResults...)
 	return rep, nil
 }
 

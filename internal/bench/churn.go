@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+
+	"vc2m/internal/alloc"
+	"vc2m/internal/model"
+	"vc2m/internal/rngutil"
+	"vc2m/internal/workload"
+)
+
+// benchChurn measures sustained VM arrival/departure churn through the
+// incremental warm-start allocator against the obvious alternative: a full
+// from-scratch reallocation of the surviving fleet after every event. One
+// event is one departure (oldest fleet member) plus one arrival, so the
+// fleet size stays roughly constant and the measurement is steady-state
+// admission control, not a growing or draining transient. The from-scratch
+// side allocates the exact post-event fleets the incremental run produced
+// (computed once, unmeasured), so both sides do equivalent admission work.
+func benchChurn(opts Options) ([]Result, error) {
+	plat := model.PlatformA
+	baseVMs := 12
+	fleetUtil := 1.0 // reference utilization of the base fleet (platform capacity is M=4)
+	events := 48
+	if opts.Quick {
+		events = 4
+	}
+
+	gen := rngutil.New(20260806)
+	sys, err := workload.Generate(workload.Config{
+		Platform:      plat,
+		TargetRefUtil: fleetUtil,
+		Dist:          workload.Uniform,
+		NumVMs:        baseVMs,
+	}, gen.Split())
+	if err != nil {
+		return nil, err
+	}
+	// Arrivals mirror the base fleet's per-VM profile — one task of
+	// comparable utilization — so one event swaps like for like and the
+	// fleet stays in steady state instead of growing heavier.
+	arrivals := make([]*model.VM, events)
+	for i := range arrivals {
+		s, err := workload.Generate(workload.Config{
+			Platform:      plat,
+			TargetRefUtil: fleetUtil / float64(baseVMs),
+			Dist:          workload.Uniform,
+			NumVMs:        1,
+			MaxTasks:      1,
+		}, gen.Split())
+		if err != nil {
+			return nil, err
+		}
+		vm := s.VMs[0]
+		vm.ID = fmt.Sprintf("arr%d", i)
+		for j, task := range vm.Tasks {
+			task.ID = fmt.Sprintf("arr%d-t%d", i, j)
+			task.VM = vm.ID
+		}
+		arrivals[i] = vm
+	}
+
+	modes := []struct {
+		slug string
+		mode alloc.CSAMode
+	}{
+		{"existing-csa", alloc.ExistingCSA},
+		{"flattening", alloc.Flattening},
+	}
+	var out []Result
+	for _, m := range modes {
+		res, err := benchChurnMode(opts, m.slug, m.mode, sys, arrivals)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// benchChurnMode runs the churn measurement for one CSA mode.
+func benchChurnMode(opts Options, slug string, mode alloc.CSAMode, sys *model.System, arrivals []*model.VM) (Result, error) {
+	const baseSeed, churnSeed = 7, 100
+	h := &alloc.Heuristic{Mode: mode}
+	base, err := h.Allocate(sys, rngutil.New(baseSeed))
+	if err != nil {
+		return Result{}, fmt.Errorf("churn bench: base fleet not schedulable under %s: %w", slug, err)
+	}
+
+	// Fleet bookkeeping: FIFO departure order, arrivals appended as the
+	// incremental run admits them.
+	type event struct {
+		delta alloc.Delta
+		fleet []*model.VM // surviving fleet after the event (from-scratch input)
+	}
+	replay := func(record bool) ([]event, error) {
+		var evs []event
+		fifo := append([]*model.VM(nil), sys.VMs...)
+		cur := base
+		for i, arr := range arrivals {
+			delta := alloc.Delta{Departures: []string{fifo[0].ID}, Arrivals: []*model.VM{arr}}
+			res, err := alloc.Incremental(cur, delta,
+				alloc.IncrementalConfig{Mode: mode}, rngutil.New(churnSeed+int64(i)))
+			if err != nil {
+				return nil, fmt.Errorf("churn bench: event %d under %s: %w", i, slug, err)
+			}
+			fifo = fifo[1:]
+			if len(res.Admitted) > 0 {
+				fifo = append(fifo, arr)
+			}
+			cur = res.Allocation
+			if record {
+				evs = append(evs, event{delta: delta, fleet: append([]*model.VM(nil), fifo...)})
+			}
+		}
+		return evs, nil
+	}
+	// Unmeasured pass fixes the per-event fleets (and verifies every event
+	// applies cleanly) before any timing starts.
+	evs, err := replay(true)
+	if err != nil {
+		return Result{}, err
+	}
+
+	incSecs := medianSeconds(opts.Runs, func() {
+		if _, err := replay(false); err != nil {
+			panic(err)
+		}
+	})
+	scratchSecs := medianSeconds(opts.Runs, func() {
+		for i, ev := range evs {
+			// Schedulability may differ event to event (the heuristic is
+			// randomized); the wall time of the full search is the
+			// measurement, exactly like benchAllocators.
+			_, _ = h.Allocate(&model.System{Platform: sys.Platform, VMs: ev.fleet},
+				rngutil.New(churnSeed+int64(i)))
+		}
+	})
+
+	n := float64(len(evs))
+	incVal := throughput(n, incSecs)
+	scratchVal := throughput(n, scratchSecs)
+	return Result{
+		Name:     "churn/incremental-" + slug,
+		Metric:   "events_per_sec",
+		Value:    incVal,
+		Runs:     opts.Runs,
+		Baseline: &Baseline{Name: "from-scratch", Value: scratchVal},
+		Speedup:  incVal / scratchVal,
+		Notes: fmt.Sprintf("platform %s, %d-VM base fleet, %d events (1 departure + 1 arrival each); baseline reallocates the surviving fleet from scratch per event",
+			sys.Platform.Name, len(sys.VMs), len(evs)),
+	}, nil
+}

@@ -49,6 +49,9 @@ const (
 	StagePhase1 = "alloc.phase1"
 	StagePhase2 = "alloc.phase2"
 	StagePhase3 = "alloc.phase3"
+	// StageIncremental covers one warm-start re-allocation of a churn
+	// delta (departures, arrivals, and any repack fallback).
+	StageIncremental = "alloc.incremental"
 	// StageHypersim covers one hypervisor-simulator execution.
 	StageHypersim = "hypersim.run"
 	// StageSweepPoint covers one utilization point of a schedulability
@@ -62,6 +65,6 @@ func KnownStages() []string {
 	return []string{
 		StageRun, StageVMLevel, StageCSADerive, StageHyper,
 		StagePhase1, StagePhase2, StagePhase3,
-		StageHypersim, StageSweepPoint,
+		StageIncremental, StageHypersim, StageSweepPoint,
 	}
 }

@@ -62,6 +62,14 @@ const (
 	StagePhase3 = "hyper.phase3"
 	// StageAdmit is the online admission controller.
 	StageAdmit = "admit"
+	// StageIncremental is the warm-start re-allocation path: departures,
+	// arrivals and warm placements of a churn delta against a previous
+	// layout.
+	StageIncremental = "incremental"
+	// StageRepack is the full hypervisor-level repack the warm-start path
+	// falls back to when slack capacity cannot host an arrival; its
+	// migrate decisions name every VCPU that changed cores.
+	StageRepack = "incremental.repack"
 	// StageBaseline covers the two baseline solutions' packing decisions.
 	StageBaseline = "baseline"
 	// StageBinpack is the generic bin-packing helper.
@@ -91,6 +99,11 @@ const (
 	// KindAccept / KindReject: the final verdict of an allocation.
 	KindAccept = "accept"
 	KindReject = "reject"
+	// KindAdmit: a churn arrival was admitted into the running layout.
+	KindAdmit = "admit"
+	// KindEvict: a churn departure released its VCPUs (and, when a core
+	// emptied, its partitions) back to the spare pool.
+	KindEvict = "evict"
 	// KindTaskset: one taskset×solution case of a sweep.
 	KindTaskset = "taskset"
 	// KindProgram: a CAT class of service was programmed for a core.

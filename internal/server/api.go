@@ -31,6 +31,10 @@ const (
 	// KindSweep runs a schedulability sweep over generated tasksets — the
 	// vc2m-paper / vc2m-sched path.
 	KindSweep = "sweep"
+	// KindChurn applies a sequence of VM arrival/departure deltas to a
+	// finished base run's allocation through the incremental warm-start
+	// allocator (POST /v1/runs/{id}/churn).
+	KindChurn = "churn"
 )
 
 // SubmitRequest is the wire form of a run submission (POST /v1/runs). It
@@ -67,6 +71,30 @@ type SubmitRequest struct {
 
 	// Sweep parameterizes a KindSweep submission.
 	Sweep *SweepSpec `json:"sweep,omitempty"`
+
+	// Churn parameterizes a KindChurn submission. The churn endpoint
+	// (POST /v1/runs/{id}/churn) fills BaseRun from the URL.
+	Churn *ChurnSpec `json:"churn,omitempty"`
+}
+
+// ChurnSpec is the wire form of an incremental churn run (KindChurn): a
+// finished base run whose allocation seeds the warm-start allocator, and
+// the ordered arrival/departure deltas to apply to it. Event i runs with
+// seed Seed+i, so a churn run is as reproducible as every other run.
+type ChurnSpec struct {
+	// BaseRun is the registry ID of the run whose accepted allocation the
+	// churn sequence starts from. The churn run waits for it to finish.
+	BaseRun string `json:"base_run"`
+	// Events are applied in order; each is one Incremental call.
+	Events []ChurnEvent `json:"events"`
+}
+
+// ChurnEvent is one churn delta: VMs arriving and VM IDs departing. An
+// event may carry both; departures apply first, exactly like the
+// allocator's Delta. An empty event is a (wasteful but legal) identity.
+type ChurnEvent struct {
+	Arrivals   []*model.VM `json:"arrivals,omitempty"`
+	Departures []string    `json:"departures,omitempty"`
 }
 
 // SweepSpec is the wire form of a schedulability sweep (KindSweep).
@@ -116,6 +144,9 @@ func (r *SubmitRequest) Validate() error {
 		if r.Sweep != nil {
 			return fmt.Errorf("server: sweep spec on a %q submission", KindRun)
 		}
+		if r.Churn != nil {
+			return fmt.Errorf("server: churn spec on a %q submission", KindRun)
+		}
 	case KindSweep:
 		if r.Sweep == nil {
 			return fmt.Errorf("server: a sweep needs a sweep spec")
@@ -130,6 +161,37 @@ func (r *SubmitRequest) Validate() error {
 		}
 		if r.System != nil || r.Generate != nil {
 			return fmt.Errorf("server: system/generate on a %q submission", KindSweep)
+		}
+		if r.Churn != nil {
+			return fmt.Errorf("server: churn spec on a %q submission", KindSweep)
+		}
+	case KindChurn:
+		if r.Churn == nil {
+			return fmt.Errorf("server: a churn run needs a churn spec")
+		}
+		if r.Churn.BaseRun == "" {
+			return fmt.Errorf("server: churn spec needs a base_run")
+		}
+		if len(r.Churn.Events) == 0 {
+			return fmt.Errorf("server: churn spec needs at least one event")
+		}
+		for i, ev := range r.Churn.Events {
+			for _, vm := range ev.Arrivals {
+				if vm == nil || vm.ID == "" {
+					return fmt.Errorf("server: churn event %d has an arrival without a VM ID", i)
+				}
+			}
+			for _, id := range ev.Departures {
+				if id == "" {
+					return fmt.Errorf("server: churn event %d has an empty departure ID", i)
+				}
+			}
+		}
+		if r.System != nil || r.Generate != nil || r.Sweep != nil {
+			return fmt.Errorf("server: system/generate/sweep on a %q submission", KindChurn)
+		}
+		if r.SimulateMs != 0 { //vc2m:floateq zero is the field's never-set sentinel, not a computed value
+			return fmt.Errorf("server: simulate_ms on a %q submission", KindChurn)
 		}
 	default:
 		return fmt.Errorf("server: unknown kind %q", r.Kind)

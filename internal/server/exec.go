@@ -35,12 +35,15 @@ func (s *Server) execute(ctx context.Context, run *Run) {
 	root.SetAttr("run", run.ID())
 	begin := time.Now() //vc2m:wallclock run latency feeds the slow-run log
 	var doc *report.Document
+	var finalAlloc *model.Allocation
 	var err error
 	switch run.kind {
 	case KindSweep:
 		doc, err = executeSweep(ctx, run.req, run.prov, root)
+	case KindChurn:
+		doc, finalAlloc, err = s.executeChurn(ctx, run, root)
 	default:
-		doc, err = executeRun(ctx, run.req, run.prov, root)
+		doc, finalAlloc, err = executeRun(ctx, run.req, run.prov, root)
 	}
 	root.End()
 	elapsed := time.Since(begin) //vc2m:wallclock run latency feeds the slow-run log
@@ -56,21 +59,27 @@ func (s *Server) execute(ctx context.Context, run *Run) {
 			s.om.runFinished(s.log, run, tr, elapsed, s.cfg.SlowRun)
 			return
 		}
+		// Store the accepted allocation before finish, so anyone woken by
+		// Done() — a churn run waiting on this base, in particular —
+		// observes it.
+		run.setAllocation(finalAlloc)
 		run.finish(StateDone, doc, data, "")
 	}
 	s.om.runFinished(s.log, run, tr, elapsed, s.cfg.SlowRun)
 }
 
 // executeRun is the KindRun path: allocate one system, optionally
-// simulate, and assemble the report the way cmd/vc2m-sim does.
-func executeRun(ctx context.Context, req SubmitRequest, prov *provenance.Recorder, sp *obs.Span) (*report.Document, error) {
+// simulate, and assemble the report the way cmd/vc2m-sim does. The
+// accepted allocation is returned alongside the document so the registry
+// can retain it for later churn runs (nil on rejection).
+func executeRun(ctx context.Context, req SubmitRequest, prov *provenance.Recorder, sp *obs.Span) (*report.Document, *model.Allocation, error) {
 	sys, err := buildSystem(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	mode, modeName, err := parseMode(req.Mode)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var rec *vc2m.MetricsRecorder
 	if req.Metrics {
@@ -93,12 +102,12 @@ func executeRun(ctx context.Context, req SubmitRequest, prov *provenance.Recorde
 	})
 	if aerr != nil {
 		if ctx.Err() != nil {
-			return nil, aerr
+			return nil, nil, aerr
 		}
 		// The rejection is itself a result: the report carries the
 		// decision trail with the binding resource(s).
 		in.Rejection = toRejection(aerr)
-		return report.BuildRun(in), nil
+		return report.BuildRun(in), nil, nil
 	}
 	in.Allocation = a
 	if req.SimulateMs > 0 {
@@ -106,14 +115,75 @@ func executeRun(ctx context.Context, req SubmitRequest, prov *provenance.Recorde
 			RecordTrace: true, Metrics: rec, Span: sp,
 		})
 		if serr != nil {
-			return nil, serr
+			return nil, nil, serr
 		}
 		in.Sim = res
 		if res.Missed > 0 {
 			in.Diagnosis = vc2m.DiagnoseMisses(res.Events)
 		}
 	}
-	return report.BuildRun(in), nil
+	return report.BuildRun(in), a, nil
+}
+
+// executeChurn is the KindChurn path: wait for the base run's allocation,
+// apply the churn events in order through the incremental warm-start
+// allocator (event i with seed Seed+i), and report the final layout. The
+// report is built exactly like a KindRun document of the final
+// allocation, so the byte-identity contract extends to churn: the served
+// document equals an in-process vc2m.Incremental replay of the same base
+// and events with the same seeds.
+func (s *Server) executeChurn(ctx context.Context, run *Run, sp *obs.Span) (*report.Document, *model.Allocation, error) {
+	req := run.req
+	spec := req.Churn
+	base, ok := s.reg.Get(spec.BaseRun)
+	if !ok {
+		return nil, nil, fmt.Errorf("server: churn base run %q not found", spec.BaseRun)
+	}
+	select {
+	case <-base.Done():
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+	prev := base.Allocation()
+	if prev == nil {
+		return nil, nil, fmt.Errorf("server: churn base run %s is %s with no accepted allocation",
+			base.ID(), base.Status().State)
+	}
+	mode, modeName, err := parseMode(req.Mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rec *vc2m.MetricsRecorder
+	if req.Metrics {
+		rec = vc2m.NewMetrics()
+	}
+	cur := prev
+	for i, ev := range spec.Events {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		res, err := vc2m.Incremental(cur, vc2m.ChurnDelta{Arrivals: ev.Arrivals, Departures: ev.Departures},
+			vc2m.Options{Mode: mode, Seed: req.Seed + int64(i), Metrics: rec,
+				Provenance: run.prov, Context: ctx, Span: sp})
+		if err != nil {
+			return nil, nil, fmt.Errorf("server: churn event %d: %w", i, err)
+		}
+		cur = res.Allocation
+	}
+	title := req.Title
+	if title == "" {
+		title = fmt.Sprintf("vc2m-server churn run (base %s, seed %d)", base.ID(), req.Seed)
+	}
+	doc := report.BuildRun(report.RunInput{
+		Title:      title,
+		Seed:       req.Seed,
+		Mode:       modeName,
+		Platform:   cur.Platform,
+		Allocation: cur,
+		Metrics:    rec,
+		Provenance: run.prov,
+	})
+	return doc, cur, nil
 }
 
 // buildSystem materializes the run's taskset: the posted system verbatim,

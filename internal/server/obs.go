@@ -37,6 +37,7 @@ var stageLatStages = []string{
 	obs.StagePhase1,
 	obs.StagePhase2,
 	obs.StagePhase3,
+	obs.StageIncremental,
 	obs.StageHypersim,
 	obs.StageSweepPoint,
 }
@@ -51,6 +52,9 @@ var decisionPrereg = []struct{ stage, kind string }{
 	{provenance.StageVMLevel, provenance.KindMap},
 	{provenance.StageCSA, provenance.KindInterface},
 	{provenance.StageHyper, provenance.KindAttempt},
+	{provenance.StageIncremental, provenance.KindAdmit},
+	{provenance.StageIncremental, provenance.KindEvict},
+	{provenance.StageRepack, provenance.KindMigrate},
 }
 
 // newServerObs registers the service's metric families. Gauges that track
@@ -184,7 +188,7 @@ func routeLabel(r *http.Request) string {
 			return "/v1/runs/{id}"
 		}
 		switch rest[i:] {
-		case "/report", "/provenance", "/cancel":
+		case "/report", "/provenance", "/cancel", "/churn":
 			return "/v1/runs/{id}" + rest[i:]
 		}
 		return "/v1/runs/{id}/other"

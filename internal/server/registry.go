@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"vc2m/internal/model"
 	"vc2m/internal/obs"
 	"vc2m/internal/provenance"
 	"vc2m/internal/report"
@@ -59,6 +60,11 @@ type Run struct {
 	doc *report.Document
 	//vc2m:guardedby mu
 	docJSON []byte
+	// alloc is the accepted final allocation of a done run (KindRun and
+	// KindChurn); nil on sweeps, rejections and failures. Churn runs read
+	// their base run's allocation through it.
+	//vc2m:guardedby mu
+	alloc *model.Allocation
 }
 
 // ID returns the registry key.
@@ -92,6 +98,24 @@ func (r *Run) Status() RunStatus {
 		}
 	}
 	return st
+}
+
+// Allocation returns the run's accepted final allocation, or nil while
+// the run is unfinished or when it produced none (sweep, rejection,
+// failure). Callers must treat the value as immutable — the incremental
+// allocator copies before it mutates, so sharing is safe.
+func (r *Run) Allocation() *model.Allocation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.alloc
+}
+
+// setAllocation stores the accepted final allocation; call it before
+// finish so Done() observers see it.
+func (r *Run) setAllocation(a *model.Allocation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.alloc = a
 }
 
 // ReportJSON returns the marshaled report document, or false while the

@@ -212,12 +212,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 //	GET  /healthz                  liveness + build identity + uptime
 //	GET  /metrics                  Prometheus text exposition
 //	GET  /api/metrics              registry/pool gauges (JSON)
-//	POST /v1/runs                  submit a run or sweep
+//	POST /v1/runs                  submit a run, sweep or churn
 //	GET  /v1/runs                  list runs
 //	GET  /v1/runs/{id}[?wait=1]    run status (wait=1 blocks until done)
 //	GET  /v1/runs/{id}/report      the vc2m.report/v1 document
 //	GET  /v1/runs/{id}/provenance  live decision stream (JSONL, chunked)
 //	POST /v1/runs/{id}/cancel      cancel a pending/running run
+//	POST /v1/runs/{id}/churn       queue an incremental churn run on {id}
 //	GET  /debug/pprof/...          runtime profiles (CPU, heap, goroutine)
 //
 // GET /metrics?format=json still serves the JSON gauges for one release
@@ -242,6 +243,7 @@ func (s *Server) buildHandler() http.Handler {
 	bounded.HandleFunc("GET /v1/runs", s.handleList)
 	bounded.HandleFunc("GET /v1/runs/{id}/report", s.handleReport)
 	bounded.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
+	bounded.HandleFunc("POST /v1/runs/{id}/churn", s.handleChurn)
 	if s.cfg.DebugRoutes {
 		bounded.HandleFunc("GET /debug/panic", func(http.ResponseWriter, *http.Request) {
 			panic("debug panic route")
@@ -382,6 +384,40 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	// report.Save of the same in-process run.
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(data)
+}
+
+// handleChurn queues an incremental churn run against the base run in the
+// URL. The body is a SubmitRequest whose churn.base_run the URL fills in
+// (kind likewise), so existing decode/validate/submit machinery applies
+// unchanged. The base must exist up front; it need not be done yet — the
+// churn run waits on it, so a client can pipeline base + churn submits.
+func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
+	base, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding churn submission: %w", err))
+		return
+	}
+	req.Kind = KindChurn
+	if req.Churn == nil {
+		req.Churn = &ChurnSpec{}
+	}
+	req.Churn.BaseRun = base.ID()
+	run, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: run.ID(), State: StatePending})
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -346,6 +346,42 @@ func Release(existing *Allocation, vmID string) (*Allocation, error) {
 	return alloc.Release(existing, vmID)
 }
 
+// ChurnDelta is one churn step against a running allocation: VM
+// departures (applied first) and arrivals.
+type ChurnDelta = alloc.Delta
+
+// ChurnResult is the outcome of one warm-start re-allocation: the new
+// layout plus the admitted/rejected/departed/migrated sets and the repack
+// count. See Incremental.
+type ChurnResult = alloc.IncrementalResult
+
+// Incremental applies a churn delta to a previous schedulable allocation
+// without recomputing the fleet: departures free capacity, and each
+// arrival is warm-placed into freed/slack partitions — reusing the
+// memoized budget tables of every untouched VM — before falling back to
+// one full hypervisor-level repack. Arrivals that fit nowhere are rejected
+// in the result (the layout is then unchanged for that VM), not returned
+// as an error; errors are reserved for invalid input and leave prev
+// untouched. The resulting allocation is always schedulable and validates
+// against the final fleet's tasks — the equivalence contract the
+// differential test suite enforces against from-scratch Allocate.
+func Incremental(prev *Allocation, delta ChurnDelta, opts Options) (*ChurnResult, error) {
+	cfg := alloc.IncrementalConfig{
+		Mode:     opts.Mode,
+		Clusters: opts.Clusters,
+		Hyper: alloc.HyperConfig{
+			MaxIters: opts.MaxIters,
+			Clusters: opts.Clusters,
+			Ctx:      opts.Context,
+		},
+		Overheads:  opts.Overheads,
+		Metrics:    opts.Metrics,
+		Provenance: opts.Provenance,
+		Span:       opts.Span,
+	}
+	return alloc.Incremental(prev, delta, cfg, rngutil.New(opts.Seed))
+}
+
 // Solutions returns the five allocation strategies evaluated in the
 // paper, in its legend order: Baseline (existing CSA), Evenly-partition
 // (overhead-free CSA), Heuristic (existing CSA), Heuristic (overhead-free
