@@ -32,11 +32,14 @@ lint:
 lint-tests:
 	$(GO) run ./cmd/vc2m-lint -tests -baseline .vc2m-lint-baseline.json ./...
 
-# lint-tests plus a SARIF v2.1.0 log (lint.sarif) for CI artifact upload
-# and code-host ingestion. Baselined findings carry SARIF suppressions, so
-# viewers show them as known debt rather than new failures.
+# lint-tests plus a SARIF v2.1.0 log (results/lint.sarif) for CI artifact
+# upload and code-host ingestion. Baselined findings carry SARIF
+# suppressions, so viewers show them as known debt rather than new
+# failures. The log lands under results/ with the other generated
+# artifacts and is gitignored.
 lint-sarif:
-	$(GO) run ./cmd/vc2m-lint -tests -baseline .vc2m-lint-baseline.json -sarif lint.sarif ./...
+	@mkdir -p results
+	$(GO) run ./cmd/vc2m-lint -tests -baseline .vc2m-lint-baseline.json -sarif results/lint.sarif ./...
 
 test:
 	$(GO) test ./...
@@ -92,7 +95,7 @@ fuzz-smoke:
 	for tgt in internal/model:FuzzDecodeSystem internal/model:FuzzDecodeAllocation \
 	           internal/timeunit:FuzzMillisConversions internal/timeunit:FuzzTickRoundTrips \
 	           internal/timeunit:FuzzGCDLCM internal/workload:FuzzGenerate \
-	           internal/alloc:FuzzIncrementalChurn; do \
+	           internal/alloc:FuzzIncrementalChurn internal/obs:FuzzPromParse; do \
 		pkg=$${tgt%%:*}; fn=$${tgt##*:}; \
 		$(GO) test -run=^$$ -fuzz="^$$fn$$" -fuzztime=300x ./$$pkg || exit 1; \
 	done
@@ -132,11 +135,14 @@ report-smoke:
 # Server smoke: boot vc2m-server on an ephemeral port, drive the seeded
 # reference run through the client path (vc2m-sim -server), require the
 # served report to be byte-identical to the same-seed in-process run and
-# schema-valid, then SIGTERM the daemon and require a clean (exit 0)
-# graceful drain.
+# schema-valid; scrape /metrics through the strict parser (including the
+# trace exemplars on the stage-latency buckets), replay churn live, watch
+# a run's SSE lifecycle stream and fetch the self-contained /dashboard
+# (TestEventLifecycleLive), snapshot the fleet with vc2m-top -once, then
+# SIGTERM the daemon and require a clean (exit 0) graceful drain.
 server-smoke:
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
-	$(GO) build -o $$tmp/bin/ ./cmd/vc2m-server ./cmd/vc2m-sim ./cmd/vc2m-report || exit 1; \
+	$(GO) build -o $$tmp/bin/ ./cmd/vc2m-server ./cmd/vc2m-sim ./cmd/vc2m-report ./cmd/vc2m-top || exit 1; \
 	$$tmp/bin/vc2m-server -addr 127.0.0.1:0 -ready-file $$tmp/addr >$$tmp/server.log 2>&1 & pid=$$!; \
 	up=; i=0; while [ $$i -lt 100 ]; do \
 		if [ -s $$tmp/addr ]; then up=1; break; fi; i=$$((i+1)); sleep 0.1; done; \
@@ -159,10 +165,20 @@ server-smoke:
 		$(GO) test -count=1 -run '^TestChurnRoundTripLive$$' ./internal/server || \
 		{ echo "server-smoke: live churn round trip failed"; \
 		  cat $$tmp/server.log; kill $$pid 2>/dev/null; exit 1; }; \
+	VC2M_SERVER_URL="http://$$addr" \
+		$(GO) test -count=1 -run '^TestEventLifecycleLive$$' ./internal/server || \
+		{ echo "server-smoke: live SSE lifecycle / dashboard check failed"; \
+		  cat $$tmp/server.log; kill $$pid 2>/dev/null; exit 1; }; \
+	$$tmp/bin/vc2m-top -url "http://$$addr" -once > $$tmp/top.out || \
+		{ echo "server-smoke: vc2m-top -once failed"; \
+		  cat $$tmp/server.log; kill $$pid 2>/dev/null; exit 1; }; \
+	grep -q "vc2m-top" $$tmp/top.out && grep -q "events" $$tmp/top.out || \
+		{ echo "server-smoke: vc2m-top snapshot incomplete"; cat $$tmp/top.out; \
+		  kill $$pid 2>/dev/null; exit 1; }; \
 	kill -TERM $$pid; \
 	if wait $$pid; then :; else echo "server-smoke: daemon did not drain cleanly"; \
 		cat $$tmp/server.log; exit 1; fi; \
-	echo "server-smoke: served report byte-identical to in-process run; live /metrics parser-clean; churn round trip matches in-process replay; daemon drained cleanly"
+	echo "server-smoke: served report byte-identical to in-process run; live /metrics parser-clean with stage exemplars; churn round trip matches in-process replay; SSE lifecycle ordered and dashboard self-contained; vc2m-top snapshot ok; daemon drained cleanly"
 
 # Observability smoke: a seeded vc2m-sim run exporting wall-clock spans
 # must produce exactly the committed stage set (durations vary run to

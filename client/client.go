@@ -9,12 +9,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"vc2m/internal/obs"
 	"vc2m/internal/provenance"
 	"vc2m/internal/report"
 	"vc2m/internal/server"
@@ -55,6 +58,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	obs.InjectTraceContext(req, traceContext(ctx))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -71,6 +75,19 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return nil
 	}
 	return json.Unmarshal(data, out)
+}
+
+// traceContext resolves the W3C trace context a request propagates: the
+// one the caller planted via obs.ContextWithTraceContext — so a whole
+// submit/wait/fetch conversation shares one trace — or a fresh trace
+// minted per request. Every client request therefore carries a
+// traceparent header, and the server's spans, lifecycle events and
+// latency exemplars all name a trace the client knows.
+func traceContext(ctx context.Context) obs.TraceContext {
+	if tc, ok := obs.TraceContextFromContext(ctx); ok {
+		return tc
+	}
+	return obs.NewTraceContext()
 }
 
 // apiError turns a non-2xx response into an error, preferring the
@@ -117,10 +134,71 @@ func (c *Client) Run(ctx context.Context, id string) (server.RunStatus, error) {
 	return st, err
 }
 
-// Wait blocks until the run reaches a terminal state (or ctx expires),
-// using the server's blocking status endpoint — no client-side polling
-// loop, no missed transitions.
+// Wait blocks until the run reaches a terminal state (or ctx expires). It
+// follows the run's SSE lifecycle stream (/v1/runs/{id}/events) — the
+// server closes it at the terminal event, so waiting costs no polling —
+// and reconnects with Last-Event-ID across connection drops and server
+// restarts. When the server does not speak SSE (an older release, an
+// intermediary stripping streams), Wait falls back to the blocking status
+// endpoint. Either way the returned status is re-read from /v1/runs/{id},
+// the authoritative source.
 func (c *Client) Wait(ctx context.Context, id string) (server.RunStatus, error) {
+	var lastSeq uint64
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return server.RunStatus{}, err
+		}
+		terminal := false
+		seq, err := c.streamSSE(ctx, "/v1/runs/"+id+"/events", lastSeq, func(ev server.RunEvent) error {
+			if ev.Terminal() {
+				terminal = true
+			}
+			return nil
+		})
+		if seq > lastSeq {
+			lastSeq = seq
+			failures = 0 // progress: the stream is real, keep trusting it
+		}
+		if terminal {
+			return c.waitPoll(ctx, id)
+		}
+		switch {
+		case ctx.Err() != nil:
+			return server.RunStatus{}, ctx.Err()
+		case errors.Is(err, errSSEUnsupported):
+			return c.waitPoll(ctx, id)
+		}
+		// Transport drop or clean close without a terminal event (e.g. the
+		// server drained or restarted mid-stream): reconnect with
+		// Last-Event-ID after a short pause. Persistent failure falls back
+		// to the blocking poll, which reports connection errors properly.
+		failures++
+		if failures >= waitStreamMaxFailures {
+			return c.waitPoll(ctx, id)
+		}
+		t := time.NewTimer(waitReconnectDelay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return server.RunStatus{}, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+const (
+	// waitReconnectDelay paces SSE reconnects in Wait — long enough not to
+	// hammer a restarting server, short enough to resume promptly.
+	waitReconnectDelay = 200 * time.Millisecond
+	// waitStreamMaxFailures is how many consecutive no-progress stream
+	// attempts Wait tolerates before falling back to the blocking poll.
+	waitStreamMaxFailures = 10
+)
+
+// waitPoll is the pre-SSE wait path: the server's blocking status
+// endpoint, looped until the run is terminal.
+func (c *Client) waitPoll(ctx context.Context, id string) (server.RunStatus, error) {
 	for {
 		var st server.RunStatus
 		if err := c.do(ctx, http.MethodGet, "/v1/runs/"+id+"?wait=1", nil, &st); err != nil {
@@ -134,6 +212,100 @@ func (c *Client) Wait(ctx context.Context, id string) (server.RunStatus, error) 
 			return st, err
 		}
 	}
+}
+
+// StreamEvents follows the server's fleet-wide run-lifecycle stream
+// (GET /v1/events), invoking fn for every event until the stream ends, fn
+// returns an error, or ctx is canceled. lastEventID resumes after a prior
+// sequence number (0 for the live tail); the highest sequence number seen
+// is returned so callers can reconnect where they left off. The transport
+// client must not impose an overall timeout shorter than the watch (pass
+// a dedicated http.Client to New for long streams).
+func (c *Client) StreamEvents(ctx context.Context, lastEventID uint64, fn func(server.RunEvent) error) (uint64, error) {
+	return c.streamSSE(ctx, "/v1/events", lastEventID, fn)
+}
+
+// StreamRunEvents follows one run's lifecycle stream
+// (GET /v1/runs/{id}/events); the server ends it after the run's terminal
+// event. Semantics otherwise match StreamEvents.
+func (c *Client) StreamRunEvents(ctx context.Context, id string, lastEventID uint64, fn func(server.RunEvent) error) (uint64, error) {
+	return c.streamSSE(ctx, "/v1/runs/"+id+"/events", lastEventID, fn)
+}
+
+// errSSEUnsupported marks a server (or intermediary) that answered the
+// events endpoint with something other than an event stream; callers fall
+// back to polling.
+var errSSEUnsupported = errors.New("client: server does not serve SSE events")
+
+// streamSSE runs one SSE connection: it parses id/event/data frames,
+// unmarshals run events and dispatches them to fn. It returns the highest
+// event sequence number observed (also on error) and nil on clean stream
+// end.
+func (c *Client) streamSSE(ctx context.Context, path string, lastEventID uint64, fn func(server.RunEvent) error) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return lastEventID, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if lastEventID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastEventID, 10))
+	}
+	obs.InjectTraceContext(req, traceContext(ctx))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return lastEventID, err
+	}
+	defer resp.Body.Close() //vc2m:closeflush response body close errors are uninformative by contract
+	if resp.StatusCode != http.StatusOK ||
+		!strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 8*1024))
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNotFound ||
+			resp.StatusCode == http.StatusNotImplemented || resp.StatusCode == http.StatusMethodNotAllowed {
+			return lastEventID, fmt.Errorf("%w: %s", errSSEUnsupported, resp.Status)
+		}
+		return lastEventID, apiError(resp.StatusCode, data)
+	}
+
+	maxSeq := lastEventID
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var eventName string
+	var data []byte
+	dispatch := func() error {
+		defer func() { eventName, data = "", nil }()
+		if len(data) == 0 || eventName == "dropped" {
+			// Comments, keepalives and drop notices carry no run event.
+			return nil
+		}
+		var ev server.RunEvent
+		if err := json.Unmarshal(data, &ev); err != nil {
+			return fmt.Errorf("client: bad event payload: %w", err)
+		}
+		if ev.Seq > maxSeq {
+			maxSeq = ev.Seq
+		}
+		return fn(ev)
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := dispatch(); err != nil {
+				return maxSeq, err
+			}
+		case strings.HasPrefix(line, ":"): // comment / keepalive
+		case strings.HasPrefix(line, "event:"):
+			eventName = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+			// id: and retry: fields need no handling here — the sequence
+			// number rides in the JSON payload.
+		}
+	}
+	if err := dispatch(); err != nil {
+		return maxSeq, err
+	}
+	return maxSeq, sc.Err()
 }
 
 // Churn queues an incremental churn run against base run id: the server
@@ -162,6 +334,7 @@ func (c *Client) ReportBytes(ctx context.Context, id string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	obs.InjectTraceContext(req, traceContext(ctx))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -204,6 +377,7 @@ func (c *Client) StreamProvenance(ctx context.Context, id string, fn func(proven
 	if err != nil {
 		return err
 	}
+	obs.InjectTraceContext(req, traceContext(ctx))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err

@@ -61,6 +61,7 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 	}
 	tids := map[int]int{} // root span ID -> tid
 	first := true
+	emitMeta := t.TraceContext().Valid()
 	emit := func(ev chromeSpanEvent) error {
 		prefix := ",\n"
 		if first {
@@ -76,6 +77,17 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 		}
 		_, err = w.Write(data)
 		return err
+	}
+	if emitMeta {
+		// The trace's W3C identity rides as process metadata, so an
+		// exported span file names the distributed trace it belongs to —
+		// grep the file for the trace ID a /metrics exemplar pointed at.
+		if err := emit(chromeSpanEvent{
+			Name: "process_name", Phase: "M", PID: 0, TID: 0,
+			Args: map[string]string{"trace_id": t.TraceContext().TraceID},
+		}); err != nil {
+			return err
+		}
 	}
 	for _, s := range spans {
 		root := rootOf(s)

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestHistogramExemplarExposition drives ObserveExemplar end to end: the
+// exposition carries OpenMetrics exemplar suffixes on exactly the buckets
+// that saw exemplared observations, the document stays parser- and
+// validator-clean, and each exemplar names the most recent trace.
+func TestHistogramExemplarExposition(t *testing.T) {
+	reg := NewPromRegistry()
+	h := reg.NewHistogram("stage_seconds", "Stage latency.",
+		[]float64{0.01, 0.1, 1}, "stage")
+	h.ObserveExemplar(0.05, "aaaa0000aaaa0000aaaa0000aaaa0000", "run")
+	h.ObserveExemplar(0.07, "bbbb0000bbbb0000bbbb0000bbbb0000", "run") // replaces the 0.1 bucket's exemplar
+	h.ObserveExemplar(42, "cccc0000cccc0000cccc0000cccc0000", "run")   // +Inf bucket
+	h.Observe(0.5, "run")                                              // no exemplar on the le=1 bucket
+	h.ObserveExemplar(0.001, "", "run")                                // empty trace ID: plain observe
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	fams, err := ValidateExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exemplar-bearing exposition is not validator-clean: %v\n%s", err, text)
+	}
+	if len(fams) != 1 {
+		t.Fatalf("families: %d", len(fams))
+	}
+	byLE := map[string]*PromSample{}
+	for i := range fams[0].Samples {
+		s := &fams[0].Samples[i]
+		if strings.HasSuffix(s.Name, "_bucket") {
+			byLE[s.Labels["le"]] = s
+		}
+	}
+	wantTrace := map[string]string{
+		"0.01": "",                                 // exemplar-less (empty trace ID observation)
+		"0.1":  "bbbb0000bbbb0000bbbb0000bbbb0000", // most recent wins
+		"1":    "",                                 // plain Observe
+		"+Inf": "cccc0000cccc0000cccc0000cccc0000",
+	}
+	for le, want := range wantTrace { //vc2m:ordered independent per-bucket assertions; order cannot escape
+		s := byLE[le]
+		if s == nil {
+			t.Fatalf("no bucket le=%s in:\n%s", le, text)
+		}
+		got := ""
+		if s.Exemplar != nil {
+			got = s.Exemplar.Labels["trace_id"]
+		}
+		if got != want {
+			t.Errorf("bucket le=%s exemplar trace %q, want %q", le, got, want)
+		}
+	}
+	if ex := byLE["0.1"].Exemplar; ex == nil || ex.Value != 0.07 { //vc2m:floateq round-trips the exact literal observed above
+		t.Errorf("le=0.1 exemplar value %+v, want 0.07", byLE["0.1"].Exemplar)
+	}
+	// _count must reflect all five observations.
+	for _, s := range fams[0].Samples {
+		if s.Name == "stage_seconds_count" && s.Value != 5 { //vc2m:floateq integer count round-trips exactly
+			t.Errorf("count = %v, want 5", s.Value)
+		}
+	}
+}

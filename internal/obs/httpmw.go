@@ -65,7 +65,14 @@ func Middleware(next http.Handler, logger *Logger, m *HTTPMetrics, route func(*h
 			reqID = fmt.Sprintf("req-%06d", requestIDCounter.Add(1))
 		}
 		w.Header().Set(RequestIDHeader, reqID)
-		r = r.WithContext(ContextWithRequestID(r.Context(), reqID))
+		ctx := ContextWithRequestID(r.Context(), reqID)
+		// W3C trace-context adoption: a valid inbound traceparent joins the
+		// caller's trace; a malformed one is ignored per spec — never an
+		// error — and the handler starts without a trace context.
+		if tc, ok := ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
+			ctx = ContextWithTraceContext(ctx, tc)
+		}
+		r = r.WithContext(ctx)
 
 		routeLabel := r.URL.Path
 		if route != nil {

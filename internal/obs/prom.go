@@ -66,6 +66,18 @@ type series struct {
 	bucketCount []uint64 // histogram: per-bucket cumulative-at-scrape counts (stored non-cumulative)
 	sum         float64  // histogram
 	count       uint64   // histogram
+	// exemplars holds the most recent exemplar per bucket (index
+	// len(buckets) is the +Inf bucket); nil entries mean "none yet".
+	// Exemplars link a latency bucket to the trace that landed in it —
+	// the OpenMetrics "# {trace_id=...}" suffix on bucket lines.
+	exemplars []*Exemplar
+}
+
+// Exemplar is one OpenMetrics exemplar: a small label set (conventionally
+// just trace_id) and the exact observed value that landed in the bucket.
+type Exemplar struct {
+	Labels map[string]string
+	Value  float64
 }
 
 func (r *PromRegistry) register(name, help, typ string, labelNames []string, buckets []float64) *metricFamily {
@@ -193,13 +205,38 @@ func (r *PromRegistry) NewHistogram(name, help string, buckets []float64, labelN
 
 // Observe records one measurement.
 func (h *Histogram) Observe(v float64, labelValues ...string) {
+	h.observe(v, nil, labelValues)
+}
+
+// ObserveExemplar records one measurement and attaches a trace-ID
+// exemplar to the bucket it lands in, replacing that bucket's previous
+// exemplar — each bucket remembers the most recent offending trace, so a
+// slow bucket on /metrics names a concrete run to go look at. An empty
+// traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string, labelValues ...string) {
+	var ex *Exemplar
+	if traceID != "" {
+		ex = &Exemplar{Labels: map[string]string{"trace_id": traceID}, Value: v}
+	}
+	h.observe(v, ex, labelValues)
+}
+
+func (h *Histogram) observe(v float64, ex *Exemplar, labelValues []string) {
 	s := h.f.get(labelValues)
 	h.f.mu.Lock()
+	bucket := len(h.f.buckets) // +Inf slot
 	for i, ub := range h.f.buckets {
 		if v <= ub {
 			s.bucketCount[i]++
+			bucket = i
 			break
 		}
+	}
+	if ex != nil {
+		if s.exemplars == nil {
+			s.exemplars = make([]*Exemplar, len(h.f.buckets)+1)
+		}
+		s.exemplars[bucket] = ex
 	}
 	s.sum += v
 	s.count++
@@ -244,6 +281,7 @@ func (f *metricFamily) writeText(b *strings.Builder) {
 			bucketCount: append([]uint64(nil), s.bucketCount...),
 			sum:         s.sum,
 			count:       s.count,
+			exemplars:   append([]*Exemplar(nil), s.exemplars...),
 		})
 	}
 	fns := append([]func() float64(nil), f.gaugeFns...)
@@ -260,11 +298,13 @@ func (f *metricFamily) writeText(b *strings.Builder) {
 			var cum uint64
 			for i, ub := range f.buckets {
 				cum += s.bucketCount[i]
-				fmt.Fprintf(b, "%s_bucket%s %d\n",
-					f.name, labelString(f.labelNames, s.labelValues, "le", formatPromValue(ub)), cum)
+				fmt.Fprintf(b, "%s_bucket%s %d%s\n",
+					f.name, labelString(f.labelNames, s.labelValues, "le", formatPromValue(ub)),
+					cum, exemplarSuffix(s.exemplars, i))
 			}
-			fmt.Fprintf(b, "%s_bucket%s %d\n",
-				f.name, labelString(f.labelNames, s.labelValues, "le", "+Inf"), s.count)
+			fmt.Fprintf(b, "%s_bucket%s %d%s\n",
+				f.name, labelString(f.labelNames, s.labelValues, "le", "+Inf"),
+				s.count, exemplarSuffix(s.exemplars, len(f.buckets)))
 			fmt.Fprintf(b, "%s_sum%s %s\n",
 				f.name, labelString(f.labelNames, s.labelValues, "", ""), formatPromValue(s.sum))
 			fmt.Fprintf(b, "%s_count%s %d\n",
@@ -283,6 +323,39 @@ func (r *PromRegistry) Handler() http.Handler {
 		w.Header().Set("Content-Type", PromContentType)
 		_ = r.WriteText(w)
 	})
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar tail of one bucket line
+// (" # {trace_id=\"...\"} value"), or "" when the bucket has none.
+func exemplarSuffix(exemplars []*Exemplar, i int) string {
+	if i >= len(exemplars) || exemplars[i] == nil {
+		return ""
+	}
+	return " # " + formatExemplar(exemplars[i])
+}
+
+// formatExemplar renders an exemplar's label set (names sorted for
+// deterministic output) and value.
+func formatExemplar(ex *Exemplar) string {
+	names := make([]string, 0, len(ex.Labels))
+	for n := range ex.Labels { //vc2m:ordered names are sorted below
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(ex.Labels[n]))
+		b.WriteByte('"')
+	}
+	b.WriteString("} ")
+	b.WriteString(formatPromValue(ex.Value))
+	return b.String()
 }
 
 // labelString renders {a="x",b="y"} with values escaped; extraName, when

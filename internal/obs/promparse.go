@@ -22,6 +22,10 @@ type PromSample struct {
 	Name   string
 	Labels map[string]string
 	Value  float64
+	// Exemplar is the sample's OpenMetrics exemplar ("# {trace_id=...} v"
+	// after the value), nil when absent. The registry attaches them to
+	// histogram buckets so a latency bucket names a recent trace.
+	Exemplar *Exemplar
 }
 
 // PromFamily is one parsed metric family: its HELP/TYPE metadata and
@@ -185,6 +189,17 @@ func parseSampleLine(line string) (PromSample, error) {
 		rest = rest[end:]
 	}
 	rest = strings.TrimSpace(rest)
+	// An OpenMetrics exemplar may trail the value (and its optional
+	// timestamp): " # {labels} value [timestamp]". The '#' cannot belong
+	// to anything else here — label values were consumed above.
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		ex, err := parseExemplar(rest[i+1:])
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", s.Name, err)
+		}
+		s.Exemplar = ex
+		rest = strings.TrimSpace(rest[:i])
+	}
 	// An optional timestamp may follow the value; we accept and drop it.
 	valueField := rest
 	if i := strings.IndexByte(rest, ' '); i >= 0 {
@@ -199,6 +214,35 @@ func parseSampleLine(line string) (PromSample, error) {
 	}
 	s.Value = v
 	return s, nil
+}
+
+// parseExemplar parses the text after a sample line's '#': a label block,
+// the exemplar value, and an optional (dropped) seconds timestamp.
+func parseExemplar(rest string) (*Exemplar, error) {
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "{") {
+		return nil, fmt.Errorf("exemplar must start with a label block, got %q", rest)
+	}
+	end, labels, err := parseLabels(rest)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar labels: %w", err)
+	}
+	rest = strings.TrimSpace(rest[end:])
+	if rest == "" {
+		return nil, fmt.Errorf("exemplar has no value")
+	}
+	valueField := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		valueField = rest[:i]
+		if _, err := strconv.ParseFloat(strings.TrimSpace(rest[i+1:]), 64); err != nil {
+			return nil, fmt.Errorf("bad exemplar timestamp %q", rest[i+1:])
+		}
+	}
+	v, err := parsePromValue(valueField)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar value: %w", err)
+	}
+	return &Exemplar{Labels: labels, Value: v}, nil
 }
 
 // parseLabels consumes a {name="value",...} block starting at rest[0]=='{'
@@ -317,6 +361,67 @@ func unescapeHelp(s string) (string, error) {
 		i++
 	}
 	return b.String(), nil
+}
+
+// WriteExposition renders parsed families back into text exposition
+// format — the inverse of ParseExposition, used by the round-trip fuzz
+// target and by tools that filter or merge scraped documents. Label names
+// (and exemplar label names) are written sorted, so output is
+// deterministic for a given parse; a second parse→write cycle of the
+// result is byte-identical.
+func WriteExposition(w io.Writer, fams []*PromFamily) error {
+	var b strings.Builder
+	for _, f := range fams {
+		help := strings.TrimRight(f.Help, " \t\r")
+		if help == "" && f.Type == "" && len(f.Samples) == 0 {
+			continue // nothing expressible survived the parse
+		}
+		if help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(help))
+		}
+		if f.Type != "" {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Type)
+		}
+		for _, s := range f.Samples {
+			b.WriteString(s.Name)
+			b.WriteString(sortedLabelString(s.Labels))
+			b.WriteByte(' ')
+			b.WriteString(formatPromValue(s.Value))
+			if s.Exemplar != nil {
+				b.WriteString(" # ")
+				b.WriteString(formatExemplar(s.Exemplar))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sortedLabelString renders a parsed label map as {a="x",b="y"} with
+// names sorted ("" for an empty map).
+func sortedLabelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(labels))
+	for n := range labels { //vc2m:ordered names are sorted below
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[n]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // ValidateExposition parses the document and enforces the invariants a

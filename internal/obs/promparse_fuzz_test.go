@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzPromParse fuzzes the text-exposition parser for panics and for
+// parse→write→parse round-trip stability: any document the parser
+// accepts must render through WriteExposition into a document that (a)
+// parses again and (b) re-renders byte-identically — the canonical form
+// is a fixed point.
+func FuzzPromParse(f *testing.F) {
+	// A real registry document, exemplars included.
+	reg := NewPromRegistry()
+	c := reg.NewCounter("vc2m_runs_total", "Runs by state.", "state")
+	c.Inc("done")
+	c.Preregister("failed")
+	h := reg.NewHistogram("vc2m_stage_latency_seconds", "Stage latency.",
+		[]float64{0.001, 0.1, 1}, "stage")
+	h.ObserveExemplar(0.05, "4bf92f3577b34da6a3ce929d0e0e4736", "run")
+	h.ObserveExemplar(25, "00f067aa0ba902b700f067aa0ba902b7", "run")
+	reg.NewGaugeFunc("vc2m_queue_depth", "Queue depth.", func() float64 { return 3 })
+	var live bytes.Buffer
+	if err := reg.WriteText(&live); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(live.String())
+
+	f.Add("# HELP a b\n# TYPE a counter\na 1\n")
+	f.Add("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2 # {trace_id=\"ab\"} 1.5\nh_sum 3\nh_count 2\n")
+	f.Add("# TYPE g gauge\ng{x=\"a\\\\b\\\"c\\nd\"} NaN 1234\n")
+	f.Add("# TYPE u untyped\nu{q=\"v\"} -Inf\n")
+	f.Add("a 1\n")         // sample without TYPE: must error, not panic
+	f.Add("# HELP solo\n") // HELP-only family
+	f.Add("# TYPE e counter\ne 5 # {} 2 1.5\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		fams, err := ParseExposition(strings.NewReader(input))
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		var out1 bytes.Buffer
+		if err := WriteExposition(&out1, fams); err != nil {
+			t.Fatalf("write after successful parse: %v", err)
+		}
+		fams2, err := ParseExposition(bytes.NewReader(out1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of written exposition failed: %v\ninput:\n%s\nwritten:\n%s",
+				err, input, out1.String())
+		}
+		var out2 bytes.Buffer
+		if err := WriteExposition(&out2, fams2); err != nil {
+			t.Fatalf("second write: %v", err)
+		}
+		if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+			t.Fatalf("canonical form is not a fixed point.\nfirst:\n%s\nsecond:\n%s",
+				out1.String(), out2.String())
+		}
+		// Sample population must survive the round trip family-by-family
+		// (families that carry nothing expressible may be dropped).
+		count := func(fs []*PromFamily) int {
+			n := 0
+			for _, fam := range fs {
+				n += len(fam.Samples)
+			}
+			return n
+		}
+		if count(fams) != count(fams2) {
+			t.Fatalf("round trip changed sample count: %d -> %d", count(fams), count(fams2))
+		}
+	})
+}

@@ -76,6 +76,24 @@ func TestPromScrapeLive(t *testing.T) {
 			t.Errorf("stage latency histogram missing series for %q (have %v)", want, stages)
 		}
 	}
+
+	// Exemplar contract: after at least one run, the latency buckets carry
+	// OpenMetrics exemplars whose trace_id names the request trace that
+	// produced the observation — the link vc2m-top renders as LAST TRACE.
+	exemplars := 0
+	for _, s := range hist.Samples {
+		if s.Exemplar == nil {
+			continue
+		}
+		exemplars++
+		tid := s.Exemplar.Labels["trace_id"]
+		if len(tid) != 32 || strings.Trim(tid, "0123456789abcdef") != "" {
+			t.Errorf("bucket exemplar trace_id %q is not a 32-lower-hex trace ID", tid)
+		}
+	}
+	if exemplars == 0 {
+		t.Error("stage latency histogram carries no trace exemplars on a server that has executed runs")
+	}
 }
 
 // TestSpanGoldenStages reads the Chrome span export of a seeded run and

@@ -16,10 +16,37 @@ type Trace struct {
 	mu sync.Mutex
 	//vc2m:guardedby mu
 	spans []*Span
+	//vc2m:guardedby mu
+	tc TraceContext
 }
 
 // NewTrace returns an empty, enabled span collector.
 func NewTrace() *Trace { return &Trace{} }
+
+// NewTraceWith returns an enabled span collector adopting the given W3C
+// trace context — the server uses this so a run's span file carries the
+// submitting client's trace ID. An invalid context is replaced by a
+// freshly minted one, so the trace always has an ID.
+func NewTraceWith(tc TraceContext) *Trace {
+	if !tc.Valid() {
+		tc = NewTraceContext()
+	}
+	return &Trace{tc: tc}
+}
+
+// TraceContext returns the trace's W3C context (zero value when none was
+// adopted, or on a nil trace).
+func (t *Trace) TraceContext() TraceContext {
+	if t == nil {
+		return TraceContext{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tc
+}
+
+// TraceID returns the adopted trace ID ("" when none).
+func (t *Trace) TraceID() string { return t.TraceContext().TraceID }
 
 // Enabled reports whether the trace actually records (i.e. is non-nil).
 func (t *Trace) Enabled() bool { return t != nil }

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// This file implements W3C Trace Context propagation (the `traceparent`
+// header, https://www.w3.org/TR/trace-context/) for the observability
+// layer: the client mints a trace ID per request, the HTTP middleware
+// adopts it, the server threads it through the run's span trace, and the
+// per-stage latency histograms attach it to exemplars — so a slow bucket
+// on /metrics names the exact trace (and therefore the submitting
+// client's request) that landed in it. Trace IDs are pure telemetry: like
+// spans, they live strictly OUTSIDE every vc2m.report/v1 document.
+
+// TraceparentHeader is the W3C trace-context request header.
+const TraceparentHeader = "traceparent"
+
+// TraceContext is a parsed traceparent: the 16-byte trace ID and the
+// 8-byte ID of the caller's span, both lower-hex. The zero value is the
+// absent context; Valid reports presence.
+type TraceContext struct {
+	// TraceID is 32 lower-hex characters, not all zero.
+	TraceID string
+	// SpanID is 16 lower-hex characters, not all zero — the parent span
+	// on inbound headers, the current span on outbound ones.
+	SpanID string
+	// Sampled is the trace-flags sampled bit. This repository records
+	// spans whenever tracing is on, so the bit is carried, not obeyed.
+	Sampled bool
+}
+
+// Valid reports whether the context carries a usable trace ID.
+func (tc TraceContext) Valid() bool { return tc.TraceID != "" && tc.SpanID != "" }
+
+// Traceparent renders the context in wire form
+// ("00-<trace-id>-<span-id>-<flags>"). Invalid contexts render "".
+func (tc TraceContext) Traceparent() string {
+	if !tc.Valid() {
+		return ""
+	}
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-" + flags
+}
+
+// ParseTraceparent parses a traceparent header value. Malformed headers
+// return ok=false and MUST be ignored by callers (the spec's restart
+// semantics): a bad header never rejects a request, it just starts a
+// fresh trace.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	h = strings.TrimSpace(h)
+	// version "00": fixed layout 2-32-16-2 with dash separators.
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceContext{}, false
+	}
+	version, traceID, spanID, flags := h[0:2], h[3:35], h[36:52], h[53:55]
+	if !isLowerHex(version) || !isLowerHex(traceID) || !isLowerHex(spanID) || !isLowerHex(flags) {
+		return TraceContext{}, false
+	}
+	// Version ff is forbidden; all-zero IDs are invalid per spec.
+	if version == "ff" || allZero(traceID) || allZero(spanID) {
+		return TraceContext{}, false
+	}
+	f, err := hex.DecodeString(flags)
+	if err != nil {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: traceID, SpanID: spanID, Sampled: f[0]&0x01 != 0}, true
+}
+
+func isLowerHex(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// ID minting: an 8-byte per-process random prefix plus an atomic counter.
+// The prefix makes IDs unique across processes, the counter within one —
+// no per-call entropy reads on the hot path, and no math/rand (the nondet
+// analyzer reserves that for seeded domain randomness).
+var (
+	idPrefix  [8]byte
+	idCounter atomic.Uint64
+)
+
+func init() {
+	if _, err := crand.Read(idPrefix[:]); err != nil {
+		// Entropy-less environments still get process-unique prefixes.
+		binary.BigEndian.PutUint64(idPrefix[:], uint64(os.Getpid())<<32|0x76633263) // "vc2c"
+	}
+}
+
+// NewTraceContext mints a fresh trace: a new trace ID and a new root span
+// ID, sampled.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: newTraceID(), SpanID: NewSpanID(), Sampled: true}
+}
+
+func newTraceID() string {
+	var b [16]byte
+	copy(b[:8], idPrefix[:])
+	binary.BigEndian.PutUint64(b[8:], idCounter.Add(1))
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID mints a process-unique 8-byte span ID.
+func NewSpanID() string {
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[:4], binary.BigEndian.Uint32(idPrefix[4:8]))
+	binary.BigEndian.PutUint32(b[4:], uint32(idCounter.Add(1)))
+	return hex.EncodeToString(b[:])
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTraceContext returns a context carrying the trace context.
+func ContextWithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFromContext returns the trace context adopted by the
+// middleware or planted by a client (ok=false when absent).
+func TraceContextFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok && tc.Valid()
+}
+
+// InjectTraceContext stamps the request with the context's traceparent
+// header (a no-op for invalid contexts).
+func InjectTraceContext(req *http.Request, tc TraceContext) {
+	if tp := tc.Traceparent(); tp != "" {
+		req.Header.Set(TraceparentHeader, tp)
+	}
+}

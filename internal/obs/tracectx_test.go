@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatalf("minted context invalid: %+v", tc)
+	}
+	if len(tc.TraceID) != 32 || len(tc.SpanID) != 16 {
+		t.Fatalf("ID lengths: trace %d span %d", len(tc.TraceID), len(tc.SpanID))
+	}
+	h := tc.Traceparent()
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent %q", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != tc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, tc)
+	}
+}
+
+func TestTraceContextUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		tc := NewTraceContext()
+		if seen[tc.TraceID] {
+			t.Fatalf("duplicate trace ID %s after %d mints", tc.TraceID, i)
+		}
+		seen[tc.TraceID] = true
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	for _, h := range []string{
+		"",
+		"garbage",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",       // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0x",    // bad flags hex
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",    // all-zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",    // all-zero span
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // forbidden version
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",    // uppercase hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7-01-xx", // bad separators
+	} {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted a malformed header", h)
+		}
+	}
+	// Valid unsampled header parses with Sampled=false.
+	tc, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	if !ok || tc.Sampled {
+		t.Fatalf("unsampled parse: %+v ok=%v", tc, ok)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if _, ok := TraceContextFromContext(context.Background()); ok {
+		t.Fatal("empty context reports a trace context")
+	}
+	tc := NewTraceContext()
+	ctx := ContextWithTraceContext(context.Background(), tc)
+	got, ok := TraceContextFromContext(ctx)
+	if !ok || got != tc {
+		t.Fatalf("got %+v ok=%v", got, ok)
+	}
+}
+
+func TestNewTraceWithAdoptsContext(t *testing.T) {
+	tc := NewTraceContext()
+	tr := NewTraceWith(tc)
+	if tr.TraceContext() != tc || tr.TraceID() != tc.TraceID {
+		t.Fatalf("trace did not adopt context: %+v", tr.TraceContext())
+	}
+	// Invalid context → a fresh one is minted.
+	tr2 := NewTraceWith(TraceContext{})
+	if !tr2.TraceContext().Valid() {
+		t.Fatal("NewTraceWith(zero) left the trace without an ID")
+	}
+	// Nil-safety.
+	var nilTr *Trace
+	if nilTr.TraceContext().Valid() || nilTr.TraceID() != "" {
+		t.Fatal("nil trace reports a context")
+	}
+}

@@ -231,6 +231,10 @@ type RunStatus struct {
 	// Schedulable reports the allocation verdict once the run is done
 	// (absent on sweeps and unfinished runs).
 	Schedulable *bool `json:"schedulable,omitempty"`
+	// TraceID is the run's W3C trace ID — the submitting client's
+	// (propagated via the traceparent header) or one minted at submission.
+	// Wire status only: trace IDs never enter report documents.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // SubmitResponse acknowledges a queued submission.
@@ -271,4 +275,10 @@ type ServiceMetrics struct {
 	QueueCap  int           `json:"queue_cap"`
 	QueueLen  int           `json:"queue_len"`
 	Draining  bool          `json:"draining"`
+	// Event-bus counters: lifecycle events published since startup, events
+	// dropped because a subscriber's buffer was full, and the number of
+	// SSE subscribers currently attached.
+	EventsPublished  uint64 `json:"events_published"`
+	EventsDropped    uint64 `json:"events_dropped"`
+	EventSubscribers int    `json:"event_subscribers"`
 }

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"net/http"
+)
+
+// handleDashboard serves GET /dashboard: a single self-contained HTML page
+// (inline CSS and JS, zero external resources — it works on an air-gapped
+// bench machine) that watches the server live. It consumes the same public
+// surfaces any client would: the SSE lifecycle stream at /v1/events, the
+// JSON gauges at /api/metrics, and the Prometheus text exposition at
+// /metrics, which it parses in-browser for the per-stage latency
+// sparklines. The page holds no server-side state and the handler does no
+// work per request beyond writing the constant page.
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	_, _ = w.Write([]byte(dashboardHTML))
+}
+
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>vc2m live dashboard</title>
+<style>
+:root{--bg:#101418;--panel:#1a2129;--ink:#d8e0e8;--dim:#7a8a99;--ok:#4cc38a;--warn:#e5c07b;--bad:#e06c75;--line:#2c3642;--acc:#61afef}
+*{box-sizing:border-box}
+body{margin:0;background:var(--bg);color:var(--ink);font:13px/1.45 ui-monospace,Menlo,Consolas,monospace}
+header{display:flex;align-items:baseline;gap:1em;padding:10px 16px;border-bottom:1px solid var(--line)}
+header h1{font-size:15px;margin:0;font-weight:600}
+#conn{color:var(--dim)}#conn.live{color:var(--ok)}
+main{display:grid;grid-template-columns:repeat(auto-fit,minmax(320px,1fr));gap:12px;padding:12px 16px}
+section{background:var(--panel);border:1px solid var(--line);border-radius:6px;padding:10px 12px}
+section h2{font-size:12px;margin:0 0 8px;color:var(--dim);text-transform:uppercase;letter-spacing:.08em}
+table{width:100%;border-collapse:collapse}
+th,td{text-align:left;padding:2px 8px 2px 0;white-space:nowrap}
+th{color:var(--dim);font-weight:400}
+td.num,th.num{text-align:right}
+.state-done{color:var(--ok)}.state-running{color:var(--acc)}.state-pending{color:var(--warn)}
+.state-failed,.state-canceled{color:var(--bad)}
+.bar{height:10px;background:var(--line);border-radius:3px;overflow:hidden;min-width:120px}
+.bar i{display:block;height:100%;background:var(--acc)}
+#runs{max-height:340px;overflow-y:auto;display:block}
+svg.spark{vertical-align:middle}
+.kv{display:grid;grid-template-columns:auto 1fr auto;gap:4px 10px;align-items:center}
+.trace{color:var(--dim);font-size:11px}
+#log{max-height:200px;overflow-y:auto;color:var(--dim);font-size:12px}
+#log .t-finished{color:var(--ok)}#log .t-rejected,#log .t-dropped{color:var(--bad)}
+#log .t-started{color:var(--acc)}#log .t-churn-applied{color:var(--warn)}
+</style>
+</head>
+<body>
+<header>
+  <h1>vc2m live dashboard</h1>
+  <span id="conn">connecting&hellip;</span>
+  <span id="drops" class="trace"></span>
+</header>
+<main>
+  <section>
+    <h2>Pool</h2>
+    <div class="kv">
+      <span>queue</span><div class="bar"><i id="qbar"></i></div><span id="qtxt" class="num">&ndash;</span>
+      <span>workers</span><div class="bar"><i id="wbar"></i></div><span id="wtxt" class="num">&ndash;</span>
+    </div>
+    <table id="counts"><tbody></tbody></table>
+  </section>
+  <section>
+    <h2>Churn (admit / reject / depart / migrate)</h2>
+    <table><tbody id="churn"><tr><td class="trace">no churn events yet</td></tr></tbody></table>
+  </section>
+  <section>
+    <h2>Stage latency (mean per scrape, 2s)</h2>
+    <table><tbody id="stages"></tbody></table>
+  </section>
+  <section style="grid-column:1/-1">
+    <h2>Runs</h2>
+    <table><thead><tr><th>run</th><th>kind</th><th>state</th><th>stage</th><th class="num">decisions</th><th>trace</th></tr></thead>
+    <tbody id="runs"></tbody></table>
+  </section>
+  <section style="grid-column:1/-1">
+    <h2>Event log</h2>
+    <div id="log"></div>
+  </section>
+</main>
+<script>
+"use strict";
+const $ = id => document.getElementById(id);
+const runs = new Map();          // run id -> {kind,state,stage,decisions,trace}
+const counts = {queued:0, started:0, finished:0, rejected:0, "churn-applied":0};
+const churnTotals = {admitted:0, rejected:0, departed:0, migrated:0};
+let lastId = 0;
+
+function renderRuns(){
+  const rows = [...runs.entries()].sort((a,b)=>a[0]<b[0]?1:-1).slice(0,200);
+  $("runs").innerHTML = rows.map(([id,r])=>
+    '<tr><td>'+id+'</td><td>'+(r.kind||"")+'</td><td class="state-'+r.state+'">'+r.state+
+    '</td><td>'+(r.stage||"")+'</td><td class="num">'+(r.decisions||0)+
+    '</td><td class="trace">'+(r.trace||"").slice(0,16)+'</td></tr>').join("");
+}
+function renderCounts(){
+  $("counts").firstElementChild.innerHTML = Object.entries(counts).map(([k,v])=>
+    '<tr><th>'+k+'</th><td class="num">'+v+'</td></tr>').join("");
+  $("churn").innerHTML = '<tr><td class="num state-done">'+churnTotals.admitted+
+    '</td><td class="num state-failed">'+churnTotals.rejected+
+    '</td><td class="num">'+churnTotals.departed+
+    '</td><td class="num state-pending">'+churnTotals.migrated+'</td></tr>';
+}
+function onEvent(type, ev){
+  if (ev.seq) lastId = ev.seq;
+  if (type in counts) counts[type]++;
+  const r = runs.get(ev.run) || {};
+  r.kind = ev.kind || r.kind;
+  r.state = ev.state || r.state;
+  r.trace = ev.trace_id || r.trace;
+  if (ev.stage) r.stage = ev.stage;
+  if (ev.decisions) r.decisions = ev.decisions;
+  runs.set(ev.run, r);
+  if (type === "churn-applied"){
+    churnTotals.admitted += ev.admitted||0; churnTotals.rejected += ev.rejected||0;
+    churnTotals.departed += ev.departed||0; churnTotals.migrated += ev.migrated||0;
+  }
+  const line = document.createElement("div");
+  line.className = "t-"+type;
+  line.textContent = "#"+(ev.seq||"-")+" "+type+" "+(ev.run||"")+
+    (ev.stage?" @"+ev.stage:"")+(ev.error?" — "+ev.error:"");
+  const log = $("log");
+  log.prepend(line);
+  while (log.childElementCount > 120) log.lastElementChild.remove();
+  renderRuns(); renderCounts();
+}
+function connect(){
+  // Last-Event-ID via query param: a fresh EventSource after an error has
+  // no browser-managed resume cursor, so we carry our own.
+  const es = new EventSource("/v1/events?last_event_id="+lastId);
+  es.onopen = ()=>{ $("conn").textContent="live"; $("conn").className="live"; };
+  es.onerror = ()=>{ $("conn").textContent="reconnecting…"; $("conn").className=""; };
+  for (const t of ["queued","started","stage","finished","rejected","churn-applied"])
+    es.addEventListener(t, e=>onEvent(t, JSON.parse(e.data)));
+  es.addEventListener("dropped", e=>{ $("drops").textContent = "dropped: "+JSON.parse(e.data).dropped; });
+}
+connect();
+
+// ---- pool gauges from /api/metrics -------------------------------------
+async function pollPool(){
+  try{
+    const m = await (await fetch("/api/metrics")).json();
+    $("qtxt").textContent = m.queue_len+"/"+m.queue_cap;
+    $("qbar").style.width = (m.queue_cap? 100*m.queue_len/m.queue_cap : 0)+"%";
+    const busy = (m.by_state||{}).running||0;
+    $("wtxt").textContent = busy+"/"+m.workers;
+    $("wbar").style.width = (m.workers? 100*busy/m.workers : 0)+"%";
+    if (m.events_dropped) $("drops").textContent = "dropped: "+m.events_dropped;
+  }catch(e){ /* server away; the SSE reconnect drives the status text */ }
+}
+
+// ---- stage latency sparklines from the /metrics text exposition --------
+const hist = new Map();          // stage -> {sum,count,points[]}
+function parseMetrics(text){
+  const out = new Map();         // stage -> {sum,count}
+  for (const line of text.split("\n")){
+    if (line.startsWith("#")) continue;
+    const m = /^vc2m_stage_latency_seconds_(sum|count)\{stage="([^"]+)"\}\s+(\S+)/.exec(line);
+    if (!m) continue;
+    const e = out.get(m[2]) || {sum:0, count:0};
+    e[m[1]] = parseFloat(m[3]);
+    out.set(m[2], e);
+  }
+  return out;
+}
+function spark(points){
+  const w=120, h=16, n=points.length;
+  if (!n) return "";
+  const max = Math.max(...points, 1e-9);
+  const pts = points.map((v,i)=>((i*(w-2)/Math.max(n-1,1))+1)+","+(h-1-(h-2)*v/max)).join(" ");
+  return '<svg class="spark" width="'+w+'" height="'+h+'"><polyline fill="none" stroke="#61afef" stroke-width="1" points="'+pts+'"/></svg>';
+}
+async function pollStages(){
+  try{
+    const cur = parseMetrics(await (await fetch("/metrics")).text());
+    for (const [stage,e] of cur){
+      const p = hist.get(stage) || {sum:0, count:0, points:[]};
+      const dc = e.count - p.count, ds = e.sum - p.sum;
+      p.points.push(dc>0 ? ds/dc : 0);
+      if (p.points.length > 60) p.points.shift();
+      p.sum = e.sum; p.count = e.count;
+      hist.set(stage, p);
+    }
+    const rows = [...hist.entries()].sort().filter(([,p])=>p.count>0);
+    $("stages").innerHTML = rows.map(([stage,p])=>
+      '<tr><th>'+stage+'</th><td>'+spark(p.points)+'</td><td class="num">'+
+      (p.points.at(-1)*1000).toFixed(2)+'ms</td></tr>').join("") ||
+      '<tr><td class="trace">no finished runs yet</td></tr>';
+  }catch(e){ /* ignore; next tick retries */ }
+}
+pollPool(); pollStages();
+setInterval(pollPool, 2000);
+setInterval(pollStages, 2000);
+</script>
+</body>
+</html>
+`

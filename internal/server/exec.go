@@ -25,14 +25,26 @@ import (
 // strictly outside the report, so the identity holds with them on.
 func (s *Server) execute(ctx context.Context, run *Run) {
 	if ctx.Err() != nil || !run.setRunning() {
-		run.finish(StateCanceled, nil, nil, "canceled before execution")
+		s.finishRun(run, StateCanceled, nil, nil, "canceled before execution")
 		s.om.runFinished(s.log, run, nil, 0, s.cfg.SlowRun)
 		return
 	}
-	s.log.Info("run started", "run", run.ID(), "kind", run.kind)
-	tr := obs.NewTrace()
+	// The run executes under the trace context it was submitted with
+	// (client-propagated traceparent or minted at registration), so server
+	// spans — and the latency exemplars fed from them — join the
+	// submitting client's trace.
+	tc := run.TraceContext()
+	s.log.Info("run started", "run", run.ID(), "kind", run.kind, "trace", tc.TraceID)
+	tr := obs.NewTraceWith(tc)
 	root := tr.StartSpan(obs.StageRun)
 	root.SetAttr("run", run.ID())
+	if run.reqID != "" {
+		root.SetAttr("req", run.reqID)
+	}
+	s.events.publish(RunEvent{
+		Type: EventStarted, Run: run.ID(), Kind: run.kind,
+		State: StateRunning, TraceID: tc.TraceID,
+	})
 	begin := time.Now() //vc2m:wallclock run latency feeds the slow-run log
 	var doc *report.Document
 	var finalAlloc *model.Allocation
@@ -49,13 +61,13 @@ func (s *Server) execute(ctx context.Context, run *Run) {
 	elapsed := time.Since(begin) //vc2m:wallclock run latency feeds the slow-run log
 	switch {
 	case err != nil && ctx.Err() != nil:
-		run.finish(StateCanceled, nil, nil, err.Error())
+		s.finishRun(run, StateCanceled, nil, nil, err.Error())
 	case err != nil:
-		run.finish(StateFailed, nil, nil, err.Error())
+		s.finishRun(run, StateFailed, nil, nil, err.Error())
 	default:
 		data, merr := report.Marshal(doc)
 		if merr != nil {
-			run.finish(StateFailed, nil, nil, merr.Error())
+			s.finishRun(run, StateFailed, nil, nil, merr.Error())
 			s.om.runFinished(s.log, run, tr, elapsed, s.cfg.SlowRun)
 			return
 		}
@@ -63,9 +75,27 @@ func (s *Server) execute(ctx context.Context, run *Run) {
 		// Done() — a churn run waiting on this base, in particular —
 		// observes it.
 		run.setAllocation(finalAlloc)
-		run.finish(StateDone, doc, data, "")
+		s.finishRun(run, StateDone, doc, data, "")
 	}
 	s.om.runFinished(s.log, run, tr, elapsed, s.cfg.SlowRun)
+}
+
+// finishRun publishes the run's terminal lifecycle event and then records
+// the terminal state. Publish-before-finish is deliberate: the event is in
+// the bus ring, on every subscriber channel and retained on the run before
+// Done() closes, so an observer woken by Done() can always replay it.
+func (s *Server) finishRun(run *Run, state State, doc *report.Document, docJSON []byte, errMsg string) {
+	ev := RunEvent{
+		Type: EventFinished, Run: run.ID(), Kind: run.kind, State: state,
+		TraceID: run.TraceContext().TraceID, Error: errMsg, Decisions: run.prov.Len(),
+	}
+	if doc != nil && doc.Rejection != nil {
+		// A rejected allocation is done, not failed — but it gets its own
+		// event type so dashboards can track admit/reject rates directly.
+		ev.Type = EventRejected
+	}
+	run.setTerminalEvent(s.events.publish(ev))
+	run.finish(state, doc, docJSON, errMsg)
 }
 
 // executeRun is the KindRun path: allocate one system, optionally
@@ -169,6 +199,15 @@ func (s *Server) executeChurn(ctx context.Context, run *Run, sp *obs.Span) (*rep
 			return nil, nil, fmt.Errorf("server: churn event %d: %w", i, err)
 		}
 		cur = res.Allocation
+		s.events.publish(RunEvent{
+			Type: EventChurn, Run: run.ID(), Kind: run.kind, State: StateRunning,
+			TraceID:    run.TraceContext().TraceID,
+			ChurnEvent: i + 1,
+			Admitted:   len(res.Admitted),
+			Rejected:   len(res.Rejected),
+			Departed:   len(res.Departed),
+			Migrated:   len(res.Migrated),
+		})
 	}
 	title := req.Title
 	if title == "" {

@@ -3,6 +3,7 @@ package server
 import (
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"vc2m/internal/obs"
@@ -15,11 +16,12 @@ import (
 // lives strictly outside the report documents — scraping a server changes
 // no run's bytes.
 type serverObs struct {
-	reg       *obs.PromRegistry
-	runs      *obs.Counter   // vc2m_runs_total{state}
-	decisions *obs.Counter   // vc2m_decisions_total{stage,kind}
-	stageLat  *obs.Histogram // vc2m_stage_latency_seconds{stage}
-	httpm     *obs.HTTPMetrics
+	reg        *obs.PromRegistry
+	runs       *obs.Counter   // vc2m_runs_total{state}
+	decisions  *obs.Counter   // vc2m_decisions_total{stage,kind}
+	stageLat   *obs.Histogram // vc2m_stage_latency_seconds{stage}
+	eventsDrop *obs.Counter   // vc2m_events_dropped_total
+	httpm      *obs.HTTPMetrics
 }
 
 // stageLatStages lists every span stage preregistered on the per-stage
@@ -59,7 +61,8 @@ var decisionPrereg = []struct{ stage, kind string }{
 
 // newServerObs registers the service's metric families. Gauges that track
 // pool state are sampled at scrape time via closures over s, so they need
-// no bookkeeping on the hot path.
+// no bookkeeping on the hot path. s.events must already be constructed:
+// the drop counter hooks into the bus here.
 func newServerObs(s *Server) *serverObs {
 	reg := obs.NewPromRegistry()
 	o := &serverObs{
@@ -73,8 +76,11 @@ func newServerObs(s *Server) *serverObs {
 		stageLat: reg.NewHistogram("vc2m_stage_latency_seconds",
 			"Wall-clock latency of allocator pipeline stages, from run span traces.",
 			nil, "stage"),
+		eventsDrop: reg.NewCounter("vc2m_events_dropped_total",
+			"Lifecycle events dropped because an SSE subscriber's buffer was full; workers never block on slow consumers."),
 		httpm: obs.NewHTTPMetrics(reg),
 	}
+	o.eventsDrop.Preregister()
 	// Preregister the series a fresh server will eventually emit, so the
 	// first scrape already shows every family with zero-valued samples —
 	// dashboards and the smoke test's exposition parser see the full
@@ -111,9 +117,23 @@ func newServerObs(s *Server) *serverObs {
 			}
 			return 0
 		})
+	reg.NewGaugeFunc("vc2m_event_subscribers",
+		"SSE subscribers currently attached to the run-lifecycle event bus.",
+		func() float64 {
+			_, _, subs := s.events.stats()
+			return float64(subs)
+		})
+	reg.NewGaugeFunc("vc2m_events_published",
+		"Run-lifecycle events published on the event bus since startup.",
+		func() float64 {
+			published, _, _ := s.events.stats()
+			return float64(published)
+		})
 	reg.NewGaugeFunc("vc2m_uptime_seconds",
 		"Seconds since the server was constructed.",
 		func() float64 { return time.Since(s.start).Seconds() }) //vc2m:wallclock uptime is wall time by definition
+
+	s.events.onDrop = func(n int) { o.eventsDrop.Add(float64(n)) }
 
 	bi := obs.GetBuildInfo()
 	buildInfo := reg.NewGauge("vc2m_build_info",
@@ -133,14 +153,17 @@ func (o *serverObs) runFinished(log *obs.Logger, run *Run, tr *obs.Trace, elapse
 	}
 	state := run.Status().State
 	o.runs.Inc(string(state))
+	// Exemplars tie each latency bucket to the trace that landed in it, so
+	// a slow bucket on /metrics names the exact run to pull spans for.
 	for _, rec := range tr.Snapshot() {
-		o.stageLat.Observe(rec.Duration.Seconds(), rec.Name)
+		o.stageLat.ObserveExemplar(rec.Duration.Seconds(), tr.TraceID(), rec.Name)
 	}
 	if !log.LogSlow(tr, run.ID(), elapsed, slowRun) {
 		log.Info("run finished",
 			"run", run.ID(),
 			"kind", run.kind,
 			"state", string(state),
+			"trace", run.TraceContext().TraceID,
 			"decisions", run.prov.Len(),
 			"elapsed", elapsed,
 		)
@@ -169,13 +192,53 @@ func (s *countingSink) Record(d provenance.Decision) {
 	}
 }
 
+// stageSink publishes a stage-entered lifecycle event whenever the
+// provenance decision stream crosses into a new pipeline stage, then
+// forwards to the next sink. Deduplicating on stage transitions keeps the
+// event stream proportional to pipeline depth, not decision count. A nil
+// *stageSink forwards nowhere, like every sink in this repository.
+type stageSink struct {
+	bus     *eventBus
+	run     string
+	kind    string
+	traceID string
+	next    provenance.Sink
+
+	mu sync.Mutex
+	//vc2m:guardedby mu
+	last string
+}
+
+// Record implements provenance.Sink.
+func (s *stageSink) Record(d provenance.Decision) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	changed := d.Stage != s.last
+	if changed {
+		s.last = d.Stage
+	}
+	s.mu.Unlock()
+	if changed {
+		s.bus.publish(RunEvent{
+			Type: EventStage, Run: s.run, Kind: s.kind,
+			State: StateRunning, Stage: d.Stage, TraceID: s.traceID,
+		})
+	}
+	if s.next != nil {
+		s.next.Record(d)
+	}
+}
+
 // routeLabel normalizes request paths to the bounded label set the HTTP
 // metrics use — run IDs collapse into "{id}" so series cardinality stays
 // constant no matter how many runs the registry holds.
 func routeLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch {
-	case p == "/healthz" || p == "/metrics" || p == "/api/metrics" || p == "/v1/runs":
+	case p == "/healthz" || p == "/metrics" || p == "/api/metrics" || p == "/v1/runs",
+		p == "/v1/events" || p == "/dashboard":
 		return p
 	case strings.HasPrefix(p, "/debug/pprof"):
 		return "/debug/pprof"
@@ -188,7 +251,7 @@ func routeLabel(r *http.Request) string {
 			return "/v1/runs/{id}"
 		}
 		switch rest[i:] {
-		case "/report", "/provenance", "/cancel", "/churn":
+		case "/report", "/provenance", "/cancel", "/churn", "/events":
 			return "/v1/runs/{id}" + rest[i:]
 		}
 		return "/v1/runs/{id}/other"

@@ -40,6 +40,13 @@ type Run struct {
 	kind string
 	req  SubmitRequest
 
+	// traceCtx is the run's W3C trace context: the submitting client's
+	// (propagated via traceparent) or one minted at registration. reqID is
+	// the submitting HTTP request's ID ("" for direct Submit calls). Both
+	// are immutable once the run is visible.
+	traceCtx obs.TraceContext
+	reqID    string
+
 	prov *provenance.Recorder
 	pub  *pubSub
 
@@ -65,10 +72,36 @@ type Run struct {
 	// their base run's allocation through it.
 	//vc2m:guardedby mu
 	alloc *model.Allocation
+	// terminalEv is the run's published terminal lifecycle event, retained
+	// so a late SSE subscriber can replay it after the bus ring evicted it.
+	// It is stored before finish closes done, so Done() observers always
+	// find it.
+	//vc2m:guardedby mu
+	terminalEv *RunEvent
 }
 
 // ID returns the registry key.
 func (r *Run) ID() string { return r.id }
+
+// TraceContext returns the run's W3C trace context — always valid on a
+// registered run (minted at Add when the submitter carried none).
+func (r *Run) TraceContext() obs.TraceContext { return r.traceCtx }
+
+// setTerminalEvent retains the run's published terminal lifecycle event;
+// call it before finish so Done() observers see it.
+func (r *Run) setTerminalEvent(ev RunEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.terminalEv = &ev
+}
+
+// TerminalEvent returns the retained terminal lifecycle event, or nil
+// while the run has not finished.
+func (r *Run) TerminalEvent() *RunEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.terminalEv
+}
 
 // Done returns a channel closed when the run reaches a terminal state.
 func (r *Run) Done() <-chan struct{} { return r.done }
@@ -89,6 +122,7 @@ func (r *Run) Status() RunStatus {
 		Title:     r.req.Title,
 		Error:     r.errMsg,
 		Decisions: r.prov.Len(),
+		TraceID:   r.traceCtx.TraceID,
 	}
 	if r.doc != nil {
 		st.Title = r.doc.Title
@@ -170,6 +204,11 @@ type Registry struct {
 	// decision.
 	//vc2m:guardedby mu
 	decisions *obs.Counter
+	// events, when non-nil, receives stage-entered lifecycle events derived
+	// from the provenance sink chain. Set once via SetEventBus before any
+	// Add, like the decision counter.
+	//vc2m:guardedby mu
+	events *eventBus
 }
 
 // NewRegistry returns an empty registry.
@@ -185,33 +224,53 @@ func (g *Registry) SetDecisionCounter(c *obs.Counter) {
 	g.decisions = c
 }
 
+// SetEventBus installs the lifecycle event bus the stage sink publishes
+// to. Call it once, before any Add, like SetDecisionCounter.
+func (g *Registry) SetEventBus(b *eventBus) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.events = b
+}
+
 // Add registers a new pending run for the request and returns it. The
 // execution context and its cancel func are part of the run from the
 // moment it becomes visible, so a concurrent cancel endpoint can never
-// observe a half-armed run.
-func (g *Registry) Add(req SubmitRequest, execCtx context.Context, cancel context.CancelFunc) *Run {
+// observe a half-armed run. tc is the submitter's W3C trace context — a
+// fresh trace is minted when it is invalid, so every run has a trace ID
+// from the moment it exists; reqID is the submitting HTTP request's ID
+// ("" for direct Submit calls).
+func (g *Registry) Add(req SubmitRequest, execCtx context.Context, cancel context.CancelFunc, tc obs.TraceContext, reqID string) *Run {
 	pub := newPubSub()
 	kind := req.Kind
 	if kind == "" {
 		kind = KindRun
 	}
+	if !tc.Valid() {
+		tc = obs.NewTraceContext()
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	var sink provenance.Sink = pub
-	if g.decisions != nil {
-		sink = &countingSink{c: g.decisions, next: pub}
-	}
 	g.next++
+	id := fmt.Sprintf("r%04d", g.next)
+	var sink provenance.Sink = pub
+	if g.events != nil {
+		sink = &stageSink{bus: g.events, run: id, kind: kind, traceID: tc.TraceID, next: sink}
+	}
+	if g.decisions != nil {
+		sink = &countingSink{c: g.decisions, next: sink}
+	}
 	r := &Run{
-		id:      fmt.Sprintf("r%04d", g.next),
-		kind:    kind,
-		req:     req,
-		prov:    provenance.NewStreaming(sink),
-		pub:     pub,
-		execCtx: execCtx,
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		state:   StatePending,
+		id:       id,
+		kind:     kind,
+		req:      req,
+		traceCtx: tc,
+		reqID:    reqID,
+		prov:     provenance.NewStreaming(sink),
+		pub:      pub,
+		execCtx:  execCtx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		state:    StatePending,
 	}
 	g.runs[r.id] = r
 	g.order = append(g.order, r.id)

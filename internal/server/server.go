@@ -39,6 +39,14 @@ type Config struct {
 	// panics on purpose) so deployments and tests can verify the recovery
 	// middleware end to end. Leave off in production.
 	DebugRoutes bool
+	// EventBuffer bounds each SSE subscriber's delivery buffer (default
+	// 64). A subscriber that falls further behind than this loses events
+	// (counted in vc2m_events_dropped_total) — publishing never blocks a
+	// worker. Tests shrink it to force drops.
+	EventBuffer int
+	// EventHistory bounds the replay ring serving Last-Event-ID reconnects
+	// (default 512 events).
+	EventHistory int
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +81,14 @@ type Server struct {
 	queue chan *Run
 	wg    sync.WaitGroup
 
+	// events fans run-lifecycle events out to SSE subscribers; stop is
+	// closed once the drain completes (no further events will ever be
+	// published), ending every open event stream so the HTTP server's own
+	// shutdown is never blocked by an idle subscriber.
+	events   *eventBus
+	stop     chan struct{}
+	stopOnce sync.Once
+
 	mu sync.Mutex
 	//vc2m:guardedby mu
 	draining bool
@@ -98,10 +114,13 @@ func New(cfg Config) *Server {
 		reg:   NewRegistry(),
 		queue: make(chan *Run, cfg.withDefaults().Queue),
 		log:   cfg.Logger,
+		stop:  make(chan struct{}),
 		start: time.Now(), //vc2m:wallclock uptime reference
 	}
+	s.events = newEventBus(s.cfg.EventHistory, s.cfg.EventBuffer)
 	s.om = newServerObs(s)
 	s.reg.SetDecisionCounter(s.om.decisions)
+	s.reg.SetEventBus(s.events)
 	s.handler = s.buildHandler()
 	return s
 }
@@ -144,8 +163,22 @@ func (s *Server) Start() {
 
 // Submit validates, registers and enqueues a run. It returns ErrDraining
 // after Shutdown begins and ErrQueueFull when the bounded queue cannot
-// take more.
+// take more. A fresh trace is minted for the run; HTTP submissions go
+// through SubmitCtx, which propagates the caller's traceparent instead.
 func (s *Server) Submit(req SubmitRequest) (*Run, error) {
+	return s.submit(req, obs.TraceContext{}, "")
+}
+
+// SubmitCtx is Submit with trace correlation: the run adopts the W3C
+// trace context and request ID carried by ctx (planted by the HTTP
+// middleware), so client traces thread through to server spans, lifecycle
+// events and metric exemplars. Absent values are minted.
+func (s *Server) SubmitCtx(ctx context.Context, req SubmitRequest) (*Run, error) {
+	tc, _ := obs.TraceContextFromContext(ctx)
+	return s.submit(req, tc, obs.RequestIDFromContext(ctx))
+}
+
+func (s *Server) submit(req SubmitRequest, tc obs.TraceContext, reqID string) (*Run, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -154,20 +187,25 @@ func (s *Server) Submit(req SubmitRequest) (*Run, error) {
 		s.mu.Unlock()
 		return nil, ErrDraining
 	}
+	// Submit is the queue's only sender and holds s.mu, so a free slot
+	// observed here cannot vanish before the send below — which lets the
+	// queued event go out BEFORE the run is handed to a worker, keeping
+	// the lifecycle stream ordered queued < started.
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
 	// The run's lifetime is deliberately detached from the submitting
 	// request: execution continues after the HTTP response is written.
 	execCtx, cancel := context.WithCancel(context.Background()) //vc2m:bgctx run execution outlives the submitting request by design
-	run := s.reg.Add(req, execCtx, cancel)
-	select {
-	case s.queue <- run:
-		s.mu.Unlock()
-		return run, nil
-	default:
-		s.reg.Remove(run.ID())
-		s.mu.Unlock()
-		run.cancel()
-		return nil, ErrQueueFull
-	}
+	run := s.reg.Add(req, execCtx, cancel, tc, reqID)
+	s.events.publish(RunEvent{
+		Type: EventQueued, Run: run.ID(), Kind: run.kind,
+		State: StatePending, TraceID: run.traceCtx.TraceID,
+	})
+	s.queue <- run
+	s.mu.Unlock()
+	return run, nil
 }
 
 // Shutdown drains the service: no new submissions are accepted, queued
@@ -185,6 +223,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	close(s.queue)
 	s.mu.Unlock()
 	if !started {
+		s.stopOnce.Do(func() { close(s.stop) })
 		return nil
 	}
 
@@ -195,6 +234,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.stopOnce.Do(func() { close(s.stop) })
 		return nil
 	case <-ctx.Done():
 		// Hard stop: cancel everything still alive and wait for the
@@ -203,6 +243,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			run.cancel()
 		}
 		<-done
+		s.stopOnce.Do(func() { close(s.stop) })
 		return ctx.Err()
 	}
 }
@@ -217,8 +258,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 //	GET  /v1/runs/{id}[?wait=1]    run status (wait=1 blocks until done)
 //	GET  /v1/runs/{id}/report      the vc2m.report/v1 document
 //	GET  /v1/runs/{id}/provenance  live decision stream (JSONL, chunked)
+//	GET  /v1/runs/{id}/events      the run's lifecycle events (SSE; ends at terminal)
 //	POST /v1/runs/{id}/cancel      cancel a pending/running run
 //	POST /v1/runs/{id}/churn       queue an incremental churn run on {id}
+//	GET  /v1/events                fleet-wide run-lifecycle stream (SSE)
+//	GET  /dashboard                self-contained live HTML dashboard
 //	GET  /debug/pprof/...          runtime profiles (CPU, heap, goroutine)
 //
 // GET /metrics?format=json still serves the JSON gauges for one release
@@ -239,6 +283,7 @@ func (s *Server) buildHandler() http.Handler {
 	bounded.HandleFunc("GET /healthz", s.handleHealth)
 	bounded.HandleFunc("GET /metrics", s.handleMetrics)
 	bounded.HandleFunc("GET /api/metrics", s.handleMetricsJSON)
+	bounded.HandleFunc("GET /dashboard", s.handleDashboard)
 	bounded.HandleFunc("POST /v1/runs", s.handleSubmit)
 	bounded.HandleFunc("GET /v1/runs", s.handleList)
 	bounded.HandleFunc("GET /v1/runs/{id}/report", s.handleReport)
@@ -253,6 +298,8 @@ func (s *Server) buildHandler() http.Handler {
 	root := http.NewServeMux()
 	root.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	root.HandleFunc("GET /v1/runs/{id}/provenance", s.handleProvenance)
+	root.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
+	root.HandleFunc("GET /v1/events", s.handleEvents)
 	root.HandleFunc("GET /debug/pprof/", pprof.Index)
 	root.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	root.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -308,13 +355,17 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	published, dropped, subs := s.events.stats()
 	writeJSON(w, http.StatusOK, ServiceMetrics{
-		Submitted: total,
-		ByState:   byState,
-		Workers:   s.cfg.Workers,
-		QueueCap:  s.cfg.Queue,
-		QueueLen:  len(s.queue),
-		Draining:  draining,
+		Submitted:        total,
+		ByState:          byState,
+		Workers:          s.cfg.Workers,
+		QueueCap:         s.cfg.Queue,
+		QueueLen:         len(s.queue),
+		Draining:         draining,
+		EventsPublished:  published,
+		EventsDropped:    dropped,
+		EventSubscribers: subs,
 	})
 }
 
@@ -326,7 +377,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding submission: %w", err))
 		return
 	}
-	run, err := s.Submit(req)
+	run, err := s.SubmitCtx(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -408,7 +459,7 @@ func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 		req.Churn = &ChurnSpec{}
 	}
 	req.Churn.BaseRun = base.ID()
-	run, err := s.Submit(req)
+	run, err := s.SubmitCtx(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusServiceUnavailable, err)

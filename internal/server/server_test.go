@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"vc2m/internal/model"
+	"vc2m/internal/obs"
 	"vc2m/internal/workload"
 )
 
@@ -236,9 +237,13 @@ func TestDeterministicRunIDs(t *testing.T) {
 	reg := NewRegistry()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	a := reg.Add(SubmitRequest{}, ctx, cancel)
-	b := reg.Add(SubmitRequest{}, ctx, cancel)
+	a := reg.Add(SubmitRequest{}, ctx, cancel, obs.TraceContext{}, "")
+	b := reg.Add(SubmitRequest{}, ctx, cancel, obs.TraceContext{}, "")
 	if a.ID() != "r0001" || b.ID() != "r0002" {
 		t.Fatalf("ids %s, %s — want counter-based r0001, r0002", a.ID(), b.ID())
+	}
+	if !a.TraceContext().Valid() || a.TraceContext().TraceID == b.TraceContext().TraceID {
+		t.Fatalf("runs must get distinct minted trace contexts: %+v vs %+v",
+			a.TraceContext(), b.TraceContext())
 	}
 }
